@@ -1,0 +1,1 @@
+examples/bidder_network.ml: Array Fixq Fixq_workloads Fixq_xdm List Printf Sys

@@ -1,0 +1,1 @@
+examples/bidder_network.mli:

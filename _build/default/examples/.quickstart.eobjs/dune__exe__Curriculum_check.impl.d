@@ -1,0 +1,1 @@
+examples/curriculum_check.ml: Array Fixq Fixq_workloads Fixq_xdm List Option Printf String Sys

@@ -1,0 +1,1 @@
+examples/curriculum_check.mli:

@@ -1,0 +1,1 @@
+examples/datalog_closure.ml: Fixq Fixq_datalog Fixq_sqlrec Fixq_xdm Format List Option Printf String

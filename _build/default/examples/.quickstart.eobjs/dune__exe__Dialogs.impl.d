@@ -1,0 +1,1 @@
+examples/dialogs.ml: Fixq Fixq_workloads Fixq_xdm List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fixq Fixq_xdm List Printf

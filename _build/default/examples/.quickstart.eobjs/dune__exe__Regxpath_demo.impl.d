@@ -1,0 +1,1 @@
+examples/regxpath_demo.ml: Fixq_lang Fixq_regxpath Fixq_xdm List Printf String

@@ -1,0 +1,1 @@
+examples/regxpath_demo.mli:

@@ -1,0 +1,1 @@
+examples/sql_recursive.ml: Fixq_sqlrec Format Printf

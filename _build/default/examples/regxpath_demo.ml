@@ -1,0 +1,63 @@
+(* Regular XPath (ten Cate, PODS 2006): XPath with transitive closure,
+   implemented by translation to the IFP form — Section 2 of the paper
+   shows s+ ≡ with $x seeded by . recurse $x/s, and Section 3.1 proves
+   every Regular XPath step qualifies for Delta evaluation.
+
+   Run with: dune exec examples/regxpath_demo.exe *)
+
+module Node = Fixq_xdm.Node
+module R = Fixq_regxpath.Regxpath
+module D = Fixq_lang.Distributivity
+module Ast = Fixq_lang.Ast
+
+let tree =
+  {|<org>
+      <unit name="engineering">
+        <unit name="backend"><unit name="storage"/><unit name="query"/></unit>
+        <unit name="frontend"/>
+      </unit>
+      <unit name="sales"/>
+    </org>|}
+
+let () =
+  let doc = Fixq_xdm.Xml_parser.parse_string ~strip_whitespace:true tree in
+  let root = List.hd (Node.children doc) in
+
+  let show src =
+    let p = R.parse src in
+    let result = R.eval [ root ] p in
+    Printf.printf "%-22s -> %s\n" src
+      (String.concat ", "
+         (List.map
+            (fun n ->
+              match
+                List.find_opt (fun a -> Node.name a = "name") (Node.attributes n)
+              with
+              | Some a -> Node.string_value a
+              | None -> Node.name n)
+            result))
+  in
+  print_endline "Regular XPath over an org chart (from <org>):";
+  show "unit";
+  show "unit+";
+  show "unit/unit";
+  show "(unit/unit)+";
+  show "unit[unit]";
+  show "unit+[unit]";
+
+  (* the closure bodies are distributivity-safe by construction *)
+  (match R.to_ifp (R.parse "unit+") with
+  | Ast.Ifp { var; body; _ } ->
+    Printf.printf
+      "\n'unit+' translates to: with $%s seeded by . recurse $%s/unit\n" var
+      var;
+    Printf.printf "Figure 5 accepts the body (Delta applies): %b\n"
+      (D.check var body)
+  | _ -> assert false);
+
+  (* the IFP evaluation agrees with a direct BFS closure *)
+  let p = R.parse "(unit|unit/unit)+" in
+  let via_ifp = R.eval [ root ] p in
+  let via_bfs = R.eval_reference [ root ] p in
+  Printf.printf "IFP evaluation matches the closure oracle: %b\n"
+    (List.length via_ifp = List.length via_bfs)

@@ -1,0 +1,1 @@
+lib/algebra/compile.ml: Array Fixq_lang Fixq_xdm Format Hashtbl List Map Plan Relation String Value

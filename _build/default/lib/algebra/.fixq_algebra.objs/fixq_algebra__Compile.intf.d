@@ -1,0 +1,1 @@
+lib/algebra/compile.mli: Fixq_lang Fixq_xdm Hashtbl Plan Relation

@@ -1,0 +1,1 @@
+lib/algebra/optimize.ml: Hashtbl List Plan String

@@ -1,0 +1,1 @@
+lib/algebra/optimize.mli: Plan

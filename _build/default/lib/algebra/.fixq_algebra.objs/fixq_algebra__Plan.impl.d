@@ -1,0 +1,1 @@
+lib/algebra/plan.ml: Fixq_lang Fixq_xdm Format List Printf String Value

@@ -1,0 +1,1 @@
+lib/algebra/plan.mli: Fixq_lang Fixq_xdm Value

@@ -1,0 +1,1 @@
+lib/algebra/plan_eval.ml: Array Fixq_lang Fixq_store Fixq_xdm Float Format Hashtbl Int List Map Option Plan Relation String Value

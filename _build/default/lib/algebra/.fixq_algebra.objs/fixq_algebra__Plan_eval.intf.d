@@ -1,0 +1,1 @@
+lib/algebra/plan_eval.mli: Fixq_lang Fixq_xdm Hashtbl Plan Relation

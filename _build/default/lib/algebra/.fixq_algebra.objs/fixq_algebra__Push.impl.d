@@ -1,0 +1,1 @@
+lib/algebra/push.ml: Format List Option Plan Printf String

@@ -1,0 +1,1 @@
+lib/algebra/push.mli: Format Plan

@@ -1,0 +1,1 @@
+lib/algebra/relation.ml: Array Format Hashtbl List Option Printf String Value

@@ -1,0 +1,1 @@
+lib/algebra/relation.mli: Format Value

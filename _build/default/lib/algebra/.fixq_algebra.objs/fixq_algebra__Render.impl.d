@@ -1,0 +1,1 @@
+lib/algebra/render.ml: Buffer List Plan Printf String

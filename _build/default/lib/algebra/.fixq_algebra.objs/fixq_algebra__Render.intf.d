@@ -1,0 +1,1 @@
+lib/algebra/render.mli: Plan

@@ -1,0 +1,1 @@
+lib/algebra/value.ml: Bool Fixq_xdm Float Format Int String

@@ -1,0 +1,1 @@
+lib/algebra/value.mli: Fixq_xdm Format

@@ -1,0 +1,101 @@
+module Phys = Hashtbl.Make (struct
+  type t = Plan.t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+let rewrites = ref 0
+
+let last_rewrite_count () = !rewrites
+
+let is_empty_lit = function Plan.Lit_table (_, []) -> true | _ -> false
+
+(* Re-project [p] onto [schema] (all names must exist in p). *)
+let reproject schema p =
+  if Plan.schema_of p = schema then p
+  else Plan.Project (List.map (fun c -> (c, c)) schema, p)
+
+(* One local simplification step at the root of [p]; children are
+   already rewritten. *)
+let step (p : Plan.t) : Plan.t =
+  let hit q =
+    incr rewrites;
+    q
+  in
+  match p with
+  (* δ is idempotent; the step join already emits distinct rows *)
+  | Plan.Distinct (Plan.Distinct _ as q) -> hit q
+  | Plan.Distinct (Plan.Step _ as q) -> hit q
+  | Plan.Distinct (Plan.Id_join _ as q) -> hit q
+  (* projection fusion: π_a(π_b(q)) = π_{a∘b}(q) *)
+  | Plan.Project (outer, Plan.Project (inner, q)) ->
+    let compose (n, o) =
+      match List.assoc_opt o inner with
+      | Some deeper -> (n, deeper)
+      | None -> (n, o) (* unreachable for well-formed plans *)
+    in
+    hit (Plan.Project (List.map compose outer, q))
+  (* identity projection *)
+  | Plan.Project (cols, q)
+    when List.for_all (fun (n, o) -> String.equal n o) cols
+         && (try Plan.schema_of q = List.map fst cols with _ -> false) ->
+    hit q
+  (* units of ∪ *)
+  | Plan.Union (a, b) when is_empty_lit a -> (
+    match Plan.schema_of p with
+    | schema -> hit (reproject schema b)
+    | exception _ -> p)
+  | Plan.Union (a, b) when is_empty_lit b ->
+    ignore b;
+    hit a
+  (* difference with an empty subtrahend / minuend *)
+  | Plan.Difference (a, b) when is_empty_lit b -> hit a
+  | Plan.Difference (a, b) when is_empty_lit a ->
+    ignore b;
+    hit a (* a is the empty table: result is empty = a *)
+  (* keyless equi-join is a cross product *)
+  | Plan.Join ({ Plan.equi = []; theta = [] }, a, b) -> hit (Plan.Cross (a, b))
+  | p -> p
+
+let optimize plan =
+  rewrites := 0;
+  let memo : Plan.t Phys.t = Phys.create 64 in
+  let rec go p =
+    match Phys.find_opt memo p with
+    | Some q -> q
+    | None ->
+      let q = step (rebuild p) in
+      Phys.replace memo p q;
+      q
+  and rebuild (p : Plan.t) : Plan.t =
+    match p with
+    | Plan.Lit_table _ | Plan.Doc _ | Plan.Fix_ref _ -> p
+    | Plan.Project (cols, q) -> Plan.Project (cols, go q)
+    | Plan.Select (c, q) -> Plan.Select (c, go q)
+    | Plan.Join (pred, a, b) -> Plan.Join (pred, go a, go b)
+    | Plan.Cross (a, b) -> Plan.Cross (go a, go b)
+    | Plan.Distinct q -> Plan.Distinct (go q)
+    | Plan.Union (a, b) -> Plan.Union (go a, go b)
+    | Plan.Difference (a, b) -> Plan.Difference (go a, go b)
+    | Plan.Aggr (agg, spec, q) -> Plan.Aggr (agg, spec, go q)
+    | Plan.Fun (prim, spec, q) -> Plan.Fun (prim, spec, go q)
+    | Plan.Tag (c, q) -> Plan.Tag (c, go q)
+    | Plan.Row_num (spec, q) -> Plan.Row_num (spec, go q)
+    | Plan.Step (axis, test, col, q) -> Plan.Step (axis, test, col, go q)
+    | Plan.Id_join (a, b) -> Plan.Id_join (go a, go b)
+    | Plan.Construct (k, q) -> Plan.Construct (k, go q)
+    | Plan.Mu f ->
+      Plan.Mu { f with Plan.seed = go f.Plan.seed; body = go f.Plan.body }
+    | Plan.Mu_delta f ->
+      Plan.Mu_delta
+        { f with Plan.seed = go f.Plan.seed; body = go f.Plan.body }
+    | Plan.Template (n, q) -> Plan.Template (n, go q)
+    | Plan.Iterate it ->
+      Plan.Iterate
+        { it with
+          Plan.it_source = go it.Plan.it_source;
+          it_map = go it.Plan.it_map;
+          it_result = go it.Plan.it_result }
+  in
+  go plan

@@ -1,0 +1,17 @@
+(** Algebraic plan simplification.
+
+    A small rewriting pass in the spirit of Pathfinder's peephole
+    optimizer: idempotent δ collapses, projection fusion, identity
+    projections, units of ∪ and \ (empty literal tables), keyless joins
+    as ×, and δ elimination above operators that already emit distinct
+    output (the step join). Rewriting is {e sharing-preserving}: each
+    physical node is rewritten once and reused, so the DAG structure the
+    evaluator's memoization and the push-up's template big-steps depend
+    on survives (an {!Plan.Iterate}'s [it_map] keeps pointing into its
+    [it_result]). *)
+
+val optimize : Plan.t -> Plan.t
+
+(** Number of rewrites applied by the last {!optimize} call (for tests
+    and diagnostics). *)
+val last_rewrite_count : unit -> int

@@ -1,0 +1,448 @@
+module Node = Fixq_xdm.Node
+module Atom = Fixq_xdm.Atom
+module Axis = Fixq_xdm.Axis
+module Doc_registry = Fixq_xdm.Doc_registry
+module Encoding = Fixq_store.Encoding
+module Staircase = Fixq_store.Staircase
+module Stats = Fixq_lang.Stats
+
+exception Error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+(* Plans are DAGs: compiled plans share subtrees (e.g. the context
+   binding feeding both inputs of an id-join). Each physical node must
+   evaluate exactly once per environment — operators like # (Tag) mint
+   fresh values per evaluation, so re-evaluating a shared subtree would
+   break join alignment. A fresh memo table is used per fixpoint
+   round (the Fix_ref binding changes). *)
+module Phys = Hashtbl.Make (struct
+  type t = Plan.t
+
+  let equal = ( == )
+
+  (* Structural but depth-bounded (OCaml's generic hash): distinct
+     physical nodes may collide only when structurally similar, and
+     [equal] disambiguates. Hashing by operator symbol alone would
+     degenerate every δ/π bucket into a linear scan. *)
+  let hash = Hashtbl.hash
+end)
+
+type t = {
+  registry : Doc_registry.t;
+  max_iterations : int;
+  stats : Stats.t;
+  persistent : Relation.t Phys.t;
+}
+
+let create ?(registry = Doc_registry.default) ?(max_iterations = 1_000_000)
+    ~stats () =
+  { registry; max_iterations; stats; persistent = Phys.create 256 }
+
+let stats t = t.stats
+
+module Imap = Map.Make (Int)
+
+let cmp_holds (c : Plan.cmp) ord =
+  match c with
+  | Plan.Ceq -> ord = 0
+  | Plan.Cne -> ord <> 0
+  | Plan.Clt -> ord < 0
+  | Plan.Cle -> ord <= 0
+  | Plan.Cgt -> ord > 0
+  | Plan.Cge -> ord >= 0
+
+let eval_prim prim (args : Value.t list) =
+  match (prim, args) with
+  | (Plan.P_cmp c, [ a; b ]) -> Value.Bool (cmp_holds c (Value.compare_value a b))
+  | (Plan.P_arith op, [ a; b ]) -> (
+    let ai = Value.to_atom a and bi = Value.to_atom b in
+    match (op, ai, bi) with
+    | (Fixq_lang.Ast.Add, Atom.Int x, Atom.Int y) -> Value.Int (x + y)
+    | (Fixq_lang.Ast.Sub, Atom.Int x, Atom.Int y) -> Value.Int (x - y)
+    | (Fixq_lang.Ast.Mul, Atom.Int x, Atom.Int y) -> Value.Int (x * y)
+    | (Fixq_lang.Ast.Idiv, _, _) -> Value.Int (Atom.to_int ai / Atom.to_int bi)
+    | (Fixq_lang.Ast.Mod, Atom.Int x, Atom.Int y) -> Value.Int (x mod y)
+    | (Fixq_lang.Ast.Add, _, _) ->
+      Value.Dbl (Atom.to_number ai +. Atom.to_number bi)
+    | (Fixq_lang.Ast.Sub, _, _) ->
+      Value.Dbl (Atom.to_number ai -. Atom.to_number bi)
+    | (Fixq_lang.Ast.Mul, _, _) ->
+      Value.Dbl (Atom.to_number ai *. Atom.to_number bi)
+    | (Fixq_lang.Ast.Div, _, _) ->
+      Value.Dbl (Atom.to_number ai /. Atom.to_number bi)
+    | (Fixq_lang.Ast.Mod, _, _) ->
+      Value.Dbl (Float.rem (Atom.to_number ai) (Atom.to_number bi)))
+  | (Plan.P_and, [ a; b ]) -> Value.Bool (Value.to_bool a && Value.to_bool b)
+  | (Plan.P_or, [ a; b ]) -> Value.Bool (Value.to_bool a || Value.to_bool b)
+  | (Plan.P_not, [ a ]) -> Value.Bool (not (Value.to_bool a))
+  | (Plan.P_data, [ a ]) -> (
+    match a with Value.Nd n -> Value.Str (Node.string_value n) | v -> v)
+  | (Plan.P_name, [ a ]) -> Value.Str (Node.name (Value.as_node "name" a))
+  | (Plan.P_root, [ a ]) -> Value.Nd (Node.root (Value.as_node "root" a))
+  | (Plan.P_ebv, [ a ]) -> (
+    match a with Value.Nd _ -> Value.Bool true | v -> Value.Bool (Value.to_bool v))
+  | (Plan.P_const v, []) -> v
+  | _ -> err "⊚: arity mismatch"
+
+let whitespace_tokens s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\n')
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun x -> x <> "")
+
+(* Axis steps repeat heavily across fixpoint rounds (lifted
+   loop-invariant paths re-enter the step with the same context nodes),
+   so results are cached per (axis, test, context node) — the in-memory
+   analogue of reusing staircase-join scans. *)
+let step_cache : (string * int, Node.t list) Hashtbl.t = Hashtbl.create 4096
+
+let step_single axis test (n : Node.t) =
+  let key = (Axis.axis_to_string axis ^ "|" ^ Format.asprintf "%a" Axis.pp_test test, n.Node.id) in
+  match Hashtbl.find_opt step_cache key with
+  | Some r -> r
+  | None ->
+    let enc = Encoding.of_tree_cached n in
+    let r = Staircase.step_nodes enc axis test [ n ] in
+    Hashtbl.replace step_cache key r;
+    r
+
+let eval_step rel axis test col =
+  let ci = Relation.column_index rel col in
+  let out = ref [] in
+  List.iter
+    (fun row ->
+      let n = Value.as_node "step" row.(ci) in
+      List.iter
+        (fun m ->
+          let row' = Array.copy row in
+          row'.(ci) <- Value.Nd m;
+          out := row' :: !out)
+        (step_single axis test n))
+    (Relation.rows rel);
+  Relation.distinct (Relation.create (Relation.schema rel) (List.rev !out))
+
+let _grouped_eval_step rel axis test col =
+  let ci = Relation.column_index rel col in
+  let groups = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun row ->
+      let key =
+        Array.to_list row
+        |> List.mapi (fun i v -> if i = ci then Value.KI 0 else Value.key v)
+      in
+      (match Hashtbl.find_opt groups key with
+      | None ->
+        order := (key, row) :: !order;
+        Hashtbl.add groups key [ row.(ci) ]
+      | Some vs -> Hashtbl.replace groups key (row.(ci) :: vs)))
+    (Relation.rows rel);
+  let out = ref [] in
+  List.iter
+    (fun (key, proto) ->
+      let cells = Hashtbl.find groups key in
+      let nodes = List.map (Value.as_node "step") cells in
+      (* Partition by tree so each encoding sees its own pre ranks. *)
+      let by_root = Hashtbl.create 4 in
+      List.iter
+        (fun n ->
+          let r = Node.root n in
+          let existing =
+            Option.value ~default:[] (Hashtbl.find_opt by_root r.Node.id)
+          in
+          Hashtbl.replace by_root r.Node.id (n :: existing))
+        nodes;
+      Hashtbl.iter
+        (fun _root ns ->
+          let enc = Encoding.of_tree_cached (List.hd ns) in
+          let result = Staircase.step_nodes enc axis test ns in
+          List.iter
+            (fun n ->
+              let row = Array.copy proto in
+              row.(ci) <- Value.Nd n;
+              out := row :: !out)
+            result)
+        by_root)
+    (List.rev !order);
+  Relation.distinct (Relation.create (Relation.schema rel) (List.rev !out))
+
+let eval_id_join registry ctx_rel arg_rel =
+  ignore registry;
+  (* Roots available per iter, from the ctx nodes. *)
+  let iter_ci = Relation.column_index ctx_rel "iter" in
+  let item_ci = Relation.column_index ctx_rel "item" in
+  let roots_by_iter = Hashtbl.create 16 in
+  List.iter
+    (fun row ->
+      match row.(item_ci) with
+      | Value.Nd n ->
+        let key = Value.key row.(iter_ci) in
+        let r = Node.root n in
+        let existing =
+          Option.value ~default:[] (Hashtbl.find_opt roots_by_iter key)
+        in
+        if not (List.exists (fun x -> Node.equal x r) existing) then
+          Hashtbl.replace roots_by_iter key (r :: existing)
+      | _ -> ())
+    (Relation.rows ctx_rel);
+  let a_iter = Relation.column_index arg_rel "iter" in
+  let a_item = Relation.column_index arg_rel "item" in
+  let out = ref [] in
+  List.iter
+    (fun row ->
+      let key = Value.key row.(a_iter) in
+      let roots =
+        Option.value ~default:[] (Hashtbl.find_opt roots_by_iter key)
+      in
+      let tokens =
+        whitespace_tokens (Atom.to_string (Value.to_atom row.(a_item)))
+      in
+      List.iter
+        (fun tok ->
+          List.iter
+            (fun root ->
+              match Node.lookup_id root tok with
+              | Some e ->
+                let r = Array.copy row in
+                r.(a_item) <- Value.Nd e;
+                out := r :: !out
+              | None -> ())
+            roots)
+        tokens)
+    (Relation.rows arg_rel);
+  Relation.distinct (Relation.create (Relation.schema arg_rel) (List.rev !out))
+
+let eval_aggr agg spec rel =
+  let module P = Plan in
+  match agg with
+  | P.A_count ->
+    Relation.group_count ~partition:spec.P.agg_partition
+      ~result:spec.P.agg_result rel
+  | P.A_sum | P.A_max | P.A_min ->
+    let input =
+      match spec.P.agg_input with
+      | Some c -> c
+      | None -> err "aggr: sum/max/min need an input column"
+    in
+    let ii = Relation.column_index rel input in
+    let groups = Hashtbl.create 16 in
+    let keys = ref [] in
+    let part_ci = Option.map (Relation.column_index rel) spec.P.agg_partition in
+    List.iter
+      (fun row ->
+        let key =
+          match part_ci with None -> Value.KI 0 | Some i -> Value.key row.(i)
+        in
+        (match Hashtbl.find_opt groups key with
+        | None ->
+          keys := (key, row) :: !keys;
+          Hashtbl.add groups key [ row.(ii) ]
+        | Some vs -> Hashtbl.replace groups key (row.(ii) :: vs)))
+      (Relation.rows rel);
+    let fold vs =
+      match agg with
+      | P.A_sum ->
+        Value.Dbl
+          (List.fold_left
+             (fun acc v -> acc +. Atom.to_number (Value.to_atom v))
+             0.0 vs)
+      | P.A_max ->
+        List.fold_left
+          (fun acc v -> if Value.compare_value v acc > 0 then v else acc)
+          (List.hd vs) (List.tl vs)
+      | P.A_min ->
+        List.fold_left
+          (fun acc v -> if Value.compare_value v acc < 0 then v else acc)
+          (List.hd vs) (List.tl vs)
+      | P.A_count -> assert false
+    in
+    let schema =
+      match spec.P.agg_partition with
+      | None -> [ spec.P.agg_result ]
+      | Some p -> [ p; spec.P.agg_result ]
+    in
+    let rows =
+      List.rev_map
+        (fun (key, proto) ->
+          let v = fold (Hashtbl.find groups key) in
+          match part_ci with
+          | None -> [| v |]
+          | Some i -> [| proto.(i); v |])
+        !keys
+    in
+    Relation.create schema rows
+
+(* Memo lifetimes:
+   - volatile: plans depending on a Fix_ref being iterated by an
+     enclosing µ/µ∆ — fresh every round;
+   - run: plans depending on externally bound refs (variable bindings of
+     a compiled body) — fresh per [run_with] call;
+   - persistent (process-wide): pure plans over immutable documents —
+     shared across runs, so e.g. [$doc//open_auction] materializes once
+     even when thousands of fixpoints reuse it. *)
+type env = {
+  fix : Relation.t Imap.t;
+  volatile : Relation.t Phys.t;
+  run : Relation.t Phys.t;
+  dep_ids : int list;  (** Fix_ref ids currently iterated *)
+  run_ids : int list;  (** externally bound Fix_ref ids *)
+}
+
+let contains_cache : (int, bool) Hashtbl.t Phys.t = Phys.create 256
+
+let contains_ref id p =
+  let tbl =
+    match Phys.find_opt contains_cache p with
+    | Some t -> t
+    | None ->
+      let t = Hashtbl.create 4 in
+      Phys.replace contains_cache p t;
+      t
+  in
+  match Hashtbl.find_opt tbl id with
+  | Some b -> b
+  | None ->
+    let b = Plan.contains_fix_ref id p in
+    Hashtbl.replace tbl id b;
+    b
+
+let memo_for t env p =
+  if List.exists (fun id -> contains_ref id p) env.dep_ids then env.volatile
+  else if List.exists (fun id -> contains_ref id p) env.run_ids then env.run
+  else t.persistent
+
+let profile : (string, int * int) Hashtbl.t = Hashtbl.create 64
+
+let rec eval t env p =
+  let memo = memo_for t env p in
+  match Phys.find_opt memo p with
+  | Some rel -> rel
+  | None ->
+    let rel = eval_raw t env p in
+    (let sym = Plan.op_symbol p in
+     let key = String.sub sym 0 (min 6 (String.length sym)) in
+     let (c, r) = Option.value ~default:(0, 0) (Hashtbl.find_opt profile key) in
+     Hashtbl.replace profile key (c + 1, r + Relation.cardinal rel));
+    Phys.replace memo p rel;
+    rel
+
+and eval_raw t env (p : Plan.t) : Relation.t =
+  match p with
+  | Plan.Lit_table (schema, rows) -> Relation.create schema rows
+  | Plan.Doc uri -> (
+    match Doc_registry.find ~registry:t.registry uri with
+    | Some d -> Relation.create [ "item" ] [ [| Value.Nd d |] ]
+    | None -> err "doc: document %S is not available" uri)
+  | Plan.Fix_ref (id, schema) -> (
+    match Imap.find_opt id env.fix with
+    | Some rel -> rel
+    | None -> Relation.empty schema)
+  | Plan.Project (cols, q) -> Relation.project cols (eval t env q)
+  | Plan.Select (c, q) ->
+    let rel = eval t env q in
+    let ci = Relation.column_index rel c in
+    Relation.select (fun row -> Value.to_bool row.(ci)) rel
+  | Plan.Join (pred, a, b) ->
+    let ra = eval t env a and rb = eval t env b in
+    let extra =
+      if pred.Plan.theta = [] then None
+      else
+        Some
+          (fun lrow rrow ->
+            List.for_all
+              (fun (lc, c, rc) ->
+                let li = Relation.column_index ra lc in
+                let ri = Relation.column_index rb rc in
+                cmp_holds c (Value.compare_value lrow.(li) rrow.(ri)))
+              pred.Plan.theta)
+    in
+    Relation.equi_join ?extra pred.Plan.equi ra rb
+  | Plan.Cross (a, b) -> Relation.cross (eval t env a) (eval t env b)
+  | Plan.Distinct q -> Relation.distinct (eval t env q)
+  | Plan.Union (a, b) -> Relation.union (eval t env a) (eval t env b)
+  | Plan.Difference (a, b) ->
+    Relation.difference (eval t env a) (eval t env b)
+  | Plan.Aggr (agg, spec, q) -> eval_aggr agg spec (eval t env q)
+  | Plan.Fun (prim, spec, q) ->
+    let rel = eval t env q in
+    let idx = List.map (Relation.column_index rel) spec.Plan.fun_args in
+    Relation.append_column spec.Plan.fun_result
+      (fun row -> eval_prim prim (List.map (fun i -> row.(i)) idx))
+      rel
+  | Plan.Tag (c, q) -> Relation.tag ~result:c (eval t env q)
+  | Plan.Row_num (spec, q) ->
+    Relation.number ~order:spec.Plan.num_order
+      ~partition:spec.Plan.num_partition ~result:spec.Plan.num_result
+      (eval t env q)
+  | Plan.Step (axis, test, col, q) -> eval_step (eval t env q) axis test col
+  | Plan.Id_join (ctx, arg) ->
+    eval_id_join t.registry (eval t env ctx) (eval t env arg)
+  | Plan.Construct (kind, _) ->
+    err "the algebra engine does not construct nodes (ε:%s)" kind
+  | Plan.Template (_, q) -> eval t env q
+  | Plan.Iterate it -> eval t env it.Plan.it_result
+  | Plan.Mu f -> eval_mu t env ~delta:false f
+  | Plan.Mu_delta f -> eval_mu t env ~delta:true f
+
+(* µ (Naïve) and µ∆ (Delta) at the algebra level: Figure 3 lifted to
+   relations. [iter] participates in every tuple, so the fixpoint of
+   all outer iterations advances in lock-step. *)
+and eval_mu t env ~delta (f : Plan.fix) =
+  Stats.start_run t.stats;
+  let seed = Relation.distinct (eval t env f.seed) in
+  let record input out res =
+    Stats.record_iteration t.stats ~fed:(Relation.cardinal input)
+      ~produced:(Relation.cardinal out) ~result_size:(Relation.cardinal res)
+  in
+  let apply input =
+    (* Fresh volatile memo — the Fix_ref binding changed; loop-invariant
+       subplans keep their persistent entries across rounds. *)
+    eval t
+      { env with
+        fix = Imap.add f.fix_id input env.fix;
+        volatile = Phys.create 64;
+        dep_ids = f.fix_id :: env.dep_ids }
+      f.body
+  in
+  let first = apply seed in
+  let res0 = Relation.distinct first in
+  record seed first res0;
+  if delta then begin
+    let rec loop dl res i =
+      if i > t.max_iterations then err "µ∆ diverged after %d iterations" i;
+      let out = apply dl in
+      let dl' = Relation.difference (Relation.distinct out) res in
+      let res' = Relation.union res dl' in
+      record dl out res';
+      if Relation.cardinal dl' = 0 then res' else loop dl' res' (i + 1)
+    in
+    loop res0 res0 1
+  end
+  else begin
+    let rec loop res i =
+      if i > t.max_iterations then err "µ diverged after %d iterations" i;
+      let out = apply res in
+      let next = Relation.distinct (Relation.union out res) in
+      record res out next;
+      if Relation.cardinal next = Relation.cardinal res then next
+      else loop next (i + 1)
+    in
+    loop res0 1
+  end
+
+type session = Relation.t Phys.t
+
+let new_session () : session = Phys.create 64
+
+let run_with t ?session bindings p =
+  let fix =
+    List.fold_left (fun m (id, rel) -> Imap.add id rel m) Imap.empty bindings
+  in
+  let run = match session with Some s -> s | None -> new_session () in
+  eval t
+    { fix; volatile = Phys.create 64; run;
+      dep_ids = []; run_ids = List.map fst bindings }
+    p
+
+let run t p = run_with t [] p

@@ -1,0 +1,215 @@
+type t = { schema : string list; rows : Value.t array list }
+
+let schema t = t.schema
+let rows t = t.rows
+let cardinal t = List.length t.rows
+
+let create schema rows =
+  let n = List.length schema in
+  List.iter
+    (fun r ->
+      if Array.length r <> n then
+        invalid_arg
+          (Printf.sprintf "Relation.create: row width %d, schema width %d"
+             (Array.length r) n))
+    rows;
+  { schema; rows }
+
+let empty schema = { schema; rows = [] }
+
+let column_index t c =
+  let rec go i = function
+    | [] -> invalid_arg (Printf.sprintf "Relation: unknown column %S" c)
+    | x :: rest -> if String.equal x c then i else go (i + 1) rest
+  in
+  go 0 t.schema
+
+let get t row c = row.(column_index t c)
+
+let project renames t =
+  let idx = List.map (fun (_, old) -> column_index t old) renames in
+  { schema = List.map fst renames;
+    rows =
+      List.map (fun r -> Array.of_list (List.map (fun i -> r.(i)) idx)) t.rows
+  }
+
+let select p t = { t with rows = List.filter p t.rows }
+
+let map_rows f schema t = { schema; rows = List.map f t.rows }
+
+let append_column name f t =
+  { schema = t.schema @ [ name ];
+    rows = List.map (fun r -> Array.append r [| f r |]) t.rows }
+
+let row_key r = Array.to_list (Array.map Value.key r)
+
+let distinct t =
+  let seen = Hashtbl.create (max 16 (List.length t.rows)) in
+  let rows =
+    List.filter
+      (fun r ->
+        let k = row_key r in
+        if Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.replace seen k ();
+          true
+        end)
+      t.rows
+  in
+  { t with rows }
+
+let union a b =
+  if List.sort compare a.schema <> List.sort compare b.schema then
+    invalid_arg "Relation.union: incompatible schemas";
+  let b' =
+    if a.schema = b.schema then b
+    else project (List.map (fun c -> (c, c)) a.schema) b
+  in
+  { schema = a.schema; rows = a.rows @ b'.rows }
+
+let difference a b =
+  if List.sort compare a.schema <> List.sort compare b.schema then
+    invalid_arg "Relation.difference: incompatible schemas";
+  let b' =
+    if a.schema = b.schema then b
+    else project (List.map (fun c -> (c, c)) a.schema) b
+  in
+  let counts = Hashtbl.create (max 16 (List.length b'.rows)) in
+  List.iter
+    (fun r ->
+      let k = row_key r in
+      Hashtbl.replace counts k
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+    b'.rows;
+  let rows =
+    List.filter
+      (fun r ->
+        let k = row_key r in
+        match Hashtbl.find_opt counts k with
+        | Some n when n > 0 ->
+          Hashtbl.replace counts k (n - 1);
+          false
+        | _ -> true)
+      a.rows
+  in
+  { schema = a.schema; rows }
+
+let rename_clashes left_schema right_schema =
+  List.map
+    (fun c -> if List.mem c left_schema then c ^ "'" else c)
+    right_schema
+
+let equi_join ?extra keys l r =
+  let lidx = List.map (fun (lc, _) -> column_index l lc) keys in
+  let ridx = List.map (fun (_, rc) -> column_index r rc) keys in
+  (* Hash the right side on its key columns. *)
+  let tbl = Hashtbl.create (max 16 (List.length r.rows)) in
+  let key_of row idx = List.map (fun i -> Value.key row.(i)) idx in
+  List.iter
+    (fun row -> Hashtbl.add tbl (key_of row ridx) row)
+    (List.rev r.rows);
+  let out_schema = l.schema @ rename_clashes l.schema r.schema in
+  let rows =
+    List.concat_map
+      (fun lrow ->
+        let matches = Hashtbl.find_all tbl (key_of lrow lidx) in
+        List.filter_map
+          (fun rrow ->
+            let keep =
+              match extra with None -> true | Some f -> f lrow rrow
+            in
+            if keep then Some (Array.append lrow rrow) else None)
+          matches)
+      l.rows
+  in
+  { schema = out_schema; rows }
+
+let cross l r =
+  let out_schema = l.schema @ rename_clashes l.schema r.schema in
+  { schema = out_schema;
+    rows =
+      List.concat_map
+        (fun lrow -> List.map (fun rrow -> Array.append lrow rrow) r.rows)
+        l.rows }
+
+let group_count ~partition ~result t =
+  match partition with
+  | None ->
+    { schema = [ result ];
+      rows = [ [| Value.Int (List.length t.rows) |] ] }
+  | Some part ->
+    let pi = column_index t part in
+    let counts = Hashtbl.create 64 in
+    let order = ref [] in
+    List.iter
+      (fun r ->
+        let k = Value.key r.(pi) in
+        (match Hashtbl.find_opt counts k with
+        | None ->
+          order := (k, r.(pi)) :: !order;
+          Hashtbl.replace counts k 1
+        | Some n -> Hashtbl.replace counts k (n + 1)))
+      t.rows;
+    { schema = [ part; result ];
+      rows =
+        List.rev_map
+          (fun (k, v) -> [| v; Value.Int (Hashtbl.find counts k) |])
+          !order }
+
+let sort_by cols t =
+  let idx = List.map (column_index t) cols in
+  let cmp a b =
+    let rec go = function
+      | [] -> 0
+      | i :: rest ->
+        let c = Value.compare a.(i) b.(i) in
+        if c <> 0 then c else go rest
+    in
+    go idx
+  in
+  { t with rows = List.stable_sort cmp t.rows }
+
+let number ~order ~partition ~result t =
+  let sorted =
+    sort_by (match partition with None -> order | Some p -> p :: order) t
+  in
+  let pi = Option.map (column_index t) partition in
+  let rows =
+    let rank = ref 0 in
+    let current = ref None in
+    List.map
+      (fun r ->
+        (match pi with
+        | None -> incr rank
+        | Some i ->
+          let key = r.(i) in
+          (match !current with
+          | Some k when Value.equal k key -> incr rank
+          | _ ->
+            current := Some key;
+            rank := 1));
+        Array.append r [| Value.Int !rank |])
+      sorted.rows
+  in
+  { schema = t.schema @ [ result ]; rows }
+
+let tag_counter = ref 0
+
+let tag ~result t =
+  { schema = t.schema @ [ result ];
+    rows =
+      List.map
+        (fun r ->
+          incr tag_counter;
+          Array.append r [| Value.Int !tag_counter |])
+        t.rows }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s@," (String.concat " | " t.schema);
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%s@,"
+        (String.concat " | "
+           (Array.to_list (Array.map (Format.asprintf "%a" Value.pp) r))))
+    t.rows;
+  Format.fprintf ppf "@]"

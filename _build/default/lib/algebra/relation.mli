@@ -1,0 +1,73 @@
+(** In-memory relations with named columns.
+
+    The algebra evaluates over flat 1NF tables; XQuery item sequences
+    are encoded as [iter|item] tables ([pos] is dropped: the fixpoint
+    operators and the distributivity machinery work modulo duplicates
+    and order — Definition 3.1 — and the engine re-establishes document
+    order when materializing results). *)
+
+type t
+
+val schema : t -> string list
+val rows : t -> Value.t array list
+val cardinal : t -> int
+
+(** [create schema rows]: every row must have [List.length schema]
+    cells. *)
+val create : string list -> Value.t array list -> t
+
+val empty : string list -> t
+
+(** Column index; raises [Invalid_argument] for unknown columns. *)
+val column_index : t -> string -> int
+
+val get : t -> Value.t array -> string -> Value.t
+
+(** [project renames t] keeps/renames columns: [(new_name, old_name)]
+    pairs, in order. *)
+val project : (string * string) list -> t -> t
+
+val select : (Value.t array -> bool) -> t -> t
+val map_rows : (Value.t array -> Value.t array) -> string list -> t -> t
+val append_column : string -> (Value.t array -> Value.t) -> t -> t
+
+(** Set-style distinct over all columns. *)
+val distinct : t -> t
+
+(** Union of compatible relations (bag union; schemas must have equal
+    column lists, possibly reordered — the right side is permuted). *)
+val union : t -> t -> t
+
+(** Bag difference on all columns ([EXCEPT ALL]-style: removes every
+    matching occurrence). *)
+val difference : t -> t -> t
+
+(** [equi_join keys l r] joins on [(lcol, rcol)] equality pairs;
+    right-side key columns are dropped when they share a name with a
+    left column? No — all columns of both sides are kept, right-side
+    columns that clash with left names get a ["'"] suffix. Use
+    [project] to clean up. *)
+val equi_join :
+  ?extra:(Value.t array -> Value.t array -> bool) ->
+  (string * string) list ->
+  t ->
+  t ->
+  t
+
+val cross : t -> t -> t
+
+(** [group_count ~partition ~result t]: number of rows per value of the
+    [partition] column (the whole table when [partition] is [None]).
+    Result schema: partition column (if any) followed by [result]. *)
+val group_count : partition:string option -> result:string -> t -> t
+
+(** [number ~order ~partition ~result t] appends 1-based ranks ordered
+    by the [order] columns within each [partition] group. *)
+val number :
+  order:string list -> partition:string option -> result:string -> t -> t
+
+(** Append a column of unique integer tags. *)
+val tag : result:string -> t -> t
+
+val sort_by : string list -> t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,48 @@
+let to_ascii plan =
+  let buf = Buffer.create 256 in
+  let rec go prefix child_prefix p =
+    Buffer.add_string buf prefix;
+    Buffer.add_string buf (Plan.op_symbol p);
+    Buffer.add_char buf '\n';
+    let kids = Plan.children p in
+    let n = List.length kids in
+    List.iteri
+      (fun i k ->
+        if i = n - 1 then
+          go (child_prefix ^ "└─ ") (child_prefix ^ "   ") k
+        else go (child_prefix ^ "├─ ") (child_prefix ^ "│  ") k)
+      kids
+  in
+  go "" "" plan;
+  Buffer.contents buf
+
+let to_dot plan =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph plan {\n  node [shape=box, fontname=\"monospace\"];\n";
+  let counter = ref 0 in
+  let rec go p =
+    incr counter;
+    let my_id = !counter in
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [label=\"%s\"];\n" my_id
+         (String.concat "\\\""
+            (String.split_on_char '"' (Plan.op_symbol p))));
+    List.iter
+      (fun k ->
+        let kid_id = go k in
+        Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" my_id kid_id))
+      (Plan.children p);
+    my_id
+  in
+  ignore (go plan);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let summary plan =
+  let rec count p =
+    1 + List.fold_left (fun acc k -> acc + count k) 0 (Plan.children p)
+  in
+  let rec depth p =
+    1 + List.fold_left (fun acc k -> max acc (depth k)) 0 (Plan.children p)
+  in
+  Printf.sprintf "%d operators, depth %d" (count plan) (depth plan)

@@ -1,0 +1,11 @@
+(** Plan rendering: ASCII trees (for terminal output à la Figure 9) and
+    Graphviz dot. *)
+
+(** ASCII tree, root at top. *)
+val to_ascii : Plan.t -> string
+
+(** Graphviz [digraph]. *)
+val to_dot : Plan.t -> string
+
+(** One-line summary: operator count and depth. *)
+val summary : Plan.t -> string

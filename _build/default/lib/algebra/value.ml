@@ -1,0 +1,66 @@
+module Atom = Fixq_xdm.Atom
+module Node = Fixq_xdm.Node
+
+type t =
+  | Int of int
+  | Dbl of float
+  | Str of string
+  | Bool of bool
+  | Nd of Node.t
+
+let kind_rank = function
+  | Int _ -> 0
+  | Dbl _ -> 1
+  | Str _ -> 2
+  | Bool _ -> 3
+  | Nd _ -> 4
+
+let compare a b =
+  match (a, b) with
+  | (Int x, Int y) -> Int.compare x y
+  | (Dbl x, Dbl y) -> Float.compare x y
+  | (Str x, Str y) -> String.compare x y
+  | (Bool x, Bool y) -> Bool.compare x y
+  | (Nd x, Nd y) -> Node.compare_doc_order x y
+  | _ -> Int.compare (kind_rank a) (kind_rank b)
+
+let equal a b = compare a b = 0
+
+let of_atom = function
+  | Atom.Int i -> Int i
+  | Atom.Dbl f -> Dbl f
+  | Atom.Str s -> Str s
+  | Atom.Bool b -> Bool b
+
+let to_atom = function
+  | Int i -> Atom.Int i
+  | Dbl f -> Atom.Dbl f
+  | Str s -> Atom.Str s
+  | Bool b -> Atom.Bool b
+  | Nd n -> Atom.Str (Node.string_value n)
+
+let compare_value a b = Atom.compare_value (to_atom a) (to_atom b)
+
+let as_node who = function
+  | Nd n -> n
+  | _ -> Atom.type_error "%s: expected a node cell" who
+
+let to_bool = function
+  | Bool b -> b
+  | v -> Atom.to_bool (to_atom v)
+
+type key = KI of int | KF of float | KS of string | KB of bool | KN of int
+
+let key = function
+  | Int i -> KI i
+  | Dbl f -> KF f
+  | Str s -> KS s
+  | Bool b -> KB b
+  | Nd n -> KN n.Node.id
+
+let pp ppf = function
+  | Int i -> Format.pp_print_int ppf i
+  | Dbl f -> Format.pp_print_float ppf f
+  | Str s -> Format.fprintf ppf "%S" s
+  | Bool b -> Format.pp_print_bool ppf b
+  | Nd n -> Node.pp ppf n

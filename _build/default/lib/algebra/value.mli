@@ -1,0 +1,40 @@
+(** Cell values of the relational XQuery encoding.
+
+    Following the Pathfinder scheme, the [item] column of an
+    [iter|pos|item] table carries either an atomic value or a node
+    reference; nodes are referenced by their {!Fixq_xdm.Node.t}
+    back-pointer (a surrogate for Pathfinder's pre ranks — document
+    order and identity are preserved by the node's id). *)
+
+type t =
+  | Int of int
+  | Dbl of float
+  | Str of string
+  | Bool of bool
+  | Nd of Fixq_xdm.Node.t
+
+(** Total order: used for sorting, grouping and join keys. Nodes order
+    by document order; across kinds an arbitrary but fixed kind order
+    applies. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+(** Value comparison with numeric promotion (general comparison
+    semantics); raises [Fixq_xdm.Atom.Type_error] on incomparable
+    kinds. *)
+val compare_value : t -> t -> int
+
+val of_atom : Fixq_xdm.Atom.t -> t
+
+(** Atomic view; a node becomes its (untyped) string value. *)
+val to_atom : t -> Fixq_xdm.Atom.t
+
+val as_node : string -> t -> Fixq_xdm.Node.t
+val to_bool : t -> bool
+
+(** Hashable/structurally-comparable key form (nodes by identity). *)
+type key = KI of int | KF of float | KS of string | KB of bool | KN of int
+
+val key : t -> key
+val pp : Format.formatter -> t -> unit

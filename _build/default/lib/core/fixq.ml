@@ -1,0 +1,314 @@
+module Xdm = Fixq_xdm
+module Lang = Fixq_lang
+module Algebra_ir = Fixq_algebra
+module Store = Fixq_store
+
+module Item = Xdm.Item
+module Eval = Lang.Eval
+module Stats = Lang.Stats
+module Compile = Algebra_ir.Compile
+module Plan = Algebra_ir.Plan
+module Plan_eval = Algebra_ir.Plan_eval
+module Push = Algebra_ir.Push
+module Optimize = Algebra_ir.Optimize
+
+type mode = Naive | Delta | Auto
+
+type engine = Interpreter of mode | Algebra of mode
+
+type report = {
+  result : Item.seq;
+  engine : engine;
+  used_delta : bool option;
+  nodes_fed : int;
+  depth : int;
+  wall_ms : float;
+  fallbacks : string list;
+}
+
+exception Error of string
+
+let strategy_of_mode = function
+  | Naive -> Eval.Naive
+  | Delta -> Eval.Delta
+  | Auto -> Eval.Auto
+
+let now_ms () = Unix.gettimeofday () *. 1000.0
+
+(* The hybrid algebraic engine: the interpreter drives the query, every
+   IFP site is compiled once (plans are cached per body expression and
+   carry rebindable leaves for the scope variables) and executed as a
+   µ/µ∆ plan on a shared plan evaluator, so loop-invariant relations
+   persist across the many fixpoints of a query like the bidder
+   network. *)
+module Expr_tbl = Hashtbl.Make (struct
+  type t = Lang.Ast.expr
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+type compiled_site = {
+  cs : Compile.compiled;
+  used_refs : (string * int) list;
+      (** binding refs that actually occur in the plan *)
+  push_distributive : bool;
+  mutable session : (Xdm.Item.seq list * Plan_eval.session) option;
+      (** last used-binding values (physical) and the session memo *)
+}
+
+let install_algebra_handler ~registry ~max_iterations ~stratified ~mode
+    ~fallbacks ~used_delta ev =
+  let pe =
+    Plan_eval.create ~registry ~max_iterations ~stats:(Eval.stats ev) ()
+  in
+  let cache : compiled_site Expr_tbl.t = Expr_tbl.create 8 in
+  let failed : string Expr_tbl.t = Expr_tbl.create 8 in
+  Eval.set_ifp_handler ev
+    (Some
+       (fun (site : Eval.ifp_site) ->
+         if
+           (* Definition 2.1 restricts IFP to node()*; decline atom
+              seeds so both engines raise the same dynamic error *)
+           List.exists
+             (function Xdm.Item.A _ -> true | Xdm.Item.N _ -> false)
+             site.Eval.ifp_seed
+         then None
+         else if Expr_tbl.mem failed site.Eval.ifp_body then None
+         else
+           let compiled =
+             match Expr_tbl.find_opt cache site.Eval.ifp_body with
+             | Some c -> Some c
+             | None -> (
+               let names =
+                 List.map fst site.Eval.ifp_bindings
+                 @ (if site.Eval.ifp_context <> None then [ "." ] else [])
+               in
+               match
+                 Compile.body ~functions:(Eval.functions ev)
+                   ~recursion_var:site.Eval.ifp_var ~bindings:names
+                   site.Eval.ifp_body
+               with
+               | exception Compile.Unsupported reason ->
+                 fallbacks := reason :: !fallbacks;
+                 Expr_tbl.replace failed site.Eval.ifp_body reason;
+                 None
+               | cs ->
+                 let cs =
+                   { cs with Compile.body = Optimize.optimize cs.Compile.body }
+                 in
+                 let push_distributive =
+                   (Push.check ~stratified ~fix_id:cs.Compile.fix_id
+                      cs.Compile.body)
+                     .Push.distributive
+                 in
+                 let used_refs =
+                   List.filter
+                     (fun (_, id) -> Plan.contains_fix_ref id cs.Compile.body)
+                     cs.Compile.binding_refs
+                 in
+                 let c = { cs; used_refs; push_distributive; session = None } in
+                 Expr_tbl.replace cache site.Eval.ifp_body c;
+                 Some c)
+           in
+           match compiled with
+           | None -> None
+           | Some c ->
+             let use_delta =
+               match mode with
+               | Naive -> false
+               | Delta -> true
+               | Auto -> c.push_distributive
+             in
+             used_delta := Some use_delta;
+             let fix =
+               { Plan.fix_id = c.cs.Compile.fix_id;
+                 seed = Compile.seed_table site.Eval.ifp_seed;
+                 body = c.cs.Compile.body }
+             in
+             let plan = if use_delta then Plan.Mu_delta fix else Plan.Mu fix in
+             let value_of (name, _) =
+               if String.equal name "." then
+                 match site.Eval.ifp_context with
+                 | Some it -> [ it ]
+                 | None -> []
+               else
+                 Option.value ~default:[]
+                   (List.assoc_opt name site.Eval.ifp_bindings)
+             in
+             let values = List.map value_of c.used_refs in
+             let bindings =
+               List.map2
+                 (fun (_, id) items -> (id, Compile.items_relation items))
+                 c.used_refs values
+             in
+             let session =
+               match c.session with
+               | Some (prev, s)
+                 when List.length prev = List.length values
+                      && List.for_all2 ( == ) prev values ->
+                 s
+               | _ ->
+                 let s = Plan_eval.new_session () in
+                 c.session <- Some (values, s);
+                 s
+             in
+             let rel = Plan_eval.run_with pe ~session bindings plan in
+             Some (Compile.result_items rel)))
+
+let run_program ?(registry = Xdm.Doc_registry.default)
+    ?(max_iterations = 1_000_000) ?(stratified = false) ~engine p =
+  let fallbacks = ref [] in
+  let used_delta = ref None in
+  let ev =
+    match engine with
+    | Interpreter mode ->
+      Eval.create ~registry ~max_iterations ~stratified
+        ~strategy:(strategy_of_mode mode) ()
+    | Algebra mode ->
+      let ev =
+        (* Interpreter strategy doubles as the fallback policy. *)
+        Eval.create ~registry ~max_iterations ~stratified
+          ~strategy:(strategy_of_mode mode) ()
+      in
+      install_algebra_handler ~registry ~max_iterations ~stratified ~mode
+        ~fallbacks ~used_delta ev;
+      ev
+  in
+  let t0 = now_ms () in
+  let result =
+    try Eval.run_program ev p with
+    | Eval.Error m | Lang.Builtins.Error m | Plan_eval.Error m ->
+      raise (Error m)
+    | Lang.Fixpoint.Diverged n ->
+      raise (Error (Printf.sprintf "IFP diverged after %d iterations" n))
+    | Xdm.Atom.Type_error m -> raise (Error ("type error: " ^ m))
+  in
+  let wall_ms = now_ms () -. t0 in
+  let stats = Eval.stats ev in
+  let used_delta =
+    match engine with
+    | Interpreter _ -> Eval.last_ifp_used_delta ev
+    | Algebra _ -> (
+      match !used_delta with
+      | Some d -> Some d
+      | None -> Eval.last_ifp_used_delta ev)
+  in
+  { result; engine; used_delta; nodes_fed = Stats.nodes_fed stats;
+    depth = Stats.depth stats; wall_ms; fallbacks = List.rev !fallbacks }
+
+let parse src =
+  try Lang.Parser.parse_program src with
+  | Lang.Parser.Error { line; col; msg } ->
+    raise (Error (Printf.sprintf "parse error at %d:%d: %s" line col msg))
+  | Lang.Lexer.Error { pos; msg } ->
+    raise (Error (Printf.sprintf "lex error at offset %d: %s" pos msg))
+
+let run ?registry ?max_iterations ?stratified ~engine src =
+  run_program ?registry ?max_iterations ?stratified ~engine (parse src)
+
+(* Capture the compiled plan of the first IFP encountered dynamically:
+   install a one-shot capturing handler, then run the program on the
+   interpreter (the handler declines, so evaluation completes). *)
+let plan_of_first_ifp ?(registry = Xdm.Doc_registry.default) p =
+  let captured = ref None in
+  let ev = Eval.create ~registry ~strategy:Eval.Naive () in
+  Eval.set_ifp_handler ev
+    (Some
+       (fun (site : Eval.ifp_site) ->
+         (if !captured = None then
+            match
+              Compile.body ~functions:(Eval.functions ev)
+                ~recursion_var:site.Eval.ifp_var
+                ~bindings:
+                  (List.map fst site.Eval.ifp_bindings
+                  @ if site.Eval.ifp_context <> None then [ "." ] else [])
+                site.Eval.ifp_body
+            with
+            | exception Compile.Unsupported _ -> ()
+            | { Compile.fix_id; body; _ } -> captured := Some (fix_id, body));
+         None));
+  (try ignore (Eval.run_program ev p) with _ -> ());
+  !captured
+
+let first_ifp_body (p : Lang.Ast.program) =
+  let found = ref None in
+  let scan e =
+    let rec go e =
+      match (e : Lang.Ast.expr) with
+      | Lang.Ast.Ifp { var; body; _ } when !found = None ->
+        found := Some (var, body)
+      | _ ->
+        List.iter go
+          (match (e : Lang.Ast.expr) with
+          | Lang.Ast.Sequence (a, b)
+          | Lang.Ast.Union (a, b)
+          | Lang.Ast.Except (a, b)
+          | Lang.Ast.Intersect (a, b)
+          | Lang.Ast.Path (a, b)
+          | Lang.Ast.Filter (a, b)
+          | Lang.Ast.Arith (_, a, b)
+          | Lang.Ast.Gen_cmp (_, a, b)
+          | Lang.Ast.Val_cmp (_, a, b)
+          | Lang.Ast.Node_is (a, b)
+          | Lang.Ast.Node_before (a, b)
+          | Lang.Ast.Node_after (a, b)
+          | Lang.Ast.And (a, b)
+          | Lang.Ast.Or (a, b)
+          | Lang.Ast.Range (a, b) ->
+            [ a; b ]
+          | Lang.Ast.Neg a
+          | Lang.Ast.Text_constr a
+          | Lang.Ast.Attr_constr (_, a)
+          | Lang.Ast.Comment_constr a
+          | Lang.Ast.Doc_constr a
+          | Lang.Ast.Comp_elem (_, a)
+          | Lang.Ast.Instance_of (a, _)
+          | Lang.Ast.Cast (a, _, _)
+          | Lang.Ast.Castable (a, _, _) ->
+            [ a ]
+          | Lang.Ast.For { source; body; _ } -> [ source; body ]
+          | Lang.Ast.Sort { source; key; body; _ } -> [ source; key; body ]
+          | Lang.Ast.Let { value; body; _ } -> [ value; body ]
+          | Lang.Ast.If (a, b, c) -> [ a; b; c ]
+          | Lang.Ast.Quantified (_, _, a, b) -> [ a; b ]
+          | Lang.Ast.Call (_, args) -> args
+          | Lang.Ast.Elem_constr (_, attrs, content) ->
+            List.concat_map
+              (fun (_, pieces) ->
+                List.filter_map
+                  (function
+                    | Lang.Ast.A_lit _ -> None
+                    | Lang.Ast.A_expr e -> Some e)
+                  pieces)
+              attrs
+            @ content
+          | Lang.Ast.Typeswitch (s, cases, _, d) ->
+            (s :: List.map (fun (_, _, b) -> b) cases) @ [ d ]
+          | Lang.Ast.Ifp { seed; body; _ } -> [ seed; body ]
+          | Lang.Ast.Literal _ | Lang.Ast.Empty_seq | Lang.Ast.Var _
+          | Lang.Ast.Context_item | Lang.Ast.Root | Lang.Ast.Axis_step _ ->
+            [])
+    in
+    go e
+  in
+  scan p.Lang.Ast.main;
+  List.iter (fun fd -> scan fd.Lang.Ast.body) p.Lang.Ast.functions;
+  !found
+
+let distributivity_verdicts ?registry p =
+  match first_ifp_body p with
+  | None -> None
+  | Some (var, body) ->
+    let functions = Hashtbl.create 16 in
+    List.iter
+      (fun fd -> Hashtbl.replace functions fd.Lang.Ast.fname fd)
+      p.Lang.Ast.functions;
+    let syntactic = Lang.Distributivity.check ~functions var body in
+    let algebraic =
+      match plan_of_first_ifp ?registry p with
+      | None -> None
+      | Some (fix_id, plan) ->
+        Some (Push.check ~fix_id plan).Push.distributive
+    in
+    Some (syntactic, algebraic)

@@ -1,0 +1,90 @@
+(** [fixq] — an inflationary fixed point operator for XQuery.
+
+    This is the public entry point of the reproduction of Afanasiev,
+    Grust, Marx, Rittinger, Teubner: {e An Inflationary Fixed Point
+    Operator in XQuery} (ICDE 2008). It runs queries of the extended
+    XQuery subset (including [with $x seeded by … recurse …]) on two
+    engines:
+
+    - {!Interpreter}: a conventional tree-walking processor (the Saxon
+      stand-in). Its [Auto] strategy applies the {e syntactic}
+      distributivity check (Figure 5) to trade Naïve for Delta.
+    - {!Algebra}: the Relational-XQuery hybrid (the MonetDB/XQuery
+      stand-in). Each IFP body is compiled to a Table-1 algebra plan;
+      the {e algebraic} ∪ push-up (Section 4.1) decides between the µ
+      and µ∆ fixpoint operators; evaluation runs over [iter|item]
+      relations with staircase-join steps. Bodies outside the
+      compilable subset fall back to the interpreter.
+
+    Re-exported substrate libraries: {!Xdm} (data model), {!Lang}
+    (language), {!Algebra_ir} (plans), {!Store} (pre/size/level
+    encoding). *)
+
+module Xdm = Fixq_xdm
+module Lang = Fixq_lang
+module Algebra_ir = Fixq_algebra
+module Store = Fixq_store
+
+(** Fixpoint algorithm selection for either engine. *)
+type mode =
+  | Naive  (** always Figure 3(a) / µ *)
+  | Delta  (** always Figure 3(b) / µ∆ — unsound if non-distributive *)
+  | Auto  (** Delta when the engine's distributivity check succeeds *)
+
+type engine = Interpreter of mode | Algebra of mode
+
+(** Outcome of a query run, with the instrumentation that Table 2
+    reports. *)
+type report = {
+  result : Xdm.Item.seq;
+  engine : engine;
+  used_delta : bool option;  (** [None] if the query had no IFP *)
+  nodes_fed : int;  (** total nodes fed into recursion bodies *)
+  depth : int;  (** recursion depth (IFP iterations) *)
+  wall_ms : float;
+  fallbacks : string list;
+      (** algebra-engine IFP sites that fell back to the interpreter,
+          with reasons *)
+}
+
+exception Error of string
+
+(** Compile-and-run a query string. [max_iterations] bounds every IFP
+    (default 1,000,000); exceeding it raises {!Error} — relevant for
+    bodies with node constructors, whose fixed points may be undefined
+    (Definition 2.1). [stratified] (default [false]) extends both
+    [Auto] distributivity checks with the Section-6
+    stratified-difference rule ([$x except R] with fixed [R]). *)
+val run :
+  ?registry:Xdm.Doc_registry.t ->
+  ?max_iterations:int ->
+  ?stratified:bool ->
+  engine:engine ->
+  string ->
+  report
+
+(** Run an already-parsed program. *)
+val run_program :
+  ?registry:Xdm.Doc_registry.t ->
+  ?max_iterations:int ->
+  ?stratified:bool ->
+  engine:engine ->
+  Lang.Ast.program ->
+  report
+
+(** Both distributivity verdicts for the body of the {e first} IFP in
+    the program: [(syntactic, algebraic)]. The algebraic verdict is
+    [None] when the body is outside the compilable subset. *)
+val distributivity_verdicts :
+  ?registry:Xdm.Doc_registry.t ->
+  Lang.Ast.program ->
+  (bool * bool option) option
+
+(** Compile the first IFP body of a program to its algebra plan (for
+    plan inspection à la Figure 9). Returns the fix-ref id and plan.
+    Free variables and context of the body are materialized by
+    evaluating the surrounding program as far as needed. *)
+val plan_of_first_ifp :
+  ?registry:Xdm.Doc_registry.t ->
+  Lang.Ast.program ->
+  (int * Algebra_ir.Plan.t) option

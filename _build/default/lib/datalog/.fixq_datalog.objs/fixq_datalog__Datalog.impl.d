@@ -1,0 +1,1 @@
+lib/datalog/datalog.ml: Format Hashtbl List Option Set String

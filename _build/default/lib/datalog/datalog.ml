@@ -1,0 +1,445 @@
+type term = Var of string | Sym of string | Num of int
+
+type literal = { polarity : bool; pred : string; args : term list }
+
+type rule = { head : literal; body : literal list }
+
+type program = { rules : rule list; query : literal option }
+
+exception Error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let pp_term ppf = function
+  | Var v -> Format.pp_print_string ppf v
+  | Sym s -> Format.pp_print_string ppf s
+  | Num n -> Format.pp_print_int ppf n
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type token = Tname of string | Tvar of string | Tnum of int
+           | Tlp | Trp | Tcomma | Tdot | Tarrow | Tnot | Tquery
+
+let tokenize src =
+  let toks = ref [] in
+  let n = String.length src in
+  let i = ref 0 in
+  let lower c = c >= 'a' && c <= 'z' in
+  let upper c = (c >= 'A' && c <= 'Z') || c = '_' in
+  let wordc c =
+    lower c || upper c || (c >= '0' && c <= '9') || c = '_' || c = '-'
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '%' then
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    else if c = '(' then (toks := Tlp :: !toks; incr i)
+    else if c = ')' then (toks := Trp :: !toks; incr i)
+    else if c = ',' then (toks := Tcomma :: !toks; incr i)
+    else if c = '.' then (toks := Tdot :: !toks; incr i)
+    else if c = ':' && !i + 1 < n && src.[!i + 1] = '-' then begin
+      toks := Tarrow :: !toks;
+      i := !i + 2
+    end
+    else if c = '?' && !i + 1 < n && src.[!i + 1] = '-' then begin
+      toks := Tquery :: !toks;
+      i := !i + 2
+    end
+    else if c >= '0' && c <= '9' then begin
+      let start = !i in
+      while !i < n && src.[!i] >= '0' && src.[!i] <= '9' do
+        incr i
+      done;
+      toks := Tnum (int_of_string (String.sub src start (!i - start))) :: !toks
+    end
+    else if lower c || upper c then begin
+      let start = !i in
+      while !i < n && wordc src.[!i] do
+        incr i
+      done;
+      let word = String.sub src start (!i - start) in
+      if word = "not" then toks := Tnot :: !toks
+      else if upper c then toks := Tvar word :: !toks
+      else toks := Tname word :: !toks
+    end
+    else err "unexpected character %C at offset %d" c !i
+  done;
+  List.rev !toks
+
+let parse src =
+  let toks = ref (tokenize src) in
+  let peek () = match !toks with [] -> None | t :: _ -> Some t in
+  let advance () = match !toks with [] -> () | _ :: r -> toks := r in
+  let expect t what =
+    match peek () with
+    | Some u when u = t -> advance ()
+    | _ -> err "expected %s" what
+  in
+  let parse_term () =
+    match peek () with
+    | Some (Tvar v) ->
+      advance ();
+      Var v
+    | Some (Tname s) ->
+      advance ();
+      Sym s
+    | Some (Tnum k) ->
+      advance ();
+      Num k
+    | _ -> err "expected a term"
+  in
+  let parse_literal () =
+    let polarity =
+      match peek () with
+      | Some Tnot ->
+        advance ();
+        false
+      | _ -> true
+    in
+    match peek () with
+    | Some (Tname pred) ->
+      advance ();
+      expect Tlp "'('";
+      let rec args acc =
+        let t = parse_term () in
+        match peek () with
+        | Some Tcomma ->
+          advance ();
+          args (t :: acc)
+        | _ ->
+          expect Trp "')'";
+          List.rev (t :: acc)
+      in
+      { polarity; pred; args = args [] }
+    | _ -> err "expected a predicate"
+  in
+  let rules = ref [] in
+  let query = ref None in
+  let rec clauses () =
+    match peek () with
+    | None -> ()
+    | Some Tquery ->
+      advance ();
+      let l = parse_literal () in
+      if not l.polarity then err "queries must be positive";
+      if !query <> None then err "at most one query";
+      query := Some l;
+      expect Tdot "'.'";
+      clauses ()
+    | Some _ ->
+      let head = parse_literal () in
+      if not head.polarity then err "rule heads must be positive";
+      let body =
+        match peek () with
+        | Some Tarrow ->
+          advance ();
+          let rec lits acc =
+            let l = parse_literal () in
+            match peek () with
+            | Some Tcomma ->
+              advance ();
+              lits (l :: acc)
+            | _ -> List.rev (l :: acc)
+          in
+          lits []
+        | _ -> []
+      in
+      expect Tdot "'.'";
+      rules := { head; body } :: !rules;
+      clauses ()
+  in
+  clauses ();
+  { rules = List.rev !rules; query = !query }
+
+(* ------------------------------------------------------------------ *)
+(* Static checks                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let vars_of args =
+  List.filter_map (function Var v -> Some v | _ -> None) args
+
+let check_safety (p : program) =
+  List.iter
+    (fun r ->
+      let positive_vars =
+        List.concat_map
+          (fun l -> if l.polarity then vars_of l.args else [])
+          r.body
+      in
+      List.iter
+        (fun v ->
+          if not (List.mem v positive_vars) then
+            err
+              "unsafe rule for %s: variable %s does not occur in a \
+               positive body literal"
+              r.head.pred v)
+        (vars_of r.head.args);
+      List.iter
+        (fun l ->
+          if not l.polarity then
+            List.iter
+              (fun v ->
+                if not (List.mem v positive_vars) then
+                  err
+                    "unsafe negation in rule for %s: variable %s is not \
+                     bound positively"
+                    r.head.pred v)
+              (vars_of l.args))
+        r.body)
+    p.rules
+
+(* Stratification by iterated relaxation: stratum(head) ≥ stratum(pos
+   dep), > stratum(neg dep); a stratum exceeding the predicate count
+   witnesses recursion through negation. *)
+let stratum_numbers (p : program) =
+  let preds =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun r -> r.head.pred :: List.map (fun l -> l.pred) r.body)
+         p.rules
+      @ (match p.query with Some q -> [ q.pred ] | None -> []))
+  in
+  let n = List.length preds in
+  let s : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun pr -> Hashtbl.replace s pr 1) preds;
+  let get pr = Option.value ~default:1 (Hashtbl.find_opt s pr) in
+  let changed = ref true in
+  let guard = ref 0 in
+  while !changed do
+    changed := false;
+    incr guard;
+    if !guard > (n * n) + n + 2 then
+      err "the program is not stratifiable (recursion through negation)";
+    List.iter
+      (fun r ->
+        List.iter
+          (fun l ->
+            let need = if l.polarity then get l.pred else get l.pred + 1 in
+            if get r.head.pred < need then begin
+              if need > n + 1 then
+                err
+                  "the program is not stratifiable (recursion through \
+                   negation)";
+              Hashtbl.replace s r.head.pred need;
+              changed := true
+            end)
+          r.body)
+      p.rules
+  done;
+  (preds, s)
+
+let stratify p =
+  let (preds, s) = stratum_numbers p in
+  let max_stratum =
+    List.fold_left (fun acc pr -> max acc (Hashtbl.find s pr)) 1 preds
+  in
+  List.init max_stratum (fun i ->
+      List.filter (fun pr -> Hashtbl.find s pr = i + 1) preds)
+  |> List.filter (fun group -> group <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Tuple_set = Set.Make (struct
+  type t = term list
+
+  let compare = compare
+end)
+
+type db = (string, Tuple_set.t) Hashtbl.t
+
+let db_find (db : db) pred =
+  Option.value ~default:Tuple_set.empty (Hashtbl.find_opt db pred)
+
+let db_add (db : db) pred tuple =
+  Hashtbl.replace db pred (Tuple_set.add tuple (db_find db pred))
+
+(* unification of a literal's argument pattern against a ground tuple *)
+let match_tuple bindings args tuple =
+  let rec go bindings args tuple =
+    match (args, tuple) with
+    | ([], []) -> Some bindings
+    | (Var v :: ra, c :: rt) -> (
+      match List.assoc_opt v bindings with
+      | Some bound -> if bound = c then go bindings ra rt else None
+      | None -> go ((v, c) :: bindings) ra rt)
+    | (a :: ra, c :: rt) -> if a = c then go bindings ra rt else None
+    | _ -> None
+  in
+  if List.length args <> List.length tuple then None
+  else go bindings args tuple
+
+let instantiate bindings args =
+  List.map
+    (fun t ->
+      match t with
+      | Var v -> (
+        match List.assoc_opt v bindings with
+        | Some c -> c
+        | None -> err "internal: unbound variable %s" v)
+      | c -> c)
+    args
+
+type algorithm = Naive | Seminaive
+
+type result = {
+  facts : (string * term list) list;
+  answers : term list list;
+  iterations : int;
+  rows_fed : int;
+}
+
+let run ?(algorithm = Seminaive) (p : program) : result =
+  check_safety p;
+  List.iter
+    (fun r ->
+      if r.body = [] && vars_of r.head.args <> [] then
+        err "facts must be ground: %s" r.head.pred)
+    p.rules;
+  let strata = stratify p in
+  let db : db = Hashtbl.create 32 in
+  let iterations = ref 0 in
+  let rows_fed = ref 0 in
+  (* facts enter the db up-front *)
+  List.iter
+    (fun r -> if r.body = [] then db_add db r.head.pred r.head.args)
+    p.rules;
+  (* Evaluate one rule; [delta] optionally designates one body literal
+     (by physical identity) to draw from the given delta set instead of
+     the full relation — semi-naïve differentiation, one occurrence at
+     a time. [rows_fed] counts tuples enumerated for literals of the
+     current stratum, once per rule evaluation (not per join branch),
+     mirroring Table 2's nodes-fed-back metric. *)
+  let eval_rule ?delta ~stratum r =
+    let out = ref [] in
+    let source_of l =
+      match delta with
+      | Some (dlit, dset) when l == dlit -> dset
+      | _ -> db_find db l.pred
+    in
+    List.iter
+      (fun l ->
+        if l.polarity && List.mem l.pred stratum then
+          rows_fed := !rows_fed + Tuple_set.cardinal (source_of l))
+      r.body;
+    let rec go bindings = function
+      | [] -> out := instantiate bindings r.head.args :: !out
+      | l :: rest when l.polarity ->
+        Tuple_set.iter
+          (fun tuple ->
+            match match_tuple bindings l.args tuple with
+            | Some b -> go b rest
+            | None -> ())
+          (source_of l)
+      | l :: rest ->
+        (* negated: safety guarantees groundness here *)
+        let probe = instantiate bindings l.args in
+        if not (Tuple_set.mem probe (db_find db l.pred)) then go bindings rest
+    in
+    (match delta with
+    | Some (_, dset) when Tuple_set.is_empty dset -> ()
+    | _ -> go [] r.body);
+    !out
+  in
+  List.iter
+    (fun stratum ->
+      let rules =
+        List.filter
+          (fun r -> r.body <> [] && List.mem r.head.pred stratum)
+          p.rules
+      in
+      (* the fed-tuples metric tracks derived (IDB) predicates of this
+         stratum only — the analogue of "nodes fed back" in Table 2 *)
+      let idb = List.map (fun r -> r.head.pred) rules in
+      let stratum = List.filter (fun pr -> List.mem pr idb) stratum in
+      if rules <> [] then begin
+        match algorithm with
+        | Naive ->
+          let rec loop () =
+            incr iterations;
+            let added = ref false in
+            List.iter
+              (fun r ->
+                List.iter
+                  (fun tuple ->
+                    if not (Tuple_set.mem tuple (db_find db r.head.pred))
+                    then begin
+                      db_add db r.head.pred tuple;
+                      added := true
+                    end)
+                  (eval_rule ~stratum r))
+              rules;
+            if !added then loop ()
+          in
+          loop ()
+        | Seminaive ->
+          (* round 0: full evaluation seeds the deltas *)
+          incr iterations;
+          let deltas : db = Hashtbl.create 8 in
+          List.iter
+            (fun r ->
+              List.iter
+                (fun tuple ->
+                  if not (Tuple_set.mem tuple (db_find db r.head.pred))
+                  then begin
+                    db_add db r.head.pred tuple;
+                    db_add deltas r.head.pred tuple
+                  end)
+                (eval_rule ~stratum r))
+            rules;
+          let rec loop deltas =
+            incr iterations;
+            let next : db = Hashtbl.create 8 in
+            let fresh = ref false in
+            List.iter
+              (fun r ->
+                (* differentiate on each recursive-literal occurrence *)
+                List.iter
+                  (fun l ->
+                    if l.polarity && List.mem l.pred stratum then begin
+                      let dset = db_find deltas l.pred in
+                      List.iter
+                        (fun tuple ->
+                          if
+                            not
+                              (Tuple_set.mem tuple (db_find db r.head.pred))
+                          then begin
+                            db_add db r.head.pred tuple;
+                            db_add next r.head.pred tuple;
+                            fresh := true
+                          end)
+                        (eval_rule ~delta:(l, dset) ~stratum r)
+                    end)
+                  r.body)
+              rules;
+            if !fresh then loop next
+          in
+          loop deltas
+      end)
+    strata;
+  let facts =
+    Hashtbl.fold
+      (fun pred set acc ->
+        Tuple_set.fold (fun tuple acc -> (pred, tuple) :: acc) set acc)
+      db []
+    |> List.sort compare
+  in
+  let answers =
+    match p.query with
+    | None -> []
+    | Some q ->
+      Tuple_set.fold
+        (fun tuple acc ->
+          match match_tuple [] q.args tuple with
+          | Some _ -> tuple :: acc
+          | None -> acc)
+        (db_find db q.pred) []
+      |> List.sort compare
+  in
+  { facts; answers; iterations = !iterations; rows_fed = !rows_fed }

@@ -1,0 +1,1 @@
+lib/lang/ast.pp.ml: Fixq_xdm Format Hashtbl List Ppx_deriving_runtime Printf String

@@ -1,0 +1,1 @@
+lib/lang/builtins.pp.ml: Array Buffer Fixq_xdm Float Format Hashtbl List String

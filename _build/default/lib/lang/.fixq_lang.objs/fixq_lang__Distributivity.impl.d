@@ -1,0 +1,1 @@
+lib/lang/distributivity.pp.ml: Array Ast Fixq_xdm Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/lang/distributivity.pp.mli: Ast Hashtbl

@@ -1,0 +1,1 @@
+lib/lang/eval.pp.ml: Ast Builtins Distributivity Fixpoint Fixq_xdm Float Format Hashtbl List Map Option Parser Stats String

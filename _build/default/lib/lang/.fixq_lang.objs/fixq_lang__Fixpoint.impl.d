@@ -1,0 +1,1 @@
+lib/lang/fixpoint.pp.ml: Domain Fixq_xdm List Stats

@@ -1,0 +1,1 @@
+lib/lang/fixpoint.pp.mli: Fixq_xdm Stats

@@ -1,0 +1,1 @@
+lib/lang/parser.pp.ml: Ast Buffer Char Fixq_xdm Format Lexer List String

@@ -1,0 +1,1 @@
+lib/lang/pretty.pp.ml: Ast Buffer Fixq_xdm Float Format List Printf String

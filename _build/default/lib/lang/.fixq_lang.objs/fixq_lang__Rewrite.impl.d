@@ -1,0 +1,1 @@
+lib/lang/rewrite.pp.ml: Ast Hashtbl List Printf

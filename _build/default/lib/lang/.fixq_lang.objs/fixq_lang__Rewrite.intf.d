@@ -1,0 +1,1 @@
+lib/lang/rewrite.pp.mli: Ast

@@ -1,0 +1,1 @@
+lib/lang/static.pp.ml: Ast Builtins Format Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/lang/static.pp.mli: Ast Format

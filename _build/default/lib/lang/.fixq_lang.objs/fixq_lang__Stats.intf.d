@@ -1,0 +1,1 @@
+lib/lang/stats.pp.mli: Format

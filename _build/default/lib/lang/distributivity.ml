@@ -1,0 +1,253 @@
+open Ast
+
+type verdict = Safe | Unsafe of string
+
+(* Built-ins that distribute over their argument under set-equality:
+   applying them to singletons and uniting gives the same node/value
+   set. The mask says which arguments may carry the recursion
+   variable. *)
+let builtin_annotation = function
+  | "id" -> Some [| true; false |]
+  | "idref" -> Some [| true; false |]
+  | "data" -> Some [| true |]
+  | "distinct-values" -> Some [| true |]
+  | "reverse" -> Some [| true |]
+  | "unordered" -> Some [| true |]
+  | "root" -> Some [| true |]
+  | _ -> None
+
+(* position()/last() anywhere in an expression make its value depend on
+   how the context sequence was divided. *)
+let rec mentions_position = function
+  | Call (("position" | "last"), _) -> true
+  | Literal _ | Empty_seq | Var _ | Context_item | Root | Axis_step _ -> false
+  | Sequence (a, b) | Union (a, b) | Except (a, b) | Intersect (a, b)
+  | Path (a, b) | Filter (a, b) | Arith (_, a, b) | Gen_cmp (_, a, b)
+  | Val_cmp (_, a, b) | Node_is (a, b) | Node_before (a, b)
+  | Node_after (a, b) | And (a, b) | Or (a, b) | Range (a, b) ->
+    mentions_position a || mentions_position b
+  | Neg a | Text_constr a | Attr_constr (_, a) | Comment_constr a
+  | Doc_constr a | Comp_elem (_, a) | Instance_of (a, _)
+  | Cast (a, _, _) | Castable (a, _, _) ->
+    mentions_position a
+  | For { source; body; _ } -> mentions_position source || mentions_position body
+  | Sort { source; key; body; _ } ->
+    mentions_position source || mentions_position key
+    || mentions_position body
+  | Let { value; body; _ } -> mentions_position value || mentions_position body
+  | If (c, t, e) ->
+    mentions_position c || mentions_position t || mentions_position e
+  | Quantified (_, _, s, p) -> mentions_position s || mentions_position p
+  | Call (_, args) -> List.exists mentions_position args
+  | Elem_constr (_, attrs, content) ->
+    List.exists
+      (fun (_, pieces) ->
+        List.exists
+          (function A_lit _ -> false | A_expr e -> mentions_position e)
+          pieces)
+      attrs
+    || List.exists mentions_position content
+  | Typeswitch (s, cases, _, d) ->
+    mentions_position s
+    || List.exists (fun (_, _, b) -> mentions_position b) cases
+    || mentions_position d
+  | Ifp { seed; body; _ } -> mentions_position seed || mentions_position body
+
+(* A predicate that surely evaluates to a non-numeric value cannot act
+   as a positional filter. Conservative. *)
+let rec surely_non_numeric = function
+  | Gen_cmp _ | Val_cmp _ | And _ | Or _ | Quantified _ | Node_is _
+  | Node_before _ | Node_after _ | Instance_of _ | Castable _ ->
+    true
+  | Literal (Fixq_xdm.Atom.Str _) | Literal (Fixq_xdm.Atom.Bool _) -> true
+  | Path _ | Axis_step _ | Root | Union _ | Except _ | Intersect _ -> true
+  | Filter (e, _) -> surely_non_numeric e
+  | Call
+      ( ( "empty" | "exists" | "not" | "boolean" | "contains"
+        | "starts-with" | "ends-with" | "true" | "false" | "deep-equal"
+        | "lang" ),
+        _ ) ->
+    true
+  | If (_, t, e) -> surely_non_numeric t && surely_non_numeric e
+  | Let { body; _ } -> surely_non_numeric body
+  | _ -> false
+
+let explain ?(functions = Hashtbl.create 0) ?(stratified = false) x expr =
+  (* [in_progress] guards rule FUNCALL against recursive functions:
+     encountering a function whose distributivity is already being
+     assessed rejects conservatively. *)
+  let in_progress : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+  let unsafe fmt = Format.kasprintf (fun s -> Some s) fmt in
+  (* Returns None when safe, Some reason when the rules fail. *)
+  let rec ds x e =
+    if not (is_free x e) then
+      if has_constructor e then
+        unsafe "a node constructor occurs (fresh node identities)"
+      else None
+    else
+      match e with
+      | Var _ -> None (* rule VAR *)
+      | Literal _ | Empty_seq -> None (* rule CONST *)
+      | Sequence (a, b) | Union (a, b) -> (
+        (* rule CONCAT, ⊕ ∈ {`,`, union} *)
+        match ds x a with Some r -> Some r | None -> ds x b)
+      | If (c, t, e') ->
+        (* rule IF *)
+        if is_free x c then
+          unsafe "rule IF: $%s occurs free in the condition" x
+        else (
+          match ds x t with Some r -> Some r | None -> ds x e')
+      | For { var = _; pos; source; body } ->
+        if not (is_free x source) then
+          (* rule FOR1: $x only in the body *)
+          ds x body
+        else if is_free x body then
+          unsafe
+            "rule FOR1/FOR2: $%s occurs free in both the range and the \
+             body of a for (linearity violation)"
+            x
+        else if pos <> None then
+          unsafe
+            "rule FOR2: a positional variable exposes the division of \
+             the input"
+        else ds x source (* rule FOR2 *)
+      | Let { var; value; body } ->
+        if not (is_free x value) then
+          (* rule LET1 *)
+          ds x body
+        else if is_free x body then
+          unsafe
+            "rule LET1/LET2: $%s occurs free in both the value and the \
+             body of a let"
+            x
+        else (
+          (* rule LET2: ds_x(e1) ∧ ds_v(e2) *)
+          match ds x value with
+          | Some r -> Some r
+          | None -> ds var body)
+      | Typeswitch (scrut, cases, _, dbody) ->
+        (* rule TYPESW *)
+        if is_free x scrut then
+          unsafe "rule TYPESW: $%s occurs free in the scrutinee" x
+        else
+          List.fold_left
+            (fun acc (_, _, b) ->
+              match acc with Some r -> Some r | None -> ds x b)
+            None cases
+          |> fun acc ->
+          (match acc with Some r -> Some r | None -> ds x dbody)
+      | Path (a, b) ->
+        (* rules STEP1 / STEP2 *)
+        if not (is_free x a) then ds x b
+        else if is_free x b then
+          unsafe
+            "rule STEP1/STEP2: $%s occurs free on both sides of '/'" x
+        else ds x a
+      | Filter (a, p) ->
+        (* FILTER extension (sound, beyond Figure 5): itemwise,
+           non-positional predicates distribute. *)
+        if is_free x p then
+          unsafe "filter: $%s occurs free in a predicate" x
+        else if mentions_position p then
+          unsafe "filter: the predicate uses position()/last()"
+        else if not (surely_non_numeric p) then
+          unsafe "filter: the predicate may be positional (numeric)"
+        else if has_constructor p then
+          unsafe "filter: the predicate contains a node constructor"
+        else ds x a
+      | Call (f, args) -> (
+        (* rule FUNCALL: user functions by recursion into the body;
+           built-ins by annotation. *)
+        match Hashtbl.find_opt functions f with
+        | Some fd ->
+          if Hashtbl.mem in_progress f then
+            unsafe "rule FUNCALL: %s is recursive" f
+          else begin
+            Hashtbl.replace in_progress f ();
+            let result =
+              if List.length fd.params <> List.length args then
+                unsafe "rule FUNCALL: wrong arity for %s" f
+              else
+                List.fold_left2
+                  (fun acc (param, _) arg ->
+                    match acc with
+                    | Some r -> Some r
+                    | None ->
+                      if not (is_free x arg) then
+                        if has_constructor arg then
+                          unsafe
+                            "rule FUNCALL: an argument contains a node \
+                             constructor"
+                        else None
+                      else (
+                        match ds x arg with
+                        | Some r -> Some r
+                        | None -> ds param fd.body))
+                  None fd.params args
+            in
+            Hashtbl.remove in_progress f;
+            result
+          end
+        | None -> (
+          match builtin_annotation f with
+          | Some mask ->
+            let check_arg i arg =
+              let allowed = i < Array.length mask && mask.(i) in
+              if not (is_free x arg) then
+                if has_constructor arg then
+                  unsafe "an argument of %s contains a node constructor" f
+                else None
+              else if allowed then ds x arg
+              else
+                unsafe "built-in %s is not distributive in argument %d" f
+                  (i + 1)
+            in
+            List.fold_left
+              (fun (i, acc) arg ->
+                match acc with
+                | Some r -> (i + 1, Some r)
+                | None -> (i + 1, check_arg i arg))
+              (0, None) args
+            |> snd
+          | None ->
+            unsafe
+              "built-in %s must see its whole input (not distributive)" f))
+      | Axis_step _ | Context_item | Root -> None
+      | Except (a, b) when stratified && not (is_free x b) ->
+        (* Section 6: x \ R with R fixed is distributive. The fixed side
+           must also be constructor-free (base rule). *)
+        if has_constructor b then
+          unsafe "a node constructor occurs in the fixed side of except"
+        else ds x a
+      | Except _ | Intersect _ ->
+        unsafe "'except'/'intersect' with $%s free must see both sides" x
+      | Arith _ | Neg _ | Range _ ->
+        unsafe "arithmetic over $%s atomizes the whole sequence" x
+      | Gen_cmp _ | Val_cmp _ | Node_is _ | Node_before _ | Node_after _ ->
+        unsafe "a comparison inspects the sequence bound to $%s as a whole"
+          x
+      | And _ | Or _ ->
+        unsafe "a boolean connective inspects $%s as a whole" x
+      | Quantified _ ->
+        unsafe "a quantifier over $%s yields a single boolean" x
+      | Sort _ ->
+        (* order by is moot under set-equality, but the key may be
+           positional and the construct is outside Figure 5 — stay
+           conservative *)
+        unsafe "'order by' over $%s is not assessed" x
+      | Instance_of _ | Cast _ | Castable _ ->
+        unsafe
+          "'instance of'/'cast' inspects the sequence bound to $%s as a \
+           whole"
+          x
+      | Elem_constr _ | Comp_elem _ | Text_constr _ | Attr_constr _
+      | Comment_constr _ | Doc_constr _ ->
+        unsafe "a node constructor creates fresh node identities"
+      | Ifp _ -> unsafe "nested fixed points are not assessed"
+  in
+  match ds x expr with None -> Safe | Some reason -> Unsafe reason
+
+let check ?functions ?stratified x e =
+  match explain ?functions ?stratified x e with
+  | Safe -> true
+  | Unsafe _ -> false

@@ -1,0 +1,67 @@
+(** Syntactic distributivity safety [ds_$x(·)] — Figure 5 of the paper.
+
+    [check ~functions x e] soundly approximates "is [e] distributive for
+    [$x]" (Definition 3.1): a [true] verdict guarantees
+
+    {v for $y in X return e[$y/$x]  s=  e[X/$x] v}
+
+    for every non-empty sequence [X], which by Theorem 3.2 licenses the
+    Delta algorithm for [with $x seeded by … recurse e]. [false] only
+    means the rules could not establish distributivity (the property
+    itself is undecidable); the "distributivity hint" rewrite
+    ({!Rewrite.distributivity_hint}) can often help.
+
+    Implemented rules: CONST, VAR, IF, CONCAT (for [,] and [union]),
+    FOR1, FOR2 (the latter only without a positional variable — [at $p]
+    exposes the division of the input), LET1, LET2, TYPESW, STEP1,
+    STEP2, FUNCALL (recursing into user-defined function bodies;
+    recursive functions are conservatively rejected), plus two sound
+    extensions beyond the paper's figure:
+
+    - a base rule: any expression in which [$x] does not occur free and
+      that contains no node constructor is distributivity-safe (the
+      paper's prose, Section 3.2);
+    - a FILTER rule for predicates [e1\[p\]] where [p] cannot be
+      positional (no [position()]/[last()], provably non-numeric) and
+      does not mention [$x].
+
+    Built-in functions carry per-argument distributivity annotations
+    (e.g. [fn:id] is distributive in its first argument, [fn:count] in
+    none), mirroring what rule FUNCALL would infer from their
+    definitions. *)
+
+(** Why a check failed (best-effort, for diagnostics). *)
+type verdict = Safe | Unsafe of string
+
+(** [stratified] (default [false]) enables the Section-6 refinement the
+    paper credits to stratified Datalog: [e1 except e2] is distributive
+    for [$x] when [e1] is and [e2] is fixed (no free [$x]) —
+    [f(x) = x \ R] distributes over ∪. Figure 5 itself has no such
+    rule, so the flag is off by default. *)
+val check :
+  ?functions:(string, Ast.fundef) Hashtbl.t ->
+  ?stratified:bool ->
+  string ->
+  Ast.expr ->
+  bool
+
+val explain :
+  ?functions:(string, Ast.fundef) Hashtbl.t ->
+  ?stratified:bool ->
+  string ->
+  Ast.expr ->
+  verdict
+
+(** Does the expression mention [position()] or [last()] anywhere?
+    (Used by the FILTER rule and by the algebra compiler to reject
+    positional predicates in set-oriented mode.) *)
+val mentions_position : Ast.expr -> bool
+
+(** Can the expression be shown never to evaluate to a numeric value
+    (so a predicate built from it cannot be positional)? Conservative. *)
+val surely_non_numeric : Ast.expr -> bool
+
+(** Per-argument distributivity annotation of a built-in: [Some mask]
+    where [mask.(i)] says argument [i] may carry [$x]; [None] for
+    built-ins never distributive in any argument. *)
+val builtin_annotation : string -> bool array option

@@ -1,0 +1,577 @@
+module Item = Fixq_xdm.Item
+module Atom = Fixq_xdm.Atom
+module Node = Fixq_xdm.Node
+module Axis = Fixq_xdm.Axis
+module Doc_registry = Fixq_xdm.Doc_registry
+module Smap = Map.Make (String)
+open Ast
+
+type strategy = Naive | Delta | Auto
+
+exception Error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type ifp_site = {
+  ifp_var : string;
+  ifp_seed : Item.seq;
+  ifp_body : Ast.expr;
+  ifp_bindings : (string * Item.seq) list;
+  ifp_context : Item.t option;
+}
+
+type t = {
+  functions : (string, fundef) Hashtbl.t;
+  registry : Doc_registry.t;
+  stats : Stats.t;
+  mutable strategy : strategy;
+  max_iterations : int;
+  max_call_depth : int;
+  mutable globals : Item.seq Smap.t;
+  mutable last_ifp_used_delta : bool option;
+  mutable ifp_handler : (ifp_site -> Item.seq option) option;
+  stratified : bool;
+}
+
+type env = {
+  vars : Item.seq Smap.t;
+  ctx : (Item.t * int * int) option;  (** item, position, size *)
+  depth : int;
+}
+
+let create ?(registry = Doc_registry.default) ?(strategy = Auto)
+    ?(max_iterations = 1_000_000) ?(max_call_depth = 100_000)
+    ?(stratified = false) () =
+  { functions = Hashtbl.create 16; registry; stats = Stats.create ();
+    strategy; max_iterations; max_call_depth; globals = Smap.empty;
+    last_ifp_used_delta = None; ifp_handler = None; stratified }
+
+let set_ifp_handler t h = t.ifp_handler <- h
+
+let stats t = t.stats
+let strategy t = t.strategy
+let set_strategy t s = t.strategy <- s
+let registry t = t.registry
+let functions t = t.functions
+let last_ifp_used_delta t = t.last_ifp_used_delta
+
+let builtin_ctx t env =
+  let (context_item, context_pos, context_size) =
+    match env.ctx with
+    | None -> (None, 0, 0)
+    | Some (it, pos, size) -> (Some it, pos, size)
+  in
+  { Builtins.context_item; context_pos; context_size;
+    registry = t.registry }
+
+let lookup_var env v =
+  match Smap.find_opt v env.vars with
+  | Some s -> s
+  | None -> err "undefined variable $%s" v
+
+(* ------------------------------------------------------------------ *)
+(* Typeswitch matching                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let item_matches ty (it : Item.t) =
+  match (ty, it) with
+  | (It_item, _) -> true
+  | (It_node, Item.N _) -> true
+  | (It_node, Item.A _) -> false
+  | (It_element pat, Item.N n) ->
+    n.Node.kind = Node.Element
+    && (match pat with None -> true | Some p -> p = Node.name n)
+  | (It_element _, Item.A _) -> false
+  | (It_attribute pat, Item.N n) ->
+    n.Node.kind = Node.Attribute
+    && (match pat with None -> true | Some p -> p = Node.name n)
+  | (It_attribute _, Item.A _) -> false
+  | (It_text, Item.N n) -> n.Node.kind = Node.Text
+  | (It_text, Item.A _) -> false
+  | (It_comment, Item.N n) -> n.Node.kind = Node.Comment
+  | (It_comment, Item.A _) -> false
+  | (It_document, Item.N n) -> n.Node.kind = Node.Document
+  | (It_document, Item.A _) -> false
+  | (It_atomic "integer", Item.A (Atom.Int _)) -> true
+  | (It_atomic "double", Item.A (Atom.Dbl _)) -> true
+  | (It_atomic "string", Item.A (Atom.Str _)) -> true
+  | (It_atomic "boolean", Item.A (Atom.Bool _)) -> true
+  | (It_atomic ("decimal" | "numeric"), Item.A (Atom.Int _ | Atom.Dbl _)) ->
+    true
+  | (It_atomic ("anyAtomicType" | "untypedAtomic"), Item.A _) -> true
+  | (It_atomic _, _) -> false
+
+let seq_matches ty (s : Item.seq) =
+  match ty with
+  | Empty_sequence -> s = []
+  | Typed (it, occ) -> (
+    let all = List.for_all (item_matches it) s in
+    match occ with
+    | One -> List.length s = 1 && all
+    | Opt -> List.length s <= 1 && all
+    | Star -> all
+    | Plus -> s <> [] && all)
+
+(* ------------------------------------------------------------------ *)
+(* Arithmetic and comparisons                                          *)
+(* ------------------------------------------------------------------ *)
+
+let arith_op op a b =
+  match op with
+  | Add | Sub | Mul -> (
+    let f = match op with Add -> ( +. ) | Sub -> ( -. ) | _ -> ( *. ) in
+    let fi = match op with Add -> ( + ) | Sub -> ( - ) | _ -> ( * ) in
+    match (a, b) with
+    | (Atom.Int x, Atom.Int y) -> Atom.Int (fi x y)
+    | _ -> Atom.Dbl (f (Atom.to_number a) (Atom.to_number b)))
+  | Div ->
+    let y = Atom.to_number b in
+    if y = 0.0 then err "division by zero"
+    else Atom.Dbl (Atom.to_number a /. y)
+  | Idiv ->
+    let y = Atom.to_int b in
+    if y = 0 then err "integer division by zero" else Atom.Int (Atom.to_int a / y)
+  | Mod -> (
+    match (a, b) with
+    | (Atom.Int x, Atom.Int y) ->
+      if y = 0 then err "modulus by zero" else Atom.Int (x mod y)
+    | _ ->
+      let y = Atom.to_number b in
+      if y = 0.0 then err "modulus by zero"
+      else Atom.Dbl (Float.rem (Atom.to_number a) y))
+
+(* XQuery cast: atomic value conversion by target type name. *)
+let cast_atom ty (a : Atom.t) =
+  match ty with
+  | "integer" | "int" | "long" -> Atom.Int (Atom.to_int a)
+  | "double" | "decimal" | "float" -> Atom.Dbl (Atom.to_number a)
+  | "string" | "untypedAtomic" | "anyURI" -> Atom.Str (Atom.to_string a)
+  | "boolean" -> (
+    match a with
+    | Atom.Bool _ -> a
+    | Atom.Str "true" | Atom.Str "1" -> Atom.Bool true
+    | Atom.Str "false" | Atom.Str "0" -> Atom.Bool false
+    | Atom.Int 0 -> Atom.Bool false
+    | Atom.Int _ -> Atom.Bool true
+    | Atom.Dbl f -> Atom.Bool (f <> 0.0 && not (Float.is_nan f))
+    | Atom.Str s -> Atom.type_error "cannot cast %S to xs:boolean" s)
+  | other -> Atom.type_error "unsupported cast target xs:%s" other
+
+let cmp_result c ord =
+  match c with
+  | Eq -> ord = 0
+  | Ne -> ord <> 0
+  | Lt -> ord < 0
+  | Le -> ord <= 0
+  | Gt -> ord > 0
+  | Ge -> ord >= 0
+
+(* ------------------------------------------------------------------ *)
+(* Node construction                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Content sequence → (attributes, children): runs of adjacent atoms
+   merge into one space-separated text node; document nodes contribute
+   their children; attribute nodes become element attributes (they must
+   precede other content, which we enforce loosely by collecting them
+   wherever they appear). *)
+let assemble_content (content : Item.seq) =
+  let attrs = ref [] in
+  let kids = ref [] in
+  let pending = ref [] in
+  let flush_atoms () =
+    if !pending <> [] then begin
+      let s = String.concat " " (List.rev_map Atom.to_string !pending) in
+      kids := Node.text s :: !kids;
+      pending := []
+    end
+  in
+  List.iter
+    (fun it ->
+      match it with
+      | Item.A a -> pending := a :: !pending
+      | Item.N n -> (
+        flush_atoms ();
+        match n.Node.kind with
+        | Node.Attribute -> attrs := (Node.name n, n.Node.content) :: !attrs
+        | Node.Document -> List.iter (fun c -> kids := c :: !kids) (Node.children n)
+        | _ -> kids := n :: !kids))
+    content;
+  flush_atoms ();
+  (List.rev !attrs, List.rev !kids)
+
+(* ------------------------------------------------------------------ *)
+(* The evaluator                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let rec eval t env (e : expr) : Item.seq =
+  match e with
+  | Literal a -> [ Item.A a ]
+  | Empty_seq -> []
+  | Var v -> lookup_var env v
+  | Context_item -> (
+    match env.ctx with
+    | Some (it, _, _) -> [ it ]
+    | None -> err "no context item for '.'")
+  | Root -> (
+    match env.ctx with
+    | Some (Item.N n, _, _) -> [ Item.N (Node.root n) ]
+    | Some (Item.A _, _, _) -> err "the context item for '/' is not a node"
+    | None -> err "no context item for '/'")
+  (* Binary operands evaluate left to right explicitly: OCaml's
+     right-to-left argument order would make constructors in the right
+     operand allocate node ids first, putting separately constructed
+     trees in surprising document order. *)
+  | Sequence (a, b) ->
+    let va = eval t env a in
+    va @ eval t env b
+  | Union (a, b) ->
+    let va = eval t env a in
+    Item.union va (eval t env b)
+  | Except (a, b) ->
+    let va = eval t env a in
+    Item.except va (eval t env b)
+  | Intersect (a, b) ->
+    let va = eval t env a in
+    Item.intersect va (eval t env b)
+  | Path (a, b) -> eval_path t env a b
+  | Axis_step { axis; test } -> (
+    match env.ctx with
+    | Some (Item.N n, _, _) ->
+      List.map Item.node (Axis.step axis test n)
+    | Some (Item.A _, _, _) -> err "axis step on a non-node context item"
+    | None -> err "no context item for an axis step")
+  | Filter (a, p) -> eval_filter t env a p
+  | For { var; pos; source; body } ->
+    let src = eval t env source in
+    List.concat
+      (List.mapi
+         (fun i it ->
+           let vars = Smap.add var [ it ] env.vars in
+           let vars =
+             match pos with
+             | None -> vars
+             | Some p -> Smap.add p [ Item.A (Atom.Int (i + 1)) ] vars
+           in
+           eval t { env with vars } body)
+         src)
+  | Sort { var; source; key; descending; body } ->
+    let src = eval t env source in
+    let keyed =
+      List.map
+        (fun it ->
+          let kv =
+            Item.atomize
+              (eval t { env with vars = Smap.add var [ it ] env.vars } key)
+          in
+          let k =
+            match kv with
+            | [] -> None (* empty keys sort first ("empty least") *)
+            | [ a ] -> Some a
+            | _ -> err "order by: the key is not a singleton"
+          in
+          (k, it))
+        src
+    in
+    let cmp (a, _) (b, _) =
+      let base =
+        match (a, b) with
+        | (None, None) -> 0
+        | (None, Some _) -> -1
+        | (Some _, None) -> 1
+        | (Some x, Some y) -> Atom.compare_value x y
+      in
+      if descending then -base else base
+    in
+    let sorted = List.stable_sort cmp keyed in
+    List.concat_map
+      (fun (_, it) ->
+        eval t { env with vars = Smap.add var [ it ] env.vars } body)
+      sorted
+  | Let { var; value; body } ->
+    let v = eval t env value in
+    eval t { env with vars = Smap.add var v env.vars } body
+  | If (c, th, el) ->
+    if Item.effective_boolean (eval t env c) then eval t env th
+    else eval t env el
+  | Quantified (q, v, source, pred) ->
+    let src = eval t env source in
+    let test it =
+      Item.effective_boolean
+        (eval t { env with vars = Smap.add v [ it ] env.vars } pred)
+    in
+    let r =
+      match q with
+      | Some_ -> List.exists test src
+      | Every -> List.for_all test src
+    in
+    [ Item.A (Atom.Bool r) ]
+  | Arith (op, a, b) -> (
+    let va = Item.atomize (eval t env a) in
+    let vb = Item.atomize (eval t env b) in
+    match (va, vb) with
+    | ([], _) | (_, []) -> []
+    | ([ x ], [ y ]) -> [ Item.A (arith_op op x y) ]
+    | _ -> err "arithmetic over non-singleton sequences")
+  | Neg a -> (
+    match Item.atomize (eval t env a) with
+    | [] -> []
+    | [ Atom.Int i ] -> [ Item.A (Atom.Int (-i)) ]
+    | [ x ] -> [ Item.A (Atom.Dbl (-.Atom.to_number x)) ]
+    | _ -> err "unary minus over a non-singleton sequence")
+  | Gen_cmp (c, a, b) ->
+    let va = Item.atomize (eval t env a) in
+    let vb = Item.atomize (eval t env b) in
+    let holds =
+      List.exists
+        (fun x ->
+          List.exists (fun y -> cmp_result c (Atom.compare_value x y)) vb)
+        va
+    in
+    [ Item.A (Atom.Bool holds) ]
+  | Val_cmp (c, a, b) -> (
+    let va = Item.atomize (eval t env a) in
+    let vb = Item.atomize (eval t env b) in
+    match (va, vb) with
+    | ([], _) | (_, []) -> []
+    | ([ x ], [ y ]) -> [ Item.A (Atom.Bool (cmp_result c (Atom.compare_value x y))) ]
+    | _ -> err "value comparison over non-singleton sequences")
+  | Node_is (a, b) -> eval_node_cmp t env a b (fun x y -> Node.equal x y)
+  | Node_before (a, b) ->
+    eval_node_cmp t env a b (fun x y -> Node.compare_doc_order x y < 0)
+  | Node_after (a, b) ->
+    eval_node_cmp t env a b (fun x y -> Node.compare_doc_order x y > 0)
+  | And (a, b) ->
+    [ Item.A
+        (Atom.Bool
+           (Item.effective_boolean (eval t env a)
+           && Item.effective_boolean (eval t env b))) ]
+  | Or (a, b) ->
+    [ Item.A
+        (Atom.Bool
+           (Item.effective_boolean (eval t env a)
+           || Item.effective_boolean (eval t env b))) ]
+  | Range (a, b) -> (
+    let va = Item.atomize (eval t env a) in
+    let vb = Item.atomize (eval t env b) in
+    match (va, vb) with
+    | ([], _) | (_, []) -> []
+    | ([ x ], [ y ]) ->
+      let lo = Atom.to_int x and hi = Atom.to_int y in
+      let rec build i acc = if i < lo then acc else build (i - 1) (Item.A (Atom.Int i) :: acc) in
+      build hi []
+    | _ -> err "'to' over non-singleton sequences")
+  | Call (f, args) -> eval_call t env f args
+  | Elem_constr (name, attr_specs, content) ->
+    let attr_of_spec (an, pieces) =
+      let v =
+        String.concat ""
+          (List.map
+             (function
+               | A_lit s -> s
+               | A_expr e ->
+                 String.concat " "
+                   (List.map Atom.to_string (Item.atomize (eval t env e))))
+             pieces)
+      in
+      (an, v)
+    in
+    let direct_attrs = List.map attr_of_spec attr_specs in
+    let content_items = List.concat_map (eval t env) content in
+    let (content_attrs, kids) = assemble_content content_items in
+    [ Item.N (Node.element name ~attrs:(direct_attrs @ content_attrs) kids) ]
+  | Comp_elem (name, body) ->
+    let (content_attrs, kids) = assemble_content (eval t env body) in
+    [ Item.N (Node.element name ~attrs:content_attrs kids) ]
+  | Text_constr body -> (
+    match Item.atomize (eval t env body) with
+    | [] -> []
+    | atoms ->
+      let s = String.concat " " (List.map Atom.to_string atoms) in
+      [ Item.N (Node.text s) ])
+  | Attr_constr (name, body) ->
+    let s =
+      String.concat " "
+        (List.map Atom.to_string (Item.atomize (eval t env body)))
+    in
+    [ Item.N (Node.attribute name s) ]
+  | Comment_constr body ->
+    let s =
+      String.concat " "
+        (List.map Atom.to_string (Item.atomize (eval t env body)))
+    in
+    [ Item.N (Node.comment s) ]
+  | Doc_constr body ->
+    let (attrs, kids) = assemble_content (eval t env body) in
+    if attrs <> [] then err "document constructor content has attributes";
+    [ Item.N (Node.document kids) ]
+  | Instance_of (a, ty) ->
+    [ Item.A (Atom.Bool (seq_matches ty (eval t env a))) ]
+  | Cast (a, ty, optional) -> (
+    match Item.atomize (eval t env a) with
+    | [] ->
+      if optional then []
+      else err "cast as xs:%s: empty sequence (no '?')" ty
+    | [ atom ] -> [ Item.A (cast_atom ty atom) ]
+    | _ -> err "cast as xs:%s: more than one item" ty)
+  | Castable (a, ty, optional) -> (
+    match Item.atomize (eval t env a) with
+    | [] -> [ Item.A (Atom.Bool optional) ]
+    | [ atom ] ->
+      [ Item.A
+          (Atom.Bool
+             (match cast_atom ty atom with
+             | (_ : Atom.t) -> true
+             | exception _ -> false)) ]
+    | _ -> [ Item.A (Atom.Bool false) ])
+  | Typeswitch (scrut, cases, dvar, dbody) ->
+    let v = eval t env scrut in
+    let rec try_cases = function
+      | [] ->
+        let vars =
+          match dvar with
+          | None -> env.vars
+          | Some x -> Smap.add x v env.vars
+        in
+        eval t { env with vars } dbody
+      | (ty, cvar, body) :: rest ->
+        if seq_matches ty v then
+          let vars =
+            match cvar with
+            | None -> env.vars
+            | Some x -> Smap.add x v env.vars
+          in
+          eval t { env with vars } body
+        else try_cases rest
+    in
+    try_cases cases
+  | Ifp { var; seed; body } -> eval_ifp t env var seed body
+
+and eval_node_cmp t env a b op =
+  let na = eval t env a and nb = eval t env b in
+  match (na, nb) with
+  | ([], _) | (_, []) -> []
+  | ([ Item.N x ], [ Item.N y ]) -> [ Item.A (Atom.Bool (op x y)) ]
+  | _ -> err "node comparison requires single nodes"
+
+and eval_path t env a b =
+  let left = eval t env a in
+  let nodes = Item.as_node_seq "path" left in
+  let nodes = List.sort_uniq (fun x y -> Node.compare_doc_order x y) nodes in
+  let size = List.length nodes in
+  let results =
+    List.concat
+      (List.mapi
+         (fun i n ->
+           let env' = { env with ctx = Some (Item.N n, i + 1, size) } in
+           eval t env' b)
+         nodes)
+  in
+  let all_nodes = List.for_all (function Item.N _ -> true | _ -> false) results in
+  let all_atoms = List.for_all (function Item.A _ -> true | _ -> false) results in
+  if all_nodes then Item.ddo results
+  else if all_atoms then results
+  else err "a path step mixes nodes and atomic values"
+
+and eval_filter t env a p =
+  let src = eval t env a in
+  let size = List.length src in
+  let keep i it =
+    let env' = { env with ctx = Some (it, i + 1, size) } in
+    let pv = eval t env' p in
+    match pv with
+    | [ Item.A ((Atom.Int _ | Atom.Dbl _) as num) ] ->
+      Float.equal (Atom.to_number num) (float_of_int (i + 1))
+    | _ -> Item.effective_boolean pv
+  in
+  List.filteri keep src
+
+and eval_call t env f args =
+  let vargs = List.map (eval t env) args in
+  match Builtins.call (builtin_ctx t env) f vargs with
+  | Some result -> result
+  | None -> (
+    match Hashtbl.find_opt t.functions f with
+    | None -> err "unknown function %s#%d" f (List.length args)
+    | Some fd ->
+      if List.length fd.params <> List.length vargs then
+        err "function %s expects %d arguments, got %d" f
+          (List.length fd.params) (List.length vargs);
+      if env.depth >= t.max_call_depth then
+        err "maximum call depth exceeded in %s" f;
+      (* XQuery functions see globals but not the caller's locals or
+         context. *)
+      let vars =
+        List.fold_left2
+          (fun m (p, _) v -> Smap.add p v m)
+          t.globals fd.params vargs
+      in
+      eval t { vars; ctx = None; depth = env.depth + 1 } fd.body)
+
+and eval_ifp t env var seed body =
+  let seed_v = eval t env seed in
+  let external_result =
+    match t.ifp_handler with
+    | None -> None
+    | Some handler ->
+      (* The whole scope (locals and globals), not just fv(body):
+         compiling the body may inline functions whose own bodies
+         reference global variables. *)
+      let bindings =
+        Smap.fold
+          (fun v value acc ->
+            if String.equal v var then acc else (v, value) :: acc)
+          env.vars []
+      in
+      let context =
+        match env.ctx with Some (it, _, _) -> Some it | None -> None
+      in
+      handler
+        { ifp_var = var; ifp_seed = seed_v; ifp_body = body;
+          ifp_bindings = bindings; ifp_context = context }
+  in
+  match external_result with
+  | Some result -> result
+  | None ->
+    let body_fn input =
+      eval t { env with vars = Smap.add var input env.vars } body
+    in
+    let use_delta =
+      match t.strategy with
+      | Naive -> false
+      | Delta -> true
+      | Auto ->
+        Distributivity.check ~functions:t.functions ~stratified:t.stratified
+          var body
+    in
+    t.last_ifp_used_delta <- Some use_delta;
+    let algorithm = if use_delta then Fixpoint.delta else Fixpoint.naive in
+    algorithm ~max_iterations:t.max_iterations ~stats:t.stats ~body:body_fn
+      ~seed:seed_v ()
+
+(* ------------------------------------------------------------------ *)
+(* Program interface                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let initial_env t ?(vars = []) ?context () =
+  let vmap =
+    List.fold_left (fun m (k, v) -> Smap.add k v m) t.globals vars
+  in
+  let ctx = Option.map (fun it -> (it, 1, 1)) context in
+  { vars = vmap; ctx; depth = 0 }
+
+let load_prolog t (p : program) =
+  List.iter (fun fd -> Hashtbl.replace t.functions fd.fname fd) p.functions;
+  List.iter
+    (fun (v, e) ->
+      let value = eval t (initial_env t ()) e in
+      t.globals <- Smap.add v value t.globals)
+    p.variables
+
+let run_program t (p : program) =
+  load_prolog t p;
+  eval t (initial_env t ()) p.main
+
+let eval_expr t ?vars ?context e = eval t (initial_env t ?vars ?context ()) e
+
+let run_string t src = run_program t (Parser.parse_program src)

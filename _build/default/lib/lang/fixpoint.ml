@@ -1,0 +1,126 @@
+module Item = Fixq_xdm.Item
+
+exception Diverged of int
+
+let default_max = 1_000_000
+
+(* Figure 3(a): res ← erec(eseed); do res ← erec(res) ∪ res while res
+   grows. Growth is detected on node-identity sets, which for node
+   sequences coincides with the set-equality test of Definition 2.1.
+   With [include_seed] the iteration starts from res ← eseed instead
+   (Example 2.4's convention). *)
+let naive ?(max_iterations = default_max) ?(include_seed = false) ~stats ~body
+    ~seed () =
+  Stats.start_run stats;
+  let record input out res =
+    Stats.record_iteration stats ~fed:(List.length input)
+      ~produced:(List.length out) ~result_size:(List.length res)
+  in
+  let res =
+    if include_seed then Item.ddo seed
+    else begin
+      let first = body seed in
+      let res = Item.ddo first in
+      record seed first res;
+      res
+    end
+  in
+  let rec loop res i =
+    if i > max_iterations then raise (Diverged i);
+    let out = body res in
+    let next = Item.union out res in
+    record res out next;
+    if List.length next = List.length res then next else loop next (i + 1)
+  in
+  loop res 1
+
+(* Figure 3(b): the payload sees only the newly discovered nodes. *)
+let delta ?(max_iterations = default_max) ?(include_seed = false) ~stats ~body
+    ~seed () =
+  Stats.start_run stats;
+  let record input out res =
+    Stats.record_iteration stats ~fed:(List.length input)
+      ~produced:(List.length out) ~result_size:(List.length res)
+  in
+  let res =
+    if include_seed then Item.ddo seed
+    else begin
+      let first = body seed in
+      let res = Item.ddo first in
+      record seed first res;
+      res
+    end
+  in
+  let rec loop delta res i =
+    if i > max_iterations then raise (Diverged i);
+    let out = body delta in
+    let delta' = Item.except out res in
+    let res' = Item.union delta' res in
+    record delta out res';
+    if delta' = [] then res' else loop delta' res' (i + 1)
+  in
+  loop res res 1
+
+(* Parallel Delta (Section 7's divide-and-conquer reading of
+   distributivity): split each round's ∆ across domains. The first
+   round runs sequentially so lazily-built document indexes are in
+   place before concurrent reads. *)
+let delta_parallel ?(max_iterations = default_max) ?(include_seed = false)
+    ?domains ?(chunk_threshold = 64) ~stats ~body ~seed () =
+  let domains =
+    match domains with
+    | Some d -> max 1 d
+    | None -> max 1 (Domain.recommended_domain_count () - 1)
+  in
+  let split k items =
+    (* k roughly equal chunks, preserving order within chunks *)
+    let n = List.length items in
+    let size = max 1 ((n + k - 1) / k) in
+    let rec go acc current count = function
+      | [] ->
+        List.rev
+          (if current = [] then acc else List.rev current :: acc)
+      | x :: rest ->
+        if count = size then go (List.rev current :: acc) [ x ] 1 rest
+        else go acc (x :: current) (count + 1) rest
+    in
+    go [] [] 0 items
+  in
+  let apply_parallel input =
+    if domains = 1 || List.length input < chunk_threshold then body input
+    else begin
+      let chunks = split domains input in
+      match chunks with
+      | [] -> []
+      | first :: rest ->
+        let handles =
+          List.map (fun chunk -> Domain.spawn (fun () -> body chunk)) rest
+        in
+        let mine = body first in
+        mine @ List.concat_map Domain.join handles
+    end
+  in
+  Stats.start_run stats;
+  let record input out res =
+    Stats.record_iteration stats ~fed:(List.length input)
+      ~produced:(List.length out) ~result_size:(List.length res)
+  in
+  let res =
+    if include_seed then Item.ddo seed
+    else begin
+      (* sequential first application: warms lazy indexes *)
+      let first = body seed in
+      let res = Item.ddo first in
+      record seed first res;
+      res
+    end
+  in
+  let rec loop delta res i =
+    if i > max_iterations then raise (Diverged i);
+    let out = apply_parallel delta in
+    let delta' = Item.except out res in
+    let res' = Item.union delta' res in
+    record delta out res';
+    if delta' = [] then res' else loop delta' res' (i + 1)
+  in
+  loop res res 1

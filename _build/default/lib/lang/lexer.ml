@@ -1,0 +1,283 @@
+type token =
+  | INT of int
+  | DBL of float
+  | STRING of string
+  | NAME of string
+  | VAR of string
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | SLASH
+  | SLASH2
+  | DOT
+  | DOT2
+  | AT
+  | AXIS2
+  | ASSIGN
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | LT2
+  | GT2
+  | PLUS
+  | MINUS
+  | STAR
+  | QMARK
+  | PIPE
+  | EOF
+
+exception Error of { pos : int; msg : string }
+
+type t = {
+  src : string;
+  mutable cursor : int;  (** position after the buffered token *)
+  mutable buffered : (token * int) option;  (** token and its start *)
+}
+
+let create src = { src; cursor = 0; buffered = None }
+let source t = t.src
+
+let error t fmt =
+  Format.kasprintf (fun msg -> raise (Error { pos = t.cursor; msg })) fmt
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+let is_digit c = c >= '0' && c <= '9'
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+  || Char.code c >= 128
+
+let is_name_char c = is_name_start c || is_digit c || c = '-' || c = '.'
+let at t i = if i < String.length t.src then t.src.[i] else '\000'
+
+(* Skip whitespace and (: nested comments :). *)
+let rec skip_trivia t i =
+  if i < String.length t.src && is_space t.src.[i] then skip_trivia t (i + 1)
+  else if at t i = '(' && at t (i + 1) = ':' then begin
+    let rec comment i depth =
+      if i >= String.length t.src then
+        raise (Error { pos = i; msg = "unterminated comment" })
+      else if at t i = '(' && at t (i + 1) = ':' then comment (i + 2) (depth + 1)
+      else if at t i = ':' && at t (i + 1) = ')' then
+        if depth = 1 then i + 2 else comment (i + 2) (depth - 1)
+      else comment (i + 1) depth
+    in
+    skip_trivia t (comment (i + 2) 1)
+  end
+  else i
+
+let lex_name t i =
+  let start = i in
+  let i = ref i in
+  while is_name_char (at t !i) do
+    incr i
+  done;
+  (* Allow one prefix:local pair, but not '::' (axis) or ':=' . *)
+  if at t !i = ':' && is_name_start (at t (!i + 1)) && at t (!i + 1) <> ':'
+  then begin
+    incr i;
+    while is_name_char (at t !i) do
+      incr i
+    done
+  end;
+  (String.sub t.src start (!i - start), !i)
+
+let lex_string t i =
+  let quote = at t i in
+  let buf = Buffer.create 16 in
+  let rec go i =
+    if i >= String.length t.src then error t "unterminated string literal"
+    else if at t i = quote then
+      if at t (i + 1) = quote then begin
+        Buffer.add_char buf quote;
+        go (i + 2)
+      end
+      else (Buffer.contents buf, i + 1)
+    else begin
+      Buffer.add_char buf (at t i);
+      go (i + 1)
+    end
+  in
+  go (i + 1)
+
+let lex_number t i =
+  let start = i in
+  let i = ref i in
+  while is_digit (at t !i) do
+    incr i
+  done;
+  let is_dbl = ref false in
+  if at t !i = '.' && is_digit (at t (!i + 1)) then begin
+    is_dbl := true;
+    incr i;
+    while is_digit (at t !i) do
+      incr i
+    done
+  end;
+  if at t !i = 'e' || at t !i = 'E' then begin
+    is_dbl := true;
+    incr i;
+    if at t !i = '+' || at t !i = '-' then incr i;
+    while is_digit (at t !i) do
+      incr i
+    done
+  end;
+  let s = String.sub t.src start (!i - start) in
+  let tok =
+    if !is_dbl then DBL (float_of_string s)
+    else
+      match int_of_string_opt s with
+      | Some n -> INT n
+      | None -> DBL (float_of_string s)
+  in
+  (tok, !i)
+
+let scan t =
+  let i = skip_trivia t t.cursor in
+  if i >= String.length t.src then (EOF, i, i)
+  else
+    let c = t.src.[i] in
+    let two tok = (tok, i, i + 2) in
+    let one tok = (tok, i, i + 1) in
+    match c with
+    | '(' -> one LPAREN
+    | ')' -> one RPAREN
+    | '[' -> one LBRACKET
+    | ']' -> one RBRACKET
+    | '{' -> one LBRACE
+    | '}' -> one RBRACE
+    | ',' -> one COMMA
+    | ';' -> one SEMI
+    | '?' -> one QMARK
+    | '|' -> one PIPE
+    | '+' -> one PLUS
+    | '-' -> one MINUS
+    | '*' -> one STAR
+    | '@' -> one AT
+    | '=' -> one EQ
+    | '/' -> if at t (i + 1) = '/' then two SLASH2 else one SLASH
+    | '.' -> if at t (i + 1) = '.' then two DOT2 else one DOT
+    | ':' ->
+      if at t (i + 1) = ':' then two AXIS2
+      else if at t (i + 1) = '=' then two ASSIGN
+      else error t "unexpected ':'"
+    | '!' ->
+      if at t (i + 1) = '=' then two NE else error t "unexpected '!'"
+    | '<' ->
+      if at t (i + 1) = '=' then two LE
+      else if at t (i + 1) = '<' then two LT2
+      else one LT
+    | '>' ->
+      if at t (i + 1) = '=' then two GE
+      else if at t (i + 1) = '>' then two GT2
+      else one GT
+    | '$' ->
+      if not (is_name_start (at t (i + 1))) then
+        error t "expected a variable name after '$'"
+      else
+        let (name, j) = lex_name t (i + 1) in
+        (VAR name, i, j)
+    | '"' | '\'' ->
+      let (s, j) = lex_string t i in
+      (STRING s, i, j)
+    | c when is_digit c ->
+      let (tok, j) = lex_number t i in
+      (tok, i, j)
+    | c when is_name_start c ->
+      let (name, j) = lex_name t i in
+      (NAME name, i, j)
+    | c -> error t "unexpected character %C" c
+
+let fill t =
+  match t.buffered with
+  | Some _ -> ()
+  | None ->
+    let (tok, start, stop) = scan t in
+    t.buffered <- Some (tok, start);
+    t.cursor <- stop
+
+let peek t =
+  fill t;
+  match t.buffered with Some (tok, _) -> tok | None -> assert false
+
+let token_start t =
+  fill t;
+  match t.buffered with Some (_, s) -> s | None -> assert false
+
+let advance t =
+  fill t;
+  t.buffered <- None
+
+let next t =
+  let tok = peek t in
+  advance t;
+  tok
+
+let pos t = match t.buffered with Some (_, s) -> s | None -> t.cursor
+
+let set_pos t p =
+  t.buffered <- None;
+  t.cursor <- p
+
+let raw_peek t =
+  assert (t.buffered = None);
+  at t t.cursor
+
+let raw_advance t =
+  assert (t.buffered = None);
+  t.cursor <- t.cursor + 1
+
+let describe = function
+  | INT n -> Printf.sprintf "integer %d" n
+  | DBL f -> Printf.sprintf "double %g" f
+  | STRING s -> Printf.sprintf "string %S" s
+  | NAME n -> Printf.sprintf "name %S" n
+  | VAR v -> Printf.sprintf "variable $%s" v
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | COMMA -> "','"
+  | SEMI -> "';'"
+  | SLASH -> "'/'"
+  | SLASH2 -> "'//'"
+  | DOT -> "'.'"
+  | DOT2 -> "'..'"
+  | AT -> "'@'"
+  | AXIS2 -> "'::'"
+  | ASSIGN -> "':='"
+  | EQ -> "'='"
+  | NE -> "'!='"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | LT2 -> "'<<'"
+  | GT2 -> "'>>'"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | QMARK -> "'?'"
+  | PIPE -> "'|'"
+  | EOF -> "end of input"
+
+let line_col t off =
+  let line = ref 1 and col = ref 1 in
+  for i = 0 to min (off - 1) (String.length t.src - 1) do
+    if t.src.[i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col
+  done;
+  (!line, !col)

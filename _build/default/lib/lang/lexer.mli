@@ -1,0 +1,76 @@
+(** Hand-written lexer for the [fixq] XQuery subset.
+
+    XQuery has no reserved words — keywords are recognized contextually
+    by the parser — so names are returned as {!NAME} tokens. Direct
+    element constructors switch the reader into XML mode: the parser
+    drives that through the raw-character interface ({!raw_peek},
+    {!raw_advance}, {!set_pos}), which operates on the same source
+    position as the token stream. *)
+
+type token =
+  | INT of int
+  | DBL of float
+  | STRING of string
+  | NAME of string  (** possibly prefixed, e.g. ["fn:id"] *)
+  | VAR of string  (** [$name], without the dollar *)
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | SLASH
+  | SLASH2
+  | DOT
+  | DOT2
+  | AT
+  | AXIS2  (** [::] *)
+  | ASSIGN  (** [:=] *)
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | LT2  (** [<<] *)
+  | GT2  (** [>>] *)
+  | PLUS
+  | MINUS
+  | STAR
+  | QMARK
+  | PIPE
+  | EOF
+
+exception Error of { pos : int; msg : string }
+
+type t
+
+val create : string -> t
+
+(** Current lookahead token (lexing on demand). *)
+val peek : t -> token
+
+(** Consume the lookahead. *)
+val advance : t -> unit
+
+(** Consume and return the lookahead. *)
+val next : t -> token
+
+(** Source offset where the current lookahead token starts. *)
+val token_start : t -> int
+
+(** Raw-character interface for XML mode. [set_pos] discards any
+    buffered lookahead. *)
+val raw_peek : t -> char
+
+val raw_advance : t -> unit
+val pos : t -> int
+val set_pos : t -> int -> unit
+val source : t -> string
+
+val describe : token -> string
+
+(** Line/column of an offset, for error reporting. *)
+val line_col : t -> int -> int * int

@@ -1,0 +1,1097 @@
+module Axis = Fixq_xdm.Axis
+module Atom = Fixq_xdm.Atom
+open Ast
+
+exception Error of { line : int; col : int; msg : string }
+
+let fail lx fmt =
+  Format.kasprintf
+    (fun msg ->
+      let (line, col) = Lexer.line_col lx (Lexer.pos lx) in
+      raise (Error { line; col; msg }))
+    fmt
+
+let expect lx tok =
+  let got = Lexer.peek lx in
+  if got = tok then Lexer.advance lx
+  else fail lx "expected %s, found %s" (Lexer.describe tok) (Lexer.describe got)
+
+let expect_name lx kw =
+  match Lexer.peek lx with
+  | Lexer.NAME n when String.equal n kw -> Lexer.advance lx
+  | got -> fail lx "expected %S, found %s" kw (Lexer.describe got)
+
+let is_kw lx kw =
+  match Lexer.peek lx with
+  | Lexer.NAME n -> String.equal n kw
+  | _ -> false
+
+(* Snapshot/restore for 2-token lookahead: restore re-lexes. *)
+let save lx =
+  ignore (Lexer.peek lx);
+  Lexer.token_start lx
+
+let restore lx p = Lexer.set_pos lx p
+
+(* [local:] and [fn:] prefixes are normalized away so that user
+   declarations and calls meet, and built-ins match by local name. *)
+let normalize_fname n =
+  match String.index_opt n ':' with
+  | Some i when String.sub n 0 i = "local" || String.sub n 0 i = "fn" ->
+    String.sub n (i + 1) (String.length n - i - 1)
+  | _ -> n
+
+(* ------------------------------------------------------------------ *)
+(* Sequence types                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let parse_opt_name_arg lx =
+  (* after '(' of element(...) / attribute(...) *)
+  match Lexer.peek lx with
+  | Lexer.RPAREN ->
+    Lexer.advance lx;
+    None
+  | Lexer.STAR ->
+    Lexer.advance lx;
+    expect lx Lexer.RPAREN;
+    None
+  | Lexer.NAME n ->
+    Lexer.advance lx;
+    expect lx Lexer.RPAREN;
+    Some n
+  | got -> fail lx "expected a name or ')' in kind test, found %s"
+             (Lexer.describe got)
+
+let parse_item_type lx =
+  match Lexer.next lx with
+  | Lexer.NAME "item" ->
+    expect lx Lexer.LPAREN;
+    expect lx Lexer.RPAREN;
+    It_item
+  | Lexer.NAME "node" ->
+    expect lx Lexer.LPAREN;
+    expect lx Lexer.RPAREN;
+    It_node
+  | Lexer.NAME "text" ->
+    expect lx Lexer.LPAREN;
+    expect lx Lexer.RPAREN;
+    It_text
+  | Lexer.NAME "comment" ->
+    expect lx Lexer.LPAREN;
+    expect lx Lexer.RPAREN;
+    It_comment
+  | Lexer.NAME "document-node" ->
+    expect lx Lexer.LPAREN;
+    expect lx Lexer.RPAREN;
+    It_document
+  | Lexer.NAME "element" ->
+    expect lx Lexer.LPAREN;
+    It_element (parse_opt_name_arg lx)
+  | Lexer.NAME "attribute" ->
+    expect lx Lexer.LPAREN;
+    It_attribute (parse_opt_name_arg lx)
+  | Lexer.NAME n when String.length n > 3 && String.sub n 0 3 = "xs:" ->
+    It_atomic (String.sub n 3 (String.length n - 3))
+  | Lexer.NAME ("integer" | "string" | "boolean" | "double" as n) ->
+    It_atomic n
+  | got -> fail lx "expected an item type, found %s" (Lexer.describe got)
+
+let parse_seq_type_tokens lx =
+  if is_kw lx "empty-sequence" then begin
+    Lexer.advance lx;
+    expect lx Lexer.LPAREN;
+    expect lx Lexer.RPAREN;
+    Empty_sequence
+  end
+  else
+    let it = parse_item_type lx in
+    let occ =
+      match Lexer.peek lx with
+      | Lexer.QMARK ->
+        Lexer.advance lx;
+        Opt
+      | Lexer.STAR ->
+        Lexer.advance lx;
+        Star
+      | Lexer.PLUS ->
+        Lexer.advance lx;
+        Plus
+      | _ -> One
+    in
+    Typed (it, occ)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let kind_test_of_name = function
+  | "node" -> Some `Node
+  | "text" -> Some `Text
+  | "comment" -> Some `Comment
+  | "processing-instruction" -> Some `Pi
+  | "element" -> Some `Element
+  | "attribute" -> Some `Attribute
+  | "document-node" -> Some `Document
+  | _ -> None
+
+let rec parse_expr_seq lx =
+  let e = parse_single lx in
+  if Lexer.peek lx = Lexer.COMMA then begin
+    Lexer.advance lx;
+    Sequence (e, parse_expr_seq lx)
+  end
+  else e
+
+and parse_single lx =
+  match Lexer.peek lx with
+  | Lexer.NAME ("for" | "let") when next_is_var_or_dollar lx -> parse_flwor lx
+  | Lexer.NAME ("some" | "every") when next_is_var_or_dollar lx ->
+    parse_quantified lx
+  | Lexer.NAME "if" when next_is lx Lexer.LPAREN -> parse_if lx
+  | Lexer.NAME "typeswitch" when next_is lx Lexer.LPAREN -> parse_typeswitch lx
+  | Lexer.NAME "with" when next_is_var_or_dollar lx -> parse_ifp lx
+  | _ -> parse_or lx
+
+and next_is lx tok =
+  let p = save lx in
+  Lexer.advance lx;
+  let r = Lexer.peek lx = tok in
+  restore lx p;
+  r
+
+and next_is_var_or_dollar lx =
+  let p = save lx in
+  Lexer.advance lx;
+  let r = match Lexer.peek lx with Lexer.VAR _ -> true | _ -> false in
+  restore lx p;
+  r
+
+and parse_var lx =
+  match Lexer.next lx with
+  | Lexer.VAR v -> v
+  | got -> fail lx "expected a variable, found %s" (Lexer.describe got)
+
+and parse_flwor lx =
+  (* Collect clauses, then desugar into nested For/Let/If. *)
+  let clauses = ref [] in
+  let rec clause_loop () =
+    if is_kw lx "for" && next_is_var_or_dollar lx then begin
+      Lexer.advance lx;
+      let rec bindings () =
+        let var = parse_var lx in
+        let pos =
+          if is_kw lx "at" then begin
+            Lexer.advance lx;
+            Some (parse_var lx)
+          end
+          else None
+        in
+        (if is_kw lx "as" then begin
+           Lexer.advance lx;
+           ignore (parse_seq_type_tokens lx)
+         end);
+        expect_name lx "in";
+        let source = parse_single lx in
+        clauses := `For (var, pos, source) :: !clauses;
+        if Lexer.peek lx = Lexer.COMMA then begin
+          Lexer.advance lx;
+          bindings ()
+        end
+      in
+      bindings ();
+      clause_loop ()
+    end
+    else if is_kw lx "let" && next_is_var_or_dollar lx then begin
+      Lexer.advance lx;
+      let rec bindings () =
+        let var = parse_var lx in
+        (if is_kw lx "as" then begin
+           Lexer.advance lx;
+           ignore (parse_seq_type_tokens lx)
+         end);
+        expect lx Lexer.ASSIGN;
+        let value = parse_single lx in
+        clauses := `Let (var, value) :: !clauses;
+        if Lexer.peek lx = Lexer.COMMA then begin
+          Lexer.advance lx;
+          bindings ()
+        end
+      in
+      bindings ();
+      clause_loop ()
+    end
+  in
+  clause_loop ();
+  let where =
+    if is_kw lx "where" then begin
+      Lexer.advance lx;
+      Some (parse_single lx)
+    end
+    else None
+  in
+  let order =
+    if is_kw lx "order" then begin
+      Lexer.advance lx;
+      expect_name lx "by";
+      let key = parse_single lx in
+      let descending =
+        if is_kw lx "descending" then begin
+          Lexer.advance lx;
+          true
+        end
+        else begin
+          if is_kw lx "ascending" then Lexer.advance lx;
+          false
+        end
+      in
+      Some (key, descending)
+    end
+    else None
+  in
+  expect_name lx "return";
+  let body = parse_single lx in
+  let body =
+    match where with
+    | None -> body
+    | Some cond -> If (cond, body, Empty_seq)
+  in
+  match order with
+  | None ->
+    List.fold_left
+      (fun body clause ->
+        match clause with
+        | `For (var, pos, source) -> For { var; pos; source; body }
+        | `Let (var, value) -> Let { var; value; body })
+      body !clauses
+  | Some (key, descending) -> (
+    (* restricted order by: exactly one positionless for binding *)
+    match !clauses with
+    | [ `For (var, None, source) ] ->
+      Sort { var; source; key; descending; body }
+    | _ ->
+      fail lx
+        "'order by' is supported for FLWORs with exactly one 'for' \
+         binding (and no positional variable)")
+
+and parse_quantified lx =
+  let q =
+    match Lexer.next lx with
+    | Lexer.NAME "some" -> Some_
+    | Lexer.NAME "every" -> Every
+    | _ -> assert false
+  in
+  let var = parse_var lx in
+  expect_name lx "in";
+  let source = parse_single lx in
+  expect_name lx "satisfies";
+  let pred = parse_single lx in
+  Quantified (q, var, source, pred)
+
+and parse_if lx =
+  expect_name lx "if";
+  expect lx Lexer.LPAREN;
+  let c = parse_expr_seq lx in
+  expect lx Lexer.RPAREN;
+  expect_name lx "then";
+  let t = parse_single lx in
+  expect_name lx "else";
+  let e = parse_single lx in
+  If (c, t, e)
+
+and parse_typeswitch lx =
+  expect_name lx "typeswitch";
+  expect lx Lexer.LPAREN;
+  let scrut = parse_expr_seq lx in
+  expect lx Lexer.RPAREN;
+  let cases = ref [] in
+  while is_kw lx "case" do
+    Lexer.advance lx;
+    let v =
+      match Lexer.peek lx with
+      | Lexer.VAR v ->
+        Lexer.advance lx;
+        expect_name lx "as";
+        Some v
+      | _ -> None
+    in
+    let ty = parse_seq_type_tokens lx in
+    expect_name lx "return";
+    let body = parse_single lx in
+    cases := (ty, v, body) :: !cases
+  done;
+  expect_name lx "default";
+  let dvar =
+    match Lexer.peek lx with
+    | Lexer.VAR v ->
+      Lexer.advance lx;
+      Some v
+    | _ -> None
+  in
+  expect_name lx "return";
+  let dbody = parse_single lx in
+  Typeswitch (scrut, List.rev !cases, dvar, dbody)
+
+and parse_ifp lx =
+  expect_name lx "with";
+  let var = parse_var lx in
+  expect_name lx "seeded";
+  expect_name lx "by";
+  let seed = parse_single lx in
+  expect_name lx "recurse";
+  let body = parse_single lx in
+  Ifp { var; seed; body }
+
+and parse_or lx =
+  let e = parse_and lx in
+  if is_kw lx "or" then begin
+    Lexer.advance lx;
+    Or (e, parse_or lx)
+  end
+  else e
+
+and parse_and lx =
+  let e = parse_comparison lx in
+  if is_kw lx "and" then begin
+    Lexer.advance lx;
+    And (e, parse_and lx)
+  end
+  else e
+
+and parse_comparison lx =
+  let e = parse_range lx in
+  let gen c =
+    Lexer.advance lx;
+    Gen_cmp (c, e, parse_range lx)
+  in
+  let value c =
+    Lexer.advance lx;
+    Val_cmp (c, e, parse_range lx)
+  in
+  match Lexer.peek lx with
+  | Lexer.EQ -> gen Eq
+  | Lexer.NE -> gen Ne
+  | Lexer.LT -> gen Lt
+  | Lexer.LE -> gen Le
+  | Lexer.GT -> gen Gt
+  | Lexer.GE -> gen Ge
+  | Lexer.NAME "eq" -> value Eq
+  | Lexer.NAME "ne" -> value Ne
+  | Lexer.NAME "lt" -> value Lt
+  | Lexer.NAME "le" -> value Le
+  | Lexer.NAME "gt" -> value Gt
+  | Lexer.NAME "ge" -> value Ge
+  | Lexer.NAME "is" ->
+    Lexer.advance lx;
+    Node_is (e, parse_range lx)
+  | Lexer.LT2 ->
+    Lexer.advance lx;
+    Node_before (e, parse_range lx)
+  | Lexer.GT2 ->
+    Lexer.advance lx;
+    Node_after (e, parse_range lx)
+  | _ -> e
+
+and parse_range lx =
+  let e = parse_additive lx in
+  if is_kw lx "to" then begin
+    Lexer.advance lx;
+    Range (e, parse_additive lx)
+  end
+  else e
+
+and parse_additive lx =
+  let rec loop e =
+    match Lexer.peek lx with
+    | Lexer.PLUS ->
+      Lexer.advance lx;
+      loop (Arith (Add, e, parse_multiplicative lx))
+    | Lexer.MINUS ->
+      Lexer.advance lx;
+      loop (Arith (Sub, e, parse_multiplicative lx))
+    | _ -> e
+  in
+  loop (parse_multiplicative lx)
+
+and parse_multiplicative lx =
+  let rec loop e =
+    match Lexer.peek lx with
+    | Lexer.STAR ->
+      Lexer.advance lx;
+      loop (Arith (Mul, e, parse_union lx))
+    | Lexer.NAME "div" ->
+      Lexer.advance lx;
+      loop (Arith (Div, e, parse_union lx))
+    | Lexer.NAME "idiv" ->
+      Lexer.advance lx;
+      loop (Arith (Idiv, e, parse_union lx))
+    | Lexer.NAME "mod" ->
+      Lexer.advance lx;
+      loop (Arith (Mod, e, parse_union lx))
+    | _ -> e
+  in
+  loop (parse_union lx)
+
+and parse_union lx =
+  let rec loop e =
+    match Lexer.peek lx with
+    | Lexer.PIPE ->
+      Lexer.advance lx;
+      loop (Union (e, parse_intersect lx))
+    | Lexer.NAME "union" ->
+      Lexer.advance lx;
+      loop (Union (e, parse_intersect lx))
+    | _ -> e
+  in
+  loop (parse_intersect lx)
+
+and parse_intersect lx =
+  let rec loop e =
+    match Lexer.peek lx with
+    | Lexer.NAME "intersect" ->
+      Lexer.advance lx;
+      loop (Intersect (e, parse_instance_of lx))
+    | Lexer.NAME "except" ->
+      Lexer.advance lx;
+      loop (Except (e, parse_instance_of lx))
+    | _ -> e
+  in
+  loop (parse_instance_of lx)
+
+and parse_instance_of lx =
+  let e = parse_castable lx in
+  if is_kw lx "instance" then begin
+    Lexer.advance lx;
+    expect_name lx "of";
+    Instance_of (e, parse_seq_type_tokens lx)
+  end
+  else e
+
+and parse_castable lx =
+  let e = parse_cast lx in
+  if is_kw lx "castable" then begin
+    Lexer.advance lx;
+    expect_name lx "as";
+    let (ty, opt) = parse_single_type lx in
+    Castable (e, ty, opt)
+  end
+  else e
+
+and parse_cast lx =
+  let e = parse_unary lx in
+  if is_kw lx "cast" then begin
+    Lexer.advance lx;
+    expect_name lx "as";
+    let (ty, opt) = parse_single_type lx in
+    Cast (e, ty, opt)
+  end
+  else e
+
+(* SingleType ::= AtomicType "?"? *)
+and parse_single_type lx =
+  let name =
+    match Lexer.next lx with
+    | Lexer.NAME n when String.length n > 3 && String.sub n 0 3 = "xs:" ->
+      String.sub n 3 (String.length n - 3)
+    | Lexer.NAME ("integer" | "string" | "boolean" | "double" as n) -> n
+    | got -> fail lx "expected an atomic type, found %s" (Lexer.describe got)
+  in
+  if Lexer.peek lx = Lexer.QMARK then begin
+    Lexer.advance lx;
+    (name, true)
+  end
+  else (name, false)
+
+and parse_unary lx =
+  match Lexer.peek lx with
+  | Lexer.MINUS ->
+    Lexer.advance lx;
+    Neg (parse_unary lx)
+  | Lexer.PLUS ->
+    Lexer.advance lx;
+    parse_unary lx
+  | _ -> parse_path lx
+
+and parse_path lx =
+  match Lexer.peek lx with
+  | Lexer.SLASH ->
+    Lexer.advance lx;
+    if starts_step lx then parse_relative lx Root else Root
+  | Lexer.SLASH2 ->
+    Lexer.advance lx;
+    let dos =
+      Path (Root, Axis_step { axis = Axis.Descendant_or_self; test = Axis.Kind_node })
+    in
+    parse_relative lx dos
+  | _ ->
+    let first = parse_step lx in
+    parse_relative_tail lx first
+
+and starts_step lx =
+  match Lexer.peek lx with
+  | Lexer.NAME _ | Lexer.STAR | Lexer.AT | Lexer.DOT | Lexer.DOT2
+  | Lexer.VAR _ | Lexer.LPAREN | Lexer.STRING _ | Lexer.INT _ | Lexer.DBL _
+  | Lexer.LT ->
+    true
+  | _ -> false
+
+and parse_relative lx left =
+  let step = parse_step lx in
+  parse_relative_tail lx (Path (left, step))
+
+and parse_relative_tail lx e =
+  match Lexer.peek lx with
+  | Lexer.SLASH ->
+    Lexer.advance lx;
+    parse_relative lx e
+  | Lexer.SLASH2 ->
+    Lexer.advance lx;
+    let dos =
+      Path (e, Axis_step { axis = Axis.Descendant_or_self; test = Axis.Kind_node })
+    in
+    parse_relative lx dos
+  | _ -> e
+
+(* A step: axis step (with predicates) or postfix-primary. *)
+and parse_step lx =
+  match Lexer.peek lx with
+  | Lexer.DOT2 ->
+    Lexer.advance lx;
+    parse_predicates lx (Axis_step { axis = Axis.Parent; test = Axis.Kind_node })
+  | Lexer.AT ->
+    Lexer.advance lx;
+    let test =
+      match Lexer.next lx with
+      | Lexer.NAME n -> Axis.Name n
+      | Lexer.STAR -> Axis.Name "*"
+      | got -> fail lx "expected an attribute name, found %s" (Lexer.describe got)
+    in
+    parse_predicates lx (Axis_step { axis = Axis.Attribute; test })
+  | Lexer.STAR ->
+    Lexer.advance lx;
+    parse_predicates lx (Axis_step { axis = Axis.Child; test = Axis.Name "*" })
+  | Lexer.NAME n -> (
+    let p = save lx in
+    Lexer.advance lx;
+    match Lexer.peek lx with
+    | Lexer.AXIS2 -> (
+      match Axis.axis_of_string n with
+      | None -> fail lx "unknown axis %S" n
+      | Some axis ->
+        Lexer.advance lx;
+        let test = parse_node_test lx axis in
+        parse_predicates lx (Axis_step { axis; test }))
+    | Lexer.LPAREN when kind_test_of_name n <> None ->
+      restore lx p;
+      let axis =
+        if n = "attribute" then Axis.Attribute else Axis.Child
+      in
+      let test = parse_node_test lx axis in
+      parse_predicates lx (Axis_step { axis; test })
+    | Lexer.LPAREN | Lexer.LBRACE ->
+      (* function call or computed constructor *)
+      restore lx p;
+      parse_postfix lx
+    | Lexer.NAME _
+      when (n = "element" || n = "attribute")
+           && (restore lx p;
+               next_is_name_then lx Lexer.LBRACE) ->
+      (* computed element/attribute constructor in step position *)
+      parse_postfix lx
+    | _ ->
+      restore lx p;
+      Lexer.advance lx;
+      parse_predicates lx (Axis_step { axis = Axis.Child; test = Axis.Name n }))
+  | _ -> parse_postfix lx
+
+and parse_node_test lx _axis =
+  match Lexer.next lx with
+  | Lexer.STAR -> Axis.Name "*"
+  | Lexer.NAME n -> (
+    match (kind_test_of_name n, Lexer.peek lx) with
+    | (Some kind, Lexer.LPAREN) -> (
+      Lexer.advance lx;
+      match kind with
+      | `Node ->
+        expect lx Lexer.RPAREN;
+        Axis.Kind_node
+      | `Text ->
+        expect lx Lexer.RPAREN;
+        Axis.Kind_text
+      | `Comment ->
+        expect lx Lexer.RPAREN;
+        Axis.Kind_comment
+      | `Pi ->
+        (match Lexer.peek lx with
+        | Lexer.NAME _ | Lexer.STRING _ -> Lexer.advance lx
+        | _ -> ());
+        expect lx Lexer.RPAREN;
+        Axis.Kind_pi
+      | `Element -> Axis.Kind_element (parse_opt_name_arg lx)
+      | `Attribute -> Axis.Kind_attribute (parse_opt_name_arg lx)
+      | `Document ->
+        expect lx Lexer.RPAREN;
+        Axis.Kind_document)
+    | _ -> Axis.Name n)
+  | got -> fail lx "expected a node test, found %s" (Lexer.describe got)
+
+and parse_predicates lx e =
+  if Lexer.peek lx = Lexer.LBRACKET then begin
+    Lexer.advance lx;
+    let pred = parse_expr_seq lx in
+    expect lx Lexer.RBRACKET;
+    parse_predicates lx (Filter (e, pred))
+  end
+  else e
+
+and parse_postfix lx =
+  let e = parse_primary lx in
+  parse_predicates lx e
+
+and parse_primary lx =
+  match Lexer.peek lx with
+  | Lexer.INT n ->
+    Lexer.advance lx;
+    Literal (Atom.Int n)
+  | Lexer.DBL f ->
+    Lexer.advance lx;
+    Literal (Atom.Dbl f)
+  | Lexer.STRING s ->
+    Lexer.advance lx;
+    Literal (Atom.Str s)
+  | Lexer.VAR v ->
+    Lexer.advance lx;
+    Var v
+  | Lexer.DOT ->
+    Lexer.advance lx;
+    Context_item
+  | Lexer.LPAREN ->
+    Lexer.advance lx;
+    if Lexer.peek lx = Lexer.RPAREN then begin
+      Lexer.advance lx;
+      Empty_seq
+    end
+    else begin
+      let e = parse_expr_seq lx in
+      expect lx Lexer.RPAREN;
+      e
+    end
+  | Lexer.LT -> parse_direct_constructor lx
+  | Lexer.NAME "element" when next_is_name_then lx Lexer.LBRACE ->
+    Lexer.advance lx;
+    let name = parse_ncname lx in
+    let body = parse_enclosed lx in
+    Comp_elem (name, body)
+  | Lexer.NAME "attribute" when next_is_name_then lx Lexer.LBRACE ->
+    Lexer.advance lx;
+    let name = parse_ncname lx in
+    let body = parse_enclosed lx in
+    Attr_constr (name, body)
+  | Lexer.NAME "text" when next_is lx Lexer.LBRACE ->
+    Lexer.advance lx;
+    Text_constr (parse_enclosed lx)
+  | Lexer.NAME "comment" when next_is lx Lexer.LBRACE ->
+    Lexer.advance lx;
+    Comment_constr (parse_enclosed lx)
+  | Lexer.NAME "document" when next_is lx Lexer.LBRACE ->
+    Lexer.advance lx;
+    Doc_constr (parse_enclosed lx)
+  | Lexer.NAME n when next_is lx Lexer.LPAREN ->
+    Lexer.advance lx;
+    Lexer.advance lx;
+    let args =
+      if Lexer.peek lx = Lexer.RPAREN then []
+      else
+        let rec args acc =
+          let a = parse_single lx in
+          if Lexer.peek lx = Lexer.COMMA then begin
+            Lexer.advance lx;
+            args (a :: acc)
+          end
+          else List.rev (a :: acc)
+        in
+        args []
+    in
+    expect lx Lexer.RPAREN;
+    Call (normalize_fname n, args)
+  | got -> fail lx "expected an expression, found %s" (Lexer.describe got)
+
+and next_is_name_then lx tok =
+  let p = save lx in
+  Lexer.advance lx;
+  let ok =
+    match Lexer.peek lx with
+    | Lexer.NAME _ ->
+      Lexer.advance lx;
+      Lexer.peek lx = tok
+    | _ -> false
+  in
+  restore lx p;
+  ok
+
+and parse_ncname lx =
+  match Lexer.next lx with
+  | Lexer.NAME n -> n
+  | got -> fail lx "expected a name, found %s" (Lexer.describe got)
+
+and parse_enclosed lx =
+  expect lx Lexer.LBRACE;
+  if Lexer.peek lx = Lexer.RBRACE then begin
+    Lexer.advance lx;
+    Empty_seq
+  end
+  else begin
+    let e = parse_expr_seq lx in
+    expect lx Lexer.RBRACE;
+    e
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Direct constructors (XML mode)                                      *)
+(* ------------------------------------------------------------------ *)
+
+and parse_direct_constructor lx =
+  (* The '<' is the buffered lookahead; rewind to it and read raw. *)
+  let start = save lx in
+  restore lx start;
+  Lexer.raw_advance lx;
+  (* past '<' *)
+  parse_direct_element lx
+
+and raw_name lx =
+  let buf = Buffer.create 8 in
+  let is_name_char c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '-' || c = '.' || c = ':'
+  in
+  while is_name_char (Lexer.raw_peek lx) do
+    Buffer.add_char buf (Lexer.raw_peek lx);
+    Lexer.raw_advance lx
+  done;
+  if Buffer.length buf = 0 then fail lx "expected a name in constructor";
+  Buffer.contents buf
+
+and raw_skip_space lx =
+  while
+    match Lexer.raw_peek lx with
+    | ' ' | '\t' | '\n' | '\r' -> true
+    | _ -> false
+  do
+    Lexer.raw_advance lx
+  done
+
+and raw_entity lx =
+  (* after '&' *)
+  let buf = Buffer.create 4 in
+  while Lexer.raw_peek lx <> ';' && Lexer.raw_peek lx <> '\000' do
+    Buffer.add_char buf (Lexer.raw_peek lx);
+    Lexer.raw_advance lx
+  done;
+  if Lexer.raw_peek lx = ';' then Lexer.raw_advance lx
+  else fail lx "unterminated entity reference";
+  match Buffer.contents buf with
+  | "lt" -> "<"
+  | "gt" -> ">"
+  | "amp" -> "&"
+  | "quot" -> "\""
+  | "apos" -> "'"
+  | s when String.length s > 1 && s.[0] = '#' -> (
+    let code =
+      if s.[1] = 'x' then int_of_string_opt ("0x" ^ String.sub s 2 (String.length s - 2))
+      else int_of_string_opt (String.sub s 1 (String.length s - 1))
+    in
+    match code with
+    | Some c when c < 128 -> String.make 1 (Char.chr c)
+    | _ -> fail lx "unsupported character reference &%s;" s)
+  | s -> fail lx "unknown entity &%s;" s
+
+and parse_attr_value lx quote =
+  (* Pieces of literal text and {expr}; "" style quote escape, {{ }}
+     brace escapes. *)
+  let pieces = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      pieces := A_lit (Buffer.contents buf) :: !pieces;
+      Buffer.clear buf
+    end
+  in
+  let rec go () =
+    match Lexer.raw_peek lx with
+    | '\000' -> fail lx "unterminated attribute value"
+    | c when c = quote ->
+      Lexer.raw_advance lx;
+      if Lexer.raw_peek lx = quote then begin
+        Buffer.add_char buf quote;
+        Lexer.raw_advance lx;
+        go ()
+      end
+    | '{' ->
+      Lexer.raw_advance lx;
+      if Lexer.raw_peek lx = '{' then begin
+        Buffer.add_char buf '{';
+        Lexer.raw_advance lx;
+        go ()
+      end
+      else begin
+        flush ();
+        (* Token mode for the enclosed expression. *)
+        let e = parse_expr_seq lx in
+        expect lx Lexer.RBRACE;
+        pieces := A_expr e :: !pieces;
+        go ()
+      end
+    | '}' ->
+      Lexer.raw_advance lx;
+      if Lexer.raw_peek lx = '}' then Lexer.raw_advance lx;
+      Buffer.add_char buf '}';
+      go ()
+    | '&' ->
+      Lexer.raw_advance lx;
+      Buffer.add_string buf (raw_entity lx);
+      go ()
+    | c ->
+      Buffer.add_char buf c;
+      Lexer.raw_advance lx;
+      go ()
+  in
+  go ();
+  flush ();
+  List.rev !pieces
+
+and parse_direct_element lx =
+  let name = raw_name lx in
+  let attrs = ref [] in
+  let rec attr_loop () =
+    raw_skip_space lx;
+    match Lexer.raw_peek lx with
+    | '/' ->
+      Lexer.raw_advance lx;
+      if Lexer.raw_peek lx = '>' then begin
+        Lexer.raw_advance lx;
+        Elem_constr (name, List.rev !attrs, [])
+      end
+      else fail lx "expected '/>'"
+    | '>' ->
+      Lexer.raw_advance lx;
+      let content = parse_direct_content lx name in
+      Elem_constr (name, List.rev !attrs, content)
+    | '\000' -> fail lx "unterminated start tag <%s" name
+    | _ ->
+      let an = raw_name lx in
+      raw_skip_space lx;
+      if Lexer.raw_peek lx <> '=' then fail lx "expected '=' in attribute";
+      Lexer.raw_advance lx;
+      raw_skip_space lx;
+      let quote = Lexer.raw_peek lx in
+      if quote <> '"' && quote <> '\'' then
+        fail lx "expected a quoted attribute value";
+      Lexer.raw_advance lx;
+      let pieces = parse_attr_value lx quote in
+      attrs := (an, pieces) :: !attrs;
+      attr_loop ()
+  in
+  attr_loop ()
+
+and parse_direct_content lx name =
+  let items = ref [] in
+  let buf = Buffer.create 32 in
+  let is_boundary_ws s = String.for_all (fun c -> c = ' ' || c = '\t' || c = '\n' || c = '\r') s in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      let s = Buffer.contents buf in
+      (* Boundary-space policy: strip (XQuery default). *)
+      if not (is_boundary_ws s) then
+        items := Text_constr (Literal (Atom.Str s)) :: !items;
+      Buffer.clear buf
+    end
+  in
+  let rec go () =
+    match Lexer.raw_peek lx with
+    | '\000' -> fail lx "unterminated element <%s>" name
+    | '<' ->
+      Lexer.raw_advance lx;
+      if Lexer.raw_peek lx = '/' then begin
+        Lexer.raw_advance lx;
+        let close = raw_name lx in
+        if close <> name then
+          fail lx "mismatched </%s> for <%s>" close name;
+        raw_skip_space lx;
+        if Lexer.raw_peek lx <> '>' then fail lx "expected '>'";
+        Lexer.raw_advance lx;
+        flush ()
+      end
+      else if Lexer.raw_peek lx = '!' then begin
+        (* comment <!-- ... --> *)
+        flush ();
+        Lexer.raw_advance lx;
+        let expect_ch c =
+          if Lexer.raw_peek lx = c then Lexer.raw_advance lx
+          else fail lx "malformed comment in constructor"
+        in
+        expect_ch '-';
+        expect_ch '-';
+        let cbuf = Buffer.create 16 in
+        let rec comment () =
+          match Lexer.raw_peek lx with
+          | '\000' -> fail lx "unterminated comment"
+          | '-' ->
+            Lexer.raw_advance lx;
+            if Lexer.raw_peek lx = '-' then begin
+              Lexer.raw_advance lx;
+              if Lexer.raw_peek lx = '>' then Lexer.raw_advance lx
+              else fail lx "'--' not allowed in comment"
+            end
+            else begin
+              Buffer.add_char cbuf '-';
+              comment ()
+            end
+          | c ->
+            Buffer.add_char cbuf c;
+            Lexer.raw_advance lx;
+            comment ()
+        in
+        comment ();
+        items := Comment_constr (Literal (Atom.Str (Buffer.contents cbuf))) :: !items;
+        go ()
+      end
+      else begin
+        flush ();
+        let e = parse_direct_element lx in
+        items := e :: !items;
+        go ()
+      end
+    | '{' ->
+      Lexer.raw_advance lx;
+      if Lexer.raw_peek lx = '{' then begin
+        Buffer.add_char buf '{';
+        Lexer.raw_advance lx;
+        go ()
+      end
+      else begin
+        flush ();
+        let e = parse_expr_seq lx in
+        expect lx Lexer.RBRACE;
+        items := e :: !items;
+        go ()
+      end
+    | '}' ->
+      Lexer.raw_advance lx;
+      if Lexer.raw_peek lx = '}' then begin
+        Buffer.add_char buf '}';
+        Lexer.raw_advance lx;
+        go ()
+      end
+      else fail lx "'}' must be escaped as '}}' in element content"
+    | '&' ->
+      Lexer.raw_advance lx;
+      Buffer.add_string buf (raw_entity lx);
+      go ()
+    | c ->
+      Buffer.add_char buf c;
+      Lexer.raw_advance lx;
+      go ()
+  in
+  go ();
+  List.rev !items
+
+(* ------------------------------------------------------------------ *)
+(* Programs                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let parse_fundef lx =
+  (* after 'declare function' *)
+  let name = normalize_fname (parse_ncname lx) in
+  expect lx Lexer.LPAREN;
+  let params =
+    if Lexer.peek lx = Lexer.RPAREN then []
+    else
+      let rec params acc =
+        let v = parse_var lx in
+        let ty =
+          if is_kw lx "as" then begin
+            Lexer.advance lx;
+            Some (parse_seq_type_tokens lx)
+          end
+          else None
+        in
+        if Lexer.peek lx = Lexer.COMMA then begin
+          Lexer.advance lx;
+          params ((v, ty) :: acc)
+        end
+        else List.rev ((v, ty) :: acc)
+      in
+      params []
+  in
+  expect lx Lexer.RPAREN;
+  let return_type =
+    if is_kw lx "as" then begin
+      Lexer.advance lx;
+      Some (parse_seq_type_tokens lx)
+    end
+    else None
+  in
+  expect lx Lexer.LBRACE;
+  let body = parse_expr_seq lx in
+  expect lx Lexer.RBRACE;
+  { fname = name; params; return_type; body }
+
+let parse_program_lx lx =
+  let functions = ref [] in
+  let variables = ref [] in
+  let rec prolog () =
+    if is_kw lx "declare" then begin
+      Lexer.advance lx;
+      (if is_kw lx "function" then begin
+         Lexer.advance lx;
+         functions := parse_fundef lx :: !functions
+       end
+       else if is_kw lx "variable" then begin
+         Lexer.advance lx;
+         let v = parse_var lx in
+         (if is_kw lx "as" then begin
+            Lexer.advance lx;
+            ignore (parse_seq_type_tokens lx)
+          end);
+         expect lx Lexer.ASSIGN;
+         let e = parse_single lx in
+         variables := (v, e) :: !variables
+       end
+       else fail lx "expected 'function' or 'variable' after 'declare'");
+      if Lexer.peek lx = Lexer.SEMI then Lexer.advance lx;
+      prolog ()
+    end
+  in
+  prolog ();
+  let main = parse_expr_seq lx in
+  (match Lexer.peek lx with
+  | Lexer.EOF -> ()
+  | got -> fail lx "trailing input: %s" (Lexer.describe got));
+  { functions = List.rev !functions; variables = List.rev !variables; main }
+
+let wrap_errors lx f =
+  try f () with
+  | Lexer.Error { pos; msg } ->
+    let (line, col) = Lexer.line_col lx pos in
+    raise (Error { line; col; msg })
+
+let parse_program src =
+  let lx = Lexer.create src in
+  wrap_errors lx (fun () -> parse_program_lx lx)
+
+let parse_expr src =
+  let lx = Lexer.create src in
+  wrap_errors lx (fun () ->
+      let e = parse_expr_seq lx in
+      match Lexer.peek lx with
+      | Lexer.EOF -> e
+      | got -> fail lx "trailing input: %s" (Lexer.describe got))
+
+let parse_seq_type src =
+  let lx = Lexer.create src in
+  wrap_errors lx (fun () ->
+      let t = parse_seq_type_tokens lx in
+      match Lexer.peek lx with
+      | Lexer.EOF -> t
+      | got -> fail lx "trailing input: %s" (Lexer.describe got))

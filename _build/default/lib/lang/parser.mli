@@ -1,0 +1,26 @@
+(** Recursive-descent parser for the [fixq] XQuery subset.
+
+    Grammar highlights (see {!Ast} for the produced tree):
+    - full expression language: FLWOR ([for]/[let]/[where]/[return]),
+      quantifiers, [if], [typeswitch], general/value/node comparisons,
+      arithmetic, ranges, node-set operators, paths with all axes and
+      abbreviations ([@], [..], [//]), predicates, direct and computed
+      constructors;
+    - the paper's inflationary fixed point form
+      [with $x seeded by e1 recurse e2];
+    - a prolog of [declare function] and [declare variable]
+      declarations ([local:] and [fn:] prefixes are normalized away).
+
+    XQuery keywords are not reserved; [for], [union], … still parse as
+    element names in path position. *)
+
+exception Error of { line : int; col : int; msg : string }
+
+(** Parse a complete program: prolog followed by the main expression. *)
+val parse_program : string -> Ast.program
+
+(** Parse a single expression (no prolog). *)
+val parse_expr : string -> Ast.expr
+
+(** Parse a sequence type, e.g. ["node()*"] (used by tests). *)
+val parse_seq_type : string -> Ast.seq_type

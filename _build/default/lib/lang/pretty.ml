@@ -1,0 +1,238 @@
+open Ast
+module Axis = Fixq_xdm.Axis
+module Atom = Fixq_xdm.Atom
+
+let buf_add = Buffer.add_string
+
+let string_lit s =
+  (* double-quote literal with XQuery's "" escape *)
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      if c = '"' then buf_add b "\"\"" else Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let atom_lit = function
+  | Atom.Int i -> if i < 0 then Printf.sprintf "(%d)" i else string_of_int i
+  | Atom.Dbl f ->
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+    else Printf.sprintf "%.17g" f
+  | Atom.Str s -> string_lit s
+  | Atom.Bool true -> "true()"
+  | Atom.Bool false -> "false()"
+
+let test_to_string = function
+  | Axis.Name n -> n
+  | Axis.Kind_node -> "node()"
+  | Axis.Kind_text -> "text()"
+  | Axis.Kind_comment -> "comment()"
+  | Axis.Kind_pi -> "processing-instruction()"
+  | Axis.Kind_element None -> "element()"
+  | Axis.Kind_element (Some n) -> Printf.sprintf "element(%s)" n
+  | Axis.Kind_attribute None -> "attribute()"
+  | Axis.Kind_attribute (Some n) -> Printf.sprintf "attribute(%s)" n
+  | Axis.Kind_document -> "document-node()"
+
+let step_to_string { axis; test } =
+  Printf.sprintf "%s::%s" (Axis.axis_to_string axis) (test_to_string test)
+
+let item_type_to_string = function
+  | It_item -> "item()"
+  | It_node -> "node()"
+  | It_element None -> "element()"
+  | It_element (Some n) -> Printf.sprintf "element(%s)" n
+  | It_attribute None -> "attribute()"
+  | It_attribute (Some n) -> Printf.sprintf "attribute(%s)" n
+  | It_text -> "text()"
+  | It_comment -> "comment()"
+  | It_document -> "document-node()"
+  | It_atomic t -> "xs:" ^ t
+
+let seq_type_to_string = function
+  | Empty_sequence -> "empty-sequence()"
+  | Typed (it, occ) ->
+    item_type_to_string it
+    ^ (match occ with One -> "" | Opt -> "?" | Star -> "*" | Plus -> "+")
+
+let cmp_gen = function
+  | Eq -> "=" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+
+let cmp_val = function
+  | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
+
+let arith_sym = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "div" | Idiv -> "idiv"
+  | Mod -> "mod"
+
+(* Escape literal text for direct-constructor content / attribute
+   values. *)
+let escape_constructor_text ~attr s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> buf_add b "&lt;"
+      | '>' -> buf_add b "&gt;"
+      | '&' -> buf_add b "&amp;"
+      | '{' -> buf_add b "{{"
+      | '}' -> buf_add b "}}"
+      | '"' when attr -> buf_add b "&quot;"
+      | '\'' when attr -> buf_add b "&apos;"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Everything below is rendered fully parenthesized where nesting could
+   change the parse; [go] returns a self-delimiting string. *)
+let rec go (e : expr) : string =
+  match e with
+  | Literal a -> atom_lit a
+  | Empty_seq -> "()"
+  | Var v -> "$" ^ v
+  | Context_item -> "."
+  | Root -> "(/)"
+  | Sequence (a, b) -> Printf.sprintf "(%s, %s)" (go a) (go b)
+  | Union (a, b) -> Printf.sprintf "(%s union %s)" (go a) (go b)
+  | Except (a, b) -> Printf.sprintf "(%s except %s)" (go a) (go b)
+  | Intersect (a, b) -> Printf.sprintf "(%s intersect %s)" (go a) (go b)
+  | Path (Root, b) -> Printf.sprintf "/%s" (go_step b)
+  | Path (a, b) -> Printf.sprintf "%s/%s" (go_path_operand a) (go_step b)
+  | Axis_step s -> step_to_string s
+  | Filter (a, p) -> Printf.sprintf "%s[%s]" (go_filter_base a) (go p)
+  | For { var; pos; source; body } ->
+    Printf.sprintf "(for $%s%s in %s return %s)" var
+      (match pos with None -> "" | Some p -> " at $" ^ p)
+      (go source) (go body)
+  | Sort { var; source; key; descending; body } ->
+    Printf.sprintf "(for $%s in %s order by %s%s return %s)" var (go source)
+      (go key)
+      (if descending then " descending" else "")
+      (go body)
+  | Let { var; value; body } ->
+    Printf.sprintf "(let $%s := %s return %s)" var (go value) (go body)
+  | If (c, t, e') ->
+    Printf.sprintf "(if (%s) then %s else %s)" (go c) (go t) (go e')
+  | Quantified (q, v, source, pred) ->
+    Printf.sprintf "(%s $%s in %s satisfies %s)"
+      (match q with Some_ -> "some" | Every -> "every")
+      v (go source) (go pred)
+  | Arith (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (go a) (arith_sym op) (go b)
+  | Neg a -> Printf.sprintf "(- %s)" (go a)
+  | Gen_cmp (c, a, b) ->
+    Printf.sprintf "(%s %s %s)" (go a) (cmp_gen c) (go b)
+  | Val_cmp (c, a, b) ->
+    Printf.sprintf "(%s %s %s)" (go a) (cmp_val c) (go b)
+  | Node_is (a, b) -> Printf.sprintf "(%s is %s)" (go a) (go b)
+  | Node_before (a, b) -> Printf.sprintf "(%s << %s)" (go a) (go b)
+  | Node_after (a, b) -> Printf.sprintf "(%s >> %s)" (go a) (go b)
+  | And (a, b) -> Printf.sprintf "(%s and %s)" (go a) (go b)
+  | Or (a, b) -> Printf.sprintf "(%s or %s)" (go a) (go b)
+  | Range (a, b) -> Printf.sprintf "(%s to %s)" (go a) (go b)
+  | Call (f, args) ->
+    Printf.sprintf "%s(%s)" f (String.concat ", " (List.map go args))
+  | Elem_constr (name, attrs, content) ->
+    let attr (an, pieces) =
+      let body =
+        String.concat ""
+          (List.map
+             (function
+               | A_lit s -> escape_constructor_text ~attr:true s
+               | A_expr e -> Printf.sprintf "{%s}" (go e))
+             pieces)
+      in
+      Printf.sprintf " %s=\"%s\"" an body
+    in
+    if content = [] then
+      Printf.sprintf "<%s%s/>" name (String.concat "" (List.map attr attrs))
+    else
+      Printf.sprintf "<%s%s>%s</%s>" name
+        (String.concat "" (List.map attr attrs))
+        (String.concat ""
+           (List.map (fun c -> Printf.sprintf "{%s}" (go c)) content))
+        name
+  | Instance_of (a, ty) ->
+    Printf.sprintf "(%s instance of %s)" (go a) (seq_type_to_string ty)
+  | Cast (a, ty, opt) ->
+    Printf.sprintf "(%s cast as xs:%s%s)" (go a) ty (if opt then "?" else "")
+  | Castable (a, ty, opt) ->
+    Printf.sprintf "(%s castable as xs:%s%s)" (go a) ty
+      (if opt then "?" else "")
+  | Comp_elem (name, body) ->
+    Printf.sprintf "(element %s { %s })" name (go body)
+  | Text_constr body -> Printf.sprintf "(text { %s })" (go body)
+  | Attr_constr (name, body) ->
+    Printf.sprintf "(attribute %s { %s })" name (go body)
+  | Comment_constr body -> Printf.sprintf "(comment { %s })" (go body)
+  | Doc_constr body -> Printf.sprintf "(document { %s })" (go body)
+  | Typeswitch (scrut, cases, dvar, dbody) ->
+    let case (ty, v, body) =
+      Printf.sprintf " case %s%s return %s"
+        (match v with None -> "" | Some v -> "$" ^ v ^ " as ")
+        (seq_type_to_string ty) (go body)
+    in
+    Printf.sprintf "(typeswitch (%s)%s default %sreturn %s)" (go scrut)
+      (String.concat "" (List.map case cases))
+      (match dvar with None -> "" | Some v -> "$" ^ v ^ " ")
+      (go dbody)
+  | Ifp { var; seed; body } ->
+    Printf.sprintf "(with $%s seeded by %s recurse %s)" var (go seed)
+      (go body)
+
+(* Base of a predicate: like a path operand, except that a Path base
+   must be parenthesized — "a/b[p]" attaches the predicate to the last
+   step, not to the whole path. *)
+and go_filter_base e =
+  match e with
+  | Path _ -> Printf.sprintf "(%s)" (go e)
+  | _ -> go_path_operand e
+
+(* Left operand of '/' or '[': must be a step expression; wrap others in
+   parentheses (which the grammar accepts in step position). *)
+and go_path_operand e =
+  match e with
+  | Path _ | Axis_step _ | Filter _ | Var _ | Call _ | Context_item
+  | Literal _ ->
+    go e
+  | _ -> Printf.sprintf "(%s)" (go e)
+
+(* Right-hand side of '/': a step or a parenthesized expression. *)
+and go_step e =
+  match e with
+  | Axis_step s -> step_to_string s
+  | Filter ((Axis_step _ as s), p) ->
+    Printf.sprintf "%s[%s]" (go_step s) (go p)
+  | Call _ | Var _ -> go e
+  | _ -> Printf.sprintf "(%s)" (go e)
+
+let expr_to_string = go
+
+let pp_expr ppf e = Format.pp_print_string ppf (expr_to_string e)
+
+let program_to_string (p : program) =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun fd ->
+      let param (v, ty) =
+        Printf.sprintf "$%s%s" v
+          (match ty with
+          | None -> ""
+          | Some t -> " as " ^ seq_type_to_string t)
+      in
+      buf_add b
+        (Printf.sprintf "declare function %s(%s)%s { %s };\n" fd.fname
+           (String.concat ", " (List.map param fd.params))
+           (match fd.return_type with
+           | None -> ""
+           | Some t -> " as " ^ seq_type_to_string t)
+           (go fd.body)))
+    p.functions;
+  List.iter
+    (fun (v, e) ->
+      buf_add b (Printf.sprintf "declare variable $%s := %s;\n" v (go e)))
+    p.variables;
+  buf_add b (go p.main);
+  Buffer.contents b

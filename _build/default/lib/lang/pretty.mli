@@ -1,0 +1,16 @@
+(** Pretty-printer: {!Ast} back to XQuery source.
+
+    The output re-parses to an equal tree ([Parser.parse_expr (to_string
+    e)] = [e] up to [Ast.equal_expr]) — property-tested in
+    [test/test_pretty.ml]. Rendering is fully parenthesized where
+    precedence could bite, and uses the [with … seeded by … recurse]
+    form for {!Ast.Ifp}. *)
+
+val expr_to_string : Ast.expr -> string
+
+val program_to_string : Ast.program -> string
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+
+(** Render a sequence type ([node()*], [xs:integer?], …). *)
+val seq_type_to_string : Ast.seq_type -> string

@@ -1,0 +1,289 @@
+open Ast
+
+(* Bottom-up expression transformation. *)
+let rec map_expr f e =
+  let m = map_expr f in
+  let e' =
+    match e with
+    | Literal _ | Empty_seq | Var _ | Context_item | Root | Axis_step _ -> e
+    | Sequence (a, b) -> Sequence (m a, m b)
+    | Union (a, b) -> Union (m a, m b)
+    | Except (a, b) -> Except (m a, m b)
+    | Intersect (a, b) -> Intersect (m a, m b)
+    | Path (a, b) -> Path (m a, m b)
+    | Filter (a, b) -> Filter (m a, m b)
+    | For { var; pos; source; body } ->
+      For { var; pos; source = m source; body = m body }
+    | Sort { var; source; key; descending; body } ->
+      Sort { var; source = m source; key = m key; descending; body = m body }
+    | Let { var; value; body } -> Let { var; value = m value; body = m body }
+    | If (c, t, e') -> If (m c, m t, m e')
+    | Quantified (q, v, s, p) -> Quantified (q, v, m s, m p)
+    | Arith (op, a, b) -> Arith (op, m a, m b)
+    | Neg a -> Neg (m a)
+    | Gen_cmp (c, a, b) -> Gen_cmp (c, m a, m b)
+    | Val_cmp (c, a, b) -> Val_cmp (c, m a, m b)
+    | Node_is (a, b) -> Node_is (m a, m b)
+    | Node_before (a, b) -> Node_before (m a, m b)
+    | Node_after (a, b) -> Node_after (m a, m b)
+    | And (a, b) -> And (m a, m b)
+    | Or (a, b) -> Or (m a, m b)
+    | Range (a, b) -> Range (m a, m b)
+    | Call (f', args) -> Call (f', List.map m args)
+    | Elem_constr (n, attrs, content) ->
+      let attrs =
+        List.map
+          (fun (an, pieces) ->
+            ( an,
+              List.map
+                (function A_lit l -> A_lit l | A_expr e -> A_expr (m e))
+                pieces ))
+          attrs
+      in
+      Elem_constr (n, attrs, List.map m content)
+    | Comp_elem (n, a) -> Comp_elem (n, m a)
+    | Instance_of (a, ty) -> Instance_of (m a, ty)
+    | Cast (a, ty, opt) -> Cast (m a, ty, opt)
+    | Castable (a, ty, opt) -> Castable (m a, ty, opt)
+    | Text_constr a -> Text_constr (m a)
+    | Attr_constr (n, a) -> Attr_constr (n, m a)
+    | Comment_constr a -> Comment_constr (m a)
+    | Doc_constr a -> Doc_constr (m a)
+    | Typeswitch (s, cases, dv, db) ->
+      Typeswitch (m s, List.map (fun (ty, v, b) -> (ty, v, m b)) cases, dv, m db)
+    | Ifp { var; seed; body } -> Ifp { var; seed = m seed; body = m body }
+  in
+  f e'
+
+let free_vars_list e =
+  Hashtbl.fold (fun v () acc -> v :: acc) (free_vars e) []
+  |> List.sort compare
+
+let node_star = Some (Typed (It_node, Star))
+
+(* Shared worker: rewrite every Ifp occurrence into calls to fresh
+   template functions built by [make_templates var extras], which
+   returns (new fundefs, replacement expression builder taking the seed
+   argument list). *)
+let desugar_with ~make p =
+  let new_funs = ref [] in
+  let counter = ref 0 in
+  let rewrite_expr e =
+    map_expr
+      (function
+        | Ifp { var; seed; body } ->
+          incr counter;
+          let extras =
+            List.filter (fun v -> v <> var) (free_vars_list body)
+          in
+          let (funs, call) = make !counter var extras body in
+          new_funs := funs @ !new_funs;
+          call seed
+        | e -> e)
+      e
+  in
+  let functions =
+    List.map (fun fd -> { fd with body = rewrite_expr fd.body }) p.functions
+  in
+  let variables = List.map (fun (v, e) -> (v, rewrite_expr e)) p.variables in
+  let main = rewrite_expr p.main in
+  { functions = functions @ List.rev !new_funs; variables; main }
+
+(* Figure 2: the Naïve template.
+
+   declare function rec_k($x, extras)  { e_rec };
+   declare function fix_k($x, extras)
+   { let $res := rec_k($x, extras)
+     return if (empty($res except $x)) then $x
+            else fix_k($res union $x, extras) };
+   …  fix_k(rec_k(e_seed, extras), extras)  …
+
+   (The termination test follows Definition 2.1 / Figure 3(a): stop
+   when the payload contributes no new nodes and return the accumulated
+   sequence.) *)
+let naive_templates k var extras body =
+  let recn = Printf.sprintf "rec_%d" k in
+  let fixn = Printf.sprintf "fix_%d" k in
+  let params = (var, node_star) :: List.map (fun v -> (v, None)) extras in
+  let extra_args = List.map (fun v -> Var v) extras in
+  let rec_fun = { fname = recn; params; return_type = node_star; body } in
+  let res = fresh_var "res" in
+  let fix_body =
+    Let
+      { var = res;
+        value = Call (recn, Var var :: extra_args);
+        body =
+          If
+            ( Call ("empty", [ Except (Var res, Var var) ]),
+              Var var,
+              Call (fixn, Union (Var res, Var var) :: extra_args) ) }
+  in
+  let fix_fun =
+    { fname = fixn; params; return_type = node_star; body = fix_body }
+  in
+  let call seed =
+    Call (fixn, Call (recn, seed :: extra_args) :: extra_args)
+  in
+  ([ rec_fun; fix_fun ], call)
+
+(* Figure 4: the Delta template.
+
+   declare function delta_k($x, $res, extras)
+   { let $d := rec_k($x, extras) except $res
+     return if (empty($d)) then $res
+            else delta_k($d, $d union $res, extras) };
+   …  let $r0 := rec_k(e_seed, extras)
+      return delta_k($r0, $r0, extras)  …
+
+   The initial accumulator is rec(seed) itself (Figure 3(b) sets
+   ∆ ← res after the seeding step); calling delta(rec($seed), ()) as
+   printed in the paper would drop the first layer from the result. *)
+let delta_templates k var extras body =
+  let recn = Printf.sprintf "rec_%d" k in
+  let deltan = Printf.sprintf "delta_%d" k in
+  let rec_params = (var, node_star) :: List.map (fun v -> (v, None)) extras in
+  let extra_args = List.map (fun v -> Var v) extras in
+  let rec_fun =
+    { fname = recn; params = rec_params; return_type = node_star; body }
+  in
+  let res = fresh_var "res" in
+  let d = fresh_var "d" in
+  let delta_params =
+    (var, node_star) :: (res, node_star)
+    :: List.map (fun v -> (v, None)) extras
+  in
+  let delta_body =
+    Let
+      { var = d;
+        value = Except (Call (recn, Var var :: extra_args), Var res);
+        body =
+          If
+            ( Call ("empty", [ Var d ]),
+              Var res,
+              Call (deltan, Var d :: Union (Var d, Var res) :: extra_args) )
+      }
+  in
+  let delta_fun =
+    { fname = deltan; params = delta_params; return_type = node_star;
+      body = delta_body }
+  in
+  let call seed =
+    let r0 = fresh_var "r0" in
+    Let
+      { var = r0;
+        value = Call (recn, seed :: extra_args);
+        body = Call (deltan, Var r0 :: Var r0 :: extra_args) }
+  in
+  ([ rec_fun; delta_fun ], call)
+
+let desugar_naive p = desugar_with ~make:naive_templates p
+let desugar_delta p = desugar_with ~make:delta_templates p
+
+let distributivity_hint ~var e =
+  let y = fresh_var "y" in
+  For { var = y; pos = None; source = Var var; body = subst var (Var y) e }
+
+let hint_program p =
+  let rewrite e =
+    map_expr
+      (function
+        | Ifp { var; seed; body } ->
+          Ifp { var; seed; body = distributivity_hint ~var body }
+        | e -> e)
+      e
+  in
+  { functions =
+      List.map (fun fd -> { fd with body = rewrite fd.body }) p.functions;
+    variables = List.map (fun (v, e) -> (v, rewrite e)) p.variables;
+    main = rewrite p.main }
+
+(* ------------------------------------------------------------------ *)
+(* Function inlining                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let calls_in e =
+  let acc = ref [] in
+  ignore
+    (map_expr
+       (function
+         | Call (f, _) as e ->
+           acc := f :: !acc;
+           e
+         | e -> e)
+       e);
+  !acc
+
+(* Functions reachable from their own body (directly or transitively)
+   must not be inlined. *)
+let recursive_functions (funs : fundef list) =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun fd -> Hashtbl.replace tbl fd.fname (calls_in fd.body)) funs;
+  let reaches_self start =
+    let visited = Hashtbl.create 8 in
+    let rec go f =
+      match Hashtbl.find_opt tbl f with
+      | None -> false
+      | Some callees ->
+        List.exists
+          (fun c ->
+            c = start
+            ||
+            if Hashtbl.mem visited c then false
+            else begin
+              Hashtbl.replace visited c ();
+              go c
+            end)
+          callees
+    in
+    go start
+  in
+  List.filter (fun fd -> reaches_self fd.fname) funs
+  |> List.map (fun fd -> fd.fname)
+
+let inline_functions ?(max_rounds = 5) p =
+  let recs = recursive_functions p.functions in
+  let by_name = Hashtbl.create 16 in
+  List.iter
+    (fun fd ->
+      if not (List.mem fd.fname recs) then Hashtbl.replace by_name fd.fname fd)
+    p.functions;
+  let inline_once e =
+    map_expr
+      (function
+        | Call (f, args) as e -> (
+          match Hashtbl.find_opt by_name f with
+          | Some fd when List.length fd.params = List.length args ->
+            (* let $fresh_i := arg_i in body[param_i → $fresh_i] *)
+            let bindings =
+              List.map2
+                (fun (param, _) arg -> (param, fresh_var param, arg))
+                fd.params args
+            in
+            let body =
+              List.fold_left
+                (fun body (param, fresh, _) -> subst param (Var fresh) body)
+                fd.body bindings
+            in
+            List.fold_right
+              (fun (_, fresh, arg) body ->
+                Let { var = fresh; value = arg; body })
+              bindings body
+          | _ -> e)
+        | e -> e)
+      e
+  in
+  let rec rounds i e =
+    if i >= max_rounds then e
+    else
+      let e' = inline_once e in
+      if equal_expr e e' then e else rounds (i + 1) e'
+  in
+  { functions =
+      List.map
+        (fun fd ->
+          if List.mem fd.fname recs then
+            { fd with body = rounds 0 fd.body }
+          else fd)
+        p.functions;
+    variables = List.map (fun (v, e) -> (v, rounds 0 e)) p.variables;
+    main = rounds 0 p.main }

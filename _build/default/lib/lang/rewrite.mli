@@ -1,0 +1,50 @@
+(** Source-level rewrites around the IFP form.
+
+    The paper points out that [with … seeded by … recurse] is syntactic
+    sugar over the recursive user-defined function templates of Figure 2
+    ([fix]) and Figure 4 ([delta]); a conventional XQuery processor
+    without a fixpoint operator (Saxon, in the paper's experiments) runs
+    exactly those templates. {!desugar_naive} and {!desugar_delta}
+    perform that instantiation on a whole program. *)
+
+(** [desugar_naive p] replaces every [Ifp] node in [p] by a call to a
+    freshly declared [fix]-style function pair (Figure 2):
+
+    {v
+    declare function fix_k($x) { let $res := rec_k($x) return
+      if (empty($x except $res)) then $res else fix_k($res union $x) };
+    declare function rec_k($x) { e_rec };
+    …  fix_k(rec_k(e_seed))  …
+    v} *)
+val desugar_naive : Ast.program -> Ast.program
+
+(** [desugar_delta p] instantiates the Figure 4 template instead —
+    {e only sound when each recursion body is distributive}:
+
+    {v
+    declare function delta_k($x, $res) { let $d := rec_k($x) except $res
+      return if (empty($d)) then $res
+             else delta_k($d, $d union $res) };
+    …  delta_k(rec_k(e_seed), rec_k(e_seed'))  …
+    v}
+
+    (following the paper's drop-in replacement: line 14 of Figure 2
+    becomes [delta(rec($seed), ())], after which the result is united
+    with the first layer). *)
+val desugar_delta : Ast.program -> Ast.program
+
+(** The "distributivity hint" of Section 3.2: rewrite a recursion body
+    [e] into [for $y in $x return e\[$y/$x\]], which the rules of
+    Figure 5 always accept when they accepted nothing about [e]. The
+    hint preserves semantics exactly when [e] really is distributive
+    for [$x] — the caller asserts that. *)
+val distributivity_hint : var:string -> Ast.expr -> Ast.expr
+
+(** Apply {!distributivity_hint} to every [Ifp] body in the program. *)
+val hint_program : Ast.program -> Ast.program
+
+(** Inline non-recursive user-defined function calls (one pass,
+    repeated to a fixpoint up to [max_rounds]); used to compare the
+    syntactic and algebraic distributivity checks on the Section 4.1
+    example. *)
+val inline_functions : ?max_rounds:int -> Ast.program -> Ast.program

@@ -1,0 +1,124 @@
+open Ast
+
+type severity = Error | Warning
+
+type diagnostic = { severity : severity; context : string; message : string }
+
+let errors = List.filter (fun d -> d.severity = Error)
+
+let pp_diagnostic ppf d =
+  Format.fprintf ppf "%s (%s): %s"
+    (match d.severity with Error -> "error" | Warning -> "warning")
+    d.context d.message
+
+let check_program (p : program) : diagnostic list =
+  let out = ref [] in
+  let emit severity context fmt =
+    Format.kasprintf
+      (fun message -> out := { severity; context; message } :: !out)
+      fmt
+  in
+  (* declared functions, with duplicate detection *)
+  let declared : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun fd ->
+      if Hashtbl.mem declared fd.fname then
+        emit Error fd.fname "function %s is declared more than once" fd.fname;
+      Hashtbl.replace declared fd.fname (List.length fd.params);
+      let rec dup_params = function
+        | [] -> ()
+        | (v, _) :: rest ->
+          if List.mem_assoc v rest then
+            emit Error fd.fname "duplicate parameter $%s" v;
+          dup_params rest
+      in
+      dup_params fd.params)
+    p.functions;
+  let globals = List.map fst p.variables in
+  (* expression walk with an environment of bound variable names *)
+  let rec walk ctx bound e =
+    let w = walk ctx bound in
+    match e with
+    | Var v ->
+      if not (List.mem v bound) then
+        emit Error ctx "undefined variable $%s" v
+    | Literal _ | Empty_seq | Context_item | Root | Axis_step _ -> ()
+    | Sequence (a, b) | Union (a, b) | Except (a, b) | Intersect (a, b)
+    | Path (a, b) | Filter (a, b) | Arith (_, a, b) | Gen_cmp (_, a, b)
+    | Val_cmp (_, a, b) | Node_is (a, b) | Node_before (a, b)
+    | Node_after (a, b) | And (a, b) | Or (a, b) | Range (a, b) ->
+      w a;
+      w b
+    | Neg a | Text_constr a | Attr_constr (_, a) | Comment_constr a
+    | Doc_constr a | Comp_elem (_, a) | Instance_of (a, _)
+    | Cast (a, _, _) | Castable (a, _, _) ->
+      w a
+    | For { var; pos; source; body } ->
+      w source;
+      let bound =
+        var :: (match pos with Some p -> [ p ] | None -> []) @ bound
+      in
+      walk ctx bound body
+    | Sort { var; source; key; body; _ } ->
+      w source;
+      walk ctx (var :: bound) key;
+      walk ctx (var :: bound) body
+    | Let { var; value; body } ->
+      w value;
+      walk ctx (var :: bound) body
+    | If (c, t, e') ->
+      w c;
+      w t;
+      w e'
+    | Quantified (_, v, source, pred) ->
+      w source;
+      walk ctx (v :: bound) pred
+    | Call (f, args) ->
+      (match Hashtbl.find_opt declared f with
+      | Some arity ->
+        if arity <> List.length args then
+          emit Error ctx "function %s expects %d argument(s), given %d" f
+            arity (List.length args)
+      | None ->
+        if not (Builtins.is_builtin f) then
+          emit Error ctx "unknown function %s" f);
+      List.iter w args
+    | Elem_constr (_, attrs, content) ->
+      List.iter
+        (fun (_, pieces) ->
+          List.iter
+            (function A_lit _ -> () | A_expr e -> w e)
+            pieces)
+        attrs;
+      List.iter w content
+    | Typeswitch (scrut, cases, dvar, dbody) ->
+      w scrut;
+      List.iter
+        (fun (_, v, body) ->
+          let bound = match v with Some v -> v :: bound | None -> bound in
+          walk ctx bound body)
+        cases;
+      let bound = match dvar with Some v -> v :: bound | None -> bound in
+      walk ctx bound dbody
+    | Ifp { var; seed; body } ->
+      w seed;
+      if not (is_free var body) then
+        emit Warning ctx
+          "the recursion body never uses $%s: the fixed point converges \
+           after one round"
+          var;
+      walk ctx (var :: bound) body
+  in
+  (* globals are checked in declaration order; each sees the previous *)
+  let _ =
+    List.fold_left
+      (fun seen (v, e) ->
+        walk (Printf.sprintf "variable $%s" v) seen e;
+        v :: seen)
+      [] p.variables
+  in
+  List.iter
+    (fun fd -> walk fd.fname (List.map fst fd.params @ globals) fd.body)
+    p.functions;
+  walk "main" globals p.main;
+  List.rev !out

@@ -1,0 +1,28 @@
+(** Static checks over parsed programs: name resolution and arity —
+    the mistakes a processor should report before evaluation rather
+    than as dynamic errors deep inside a fixpoint.
+
+    Checked:
+    - references to undefined variables (respecting [for]/[let]/
+      quantifier/typeswitch/IFP binders, function parameters and
+      global declarations);
+    - calls to unknown functions (neither built-in nor declared) and
+      declared-function calls with the wrong arity;
+    - duplicate function declarations and duplicate parameters;
+    - IFP bodies that never use their recursion variable (reported as a
+      warning — the fixed point converges after one round). *)
+
+type severity = Error | Warning
+
+type diagnostic = {
+  severity : severity;
+  context : string;  (** enclosing function name, or ["main"] *)
+  message : string;
+}
+
+val check_program : Ast.program -> diagnostic list
+
+(** [errors ds] keeps only the hard errors. *)
+val errors : diagnostic list -> diagnostic list
+
+val pp_diagnostic : Format.formatter -> diagnostic -> unit

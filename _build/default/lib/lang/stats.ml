@@ -1,0 +1,35 @@
+type iteration = { fed : int; produced : int; result_size : int }
+
+type t = {
+  mutable total_fed : int;
+  mutable total_calls : int;
+  mutable max_depth : int;
+  mutable current_run : iteration list;  (** newest first *)
+}
+
+let create () =
+  { total_fed = 0; total_calls = 0; max_depth = 0; current_run = [] }
+
+let reset t =
+  t.total_fed <- 0;
+  t.total_calls <- 0;
+  t.max_depth <- 0;
+  t.current_run <- []
+
+let start_run t = t.current_run <- []
+
+let record_iteration t ~fed ~produced ~result_size =
+  t.total_fed <- t.total_fed + fed;
+  t.total_calls <- t.total_calls + 1;
+  t.current_run <- { fed; produced; result_size } :: t.current_run;
+  let depth = List.length t.current_run in
+  if depth > t.max_depth then t.max_depth <- depth
+
+let nodes_fed t = t.total_fed
+let depth t = t.max_depth
+let payload_calls t = t.total_calls
+let last_run t = List.rev t.current_run
+
+let pp ppf t =
+  Format.fprintf ppf "fed=%d calls=%d depth=%d" t.total_fed t.total_calls
+    t.max_depth

@@ -1,0 +1,1 @@
+lib/regxpath/regxpath.ml: Fixq_lang Fixq_xdm Format Hashtbl List String

@@ -1,0 +1,1 @@
+lib/regxpath/regxpath.mli: Fixq_lang Fixq_xdm Format

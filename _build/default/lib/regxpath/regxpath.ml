@@ -1,0 +1,251 @@
+module Axis = Fixq_xdm.Axis
+module Node = Fixq_xdm.Node
+module Item = Fixq_xdm.Item
+module Ast = Fixq_lang.Ast
+module Eval = Fixq_lang.Eval
+
+type t =
+  | Step of Axis.t * Axis.test
+  | Seq of t * t
+  | Alt of t * t
+  | Plus of t
+  | Star of t
+  | Opt of t
+  | Test of t
+  | Self
+
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type pstate = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then st.src.[st.pos] else '\000'
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  while peek st = ' ' || peek st = '\t' || peek st = '\n' do
+    advance st
+  done
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-'
+
+let read_name st =
+  let start = st.pos in
+  while is_name_char (peek st) do
+    advance st
+  done;
+  if st.pos = start then fail "expected a name at offset %d" start;
+  String.sub st.src start (st.pos - start)
+
+let rec parse_alt st =
+  let left = parse_seq st in
+  skip_ws st;
+  if peek st = '|' then begin
+    advance st;
+    skip_ws st;
+    Alt (left, parse_alt st)
+  end
+  else left
+
+and parse_seq st =
+  let left = parse_postfix st in
+  skip_ws st;
+  if peek st = '/' then begin
+    advance st;
+    skip_ws st;
+    Seq (left, parse_seq st)
+  end
+  else left
+
+and parse_postfix st =
+  let rec go p =
+    skip_ws st;
+    match peek st with
+    | '+' ->
+      advance st;
+      go (Plus p)
+    | '*' ->
+      advance st;
+      go (Star p)
+    | '?' ->
+      advance st;
+      go (Opt p)
+    | '[' ->
+      advance st;
+      skip_ws st;
+      let filter = parse_alt st in
+      skip_ws st;
+      if peek st <> ']' then fail "expected ']'";
+      advance st;
+      (* p[q] filters the targets of p on the existence of q *)
+      go (Seq (p, Test filter))
+    | _ -> p
+  in
+  go (parse_primary st)
+
+and parse_primary st =
+  skip_ws st;
+  match peek st with
+  | '(' ->
+    advance st;
+    let p = parse_alt st in
+    skip_ws st;
+    if peek st <> ')' then fail "expected ')'";
+    advance st;
+    p
+  | '.' ->
+    advance st;
+    if peek st = '.' then begin
+      advance st;
+      Step (Axis.Parent, Axis.Kind_node)
+    end
+    else Self
+  | '@' ->
+    advance st;
+    let n = read_name st in
+    Step (Axis.Attribute, Axis.Name n)
+  | c when is_name_char c -> (
+    let n = read_name st in
+    if peek st = ':' && st.pos + 1 < String.length st.src
+       && st.src.[st.pos + 1] = ':'
+    then begin
+      advance st;
+      advance st;
+      match Axis.axis_of_string n with
+      | None -> fail "unknown axis %S" n
+      | Some axis ->
+        let test =
+          if peek st = '*' then begin
+            advance st;
+            Axis.Name "*"
+          end
+          else
+            let tn = read_name st in
+            if peek st = '(' then begin
+              advance st;
+              if peek st <> ')' then fail "expected ')'";
+              advance st;
+              match tn with
+              | "node" -> Axis.Kind_node
+              | "text" -> Axis.Kind_text
+              | "comment" -> Axis.Kind_comment
+              | "element" -> Axis.Kind_element None
+              | _ -> fail "unknown kind test %S" tn
+            end
+            else Axis.Name tn
+        in
+        Step (axis, test)
+    end
+    else Step (Axis.Child, Axis.Name n))
+  | '*' ->
+    advance st;
+    Step (Axis.Child, Axis.Name "*")
+  | c -> fail "unexpected character %C at offset %d" c st.pos
+
+let parse src =
+  let st = { src; pos = 0 } in
+  let p = parse_alt st in
+  skip_ws st;
+  if st.pos <> String.length src then
+    fail "trailing input at offset %d" st.pos;
+  p
+
+let rec pp ppf = function
+  | Step (axis, test) ->
+    Format.fprintf ppf "%s::%a" (Axis.axis_to_string axis) Axis.pp_test test
+  | Seq (a, b) -> Format.fprintf ppf "%a/%a" pp a pp b
+  | Alt (a, b) -> Format.fprintf ppf "(%a|%a)" pp a pp b
+  | Plus p -> Format.fprintf ppf "(%a)+" pp p
+  | Star p -> Format.fprintf ppf "(%a)*" pp p
+  | Opt p -> Format.fprintf ppf "(%a)?" pp p
+  | Test p -> Format.fprintf ppf "[%a]" pp p
+  | Self -> Format.pp_print_string ppf "."
+
+(* ------------------------------------------------------------------ *)
+(* Translation to IFP                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec to_ifp = function
+  | Self -> Ast.Context_item
+  | Step (axis, test) -> Ast.Axis_step { axis; test }
+  | Seq (a, b) -> Ast.Path (to_ifp a, to_ifp b)
+  | Alt (a, b) -> Ast.Union (to_ifp a, to_ifp b)
+  | Test p -> Ast.Filter (Ast.Context_item, to_ifp p)
+  | Opt p -> Ast.Union (Ast.Context_item, to_ifp p)
+  | Star p -> Ast.Union (Ast.Context_item, to_ifp (Plus p))
+  | Plus p ->
+    (* s+ ≡ with $x seeded by . recurse $x/s — the body is
+       distributivity-safe by construction (rule STEP2). *)
+    let var = Ast.fresh_var "rx" in
+    Ast.Ifp
+      { var; seed = Ast.Context_item;
+        body = Ast.Path (Ast.Var var, to_ifp p) }
+
+let eval ?(strategy = Eval.Auto) starts p =
+  let e = to_ifp p in
+  let ev = Eval.create ~strategy () in
+  let results =
+    List.concat_map
+      (fun n -> Eval.eval_expr ev ~context:(Item.N n) e)
+      starts
+  in
+  Item.as_node_seq "Regxpath.eval" (Item.ddo results)
+
+(* ------------------------------------------------------------------ *)
+(* Reference semantics (test oracle)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let dedup nodes =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun (n : Node.t) ->
+      if Hashtbl.mem seen n.Node.id then false
+      else begin
+        Hashtbl.add seen n.Node.id ();
+        true
+      end)
+    nodes
+
+let rec sem p nodes =
+  match p with
+  | Self -> nodes
+  | Step (axis, test) -> dedup (List.concat_map (Axis.step axis test) nodes)
+  | Seq (a, b) -> sem b (sem a nodes)
+  | Alt (a, b) -> dedup (sem a nodes @ sem b nodes)
+  | Opt q -> dedup (nodes @ sem q nodes)
+  | Test q -> List.filter (fun n -> sem q [ n ] <> []) nodes
+  | Star q -> dedup (nodes @ sem (Plus q) nodes)
+  | Plus q ->
+    let seen = Hashtbl.create 64 in
+    let acc = ref [] in
+    let rec grow frontier =
+      let next =
+        List.filter
+          (fun (n : Node.t) ->
+            if Hashtbl.mem seen n.Node.id then false
+            else begin
+              Hashtbl.add seen n.Node.id ();
+              true
+            end)
+          (sem q frontier)
+      in
+      if next <> [] then begin
+        acc := next @ !acc;
+        grow next
+      end
+    in
+    grow nodes;
+    !acc
+
+let eval_reference starts p =
+  List.sort Node.compare_doc_order (sem p starts)

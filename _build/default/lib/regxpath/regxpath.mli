@@ -1,0 +1,51 @@
+(** Regular XPath (ten Cate, PODS 2006) — XPath with transitive
+    closure — implemented by translation to the IFP form (Section 2 of
+    the paper: [s+ ≡ with $x seeded by . recurse $x/s]).
+
+    Grammar of path expressions:
+
+    {v
+    p ::= step | p "/" p | p "|" p | p "+" | p "*" | p "?" | "(" p ")"
+          | p "[" p "]"                    (filter: existence of a path)
+    step ::= axis "::" test | name | "@" name | "." | ".."
+    v}
+
+    Every Regular XPath step satisfies the distributivity conditions of
+    Section 3.1 ((i) no free recursion variable, (ii) no
+    [position()]/[last()], (iii) no constructors), so closures always
+    qualify for Delta / µ∆ evaluation — {!to_ifp} produces bodies the
+    checkers accept. *)
+
+type t =
+  | Step of Fixq_xdm.Axis.t * Fixq_xdm.Axis.test
+  | Seq of t * t  (** p/p *)
+  | Alt of t * t  (** p|p *)
+  | Plus of t  (** transitive closure p+ *)
+  | Star of t  (** reflexive-transitive closure p* *)
+  | Opt of t  (** p? ≡ .|p *)
+  | Test of t  (** [p] — filter on path existence *)
+  | Self
+
+exception Parse_error of string
+
+val parse : string -> t
+
+val pp : Format.formatter -> t -> unit
+
+(** Translate to the XQuery subset; closures become [Ifp] forms whose
+    bodies are distributivity-safe. The resulting expression denotes
+    the nodes reachable from the context item. *)
+val to_ifp : t -> Fixq_lang.Ast.expr
+
+(** Evaluate from a set of start nodes (through the interpreter with
+    the given strategy; [Auto] exploits Delta). *)
+val eval :
+  ?strategy:Fixq_lang.Eval.strategy ->
+  Fixq_xdm.Node.t list ->
+  t ->
+  Fixq_xdm.Node.t list
+
+(** Direct semantics (no IFP): computes the binary-relation semantics
+    by breadth-first closure. Used as a test oracle against
+    {!eval}. *)
+val eval_reference : Fixq_xdm.Node.t list -> t -> Fixq_xdm.Node.t list

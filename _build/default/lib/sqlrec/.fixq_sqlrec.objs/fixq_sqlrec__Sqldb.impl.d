@@ -1,0 +1,1 @@
+lib/sqlrec/sqldb.ml: Format Hashtbl Int List String

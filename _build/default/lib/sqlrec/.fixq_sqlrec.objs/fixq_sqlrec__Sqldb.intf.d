@@ -1,0 +1,1 @@
+lib/sqlrec/sqldb.mli: Format

@@ -1,0 +1,1 @@
+lib/sqlrec/sqlrec.ml: Buffer Format List Option Sqldb String

@@ -1,0 +1,1 @@
+lib/sqlrec/sqlrec.mli: Sqldb

@@ -1,0 +1,390 @@
+exception Error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type colref = { tbl : string option; col : string }
+
+type operand = Col of colref | Lit of Sqldb.value
+
+type select = {
+  distinct : bool;
+  columns : operand list;
+  from : (string * string) list;
+  where : (operand * operand) list;
+}
+
+type query = {
+  rec_name : string;
+  rec_columns : string list;
+  seed : select;
+  body : select;
+  final : select;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Tokenizer                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type token = Word of string | Str_lit of string | Int_lit of int | Sym of char
+
+let tokenize src =
+  let toks = ref [] in
+  let n = String.length src in
+  let i = ref 0 in
+  let is_word c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_'
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\n' || c = '\t' || c = '\r' then incr i
+    else if c = '\'' then begin
+      let j = ref (!i + 1) in
+      let buf = Buffer.create 8 in
+      let rec scan () =
+        if !j >= n then err "unterminated string literal"
+        else if src.[!j] = '\'' then
+          if !j + 1 < n && src.[!j + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            j := !j + 2;
+            scan ()
+          end
+          else j := !j + 1
+        else begin
+          Buffer.add_char buf src.[!j];
+          incr j;
+          scan ()
+        end
+      in
+      scan ();
+      toks := Str_lit (Buffer.contents buf) :: !toks;
+      i := !j
+    end
+    else if c >= '0' && c <= '9' then begin
+      let j = ref !i in
+      while !j < n && src.[!j] >= '0' && src.[!j] <= '9' do
+        incr j
+      done;
+      toks := Int_lit (int_of_string (String.sub src !i (!j - !i))) :: !toks;
+      i := !j
+    end
+    else if is_word c then begin
+      let j = ref !i in
+      while !j < n && is_word src.[!j] do
+        incr j
+      done;
+      toks := Word (String.lowercase_ascii (String.sub src !i (!j - !i))) :: !toks;
+      i := !j
+    end
+    else begin
+      toks := Sym c :: !toks;
+      incr i
+    end
+  done;
+  List.rev !toks
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type pstate = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> None | t :: _ -> Some t
+
+let advance st =
+  match st.toks with [] -> err "unexpected end of query" | _ :: r -> st.toks <- r
+
+let expect_word st w =
+  match peek st with
+  | Some (Word x) when x = w -> advance st
+  | _ -> err "expected %S" w
+
+let expect_sym st c =
+  match peek st with
+  | Some (Sym x) when x = c -> advance st
+  | _ -> err "expected %C" c
+
+let word st =
+  match peek st with
+  | Some (Word w) ->
+    advance st;
+    w
+  | _ -> err "expected an identifier"
+
+let at_word st w = match peek st with Some (Word x) -> x = w | _ -> false
+
+let parse_operand st =
+  match peek st with
+  | Some (Str_lit s) ->
+    advance st;
+    Lit (Sqldb.S s)
+  | Some (Int_lit i) ->
+    advance st;
+    Lit (Sqldb.I i)
+  | Some (Word w) ->
+    advance st;
+    if peek st = Some (Sym '.') then begin
+      advance st;
+      let col = word st in
+      Col { tbl = Some w; col }
+    end
+    else Col { tbl = None; col = w }
+  | _ -> err "expected a column reference or literal"
+
+let parse_select_body st =
+  expect_word st "select";
+  let distinct =
+    if at_word st "distinct" then begin
+      advance st;
+      true
+    end
+    else false
+  in
+  let columns =
+    if peek st = Some (Sym '*') then begin
+      advance st;
+      []
+    end
+    else begin
+      let rec cols acc =
+        let c = parse_operand st in
+        if peek st = Some (Sym ',') then begin
+          advance st;
+          cols (c :: acc)
+        end
+        else List.rev (c :: acc)
+      in
+      cols []
+    end
+  in
+  expect_word st "from";
+  let rec tables acc =
+    let name = word st in
+    let alias =
+      match peek st with
+      | Some (Word w)
+        when w <> "where" && w <> "union" && w <> "select" ->
+        advance st;
+        w
+      | _ -> name
+    in
+    if peek st = Some (Sym ',') then begin
+      advance st;
+      tables ((name, alias) :: acc)
+    end
+    else List.rev ((name, alias) :: acc)
+  in
+  let from = tables [] in
+  let where =
+    if at_word st "where" then begin
+      advance st;
+      let rec conds acc =
+        let l = parse_operand st in
+        expect_sym st '=';
+        let r = parse_operand st in
+        if at_word st "and" then begin
+          advance st;
+          conds ((l, r) :: acc)
+        end
+        else List.rev ((l, r) :: acc)
+      in
+      conds []
+    end
+    else []
+  in
+  { distinct; columns; from; where }
+
+let parse_paren_select st =
+  let parens = peek st = Some (Sym '(') in
+  if parens then advance st;
+  let s = parse_select_body st in
+  if parens then expect_sym st ')';
+  s
+
+let parse src =
+  let st = { toks = tokenize src } in
+  expect_word st "with";
+  expect_word st "recursive";
+  let rec_name = word st in
+  expect_sym st '(';
+  let rec cols acc =
+    let c = word st in
+    if peek st = Some (Sym ',') then begin
+      advance st;
+      cols (c :: acc)
+    end
+    else List.rev (c :: acc)
+  in
+  let rec_columns = cols [] in
+  expect_sym st ')';
+  expect_word st "as";
+  expect_sym st '(';
+  let seed = parse_paren_select st in
+  expect_word st "union";
+  expect_word st "all";
+  let body = parse_paren_select st in
+  expect_sym st ')';
+  let final = parse_select_body st in
+  (match peek st with
+  | Some (Sym ';') -> advance st
+  | _ -> ());
+  (match peek st with
+  | None -> ()
+  | Some _ -> err "trailing input after the final SELECT");
+  { rec_name; rec_columns; seed; body; final }
+
+let parse_select src =
+  let st = { toks = tokenize src } in
+  let s = parse_select_body st in
+  (match peek st with
+  | Some (Sym ';') -> advance st
+  | _ -> ());
+  (match peek st with None -> () | Some _ -> err "trailing input");
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let is_linear q =
+  let refs =
+    List.length
+      (List.filter
+         (fun (name, _) -> String.lowercase_ascii name = String.lowercase_ascii q.rec_name)
+         q.body.from)
+  in
+  refs <= 1
+
+(* Evaluate a select against [db], with [extra] binding the recursive
+   table name during iteration. *)
+let eval_select ?extra (db : Sqldb.t) (s : select) : Sqldb.table =
+  let resolve_table name =
+    let lname = String.lowercase_ascii name in
+    match extra with
+    | Some (rn, t) when String.lowercase_ascii rn = lname -> t
+    | _ -> (
+      match Sqldb.find_table db name with
+      | Some t -> t
+      | None -> err "unknown table %S" name)
+  in
+  let tables = List.map (fun (name, alias) -> (alias, resolve_table name)) s.from in
+  (* environment: alias → row *)
+  let col_value env (r : colref) =
+    let lookup alias (t : Sqldb.table) row =
+      let rec idx i = function
+        | [] -> None
+        | c :: _ when String.lowercase_ascii c = String.lowercase_ascii r.col ->
+          Some i
+        | _ :: rest -> idx (i + 1) rest
+      in
+      ignore alias;
+      Option.map (fun i -> List.nth row i) (idx 0 t.Sqldb.columns)
+    in
+    match r.tbl with
+    | Some a -> (
+      match List.assoc_opt a env with
+      | None -> err "unknown table alias %S" a
+      | Some (t, row) -> (
+        match lookup a t row with
+        | Some v -> v
+        | None -> err "unknown column %s.%s" a r.col))
+    | None -> (
+      let hits =
+        List.filter_map (fun (a, (t, row)) -> lookup a t row) env
+      in
+      match hits with
+      | [ v ] -> v
+      | [] -> err "unknown column %S" r.col
+      | _ -> err "ambiguous column %S" r.col)
+  in
+  let operand_value env = function
+    | Lit v -> v
+    | Col r -> col_value env r
+  in
+  let out = ref [] in
+  let rec product env = function
+    | [] ->
+      let ok =
+        List.for_all
+          (fun (l, r) ->
+            Sqldb.value_equal (operand_value env l) (operand_value env r))
+          s.where
+      in
+      if ok then begin
+        let row =
+          if s.columns = [] then
+            List.concat_map (fun (_, (_, row)) -> row) (List.rev env)
+          else List.map (operand_value env) s.columns
+        in
+        out := row :: !out
+      end
+    | (alias, t) :: rest ->
+      List.iter
+        (fun row -> product ((alias, (t, row)) :: env) rest)
+        t.Sqldb.rows
+  in
+  product [] tables;
+  let columns =
+    if s.columns = [] then
+      List.concat_map (fun (alias, t) ->
+          List.map (fun c -> alias ^ "." ^ c) t.Sqldb.columns)
+        tables
+    else
+      List.map
+        (function
+          | Col r -> r.col
+          | Lit _ -> "?")
+        s.columns
+  in
+  let t = { Sqldb.columns; rows = List.rev !out } in
+  if s.distinct then Sqldb.distinct t else t
+
+let run_select db s = eval_select db s
+
+type algorithm = Naive | Delta
+
+type run = { result : Sqldb.table; iterations : int; rows_fed : int }
+
+let run ?(enforce_linearity = true) ~algorithm db q =
+  if enforce_linearity && not (is_linear q) then
+    err
+      "SQL:1999 linearity violation: %s is referenced more than once in \
+       the recursive body"
+      q.rec_name;
+  let with_cols (t : Sqldb.table) =
+    if List.length t.Sqldb.columns <> List.length q.rec_columns then
+      err "recursive table %s has %d columns, select yields %d" q.rec_name
+        (List.length q.rec_columns)
+        (List.length t.Sqldb.columns);
+    { t with Sqldb.columns = q.rec_columns }
+  in
+  let seed = Sqldb.distinct (with_cols (eval_select db q.seed)) in
+  let iterations = ref 0 in
+  let rows_fed = ref 0 in
+  let apply (input : Sqldb.table) =
+    incr iterations;
+    rows_fed := !rows_fed + List.length input.Sqldb.rows;
+    Sqldb.distinct
+      (with_cols (eval_select ~extra:(q.rec_name, input) db q.body))
+  in
+  let union (a : Sqldb.table) (b : Sqldb.table) =
+    Sqldb.distinct { a with Sqldb.rows = a.Sqldb.rows @ b.Sqldb.rows }
+  in
+  let rec naive res =
+    let next = union (apply res) res in
+    if List.length next.Sqldb.rows = List.length res.Sqldb.rows then next
+    else naive next
+  in
+  let rec delta dl res =
+    let out = apply dl in
+    let dl' = Sqldb.difference out res in
+    let res' = union res dl' in
+    if dl'.Sqldb.rows = [] then res' else delta dl' res'
+  in
+  let fixed =
+    match algorithm with Naive -> naive seed | Delta -> delta seed seed
+  in
+  let result =
+    eval_select ~extra:(q.rec_name, fixed) db q.final
+  in
+  { result; iterations = !iterations; rows_fed = !rows_fed }

@@ -1,0 +1,69 @@
+(** A [WITH RECURSIVE] evaluator over {!Sqldb} tables — the SQL:1999
+    side of the paper's Section 2 example and Section 6 discussion.
+
+    Supported SQL subset:
+
+    {v
+    WITH RECURSIVE name(col, …) AS (
+        SELECT … FROM … [WHERE …]      -- seed
+      UNION ALL
+        SELECT … FROM … [WHERE …]      -- body
+    )
+    SELECT [DISTINCT] cols FROM tables [WHERE …] ;
+    v}
+
+    where selects use [FROM t [alias], …] and conjunctive [WHERE]
+    equality conditions between column references or against literals.
+
+    The engine implements both Naïve and Delta (semi-naïve) iteration
+    for the recursive table, plus the standard's {e linearity} check:
+    SQL:1999 requires the recursive table to be referenced at most once
+    in the body's FROM clause (Section 6 — "rigid syntactical
+    restrictions … that make Delta applicable"). *)
+
+exception Error of string
+
+type colref = { tbl : string option; col : string }
+
+type operand = Col of colref | Lit of Sqldb.value
+
+type select = {
+  distinct : bool;
+  columns : operand list;  (** empty means [*] *)
+  from : (string * string) list;  (** (table, alias) *)
+  where : (operand * operand) list;  (** conjunctive equalities *)
+}
+
+type query = {
+  rec_name : string;
+  rec_columns : string list;
+  seed : select;
+  body : select;
+  final : select;
+}
+
+val parse : string -> query
+
+(** Does the body satisfy SQL:1999's linearity restriction (at most one
+    reference to the recursive table)? *)
+val is_linear : query -> bool
+
+type algorithm = Naive | Delta
+
+type run = {
+  result : Sqldb.table;
+  iterations : int;
+  rows_fed : int;  (** total rows fed into the body across iterations *)
+}
+
+(** Evaluate. Raises {!Error} for nonlinear queries when
+    [enforce_linearity] (default [true]) — matching the standard — and
+    for unknown tables/columns. *)
+val run :
+  ?enforce_linearity:bool -> algorithm:algorithm -> Sqldb.t -> query -> run
+
+(** Evaluate a plain (non-recursive) select, for tests. *)
+val run_select : Sqldb.t -> select -> Sqldb.table
+
+(** Parse and evaluate a plain select statement (no WITH clause). *)
+val parse_select : string -> select

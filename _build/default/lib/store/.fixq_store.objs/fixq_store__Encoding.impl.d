@@ -1,0 +1,1 @@
+lib/store/encoding.ml: Array Fixq_xdm Hashtbl List

@@ -1,0 +1,1 @@
+lib/store/encoding.mli: Fixq_xdm

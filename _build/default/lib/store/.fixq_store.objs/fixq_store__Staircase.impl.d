@@ -1,0 +1,1 @@
+lib/store/staircase.ml: Encoding Fixq_xdm Hashtbl Int List

@@ -1,0 +1,1 @@
+lib/store/staircase.mli: Encoding Fixq_xdm

@@ -1,0 +1,214 @@
+module Axis = Fixq_xdm.Axis
+module Node = Fixq_xdm.Node
+
+let test_row (test : Axis.test) (r : Encoding.row) =
+  let name_matches pat = pat = "*" || pat = r.Encoding.name in
+  match test with
+  | Axis.Name pat -> r.Encoding.kind = Node.Element && name_matches pat
+  | Axis.Kind_node -> true
+  | Axis.Kind_text -> r.Encoding.kind = Node.Text
+  | Axis.Kind_comment -> r.Encoding.kind = Node.Comment
+  | Axis.Kind_pi -> r.Encoding.kind = Node.Pi
+  | Axis.Kind_element pat ->
+    r.Encoding.kind = Node.Element
+    && (match pat with None -> true | Some p -> name_matches p)
+  | Axis.Kind_attribute _ -> false
+  | Axis.Kind_document -> r.Encoding.kind = Node.Document
+
+let sort_uniq = List.sort_uniq Int.compare
+
+(* descendant(-or-self): context pres ascending. Pruning: a context node
+   inside the subtree of the previous accepted one is covered. The scan
+   over each uncovered region is a contiguous pre range. *)
+let descendant_ranges enc ~or_self pres =
+  let regions = ref [] in
+  let horizon = ref (-1) in
+  List.iter
+    (fun pre ->
+      let r = Encoding.row enc pre in
+      let lo = if or_self then pre else pre + 1 in
+      let hi = pre + r.Encoding.size in
+      (* Start after the current horizon — subtrees of covered context
+         nodes were already emitted (pruning). *)
+      let lo = max lo (!horizon + 1) in
+      if lo <= hi then begin
+        regions := (lo, hi) :: !regions;
+        horizon := hi
+      end
+      else if or_self && pre > !horizon then begin
+        regions := (pre, pre) :: !regions;
+        horizon := max !horizon hi
+      end)
+    pres;
+  List.rev !regions
+
+let descendant enc ~or_self test pres =
+  let out = ref [] in
+  List.iter
+    (fun (lo, hi) ->
+      for pre = lo to hi do
+        if test_row test (Encoding.row enc pre) then out := pre :: !out
+      done)
+    (descendant_ranges enc ~or_self pres);
+  List.rev !out
+
+(* ancestor(-or-self): walk parent chain via level/pre scan backwards.
+   For each context node, ancestors are the nodes a with
+   pre(a) < pre(v) <= pre(a)+size(a). We collect into a set; the
+   staircase pruning (keep only the first context node of each chain)
+   is subsumed by the dedup. Parent pointers in the back-pointing nodes
+   give O(depth) per context node. *)
+let ancestors_of enc ~or_self pre =
+  let r = Encoding.row enc pre in
+  let rec chain (n : Node.t) acc =
+    match Node.parent n with
+    | None -> acc
+    | Some p ->
+      let pr = Encoding.row_of_node enc p in
+      chain p (pr.Encoding.pre :: acc)
+  in
+  let base = if or_self then [ pre ] else [] in
+  chain r.Encoding.node base
+
+let ancestor enc ~or_self test pres =
+  let all = List.concat_map (ancestors_of enc ~or_self) pres in
+  List.filter (fun p -> test_row test (Encoding.row enc p)) (sort_uniq all)
+
+let child enc test pres =
+  (* Children of v occupy the pre range (v, v+size(v)] at level(v)+1;
+     we jump from child to next sibling using size. *)
+  let out = ref [] in
+  List.iter
+    (fun pre ->
+      let r = Encoding.row enc pre in
+      let stop = pre + r.Encoding.size in
+      let c = ref (pre + 1) in
+      while !c <= stop do
+        let cr = Encoding.row enc !c in
+        if test_row test cr then out := !c :: !out;
+        c := !c + cr.Encoding.size + 1
+      done)
+    pres;
+  sort_uniq !out
+
+let parent enc test pres =
+  let ps =
+    List.filter_map
+      (fun pre ->
+        let r = Encoding.row enc pre in
+        match Node.parent r.Encoding.node with
+        | None -> None
+        | Some p -> Some (Encoding.row_of_node enc p).Encoding.pre)
+      pres
+  in
+  List.filter (fun p -> test_row test (Encoding.row enc p)) (sort_uniq ps)
+
+let self enc test pres =
+  List.filter (fun p -> test_row test (Encoding.row enc p)) pres
+
+let following enc test pres =
+  (* following(v) = (pre(v)+size(v), N): every later node is neither a
+     descendant (those end at pre(v)+size(v)) nor an ancestor (those
+     start before pre(v)). The union over an ascending context starts at
+     the smallest subtree horizon (staircase pruning collapses the
+     context to a single boundary). *)
+  match pres with
+  | [] -> []
+  | _ ->
+    let n = Encoding.size enc in
+    let start =
+      List.fold_left
+        (fun acc pre -> min acc (pre + (Encoding.row enc pre).Encoding.size))
+        max_int pres
+    in
+    let out = ref [] in
+    for pre = start + 1 to n - 1 do
+      if test_row test (Encoding.row enc pre) then out := pre :: !out
+    done;
+    List.rev !out
+
+let preceding enc test pres =
+  (* preceding(v) = [0, v) minus ancestors; with ascending context the
+     last context node dominates. *)
+  match List.rev pres with
+  | [] -> []
+  | last :: _ ->
+    let anc = Hashtbl.create 16 in
+    List.iter
+      (fun p -> Hashtbl.replace anc p ())
+      (ancestors_of enc ~or_self:false last);
+    let out = ref [] in
+    for pre = 0 to last - 1 do
+      if (not (Hashtbl.mem anc pre)) && test_row test (Encoding.row enc pre)
+      then out := pre :: !out
+    done;
+    List.rev !out
+
+let siblings enc ~after test pres =
+  let out = ref [] in
+  List.iter
+    (fun pre ->
+      let r = Encoding.row enc pre in
+      match Node.parent r.Encoding.node with
+      | None -> ()
+      | Some p ->
+        let ppre = (Encoding.row_of_node enc p).Encoding.pre in
+        let psize = (Encoding.row enc ppre).Encoding.size in
+        if after then begin
+          let c = ref (pre + r.Encoding.size + 1) in
+          while !c <= ppre + psize do
+            let cr = Encoding.row enc !c in
+            if test_row test cr then out := !c :: !out;
+            c := !c + cr.Encoding.size + 1
+          done
+        end
+        else begin
+          let c = ref (ppre + 1) in
+          while !c < pre do
+            let cr = Encoding.row enc !c in
+            if test_row test cr then out := !c :: !out;
+            c := !c + cr.Encoding.size + 1
+          done
+        end)
+    pres;
+  sort_uniq !out
+
+let step enc (axis : Axis.t) test pres =
+  match axis with
+  | Axis.Child -> child enc test pres
+  | Axis.Descendant -> descendant enc ~or_self:false test pres
+  | Axis.Descendant_or_self -> descendant enc ~or_self:true test pres
+  | Axis.Parent -> parent enc test pres
+  | Axis.Ancestor -> ancestor enc ~or_self:false test pres
+  | Axis.Ancestor_or_self -> ancestor enc ~or_self:true test pres
+  | Axis.Self -> self enc test pres
+  | Axis.Following -> following enc test pres
+  | Axis.Preceding -> preceding enc test pres
+  | Axis.Following_sibling -> siblings enc ~after:true test pres
+  | Axis.Preceding_sibling -> siblings enc ~after:false test pres
+  | Axis.Attribute -> []
+
+let attribute_step enc test pres =
+  List.concat_map
+    (fun pre ->
+      let r = Encoding.row enc pre in
+      List.filter (Axis.matches Axis.Attribute test)
+        (Node.attributes r.Encoding.node))
+    pres
+
+let step_nodes enc axis test nodes =
+  match axis with
+  | Axis.Attribute ->
+    let pres =
+      sort_uniq
+        (List.map (fun n -> (Encoding.row_of_node enc n).Encoding.pre) nodes)
+    in
+    attribute_step enc test pres
+  | _ ->
+    let pres =
+      sort_uniq
+        (List.map (fun n -> (Encoding.row_of_node enc n).Encoding.pre) nodes)
+    in
+    List.map
+      (fun pre -> (Encoding.row enc pre).Encoding.node)
+      (step enc axis test pres)

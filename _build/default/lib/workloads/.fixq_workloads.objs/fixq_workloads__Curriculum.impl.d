@@ -1,0 +1,1 @@
+lib/workloads/curriculum.ml: Fixq_xdm Hashtbl List Printf Rng String

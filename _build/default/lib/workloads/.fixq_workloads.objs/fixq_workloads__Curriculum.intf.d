@@ -1,0 +1,1 @@
+lib/workloads/curriculum.mli: Fixq_xdm

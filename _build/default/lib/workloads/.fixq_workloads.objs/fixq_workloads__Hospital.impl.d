@@ -1,0 +1,1 @@
+lib/workloads/hospital.ml: Fixq_xdm List Rng

@@ -1,0 +1,1 @@
+lib/workloads/queries.ml: Printf

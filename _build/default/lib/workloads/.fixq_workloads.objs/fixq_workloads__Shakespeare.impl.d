@@ -1,0 +1,1 @@
+lib/workloads/shakespeare.ml: Fixq_xdm List Printf Rng String

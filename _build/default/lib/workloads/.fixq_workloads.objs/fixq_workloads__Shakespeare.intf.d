@@ -1,0 +1,1 @@
+lib/workloads/shakespeare.mli: Fixq_xdm

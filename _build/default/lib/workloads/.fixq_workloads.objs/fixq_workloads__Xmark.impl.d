@@ -1,0 +1,1 @@
+lib/workloads/xmark.ml: Fixq_xdm List Printf Rng

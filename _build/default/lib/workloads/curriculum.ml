@@ -1,0 +1,96 @@
+module Node = Fixq_xdm.Node
+module Doc_registry = Fixq_xdm.Doc_registry
+
+type params = {
+  courses : int;
+  seed : int;
+  max_prereqs : int;
+  back_edge_fraction : float;
+}
+
+let default =
+  { courses = 800; seed = 11; max_prereqs = 3; back_edge_fraction = 0.02 }
+
+let generate p =
+  let rng = Rng.create p.seed in
+  let code i = Printf.sprintf "c%d" (i + 1) in
+  let course i =
+    (* Forward edges point to earlier (higher-index) courses with a
+       locality bias, producing chains; a few back edges close cycles. *)
+    let n_pre =
+      if i = p.courses - 1 then 0 else Rng.geometric rng ~p:0.45 ~max:p.max_prereqs
+    in
+    let prereq _ =
+      let remaining = p.courses - i - 1 in
+      if remaining <= 0 then None
+      else
+        let hop = 1 + Rng.geometric rng ~p:0.5 ~max:(min 8 remaining - 1) in
+        Some (Node.E ("pre_code", [], [ Node.T (code (i + hop)) ]))
+    in
+    let forward = List.filter_map prereq (List.init n_pre (fun _ -> ())) in
+    let backward =
+      if i > 0 && Rng.float rng < p.back_edge_fraction then
+        [ Node.E ("pre_code", [], [ Node.T (code (Rng.int rng i)) ]) ]
+      else []
+    in
+    Node.E
+      ( "course",
+        [ ("code", code i) ],
+        [ Node.E ("prerequisites", [], forward @ backward) ] )
+  in
+  let doc =
+    Node.of_spec ~id_attrs:[ "code" ]
+      (Node.E ("curriculum", [], List.init p.courses course))
+  in
+  doc
+
+let load ?(registry = Doc_registry.default) ?(uri = "curriculum.xml") p =
+  let doc = generate p in
+  Doc_registry.register ~registry uri doc;
+  doc
+
+let self_prerequisite_codes doc =
+  let root = Node.root doc in
+  (* Collect the edge list code → prereq codes. *)
+  let edges = Hashtbl.create 256 in
+  let codes = ref [] in
+  Node.iter_subtree
+    (fun n ->
+      if Node.name n = "course" then begin
+        let c =
+          match
+            List.find_opt (fun a -> Node.name a = "code") (Node.attributes n)
+          with
+          | Some a -> Node.string_value a
+          | None -> ""
+        in
+        codes := c :: !codes;
+        let pres = ref [] in
+        Node.iter_subtree
+          (fun m ->
+            if Node.name m = "pre_code" then
+              pres := Node.string_value m :: !pres)
+          n;
+        Hashtbl.replace edges c !pres
+      end)
+    root;
+  let reaches_self start =
+    let visited = Hashtbl.create 16 in
+    let rec go c =
+      match Hashtbl.find_opt edges c with
+      | None -> false
+      | Some nexts ->
+        List.exists
+          (fun n ->
+            String.equal n start
+            ||
+            if Hashtbl.mem visited n then false
+            else begin
+              Hashtbl.replace visited n ();
+              go n
+            end)
+          nexts
+    in
+    go start
+  in
+  List.filter reaches_self (List.rev !codes)

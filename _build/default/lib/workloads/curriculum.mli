@@ -1,0 +1,29 @@
+(** Curriculum data (Figure 1 of the paper; originally the xlinkit case
+    study) — ToXgene stand-in.
+
+    Courses [c1 … cn] carry prerequisite code lists. Edges are drawn
+    with a locality bias towards earlier courses, which yields long
+    prerequisite chains; a fraction of {e back edges} closes cycles so
+    the Rule-5 consistency check ("courses that are among their own
+    prerequisites") has violations to find. The [@code] attribute is
+    declared of DTD type ID (via {!Fixq_xdm.Node.register_id_attribute})
+    so [fn:id] resolves prerequisite codes, as in Query Q1. *)
+
+type params = {
+  courses : int;  (** paper: 800 (medium) and 4000 (large) *)
+  seed : int;
+  max_prereqs : int;
+  back_edge_fraction : float;  (** fraction of courses with a cycle-closing edge *)
+}
+
+val default : params
+
+val generate : params -> Fixq_xdm.Node.t
+
+val load :
+  ?registry:Fixq_xdm.Doc_registry.t -> ?uri:string -> params -> Fixq_xdm.Node.t
+
+(** Reference computation of the Rule-5 violations (graph closure on the
+    edge list, no XQuery involved) — test oracle: codes of courses that
+    transitively require themselves. *)
+val self_prerequisite_codes : Fixq_xdm.Node.t -> string list

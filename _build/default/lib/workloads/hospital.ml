@@ -1,0 +1,61 @@
+module Node = Fixq_xdm.Node
+module Doc_registry = Fixq_xdm.Doc_registry
+
+type params = {
+  total : int;
+  seed : int;
+  max_depth : int;
+  sick_fraction : float;
+}
+
+let default = { total = 50_000; seed = 23; max_depth = 5; sick_fraction = 0.1 }
+
+let diseases = [| "hd1"; "hd2"; "flu"; "none" |]
+
+let generate p =
+  let rng = Rng.create p.seed in
+  let counter = ref 0 in
+  (* Build patients until the budget is exhausted; each top-level
+     patient gets a random genealogy of depth ≤ max_depth. *)
+  let rec patient depth =
+    if !counter >= p.total then None
+    else begin
+      incr counter;
+      let pid = !counter in
+      let sick = Rng.float rng < p.sick_fraction in
+      let diagnosis =
+        if sick then "hereditary" else Rng.choose rng diseases
+      in
+      let n_parents =
+        if depth >= p.max_depth then 0 else Rng.int rng 3 (* 0, 1 or 2 *)
+      in
+      let parents =
+        List.filter_map (fun _ -> patient (depth + 1)) (List.init n_parents (fun _ -> ()))
+      in
+      Some
+        (Node.E
+           ( "patient",
+             [ ("pid", string_of_int pid) ],
+             [ Node.E ("diagnosis", [], [ Node.T diagnosis ]);
+               Node.E ("parents", [], parents) ] ))
+    end
+  in
+  let tops = ref [] in
+  while !counter < p.total do
+    match patient 1 with
+    | Some t -> tops := t :: !tops
+    | None -> ()
+  done;
+  Node.of_spec (Node.E ("hospital", [], List.rev !tops))
+
+let load ?(registry = Doc_registry.default) ?(uri = "hospital.xml") p =
+  let doc = generate p in
+  Doc_registry.register ~registry uri doc;
+  doc
+
+let patient_count doc =
+  let k = ref 0 in
+  Node.iter_subtree
+    (fun n -> if Node.name n = "patient" then incr k)
+    (Node.root doc);
+  !k

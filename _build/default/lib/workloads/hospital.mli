@@ -1,0 +1,25 @@
+(** Hospital patient records (Fan et al., SMOQE, VLDB 2006 stand-in):
+    hereditary-disease exploration over hierarchically nested patient
+    genealogies.
+
+    The document holds [total] patient records overall; each top-level
+    patient nests its parents (and theirs) up to [max_depth] levels
+    (paper: subtrees of depth ≤ 5). A fraction of patients carries the
+    hereditary diagnosis. *)
+
+type params = {
+  total : int;  (** total patient elements (paper: 50 000) *)
+  seed : int;
+  max_depth : int;  (** genealogy nesting (paper: 5) *)
+  sick_fraction : float;
+}
+
+val default : params
+
+val generate : params -> Fixq_xdm.Node.t
+
+val load :
+  ?registry:Fixq_xdm.Doc_registry.t -> ?uri:string -> params -> Fixq_xdm.Node.t
+
+(** Number of patient elements in the document (= [params.total]). *)
+val patient_count : Fixq_xdm.Node.t -> int

@@ -1,0 +1,90 @@
+(* Query Q1 of Example 2.2 (the document root element is [curriculum];
+   the paper's path starts at [course] directly — we spell the full
+   path). *)
+let q1 =
+  {|with $x seeded by doc("curriculum.xml")/curriculum/course[@code="c1"]
+recurse $x/id(./prerequisites/pre_code)|}
+
+let q1_variant =
+  {|with $x seeded by doc("curriculum.xml")/curriculum/course[@code="c1"]
+recurse id($x/prerequisites/pre_code)|}
+
+let q1_unfolded =
+  {|with $x seeded by doc("curriculum.xml")/curriculum/course[@code="c1"]
+recurse
+  for $c in doc("curriculum.xml")/curriculum/course
+  where $c/@code = $x/prerequisites/pre_code
+  return $c|}
+
+(* Example 2.4. *)
+let q2 =
+  {|let $seed := (<a/>,<b><c><d/></c></b>)
+return with $x seeded by $seed
+       recurse if (count($x/self::a)) then $x/* else ()|}
+
+(* Figure 10, verbatim modulo the subset's syntax. *)
+let bidder_network =
+  {|declare variable $doc := doc("auction.xml");
+
+declare function bidder ($in as node()*) as node()*
+{ for $id in $in/@id
+  let $b := $doc//open_auction[seller/@person = $id]
+            /bidder/personref
+  return $doc//people/person[@id = $b/@person]
+};
+
+for $p in $doc//people/person
+return <person>
+         { $p/@id }
+         { data ((with $x seeded by $p
+                  recurse bidder ($x))/@id) }
+       </person>|}
+
+let bidder_network_single pid =
+  Printf.sprintf
+    {|declare variable $doc := doc("auction.xml");
+
+declare function bidder ($in as node()*) as node()*
+{ for $id in $in/@id
+  let $b := $doc//open_auction[seller/@person = $id]
+            /bidder/personref
+  return $doc//people/person[@id = $b/@person]
+};
+
+with $x seeded by $doc//people/person[@id = "%s"]
+recurse bidder ($x)|}
+    pid
+
+(* Horizontal structural recursion along following-sibling (Section 5,
+   "Romeo and Juliet Dialogs"): seeds are the speeches that open a
+   dialog (no immediately preceding speech by a different speaker); a
+   round extends every live dialog by its next speech if the speakers
+   alternate. The recursion depth equals the longest uninterrupted
+   dialog. *)
+let dialogs =
+  {|declare variable $doc := doc("romeo.xml");
+
+with $x seeded by
+  $doc//SPEECH[not(preceding-sibling::SPEECH[1]/SPEAKER != SPEAKER)]
+recurse
+  for $s in $x
+  return $s/following-sibling::SPEECH[1][SPEAKER != $s/SPEAKER]|}
+
+(* xlinkit curriculum case study, Rule 5: a course must not be among
+   its own (transitive) prerequisites. *)
+let curriculum_check =
+  {|for $c in doc("curriculum.xml")/curriculum/course
+where exists($c intersect
+             (with $x seeded by $c
+              recurse $x/id(./prerequisites/pre_code)))
+return $c|}
+
+(* Hereditary-disease exploration: close the genealogy downwards from
+   every on-file patient, then keep the hereditary cases found among
+   ancestors (vertical structural recursion into subtrees of depth ≤ 5,
+   Section 5). *)
+let hospital =
+  {|declare variable $doc := doc("hospital.xml");
+
+(with $x seeded by $doc/hospital/patient
+ recurse $x/parents/patient)[diagnosis = "hereditary"]|}

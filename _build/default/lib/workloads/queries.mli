@@ -1,0 +1,44 @@
+(** The paper's queries, verbatim where the paper prints them and
+    reconstructed where it only describes them (the Romeo-and-Juliet
+    dialog query is "not reproduced … for space reasons"; the hospital
+    query follows the prose of Section 5). All are written in the
+    [with … seeded by … recurse] form — the [fix]/[delta] user-defined
+    function variants (Figures 2 and 4) are obtained mechanically via
+    {!Fixq_lang.Rewrite.desugar_naive} / [desugar_delta]. *)
+
+(** Query Q1 (Example 2.2): transitive prerequisites of course "c1". *)
+val q1 : string
+
+(** The Section 4.1 variant of Q1 with [$x] free inside [id(·)]'s
+    argument. *)
+val q1_variant : string
+
+(** The Section 4.1 unfolding of the variant ([id] expanded to a
+    [for]/[where] over the course list): rejected by the syntactic
+    check, accepted by the algebraic one. *)
+val q1_unfolded : string
+
+(** Query Q2 (Example 2.4): the non-distributive body on which Naïve
+    and Delta disagree. *)
+val q2 : string
+
+(** Figure 10: the XMark bidder network (one IFP per person). *)
+val bidder_network : string
+
+(** The recursion of Figure 10 for a {e single} seed person with code
+    [$pid] — used to study one fixpoint in isolation. *)
+val bidder_network_single : string -> string
+
+(** Romeo-and-Juliet dialogs: seeds are the dialog-starting speeches,
+    each round extends every live dialog by its next
+    alternating-speaker speech; the recursion depth is the maximum
+    uninterrupted dialog length. *)
+val dialogs : string
+
+(** Curriculum consistency (xlinkit Rule 5): courses among their own
+    prerequisites. *)
+val curriculum_check : string
+
+(** Hereditary-disease exploration: genealogy closure from hereditary
+    cases down the nested patient records. *)
+val hospital : string

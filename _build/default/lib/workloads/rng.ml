@@ -1,0 +1,29 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next_u64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* keep 62 bits so the value stays non-negative in OCaml's 63-bit int *)
+  let v = Int64.to_int (Int64.shift_right_logical (next_u64 t) 2) in
+  v mod bound
+
+let float t =
+  let v = Int64.to_float (Int64.shift_right_logical (next_u64 t) 11) in
+  v /. 9007199254740992.0 (* 2^53 *)
+
+let bool t = Int64.logand (next_u64 t) 1L = 1L
+
+let geometric t ~p ~max =
+  let rec go n = if n >= max || float t < p then n else go (n + 1) in
+  go 0
+
+let choose t arr = arr.(int t (Array.length arr))

@@ -1,0 +1,22 @@
+(** Deterministic splitmix64 PRNG — every workload instance is
+    reproducible from its seed, independent of OCaml's stdlib Random
+    state. *)
+
+type t
+
+val create : int -> t
+
+(** Uniform in [0, bound). *)
+val int : t -> int -> int
+
+(** Uniform in [0, 1). *)
+val float : t -> float
+
+val bool : t -> bool
+
+(** Geometric-ish: number of failures before a success with probability
+    [p]; capped at [max]. *)
+val geometric : t -> p:float -> max:int -> int
+
+(** Pick a uniform element of a non-empty array. *)
+val choose : t -> 'a array -> 'a

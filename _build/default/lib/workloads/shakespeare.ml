@@ -1,0 +1,128 @@
+module Node = Fixq_xdm.Node
+module Axis = Fixq_xdm.Axis
+module Doc_registry = Fixq_xdm.Doc_registry
+
+type params = {
+  seed : int;
+  acts : int;
+  scenes_per_act : int;
+  speeches_per_scene : int;
+  max_dialog : int;
+}
+
+let default =
+  { seed = 7; acts = 5; scenes_per_act = 5; speeches_per_scene = 34;
+    max_dialog = 33 }
+
+let speakers =
+  [| "ROMEO"; "JULIET"; "MERCUTIO"; "BENVOLIO"; "TYBALT"; "NURSE";
+     "FRIAR LAURENCE"; "CAPULET"; "LADY CAPULET"; "PARIS" |]
+
+let lines =
+  [| "But, soft! what light through yonder window breaks?";
+     "O Romeo, Romeo! wherefore art thou Romeo?";
+     "A plague o' both your houses!";
+     "These violent delights have violent ends.";
+     "Wisely and slow; they stumble that run fast.";
+     "My only love sprung from my only hate." |]
+
+let speech rng speaker =
+  Node.E
+    ( "SPEECH", [],
+      [ Node.E ("SPEAKER", [], [ Node.T speaker ]);
+        Node.E ("LINE", [], [ Node.T (Rng.choose rng lines) ]) ] )
+
+(* A scene is a list of alternating runs; consecutive runs share their
+   boundary speaker (a repeated speaker breaks the dialog). *)
+let scene rng p ~planted =
+  let speeches = ref [] in
+  let total = ref 0 in
+  let budget = if planted then max p.speeches_per_scene p.max_dialog else p.speeches_per_scene in
+  let run len =
+    let a = Rng.choose rng speakers in
+    let b =
+      let rec pick () =
+        let x = Rng.choose rng speakers in
+        if String.equal x a then pick () else x
+      in
+      pick ()
+    in
+    for i = 0 to len - 1 do
+      let sp = if i mod 2 = 0 then a else b in
+      speeches := speech rng sp :: !speeches;
+      incr total
+    done;
+    (* Break: repeat the last speaker once so the next run cannot extend
+       this dialog. *)
+    if !total < budget then begin
+      let last = if (len - 1) mod 2 = 0 then a else b in
+      speeches := speech rng last :: !speeches;
+      incr total
+    end
+  in
+  if planted then run p.max_dialog;
+  while !total < budget do
+    let len = 2 + Rng.geometric rng ~p:0.35 ~max:(p.max_dialog - 2) in
+    run (min len (budget - !total))
+  done;
+  Node.E ("SCENE", [],
+          Node.E ("TITLE", [], [ Node.T "A public place." ]) :: List.rev !speeches)
+
+let generate p =
+  let rng = Rng.create p.seed in
+  let planted_act = 0 and planted_scene = 0 in
+  let act ai =
+    Node.E
+      ( "ACT", [],
+        Node.E ("TITLE", [], [ Node.T (Printf.sprintf "ACT %d" (ai + 1)) ])
+        :: List.init p.scenes_per_act (fun si ->
+               scene rng p ~planted:(ai = planted_act && si = planted_scene))
+      )
+  in
+  Node.of_spec
+    (Node.E
+       ( "PLAY", [],
+         Node.E ("TITLE", [], [ Node.T "The Tragedy of Romeo and Juliet" ])
+         :: List.init p.acts act ))
+
+let load ?(registry = Doc_registry.default) ?(uri = "romeo.xml") p =
+  let doc = generate p in
+  Doc_registry.register ~registry uri doc;
+  doc
+
+let speech_count p =
+  (* budget per scene, +1 planted scene surplus when max_dialog exceeds
+     the budget; exact value comes from the tree, this is the nominal
+     count used for sizing *)
+  p.acts * p.scenes_per_act * p.speeches_per_scene
+
+let longest_dialog doc =
+  let best = ref 0 in
+  let rec walk (n : Node.t) =
+    if Node.name n = "SCENE" then begin
+      let speeches =
+        List.filter (fun c -> Node.name c = "SPEECH") (Node.children n)
+      in
+      let speaker s =
+        match
+          List.find_opt (fun c -> Node.name c = "SPEAKER") (Node.children s)
+        with
+        | Some sp -> Node.string_value sp
+        | None -> ""
+      in
+      let rec runs current = function
+        | [] -> best := max !best current
+        | [ _ ] -> best := max !best (current + 1)
+        | a :: (b :: _ as rest) ->
+          if String.equal (speaker a) (speaker b) then begin
+            best := max !best (current + 1);
+            runs 0 rest
+          end
+          else runs (current + 1) rest
+      in
+      runs 0 speeches
+    end
+    else List.iter walk (Node.children n)
+  in
+  walk (Node.root doc);
+  !best

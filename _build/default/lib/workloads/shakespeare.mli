@@ -1,0 +1,31 @@
+(** Shakespeare-markup play generator (Jon Bosak's XML corpus shape) —
+    substrate of the Romeo-and-Juliet dialog experiment.
+
+    Scenes contain runs of [SPEECH] elements. Within a run two speakers
+    alternate strictly (an "uninterrupted dialog"); runs are separated
+    by a repeated-speaker break. One run of exactly [max_dialog]
+    speeches is planted so the maximum dialog length — and hence the
+    recursion depth of the dialog query — is known. *)
+
+type params = {
+  seed : int;
+  acts : int;
+  scenes_per_act : int;
+  speeches_per_scene : int;
+  max_dialog : int;  (** planted longest alternating run (paper: 33) *)
+}
+
+val default : params
+
+val generate : params -> Fixq_xdm.Node.t
+
+val load :
+  ?registry:Fixq_xdm.Doc_registry.t -> ?uri:string -> params -> Fixq_xdm.Node.t
+
+(** Total number of SPEECH elements the parameters produce. *)
+val speech_count : params -> int
+
+(** The true maximum alternating-run length of the generated play
+    (computed from the tree; equals [max_dialog] by construction unless
+    a random run happens to be longer). *)
+val longest_dialog : Fixq_xdm.Node.t -> int

@@ -1,0 +1,68 @@
+module Node = Fixq_xdm.Node
+module Doc_registry = Fixq_xdm.Doc_registry
+
+type params = { scale : float; seed : int; bidders_per_auction : int }
+
+let default = { scale = 0.01; seed = 42; bidders_per_auction = 2 }
+
+let persons_of_scale scale = max 5 (int_of_float (25500.0 *. scale))
+let auctions_of_scale scale = max 3 (int_of_float (12000.0 *. scale))
+
+let first_names =
+  [| "Ada"; "Grace"; "Alan"; "Edsger"; "Barbara"; "Donald"; "Tony"; "John";
+     "Leslie"; "Robin" |]
+
+let last_names =
+  [| "Lovelace"; "Hopper"; "Turing"; "Dijkstra"; "Liskov"; "Knuth"; "Hoare";
+     "Backus"; "Lamport"; "Milner" |]
+
+let generate p =
+  let rng = Rng.create p.seed in
+  let persons = persons_of_scale p.scale in
+  let auctions = auctions_of_scale p.scale in
+  let person i =
+    Node.E
+      ( "person",
+        [ ("id", Printf.sprintf "person%d" i) ],
+        [ Node.E
+            ( "name", [],
+              [ Node.T
+                  (Rng.choose rng first_names ^ " " ^ Rng.choose rng last_names)
+              ] ) ] )
+  in
+  let auction i =
+    let seller = Rng.int rng persons in
+    let n_bidders = 1 + Rng.int rng (max 1 ((2 * p.bidders_per_auction) - 1)) in
+    (* Mostly local seller→bidder edges with occasional long jumps:
+       keeps the network quadratic in the document while stretching its
+       diameter into the paper's 10–24 recursion-depth range. *)
+    let bidder _ =
+      let target =
+        if Rng.float rng < 0.75 then
+          (seller + 1 + Rng.int rng 7) mod persons
+        else Rng.int rng persons
+      in
+      Node.E
+        ( "bidder", [],
+          [ Node.E
+              ( "personref",
+                [ ("person", Printf.sprintf "person%d" target) ], [] ) ] )
+    in
+    Node.E
+      ( "open_auction",
+        [ ("id", Printf.sprintf "open_auction%d" i) ],
+        Node.E ("seller", [ ("person", Printf.sprintf "person%d" seller) ], [])
+        :: List.init n_bidders bidder )
+  in
+  let spec =
+    Node.E
+      ( "site", [],
+        [ Node.E ("people", [], List.init persons person);
+          Node.E ("open_auctions", [], List.init auctions auction) ] )
+  in
+  Node.of_spec spec
+
+let load ?(registry = Doc_registry.default) ?(uri = "auction.xml") p =
+  let doc = generate p in
+  Doc_registry.register ~registry uri doc;
+  doc

@@ -1,0 +1,29 @@
+(** XMark-style auction documents (Schmidt et al., VLDB 2002) — the
+    substrate of the paper's bidder-network experiment (Figure 10,
+    Table 2).
+
+    The generator emits exactly the structure the bidder-network query
+    touches: a [people] section of [person] elements with [@id], and an
+    [open_auctions] section where each [open_auction] carries a
+    [seller/@person] reference and one or more [bidder/personref/@person]
+    references. The seller→bidder edge set is drawn uniformly, so the
+    reachable network grows super-linearly with the document size, as in
+    the paper. *)
+
+type params = {
+  scale : float;  (** XMark scale factor; persons ≈ 25500·scale *)
+  seed : int;
+  bidders_per_auction : int;  (** expected bidders per auction *)
+}
+
+val default : params
+
+val persons_of_scale : float -> int
+val auctions_of_scale : float -> int
+
+(** Generate a document. *)
+val generate : params -> Fixq_xdm.Node.t
+
+(** Generate and register under [uri] (default ["auction.xml"]). *)
+val load :
+  ?registry:Fixq_xdm.Doc_registry.t -> ?uri:string -> params -> Fixq_xdm.Node.t

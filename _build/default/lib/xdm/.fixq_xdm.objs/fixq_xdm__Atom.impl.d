@@ -1,0 +1,1 @@
+lib/xdm/atom.ml: Bool Float Format Int Printf String

@@ -1,0 +1,1 @@
+lib/xdm/atom.mli: Format

@@ -1,0 +1,1 @@
+lib/xdm/axis.ml: Array Format List Node String

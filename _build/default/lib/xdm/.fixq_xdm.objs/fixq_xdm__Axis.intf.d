@@ -1,0 +1,1 @@
+lib/xdm/axis.mli: Format Node

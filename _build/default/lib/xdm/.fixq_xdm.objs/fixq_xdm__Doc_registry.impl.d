@@ -1,0 +1,1 @@
+lib/xdm/doc_registry.ml: Hashtbl Node Sys Xml_parser

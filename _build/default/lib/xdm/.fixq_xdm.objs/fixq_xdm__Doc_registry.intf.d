@@ -1,0 +1,1 @@
+lib/xdm/doc_registry.mli: Node

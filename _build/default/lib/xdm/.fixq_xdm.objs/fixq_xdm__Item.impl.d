@@ -1,0 +1,1 @@
+lib/xdm/item.ml: Array Atom Format List Node Node_set Qname String

@@ -1,0 +1,1 @@
+lib/xdm/item.mli: Atom Format Node Node_set

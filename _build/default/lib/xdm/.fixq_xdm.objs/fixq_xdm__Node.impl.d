@@ -1,0 +1,1 @@
+lib/xdm/node.ml: Array Buffer Format Hashtbl Int List Option Qname String

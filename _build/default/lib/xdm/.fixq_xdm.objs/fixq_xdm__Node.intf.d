@@ -1,0 +1,1 @@
+lib/xdm/node.mli: Format Hashtbl Qname

@@ -1,0 +1,1 @@
+lib/xdm/node_set.ml: Int List Node Set

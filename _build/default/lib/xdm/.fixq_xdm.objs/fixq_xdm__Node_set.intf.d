@@ -1,0 +1,1 @@
+lib/xdm/node_set.mli: Node

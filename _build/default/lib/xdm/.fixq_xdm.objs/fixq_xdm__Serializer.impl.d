@@ -1,0 +1,1 @@
+lib/xdm/serializer.ml: Array Atom Buffer Item List Node String

@@ -1,0 +1,1 @@
+lib/xdm/serializer.mli: Buffer Item Node

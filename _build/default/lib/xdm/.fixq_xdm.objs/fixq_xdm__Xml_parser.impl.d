@@ -1,0 +1,1 @@
+lib/xdm/xml_parser.ml: Buffer Char Format List Node String

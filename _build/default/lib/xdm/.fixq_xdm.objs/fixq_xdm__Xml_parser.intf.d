@@ -1,0 +1,1 @@
+lib/xdm/xml_parser.mli: Node

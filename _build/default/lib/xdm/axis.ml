@@ -1,0 +1,158 @@
+type t =
+  | Child
+  | Descendant
+  | Descendant_or_self
+  | Parent
+  | Ancestor
+  | Ancestor_or_self
+  | Self
+  | Following_sibling
+  | Preceding_sibling
+  | Following
+  | Preceding
+  | Attribute
+
+type test =
+  | Name of string
+  | Kind_node
+  | Kind_text
+  | Kind_comment
+  | Kind_pi
+  | Kind_element of string option
+  | Kind_attribute of string option
+  | Kind_document
+
+let axis_of_string = function
+  | "child" -> Some Child
+  | "descendant" -> Some Descendant
+  | "descendant-or-self" -> Some Descendant_or_self
+  | "parent" -> Some Parent
+  | "ancestor" -> Some Ancestor
+  | "ancestor-or-self" -> Some Ancestor_or_self
+  | "self" -> Some Self
+  | "following-sibling" -> Some Following_sibling
+  | "preceding-sibling" -> Some Preceding_sibling
+  | "following" -> Some Following
+  | "preceding" -> Some Preceding
+  | "attribute" -> Some Attribute
+  | _ -> None
+
+let axis_to_string = function
+  | Child -> "child"
+  | Descendant -> "descendant"
+  | Descendant_or_self -> "descendant-or-self"
+  | Parent -> "parent"
+  | Ancestor -> "ancestor"
+  | Ancestor_or_self -> "ancestor-or-self"
+  | Self -> "self"
+  | Following_sibling -> "following-sibling"
+  | Preceding_sibling -> "preceding-sibling"
+  | Following -> "following"
+  | Preceding -> "preceding"
+  | Attribute -> "attribute"
+
+let is_reverse = function
+  | Parent | Ancestor | Ancestor_or_self | Preceding | Preceding_sibling ->
+    true
+  | Child | Descendant | Descendant_or_self | Self | Following_sibling
+  | Following | Attribute ->
+    false
+
+let name_matches pat n =
+  String.equal pat "*" || String.equal pat (Node.name n)
+
+let matches axis test (n : Node.t) =
+  match test with
+  | Name pat -> (
+    (* A bare name test selects the principal node kind of the axis:
+       attributes on the attribute axis, elements elsewhere. *)
+    match axis with
+    | Attribute -> n.Node.kind = Node.Attribute && name_matches pat n
+    | _ -> n.Node.kind = Node.Element && name_matches pat n)
+  | Kind_node -> true
+  | Kind_text -> n.Node.kind = Node.Text
+  | Kind_comment -> n.Node.kind = Node.Comment
+  | Kind_pi -> n.Node.kind = Node.Pi
+  | Kind_element pat ->
+    n.Node.kind = Node.Element
+    && (match pat with None -> true | Some p -> name_matches p n)
+  | Kind_attribute pat ->
+    n.Node.kind = Node.Attribute
+    && (match pat with None -> true | Some p -> name_matches p n)
+  | Kind_document -> n.Node.kind = Node.Document
+
+let descendants_acc acc n =
+  let rec go acc (n : Node.t) =
+    Array.fold_left (fun acc c -> go (c :: acc) c) acc n.Node.children
+  in
+  List.rev (go (List.rev acc) n)
+
+let rec ancestors (n : Node.t) =
+  match n.Node.parent with None -> [] | Some p -> p :: ancestors p
+
+let siblings_after (n : Node.t) =
+  match n.Node.parent with
+  | None -> []
+  | Some p ->
+    let sibs = Array.to_list p.Node.children in
+    let rec drop = function
+      | [] -> []
+      | s :: rest -> if Node.equal s n then rest else drop rest
+    in
+    drop sibs
+
+let siblings_before (n : Node.t) =
+  match n.Node.parent with
+  | None -> []
+  | Some p ->
+    let rec take acc = function
+      | [] -> List.rev acc
+      | s :: rest ->
+        if Node.equal s n then List.rev acc else take (s :: acc) rest
+    in
+    take [] (Array.to_list p.Node.children)
+
+let nodes axis (n : Node.t) =
+  match axis with
+  | Self -> [ n ]
+  | Child -> Array.to_list n.Node.children
+  | Attribute -> Array.to_list n.Node.attributes
+  | Descendant -> descendants_acc [] n
+  | Descendant_or_self -> n :: descendants_acc [] n
+  | Parent -> ( match n.Node.parent with None -> [] | Some p -> [ p ])
+  | Ancestor -> ancestors n
+  | Ancestor_or_self -> n :: ancestors n
+  | Following_sibling -> siblings_after n
+  | Preceding_sibling -> List.rev (siblings_before n)
+  | Following ->
+    (* Nodes after n in document order, excluding descendants: the
+       descendant-or-self closure of the following siblings of n and of
+       each of its ancestors. *)
+    List.concat_map
+      (fun s ->
+        List.concat_map (fun fs -> fs :: descendants_acc [] fs)
+          (siblings_after s))
+      (n :: ancestors n)
+  | Preceding ->
+    (* axis order = reverse document order *)
+    let sources = n :: ancestors n in
+    List.rev
+      (List.concat_map
+         (fun s ->
+           List.concat_map (fun ps -> ps :: descendants_acc [] ps)
+             (siblings_before s))
+         (List.rev sources))
+
+let step axis test n = List.filter (matches axis test) (nodes axis n)
+
+let pp_test ppf = function
+  | Name s -> Format.pp_print_string ppf s
+  | Kind_node -> Format.pp_print_string ppf "node()"
+  | Kind_text -> Format.pp_print_string ppf "text()"
+  | Kind_comment -> Format.pp_print_string ppf "comment()"
+  | Kind_pi -> Format.pp_print_string ppf "processing-instruction()"
+  | Kind_element None -> Format.pp_print_string ppf "element()"
+  | Kind_element (Some s) -> Format.fprintf ppf "element(%s)" s
+  | Kind_attribute None -> Format.pp_print_string ppf "attribute()"
+  | Kind_attribute (Some s) -> Format.fprintf ppf "attribute(%s)" s
+  | Kind_document -> Format.pp_print_string ppf "document-node()"

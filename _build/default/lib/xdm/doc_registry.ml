@@ -1,0 +1,27 @@
+type t = (string, Node.t) Hashtbl.t
+
+let create () : t = Hashtbl.create 8
+let default : t = create ()
+
+let register ?(registry = default) uri doc =
+  Node.set_uri doc uri;
+  Hashtbl.replace registry uri doc
+
+let find ?(registry = default) uri =
+  match Hashtbl.find_opt registry uri with
+  | Some d -> Some d
+  | None ->
+    if Sys.file_exists uri then begin
+      let ic = open_in_bin uri in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      match Xml_parser.parse_string ~uri s with
+      | doc ->
+        Hashtbl.replace registry uri doc;
+        Some doc
+      | exception Xml_parser.Parse_error _ -> None
+    end
+    else None
+
+let clear ?(registry = default) () = Hashtbl.reset registry

@@ -1,0 +1,23 @@
+(** Registry backing [fn:doc]: maps URIs to document nodes.
+
+    Queries in this reproduction never touch the file system; the
+    benchmark and test harnesses register generated documents under the
+    URIs the paper's queries use ([doc("curriculum.xml")],
+    [doc("auction.xml")], …). A registered URI always returns the same
+    node, preserving [doc] stability as required by XQuery. *)
+
+(** Isolated registry instances let tests avoid cross-talk. *)
+type t
+
+val create : unit -> t
+
+(** The process-wide default registry. *)
+val default : t
+
+val register : ?registry:t -> string -> Node.t -> unit
+
+(** [find uri] returns the registered document. Falls back to parsing
+    the file at [uri] if nothing is registered and the file exists. *)
+val find : ?registry:t -> string -> Node.t option
+
+val clear : ?registry:t -> unit -> unit

@@ -1,0 +1,131 @@
+type t = N of Node.t | A of Atom.t
+
+type seq = t list
+
+let node n = N n
+let atom a = A a
+
+let as_node_seq who s =
+  List.map
+    (function
+      | N n -> n
+      | A a ->
+        Atom.type_error "%s: expected a sequence of nodes, got atom %s" who
+          (Atom.to_string a))
+    s
+
+let sort_uniq_nodes ns =
+  let sorted = List.sort Node.compare_doc_order ns in
+  let rec dedup = function
+    | a :: (b :: _ as rest) ->
+      if Node.equal a b then dedup rest else a :: dedup rest
+    | l -> l
+  in
+  dedup sorted
+
+let ddo s = List.map node (sort_uniq_nodes (as_node_seq "fs:ddo" s))
+
+let union a b =
+  let na = as_node_seq "union" a and nb = as_node_seq "union" b in
+  List.map node (sort_uniq_nodes (na @ nb))
+
+let except a b =
+  let na = as_node_seq "except" a and nb = as_node_seq "except" b in
+  let forbidden = Node_set.of_nodes nb in
+  List.map node
+    (sort_uniq_nodes (List.filter (fun n -> not (Node_set.mem n forbidden)) na))
+
+let intersect a b =
+  let na = as_node_seq "intersect" a and nb = as_node_seq "intersect" b in
+  let wanted = Node_set.of_nodes nb in
+  List.map node
+    (sort_uniq_nodes (List.filter (fun n -> Node_set.mem n wanted) na))
+
+(* Set-equality s= over general sequences: split into node part (by
+   identity) and atom part (by value). *)
+module Atom_set = struct
+  let mem a l = List.exists (Atom.equal_value a) l
+
+  let of_seq s =
+    List.fold_left (fun acc a -> if mem a acc then acc else a :: acc) [] s
+
+  let equal a b =
+    let a = of_seq a and b = of_seq b in
+    List.length a = List.length b && List.for_all (fun x -> mem x b) a
+end
+
+let set_equal a b =
+  let nodes_of = List.filter_map (function N n -> Some n | A _ -> None) in
+  let atoms_of = List.filter_map (function A a -> Some a | N _ -> None) in
+  Node_set.equal (Node_set.of_nodes (nodes_of a)) (Node_set.of_nodes (nodes_of b))
+  && Atom_set.equal (atoms_of a) (atoms_of b)
+
+let effective_boolean = function
+  | [] -> false
+  | [ A a ] -> Atom.to_bool a
+  | N _ :: _ -> true
+  | _ ->
+    Atom.type_error
+      "effective boolean value undefined for a multi-atom sequence"
+
+let atomize s =
+  List.map
+    (function A a -> a | N n -> Atom.Str (Node.string_value n))
+    s
+
+let string_of_item = function
+  | A a -> Atom.to_string a
+  | N n -> Node.string_value n
+
+let rec deep_equal_node (a : Node.t) (b : Node.t) =
+  a.Node.kind = b.Node.kind
+  && (match (a.Node.name, b.Node.name) with
+     | (None, None) -> true
+     | (Some x, Some y) -> Qname.equal x y
+     | _ -> false)
+  && (match a.Node.kind with
+     | Node.Text | Node.Comment | Node.Pi | Node.Attribute ->
+       String.equal a.Node.content b.Node.content
+     | Node.Element | Node.Document -> true)
+  && Array.length a.Node.attributes = Array.length b.Node.attributes
+  && List.for_all
+       (fun (x : Node.t) ->
+         Array.exists
+           (fun (y : Node.t) ->
+             Node.name x = Node.name y
+             && String.equal x.Node.content y.Node.content)
+           b.Node.attributes)
+       (Array.to_list a.Node.attributes)
+  && Array.length a.Node.children = Array.length b.Node.children
+  && List.for_all2 deep_equal_node
+       (Array.to_list a.Node.children)
+       (Array.to_list b.Node.children)
+
+let deep_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun x y ->
+         match (x, y) with
+         | (A u, A v) -> Atom.equal_value u v
+         | (N u, N v) -> deep_equal_node u v
+         | _ -> false)
+       a b
+
+let node_ids s =
+  Node_set.of_nodes
+    (List.filter_map (function N n -> Some n | A _ -> None) s)
+
+let equal_item a b =
+  match (a, b) with
+  | (N x, N y) -> Node.equal x y
+  | (A x, A y) -> Atom.equal_value x y
+  | _ -> false
+
+let pp ppf = function
+  | N n -> Node.pp ppf n
+  | A a -> Atom.pp ppf a
+
+let pp_seq ppf s =
+  Format.fprintf ppf "(@[%a@])"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp)
+    s

@@ -1,0 +1,57 @@
+(** XQuery items and item sequences, with the node-sequence operations
+    the IFP semantics is built on.
+
+    The paper's set-equality [s=] (Definition 2.1) disregards duplicates
+    and order; for node sequences it coincides with equality after
+    [fs:distinct-doc-order] ({!ddo}), which this module implements. *)
+
+type t = N of Node.t | A of Atom.t
+
+type seq = t list
+
+val node : Node.t -> t
+val atom : Atom.t -> t
+
+(** [as_node_seq who s] checks that [s] contains nodes only and returns
+    them; raises [Atom.Type_error] otherwise ([who] names the operation
+    for the error message). *)
+val as_node_seq : string -> seq -> Node.t list
+
+(** [fs:distinct-doc-order]: sort by document order, remove duplicate
+    node identities. Requires a node-only sequence. *)
+val ddo : seq -> seq
+
+(** Node-set union / except / intersect ([union], [except], [intersect]
+    operators) — results in document order, duplicate-free. *)
+val union : seq -> seq -> seq
+
+val except : seq -> seq -> seq
+val intersect : seq -> seq -> seq
+
+(** Set-equality [s=] of Definition 2.1: equality modulo duplicates and
+    order. Atoms compare by value equality, nodes by identity. *)
+val set_equal : seq -> seq -> bool
+
+(** Effective boolean value (XPath semantics): empty is false, a
+    sequence whose first item is a node is true, a single atom maps by
+    {!Atom.to_bool}; other sequences raise a type error. *)
+val effective_boolean : seq -> bool
+
+(** Atomization: nodes become (untyped) string atoms via their string
+    value, atoms pass through. *)
+val atomize : seq -> Atom.t list
+
+(** String value of a single item. *)
+val string_of_item : t -> string
+
+(** [fn:deep-equal] on two sequences: pairwise, atoms by value, nodes by
+    structural comparison (name, attributes as sets, children in
+    order). *)
+val deep_equal : seq -> seq -> bool
+
+(** Identity-based membership/cardinality helpers for fixpoints. *)
+val node_ids : seq -> Node_set.t
+
+val equal_item : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val pp_seq : Format.formatter -> seq -> unit

@@ -1,0 +1,273 @@
+type kind = Document | Element | Attribute | Text | Comment | Pi
+
+type t = {
+  id : int;
+  kind : kind;
+  name : Qname.t option;
+  mutable content : string;
+  mutable parent : t option;
+  mutable children : t array;
+  mutable attributes : t array;
+  mutable doc : doc option;
+}
+
+and doc = {
+  mutable uri : string option;
+  mutable id_attribute_names : string list;
+  mutable id_index : (string, t) Hashtbl.t option;
+  mutable idref_attribute_names : string list;
+  mutable idref_index : (string, t list) Hashtbl.t option;
+      (** ID token → IDREF-typed attribute nodes referring to it *)
+}
+
+type spec =
+  | E of string * (string * string) list * spec list
+  | T of string
+  | C of string
+  | P of string * string
+
+let counter = ref 0
+
+let fresh_id () =
+  incr counter;
+  !counter
+
+let allocated () = !counter
+
+let mk kind name content =
+  { id = fresh_id (); kind; name; content;
+    parent = None; children = [||]; attributes = [||]; doc = None }
+
+(* Ids are assigned in preorder: the node itself, then its attributes,
+   then its children — this makes document order coincide with id
+   order. *)
+let rec build spec =
+  match spec with
+  | T s -> mk Text None s
+  | C s -> mk Comment None s
+  | P (target, s) -> mk Pi (Some (Qname.of_string target)) s
+  | E (name, attrs, kids) ->
+    let e = mk Element (Some (Qname.of_string name)) "" in
+    let build_attr (an, av) =
+      let a = mk Attribute (Some (Qname.of_string an)) av in
+      a.parent <- Some e;
+      a
+    in
+    e.attributes <- Array.of_list (List.map build_attr attrs);
+    let build_kid k =
+      let c = build k in
+      c.parent <- Some e;
+      c
+    in
+    e.children <- Array.of_list (List.map build_kid kids);
+    e
+
+let of_spec ?uri ?(id_attrs = []) spec =
+  let d = mk Document None "" in
+  d.doc <- Some { uri; id_attribute_names = id_attrs; id_index = None;
+      idref_attribute_names = []; idref_index = None };
+  let c = build spec in
+  c.parent <- Some d;
+  d.children <- [| c |];
+  d
+
+let rec deep_copy n =
+  match n.kind with
+  | Text -> mk Text None n.content
+  | Comment -> mk Comment None n.content
+  | Pi -> mk Pi n.name n.content
+  | Attribute -> mk Attribute n.name n.content
+  | Element ->
+    let e = mk Element n.name "" in
+    let copy_into c =
+      let c' = deep_copy c in
+      c'.parent <- Some e;
+      c'
+    in
+    e.attributes <- Array.map copy_into n.attributes;
+    e.children <- Array.map copy_into n.children;
+    e
+  | Document ->
+    let d = mk Document None "" in
+    d.doc <- Some { uri = None; id_attribute_names = []; id_index = None;
+      idref_attribute_names = []; idref_index = None };
+    let copy_into c =
+      let c' = deep_copy c in
+      c'.parent <- Some d;
+      c'
+    in
+    d.children <- Array.map copy_into n.children;
+    d
+
+let element name ~attrs kids =
+  let e = mk Element (Some (Qname.of_string name)) "" in
+  let attr (an, av) =
+    let a = mk Attribute (Some (Qname.of_string an)) av in
+    a.parent <- Some e;
+    a
+  in
+  e.attributes <- Array.of_list (List.map attr attrs);
+  (* XQuery element construction copies its content — unconditionally:
+     content nodes were built before this element, so adopting them
+     as-is would give children smaller ids than their parent and break
+     the id-is-document-order invariant. A document child contributes
+     its children (element content semantics). *)
+  let adopt k =
+    let k' = deep_copy k in
+    k'.parent <- Some e;
+    k'
+  in
+  let kids =
+    List.concat_map
+      (fun k ->
+        match k.kind with Document -> Array.to_list k.children | _ -> [ k ])
+      kids
+  in
+  e.children <- Array.of_list (List.map adopt kids);
+  e
+
+let text s = mk Text None s
+let comment s = mk Comment None s
+let attribute n v = mk Attribute (Some (Qname.of_string n)) v
+
+let document kids =
+  let d = mk Document None "" in
+  d.doc <- Some { uri = None; id_attribute_names = []; id_index = None;
+      idref_attribute_names = []; idref_index = None };
+  let adopt k =
+    let k' = deep_copy k in
+    k'.parent <- Some d;
+    k'
+  in
+  let kids =
+    List.concat_map
+      (fun k ->
+        match k.kind with Document -> Array.to_list k.children | _ -> [ k ])
+      kids
+  in
+  d.children <- Array.of_list (List.map adopt kids);
+  d
+
+let rec root n = match n.parent with None -> n | Some p -> root p
+let parent n = n.parent
+let children n = Array.to_list n.children
+let attributes n = Array.to_list n.attributes
+
+let string_value n =
+  match n.kind with
+  | Text | Comment | Pi | Attribute -> n.content
+  | Element | Document ->
+    let buf = Buffer.create 64 in
+    let rec go n =
+      match n.kind with
+      | Text -> Buffer.add_string buf n.content
+      | Element | Document -> Array.iter go n.children
+      | Attribute | Comment | Pi -> ()
+    in
+    go n;
+    Buffer.contents buf
+
+let name n = match n.name with None -> "" | Some q -> Qname.to_string q
+let local_name n = match n.name with None -> "" | Some q -> Qname.local q
+
+let doc_of_root r =
+  match r.doc with
+  | Some d -> d
+  | None ->
+    let d = { uri = None; id_attribute_names = []; id_index = None;
+      idref_attribute_names = []; idref_index = None } in
+    r.doc <- Some d;
+    d
+
+let register_id_attribute r an =
+  let r = root r in
+  let d = doc_of_root r in
+  if not (List.mem an d.id_attribute_names) then
+    d.id_attribute_names <- an :: d.id_attribute_names;
+  d.id_index <- None
+
+let register_idref_attribute r an =
+  let r = root r in
+  let d = doc_of_root r in
+  if not (List.mem an d.idref_attribute_names) then
+    d.idref_attribute_names <- an :: d.idref_attribute_names;
+  d.idref_index <- None
+
+let rec iter_subtree f n =
+  f n;
+  Array.iter (iter_subtree f) n.children
+
+let build_id_index r d =
+  let tbl = Hashtbl.create 256 in
+  let visit n =
+    if n.kind = Element then
+      Array.iter
+        (fun a ->
+          if List.mem (name a) d.id_attribute_names then
+            if not (Hashtbl.mem tbl a.content) then
+              Hashtbl.add tbl a.content n)
+        n.attributes
+  in
+  iter_subtree visit r;
+  d.id_index <- Some tbl;
+  tbl
+
+let lookup_id r v =
+  let r = root r in
+  let d = doc_of_root r in
+  let tbl =
+    match d.id_index with Some t -> t | None -> build_id_index r d
+  in
+  Hashtbl.find_opt tbl v
+
+let whitespace_tokens s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\n')
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun x -> x <> "")
+
+let build_idref_index r d =
+  let tbl = Hashtbl.create 256 in
+  let visit n =
+    if n.kind = Element then
+      Array.iter
+        (fun a ->
+          if List.mem (name a) d.idref_attribute_names then
+            List.iter
+              (fun tok ->
+                let prev = Option.value ~default:[] (Hashtbl.find_opt tbl tok) in
+                Hashtbl.replace tbl tok (a :: prev))
+              (whitespace_tokens a.content))
+        n.attributes
+  in
+  iter_subtree visit r;
+  Hashtbl.iter (fun k v -> Hashtbl.replace tbl k (List.rev v)) tbl;
+  d.idref_index <- Some tbl;
+  tbl
+
+let lookup_idref r v =
+  let r = root r in
+  let d = doc_of_root r in
+  let tbl =
+    match d.idref_index with Some t -> t | None -> build_idref_index r d
+  in
+  Option.value ~default:[] (Hashtbl.find_opt tbl v)
+
+let set_uri r u = (doc_of_root (root r)).uri <- Some u
+let uri r = match (root r).doc with Some d -> d.uri | None -> None
+let compare_doc_order a b = Int.compare a.id b.id
+let equal a b = a.id = b.id
+
+let subtree_size n =
+  let k = ref 0 in
+  iter_subtree (fun _ -> incr k) n;
+  !k
+
+let pp ppf n =
+  match n.kind with
+  | Document -> Format.fprintf ppf "document-node(#%d)" n.id
+  | Element -> Format.fprintf ppf "<%s>#%d" (name n) n.id
+  | Attribute -> Format.fprintf ppf "@%s=%S#%d" (name n) n.content n.id
+  | Text -> Format.fprintf ppf "text(%S)#%d" n.content n.id
+  | Comment -> Format.fprintf ppf "comment(#%d)" n.id
+  | Pi -> Format.fprintf ppf "pi(%s)#%d" (name n) n.id

@@ -1,0 +1,123 @@
+(** Ordered, unranked trees with node identity — the backbone of the
+    XQuery Data Model.
+
+    Every node carries a globally unique integer {!id} assigned at
+    construction time in document (pre-)order: within a tree, [id]
+    increases in preorder (element, then its attributes, then its
+    children); across trees, ids order trees by construction time. As a
+    consequence, document order is exactly the order of [id] and
+    [fs:distinct-doc-order] is "sort by id, drop duplicates"
+    (see {!Item.ddo}).
+
+    Node construction from a {!spec} and {!deep_copy} both allocate
+    fresh ids, matching XQuery's semantics of node constructors (new
+    node identities on every evaluation). *)
+
+type kind = Document | Element | Attribute | Text | Comment | Pi
+
+type t = private {
+  id : int;
+  kind : kind;
+  name : Qname.t option;
+  mutable content : string;  (** text / comment / PI / attribute value *)
+  mutable parent : t option;
+  mutable children : t array;
+  mutable attributes : t array;
+  mutable doc : doc option;  (** set on tree roots only *)
+}
+
+(** Per-document bookkeeping attached to the root node. *)
+and doc = {
+  mutable uri : string option;
+  mutable id_attribute_names : string list;
+      (** attribute names declared of type ID (via DTD or
+          {!register_id_attribute}) *)
+  mutable id_index : (string, t) Hashtbl.t option;  (** built lazily *)
+  mutable idref_attribute_names : string list;
+      (** attribute names declared of type IDREF/IDREFS *)
+  mutable idref_index : (string, t list) Hashtbl.t option;
+}
+
+(** Construction specification: a value describing a tree to build. *)
+type spec =
+  | E of string * (string * string) list * spec list
+      (** element: name, attributes, children *)
+  | T of string  (** text node *)
+  | C of string  (** comment node *)
+  | P of string * string  (** processing instruction: target, content *)
+
+(** [of_spec ?uri ?id_attrs spec] builds a document node rooted over
+    [spec], assigning fresh preorder ids. [id_attrs] lists attribute
+    names of DTD type ID (for [fn:id]). *)
+val of_spec : ?uri:string -> ?id_attrs:string list -> spec -> t
+
+(** Build a parentless element (XQuery element constructor). Children
+    that already have a parent are deep-copied, parentless ones are
+    adopted — both receive fresh ids. *)
+val element : string -> attrs:(string * string) list -> t list -> t
+
+val text : string -> t
+val comment : string -> t
+val attribute : string -> string -> t
+
+(** XQuery [document { … }] constructor: a fresh document node whose
+    children are copies of the given nodes. *)
+val document : t list -> t
+
+(** [deep_copy n] clones the subtree rooted at [n] with fresh ids and no
+    parent. *)
+val deep_copy : t -> t
+
+(** Root of the tree containing [n] (follows parent links). *)
+val root : t -> t
+
+val parent : t -> t option
+val children : t -> t list
+val attributes : t -> t list
+
+(** XPath string value: text content for text/comment/PI/attribute
+    nodes, concatenation of descendant text for elements/documents. *)
+val string_value : t -> string
+
+(** Name as written ([Qname.to_string]), or [""] for unnamed kinds. *)
+val name : t -> string
+
+val local_name : t -> string
+
+(** [register_id_attribute root name] declares attribute [name] to be of
+    DTD type ID for the whole tree under [root] and invalidates the ID
+    index. *)
+val register_id_attribute : t -> string -> unit
+
+(** [lookup_id root v] finds the element that carries an ID-typed
+    attribute with value [v], if any (the index is built on first use). *)
+val lookup_id : t -> string -> t option
+
+(** Declare attribute [name] of DTD type IDREF/IDREFS for the whole
+    tree. *)
+val register_idref_attribute : t -> string -> unit
+
+(** [lookup_idref root v] returns the IDREF-typed attribute nodes whose
+    (whitespace-tokenized) value mentions ID [v], in document order. *)
+val lookup_idref : t -> string -> t list
+
+val set_uri : t -> string -> unit
+val uri : t -> string option
+
+(** Document order = id order. *)
+val compare_doc_order : t -> t -> int
+
+val equal : t -> t -> bool
+
+(** Nodes allocated so far in this process; useful to bound work in
+    tests. *)
+val allocated : unit -> int
+
+(** Number of nodes in the subtree (excluding attributes), as used by
+    size accounting in benchmarks. *)
+val subtree_size : t -> int
+
+(** Preorder iteration over the subtree, attributes excluded. *)
+val iter_subtree : (t -> unit) -> t -> unit
+
+val pp : Format.formatter -> t -> unit

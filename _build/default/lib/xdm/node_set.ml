@@ -1,0 +1,15 @@
+module S = Set.Make (Int)
+
+type t = S.t
+
+let empty = S.empty
+let is_empty = S.is_empty
+let cardinal = S.cardinal
+let mem (n : Node.t) s = S.mem n.Node.id s
+let add (n : Node.t) s = S.add n.Node.id s
+let of_nodes ns = List.fold_left (fun s n -> add n s) S.empty ns
+let union = S.union
+let diff = S.diff
+let inter = S.inter
+let equal = S.equal
+let subset = S.subset

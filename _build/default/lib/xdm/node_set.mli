@@ -1,0 +1,16 @@
+(** Sets of node identities (integer ids), used by the fixpoint
+    algorithms to detect growth and compute deltas. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val cardinal : t -> int
+val mem : Node.t -> t -> bool
+val add : Node.t -> t -> t
+val of_nodes : Node.t list -> t
+val union : t -> t -> t
+val diff : t -> t -> t
+val inter : t -> t -> t
+val equal : t -> t -> bool
+val subset : t -> t -> bool

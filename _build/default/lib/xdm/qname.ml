@@ -1,0 +1,18 @@
+type t = { prefix : string option; local : string }
+
+let make ?prefix local = { prefix; local }
+
+let of_string s =
+  match String.index_opt s ':' with
+  | None -> { prefix = None; local = s }
+  | Some i ->
+    { prefix = Some (String.sub s 0 i);
+      local = String.sub s (i + 1) (String.length s - i - 1) }
+
+let to_string n =
+  match n.prefix with None -> n.local | Some p -> p ^ ":" ^ n.local
+
+let local n = n.local
+let equal a b = a.prefix = b.prefix && String.equal a.local b.local
+let compare a b = Stdlib.compare (a.prefix, a.local) (b.prefix, b.local)
+let pp ppf n = Format.pp_print_string ppf (to_string n)

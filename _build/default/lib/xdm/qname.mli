@@ -1,0 +1,22 @@
+(** Qualified names for XML nodes.
+
+    The reproduction targets a LiXQuery-class language in which namespace
+    processing plays no role, so a qualified name is an optional prefix
+    plus a local part. Two names are equal when both components are
+    equal. *)
+
+type t = private { prefix : string option; local : string }
+
+val make : ?prefix:string -> string -> t
+
+(** [of_string s] splits [s] at the first [':'] into prefix and local
+    part; a string without [':'] has no prefix. *)
+val of_string : string -> t
+
+(** [to_string n] re-assembles ["prefix:local"] or ["local"]. *)
+val to_string : t -> string
+
+val local : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,92 @@
+let escape_gen escape_quote s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' when escape_quote -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_text = escape_gen false
+let escape_attr = escape_gen true
+
+let to_buffer ?(indent = false) buf (n : Node.t) =
+  let pad d = if indent then Buffer.add_string buf (String.make (2 * d) ' ') in
+  let nl () = if indent then Buffer.add_char buf '\n' in
+  let has_element_content (n : Node.t) =
+    Array.length n.Node.children > 0
+    && Array.for_all
+         (fun (c : Node.t) -> c.Node.kind <> Node.Text)
+         n.Node.children
+  in
+  let rec go d (n : Node.t) =
+    match n.Node.kind with
+    | Node.Document -> Array.iter (go d) n.Node.children
+    | Node.Text -> Buffer.add_string buf (escape_text n.Node.content)
+    | Node.Comment ->
+      Buffer.add_string buf "<!--";
+      Buffer.add_string buf n.Node.content;
+      Buffer.add_string buf "-->"
+    | Node.Pi ->
+      Buffer.add_string buf "<?";
+      Buffer.add_string buf (Node.name n);
+      if n.Node.content <> "" then begin
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf n.Node.content
+      end;
+      Buffer.add_string buf "?>"
+    | Node.Attribute ->
+      Buffer.add_string buf (Node.name n);
+      Buffer.add_string buf "=\"";
+      Buffer.add_string buf (escape_attr n.Node.content);
+      Buffer.add_char buf '"'
+    | Node.Element ->
+      Buffer.add_char buf '<';
+      Buffer.add_string buf (Node.name n);
+      Array.iter
+        (fun a ->
+          Buffer.add_char buf ' ';
+          go d a)
+        n.Node.attributes;
+      if Array.length n.Node.children = 0 then Buffer.add_string buf "/>"
+      else begin
+        Buffer.add_char buf '>';
+        let structured = has_element_content n in
+        Array.iter
+          (fun c ->
+            if structured then begin
+              nl ();
+              pad (d + 1)
+            end;
+            go (d + 1) c)
+          n.Node.children;
+        if structured then begin
+          nl ();
+          pad d
+        end;
+        Buffer.add_string buf "</";
+        Buffer.add_string buf (Node.name n);
+        Buffer.add_char buf '>'
+      end
+  in
+  go 0 n
+
+let to_string ?indent n =
+  let buf = Buffer.create 256 in
+  to_buffer ?indent buf n;
+  Buffer.contents buf
+
+let seq_to_string ?indent (s : Item.seq) =
+  let buf = Buffer.create 256 in
+  List.iteri
+    (fun i it ->
+      if i > 0 then Buffer.add_char buf ' ';
+      match it with
+      | Item.N n -> to_buffer ?indent buf n
+      | Item.A a -> Buffer.add_string buf (escape_text (Atom.to_string a)))
+    s;
+  Buffer.contents buf

@@ -1,0 +1,18 @@
+(** XML serialization of {!Node.t} trees and item sequences. *)
+
+(** [to_string ?indent n] serializes the subtree under [n].
+    [indent] (default [false]) pretty-prints with two-space
+    indentation; text nodes suppress indentation of their element. *)
+val to_string : ?indent:bool -> Node.t -> string
+
+val to_buffer : ?indent:bool -> Buffer.t -> Node.t -> unit
+
+(** Serialize a whole item sequence: nodes as XML, atoms via their
+    string value, separated by spaces as in XQuery serialization. *)
+val seq_to_string : ?indent:bool -> Item.seq -> string
+
+(** Escape a string for use as XML character data. *)
+val escape_text : string -> string
+
+(** Escape a string for use inside a double-quoted attribute. *)
+val escape_attr : string -> string

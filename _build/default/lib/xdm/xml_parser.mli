@@ -1,0 +1,22 @@
+(** A small, dependency-free XML parser producing {!Node.t} trees.
+
+    Supported: prolog, comments, processing instructions, CDATA,
+    character/entity references, attributes with single or double
+    quotes, and a minimal internal DTD subset — [<!ATTLIST elem attr ID
+    …>] declarations are honored so that [fn:id] works on parsed
+    documents (the paper's curriculum data declares [course/@code] of
+    type ID this way).
+
+    Not supported (irrelevant for the reproduction): external DTDs,
+    namespaces beyond prefixed names, parameter entities. *)
+
+exception Parse_error of { line : int; col : int; msg : string }
+
+(** [parse_string ?uri ?strip_whitespace s] parses a complete document.
+    [strip_whitespace] (default [false]) drops whitespace-only text
+    nodes, which the data generators use for compact trees. *)
+val parse_string : ?uri:string -> ?strip_whitespace:bool -> string -> Node.t
+
+(** Parse a well-formed external general parsed entity (a bare element,
+    no prolog) into a parentless element node. *)
+val parse_fragment : ?strip_whitespace:bool -> string -> Node.t

@@ -1,0 +1,1 @@
+test/test_algebra.ml: Alcotest Fixq_algebra Fixq_lang Fixq_xdm Format Hashtbl List Option QCheck2 QCheck_alcotest String

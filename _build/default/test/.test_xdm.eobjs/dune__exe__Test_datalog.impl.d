@@ -1,0 +1,1 @@
+test/test_datalog.ml: Alcotest Buffer Fixq_datalog Hashtbl List Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_distributivity.ml: Alcotest Fixq_lang Fixq_xdm Hashtbl List Printf QCheck2 QCheck_alcotest String

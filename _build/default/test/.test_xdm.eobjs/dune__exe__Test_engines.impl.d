@@ -1,0 +1,1 @@
+test/test_engines.ml: Alcotest Fixq Fixq_algebra Fixq_lang Fixq_xdm List Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Fixq_lang Fixq_xdm Format Hashtbl List Option String

@@ -1,0 +1,1 @@
+test/test_fixpoint.ml: Alcotest Fixq_lang Fixq_xdm List Option QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Fixq_lang Fixq_xdm List

@@ -1,0 +1,1 @@
+test/test_pretty.ml: Alcotest Fixq_lang Fixq_xdm List QCheck2 QCheck_alcotest

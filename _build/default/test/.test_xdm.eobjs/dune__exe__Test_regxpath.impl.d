@@ -1,0 +1,1 @@
+test/test_regxpath.ml: Alcotest Fixq_lang Fixq_regxpath Fixq_xdm Format List QCheck2 QCheck_alcotest

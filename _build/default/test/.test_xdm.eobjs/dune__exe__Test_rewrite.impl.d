@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Fixq_lang Fixq_xdm List String

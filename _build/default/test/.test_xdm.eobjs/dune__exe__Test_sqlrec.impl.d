@@ -1,0 +1,1 @@
+test/test_sqlrec.ml: Alcotest Fixq_sqlrec List Printf QCheck2 QCheck_alcotest

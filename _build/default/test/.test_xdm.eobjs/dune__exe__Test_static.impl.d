@@ -1,0 +1,1 @@
+test/test_static.ml: Alcotest Fixq_lang List String

@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Fixq_store Fixq_xdm List QCheck2 QCheck_alcotest

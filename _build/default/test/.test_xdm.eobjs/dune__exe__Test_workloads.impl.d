@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Fixq Fixq_lang Fixq_workloads Fixq_xdm Hashtbl List Option

@@ -1,0 +1,1 @@
+test/test_xdm.ml: Alcotest Filename Fixq_xdm Float Format List Option QCheck2 QCheck_alcotest String Sys

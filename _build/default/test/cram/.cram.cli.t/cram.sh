@@ -1,0 +1,41 @@
+  $ cat > curriculum.xml <<'XML'
+  > <!DOCTYPE curriculum [ <!ATTLIST course code ID #REQUIRED> ]>
+  > <curriculum>
+  >   <course code="c1"><prerequisites><pre_code>c2</pre_code><pre_code>c3</pre_code></prerequisites></course>
+  >   <course code="c2"><prerequisites><pre_code>c4</pre_code></prerequisites></course>
+  >   <course code="c3"><prerequisites/></course>
+  >   <course code="c4"><prerequisites/></course>
+  > </curriculum>
+  > XML
+  $ cat > q1.xq <<'XQ'
+  > with $x seeded by doc("curriculum.xml")/curriculum/course[@code="c1"]
+  > recurse $x/id(./prerequisites/pre_code)
+  > XQ
+  $ fixq run --doc curriculum.xml=curriculum.xml -e 'count(with $x seeded by doc("curriculum.xml")/curriculum/course[@code="c1"] recurse $x/id(./prerequisites/pre_code))' --stats 2>stats.txt
+  $ grep "delta used" stats.txt
+  $ grep "nodes fed" stats.txt
+  $ fixq check --doc curriculum.xml=curriculum.xml q1.xq
+  $ fixq check -e 'let $seed := (<a/>,<b><c><d/></c></b>) return with $x seeded by $seed recurse if (count($x/self::a)) then $x/* else ()'
+  $ fixq plan --doc curriculum.xml=curriculum.xml q1.xq | tail -1
+  $ fixq run --doc curriculum.xml=curriculum.xml --mode naive q1.xq --stats 2>stats.txt >/dev/null
+  $ grep "nodes fed" stats.txt
+  $ fixq check -e '1 + 1'
+  $ fixq run -e 'string-join(("a", "b"), "-")'
+  $ fixq run --doc curriculum.xml=curriculum.xml --engine algebra q1.xq > alg.out
+  $ fixq run --doc curriculum.xml=curriculum.xml --engine interp q1.xq > int.out
+  $ cmp alg.out int.out
+  $ fixq check -e 'with $x seeded by doc("curriculum.xml")/curriculum/course[@code="c1"] recurse ($x/id(./prerequisites/pre_code) except doc("curriculum.xml")/curriculum/course[@code="c3"])' --doc curriculum.xml=curriculum.xml
+  $ fixq run --stratified --doc curriculum.xml=curriculum.xml -e 'count(with $x seeded by doc("curriculum.xml")/curriculum/course[@code="c1"] recurse ($x/id(./prerequisites/pre_code) except doc("curriculum.xml")/curriculum/course[@code="c3"]))' --stats 2>stats.txt
+  $ grep "delta used" stats.txt
+  $ fixq generate curriculum --size 6 --seed 5 > c1.xml
+  $ fixq generate curriculum --size 6 --seed 5 > c2.xml
+  $ cmp c1.xml c2.xml
+  $ fixq run -e '1 +'
+  $ fixq run -e 'doc("missing.xml")'
+  $ printf '1 + 1\ncount((1, 2, 3))\n\n' | fixq repl
+  $ fixq generate xmark --size 0.001 | head -1
+  $ fixq generate play | head -1
+  $ fixq generate hospital --size 50 | head -1
+  $ fixq check -e 'count($nope)'
+  $ fixq explain -e 'with $x seeded by . recurse $x/a' | head -2
+  $ fixq explain --template hint -e 'with $x seeded by . recurse count($x)' 

@@ -1,0 +1,246 @@
+(* The Datalog substrate (Section 6): parsing, safety, stratification,
+   and Naïve/semi-naïve agreement — "for stratified Datalog programs,
+   Delta is applicable in all cases". *)
+
+module D = Fixq_datalog.Datalog
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let closure_program =
+  {|% a little edge relation with a cycle
+    edge(a, b).  edge(b, c).  edge(c, d).  edge(d, b).
+    path(X, Y) :- edge(X, Y).
+    path(X, Z) :- edge(X, Y), path(Y, Z).
+    ?- path(a, X).|}
+
+let facts_of pred r =
+  List.filter_map
+    (fun (p, tuple) -> if p = pred then Some tuple else None)
+    r.D.facts
+
+(* ------------------------------------------------------------------ *)
+(* Parsing and static checks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse () =
+  let p = D.parse closure_program in
+  check_int "six clauses" 6 (List.length p.D.rules);
+  check "query present" true (p.D.query <> None);
+  check_int "facts are empty-bodied" 4
+    (List.length (List.filter (fun r -> r.D.body = []) p.D.rules))
+
+let test_parse_errors () =
+  let fails s =
+    try
+      ignore (D.parse s);
+      false
+    with D.Error _ -> true
+  in
+  check "negative head" true (fails "not p(a).");
+  check "missing dot" true (fails "p(a)");
+  check "two queries" true (fails "p(a). ?- p(X). ?- p(Y).");
+  check "bad token" true (fails "p(a) & q(b).")
+
+let test_safety () =
+  let fails s =
+    try
+      ignore (D.run (D.parse s));
+      false
+    with D.Error _ -> true
+  in
+  check "unbound head variable" true (fails "p(X) :- q(a).  q(a).");
+  check "unbound negated variable" true
+    (fails "p(a) :- q(a), not r(X).  q(a).");
+  check "non-ground fact" true (fails "p(X).");
+  check "safe program accepted" true
+    (not (fails "p(X) :- q(X), not r(X).  q(a).  r(b)."))
+
+let test_stratification () =
+  let strata =
+    D.stratify
+      (D.parse
+         {|reach(X) :- src(X).
+           reach(Y) :- reach(X), edge(X, Y).
+           unreached(X) :- node(X), not reach(X).
+           src(a). node(a). edge(a, a).|})
+  in
+  let stratum_of p =
+    let rec go i = function
+      | [] -> -1
+      | group :: rest -> if List.mem p group then i else go (i + 1) rest
+    in
+    go 0 strata
+  in
+  check "reach below unreached" true
+    (stratum_of "reach" < stratum_of "unreached");
+  check "recursion through negation rejected" true
+    (try
+       ignore (D.run (D.parse "p(a) :- not q(a). q(a) :- not p(a)."));
+       false
+     with D.Error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_closure () =
+  let r = D.run (D.parse closure_program) in
+  (* from a: b, c, d (all via the cycle) *)
+  check_int "answers" 3 (List.length r.D.answers);
+  check "b reachable" true
+    (List.mem [ D.Sym "a"; D.Sym "b" ] r.D.answers);
+  check_int "path facts" (3 + 3 * 3) (List.length (facts_of "path" r))
+(* 3 sources on the cycle × 3 targets + the 3 facts from a *)
+
+let test_naive_equals_seminaive () =
+  List.iter
+    (fun src ->
+      let rn = D.run ~algorithm:D.Naive (D.parse src) in
+      let rs = D.run ~algorithm:D.Seminaive (D.parse src) in
+      if rn.D.facts <> rs.D.facts then
+        Alcotest.failf "algorithms disagree on %s" src)
+    [ closure_program;
+      (* same generation *)
+      {|par(c1, p1). par(c2, p1). par(p1, g1). par(p2, g1).
+        sg(X, Y) :- par(X, P), par(Y, P).
+        sg(X, Y) :- par(X, P1), sg(P1, P2), par(Y, P2).|};
+      (* stratified negation *)
+      {|edge(a, b). edge(b, c). node(a). node(b). node(c). node(d).
+        reach(b).
+        reach(Y) :- reach(X), edge(X, Y).
+        dead(X) :- node(X), not reach(X).|};
+      (* mutual recursion inside a stratum *)
+      {|e(1).
+        even(X) :- e(X).
+        odd(Y) :- even(X), succ(X, Y).
+        even(Y) :- odd(X), succ(X, Y).
+        succ(1, 2). succ(2, 3). succ(3, 4).|} ]
+
+let test_seminaive_feeds_fewer () =
+  (* long chain: naive re-feeds the whole path relation each round *)
+  let chain n =
+    let buf = Buffer.create 256 in
+    for i = 0 to n - 2 do
+      Buffer.add_string buf (Printf.sprintf "edge(n%d, n%d). " i (i + 1))
+    done;
+    Buffer.add_string buf
+      "path(X, Y) :- edge(X, Y). path(X, Z) :- edge(X, Y), path(Y, Z).";
+    Buffer.contents buf
+  in
+  let p = D.parse (chain 24) in
+  let rn = D.run ~algorithm:D.Naive p in
+  let rs = D.run ~algorithm:D.Seminaive p in
+  check "same facts" true (rn.D.facts = rs.D.facts);
+  check "semi-naive feeds fewer tuples" true (rs.D.rows_fed < rn.D.rows_fed)
+
+let test_negation_result () =
+  let r =
+    D.run
+      (D.parse
+         {|node(a). node(b). node(c).
+           edge(a, b).
+           reach(a).
+           reach(Y) :- reach(X), edge(X, Y).
+           dead(X) :- node(X), not reach(X).
+           ?- dead(X).|})
+  in
+  check "only c is dead" true (r.D.answers = [ [ D.Sym "c" ] ]);
+  check_int "one dead node" 1 (List.length (facts_of "dead" r))
+
+let test_numeric_terms () =
+  let r =
+    D.run
+      (D.parse
+         {|age(alice, 30). age(bob, 30). age(carol, 41).
+           peers(X, Y) :- age(X, N), age(Y, N).
+           ?- peers(X, bob).|})
+  in
+  check_int "numeric join" 2 (List.length r.D.answers);
+  check "numbers kept as numbers" true
+    (List.exists (fun (p, t) -> p = "age" && List.mem (D.Num 41) t) r.D.facts)
+
+let test_numbers_and_query_constants () =
+  let r =
+    D.run
+      (D.parse
+         {|score(alice, 10). score(bob, 20). score(carol, 10).
+           same(X, Y) :- score(X, S), score(Y, S).
+           ?- same(alice, X).|})
+  in
+  (* alice pairs with alice and carol *)
+  check_int "query filters constants" 2 (List.length r.D.answers)
+
+(* Property: semi-naive closure = BFS oracle on random graphs *)
+let graph_gen =
+  let open QCheck2.Gen in
+  let node = map (Printf.sprintf "n%d") (int_bound 7) in
+  list_size (int_range 1 16) (pair node node)
+
+let prop_closure_oracle =
+  QCheck2.Test.make ~count:200 ~name:"Datalog closure = BFS oracle"
+    graph_gen
+    (fun edges ->
+      let src =
+        String.concat " "
+          (List.map (fun (a, b) -> Printf.sprintf "edge(%s, %s)." a b) edges)
+        ^ " path(X, Y) :- edge(X, Y). path(X, Z) :- edge(X, Y), path(Y, Z)."
+      in
+      let r = D.run (D.parse src) in
+      let datalog_pairs =
+        facts_of "path" r
+        |> List.filter_map (function
+             | [ D.Sym a; D.Sym b ] -> Some (a, b)
+             | _ -> None)
+        |> List.sort_uniq compare
+      in
+      (* oracle: BFS from every node *)
+      let nodes =
+        List.sort_uniq compare
+          (List.concat_map (fun (a, b) -> [ a; b ]) edges)
+      in
+      let successors a =
+        List.filter_map (fun (x, y) -> if x = a then Some y else None) edges
+      in
+      let reach a =
+        let seen = Hashtbl.create 8 in
+        let rec go frontier =
+          let next =
+            List.concat_map successors frontier
+            |> List.filter (fun n ->
+                   if Hashtbl.mem seen n then false
+                   else begin
+                     Hashtbl.replace seen n ();
+                     true
+                   end)
+          in
+          if next <> [] then go next
+        in
+        go [ a ];
+        Hashtbl.fold (fun k () acc -> k :: acc) seen []
+      in
+      let oracle_pairs =
+        List.concat_map (fun a -> List.map (fun b -> (a, b)) (reach a)) nodes
+        |> List.sort_uniq compare
+      in
+      datalog_pairs = oracle_pairs)
+
+let () =
+  Alcotest.run "datalog"
+    [ ( "static",
+        [ Alcotest.test_case "parse" `Quick test_parse;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "safety" `Quick test_safety;
+          Alcotest.test_case "stratification" `Quick test_stratification ] );
+      ( "evaluation",
+        [ Alcotest.test_case "closure" `Quick test_closure;
+          Alcotest.test_case "naive = semi-naive" `Quick
+            test_naive_equals_seminaive;
+          Alcotest.test_case "semi-naive feeds fewer" `Quick
+            test_seminaive_feeds_fewer;
+          Alcotest.test_case "stratified negation" `Quick
+            test_negation_result;
+          Alcotest.test_case "constants in queries" `Quick
+            test_numbers_and_query_constants;
+          Alcotest.test_case "numeric terms" `Quick test_numeric_terms ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_closure_oracle ]) ]

@@ -1,0 +1,301 @@
+(* The syntactic distributivity checker ds_$x(·) — one test per
+   inference rule of Figure 5, the paper's worked examples, the
+   built-in annotations, and a soundness property: whatever ds accepts,
+   Naïve and Delta agree on. *)
+
+module Atom = Fixq_xdm.Atom
+module Node = Fixq_xdm.Node
+module Item = Fixq_xdm.Item
+module Parser = Fixq_lang.Parser
+module D = Fixq_lang.Distributivity
+module Eval = Fixq_lang.Eval
+module Stats = Fixq_lang.Stats
+module Fixpoint = Fixq_lang.Fixpoint
+
+let check = Alcotest.(check bool)
+
+let funs_of src =
+  let p = Parser.parse_program src in
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun fd -> Hashtbl.replace tbl fd.Fixq_lang.Ast.fname fd)
+    p.Fixq_lang.Ast.functions;
+  tbl
+
+let ds ?functions src = D.check ?functions "x" (Parser.parse_expr src)
+
+let safe msg src = check (msg ^ ": expected SAFE") true (ds src)
+let unsafe msg src = check (msg ^ ": expected UNSAFE") false (ds src)
+
+(* ------------------------------------------------------------------ *)
+(* Rules of Figure 5                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_const_var () =
+  safe "CONST literal" "42";
+  safe "CONST empty" "()";
+  safe "VAR x itself" "$x";
+  safe "VAR other" "$y"
+
+let test_if_rule () =
+  safe "IF with x in branches" {|if ($y) then $x/a else $x/b|};
+  unsafe "IF with x in condition" {|if ($x) then $y else $z|};
+  unsafe "IF with count(x) condition" {|if (count($x)) then $x/a else ()|}
+
+let test_concat_rule () =
+  safe "CONCAT sequence" "$x/a, $x/b";
+  safe "CONCAT union" "$x/a union $x/b";
+  safe "CONCAT pipe" "$x/a | $x/b"
+
+let test_for_rules () =
+  safe "FOR1: x in body" "for $v in $y return $x";
+  safe "FOR1: positional allowed" "for $v at $p in $y return $x/a";
+  safe "FOR2: x in range" "for $v in $x return $v/a";
+  unsafe "FOR2: positional variable breaks it"
+    "for $v at $p in $x return $v";
+  unsafe "linearity: x in range and body" "for $v in $x return $x"
+
+let test_let_rules () =
+  safe "LET1: x in body" "let $v := $y return $x/a";
+  safe "LET2: x in value, v distributive in body"
+    "let $v := $x/a return $v/b";
+  unsafe "LET2 violated: body inspects v"
+    "let $v := $x/a return count($v)";
+  unsafe "linearity: x in value and body" "let $v := $x return ($x, $v)"
+
+let test_typeswitch_rule () =
+  safe "TYPESW branches"
+    {|typeswitch ($y) case element() return $x/a default return $x/b|};
+  unsafe "TYPESW scrutinee"
+    {|typeswitch ($x) case element() return $y default return $z|}
+
+let test_step_rules () =
+  safe "STEP1: x on the right" "$y/id($x)";
+  safe "STEP2: x on the left" "$x/child::a";
+  safe "STEP2 chained" "$x/a/b/c";
+  unsafe "x on both sides of /" "$x/id($x/@ref)"
+
+let test_funcall_rule () =
+  let functions =
+    funs_of
+      {|declare function pre($cs) { $cs/id(./prerequisites/pre_code) };
+        declare function whole($cs) { $cs[1] };
+        declare function selfrec($cs) { selfrec($cs/a) };
+        0|}
+  in
+  check "FUNCALL recurses into distributive body" true
+    (D.check ~functions "x" (Parser.parse_expr "pre($x)"));
+  check "FUNCALL rejects positional body" false
+    (D.check ~functions "x" (Parser.parse_expr "whole($x)"));
+  check "recursive functions rejected conservatively" false
+    (D.check ~functions "x" (Parser.parse_expr "selfrec($x)"))
+
+(* ------------------------------------------------------------------ *)
+(* The paper's examples                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_paper_examples () =
+  (* Section 3.1: location steps are distributive *)
+  safe "Q1 body" "$x/id(./prerequisites/pre_code)";
+  (* Section 3.1: $x[1] is not *)
+  unsafe "positional filter on x" "$x[1]";
+  (* Section 3.2: problematic subexpressions *)
+  unsafe "count" "count($x)";
+  unsafe "general comparison over x" "$x = 10";
+  (* Q2 of Example 2.4 *)
+  unsafe "Q2 body" {|if (count($x/self::a)) then $x/* else ()|};
+  (* Section 3.2: the checker misses count($x) >= 1 even though it is
+     distributive in the s= sense? (it is NOT distributive — a boolean
+     per split — so it must stay unsafe) *)
+  unsafe "count(x) >= 1" "count($x) >= 1";
+  (* node constructors void distributivity even without $x *)
+  unsafe "constructor, x elsewhere" {|($x/a, text { "c" })|};
+  unsafe "constructor around x" "<wrap>{$x}</wrap>"
+
+let test_section41_variant () =
+  (* id($x/…) is accepted thanks to the built-in annotation … *)
+  safe "id with x inside" "id($x/prerequisites/pre_code)";
+  (* … but the unfolded definition is rejected (general comparison) *)
+  unsafe "unfolded id"
+    {|for $c in doc("curriculum.xml")/curriculum/course
+      where $c/@code = $x/prerequisites/pre_code
+      return $c|}
+
+(* ------------------------------------------------------------------ *)
+(* Extensions: filters, built-ins, helpers                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_filter_extension () =
+  safe "itemwise predicate" {|$x[@code = "c1"]|};
+  safe "boolean predicate" "$x[empty(a)]";
+  unsafe "numeric predicate" "$x[1]";
+  unsafe "position()" "$x[position() = 2]";
+  unsafe "last()" "$x[last()]";
+  unsafe "x in predicate" "$y[. is $x]";
+  (* predicates inside step chains are per-node and fine *)
+  safe "positional predicate under a step" "$x/a[1]"
+
+let test_builtin_annotations () =
+  safe "data" "data($x)";
+  safe "distinct-values" "distinct-values($x)";
+  safe "reverse (set-equality ignores order)" "reverse($x)";
+  safe "root" "root($x)";
+  unsafe "empty" "empty($x)";
+  unsafe "exists" "exists($x)";
+  unsafe "sum" "sum($x)";
+  unsafe "string of x (whole-seq)" "string($x)";
+  check "annotation lookup" true (D.builtin_annotation "id" <> None);
+  check "count has none" true (D.builtin_annotation "count" = None)
+
+let test_except_intersect () =
+  unsafe "except with x" "$x except $y";
+  unsafe "intersect with x" "$y intersect $x";
+  safe "except without x" "($y except $z, $x/a)"
+
+(* Section 6: x \ R with fixed R is distributive under the stratified
+   refinement (off by default, matching Figure 5). *)
+let test_stratified_difference () =
+  let ds_strat src = D.check ~stratified:true "x" (Parser.parse_expr src) in
+  check "off by default" false (ds "$x except $y");
+  check "stratified accepts fixed RHS" true (ds_strat "$x except $y");
+  check "stratified accepts step then except" true
+    (ds_strat "$x/a except $y");
+  check "still rejects x on the right" false (ds_strat "$y except $x");
+  check "still rejects x on both sides" false (ds_strat "$x except $x/a");
+  check "constructor in fixed side rejected" false
+    (ds_strat {|$x except <a/>|});
+  (* soundness spot-check: naive s= delta on a stratified body *)
+  let doc =
+    Fixq_xdm.Xml_parser.parse_string ~strip_whitespace:true
+      "<r><a><a><a/></a></a><a/></r>"
+  in
+  let root = List.hd (Fixq_xdm.Node.children doc) in
+  let excluded =
+    [ Item.N (List.hd (Fixq_xdm.Node.children root)) ]
+  in
+  let body_expr = Parser.parse_expr "$x/a except $y" in
+  let ev = Eval.create () in
+  let body input =
+    Eval.eval_expr ev ~vars:[ ("x", input); ("y", excluded) ] body_expr
+  in
+  let stats = Stats.create () in
+  let seed = [ Item.N root ] in
+  let rn = Fixpoint.naive ~stats ~body ~seed () in
+  let rd = Fixpoint.delta ~stats ~body ~seed () in
+  check "naive s= delta on stratified body" true (Item.set_equal rn rd)
+
+let test_quantifier_arith () =
+  unsafe "quantifier over x" "some $v in $x satisfies $v = 1";
+  unsafe "arithmetic" "$x + 1";
+  unsafe "range" "1 to count($x)";
+  unsafe "node comparison" "$x is $y";
+  unsafe "instance of over x" "$x instance of node()*";
+  safe "instance of without x" "($y instance of node()*, $x/a)"
+
+let test_explain () =
+  (match D.explain "x" (Parser.parse_expr "count($x)") with
+  | D.Unsafe reason -> check "reason mentions count" true
+      (String.length reason > 0)
+  | D.Safe -> Alcotest.fail "expected unsafe");
+  check "explain safe" true
+    (D.explain "x" (Parser.parse_expr "$x/a") = D.Safe)
+
+let test_helpers () =
+  check "mentions_position" true
+    (D.mentions_position (Parser.parse_expr "$y[position() = 1]"));
+  check "no position" false (D.mentions_position (Parser.parse_expr "$y/a"));
+  check "surely_non_numeric comparison" true
+    (D.surely_non_numeric (Parser.parse_expr "@a = 1"));
+  check "numeric literal is positional" false
+    (D.surely_non_numeric (Parser.parse_expr "3"))
+
+(* ------------------------------------------------------------------ *)
+(* Soundness property: ds-accepted bodies ⇒ Naïve s= Delta             *)
+(* ------------------------------------------------------------------ *)
+
+(* Generate random bodies from a grammar mixing safe and unsafe
+   constructs; whenever ds accepts, the two algorithms must agree. *)
+let body_src_gen =
+  let open QCheck2.Gen in
+  let atom =
+    oneofl
+      [ "$x/a"; "$x/*"; "$x/.."; "$x/descendant::b"; "$y/a"; "$x"; "()";
+        "$x/self::a"; "count($x)"; "$x[1]"; "$x/a[1]"; "id($x)";
+        "$x[@k = \"v\"]" ]
+  in
+  let rec build n =
+    if n <= 1 then atom
+    else
+      oneof
+        [ atom;
+          map2 (Printf.sprintf "(%s union %s)") (build (n / 2)) (build (n / 2));
+          map2 (Printf.sprintf "(%s, %s)") (build (n / 2)) (build (n / 2));
+          map2
+            (Printf.sprintf "(if ($y) then %s else %s)")
+            (build (n / 2)) (build (n / 2));
+          map (Printf.sprintf "(for $v in $y return %s)") (build (n / 2));
+          map (Printf.sprintf "(let $v := $y return %s)") (build (n / 2)) ]
+  in
+  (* keep nesting shallow: each for-level multiplies the work by |$y| *)
+  sized_size (int_bound 8) build
+
+let spec_gen =
+  let open QCheck2.Gen in
+  let names = oneofl [ "a"; "b"; "k" ] in
+  sized_size (int_bound 16)
+  @@ fix (fun self n ->
+         if n <= 1 then return (Node.E ("a", [ ("k", "v") ], []))
+         else
+           map2
+             (fun name kids -> Node.E (name, [ ("k", "v") ], kids))
+             names
+             (list_size (int_bound 3) (self (n / 2))))
+
+let prop_ds_sound =
+  QCheck2.Test.make ~count:200
+    ~name:"ds-accepted bodies: Naïve s= Delta"
+    QCheck2.Gen.(pair (map Node.of_spec spec_gen) body_src_gen)
+    (fun (doc, src) ->
+      let body_expr = Parser.parse_expr src in
+      if not (D.check "x" body_expr) then true (* vacuous *)
+      else begin
+        Node.register_id_attribute doc "k";
+        let ev = Eval.create () in
+        let root = List.hd (Node.children doc) in
+        let y = List.map Item.node (Node.children root) in
+        let body input =
+          Eval.eval_expr ev ~vars:[ ("x", input); ("y", y) ] body_expr
+        in
+        let stats = Stats.create () in
+        let seed = [ Item.N root ] in
+        let rn = Fixpoint.naive ~stats ~body ~seed () in
+        let rd = Fixpoint.delta ~stats ~body ~seed () in
+        Item.set_equal rn rd
+      end)
+
+let () =
+  Alcotest.run "distributivity"
+    [ ( "figure-5",
+        [ Alcotest.test_case "CONST/VAR" `Quick test_const_var;
+          Alcotest.test_case "IF" `Quick test_if_rule;
+          Alcotest.test_case "CONCAT" `Quick test_concat_rule;
+          Alcotest.test_case "FOR1/FOR2" `Quick test_for_rules;
+          Alcotest.test_case "LET1/LET2" `Quick test_let_rules;
+          Alcotest.test_case "TYPESW" `Quick test_typeswitch_rule;
+          Alcotest.test_case "STEP1/STEP2" `Quick test_step_rules;
+          Alcotest.test_case "FUNCALL" `Quick test_funcall_rule ] );
+      ( "paper",
+        [ Alcotest.test_case "worked examples" `Quick test_paper_examples;
+          Alcotest.test_case "section 4.1 variant" `Quick
+            test_section41_variant ] );
+      ( "extensions",
+        [ Alcotest.test_case "filters" `Quick test_filter_extension;
+          Alcotest.test_case "builtin annotations" `Quick
+            test_builtin_annotations;
+          Alcotest.test_case "except/intersect" `Quick test_except_intersect;
+          Alcotest.test_case "stratified difference" `Quick
+            test_stratified_difference;
+          Alcotest.test_case "quantifiers/arith" `Quick
+            test_quantifier_arith;
+          Alcotest.test_case "explain" `Quick test_explain;
+          Alcotest.test_case "helpers" `Quick test_helpers ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_ds_sound ]) ]

@@ -1,0 +1,357 @@
+(* Lexer and parser tests: token stream, precedence, FLWOR desugaring,
+   constructors, the IFP syntactic form, prologs, sequence types and
+   error reporting. *)
+
+module Lexer = Fixq_lang.Lexer
+module Parser = Fixq_lang.Parser
+open Fixq_lang.Ast
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let expr = Alcotest.testable pp_expr equal_expr
+
+let parse = Parser.parse_expr
+
+let check_expr msg expected src = Alcotest.check expr msg expected (parse src)
+
+let int_ n = Literal (Fixq_xdm.Atom.Int n)
+let str s = Literal (Fixq_xdm.Atom.Str s)
+let child n = Axis_step { axis = Fixq_xdm.Axis.Child; test = Fixq_xdm.Axis.Name n }
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let tokens src =
+  let lx = Lexer.create src in
+  let rec go acc =
+    match Lexer.next lx with
+    | Lexer.EOF -> List.rev acc
+    | t -> go (t :: acc)
+  in
+  go []
+
+let test_lexer_basic () =
+  check "names and vars" true
+    (tokens "for $x in doc"
+    = [ Lexer.NAME "for"; Lexer.VAR "x"; Lexer.NAME "in"; Lexer.NAME "doc" ]);
+  check "operators" true
+    (tokens "<= << := ::"
+    = [ Lexer.LE; Lexer.LT2; Lexer.ASSIGN; Lexer.AXIS2 ]);
+  check "numbers" true
+    (tokens "1 2.5 3e2"
+    = [ Lexer.INT 1; Lexer.DBL 2.5; Lexer.DBL 300.0 ]);
+  check "strings with escapes" true
+    (tokens {|"a""b" 'c'|} = [ Lexer.STRING "a\"b"; Lexer.STRING "c" ]);
+  check "prefixed name" true (tokens "fn:id" = [ Lexer.NAME "fn:id" ])
+
+let test_lexer_comments () =
+  check "nested comments skipped" true
+    (tokens "1 (: outer (: inner :) still :) 2"
+    = [ Lexer.INT 1; Lexer.INT 2 ])
+
+let test_lexer_errors () =
+  let fails s =
+    try
+      ignore (tokens s);
+      false
+    with Lexer.Error _ -> true
+  in
+  check "unterminated string" true (fails {|"abc|});
+  check "unterminated comment" true (fails "(: no end");
+  check "stray bang" true (fails "!")
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_literals () =
+  check_expr "int" (int_ 5) "5";
+  check_expr "string" (str "hi") {|"hi"|};
+  check_expr "empty" Empty_seq "()";
+  check_expr "sequence" (Sequence (int_ 1, int_ 2)) "1, 2"
+
+let test_arith_precedence () =
+  check_expr "mul binds tighter"
+    (Arith (Add, int_ 1, Arith (Mul, int_ 2, int_ 3)))
+    "1 + 2 * 3";
+  check_expr "unary minus" (Neg (int_ 3)) "- 3";
+  check_expr "idiv/mod"
+    (Arith (Mod, Arith (Idiv, int_ 7, int_ 2), int_ 3))
+    "7 idiv 2 mod 3";
+  check_expr "range below comparison"
+    (Gen_cmp (Eq, Range (int_ 1, int_ 3), int_ 2))
+    "1 to 3 = 2"
+
+let test_comparisons () =
+  check_expr "general" (Gen_cmp (Le, Var "x", int_ 3)) "$x <= 3";
+  check_expr "value" (Val_cmp (Eq, Var "x", int_ 3)) "$x eq 3";
+  check_expr "node is" (Node_is (Var "a", Var "b")) "$a is $b";
+  check_expr "before" (Node_before (Var "a", Var "b")) "$a << $b";
+  check_expr "and/or precedence"
+    (Or (And (Var "a", Var "b"), Var "c"))
+    "$a and $b or $c"
+
+let test_set_ops () =
+  check_expr "union |" (Union (Var "a", Var "b")) "$a | $b";
+  check_expr "union kw" (Union (Var "a", Var "b")) "$a union $b";
+  check_expr "except binds tighter"
+    (Union (Var "a", Except (Var "b", Var "c")))
+    "$a union $b except $c"
+
+let test_paths () =
+  check_expr "child chain"
+    (Path (Path (Var "x", child "a"), child "b"))
+    "$x/a/b";
+  check_expr "attribute"
+    (Path
+       ( Var "x",
+         Axis_step { axis = Fixq_xdm.Axis.Attribute; test = Fixq_xdm.Axis.Name "id" } ))
+    "$x/@id";
+  check_expr "descendant shorthand"
+    (Path
+       ( Path
+           ( Var "x",
+             Axis_step
+               { axis = Fixq_xdm.Axis.Descendant_or_self;
+                 test = Fixq_xdm.Axis.Kind_node } ),
+         child "a" ))
+    "$x//a";
+  check_expr "explicit axis"
+    (Path
+       ( Var "x",
+         Axis_step
+           { axis = Fixq_xdm.Axis.Following_sibling;
+             test = Fixq_xdm.Axis.Name "s" } ))
+    "$x/following-sibling::s";
+  (* the predicate belongs to the step: positions count per context
+     node of $x, not over the whole path result *)
+  check_expr "predicate"
+    (Path (Var "x", Filter (child "a", int_ 1)))
+    "$x/a[1]";
+  check_expr "root" Root "/";
+  check_expr "absolute path" (Path (Root, child "r")) "/r";
+  check_expr "context dot" Context_item ".";
+  check_expr "parent"
+    (Axis_step { axis = Fixq_xdm.Axis.Parent; test = Fixq_xdm.Axis.Kind_node })
+    "..";
+  (* keywords still work as element names in paths *)
+  check_expr "keyword as name test"
+    (Path (Var "x", child "union"))
+    "$x/union";
+  check_expr "kind test in path"
+    (Path (Var "x", Axis_step { axis = Fixq_xdm.Axis.Child; test = Fixq_xdm.Axis.Kind_text }))
+    "$x/text()"
+
+let test_function_calls () =
+  check_expr "no args" (Call ("true", [])) "true()";
+  check_expr "normalizes fn:" (Call ("count", [ Var "x" ])) "fn:count($x)";
+  check_expr "nested"
+    (Call ("count", [ Call ("distinct-values", [ Var "x" ]) ]))
+    "count(distinct-values($x))"
+
+let test_flwor () =
+  check_expr "simple for"
+    (For { var = "x"; pos = None; source = Var "s"; body = Var "x" })
+    "for $x in $s return $x";
+  check_expr "positional"
+    (For { var = "x"; pos = Some "i"; source = Var "s"; body = Var "i" })
+    "for $x at $i in $s return $i";
+  check_expr "where desugars to if"
+    (For
+       { var = "x"; pos = None; source = Var "s";
+         body = If (Gen_cmp (Gt, Var "x", int_ 1), Var "x", Empty_seq) })
+    "for $x in $s where $x > 1 return $x";
+  check_expr "multiple bindings nest"
+    (For
+       { var = "a"; pos = None; source = Var "s";
+         body =
+           For { var = "b"; pos = None; source = Var "t"; body = Var "b" } })
+    "for $a in $s, $b in $t return $b";
+  check_expr "let"
+    (Let { var = "v"; value = int_ 1; body = Var "v" })
+    "let $v := 1 return $v";
+  check_expr "mixed clauses"
+    (Let
+       { var = "v"; value = Var "s";
+         body = For { var = "x"; pos = None; source = Var "v"; body = Var "x" }
+       })
+    "let $v := $s for $x in $v return $x"
+
+let test_quantified () =
+  check_expr "some"
+    (Quantified (Some_, "x", Var "s", Gen_cmp (Eq, Var "x", int_ 1)))
+    "some $x in $s satisfies $x = 1";
+  check_expr "every"
+    (Quantified (Every, "x", Var "s", Gen_cmp (Eq, Var "x", int_ 1)))
+    "every $x in $s satisfies $x = 1"
+
+let test_instance_of () =
+  check_expr "instance of"
+    (Instance_of (Var "x", Typed (It_node, Star)))
+    "$x instance of node()*";
+  check_expr "binds tighter than comparison"
+    (Gen_cmp (Eq, Instance_of (Var "x", Typed (It_atomic "integer", One)),
+              Call ("true", [])))
+    "$x instance of xs:integer = true()"
+
+let test_cast_parse () =
+  check_expr "cast" (Cast (Var "x", "integer", false)) "$x cast as xs:integer";
+  check_expr "cast optional" (Cast (Var "x", "double", true))
+    "$x cast as xs:double?";
+  check_expr "castable" (Castable (Var "x", "string", false))
+    "$x castable as xs:string";
+  check_expr "cast binds tighter than instance"
+    (Instance_of (Cast (Var "x", "integer", false), Typed (It_atomic "integer", One)))
+    "$x cast as xs:integer instance of xs:integer"
+
+let test_if_typeswitch () =
+  check_expr "if" (If (Var "c", int_ 1, int_ 2)) "if ($c) then 1 else 2";
+  check_expr "typeswitch"
+    (Typeswitch
+       ( Var "x",
+         [ (Typed (It_element None, One), Some "e", Var "e");
+           (Typed (It_atomic "integer", One), None, int_ 0) ],
+         None, Empty_seq ))
+    {|typeswitch ($x)
+      case $e as element() return $e
+      case xs:integer return 0
+      default return ()|}
+
+let test_ifp_form () =
+  check_expr "with..recurse"
+    (Ifp { var = "x"; seed = Var "s"; body = Path (Var "x", child "a") })
+    "with $x seeded by $s recurse $x/a";
+  (* 'with' still usable as an element name *)
+  check_expr "with as name test" (Path (Var "d", child "with")) "$d/with"
+
+let test_constructors () =
+  check_expr "direct empty" (Elem_constr ("a", [], [])) "<a/>";
+  check_expr "direct attrs"
+    (Elem_constr ("a", [ ("k", [ A_lit "v" ]) ], []))
+    {|<a k="v"/>|};
+  check_expr "attr with expr"
+    (Elem_constr ("a", [ ("k", [ A_lit "p"; A_expr (Var "x") ]) ], []))
+    {|<a k="p{$x}"/>|};
+  check_expr "nested content"
+    (Elem_constr
+       ( "a", [],
+         [ Text_constr (str "hi "); Elem_constr ("b", [], []); Var "x" ] ))
+    "<a>hi <b/>{$x}</a>";
+  check_expr "brace escape"
+    (Elem_constr ("a", [], [ Text_constr (str "{x}") ]))
+    "<a>{{x}}</a>";
+  check_expr "computed element"
+    (Comp_elem ("a", Var "x"))
+    "element a { $x }";
+  check_expr "computed text" (Text_constr (Var "x")) "text { $x }";
+  check_expr "computed attribute"
+    (Attr_constr ("k", Var "x"))
+    "attribute k { $x }";
+  check_expr "entity in content"
+    (Elem_constr ("a", [], [ Text_constr (str "x<y") ]))
+    "<a>x&lt;y</a>"
+
+let test_programs () =
+  let p =
+    Parser.parse_program
+      {|declare function local:f($x as node()*) as node()* { $x };
+        declare variable $d := 42;
+        f($d)|}
+  in
+  check_int "one function" 1 (List.length p.functions);
+  check_int "one variable" 1 (List.length p.variables);
+  check "local: prefix stripped" true
+    ((List.hd p.functions).fname = "f");
+  check "main is a call" true
+    (equal_expr p.main (Call ("f", [ Var "d" ])))
+
+let test_seq_types () =
+  let st = Alcotest.testable pp_seq_type equal_seq_type in
+  Alcotest.check st "node()*" (Typed (It_node, Star))
+    (Parser.parse_seq_type "node()*");
+  Alcotest.check st "element(a)+"
+    (Typed (It_element (Some "a"), Plus))
+    (Parser.parse_seq_type "element(a)+");
+  Alcotest.check st "xs:integer?"
+    (Typed (It_atomic "integer", Opt))
+    (Parser.parse_seq_type "xs:integer?");
+  Alcotest.check st "empty-sequence()" Empty_sequence
+    (Parser.parse_seq_type "empty-sequence()")
+
+let test_seq_type_errors () =
+  let fails s =
+    try
+      ignore (Parser.parse_seq_type s);
+      false
+    with Parser.Error _ -> true
+  in
+  check "unknown kind" true (fails "wibble()");
+  check "trailing garbage" true (fails "node()* extra");
+  check "bad occurrence position" true (fails "* node()")
+
+let test_parse_errors () =
+  let fails s =
+    try
+      ignore (Parser.parse_expr s);
+      false
+    with Parser.Error _ -> true
+  in
+  check "dangling operator" true (fails "1 +");
+  check "unbalanced paren" true (fails "(1, 2");
+  check "bad for" true (fails "for $x return 1");
+  check "mismatched constructor" true (fails "<a></b>");
+  check "trailing junk" true (fails "1 2");
+  check "missing recurse" true (fails "with $x seeded by $s $x")
+
+let test_error_position () =
+  try
+    ignore (Parser.parse_expr "1 +\n  *")
+  with Parser.Error { line; _ } -> check_int "error line" 2 line
+
+(* Round-trip property: parse (show e) is not available (no printer to
+   source), so instead check parser determinism on a corpus. *)
+let corpus =
+  [ "1 + 2 * 3"; "$x/a[@id = \"k\"]/b"; "for $x in $s where $x > 1 return $x";
+    "with $x seeded by $s recurse $x/a"; "<a k=\"{$v}\">{$x}text</a>";
+    "some $v in $s satisfies $v = 1"; "count($x) = 0 or empty($y)";
+    "($a, $b) except $c"; "//a/../b[2][@k]" ]
+
+let test_determinism () =
+  List.iter
+    (fun src ->
+      let a = parse src and b = parse src in
+      if not (equal_expr a b) then Alcotest.failf "nondeterministic: %s" src)
+    corpus;
+  check "deterministic" true true
+
+let () =
+  Alcotest.run "parser"
+    [ ( "lexer",
+        [ Alcotest.test_case "basics" `Quick test_lexer_basic;
+          Alcotest.test_case "comments" `Quick test_lexer_comments;
+          Alcotest.test_case "errors" `Quick test_lexer_errors ] );
+      ( "expressions",
+        [ Alcotest.test_case "literals" `Quick test_literals;
+          Alcotest.test_case "arithmetic precedence" `Quick
+            test_arith_precedence;
+          Alcotest.test_case "comparisons" `Quick test_comparisons;
+          Alcotest.test_case "set operators" `Quick test_set_ops;
+          Alcotest.test_case "paths" `Quick test_paths;
+          Alcotest.test_case "function calls" `Quick test_function_calls;
+          Alcotest.test_case "flwor" `Quick test_flwor;
+          Alcotest.test_case "quantifiers" `Quick test_quantified;
+          Alcotest.test_case "instance of" `Quick test_instance_of;
+          Alcotest.test_case "cast" `Quick test_cast_parse;
+          Alcotest.test_case "if/typeswitch" `Quick test_if_typeswitch;
+          Alcotest.test_case "ifp form" `Quick test_ifp_form;
+          Alcotest.test_case "constructors" `Quick test_constructors ] );
+      ( "programs",
+        [ Alcotest.test_case "prolog" `Quick test_programs;
+          Alcotest.test_case "sequence types" `Quick test_seq_types;
+          Alcotest.test_case "sequence type errors" `Quick
+            test_seq_type_errors;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "error positions" `Quick test_error_position;
+          Alcotest.test_case "determinism" `Quick test_determinism ] ) ]

@@ -1,0 +1,161 @@
+(* The pretty-printer: printed expressions re-parse to equal trees, on
+   a corpus and on random ASTs. *)
+
+module Parser = Fixq_lang.Parser
+module Pretty = Fixq_lang.Pretty
+module Atom = Fixq_xdm.Atom
+module Axis = Fixq_xdm.Axis
+open Fixq_lang.Ast
+
+let check = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let roundtrip e =
+  let printed = Pretty.expr_to_string e in
+  match Parser.parse_expr printed with
+  | parsed -> if equal_expr e parsed then Ok () else Error printed
+  | exception Parser.Error { msg; _ } -> Error (printed ^ " !! " ^ msg)
+
+let check_rt msg e =
+  match roundtrip e with
+  | Ok () -> ()
+  | Error printed -> Alcotest.failf "%s: no roundtrip via %s" msg printed
+
+(* ------------------------------------------------------------------ *)
+(* Corpus: parse → print → parse must be identity                      *)
+(* ------------------------------------------------------------------ *)
+
+let corpus =
+  [ "1 + 2 * 3";
+    {|"he said ""hi"""|};
+    "2.5"; "1.0"; "-4";
+    "$x/a/b[@k = \"v\"]";
+    "$x//descendant::b";
+    "/r/a";
+    "(/)";
+    "for $x at $i in $s return ($i, $x)";
+    "let $v := 1 return $v + 1";
+    "if ($c) then 1 else 2";
+    "some $v in $s satisfies $v = 1";
+    "every $v in $s satisfies $v = 1";
+    "$a union $b except $c intersect $d";
+    "$a is $b"; "$a << $b"; "$a >> $b";
+    "$a eq 1 and $b ne 2 or $c";
+    "1 to 10";
+    "count(distinct-values($x))";
+    "with $x seeded by . recurse $x/a";
+    "<a k=\"v{$x}w\"><b/>{$y}</a>";
+    "element n { attribute k { 1 }, text { \"t\" } }";
+    "comment { \"c\" }";
+    "document { <r/> }";
+    {|typeswitch ($x) case $e as element() return $e
+      case xs:integer+ return 0 default $d return count($d)|};
+    "$x/a[1][@k]";
+    "..//b"; "@k"; "$x instance of node()*";
+    "$x cast as xs:integer?"; "$x castable as xs:string";
+    "for $x in $s order by $x/k descending return $x";
+    "($x instance of element(a)?) and $y" ]
+
+let test_corpus () =
+  List.iter
+    (fun src ->
+      let e = Parser.parse_expr src in
+      check_rt src e)
+    corpus
+
+let test_programs () =
+  let src =
+    {|declare function f($x as node()*, $y) as node()* { $x union $y };
+      declare variable $d := 42;
+      f($d, ())|}
+  in
+  let p = Parser.parse_program src in
+  let printed = Pretty.program_to_string p in
+  let p2 = Parser.parse_program printed in
+  check "program roundtrip" true (equal_program p p2)
+
+let test_seq_types () =
+  List.iter
+    (fun src ->
+      let t = Parser.parse_seq_type src in
+      check_str src src (Pretty.seq_type_to_string t))
+    [ "node()*"; "element(a)+"; "xs:integer?"; "empty-sequence()";
+      "item()"; "document-node()" ]
+
+(* ------------------------------------------------------------------ *)
+(* Random ASTs                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let expr_gen =
+  let open QCheck2.Gen in
+  let var = oneofl [ "x"; "y"; "v1" ] in
+  let name = oneofl [ "a"; "b"; "union" (* keyword as name *) ] in
+  let atom =
+    oneof
+      [ map (fun i -> Literal (Atom.Int i)) (int_bound 9);
+        map (fun s -> Literal (Atom.Str s)) (oneofl [ "s"; "a\"b"; "" ]);
+        (* no boolean literals: XQuery spells them true()/false(), which
+           parse as calls *)
+        return (Call ("true", []));
+        map (fun v -> Var v) var;
+        return Empty_seq;
+        return Context_item;
+        map (fun n -> Axis_step { axis = Axis.Child; test = Axis.Name n }) name;
+        return
+          (Axis_step { axis = Axis.Descendant_or_self; test = Axis.Kind_node })
+      ]
+  in
+  sized_size (int_bound 20)
+  @@ fix (fun self n ->
+         if n <= 1 then atom
+         else
+           let half = self (n / 2) in
+           oneof
+             [ atom;
+               map2 (fun a b -> Sequence (a, b)) half half;
+               map2 (fun a b -> Union (a, b)) half half;
+               map2 (fun a b -> Except (a, b)) half half;
+               map2 (fun a b -> Path (a, b)) half half;
+               map2 (fun a b -> Filter (a, b)) half half;
+               map2 (fun a b -> Arith (Add, a, b)) half half;
+               map2 (fun a b -> Gen_cmp (Lt, a, b)) half half;
+               map2 (fun a b -> Val_cmp (Ge, a, b)) half half;
+               map2 (fun a b -> And (a, b)) half half;
+               map2 (fun a b -> Or (a, b)) half half;
+               map2 (fun a b -> Range (a, b)) half half;
+               map (fun a -> Neg a) half;
+               map (fun a -> Call ("count", [ a ])) half;
+               map2
+                 (fun v (s, b) ->
+                   For { var = v; pos = None; source = s; body = b })
+                 var (pair half half);
+               map2
+                 (fun v (s, b) -> Let { var = v; value = s; body = b })
+                 var (pair half half);
+               map2
+                 (fun v (s, b) -> Quantified (Some_, v, s, b))
+                 var (pair half half);
+               map3 (fun a b c -> If (a, b, c)) half half half;
+               map2
+                 (fun v (s, b) -> Ifp { var = v; seed = s; body = b })
+                 var (pair half half);
+               map (fun a -> Comp_elem ("e", a)) half;
+               map (fun a -> Text_constr a) half;
+               map2
+                 (fun (a, b) c ->
+                   Elem_constr
+                     ("w", [ ("k", [ A_lit "l"; A_expr a ]) ], [ b; c ]))
+                 (pair half half) half ])
+
+let prop_roundtrip =
+  QCheck2.Test.make ~count:500 ~name:"print ∘ parse = id on random ASTs"
+    expr_gen
+    (fun e -> match roundtrip e with Ok () -> true | Error _ -> false)
+
+let () =
+  Alcotest.run "pretty"
+    [ ( "roundtrip",
+        [ Alcotest.test_case "corpus" `Quick test_corpus;
+          Alcotest.test_case "programs" `Quick test_programs;
+          Alcotest.test_case "sequence types" `Quick test_seq_types ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_roundtrip ]) ]

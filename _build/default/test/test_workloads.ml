@@ -1,0 +1,299 @@
+(* Workload generators: determinism, structural shape, and agreement of
+   the paper's queries with independent oracles at small scales. *)
+
+module Node = Fixq_xdm.Node
+module Item = Fixq_xdm.Item
+module Doc_registry = Fixq_xdm.Doc_registry
+module W = Fixq_workloads
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let count_elems doc name =
+  let k = ref 0 in
+  Node.iter_subtree (fun n -> if Node.name n = name then incr k) doc;
+  !k
+
+(* ------------------------------------------------------------------ *)
+(* RNG                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_determinism () =
+  let a = W.Rng.create 42 and b = W.Rng.create 42 in
+  let seq r = List.init 50 (fun _ -> W.Rng.int r 1000) in
+  check "same seed, same stream" true (seq a = seq b);
+  let c = W.Rng.create 43 in
+  check "different seed differs" false (seq (W.Rng.create 42) = seq c)
+
+let test_rng_ranges () =
+  let r = W.Rng.create 7 in
+  let ok = ref true in
+  for _ = 1 to 1000 do
+    let v = W.Rng.int r 10 in
+    if v < 0 || v >= 10 then ok := false;
+    let f = W.Rng.float r in
+    if f < 0.0 || f >= 1.0 then ok := false
+  done;
+  check "bounds respected" true !ok;
+  check "geometric capped" true (W.Rng.geometric r ~p:0.0 ~max:5 <= 5)
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_xmark_shape () =
+  let p = { W.Xmark.default with W.Xmark.scale = 0.002 } in
+  let doc = W.Xmark.generate p in
+  check_int "persons" (W.Xmark.persons_of_scale 0.002) (count_elems doc "person");
+  check_int "auctions" (W.Xmark.auctions_of_scale 0.002)
+    (count_elems doc "open_auction");
+  check "every auction has a seller" true
+    (count_elems doc "seller" = count_elems doc "open_auction");
+  check "bidders exist" true (count_elems doc "bidder" > 0);
+  (* determinism *)
+  let doc2 = W.Xmark.generate p in
+  check "deterministic" true
+    (Item.deep_equal
+       [ Item.N (List.hd (Node.children doc)) ]
+       [ Item.N (List.hd (Node.children doc2)) ])
+
+let test_shakespeare_shape () =
+  let p = { W.Shakespeare.default with W.Shakespeare.acts = 2; scenes_per_act = 2 } in
+  let doc = W.Shakespeare.generate p in
+  check_int "acts" 2 (count_elems doc "ACT");
+  check_int "scenes" 4 (count_elems doc "SCENE");
+  check "speeches have speakers" true
+    (count_elems doc "SPEAKER" = count_elems doc "SPEECH");
+  check_int "planted longest dialog" p.W.Shakespeare.max_dialog
+    (W.Shakespeare.longest_dialog doc)
+
+let test_curriculum_shape () =
+  let p = { W.Curriculum.default with W.Curriculum.courses = 120 } in
+  let doc = W.Curriculum.generate p in
+  check_int "courses" 120 (count_elems doc "course");
+  (* @code is a registered ID attribute *)
+  check "fn:id works" true
+    (match Node.lookup_id doc "c5" with
+    | Some n -> Node.name n = "course"
+    | None -> false);
+  (* the oracle finds at least one Rule-5 violation at this scale *)
+  check "cycles exist" true (W.Curriculum.self_prerequisite_codes doc <> [])
+
+let test_hospital_shape () =
+  let p = { W.Hospital.default with W.Hospital.total = 2000 } in
+  let doc = W.Hospital.generate p in
+  check_int "exact record count" 2000 (W.Hospital.patient_count doc);
+  (* depth bound: no patient nested deeper than max_depth levels *)
+  let max_depth = ref 0 in
+  let rec walk depth (n : Node.t) =
+    let depth = if Node.name n = "patient" then depth + 1 else depth in
+    if depth > !max_depth then max_depth := depth;
+    List.iter (walk depth) (Node.children n)
+  in
+  walk 0 (Node.root doc);
+  check "depth bounded" true (!max_depth <= p.W.Hospital.max_depth)
+
+(* ------------------------------------------------------------------ *)
+(* Queries vs oracles                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_curriculum_query_vs_oracle () =
+  let registry = Doc_registry.create () in
+  let p = { W.Curriculum.default with W.Curriculum.courses = 80 } in
+  let doc = W.Curriculum.load ~registry p in
+  let expected = List.sort_uniq compare (W.Curriculum.self_prerequisite_codes doc) in
+  let r = Fixq.run ~registry ~engine:(Fixq.Interpreter Fixq.Auto) W.Queries.curriculum_check in
+  let got =
+    List.filter_map
+      (function
+        | Item.N n ->
+          List.find_opt (fun a -> Node.name a = "code") (Node.attributes n)
+          |> Option.map Node.string_value
+        | Item.A _ -> None)
+      r.Fixq.result
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list string)) "Rule 5 matches graph oracle" expected got
+
+let test_dialog_query_depth_is_longest_dialog () =
+  let registry = Doc_registry.create () in
+  let p = { W.Shakespeare.default with W.Shakespeare.acts = 2; scenes_per_act = 2; max_dialog = 12 } in
+  let doc = W.Shakespeare.load ~registry p in
+  let r = Fixq.run ~registry ~engine:(Fixq.Interpreter Fixq.Auto) W.Queries.dialogs in
+  check_int "recursion depth = longest dialog"
+    (W.Shakespeare.longest_dialog doc)
+    r.Fixq.depth
+
+let test_hospital_query_counts () =
+  let registry = Doc_registry.create () in
+  let p = { W.Hospital.default with W.Hospital.total = 1500 } in
+  let doc = W.Hospital.load ~registry p in
+  let r = Fixq.run ~registry ~engine:(Fixq.Interpreter Fixq.Auto) W.Queries.hospital in
+  (* oracle: hereditary patients that are nested (non-top-level) *)
+  let expected = ref 0 in
+  let rec walk depth (n : Node.t) =
+    let depth' = if Node.name n = "patient" then depth + 1 else depth in
+    (if Node.name n = "diagnosis" && Node.string_value n = "hereditary"
+        && depth >= 2 then incr expected);
+    List.iter (walk depth') (Node.children n)
+  in
+  walk 0 (Node.root doc);
+  check_int "hereditary ancestors found" !expected (List.length r.Fixq.result)
+
+let test_bidder_query_connectivity () =
+  let registry = Doc_registry.create () in
+  let p = { W.Xmark.default with W.Xmark.scale = 0.002 } in
+  let doc = W.Xmark.load ~registry p in
+  (* oracle: BFS over the seller→bidder edges for one person *)
+  let edges = Hashtbl.create 64 in
+  Node.iter_subtree
+    (fun n ->
+      if Node.name n = "open_auction" then begin
+        let seller = ref None and bidders = ref [] in
+        Node.iter_subtree
+          (fun m ->
+            if Node.name m = "seller" then
+              seller :=
+                List.find_opt (fun a -> Node.name a = "person") (Node.attributes m)
+                |> Option.map Node.string_value
+            else if Node.name m = "personref" then
+              match
+                List.find_opt (fun a -> Node.name a = "person") (Node.attributes m)
+              with
+              | Some a -> bidders := Node.string_value a :: !bidders
+              | None -> ())
+          n;
+        match !seller with
+        | Some s ->
+          Hashtbl.replace edges s
+            (!bidders @ Option.value ~default:[] (Hashtbl.find_opt edges s))
+        | None -> ()
+      end)
+    doc;
+  let bfs start =
+    let seen = Hashtbl.create 64 in
+    let rec go frontier =
+      let next =
+        List.concat_map
+          (fun p -> Option.value ~default:[] (Hashtbl.find_opt edges p))
+          frontier
+        |> List.filter (fun p ->
+               if Hashtbl.mem seen p then false
+               else begin
+                 Hashtbl.replace seen p ();
+                 true
+               end)
+      in
+      if next <> [] then go next
+    in
+    go [ start ];
+    Hashtbl.fold (fun k () acc -> k :: acc) seen []
+  in
+  let expected = List.sort compare (bfs "person1") in
+  let r =
+    Fixq.run ~registry ~engine:(Fixq.Interpreter Fixq.Auto)
+      (W.Queries.bidder_network_single "person1")
+  in
+  let got =
+    List.filter_map
+      (function
+        | Item.N n ->
+          List.find_opt (fun a -> Node.name a = "id") (Node.attributes n)
+          |> Option.map Node.string_value
+        | Item.A _ -> None)
+      r.Fixq.result
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "bidder network = BFS oracle" expected got
+
+(* all four workload queries agree across engines at tiny scales *)
+let test_cross_engine_agreement () =
+  let registry = Doc_registry.create () in
+  ignore (W.Curriculum.load ~registry { W.Curriculum.default with W.Curriculum.courses = 40 });
+  ignore
+    (W.Shakespeare.load ~registry
+       { W.Shakespeare.default with W.Shakespeare.acts = 1; scenes_per_act = 2; max_dialog = 8 });
+  ignore (W.Hospital.load ~registry { W.Hospital.default with W.Hospital.total = 300 });
+  ignore (W.Xmark.load ~registry { W.Xmark.default with W.Xmark.scale = 0.001 });
+  List.iter
+    (fun (name, q) ->
+      let run engine = (Fixq.run ~registry ~engine q).Fixq.result in
+      let reference = run (Fixq.Interpreter Fixq.Naive) in
+      List.iter
+        (fun engine ->
+          if not (Item.set_equal reference (run engine)) then
+            Alcotest.failf "engines disagree on %s" name)
+        [ Fixq.Interpreter Fixq.Auto; Fixq.Algebra Fixq.Naive;
+          Fixq.Algebra Fixq.Auto ])
+    [ ("curriculum", W.Queries.curriculum_check);
+      ("dialogs", W.Queries.dialogs);
+      ("hospital", W.Queries.hospital);
+      ("bidder-single", W.Queries.bidder_network_single "person1") ]
+
+let test_query_texts_parse_and_roundtrip () =
+  List.iter
+    (fun (name, src) ->
+      match Fixq_lang.Parser.parse_program src with
+      | p ->
+        let printed = Fixq_lang.Pretty.program_to_string p in
+        (match Fixq_lang.Parser.parse_program printed with
+        | p2 ->
+          if not (Fixq_lang.Ast.equal_program p p2) then
+            Alcotest.failf "%s: pretty roundtrip changed the tree" name
+        | exception _ ->
+          Alcotest.failf "%s: pretty output does not parse" name)
+      | exception _ -> Alcotest.failf "%s does not parse" name)
+    [ ("q1", W.Queries.q1); ("q1_variant", W.Queries.q1_variant);
+      ("q1_unfolded", W.Queries.q1_unfolded); ("q2", W.Queries.q2);
+      ("bidder", W.Queries.bidder_network);
+      ("bidder_single", W.Queries.bidder_network_single "p0");
+      ("dialogs", W.Queries.dialogs);
+      ("curriculum", W.Queries.curriculum_check);
+      ("hospital", W.Queries.hospital) ]
+
+(* the Saxon-style experiment end-to-end: run the dialog query via the
+   Figure 2/4 recursive-function templates and compare with the IFP *)
+let test_desugared_workload_queries () =
+  let registry = Doc_registry.create () in
+  ignore
+    (W.Shakespeare.load ~registry
+       { W.Shakespeare.default with W.Shakespeare.acts = 1; scenes_per_act = 2; max_dialog = 9 });
+  let p = Fixq_lang.Parser.parse_program W.Queries.dialogs in
+  let run_program prog =
+    let ev = Fixq_lang.Eval.create ~registry () in
+    Fixq_lang.Eval.run_program ev prog
+  in
+  let reference = run_program p in
+  let via_fix = run_program (Fixq_lang.Rewrite.desugar_naive p) in
+  let via_delta = run_program (Fixq_lang.Rewrite.desugar_delta p) in
+  check "fix template = IFP" true (Item.set_equal reference via_fix);
+  check "delta template = IFP (body is distributive)" true
+    (Item.set_equal reference via_delta)
+
+let () =
+  Alcotest.run "workloads"
+    [ ( "rng",
+        [ Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "ranges" `Quick test_rng_ranges ] );
+      ( "generators",
+        [ Alcotest.test_case "xmark" `Quick test_xmark_shape;
+          Alcotest.test_case "shakespeare" `Quick test_shakespeare_shape;
+          Alcotest.test_case "curriculum" `Quick test_curriculum_shape;
+          Alcotest.test_case "hospital" `Quick test_hospital_shape ] );
+      ( "oracles",
+        [ Alcotest.test_case "curriculum rule 5" `Quick
+            test_curriculum_query_vs_oracle;
+          Alcotest.test_case "dialog depth" `Quick
+            test_dialog_query_depth_is_longest_dialog;
+          Alcotest.test_case "hospital counts" `Quick
+            test_hospital_query_counts;
+          Alcotest.test_case "bidder network BFS" `Quick
+            test_bidder_query_connectivity ] );
+      ( "engines",
+        [ Alcotest.test_case "cross-engine agreement" `Quick
+            test_cross_engine_agreement ] );
+      ( "queries",
+        [ Alcotest.test_case "parse + pretty roundtrip" `Quick
+            test_query_texts_parse_and_roundtrip;
+          Alcotest.test_case "desugared templates" `Quick
+            test_desugared_workload_queries ] ) ]
