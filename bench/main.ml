@@ -21,7 +21,21 @@ module Render = Fixq_algebra.Render
 module Push = Fixq_algebra.Push
 module W = Fixq_workloads
 
+module Json = Fixq_service.Json
+
 let printf = Printf.printf
+
+(* --json OUT: machine-readable record of every measurement made during
+   the run, for tracking the perf trajectory across PRs. *)
+let json_rows : Json.t list ref = ref []
+
+let record_json fields = json_rows := Json.Obj fields :: !json_rows
+
+let write_json path =
+  let oc = open_out path in
+  output_string oc (Json.to_string (Json.List (List.rev !json_rows)));
+  output_char oc '\n';
+  close_out oc
 
 (* ------------------------------------------------------------------ *)
 (* Row configuration                                                   *)
@@ -118,6 +132,15 @@ let measure_row row =
   let ad = run (Fixq.Algebra Fixq.Auto) in
   let inn = run (Fixq.Interpreter Fixq.Naive) in
   let ind = run (Fixq.Interpreter Fixq.Auto) in
+  List.iter
+    (fun (engine, r) ->
+      record_json
+        [ ("section", Json.Str "table2"); ("query", Json.Str row.name);
+          ("engine", Json.Str engine); ("ms", Json.Num r.Fixq.wall_ms);
+          ("iterations", Json.of_int r.Fixq.depth);
+          ("nodes_fed", Json.of_int r.Fixq.nodes_fed) ])
+    [ ("algebra-naive", an); ("algebra-delta", ad); ("interp-naive", inn);
+      ("interp-delta", ind) ];
   { alg_naive_ms = an.Fixq.wall_ms;
     alg_delta_ms = ad.Fixq.wall_ms;
     int_naive_ms = inn.Fixq.wall_ms;
@@ -456,7 +479,11 @@ let micro () =
   List.iter
     (fun (name, result) ->
       match Analyze.OLS.estimates result with
-      | Some [ est ] -> printf "%-42s %12.0f ns/run\n" name est
+      | Some [ est ] ->
+        printf "%-42s %12.0f ns/run\n" name est;
+        record_json
+          [ ("section", Json.Str "micro"); ("name", Json.Str name);
+            ("ns_per_run", Json.Num est) ]
       | _ -> printf "%-42s (no estimate)\n" name)
     rows;
   printf "\n"
@@ -468,6 +495,15 @@ let micro () =
 let () =
   let args = Array.to_list Sys.argv in
   let has f = List.mem f args in
+  (* --json OUT (e.g. BENCH_table2.json): written on exit *)
+  let json_out =
+    let rec find = function
+      | "--json" :: path :: _ -> Some path
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
   let rows = if has "--paper" then paper_rows else quick_rows in
   let explicit =
     List.exists
@@ -485,4 +521,5 @@ let () =
   when_ "section6" section6;
   when_ "section7" section7;
   when_ "micro" (fun () -> if has "micro" then micro ());
-  when_ "table2" (fun () -> table2 rows)
+  when_ "table2" (fun () -> table2 rows);
+  Option.iter write_json json_out

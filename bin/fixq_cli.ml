@@ -4,7 +4,8 @@
      run       evaluate a query (file or --expr) against XML documents
      check     report both distributivity verdicts for a query's IFP
      plan      print the compiled algebra plan of a query's IFP
-     generate  emit a benchmark document (xmark/curriculum/play/hospital) *)
+     generate  emit a benchmark document (xmark/curriculum/play/hospital)
+     serve     long-lived query server (prepared-query + result caches) *)
 
 module Xdm = Fixq_xdm
 module Lang = Fixq_lang
@@ -22,15 +23,22 @@ let read_file path =
 let load_docs registry docs =
   List.iter
     (fun spec ->
-      match String.index_opt spec '=' with
-      | Some i ->
-        let uri = String.sub spec 0 i in
-        let path = String.sub spec (i + 1) (String.length spec - i - 1) in
-        let doc = Xdm.Xml_parser.parse_string ~uri (read_file path) in
-        Xdm.Doc_registry.register ~registry uri doc
-      | None ->
-        let doc = Xdm.Xml_parser.parse_string ~uri:spec (read_file spec) in
-        Xdm.Doc_registry.register ~registry spec doc)
+      let (uri, path) =
+        match String.index_opt spec '=' with
+        | Some i ->
+          ( String.sub spec 0 i,
+            String.sub spec (i + 1) (String.length spec - i - 1) )
+        | None -> (spec, spec)
+      in
+      match Xdm.Xml_parser.parse_string ~uri (read_file path) with
+      | doc -> Xdm.Doc_registry.register ~registry uri doc
+      | exception Sys_error msg ->
+        Printf.eprintf "error: --doc %s: %s\n" uri msg;
+        exit 1
+      | exception Xdm.Xml_parser.Parse_error { line; col; msg } ->
+        Printf.eprintf "error: --doc %s: parse error at %d:%d: %s\n" uri line
+          col msg;
+        exit 1)
     docs
 
 let query_source file expr =
@@ -250,6 +258,82 @@ let explain_cmd =
           distributivity hint.")
     term
 
+let serve_cmd =
+  let module Service = Fixq_service in
+  let pipe_arg =
+    Arg.(value & flag
+         & info [ "pipe" ]
+             ~doc:
+               "Serve newline-delimited JSON on stdin/stdout instead of a \
+                socket (one response line per request line).")
+  in
+  let socket_arg =
+    let doc = "Unix-domain socket path to listen on." in
+    Arg.(value & opt (some string) None
+         & info [ "socket"; "s" ] ~docv:"PATH" ~doc)
+  in
+  let workers_arg =
+    let doc = "Worker threads for request handling." in
+    Arg.(value & opt int 1 & info [ "workers"; "j" ] ~docv:"N" ~doc)
+  in
+  let prepared_cache_arg =
+    let doc = "Prepared-query LRU cache capacity (entries)." in
+    Arg.(value & opt int 64 & info [ "prepared-cache" ] ~docv:"N" ~doc)
+  in
+  let result_cache_arg =
+    let doc = "Result LRU cache capacity (entries)." in
+    Arg.(value & opt int 256 & info [ "result-cache" ] ~docv:"N" ~doc)
+  in
+  let max_iterations_arg =
+    let doc =
+      "Default per-request IFP iteration budget; exceeding it yields an \
+       error response, not a dead server."
+    in
+    Arg.(value & opt int 100_000 & info [ "max-iterations" ] ~docv:"N" ~doc)
+  in
+  let timeout_arg =
+    let doc =
+      "Default per-request wall-clock budget in milliseconds (checked once \
+       per fixpoint round)."
+    in
+    Arg.(value & opt (some float) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
+  in
+  let action docs pipe socket workers prepared_cap result_cap max_iterations
+      timeout_ms stratified =
+    let registry = Xdm.Doc_registry.create () in
+    load_docs registry docs;
+    let config =
+      { Service.Server.workers; prepared_capacity = prepared_cap;
+        result_capacity = result_cap; max_iterations; timeout_ms; stratified }
+    in
+    let store = Service.Store.create ~registry () in
+    let server = Service.Server.create ~config ~store () in
+    match (pipe, socket) with
+    | (true, _) ->
+      Service.Server.serve_pipe server stdin stdout;
+      0
+    | (false, Some path) ->
+      Printf.eprintf "fixq serve: listening on %s\n%!" path;
+      Service.Server.serve_socket server ~path;
+      0
+    | (false, None) ->
+      Printf.eprintf "serve: pass --pipe or --socket PATH\n";
+      2
+  in
+  let term =
+    Term.(const action $ docs_arg $ pipe_arg $ socket_arg $ workers_arg
+          $ prepared_cache_arg $ result_cache_arg $ max_iterations_arg
+          $ timeout_arg $ stratified_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent query service: prepared-query and result \
+          caches over a versioned document store, speaking \
+          newline-delimited JSON ({\"op\":\"run\"|\"check\"|\"plan\"|\
+          \"load-doc\"|\"unload-doc\"|\"stats\"|\"ping\"|\"shutdown\"}).")
+    term
+
 let generate_cmd =
   let kind_arg =
     Arg.(required
@@ -296,4 +380,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ run_cmd; check_cmd; plan_cmd; explain_cmd; generate_cmd; repl_cmd ]))
+          [ run_cmd; check_cmd; plan_cmd; explain_cmd; generate_cmd;
+            repl_cmd; serve_cmd ]))

@@ -28,6 +28,10 @@ type report = {
 
 exception Error of string
 
+(* Raised (from the stats iteration hook) when a per-request wall-clock
+   deadline passes mid-fixpoint; converted to [Error] in run_program. *)
+exception Deadline_exceeded
+
 let strategy_of_mode = function
   | Naive -> Eval.Naive
   | Delta -> Eval.Delta
@@ -157,7 +161,7 @@ let install_algebra_handler ~registry ~max_iterations ~stratified ~mode
              Some (Compile.result_items rel)))
 
 let run_program ?(registry = Xdm.Doc_registry.default)
-    ?(max_iterations = 1_000_000) ?(stratified = false) ~engine p =
+    ?(max_iterations = 1_000_000) ?(stratified = false) ?deadline ~engine p =
   let fallbacks = ref [] in
   let used_delta = ref None in
   let ev =
@@ -175,6 +179,16 @@ let run_program ?(registry = Xdm.Doc_registry.default)
         ~fallbacks ~used_delta ev;
       ev
   in
+  (match deadline with
+  | None -> ()
+  | Some d ->
+    (* Cooperative: checked once per fixpoint round, on both engines
+       (the plan evaluator shares this Stats.t). Straight-line queries
+       without an IFP are not interrupted. *)
+    Stats.set_iteration_hook (Eval.stats ev)
+      (Some
+         (fun () ->
+           if Unix.gettimeofday () > d then raise Deadline_exceeded)));
   let t0 = now_ms () in
   let result =
     try Eval.run_program ev p with
@@ -182,6 +196,7 @@ let run_program ?(registry = Xdm.Doc_registry.default)
       raise (Error m)
     | Lang.Fixpoint.Diverged n ->
       raise (Error (Printf.sprintf "IFP diverged after %d iterations" n))
+    | Deadline_exceeded -> raise (Error "deadline exceeded during IFP evaluation")
     | Xdm.Atom.Type_error m -> raise (Error ("type error: " ^ m))
   in
   let wall_ms = now_ms () -. t0 in
@@ -204,44 +219,45 @@ let parse src =
   | Lang.Lexer.Error { pos; msg } ->
     raise (Error (Printf.sprintf "lex error at offset %d: %s" pos msg))
 
-let run ?registry ?max_iterations ?stratified ~engine src =
-  run_program ?registry ?max_iterations ?stratified ~engine (parse src)
+let run ?registry ?max_iterations ?stratified ?deadline ~engine src =
+  run_program ?registry ?max_iterations ?stratified ?deadline ~engine
+    (parse src)
 
 (* Capture the compiled plan of the first IFP encountered dynamically:
-   install a one-shot capturing handler, then run the program on the
-   interpreter (the handler declines, so evaluation completes). *)
-let plan_of_first_ifp ?(registry = Xdm.Doc_registry.default) p =
+   install a capturing handler, then run the program on the interpreter.
+   The handler fires at site entry — before any fixpoint iteration — so
+   once the first site has been seen there is nothing left to learn and
+   we abort the run.  Without the abort, preparing a divergent query
+   would spin through the whole iteration budget just to capture a plan
+   that was already in hand. *)
+exception Plan_captured
+
+let plan_of_first_ifp ?(registry = Xdm.Doc_registry.default)
+    ?(max_iterations = 1_000_000) p =
   let captured = ref None in
-  let ev = Eval.create ~registry ~strategy:Eval.Naive () in
+  let ev = Eval.create ~registry ~max_iterations ~strategy:Eval.Naive () in
   Eval.set_ifp_handler ev
     (Some
        (fun (site : Eval.ifp_site) ->
-         (if !captured = None then
-            match
-              Compile.body ~functions:(Eval.functions ev)
-                ~recursion_var:site.Eval.ifp_var
-                ~bindings:
-                  (List.map fst site.Eval.ifp_bindings
-                  @ if site.Eval.ifp_context <> None then [ "." ] else [])
-                site.Eval.ifp_body
-            with
-            | exception Compile.Unsupported _ -> ()
-            | { Compile.fix_id; body; _ } -> captured := Some (fix_id, body));
-         None));
+         (match
+            Compile.body ~functions:(Eval.functions ev)
+              ~recursion_var:site.Eval.ifp_var
+              ~bindings:
+                (List.map fst site.Eval.ifp_bindings
+                @ if site.Eval.ifp_context <> None then [ "." ] else [])
+              site.Eval.ifp_body
+          with
+         | exception Compile.Unsupported _ -> ()
+         | { Compile.fix_id; body; _ } -> captured := Some (fix_id, body));
+         raise Plan_captured));
   (try ignore (Eval.run_program ev p) with _ -> ());
   !captured
 
-let first_ifp_body (p : Lang.Ast.program) =
-  let found = ref None in
-  let scan e =
-    let rec go e =
-      match (e : Lang.Ast.expr) with
-      | Lang.Ast.Ifp { var; body; _ } when !found = None ->
-        found := Some (var, body)
-      | _ ->
-        List.iter go
-          (match (e : Lang.Ast.expr) with
-          | Lang.Ast.Sequence (a, b)
+(* One canonical child enumeration for whole-program expression walks
+   (first-IFP lookup, IFP counting for the prepared-query layer, …). *)
+let subexprs (e : Lang.Ast.expr) : Lang.Ast.expr list =
+  match (e : Lang.Ast.expr) with
+  | Lang.Ast.Sequence (a, b)
           | Lang.Ast.Union (a, b)
           | Lang.Ast.Except (a, b)
           | Lang.Ast.Intersect (a, b)
@@ -285,30 +301,56 @@ let first_ifp_body (p : Lang.Ast.program) =
             @ content
           | Lang.Ast.Typeswitch (s, cases, _, d) ->
             (s :: List.map (fun (_, _, b) -> b) cases) @ [ d ]
-          | Lang.Ast.Ifp { seed; body; _ } -> [ seed; body ]
-          | Lang.Ast.Literal _ | Lang.Ast.Empty_seq | Lang.Ast.Var _
-          | Lang.Ast.Context_item | Lang.Ast.Root | Lang.Ast.Axis_step _ ->
-            [])
-    in
-    go e
+  | Lang.Ast.Ifp { seed; body; _ } -> [ seed; body ]
+  | Lang.Ast.Literal _ | Lang.Ast.Empty_seq | Lang.Ast.Var _
+  | Lang.Ast.Context_item | Lang.Ast.Root | Lang.Ast.Axis_step _ ->
+    []
+
+let iter_exprs f (p : Lang.Ast.program) =
+  let rec go e =
+    f e;
+    List.iter go (subexprs e)
   in
-  scan p.Lang.Ast.main;
-  List.iter (fun fd -> scan fd.Lang.Ast.body) p.Lang.Ast.functions;
+  go p.Lang.Ast.main;
+  List.iter (fun fd -> go fd.Lang.Ast.body) p.Lang.Ast.functions
+
+let first_ifp (p : Lang.Ast.program) =
+  let found = ref None in
+  iter_exprs
+    (fun e ->
+      match (e : Lang.Ast.expr) with
+      | Lang.Ast.Ifp { var; body; _ } when !found = None ->
+        found := Some (var, body)
+      | _ -> ())
+    p;
   !found
 
-let distributivity_verdicts ?registry p =
-  match first_ifp_body p with
+let count_ifps (p : Lang.Ast.program) =
+  let n = ref 0 in
+  iter_exprs
+    (function Lang.Ast.Ifp _ -> incr n | _ -> ())
+    p;
+  !n
+
+let program_functions (p : Lang.Ast.program) =
+  let functions = Hashtbl.create 16 in
+  List.iter
+    (fun fd -> Hashtbl.replace functions fd.Lang.Ast.fname fd)
+    p.Lang.Ast.functions;
+  functions
+
+let distributivity_verdicts ?registry ?(stratified = false) p =
+  match first_ifp p with
   | None -> None
   | Some (var, body) ->
-    let functions = Hashtbl.create 16 in
-    List.iter
-      (fun fd -> Hashtbl.replace functions fd.Lang.Ast.fname fd)
-      p.Lang.Ast.functions;
-    let syntactic = Lang.Distributivity.check ~functions var body in
+    let functions = program_functions p in
+    let syntactic =
+      Lang.Distributivity.check ~functions ~stratified var body
+    in
     let algebraic =
       match plan_of_first_ifp ?registry p with
       | None -> None
       | Some (fix_id, plan) ->
-        Some (Push.check ~fix_id plan).Push.distributive
+        Some (Push.check ~stratified ~fix_id plan).Push.distributive
     in
     Some (syntactic, algebraic)

@@ -54,11 +54,16 @@ exception Error of string
     bodies with node constructors, whose fixed points may be undefined
     (Definition 2.1). [stratified] (default [false]) extends both
     [Auto] distributivity checks with the Section-6
-    stratified-difference rule ([$x except R] with fixed [R]). *)
+    stratified-difference rule ([$x except R] with fixed [R]).
+    [deadline] (absolute [Unix.gettimeofday] seconds) aborts the run
+    with {!Error} once the wall clock passes it; enforcement is
+    cooperative, checked once per fixpoint round on either engine — the
+    budget knob of the long-running [fixq serve] front end. *)
 val run :
   ?registry:Xdm.Doc_registry.t ->
   ?max_iterations:int ->
   ?stratified:bool ->
+  ?deadline:float ->
   engine:engine ->
   string ->
   report
@@ -68,23 +73,38 @@ val run_program :
   ?registry:Xdm.Doc_registry.t ->
   ?max_iterations:int ->
   ?stratified:bool ->
+  ?deadline:float ->
   engine:engine ->
   Lang.Ast.program ->
   report
 
+(** The recursion variable and body of the first IFP in the program
+    (document order, main expression before function bodies). *)
+val first_ifp : Lang.Ast.program -> (string * Lang.Ast.expr) option
+
+(** Number of [with … seeded by … recurse] sites in the whole program.
+    The prepared-query layer pins a fixpoint algorithm at preparation
+    time only for single-IFP programs; anything else keeps the per-site
+    [Auto] decision. *)
+val count_ifps : Lang.Ast.program -> int
+
 (** Both distributivity verdicts for the body of the {e first} IFP in
     the program: [(syntactic, algebraic)]. The algebraic verdict is
-    [None] when the body is outside the compilable subset. *)
+    [None] when the body is outside the compilable subset.
+    [stratified] enables the Section-6 refinement in both checks. *)
 val distributivity_verdicts :
   ?registry:Xdm.Doc_registry.t ->
+  ?stratified:bool ->
   Lang.Ast.program ->
   (bool * bool option) option
 
 (** Compile the first IFP body of a program to its algebra plan (for
     plan inspection à la Figure 9). Returns the fix-ref id and plan.
     Free variables and context of the body are materialized by
-    evaluating the surrounding program as far as needed. *)
+    evaluating the surrounding program as far as needed — bounded by
+    [max_iterations] so preparing a divergent query terminates. *)
 val plan_of_first_ifp :
   ?registry:Xdm.Doc_registry.t ->
+  ?max_iterations:int ->
   Lang.Ast.program ->
   (int * Algebra_ir.Plan.t) option

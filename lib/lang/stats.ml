@@ -1,14 +1,18 @@
 type iteration = { fed : int; produced : int; result_size : int }
 
+type snapshot = { snap_fed : int; snap_calls : int; snap_depth : int }
+
 type t = {
   mutable total_fed : int;
   mutable total_calls : int;
   mutable max_depth : int;
   mutable current_run : iteration list;  (** newest first *)
+  mutable iteration_hook : (unit -> unit) option;
 }
 
 let create () =
-  { total_fed = 0; total_calls = 0; max_depth = 0; current_run = [] }
+  { total_fed = 0; total_calls = 0; max_depth = 0; current_run = [];
+    iteration_hook = None }
 
 let reset t =
   t.total_fed <- 0;
@@ -18,12 +22,19 @@ let reset t =
 
 let start_run t = t.current_run <- []
 
+let set_iteration_hook t hook = t.iteration_hook <- hook
+
 let record_iteration t ~fed ~produced ~result_size =
   t.total_fed <- t.total_fed + fed;
   t.total_calls <- t.total_calls + 1;
   t.current_run <- { fed; produced; result_size } :: t.current_run;
   let depth = List.length t.current_run in
-  if depth > t.max_depth then t.max_depth <- depth
+  if depth > t.max_depth then t.max_depth <- depth;
+  match t.iteration_hook with None -> () | Some hook -> hook ()
+
+let snapshot t =
+  { snap_fed = t.total_fed; snap_calls = t.total_calls;
+    snap_depth = t.max_depth }
 
 let nodes_fed t = t.total_fed
 let depth t = t.max_depth

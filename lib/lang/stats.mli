@@ -12,6 +12,14 @@ type iteration = {
   result_size : int;  (** accumulated result after the round *)
 }
 
+(** Immutable copy of the totals, cheap to store alongside a cached
+    query result. *)
+type snapshot = {
+  snap_fed : int;
+  snap_calls : int;
+  snap_depth : int;
+}
+
 type t
 
 val create : unit -> t
@@ -19,6 +27,16 @@ val reset : t -> unit
 
 (** Record one payload invocation. *)
 val record_iteration : t -> fed:int -> produced:int -> result_size:int -> unit
+
+(** [snapshot t] copies the current totals. *)
+val snapshot : t -> snapshot
+
+(** Install (or clear) a callback invoked after every
+    {!record_iteration} — i.e. once per fixpoint round on either
+    engine. The hook may raise to abort the evaluation; the query
+    service uses exactly that to enforce per-request wall-clock
+    deadlines without the language layers needing a clock. *)
+val set_iteration_hook : t -> (unit -> unit) option -> unit
 
 (** Total nodes fed into the recursion body, across all IFP evaluations
     recorded by this [t]. *)

@@ -1,0 +1,43 @@
+type agg = {
+  label : string;
+  mutable count : int;
+  mutable total_ms : float;
+  mutable min_ms : float;
+  mutable max_ms : float;
+}
+
+type t = { table : (string, agg) Hashtbl.t; lock : Mutex.t }
+
+let create () = { table = Hashtbl.create 16; lock = Mutex.create () }
+
+let record t ~key ~label ~ms =
+  Mutex.lock t.lock;
+  (match Hashtbl.find_opt t.table key with
+  | Some a ->
+    a.count <- a.count + 1;
+    a.total_ms <- a.total_ms +. ms;
+    if ms < a.min_ms then a.min_ms <- ms;
+    if ms > a.max_ms then a.max_ms <- ms
+  | None ->
+    Hashtbl.replace t.table key
+      { label; count = 1; total_ms = ms; min_ms = ms; max_ms = ms });
+  Mutex.unlock t.lock
+
+let to_json t =
+  Mutex.lock t.lock;
+  let aggs = Hashtbl.fold (fun _ a acc -> a :: acc) t.table [] in
+  Mutex.unlock t.lock;
+  let aggs =
+    List.sort (fun a b -> compare (b.count, b.label) (a.count, a.label)) aggs
+  in
+  Json.List
+    (List.map
+       (fun a ->
+         Json.Obj
+           [ ("query", Json.Str a.label);
+             ("count", Json.of_int a.count);
+             ("total_ms", Json.Num a.total_ms);
+             ("min_ms", Json.Num a.min_ms);
+             ("max_ms", Json.Num a.max_ms);
+             ("mean_ms", Json.Num (a.total_ms /. float_of_int a.count)) ])
+       aggs)

@@ -1,0 +1,21 @@
+(** Per-query latency aggregates for the [stats] protocol op.
+
+    One record per prepared-query hash: execution count, total/min/max
+    wall milliseconds. Only actual executions are recorded — result
+    -cache hits never reach the engine, and their (near-zero) service
+    time would only flatter the numbers; the cache counters already
+    tell that story. Thread-safe. *)
+
+type t
+
+val create : unit -> t
+
+(** [record t ~key ~label ~ms] folds one execution into the aggregate
+    for [key]. [label] is a human-readable identifier (a query preview)
+    kept for reporting. *)
+val record : t -> key:string -> label:string -> ms:float -> unit
+
+(** All aggregates as a JSON array, most-executed first. Each element:
+    [{"query": label, "count": n, "total_ms": t, "min_ms": m,
+    "max_ms": M, "mean_ms": µ}]. *)
+val to_json : t -> Json.t

@@ -1,0 +1,89 @@
+module Lang = Fixq_lang
+module Push = Fixq_algebra.Push
+
+type t = {
+  source : string;
+  hash : string;
+  program : Lang.Ast.program;
+  warnings : string list;
+  ifp_count : int;
+  syntactic : bool;
+  algebraic : bool option;
+  plan : (int * Fixq_algebra.Plan.t) option;
+  interp_mode : Fixq.mode;
+  algebra_mode : Fixq.mode;
+  stratified : bool;
+  generation : int;
+  prepare_ms : float;
+}
+
+exception Rejected of string
+
+let hash_source src = Digest.to_hex (Digest.string src)
+
+let format_diagnostic d = Format.asprintf "%a" Lang.Static.pp_diagnostic d
+
+let prepare ~store ~stratified ~max_iterations source =
+  let t0 = Unix.gettimeofday () in
+  let registry = Store.registry store in
+  let generation = Store.generation store in
+  let program =
+    match Lang.Parser.parse_program source with
+    | p -> p
+    | exception Lang.Parser.Error { line; col; msg } ->
+      raise
+        (Rejected (Printf.sprintf "parse error at %d:%d: %s" line col msg))
+    | exception Lang.Lexer.Error { pos; msg } ->
+      raise (Rejected (Printf.sprintf "lex error at offset %d: %s" pos msg))
+  in
+  let diagnostics = Lang.Static.check_program program in
+  (match Lang.Static.errors diagnostics with
+  | [] -> ()
+  | errs ->
+    raise (Rejected (String.concat "; " (List.map format_diagnostic errs))));
+  let warnings = List.map format_diagnostic diagnostics in
+  let ifp_count = Fixq.count_ifps program in
+  let syntactic =
+    match Fixq.first_ifp program with
+    | None -> false
+    | Some (var, body) ->
+      let functions = Hashtbl.create 16 in
+      List.iter
+        (fun fd -> Hashtbl.replace functions fd.Lang.Ast.fname fd)
+        program.Lang.Ast.functions;
+      Lang.Distributivity.check ~functions ~stratified var body
+  in
+  let plan =
+    if ifp_count = 0 then None
+    else Fixq.plan_of_first_ifp ~registry ~max_iterations program
+  in
+  let algebraic =
+    Option.map
+      (fun (fix_id, p) -> (Push.check ~stratified ~fix_id p).Push.distributive)
+      plan
+  in
+  let interp_mode =
+    if ifp_count = 0 then Fixq.Naive
+    else if ifp_count > 1 then Fixq.Auto
+    else if syntactic then Fixq.Delta
+    else Fixq.Naive
+  in
+  let algebra_mode =
+    if ifp_count = 0 then Fixq.Naive
+    else if ifp_count > 1 then Fixq.Auto
+    else
+      match algebraic with
+      | Some true -> Fixq.Delta
+      | Some false -> Fixq.Naive
+      | None ->
+        (* body outside the compilable subset: the site falls back to
+           the interpreter, whose Auto strategy re-checks syntactically *)
+        Fixq.Auto
+  in
+  { source; hash = hash_source source; program; warnings; ifp_count;
+    syntactic; algebraic; plan; interp_mode; algebra_mode; stratified;
+    generation; prepare_ms = (Unix.gettimeofday () -. t0) *. 1000.0 }
+
+let mode_for t = function
+  | `Interp -> t.interp_mode
+  | `Algebra -> t.algebra_mode

@@ -1,0 +1,55 @@
+(** The prepared-query layer: everything about a query that does not
+    depend on {e when} it runs, computed once and cached.
+
+    Preparing a query performs the whole per-query pipeline of the
+    paper — parse, static check, the syntactic [ds_$x] inference
+    (Figure 5), compilation of the first IFP body to a Table-1 algebra
+    plan, and the algebraic ∪ push-up (Section 4.1) — and pins the
+    fixpoint algorithm each engine should use: Delta/µ∆ when the
+    respective check proves distributivity, Naïve/µ otherwise. Repeat
+    runs of the same query text skip all of it (an LRU cache in the
+    server keys prepared queries by source text).
+
+    For programs with more than one IFP the pinned mode degrades to
+    [Auto]: the first site's verdict must not be forced onto the
+    others, and [Auto] re-decides per site exactly as an unprepared run
+    would. *)
+
+type t = {
+  source : string;
+  hash : string;  (** hex digest of [source] — the result-cache key *)
+  program : Fixq.Lang.Ast.program;
+  warnings : string list;  (** static warnings; static errors reject *)
+  ifp_count : int;
+  syntactic : bool;  (** Figure 5 verdict for the first IFP ([false] if none) *)
+  algebraic : bool option;
+      (** ∪ push-up verdict; [None] when the body is outside the
+          compilable subset or there is no IFP *)
+  plan : (int * Fixq.Algebra_ir.Plan.t) option;
+      (** fix-ref id and compiled plan of the first IFP body *)
+  interp_mode : Fixq.mode;  (** pinned algorithm for the interpreter *)
+  algebra_mode : Fixq.mode;  (** pinned algorithm for the algebra engine *)
+  stratified : bool;  (** checks ran with the Section-6 refinement *)
+  generation : int;  (** registry generation at preparation time *)
+  prepare_ms : float;
+}
+
+(** Parse or static errors. *)
+exception Rejected of string
+
+(** [prepare ~store ~stratified ~max_iterations src] runs the full
+    pipeline. Compiling the first IFP body requires evaluating the
+    surrounding program up to that site, so preparation may read
+    documents from [store]; [max_iterations] bounds that evaluation
+    (preparing a divergent query terminates with the plan simply not
+    captured).
+
+    @raise Rejected on parse errors or static errors. *)
+val prepare :
+  store:Store.t -> stratified:bool -> max_iterations:int -> string -> t
+
+(** The mode a request for the given engine kind should run with:
+    [`Interp] → [interp_mode], [`Algebra] → [algebra_mode]. *)
+val mode_for : t -> [ `Interp | `Algebra ] -> Fixq.mode
+
+val hash_source : string -> string

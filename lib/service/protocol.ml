@@ -1,0 +1,114 @@
+type doc_source =
+  | From_xml of string
+  | From_path of string
+  | From_generator of { kind : string; size : float option; seed : int }
+
+type run_params = {
+  query : string;
+  engine : [ `Interp | `Algebra ];
+  mode : [ `Pinned | `Naive | `Delta ];
+  stratified : bool option;
+  max_iterations : int option;
+  timeout_ms : float option;
+  cache : bool;
+}
+
+type request =
+  | Run of run_params
+  | Check of { query : string; stratified : bool option }
+  | Plan of { query : string; stratified : bool option }
+  | Load_doc of { uri : string; source : doc_source }
+  | Unload_doc of { uri : string }
+  | Stats
+  | Ping
+  | Shutdown
+
+let request_id j = Json.member "id" j
+
+let query_of j =
+  match Json.str_opt (Json.member "query" j) with
+  | Some q -> Ok q
+  | None -> Error "missing string member \"query\""
+
+let ( let* ) r f = Result.bind r f
+
+let parse_request j =
+  match Json.str_opt (Json.member "op" j) with
+  | None -> Error "missing string member \"op\""
+  | Some op -> (
+    let stratified = Json.bool_opt (Json.member "stratified" j) in
+    match op with
+    | "run" ->
+      let* query = query_of j in
+      let* engine =
+        match Json.str_opt (Json.member "engine" j) with
+        | None | Some "interp" -> Ok `Interp
+        | Some "algebra" -> Ok `Algebra
+        | Some other ->
+          Error (Printf.sprintf "unknown engine %S (interp|algebra)" other)
+      in
+      let* mode =
+        match Json.str_opt (Json.member "mode" j) with
+        | None | Some "auto" -> Ok `Pinned
+        | Some "naive" -> Ok `Naive
+        | Some "delta" -> Ok `Delta
+        | Some other ->
+          Error (Printf.sprintf "unknown mode %S (auto|naive|delta)" other)
+      in
+      Ok
+        (Run
+           { query; engine; mode; stratified;
+             max_iterations = Json.int_opt (Json.member "max_iterations" j);
+             timeout_ms = Json.num_opt (Json.member "timeout_ms" j);
+             cache =
+               Option.value ~default:true
+                 (Json.bool_opt (Json.member "cache" j)) })
+    | "check" ->
+      let* query = query_of j in
+      Ok (Check { query; stratified })
+    | "plan" ->
+      let* query = query_of j in
+      Ok (Plan { query; stratified })
+    | "load-doc" -> (
+      match Json.str_opt (Json.member "uri" j) with
+      | None -> Error "missing string member \"uri\""
+      | Some uri ->
+        let* source =
+          match
+            ( Json.str_opt (Json.member "xml" j),
+              Json.str_opt (Json.member "path" j),
+              Json.str_opt (Json.member "generate" j) )
+          with
+          | (Some xml, None, None) -> Ok (From_xml xml)
+          | (None, Some path, None) -> Ok (From_path path)
+          | (None, None, Some kind) ->
+            Ok
+              (From_generator
+                 { kind;
+                   size = Json.num_opt (Json.member "size" j);
+                   seed =
+                     Option.value ~default:42
+                       (Json.int_opt (Json.member "seed" j)) })
+          | (None, None, None) ->
+            Error "load-doc needs one of \"xml\", \"path\", \"generate\""
+          | _ ->
+            Error "load-doc takes exactly one of \"xml\", \"path\", \"generate\""
+        in
+        Ok (Load_doc { uri; source }))
+    | "unload-doc" -> (
+      match Json.str_opt (Json.member "uri" j) with
+      | Some uri -> Ok (Unload_doc { uri })
+      | None -> Error "missing string member \"uri\"")
+    | "stats" -> Ok Stats
+    | "ping" -> Ok Ping
+    | "shutdown" -> Ok Shutdown
+    | other -> Error (Printf.sprintf "unknown op %S" other))
+
+let with_id ~id fields =
+  match id with Json.Null -> fields | id -> ("id", id) :: fields
+
+let error_response ~id msg =
+  Json.Obj (("ok", Json.Bool false) :: with_id ~id [ ("error", Json.Str msg) ])
+
+let ok_response ~id fields =
+  Json.Obj (("ok", Json.Bool true) :: with_id ~id fields)

@@ -1,0 +1,66 @@
+(** The newline-delimited JSON protocol of [fixq serve].
+
+    One request object per line, one response object per line. Every
+    request carries an ["op"] discriminator; an optional ["id"] member
+    of any JSON type is echoed verbatim in the response, so clients
+    talking to a multi-worker server can match responses to requests.
+
+    Ops:
+    - [{"op":"run","query":Q}] — evaluate. Optional: ["engine"]
+      ("interp"|"algebra"), ["mode"] ("auto"|"naive"|"delta"; "auto"
+      uses the mode pinned at preparation), ["stratified"] (bool),
+      ["max_iterations"] (int), ["timeout_ms"] (number), ["cache"]
+      (bool, default true — set false to bypass the result cache).
+    - [{"op":"check","query":Q}] — distributivity verdicts and pinned
+      modes, without running.
+    - [{"op":"plan","query":Q}] — ASCII algebra plan of the first IFP.
+    - [{"op":"load-doc","uri":U, ...}] — register a document; the
+      source is one of ["xml"] (inline), ["path"] (file), or
+      ["generate"] ("xmark"|"curriculum"|"play"|"hospital", with
+      optional ["size"], ["seed"]).
+    - [{"op":"unload-doc","uri":U}]
+    - [{"op":"stats"}] — cache counters, per-query latency aggregates.
+    - [{"op":"ping"}]
+    - [{"op":"shutdown"}] — answer, then stop the server.
+
+    Responses: [{"ok":true, ...}] or
+    [{"ok":false,"id":…,"error":"…"}]. *)
+
+type doc_source =
+  | From_xml of string
+  | From_path of string
+  | From_generator of { kind : string; size : float option; seed : int }
+
+type run_params = {
+  query : string;
+  engine : [ `Interp | `Algebra ];
+  mode : [ `Pinned | `Naive | `Delta ];
+      (** [`Pinned] = the preparation-time decision *)
+  stratified : bool option;  (** [None] = server default *)
+  max_iterations : int option;
+  timeout_ms : float option;
+  cache : bool;  (** [false] bypasses the result cache *)
+}
+
+type request =
+  | Run of run_params
+  | Check of { query : string; stratified : bool option }
+  | Plan of { query : string; stratified : bool option }
+  | Load_doc of { uri : string; source : doc_source }
+  | Unload_doc of { uri : string }
+  | Stats
+  | Ping
+  | Shutdown
+
+(** Parse a request object. [Error msg] on unknown ops, missing or
+    ill-typed members. *)
+val parse_request : Json.t -> (request, string) result
+
+(** The ["id"] member ([Null] when absent). *)
+val request_id : Json.t -> Json.t
+
+(** [{"ok":false,"id":…,"error":msg}] — ["id"] omitted when [Null]. *)
+val error_response : id:Json.t -> string -> Json.t
+
+(** [{"ok":true,"id":…} ∪ fields] — ["id"] omitted when [Null]. *)
+val ok_response : id:Json.t -> (string * Json.t) list -> Json.t

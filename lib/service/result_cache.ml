@@ -1,0 +1,22 @@
+type key = { hash : string; config : string; generation : int }
+
+type entry = {
+  serialized : string;
+  used_delta : bool option;
+  nodes_fed : int;
+  depth : int;
+  wall_ms : float;
+}
+
+type t = (string, entry) Lru.t
+
+let render { hash; config; generation } =
+  Printf.sprintf "%s|%s|%d" hash config generation
+
+let create ?(capacity = 256) () : t = Lru.create ~capacity ()
+let find t key = Lru.find t (render key)
+let put t key entry = Lru.put t (render key) entry
+let clear = Lru.clear
+let length = Lru.length
+let hits = Lru.hits
+let misses = Lru.misses

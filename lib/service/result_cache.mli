@@ -1,0 +1,34 @@
+(** The result cache: serialized query answers keyed by
+    [(query hash, engine/mode configuration, registry generation)].
+
+    The generation component makes invalidation precise without any
+    bookkeeping: a [load-doc] bumps the registry generation, every
+    subsequent lookup therefore misses, and the stale entries age out
+    of the LRU on their own. An entry stores the serialized result plus
+    the Table-2 instrumentation (nodes fed back, recursion depth) so a
+    cache hit can answer with the same statistics the original
+    execution reported. *)
+
+type key = {
+  hash : string;  (** prepared-query hash *)
+  config : string;  (** engine/mode/stratified discriminator *)
+  generation : int;  (** registry generation the result was computed at *)
+}
+
+type entry = {
+  serialized : string;
+  used_delta : bool option;
+  nodes_fed : int;
+  depth : int;
+  wall_ms : float;  (** cost of the original execution *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val find : t -> key -> entry option
+val put : t -> key -> entry -> unit
+val clear : t -> unit
+val length : t -> int
+val hits : t -> int
+val misses : t -> int

@@ -1,0 +1,407 @@
+module Xdm = Fixq_xdm
+
+type config = {
+  workers : int;
+  prepared_capacity : int;
+  result_capacity : int;
+  max_iterations : int;
+  timeout_ms : float option;
+  stratified : bool;
+}
+
+let default_config =
+  { workers = 1; prepared_capacity = 64; result_capacity = 256;
+    max_iterations = 100_000; timeout_ms = None; stratified = false }
+
+type t = {
+  config : config;
+  store : Store.t;
+  prepared : (string, Prepared.t) Lru.t;
+  results : Result_cache.t;
+  metrics : Metrics.t;
+  started_at : float;
+}
+
+let create ?(config = default_config) ?(store = Store.create ()) () =
+  { config; store;
+    prepared = Lru.create ~capacity:config.prepared_capacity ();
+    results = Result_cache.create ~capacity:config.result_capacity ();
+    metrics = Metrics.create (); started_at = Unix.gettimeofday () }
+
+let store t = t.store
+let config t = t.config
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let mode_string = function
+  | Fixq.Naive -> "naive"
+  | Fixq.Delta -> "delta"
+  | Fixq.Auto -> "auto"
+
+let preview query =
+  let flat =
+    String.map (function '\n' | '\r' | '\t' -> ' ' | c -> c) query
+  in
+  if String.length flat <= 60 then flat else String.sub flat 0 57 ^ "..."
+
+(* Prepared-query cache: keyed by source text (and the stratified flag,
+   which changes both distributivity checks). *)
+let get_prepared t ~stratified ~max_iterations query =
+  let key = (if stratified then "s|" else "p|") ^ query in
+  match Lru.find t.prepared key with
+  | Some p -> (p, "hit")
+  | None ->
+    let p = Prepared.prepare ~store:t.store ~stratified ~max_iterations query in
+    Lru.put t.prepared key p;
+    (p, "miss")
+
+let handle_run t ~id
+    { Protocol.query; engine; mode; stratified; max_iterations; timeout_ms;
+      cache } =
+  let stratified = Option.value ~default:t.config.stratified stratified in
+  let max_iterations =
+    Option.value ~default:t.config.max_iterations max_iterations
+  in
+  let timeout_ms =
+    match timeout_ms with Some _ as x -> x | None -> t.config.timeout_ms
+  in
+  let generation = Store.generation t.store in
+  let (prepared, prepared_status) =
+    get_prepared t ~stratified ~max_iterations query
+  in
+  let run_mode =
+    match mode with
+    | `Pinned -> Prepared.mode_for prepared engine
+    | `Naive -> Fixq.Naive
+    | `Delta -> Fixq.Delta
+  in
+  let engine_str = match engine with `Interp -> "interp" | `Algebra -> "algebra" in
+  let rkey =
+    { Result_cache.hash = prepared.Prepared.hash;
+      config =
+        Printf.sprintf "%s:%s:%b" engine_str (mode_string run_mode) stratified;
+      generation }
+  in
+  let respond ~result_status (entry : Result_cache.entry) =
+    Protocol.ok_response ~id
+      [ ("engine", Json.Str engine_str);
+        ("mode", Json.Str (mode_string run_mode));
+        ("used_delta", Json.of_bool_opt entry.Result_cache.used_delta);
+        ("prepared_cache", Json.Str prepared_status);
+        ("result_cache", Json.Str result_status);
+        ("generation", Json.of_int generation);
+        ("nodes_fed", Json.of_int entry.Result_cache.nodes_fed);
+        ("depth", Json.of_int entry.Result_cache.depth);
+        ("result", Json.Str entry.Result_cache.serialized);
+        ("wall_ms", Json.Num entry.Result_cache.wall_ms) ]
+  in
+  match (if cache then Result_cache.find t.results rkey else None) with
+  | Some entry -> respond ~result_status:"hit" entry
+  | None ->
+    let deadline =
+      Option.map (fun ms -> Unix.gettimeofday () +. (ms /. 1000.0)) timeout_ms
+    in
+    let fixq_engine =
+      match engine with
+      | `Interp -> Fixq.Interpreter run_mode
+      | `Algebra -> Fixq.Algebra run_mode
+    in
+    let report =
+      Fixq.run_program ~registry:(Store.registry t.store) ~max_iterations
+        ~stratified ?deadline ~engine:fixq_engine prepared.Prepared.program
+    in
+    let entry =
+      { Result_cache.serialized =
+          Xdm.Serializer.seq_to_string report.Fixq.result;
+        used_delta = report.Fixq.used_delta;
+        nodes_fed = report.Fixq.nodes_fed; depth = report.Fixq.depth;
+        wall_ms = report.Fixq.wall_ms }
+    in
+    (* Cache only when no document changed under the evaluation: a
+       concurrent load-doc would make this entry's generation stamp a
+       lie. *)
+    if cache && Store.generation t.store = generation then
+      Result_cache.put t.results rkey entry;
+    Metrics.record t.metrics ~key:prepared.Prepared.hash
+      ~label:(preview query) ~ms:report.Fixq.wall_ms;
+    respond ~result_status:"miss" entry
+
+let handle_check t ~id query stratified =
+  let stratified = Option.value ~default:t.config.stratified stratified in
+  let (p, prepared_status) =
+    get_prepared t ~stratified ~max_iterations:t.config.max_iterations query
+  in
+  Protocol.ok_response ~id
+    [ ("ifp_count", Json.of_int p.Prepared.ifp_count);
+      ("syntactic", Json.Bool p.Prepared.syntactic);
+      ("algebraic", Json.of_bool_opt p.Prepared.algebraic);
+      ("interp_mode", Json.Str (mode_string p.Prepared.interp_mode));
+      ("algebra_mode", Json.Str (mode_string p.Prepared.algebra_mode));
+      ("stratified", Json.Bool stratified);
+      ("warnings",
+       Json.List (List.map (fun w -> Json.Str w) p.Prepared.warnings));
+      ("prepared_cache", Json.Str prepared_status) ]
+
+let handle_plan t ~id query stratified =
+  let stratified = Option.value ~default:t.config.stratified stratified in
+  let (p, prepared_status) =
+    get_prepared t ~stratified ~max_iterations:t.config.max_iterations query
+  in
+  match p.Prepared.plan with
+  | None ->
+    Protocol.error_response ~id
+      "no compilable IFP body found (interpreter-only query)"
+  | Some (_, plan) ->
+    Protocol.ok_response ~id
+      [ ("distributive", Json.of_bool_opt p.Prepared.algebraic);
+        ("prepared_cache", Json.Str prepared_status);
+        ("plan", Json.Str (Fixq_algebra.Render.to_ascii plan)) ]
+
+let handle_load_doc t ~id uri (source : Protocol.doc_source) =
+  (match source with
+  | Protocol.From_xml xml -> Store.load_xml t.store ~uri xml
+  | Protocol.From_path path -> Store.load_file t.store ~uri path
+  | Protocol.From_generator { kind; size; seed } ->
+    let size =
+      match size with
+      | Some s -> s
+      | None -> (
+        match kind with "xmark" -> 0.002 | "hospital" -> 1000.0 | _ -> 100.0)
+    in
+    Store.load_generated t.store ~uri ~kind ~size ~seed);
+  Protocol.ok_response ~id
+    [ ("uri", Json.Str uri);
+      ("generation", Json.of_int (Store.generation t.store)) ]
+
+let cache_stats_json ~hits ~misses ~size ~capacity =
+  Json.Obj
+    [ ("hits", Json.of_int hits); ("misses", Json.of_int misses);
+      ("size", Json.of_int size); ("capacity", Json.of_int capacity) ]
+
+let handle_stats t ~id =
+  Protocol.ok_response ~id
+    [ ("stats",
+       Json.Obj
+         [ ("generation", Json.of_int (Store.generation t.store));
+           ("documents",
+            Json.List
+              (List.map (fun u -> Json.Str u) (Store.uris t.store)));
+           ("prepared",
+            cache_stats_json ~hits:(Lru.hits t.prepared)
+              ~misses:(Lru.misses t.prepared) ~size:(Lru.length t.prepared)
+              ~capacity:(Lru.capacity t.prepared));
+           ("results",
+            cache_stats_json ~hits:(Result_cache.hits t.results)
+              ~misses:(Result_cache.misses t.results)
+              ~size:(Result_cache.length t.results)
+              ~capacity:t.config.result_capacity);
+           ("queries", Metrics.to_json t.metrics);
+           ("uptime_ms",
+            Json.Num ((Unix.gettimeofday () -. t.started_at) *. 1000.0)) ]) ]
+
+let handle t request =
+  let id = Protocol.request_id request in
+  match Protocol.parse_request request with
+  | Error msg -> (Protocol.error_response ~id msg, false)
+  | Ok req -> (
+    try
+      match req with
+      | Protocol.Run r -> (handle_run t ~id r, false)
+      | Protocol.Check { query; stratified } ->
+        (handle_check t ~id query stratified, false)
+      | Protocol.Plan { query; stratified } ->
+        (handle_plan t ~id query stratified, false)
+      | Protocol.Load_doc { uri; source } ->
+        (handle_load_doc t ~id uri source, false)
+      | Protocol.Unload_doc { uri } ->
+        Store.unload t.store uri;
+        ( Protocol.ok_response ~id
+            [ ("uri", Json.Str uri);
+              ("generation", Json.of_int (Store.generation t.store)) ],
+          false )
+      | Protocol.Stats -> (handle_stats t ~id, false)
+      | Protocol.Ping -> (Protocol.ok_response ~id [ ("pong", Json.Bool true) ], false)
+      | Protocol.Shutdown ->
+        (Protocol.ok_response ~id [ ("shutdown", Json.Bool true) ], true)
+    with
+    | Prepared.Rejected msg | Store.Error msg | Fixq.Error msg ->
+      (Protocol.error_response ~id msg, false)
+    | exn ->
+      (* A request must never take the server down. *)
+      (Protocol.error_response ~id
+         ("internal error: " ^ Printexc.to_string exn),
+       false))
+
+let handle_line t line =
+  match Json.parse line with
+  | request ->
+    let (response, shutdown) = handle t request in
+    (Json.to_string response, shutdown)
+  | exception Json.Parse_error msg ->
+    (Json.to_string (Protocol.error_response ~id:Json.Null msg), false)
+
+(* ------------------------------------------------------------------ *)
+(* Worker pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Pool = struct
+  type pool = {
+    jobs : (unit -> unit) Queue.t;
+    lock : Mutex.t;
+    nonempty : Condition.t;
+    idle : Condition.t;
+    mutable stop : bool;
+    mutable active : int;
+    mutable threads : Thread.t list;
+  }
+
+  let rec worker p =
+    Mutex.lock p.lock;
+    while Queue.is_empty p.jobs && not p.stop do
+      Condition.wait p.nonempty p.lock
+    done;
+    if Queue.is_empty p.jobs then Mutex.unlock p.lock (* stopping *)
+    else begin
+      let job = Queue.pop p.jobs in
+      p.active <- p.active + 1;
+      Mutex.unlock p.lock;
+      (try job () with _ -> ());
+      Mutex.lock p.lock;
+      p.active <- p.active - 1;
+      if Queue.is_empty p.jobs && p.active = 0 then Condition.broadcast p.idle;
+      Mutex.unlock p.lock;
+      worker p
+    end
+
+  let create n =
+    let p =
+      { jobs = Queue.create (); lock = Mutex.create ();
+        nonempty = Condition.create (); idle = Condition.create ();
+        stop = false; active = 0; threads = [] }
+    in
+    p.threads <- List.init (max 1 n) (fun _ -> Thread.create worker p);
+    p
+
+  let submit p job =
+    Mutex.lock p.lock;
+    Queue.push job p.jobs;
+    Condition.signal p.nonempty;
+    Mutex.unlock p.lock
+
+  (* Block until every submitted job has finished. *)
+  let drain p =
+    Mutex.lock p.lock;
+    while not (Queue.is_empty p.jobs && p.active = 0) do
+      Condition.wait p.idle p.lock
+    done;
+    Mutex.unlock p.lock
+
+  let shutdown p =
+    drain p;
+    Mutex.lock p.lock;
+    p.stop <- true;
+    Condition.broadcast p.nonempty;
+    Mutex.unlock p.lock;
+    List.iter Thread.join p.threads
+end
+
+(* ------------------------------------------------------------------ *)
+(* Transports                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let is_shutdown_line line =
+  match Json.parse line with
+  | j -> Json.str_opt (Json.member "op" j) = Some "shutdown"
+  | exception Json.Parse_error _ -> false
+
+let serve_pipe t ic oc =
+  let out_lock = Mutex.create () in
+  let write_line s =
+    Mutex.lock out_lock;
+    output_string oc s;
+    output_char oc '\n';
+    flush oc;
+    Mutex.unlock out_lock
+  in
+  if t.config.workers <= 1 then
+    let rec loop () =
+      match input_line ic with
+      | exception End_of_file -> ()
+      | line when String.trim line = "" -> loop ()
+      | line ->
+        let (response, shutdown) = handle_line t line in
+        write_line response;
+        if not shutdown then loop ()
+    in
+    loop ()
+  else begin
+    let pool = Pool.create t.config.workers in
+    let rec loop () =
+      match input_line ic with
+      | exception End_of_file -> ()
+      | line when String.trim line = "" -> loop ()
+      | line ->
+        if is_shutdown_line line then begin
+          (* answer shutdown only after in-flight requests completed *)
+          Pool.drain pool;
+          let (response, _) = handle_line t line in
+          write_line response
+        end
+        else begin
+          Pool.submit pool (fun () ->
+              let (response, _) = handle_line t line in
+              write_line response);
+          loop ()
+        end
+    in
+    loop ();
+    Pool.shutdown pool
+  end
+
+let serve_socket t ~path =
+  (* a client hanging up mid-response must not kill the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  if Sys.file_exists path then Unix.unlink path;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 64;
+  let stopping = ref false in
+  let pool = Pool.create t.config.workers in
+  let handle_conn fd =
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    let rec loop () =
+      match input_line ic with
+      | exception End_of_file -> ()
+      | exception Sys_error _ -> ()
+      | line when String.trim line = "" -> loop ()
+      | line ->
+        let (response, shutdown) = handle_line t line in
+        (try
+           output_string oc response;
+           output_char oc '\n';
+           flush oc
+         with Sys_error _ -> ());
+        if shutdown then begin
+          stopping := true;
+          (* wake the accept loop *)
+          (try Unix.shutdown sock Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ());
+          (try Unix.close sock with Unix.Unix_error _ -> ())
+        end
+        else loop ()
+    in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      loop
+  in
+  (try
+     while not !stopping do
+       let (fd, _) = Unix.accept sock in
+       Pool.submit pool (fun () -> handle_conn fd)
+     done
+   with Unix.Unix_error _ | Sys_error _ -> ());
+  Pool.shutdown pool;
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  if Sys.file_exists path then (try Unix.unlink path with Sys_error _ -> ())

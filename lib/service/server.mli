@@ -1,0 +1,51 @@
+(** The [fixq serve] server: long-lived state (document store,
+    prepared-query cache, result cache, metrics) plus the two
+    transports — newline-delimited JSON over a Unix-domain socket, or
+    over stdin/stdout ([--pipe], the mode tests drive).
+
+    Request handling is synchronous and thread-safe; the worker pool
+    ([config.workers] threads with a mutex-guarded job queue) lets
+    several clients — or, in pipe mode, several in-flight requests —
+    evaluate concurrently. Per-request failures of any kind (parse
+    errors, dynamic errors, iteration budgets, deadlines) become
+    [{"ok":false,…}] responses; nothing short of transport EOF or an
+    explicit [shutdown] op stops the server. *)
+
+type config = {
+  workers : int;  (** worker threads (default 1) *)
+  prepared_capacity : int;  (** prepared-query LRU entries (64) *)
+  result_capacity : int;  (** result LRU entries (256) *)
+  max_iterations : int;
+      (** default per-request IFP iteration budget (100,000) *)
+  timeout_ms : float option;
+      (** default per-request wall-clock budget (none) *)
+  stratified : bool;  (** default for the Section-6 refinement *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> ?store:Store.t -> unit -> t
+val store : t -> Store.t
+val config : t -> config
+
+(** Handle one request object. Returns the response and whether this
+    was a [shutdown]. Never raises. *)
+val handle : t -> Json.t -> Json.t * bool
+
+(** {!handle} on raw wire lines (invalid JSON becomes an error
+    response). *)
+val handle_line : t -> string -> string * bool
+
+(** Serve requests line-by-line from [ic] to [oc] until EOF or a
+    [shutdown] op. With [workers > 1], requests are dispatched to the
+    pool and responses may interleave out of request order — clients
+    should tag requests with ["id"]. *)
+val serve_pipe : t -> in_channel -> out_channel -> unit
+
+(** Listen on a Unix-domain socket at [path] (unlinking any stale
+    socket first), serving each connection from the worker pool. A
+    [shutdown] op from any client stops accepting, drains in-flight
+    work and returns. *)
+val serve_socket : t -> path:string -> unit

@@ -1,0 +1,54 @@
+module Xdm = Fixq_xdm
+module W = Fixq_workloads
+
+type t = { reg : Xdm.Doc_registry.t }
+
+exception Error of string
+
+let create ?(registry = Xdm.Doc_registry.create ()) () = { reg = registry }
+let registry t = t.reg
+let generation t = Xdm.Doc_registry.generation ~registry:t.reg ()
+
+let load_xml t ~uri xml =
+  match Xdm.Xml_parser.parse_string ~uri xml with
+  | doc -> Xdm.Doc_registry.register ~registry:t.reg uri doc
+  | exception Xdm.Xml_parser.Parse_error { line; col; msg } ->
+    raise
+      (Error
+         (Printf.sprintf "cannot parse document %S at %d:%d: %s" uri line col
+            msg))
+
+let load_file t ~uri path =
+  let contents =
+    try
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    with Sys_error msg -> raise (Error ("cannot read " ^ msg))
+  in
+  load_xml t ~uri contents
+
+let load_generated t ~uri ~kind ~size ~seed =
+  let doc =
+    match kind with
+    | "xmark" -> W.Xmark.generate { W.Xmark.default with scale = size; seed }
+    | "curriculum" ->
+      W.Curriculum.generate
+        { W.Curriculum.default with courses = int_of_float size; seed }
+    | "play" -> W.Shakespeare.generate { W.Shakespeare.default with seed }
+    | "hospital" ->
+      W.Hospital.generate
+        { W.Hospital.default with total = int_of_float size; seed }
+    | other ->
+      raise
+        (Error
+           (Printf.sprintf
+              "unknown generator %S (expected xmark|curriculum|play|hospital)"
+              other))
+  in
+  Xdm.Doc_registry.register ~registry:t.reg uri doc
+
+let unload t uri = Xdm.Doc_registry.unregister ~registry:t.reg uri
+let uris t = Xdm.Doc_registry.uris ~registry:t.reg ()

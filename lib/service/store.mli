@@ -1,0 +1,37 @@
+(** The server's document store: a {!Fixq_xdm.Doc_registry.t} plus the
+    loading front ends the protocol's [load-doc] op needs (inline XML,
+    file system, or one of the benchmark workload generators).
+
+    Versioning itself lives in the registry — every mutation bumps its
+    generation counter — so this module is mostly a convenience veneer;
+    what it adds is uniform error reporting ({!Error} instead of four
+    different exceptions) and the generator dispatch. *)
+
+type t
+
+exception Error of string
+
+val create : ?registry:Fixq_xdm.Doc_registry.t -> unit -> t
+val registry : t -> Fixq_xdm.Doc_registry.t
+
+(** Current registry generation — the result cache's version stamp. *)
+val generation : t -> int
+
+(** Parse [xml] and register it under [uri]. *)
+val load_xml : t -> uri:string -> string -> unit
+
+(** Read and parse the file at [path], register under [uri]. *)
+val load_file : t -> uri:string -> string -> unit
+
+(** Generate a benchmark document and register it under [uri]. [kind]
+    is one of ["xmark"], ["curriculum"], ["play"], ["hospital"]; [size]
+    is the scale factor (xmark) or element count (curriculum/hospital,
+    truncated to int). *)
+val load_generated :
+  t -> uri:string -> kind:string -> size:float -> seed:int -> unit
+
+(** Drop a document. No error if the URI was not registered (the
+    generation is only bumped when something was actually removed). *)
+val unload : t -> string -> unit
+
+val uris : t -> string list

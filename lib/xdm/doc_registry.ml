@@ -1,14 +1,33 @@
-type t = (string, Node.t) Hashtbl.t
+type t = {
+  docs : (string, Node.t) Hashtbl.t;
+  lock : Mutex.t;
+  mutable generation : int;
+}
 
-let create () : t = Hashtbl.create 8
+let create () : t =
+  { docs = Hashtbl.create 8; lock = Mutex.create (); generation = 0 }
+
 let default : t = create ()
+
+let with_lock registry f =
+  Mutex.lock registry.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry.lock) f
 
 let register ?(registry = default) uri doc =
   Node.set_uri doc uri;
-  Hashtbl.replace registry uri doc
+  with_lock registry (fun () ->
+      Hashtbl.replace registry.docs uri doc;
+      registry.generation <- registry.generation + 1)
+
+let unregister ?(registry = default) uri =
+  with_lock registry (fun () ->
+      if Hashtbl.mem registry.docs uri then begin
+        Hashtbl.remove registry.docs uri;
+        registry.generation <- registry.generation + 1
+      end)
 
 let find ?(registry = default) uri =
-  match Hashtbl.find_opt registry uri with
+  match with_lock registry (fun () -> Hashtbl.find_opt registry.docs uri) with
   | Some d -> Some d
   | None ->
     if Sys.file_exists uri then begin
@@ -18,10 +37,26 @@ let find ?(registry = default) uri =
       close_in ic;
       match Xml_parser.parse_string ~uri s with
       | doc ->
-        Hashtbl.replace registry uri doc;
-        Some doc
+        with_lock registry (fun () ->
+            match Hashtbl.find_opt registry.docs uri with
+            | Some d -> Some d  (* lost a race; keep doc stability *)
+            | None ->
+              Hashtbl.replace registry.docs uri doc;
+              registry.generation <- registry.generation + 1;
+              Some doc)
       | exception Xml_parser.Parse_error _ -> None
     end
     else None
 
-let clear ?(registry = default) () = Hashtbl.reset registry
+let generation ?(registry = default) () =
+  with_lock registry (fun () -> registry.generation)
+
+let uris ?(registry = default) () =
+  with_lock registry (fun () ->
+      Hashtbl.fold (fun uri _ acc -> uri :: acc) registry.docs []
+      |> List.sort String.compare)
+
+let clear ?(registry = default) () =
+  with_lock registry (fun () ->
+      Hashtbl.reset registry.docs;
+      registry.generation <- registry.generation + 1)

@@ -4,7 +4,15 @@
     benchmark and test harnesses register generated documents under the
     URIs the paper's queries use ([doc("curriculum.xml")],
     [doc("auction.xml")], …). A registered URI always returns the same
-    node, preserving [doc] stability as required by XQuery. *)
+    node, preserving [doc] stability as required by XQuery.
+
+    Each registry carries a {e generation counter}, bumped on every
+    mutation of the visible document set ({!register}, {!unregister},
+    {!clear}, and the file-system fallback of {!find}). Long-lived
+    consumers — the [fixq serve] result cache in particular — key
+    cached answers on the generation, so a document swap invalidates
+    exactly the answers it could have changed. All operations are
+    thread-safe (a per-registry mutex guards the table and counter). *)
 
 (** Isolated registry instances let tests avoid cross-talk. *)
 type t
@@ -16,8 +24,19 @@ val default : t
 
 val register : ?registry:t -> string -> Node.t -> unit
 
+(** Remove a URI from the registry. Bumps the generation only when the
+    URI was actually registered. *)
+val unregister : ?registry:t -> string -> unit
+
 (** [find uri] returns the registered document. Falls back to parsing
     the file at [uri] if nothing is registered and the file exists. *)
 val find : ?registry:t -> string -> Node.t option
+
+(** Number of visible-document-set mutations so far; starts at [0] for
+    a fresh registry. *)
+val generation : ?registry:t -> unit -> int
+
+(** Registered URIs, sorted. *)
+val uris : ?registry:t -> unit -> string list
 
 val clear : ?registry:t -> unit -> unit

@@ -1,0 +1,87 @@
+End-to-end coverage for the query service: a pipe-mode session that
+exercises prepared-query caching, generation-based result invalidation,
+error degradation, and the stats counters.
+
+  $ cat > curriculum.xml <<'XML'
+  > <!DOCTYPE curriculum [ <!ATTLIST course code ID #REQUIRED> ]>
+  > <curriculum>
+  >   <course code="c1"><prerequisites><pre_code>c2</pre_code><pre_code>c3</pre_code></prerequisites></course>
+  >   <course code="c2"><prerequisites><pre_code>c4</pre_code></prerequisites></course>
+  >   <course code="c3"><prerequisites/></course>
+  >   <course code="c4"><prerequisites/></course>
+  > </curriculum>
+  > XML
+
+The session: ping, load the document, run the same IFP query twice
+(second run must hit both caches), reload the document (bumping the
+registry generation), run again (prepared hit, result miss), check a
+query, send a parse error, a divergent IFP with a tight iteration
+budget, then ask for stats and shut down.
+
+  $ cat > session.jsonl <<'EOF'
+  > {"op":"ping","id":1}
+  > {"op":"load-doc","id":2,"uri":"curriculum.xml","path":"curriculum.xml"}
+  > {"op":"run","id":3,"query":"count(with $x seeded by doc(\"curriculum.xml\")/curriculum/course[@code=\"c1\"] recurse $x/id(./prerequisites/pre_code))"}
+  > {"op":"run","id":4,"query":"count(with $x seeded by doc(\"curriculum.xml\")/curriculum/course[@code=\"c1\"] recurse $x/id(./prerequisites/pre_code))"}
+  > {"op":"load-doc","id":5,"uri":"curriculum.xml","path":"curriculum.xml"}
+  > {"op":"run","id":6,"query":"count(with $x seeded by doc(\"curriculum.xml\")/curriculum/course[@code=\"c1\"] recurse $x/id(./prerequisites/pre_code))"}
+  > {"op":"check","id":7,"query":"with $x seeded by doc(\"curriculum.xml\")/curriculum/course[@code=\"c1\"] recurse $x/id(./prerequisites/pre_code)"}
+  > {"op":"run","id":8,"query":"1 +"}
+  > {"op":"run","id":9,"query":"with $x seeded by <a/> recurse <b/>","max_iterations":10}
+  > {"op":"stats","id":10}
+  > {"op":"shutdown","id":11}
+  > EOF
+
+  $ fixq serve --pipe < session.jsonl > out.jsonl
+  $ grep -c . out.jsonl
+  11
+
+Every response except stats is deterministic once the timing field is
+stripped:
+
+  $ sed -E 's/,"wall_ms":[0-9.e+-]+//' out.jsonl | sed -n '1,9p'
+  {"ok":true,"id":1,"pong":true}
+  {"ok":true,"id":2,"uri":"curriculum.xml","generation":1}
+  {"ok":true,"id":3,"engine":"interp","mode":"delta","used_delta":true,"prepared_cache":"miss","result_cache":"miss","generation":1,"nodes_fed":4,"depth":3,"result":"3"}
+  {"ok":true,"id":4,"engine":"interp","mode":"delta","used_delta":true,"prepared_cache":"hit","result_cache":"hit","generation":1,"nodes_fed":4,"depth":3,"result":"3"}
+  {"ok":true,"id":5,"uri":"curriculum.xml","generation":2}
+  {"ok":true,"id":6,"engine":"interp","mode":"delta","used_delta":true,"prepared_cache":"hit","result_cache":"miss","generation":2,"nodes_fed":4,"depth":3,"result":"3"}
+  {"ok":true,"id":7,"ifp_count":1,"syntactic":true,"algebraic":true,"interp_mode":"delta","algebra_mode":"delta","stratified":false,"warnings":[],"prepared_cache":"miss"}
+  {"ok":false,"id":8,"error":"parse error at 1:4: expected an expression, found end of input"}
+  {"ok":false,"id":9,"error":"IFP diverged after 11 iterations"}
+  $ sed -n '11p' out.jsonl
+  {"ok":true,"id":11,"shutdown":true}
+
+The stats response carries per-query latency aggregates (variable), but
+the cache counters are exact: four prepared misses (q1, the check, the
+parse error, the divergent query), two hits (the repeat runs), one
+result-cache hit, and three misses (first run, post-reload run, the
+divergent attempt).
+
+  $ grep -o '"prepared":{[^}]*}' out.jsonl
+  "prepared":{"hits":2,"misses":4,"size":3,"capacity":64}
+  $ grep -o '"results":{[^}]*}' out.jsonl
+  "results":{"hits":1,"misses":3,"size":2,"capacity":256}
+  $ grep -o '"documents":\[[^]]*\]' out.jsonl
+  "documents":["curriculum.xml"]
+
+A deadline in the past degrades to an error response without killing
+the server:
+
+  $ printf '%s\n%s\n%s\n' \
+  >   '{"op":"run","query":"with $x seeded by <a/> recurse <b/>","timeout_ms":0}' \
+  >   '{"op":"run","query":"1 + 1"}' \
+  >   '{"op":"shutdown"}' \
+  >   | fixq serve --pipe | sed -E 's/,"wall_ms":[0-9.e+-]+//'
+  {"ok":false,"error":"deadline exceeded during IFP evaluation"}
+  {"ok":true,"engine":"interp","mode":"naive","used_delta":null,"prepared_cache":"miss","result_cache":"miss","generation":0,"nodes_fed":0,"depth":0,"result":"2"}
+  {"ok":true,"shutdown":true}
+
+Documents can be preloaded from the command line:
+
+  $ printf '%s\n%s\n' \
+  >   '{"op":"run","query":"count(doc(\"curriculum.xml\")/curriculum/course)"}' \
+  >   '{"op":"shutdown"}' \
+  >   | fixq serve --pipe --doc curriculum.xml=curriculum.xml \
+  >   | sed -E 's/,"wall_ms":[0-9.e+-]+//' | head -1
+  {"ok":true,"engine":"interp","mode":"naive","used_delta":null,"prepared_cache":"miss","result_cache":"miss","generation":1,"nodes_fed":0,"depth":0,"result":"4"}

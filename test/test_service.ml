@@ -1,0 +1,393 @@
+(* The fixq_service subsystem: JSON wire format, LRU caches, registry
+   generations, the prepared-query layer, and the server's caching and
+   failure behaviour end-to-end (through Server.handle_line, exactly
+   what the pipe/socket transports feed). *)
+
+module Service = Fixq_service
+module Json = Service.Json
+module Lru = Service.Lru
+module Store = Service.Store
+module Prepared = Service.Prepared
+module Server = Service.Server
+module Doc_registry = Fixq_xdm.Doc_registry
+module Parser = Fixq_lang.Parser
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let samples =
+    [ "null"; "true"; "false"; "0"; "-12"; "3.5"; "\"\"";
+      "\"a \\\"b\\\" \\\\ \\n\""; "[]"; "[1,2,3]"; "{}";
+      "{\"a\":1,\"b\":[true,null],\"c\":{\"d\":\"e\"}}" ]
+  in
+  List.iter
+    (fun s -> checks s s (Json.to_string (Json.parse s)))
+    samples
+
+let test_json_unicode () =
+  checks "u-escape" "\"é\"" (Json.to_string (Json.parse {|"\u00e9"|}));
+  (* surrogate pair: U+1F600 *)
+  checks "surrogate" "\"\240\159\152\128\""
+    (Json.to_string (Json.parse {|"\ud83d\ude00"|}));
+  checks "control" {|"a\nb"|} (Json.to_string (Json.parse "\"a\\nb\""))
+
+let test_json_errors () =
+  let fails s =
+    match Json.parse s with
+    | _ -> Alcotest.failf "expected parse failure on %S" s
+    | exception Json.Parse_error _ -> ()
+  in
+  List.iter fails
+    [ ""; "{"; "[1,"; "tru"; "\"unterminated"; "1 2"; "{\"a\" 1}";
+      "{\"a\":}"; "nul"; "[1]]" ]
+
+let test_json_members () =
+  let j = Json.parse {|{"op":"run","n":3,"b":true,"f":2.5}|} in
+  checks "op" "run" (Option.get (Json.str_opt (Json.member "op" j)));
+  checki "n" 3 (Option.get (Json.int_opt (Json.member "n" j)));
+  checkb "b" true (Option.get (Json.bool_opt (Json.member "b" j)));
+  checkb "f not int" true (Json.int_opt (Json.member "f" j) = None);
+  checkb "absent" true (Json.member "missing" j = Json.Null)
+
+(* ------------------------------------------------------------------ *)
+(* Lru                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_lru_eviction () =
+  let c = Lru.create ~capacity:2 () in
+  Lru.put c "a" 1;
+  Lru.put c "b" 2;
+  Lru.put c "c" 3;  (* evicts a *)
+  checkb "a evicted" true (Lru.find c "a" = None);
+  checkb "b live" true (Lru.find c "b" = Some 2);
+  checkb "c live" true (Lru.find c "c" = Some 3);
+  checki "len" 2 (Lru.length c)
+
+let test_lru_promotion () =
+  let c = Lru.create ~capacity:2 () in
+  Lru.put c "a" 1;
+  Lru.put c "b" 2;
+  ignore (Lru.find c "a");  (* a becomes MRU, b is now LRU *)
+  Lru.put c "c" 3;  (* evicts b *)
+  checkb "b evicted" true (Lru.find c "b" = None);
+  checkb "a survived" true (Lru.find c "a" = Some 1);
+  check
+    Alcotest.(list string)
+    "mru order" [ "a"; "c" ]
+    (List.sort compare (Lru.keys c))
+
+let test_lru_counters () =
+  let c = Lru.create ~capacity:4 () in
+  ignore (Lru.find c "x");  (* miss *)
+  Lru.put c "x" 0;
+  ignore (Lru.find c "x");  (* hit *)
+  ignore (Lru.find c "y");  (* miss *)
+  checki "hits" 1 (Lru.hits c);
+  checki "misses" 2 (Lru.misses c)
+
+(* ------------------------------------------------------------------ *)
+(* Doc_registry generations                                            *)
+(* ------------------------------------------------------------------ *)
+
+let parse_doc xml = Fixq_xdm.Xml_parser.parse_string ~uri:"t.xml" xml
+
+let test_registry_generation () =
+  let registry = Doc_registry.create () in
+  let gen () = Doc_registry.generation ~registry () in
+  checki "fresh" 0 (gen ());
+  Doc_registry.register ~registry "a.xml" (parse_doc "<a/>");
+  checki "after register" 1 (gen ());
+  Doc_registry.register ~registry "a.xml" (parse_doc "<a2/>");
+  checki "re-register bumps" 2 (gen ());
+  Doc_registry.unregister ~registry "missing.xml";
+  checki "no-op unregister keeps" 2 (gen ());
+  Doc_registry.unregister ~registry "a.xml";
+  checki "unregister bumps" 3 (gen ());
+  checkb "gone" true (Doc_registry.find ~registry "a.xml" = None);
+  Doc_registry.register ~registry "b.xml" (parse_doc "<b/>");
+  Doc_registry.clear ~registry ();
+  checki "clear bumps" 5 (gen ());
+  check Alcotest.(list string) "uris empty" [] (Doc_registry.uris ~registry ())
+
+(* ------------------------------------------------------------------ *)
+(* Prepared                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let curriculum_xml =
+  {|<!DOCTYPE curriculum [ <!ATTLIST course code ID #REQUIRED> ]>
+<curriculum>
+  <course code="c1"><prerequisites><pre_code>c2</pre_code><pre_code>c3</pre_code></prerequisites></course>
+  <course code="c2"><prerequisites><pre_code>c4</pre_code></prerequisites></course>
+  <course code="c3"><prerequisites/></course>
+  <course code="c4"><prerequisites/></course>
+</curriculum>|}
+
+let q1 =
+  {|with $x seeded by doc("curriculum.xml")/curriculum/course[@code="c1"]
+    recurse $x/id(./prerequisites/pre_code)|}
+
+let q2 =
+  {|let $seed := (<a/>,<b><c><d/></c></b>) return
+    with $x seeded by $seed
+    recurse if (count($x/self::a)) then $x/* else ()|}
+
+let make_store () =
+  let store = Store.create () in
+  Store.load_xml store ~uri:"curriculum.xml" curriculum_xml;
+  store
+
+let prepare store q =
+  Prepared.prepare ~store ~stratified:false ~max_iterations:10_000 q
+
+let test_prepared_modes () =
+  let store = make_store () in
+  let p1 = prepare store q1 in
+  checki "q1 one ifp" 1 p1.Prepared.ifp_count;
+  checkb "q1 syntactic" true p1.Prepared.syntactic;
+  checkb "q1 algebraic" true (p1.Prepared.algebraic = Some true);
+  checkb "q1 interp pins delta" true (p1.Prepared.interp_mode = Fixq.Delta);
+  checkb "q1 algebra pins delta" true (p1.Prepared.algebra_mode = Fixq.Delta);
+  checkb "q1 has plan" true (p1.Prepared.plan <> None);
+  let p2 = prepare store q2 in
+  checkb "q2 syntactic" false p2.Prepared.syntactic;
+  checkb "q2 algebraic" true (p2.Prepared.algebraic = Some false);
+  checkb "q2 interp pins naive" true (p2.Prepared.interp_mode = Fixq.Naive);
+  checkb "q2 algebra pins naive" true (p2.Prepared.algebra_mode = Fixq.Naive);
+  let p3 = prepare store "1 + 1" in
+  checki "no ifp" 0 p3.Prepared.ifp_count;
+  checkb "no plan" true (p3.Prepared.plan = None)
+
+(* The prepared layer must agree with what `fixq check` reports — both
+   call the same verdicts, but this pins the wiring. *)
+let test_prepared_parity_with_check () =
+  let store = make_store () in
+  let registry = Store.registry store in
+  List.iter
+    (fun q ->
+      let p = prepare store q in
+      match
+        Fixq.distributivity_verdicts ~registry (Parser.parse_program q)
+      with
+      | None -> checki "no ifp" 0 p.Prepared.ifp_count
+      | Some (syn, alg) ->
+        checkb "syntactic parity" syn p.Prepared.syntactic;
+        checkb "algebraic parity" true (alg = p.Prepared.algebraic))
+    [ q1; q2; "count((1,2,3))" ]
+
+let test_prepared_multi_ifp_keeps_auto () =
+  let store = make_store () in
+  let q =
+    {|(with $x seeded by doc("curriculum.xml")/curriculum/course[@code="c1"]
+       recurse $x/id(./prerequisites/pre_code)),
+      (with $y seeded by doc("curriculum.xml")/curriculum/course[@code="c2"]
+       recurse $y/id(./prerequisites/pre_code))|}
+  in
+  let p = prepare store q in
+  checki "two ifps" 2 p.Prepared.ifp_count;
+  checkb "interp auto" true (p.Prepared.interp_mode = Fixq.Auto);
+  checkb "algebra auto" true (p.Prepared.algebra_mode = Fixq.Auto)
+
+let test_prepared_rejects () =
+  let store = make_store () in
+  let rejected q =
+    match prepare store q with
+    | _ -> Alcotest.failf "expected Rejected on %S" q
+    | exception Prepared.Rejected _ -> ()
+  in
+  rejected "1 +";  (* parse error *)
+  rejected "count($nope)"  (* static error *)
+
+(* ------------------------------------------------------------------ *)
+(* Server: caching and invalidation end-to-end                         *)
+(* ------------------------------------------------------------------ *)
+
+let mk_server () = Server.create ()
+
+let send server line =
+  let (response, _) = Server.handle_line server line in
+  Json.parse response
+
+let ok j = Json.bool_opt (Json.member "ok" j) = Some true
+let field name j = Json.member name j
+let sfield name j = Option.get (Json.str_opt (field name j))
+
+let load_doc_line =
+  Json.to_string
+    (Json.Obj
+       [ ("op", Json.Str "load-doc"); ("uri", Json.Str "curriculum.xml");
+         ("xml", Json.Str curriculum_xml) ])
+
+let run_line =
+  Json.to_string
+    (Json.Obj
+       [ ("op", Json.Str "run");
+         ("query",
+          Json.Str
+            ("count(" ^ q1 ^ ")")) ])
+
+(* The ISSUE's acceptance scenario: same query twice hits both caches;
+   a load-doc between runs invalidates the result cache but not the
+   prepared query; the stats op reports the counters. *)
+let test_server_cache_lifecycle () =
+  let server = mk_server () in
+  checkb "load ok" true (ok (send server load_doc_line));
+  let r1 = send server run_line in
+  checkb "r1 ok" true (ok r1);
+  checks "r1 result" "3" (sfield "result" r1);
+  checks "r1 prepared" "miss" (sfield "prepared_cache" r1);
+  checks "r1 results" "miss" (sfield "result_cache" r1);
+  checks "r1 mode" "delta" (sfield "mode" r1);
+  let r2 = send server run_line in
+  checks "r2 prepared" "hit" (sfield "prepared_cache" r2);
+  checks "r2 results" "hit" (sfield "result_cache" r2);
+  checks "r2 result" "3" (sfield "result" r2);
+  checki "r2 nodes_fed preserved" 4
+    (Option.get (Json.int_opt (field "nodes_fed" r2)));
+  (* swap the document: generation bump must invalidate results only *)
+  checkb "reload ok" true (ok (send server load_doc_line));
+  let r3 = send server run_line in
+  checks "r3 prepared survives reload" "hit" (sfield "prepared_cache" r3);
+  checks "r3 results invalidated" "miss" (sfield "result_cache" r3);
+  let r4 = send server run_line in
+  checks "r4 results hit again" "hit" (sfield "result_cache" r4);
+  let st = send server {|{"op":"stats"}|} in
+  let stats = field "stats" st in
+  let cache name counter =
+    Option.get (Json.int_opt (field counter (field name stats)))
+  in
+  checki "prepared hits" 3 (cache "prepared" "hits");
+  checki "prepared misses" 1 (cache "prepared" "misses");
+  checki "result hits" 2 (cache "results" "hits");
+  checki "result misses" 2 (cache "results" "misses");
+  checki "generation" 2
+    (Option.get (Json.int_opt (field "generation" stats)))
+
+let test_server_engines_agree () =
+  let server = mk_server () in
+  ignore (send server load_doc_line);
+  let run engine =
+    send server
+      (Json.to_string
+         (Json.Obj
+            [ ("op", Json.Str "run"); ("engine", Json.Str engine);
+              ("query", Json.Str ("count(" ^ q1 ^ ")")) ]))
+  in
+  let ri = run "interp" in
+  let ra = run "algebra" in
+  checkb "both ok" true (ok ri && ok ra);
+  checks "same result" (sfield "result" ri) (sfield "result" ra);
+  (* distinct engine configurations must not share result-cache slots *)
+  checks "algebra cold" "miss" (sfield "result_cache" ra)
+
+let test_server_failures_stay_up () =
+  let server = mk_server () in
+  let err line =
+    let r = send server line in
+    checkb ("not ok: " ^ line) false (ok r);
+    Option.get (Json.str_opt (field "error" r))
+  in
+  ignore (err "this is not json");
+  ignore (err {|{"no_op":1}|});
+  ignore (err {|{"op":"frobnicate"}|});
+  ignore (err {|{"op":"run"}|});
+  ignore (err {|{"op":"run","query":"1 +"}|});
+  ignore (err {|{"op":"run","query":"count($nope)"}|});
+  ignore (err {|{"op":"load-doc","uri":"x.xml","xml":"<unclosed>"}|});
+  ignore (err {|{"op":"load-doc","uri":"x.xml","generate":"nope"}|});
+  (* iteration budget: divergent IFP degrades to an error response *)
+  let e =
+    err {|{"op":"run","query":"with $x seeded by <a/> recurse <b/>","max_iterations":10}|}
+  in
+  checkb "diverged reported" true
+    (String.length e > 0 && String.sub e 0 12 = "IFP diverged");
+  (* wall-clock budget: a deadline in the past trips on round one *)
+  let e =
+    err {|{"op":"run","query":"with $x seeded by <a/> recurse <b/>","timeout_ms":0}|}
+  in
+  checkb "deadline reported" true
+    (String.length e >= 8 && String.sub e 0 8 = "deadline");
+  (* and the server still serves *)
+  let r = send server {|{"op":"run","query":"1 + 1"}|} in
+  checkb "alive" true (ok r);
+  checks "alive result" "2" (sfield "result" r)
+
+let test_server_cache_bypass () =
+  let server = mk_server () in
+  ignore (send server load_doc_line);
+  let line =
+    Json.to_string
+      (Json.Obj
+         [ ("op", Json.Str "run"); ("cache", Json.Bool false);
+           ("query", Json.Str ("count(" ^ q1 ^ ")")) ])
+  in
+  let r1 = send server line in
+  let r2 = send server line in
+  checks "bypass never hits" "miss" (sfield "result_cache" r2);
+  checks "but prepared does" "hit" (sfield "prepared_cache" r2);
+  checkb "results agree" true (sfield "result" r1 = sfield "result" r2)
+
+let test_server_shutdown_and_ids () =
+  let server = mk_server () in
+  let (resp, stop) = Server.handle_line server {|{"op":"ping","id":42}|} in
+  checkb "ping continues" false stop;
+  let j = Json.parse resp in
+  checki "id echoed" 42 (Option.get (Json.int_opt (field "id" j)));
+  let (resp, stop) =
+    Server.handle_line server {|{"op":"shutdown","id":"bye"}|}
+  in
+  checkb "shutdown stops" true stop;
+  checks "id echoed on shutdown" "bye" (sfield "id" (Json.parse resp))
+
+let test_server_unload_and_generated () =
+  let server = mk_server () in
+  let r =
+    send server
+      {|{"op":"load-doc","uri":"c.xml","generate":"curriculum","size":12,"seed":5}|}
+  in
+  checkb "generated ok" true (ok r);
+  let r = send server {|{"op":"run","query":"count(doc(\"c.xml\")/curriculum/course)"}|} in
+  checks "twelve courses" "12" (sfield "result" r);
+  let r = send server {|{"op":"unload-doc","uri":"c.xml"}|} in
+  checki "unload bumps generation" 2
+    (Option.get (Json.int_opt (field "generation" r)));
+  let r = send server {|{"op":"run","query":"count(doc(\"c.xml\")/curriculum/course)"}|} in
+  checkb "doc gone" false (ok r)
+
+let () =
+  Alcotest.run "service"
+    [ ("json",
+       [ Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+         Alcotest.test_case "unicode" `Quick test_json_unicode;
+         Alcotest.test_case "errors" `Quick test_json_errors;
+         Alcotest.test_case "members" `Quick test_json_members ]);
+      ("lru",
+       [ Alcotest.test_case "eviction" `Quick test_lru_eviction;
+         Alcotest.test_case "promotion" `Quick test_lru_promotion;
+         Alcotest.test_case "counters" `Quick test_lru_counters ]);
+      ("registry",
+       [ Alcotest.test_case "generation" `Quick test_registry_generation ]);
+      ("prepared",
+       [ Alcotest.test_case "modes" `Quick test_prepared_modes;
+         Alcotest.test_case "parity with check" `Quick
+           test_prepared_parity_with_check;
+         Alcotest.test_case "multi-ifp keeps auto" `Quick
+           test_prepared_multi_ifp_keeps_auto;
+         Alcotest.test_case "rejects" `Quick test_prepared_rejects ]);
+      ("server",
+       [ Alcotest.test_case "cache lifecycle" `Quick
+           test_server_cache_lifecycle;
+         Alcotest.test_case "engines agree" `Quick test_server_engines_agree;
+         Alcotest.test_case "failures stay up" `Quick
+           test_server_failures_stay_up;
+         Alcotest.test_case "cache bypass" `Quick test_server_cache_bypass;
+         Alcotest.test_case "shutdown and ids" `Quick
+           test_server_shutdown_and_ids;
+         Alcotest.test_case "unload and generated docs" `Quick
+           test_server_unload_and_generated ]) ]
