@@ -426,6 +426,84 @@ let section7 () =
     \  divide-and-conquer reading pays.\n\n"
 
 (* ------------------------------------------------------------------ *)
+(* Cluster scaling                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The multi-process counterpart of section7: scatter-gather an XMark
+   descendant closure across 1, 2, 4 worker processes (replication =
+   worker count, so every worker serves a seed slice). Process
+   isolation sidesteps the shared-heap GC wall that sinks the
+   domains-based split — each worker collects privately. *)
+let cluster_bench () =
+  printf "== Cluster scaling: scatter-gather across worker processes ==\n\n";
+  let module Cluster = Fixq_cluster.Cluster in
+  let module Coordinator = Fixq_cluster.Coordinator in
+  let bin =
+    let next_to_me =
+      Filename.concat
+        (Filename.dirname Sys.executable_name)
+        "../bin/fixq_cli.exe"
+    in
+    if Sys.file_exists next_to_me then Some next_to_me else None
+  in
+  match bin with
+  | None ->
+    printf "  (skipped: bin/fixq_cli.exe not built next to bench/main.exe)\n\n"
+  | Some bin ->
+    let load =
+      {|{"op":"load-doc","uri":"x.xml","generate":"xmark","size":0.05,"seed":42}|}
+    in
+    let run_line =
+      {|{"op":"run","query":"with $x seeded by doc(\"x.xml\")//person recurse $x/*","cache":false}|}
+    in
+    List.iter
+      (fun workers ->
+        let dir =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "fixq-bench-%d-%dw" (Unix.getpid ()) workers)
+        in
+        let command ~name:_ ~socket =
+          [| bin; "serve"; "--socket"; socket; "--workers"; "4" |]
+        in
+        let config =
+          { Coordinator.default_config with replication = workers }
+        in
+        match Cluster.launch ~dir ~count:workers ~command ~config () with
+        | exception Failure msg ->
+          printf "  %d workers: launch failed (%s)\n" workers msg
+        | cluster ->
+          let handle = Cluster.handle_line cluster in
+          ignore (handle load);
+          ignore (handle run_line) (* warm the prepared caches *);
+          let best = ref infinity in
+          let result_chars = ref 0 in
+          for _ = 1 to 3 do
+            let t0 = Unix.gettimeofday () in
+            let (resp, _) = handle run_line in
+            best := Float.min !best ((Unix.gettimeofday () -. t0) *. 1000.);
+            result_chars :=
+              String.length
+                (Option.value ~default:""
+                   (Json.str_opt (Json.member "result" (Json.parse resp))))
+          done;
+          printf "  %d worker%s: %8.1f ms  (%d result chars)\n" workers
+            (if workers = 1 then " " else "s")
+            !best !result_chars;
+          record_json
+            [ ("section", Json.Str "cluster");
+              ("workers", Json.of_int workers); ("ms", Json.Num !best);
+              ("result_chars", Json.of_int !result_chars) ];
+          Cluster.shutdown cluster)
+      [ 1; 2; 4 ];
+    printf
+      "\n  1 worker routes whole (scatter needs two live replicas); 2 and\n\
+      \  4 split the seed into that many residue classes per Theorem 3.2.\n\
+      \  Equal result_chars across rows is the parity check; at smoke\n\
+      \  sizes socket round-trips dominate, so expect speedups only on\n\
+      \  documents large enough to amortize the gather.\n\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -510,7 +588,7 @@ let () =
       (fun a ->
         List.mem a
           [ "table1"; "table2"; "figure9"; "example24"; "section41";
-            "section6"; "section7"; "micro" ])
+            "section6"; "section7"; "micro"; "cluster" ])
       args
   in
   let when_ opt f = if (not explicit) || has opt then f () in
@@ -521,5 +599,7 @@ let () =
   when_ "section6" section6;
   when_ "section7" section7;
   when_ "micro" (fun () -> if has "micro" then micro ());
+  (* opt-in like micro: needs the fixq binary built alongside *)
+  when_ "cluster" (fun () -> if has "cluster" then cluster_bench ());
   when_ "table2" (fun () -> table2 rows);
   Option.iter write_json json_out

@@ -5,7 +5,9 @@
      check     report both distributivity verdicts for a query's IFP
      plan      print the compiled algebra plan of a query's IFP
      generate  emit a benchmark document (xmark/curriculum/play/hospital)
-     serve     long-lived query server (prepared-query + result caches) *)
+     serve     long-lived query server (prepared-query + result caches)
+     cluster   multi-process cluster: sharded workers behind a coordinator
+     client    forward stdin request lines to a serve/cluster socket *)
 
 module Xdm = Fixq_xdm
 module Lang = Fixq_lang
@@ -312,10 +314,16 @@ let serve_cmd =
     | (true, _) ->
       Service.Server.serve_pipe server stdin stdout;
       0
-    | (false, Some path) ->
+    | (false, Some path) -> (
       Printf.eprintf "fixq serve: listening on %s\n%!" path;
-      Service.Server.serve_socket server ~path;
-      0
+      match Service.Server.serve_socket server ~path with
+      | () -> 0
+      | exception Service.Server.Socket_in_use p ->
+        Printf.eprintf
+          "fixq serve: %s is in use by a live server (stop it or pick \
+           another path)\n"
+          p;
+        1)
     | (false, None) ->
       Printf.eprintf "serve: pass --pipe or --socket PATH\n";
       2
@@ -332,6 +340,211 @@ let serve_cmd =
           caches over a versioned document store, speaking \
           newline-delimited JSON ({\"op\":\"run\"|\"check\"|\"plan\"|\
           \"load-doc\"|\"unload-doc\"|\"stats\"|\"ping\"|\"shutdown\"}).")
+    term
+
+let cluster_cmd =
+  let module C = Fixq_cluster in
+  let module Service = Fixq_service in
+  let pipe_arg =
+    Arg.(value & flag
+         & info [ "pipe" ]
+             ~doc:"Coordinate on stdin/stdout instead of a socket.")
+  in
+  let socket_arg =
+    let doc = "Unix-domain socket path for the coordinator." in
+    Arg.(value & opt (some string) None
+         & info [ "socket"; "s" ] ~docv:"PATH" ~doc)
+  in
+  let workers_arg =
+    let doc = "Worker processes to spawn." in
+    Arg.(value & opt int 2 & info [ "workers"; "j" ] ~docv:"N" ~doc)
+  in
+  let replication_arg =
+    let doc = "Replicas per document (clamped to the worker count)." in
+    Arg.(value & opt int 2 & info [ "replication"; "r" ] ~docv:"N" ~doc)
+  in
+  let worker_dir_arg =
+    let doc = "Directory for worker sockets and logs (default: a fresh /tmp dir)." in
+    Arg.(value & opt (some string) None & info [ "worker-dir" ] ~docv:"DIR" ~doc)
+  in
+  let no_scatter_arg =
+    Arg.(value & flag
+         & info [ "no-scatter" ]
+             ~doc:
+               "Disable seed-partitioned scatter-gather; route every query \
+                whole to one worker.")
+  in
+  let retries_arg =
+    let doc = "Re-sends per request leg before failing over." in
+    Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let backoff_arg =
+    let doc = "Base retry backoff in milliseconds (doubles per retry, jittered)." in
+    Arg.(value & opt float 50. & info [ "backoff-ms" ] ~docv:"MS" ~doc)
+  in
+  let health_arg =
+    let doc = "Health-check interval in milliseconds (ping, reap, respawn)." in
+    Arg.(value & opt float 500. & info [ "health-interval-ms" ] ~docv:"MS" ~doc)
+  in
+  let max_iterations_arg =
+    let doc = "Default per-request IFP iteration budget on every worker." in
+    Arg.(value & opt int 100_000 & info [ "max-iterations" ] ~docv:"N" ~doc)
+  in
+  let timeout_arg =
+    let doc = "Default per-request wall-clock budget in milliseconds." in
+    Arg.(value & opt (some float) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
+  in
+  let action docs pipe socket workers replication worker_dir no_scatter
+      retries backoff_ms health_ms max_iterations timeout_ms stratified =
+    let dir =
+      match worker_dir with
+      | Some d -> d
+      | None ->
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "fixq-cluster-%d" (Unix.getpid ()))
+    in
+    let command ~name:_ ~socket =
+      Array.of_list
+        ([ Sys.executable_name; "serve"; "--socket"; socket; "--workers"; "4";
+           "--max-iterations"; string_of_int max_iterations ]
+        @ (match timeout_ms with
+          | Some t -> [ "--timeout-ms"; string_of_float t ]
+          | None -> [])
+        @ (if stratified then [ "--stratified" ] else []))
+    in
+    let config =
+      { C.Coordinator.replication; scatter = not no_scatter; retries;
+        backoff_ms;
+        (* transport read budget: the workers' own budget plus slack,
+           unbounded when the workers are unbudgeted *)
+        timeout_ms = Option.map (fun t -> (t *. 2.) +. 5000.) timeout_ms }
+    in
+    match
+      C.Cluster.launch ~dir ~count:workers ~command ~config
+        ~health_interval_ms:health_ms ()
+    with
+    | exception Failure msg ->
+      Printf.eprintf "fixq cluster: %s\n" msg;
+      1
+    | cluster -> (
+      let handle = C.Cluster.handle_line cluster in
+      (* --doc preloads route through the coordinator like any client
+         load-doc, so they land on their rendezvous replicas *)
+      let preload_failed =
+        List.exists
+          (fun spec ->
+            let (uri, path) =
+              match String.index_opt spec '=' with
+              | Some i ->
+                ( String.sub spec 0 i,
+                  String.sub spec (i + 1) (String.length spec - i - 1) )
+              | None -> (spec, spec)
+            in
+            let (resp, _) =
+              handle
+                (Service.Json.to_string
+                   (Service.Json.Obj
+                      [ ("op", Service.Json.Str "load-doc");
+                        ("uri", Service.Json.Str uri);
+                        ("path", Service.Json.Str path) ]))
+            in
+            match Service.Json.parse resp with
+            | j
+              when Service.Json.bool_opt (Service.Json.member "ok" j)
+                   = Some false ->
+              Printf.eprintf "fixq cluster: --doc %s: %s\n" uri
+                (Option.value ~default:"load failed"
+                   (Service.Json.str_opt (Service.Json.member "error" j)));
+              true
+            | _ -> false
+            | exception Service.Json.Parse_error _ -> true)
+          docs
+      in
+      if preload_failed then begin
+        C.Cluster.shutdown cluster;
+        1
+      end
+      else
+        let serve () =
+          match (pipe, socket) with
+          | (true, _) ->
+            (* sequential on purpose: deterministic response order; the
+               parallelism lives in the scatter legs and the workers *)
+            Service.Server.serve_pipe_with ~handle ~workers:1 stdin stdout;
+            0
+          | (false, Some path) -> (
+            Printf.eprintf "fixq cluster: %d workers in %s, listening on %s\n%!"
+              workers dir path;
+            match
+              Service.Server.serve_socket_with ~handle ~workers:4 ~path ()
+            with
+            | () -> 0
+            | exception Service.Server.Socket_in_use p ->
+              Printf.eprintf
+                "fixq cluster: %s is in use by a live server (stop it or \
+                 pick another path)\n"
+                p;
+              1)
+          | (false, None) ->
+            Printf.eprintf "cluster: pass --pipe or --socket PATH\n";
+            2
+        in
+        let code = serve () in
+        C.Cluster.shutdown cluster;
+        code)
+  in
+  let term =
+    Term.(const action $ docs_arg $ pipe_arg $ socket_arg $ workers_arg
+          $ replication_arg $ worker_dir_arg $ no_scatter_arg $ retries_arg
+          $ backoff_arg $ health_arg $ max_iterations_arg $ timeout_arg
+          $ stratified_arg)
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:
+         "Run a multi-process cluster: N fixq-serve workers behind a \
+          coordinator that shards documents by rendezvous hashing, \
+          scatter-gathers distributive fixed points across replicas, and \
+          respawns crashed workers.")
+    term
+
+let client_cmd =
+  let module C = Fixq_cluster in
+  let socket_arg =
+    let doc = "Unix-domain socket of a fixq serve or fixq cluster." in
+    Arg.(required & opt (some string) None
+         & info [ "socket"; "s" ] ~docv:"PATH" ~doc)
+  in
+  let timeout_arg =
+    let doc = "Per-response read timeout in milliseconds." in
+    Arg.(value & opt (some float) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
+  in
+  let action socket timeout_ms =
+    let tr = C.Transport.create socket in
+    let rec loop () =
+      match input_line stdin with
+      | exception End_of_file -> 0
+      | line when String.trim line = "" -> loop ()
+      | line -> (
+        match C.Transport.call ?timeout_ms tr line with
+        | Ok resp ->
+          print_endline resp;
+          loop ()
+        | Error e ->
+          Printf.eprintf "fixq client: %s\n" e;
+          1)
+    in
+    let code = loop () in
+    C.Transport.close tr;
+    code
+  in
+  let term = Term.(const action $ socket_arg $ timeout_arg) in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Forward newline-delimited JSON requests from stdin to a serve or \
+          cluster socket, one response line per request.")
     term
 
 let generate_cmd =
@@ -381,4 +594,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ run_cmd; check_cmd; plan_cmd; explain_cmd; generate_cmd;
-            repl_cmd; serve_cmd ]))
+            repl_cmd; serve_cmd; cluster_cmd; client_cmd ]))

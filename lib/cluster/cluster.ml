@@ -1,0 +1,63 @@
+module Json = Fixq_service.Json
+
+type t = {
+  supervisor : Supervisor.t;
+  coordinator : Coordinator.t;
+  transports : (string, Transport.t) Hashtbl.t;
+  ping_transports : (string, Transport.t) Hashtbl.t;
+      (** health pings ride their own connections so a long-running
+          request on the main transport cannot stall the health loop *)
+}
+
+let launch ~dir ~count ~command ?(config = Coordinator.default_config)
+    ?(health_interval_ms = 1000.) () =
+  let supervisor = Supervisor.create ~dir ~count ~command () in
+  let transports = Hashtbl.create 8 in
+  let ping_transports = Hashtbl.create 8 in
+  List.iter
+    (fun name ->
+      let path = Supervisor.socket_path supervisor name in
+      Hashtbl.replace transports name (Transport.create path);
+      Hashtbl.replace ping_transports name (Transport.create path))
+    (Supervisor.names supervisor);
+  let send name ~timeout_ms line =
+    match Hashtbl.find_opt transports name with
+    | None -> Error ("unknown worker " ^ name)
+    | Some tr -> Transport.call ?timeout_ms tr line
+  in
+  let info name =
+    [ ("socket", Json.Str (Supervisor.socket_path supervisor name));
+      ("pid", Json.of_int (Option.value ~default:(-1) (Supervisor.pid supervisor name))) ]
+  in
+  let backend =
+    { Coordinator.workers = Supervisor.names supervisor; send; info;
+      restarts = (fun () -> Supervisor.restarts supervisor);
+      stop = (fun () -> Supervisor.stop supervisor) }
+  in
+  let coordinator = Coordinator.create ~config backend in
+  let ping name =
+    match Hashtbl.find_opt ping_transports name with
+    | None -> false
+    | Some tr -> (
+      let once () = Transport.call ~timeout_ms:5000. tr {|{"op":"ping"}|} in
+      match once () with
+      | Ok _ -> true
+      | Error _ -> (
+        (* the first failure may just be a stale cached connection to a
+           predecessor process — the failed call tore it down, so one
+           immediate retry dials fresh; only that failing means dead *)
+        match once () with Ok _ -> true | Error _ -> false))
+  in
+  Supervisor.start_health ~interval_ms:health_interval_ms ~ping
+    ~on_respawn:(fun name -> Coordinator.on_worker_respawn coordinator name)
+    supervisor;
+  { supervisor; coordinator; transports; ping_transports }
+
+let coordinator t = t.coordinator
+let supervisor t = t.supervisor
+let handle_line t line = Coordinator.handle_line t.coordinator line
+
+let shutdown t =
+  Supervisor.stop t.supervisor;
+  Hashtbl.iter (fun _ tr -> Transport.close tr) t.transports;
+  Hashtbl.iter (fun _ tr -> Transport.close tr) t.ping_transports

@@ -1,0 +1,771 @@
+module Json = Fixq_service.Json
+module Protocol = Fixq_service.Protocol
+module Lang = Fixq.Lang
+
+type backend = {
+  workers : string list;
+  send :
+    string -> timeout_ms:float option -> string -> (string, string) result;
+  info : string -> (string * Json.t) list;
+  restarts : unit -> int;
+  stop : unit -> unit;
+}
+
+type config = {
+  replication : int;
+  scatter : bool;
+  retries : int;
+  backoff_ms : float;
+  timeout_ms : float option;
+}
+
+let default_config =
+  { replication = 2; scatter = true; retries = 2; backoff_ms = 50.;
+    timeout_ms = None }
+
+type t = {
+  config : config;
+  backend : backend;
+  router : Router.t;
+  lock : Mutex.t;
+  alive : (string, unit) Hashtbl.t;
+  docs : (string, int * string) Hashtbl.t;
+      (** uri → (load sequence, load-doc request line). The sequence
+          reproduces cross-document order at gather time: a worker
+          allocates node ids in load order, and [Item.ddo] sorts
+          cross-document by those ids, so documents serialize in load
+          order — which every worker shares, because only the
+          coordinator loads documents. *)
+  loaded : (string, (string, unit) Hashtbl.t) Hashtbl.t;  (** worker → uris *)
+  mutable doc_seq : int;
+  mutable generation : int;
+  mutable retries_total : int;
+  mutable failovers_total : int;
+  mutable scatter_runs : int;
+  mutable routed_runs : int;
+  started_at : float;
+}
+
+let create ?(config = default_config) backend =
+  let router =
+    Router.create ~workers:backend.workers ~replication:config.replication
+  in
+  let alive = Hashtbl.create 8 in
+  List.iter (fun w -> Hashtbl.replace alive w ()) backend.workers;
+  { config; backend; router; lock = Mutex.create (); alive;
+    docs = Hashtbl.create 16; loaded = Hashtbl.create 8; doc_seq = 0;
+    generation = 0; retries_total = 0; failovers_total = 0; scatter_runs = 0;
+    routed_runs = 0; started_at = Unix.gettimeofday () }
+
+let router t = t.router
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let is_alive t name = locked t (fun () -> Hashtbl.mem t.alive name)
+let mark_dead t name = locked t (fun () -> Hashtbl.remove t.alive name)
+
+let alive_workers t =
+  locked t (fun () ->
+      List.filter (fun w -> Hashtbl.mem t.alive w) t.backend.workers)
+
+let loaded_set t name =
+  match Hashtbl.find_opt t.loaded name with
+  | Some s -> s
+  | None ->
+    let s = Hashtbl.create 16 in
+    Hashtbl.replace t.loaded name s;
+    s
+
+(* ------------------------------------------------------------------ *)
+(* Sending with retry / failover                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Retry the same worker with doubling backoff and jitter; when the
+   budget is exhausted, mark it dead and let the caller fail over. *)
+let send_retry t name ~timeout_ms line =
+  let rec go attempt =
+    match t.backend.send name ~timeout_ms line with
+    | Ok r -> Ok r
+    | Error e ->
+      if attempt >= t.config.retries then begin
+        mark_dead t name;
+        Error e
+      end
+      else begin
+        locked t (fun () -> t.retries_total <- t.retries_total + 1);
+        let backoff = t.config.backoff_ms *. (2. ** float_of_int attempt) in
+        let jitter = Random.float (max 1. (backoff *. 0.5)) in
+        Thread.delay ((backoff +. jitter) /. 1000.);
+        go (attempt + 1)
+      end
+  in
+  go 0
+
+(* Make sure [name] holds every document of [uris] that the coordinator
+   knows, re-sending the recorded load-doc lines for missing ones. This
+   is what lets failover land on a worker outside a document's replica
+   set: the document follows the query. *)
+let ensure_docs t name uris =
+  let missing =
+    locked t (fun () ->
+        let set = loaded_set t name in
+        List.filter_map
+          (fun uri ->
+            match Hashtbl.find_opt t.docs uri with
+            | Some (_, line) when not (Hashtbl.mem set uri) -> Some (uri, line)
+            | _ -> None)
+          uris)
+  in
+  let rec push = function
+    | [] -> Ok ()
+    | (uri, line) :: rest -> (
+      match send_retry t name ~timeout_ms:t.config.timeout_ms line with
+      | Error e -> Error e
+      | Ok resp -> (
+        match Json.parse resp with
+        | j when Json.bool_opt (Json.member "ok" j) = Some true ->
+          locked t (fun () -> Hashtbl.replace (loaded_set t name) uri ());
+          push rest
+        | _ -> Error (Printf.sprintf "replaying %s on %s failed" uri name)
+        | exception Json.Parse_error _ ->
+          Error (Printf.sprintf "replaying %s on %s: bad response" uri name)))
+  in
+  push missing
+
+let on_worker_respawn t name =
+  let lines =
+    locked t (fun () ->
+        Hashtbl.replace t.alive name ();
+        (* the respawned process is empty: forget, then replay *)
+        let uris =
+          Hashtbl.fold (fun uri () acc -> uri :: acc) (loaded_set t name) []
+        in
+        Hashtbl.remove t.loaded name;
+        List.filter_map
+          (fun uri ->
+            Option.map (fun (_, line) -> (uri, line)) (Hashtbl.find_opt t.docs uri))
+          uris)
+  in
+  List.iter
+    (fun (uri, line) ->
+      match send_retry t name ~timeout_ms:t.config.timeout_ms line with
+      | Ok _ -> locked t (fun () -> Hashtbl.replace (loaded_set t name) uri ())
+      | Error _ -> ())
+    lines
+
+(* ------------------------------------------------------------------ *)
+(* Routing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let parse_query query =
+  match Lang.Parser.parse_program query with
+  | p -> Ok p
+  | exception Lang.Parser.Error { line; col; msg } ->
+    Error (Printf.sprintf "parse error at %d:%d: %s" line col msg)
+  | exception Lang.Lexer.Error { pos; msg } ->
+    Error (Printf.sprintf "lex error at offset %d: %s" pos msg)
+
+(* Preference order for a query: the rendezvous ranking of its first
+   document (or of the query text itself when it touches no document),
+   restricted to live workers. Workers outside the replica set still
+   qualify — [ensure_docs] ships them the documents — so a query
+   survives as long as one worker lives. *)
+let candidates t ~docs ~query =
+  let key = match docs with [] -> "q:" ^ query | uri :: _ -> uri in
+  List.filter (is_alive t) (Router.ranking t.router ~key)
+
+(* Live workers inside the replica sets of ALL the query's documents —
+   the only sound scatter targets without first shipping documents. *)
+let scatter_set t ~docs ~query =
+  match docs with
+  | [] ->
+    List.filter (is_alive t)
+      (Router.replicas t.router ~key:("q:" ^ query))
+  | first :: rest ->
+    let inter =
+      List.fold_left
+        (fun acc uri ->
+          let reps = Router.replicas t.router ~key:uri in
+          List.filter (fun w -> List.mem w reps) acc)
+        (Router.replicas t.router ~key:first)
+        rest
+    in
+    List.filter (is_alive t) inter
+
+let functions_table (p : Lang.Ast.program) =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (f : Lang.Ast.fundef) -> Hashtbl.replace tbl f.Lang.Ast.fname f)
+    p.Lang.Ast.functions;
+  tbl
+
+(* Scatter is sound only when uniting the slices provably reproduces
+   the whole: the program must BE one IFP (not merely contain one) and
+   its body must pass the Figure-5 syntactic distributivity check —
+   Theorem 3.2 then gives e(s1 ∪ s2) = e(s1) ∪ e(s2). *)
+let scatterable t ~stratified (p : Lang.Ast.program) =
+  t.config.scatter
+  && Fixq.count_ifps p = 1
+  &&
+  match p.Lang.Ast.main with
+  | Lang.Ast.Ifp { var; body; _ } ->
+    Lang.Distributivity.check ~functions:(functions_table p) ~stratified var
+      body
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* JSON plumbing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let obj_fields = function Json.Obj fields -> fields | _ -> []
+
+let without keys fields =
+  List.filter (fun (k, _) -> not (List.mem k keys)) fields
+
+let append_field (resp : string) key value =
+  match Json.parse resp with
+  | Json.Obj fields -> Json.to_string (Json.Obj (fields @ [ (key, value) ]))
+  | _ | (exception Json.Parse_error _) -> resp
+
+let forward_timeout t (params : Protocol.run_params) =
+  (* give the worker its own budget plus slack before the transport
+     gives up on the read; an unbudgeted request inherits the
+     coordinator default *)
+  match params.Protocol.timeout_ms with
+  | Some ms -> Some ((ms *. 2.) +. 5000.)
+  | None -> t.config.timeout_ms
+
+(* ------------------------------------------------------------------ *)
+(* The run path                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Route the whole request to the first candidate that answers, marking
+   losers dead and failing over down the preference order. *)
+let run_routed t ~id ~docs ~cands ~timeout_ms line =
+  let rec go = function
+    | [] ->
+      Json.to_string
+        (Protocol.error_response ~id "no live worker can serve this request")
+    | name :: rest -> (
+      let fail () =
+        if rest <> [] then
+          locked t (fun () -> t.failovers_total <- t.failovers_total + 1);
+        go rest
+      in
+      match ensure_docs t name docs with
+      | Error _ -> fail ()
+      | Ok () -> (
+        match send_retry t name ~timeout_ms line with
+        | Error _ -> fail ()
+        | Ok resp ->
+          locked t (fun () -> t.routed_runs <- t.routed_runs + 1);
+          append_field resp "worker" (Json.Str name)))
+  in
+  go cands
+
+type keyed_entry = { sort : int * int; tie : string; xml : string }
+
+(* Merge the legs' keyed item lists into the single-process
+   serialization: dedupe by portable identity, order document nodes by
+   (document load sequence, preorder rank) — exactly [Item.ddo]'s
+   document order for identically-loaded stores — and join with single
+   spaces as [Serializer.seq_to_string] does. *)
+let gather_keyed t legs =
+  let seen = Hashtbl.create 64 in
+  let entries = ref [] in
+  List.iter
+    (fun leg ->
+      match Json.member "keyed" leg with
+      | Json.List items ->
+        List.iter
+          (fun item ->
+            let xml =
+              Option.value ~default:"" (Json.str_opt (Json.member "x" item))
+            in
+            let entry =
+              match Json.str_opt (Json.member "u" item) with
+              | Some u ->
+                let rank =
+                  Option.value ~default:0
+                    (Json.int_opt (Json.member "r" item))
+                in
+                let seq =
+                  locked t (fun () ->
+                      match Hashtbl.find_opt t.docs u with
+                      | Some (seq, _) -> seq
+                      | None -> max_int - 1)
+                in
+                { sort = (seq, rank); tie = "u:" ^ u; xml }
+              | None ->
+                let k =
+                  Option.value ~default:("x:" ^ xml)
+                    (Json.str_opt (Json.member "k" item))
+                in
+                { sort = (max_int, 0); tie = k; xml }
+            in
+            let key = (entry.sort, entry.tie) in
+            if not (Hashtbl.mem seen key) then begin
+              Hashtbl.replace seen key ();
+              entries := entry :: !entries
+            end)
+          items
+      | _ -> ())
+    legs;
+  let sorted =
+    List.sort
+      (fun a b ->
+        match compare a.sort b.sort with
+        | 0 -> compare (a.tie, a.xml) (b.tie, b.xml)
+        | c -> c)
+      !entries
+  in
+  String.concat " " (List.map (fun e -> e.xml) sorted)
+
+let num_member name j = Option.value ~default:0. (Json.num_opt (Json.member name j))
+let int_member name j = Option.value ~default:0 (Json.int_opt (Json.member name j))
+
+let run_scatter t ~id ~docs ~workers ~timeout_ms fields =
+  let m = List.length workers in
+  let base = without [ "id"; "partition" ] fields in
+  let results = Array.make m (Error "not sent") in
+  let threads =
+    List.mapi
+      (fun j name ->
+        let leg_line =
+          Json.to_string
+            (Json.Obj
+               (base
+               @ [ ("partition",
+                    Json.Obj
+                      [ ("index", Json.of_int j); ("of", Json.of_int m) ]) ]))
+        in
+        Thread.create
+          (fun () ->
+            let r =
+              match ensure_docs t name docs with
+              | Error e -> Error e
+              | Ok () -> send_retry t name ~timeout_ms leg_line
+            in
+            results.(j) <- r)
+          ())
+      workers
+  in
+  List.iter Thread.join threads;
+  let parsed =
+    Array.to_list results
+    |> List.map (fun r ->
+           match r with
+           | Error e -> Error (`Transport e)
+           | Ok resp -> (
+             match Json.parse resp with
+             | j ->
+               if Json.bool_opt (Json.member "ok" j) = Some true then Ok j
+               else
+                 Error
+                   (`Worker
+                     (Option.value ~default:"worker error"
+                        (Json.str_opt (Json.member "error" j))))
+             | exception Json.Parse_error m -> Error (`Worker m)))
+  in
+  if List.exists (function Error (`Transport _) -> true | _ -> false) parsed
+  then `Fallback (* a leg's worker died: give up on this scatter *)
+  else
+    match
+      List.find_map
+        (function Error (`Worker m) -> Some m | _ -> None)
+        parsed
+    with
+    | Some msg -> `Response (Json.to_string (Protocol.error_response ~id msg))
+    | None ->
+      let legs = List.filter_map Result.to_option parsed in
+      let first = List.hd legs in
+      let result = gather_keyed t legs in
+      locked t (fun () -> t.scatter_runs <- t.scatter_runs + 1);
+      let generation = locked t (fun () -> t.generation) in
+      `Response
+        (Json.to_string
+           (Protocol.ok_response ~id
+              [ ("engine", Json.member "engine" first);
+                ("mode", Json.member "mode" first);
+                ("used_delta", Json.member "used_delta" first);
+                ("generation", Json.of_int generation);
+                ("nodes_fed",
+                 Json.of_int
+                   (List.fold_left
+                      (fun acc l -> acc + int_member "nodes_fed" l)
+                      0 legs));
+                ("depth",
+                 Json.of_int
+                   (List.fold_left
+                      (fun acc l -> max acc (int_member "depth" l))
+                      0 legs));
+                ("result", Json.Str result);
+                ("scatter",
+                 Json.Obj
+                   [ ("legs", Json.of_int m);
+                     ("workers",
+                      Json.List (List.map (fun w -> Json.Str w) workers)) ]);
+                ("wall_ms",
+                 Json.Num
+                   (List.fold_left
+                      (fun acc l -> Float.max acc (num_member "wall_ms" l))
+                      0. legs)) ]))
+
+let handle_run t ~id req (params : Protocol.run_params) =
+  match parse_query params.Protocol.query with
+  | Error msg -> Json.to_string (Protocol.error_response ~id msg)
+  | Ok program ->
+    let docs = Fixq.doc_uris program in
+    let line = Json.to_string req in
+    let timeout_ms = forward_timeout t params in
+    let cands = candidates t ~docs ~query:params.Protocol.query in
+    let stratified = Option.value ~default:false params.Protocol.stratified in
+    let scatter_workers =
+      if params.Protocol.partition <> None then []
+        (* client already partitions: forward whole *)
+      else if scatterable t ~stratified program then
+        scatter_set t ~docs ~query:params.Protocol.query
+      else []
+    in
+    if List.length scatter_workers >= 2 then
+      match
+        run_scatter t ~id ~docs ~workers:scatter_workers ~timeout_ms
+          (obj_fields req)
+      with
+      | `Response r -> r
+      | `Fallback ->
+        (* failover: re-route the whole query to whoever is left *)
+        locked t (fun () -> t.failovers_total <- t.failovers_total + 1);
+        let cands = candidates t ~docs ~query:params.Protocol.query in
+        run_routed t ~id ~docs ~cands ~timeout_ms line
+    else run_routed t ~id ~docs ~cands ~timeout_ms line
+
+(* ------------------------------------------------------------------ *)
+(* Documents                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let handle_load_doc t ~id req uri =
+  let line = Json.to_string (Json.Obj (without [ "id" ] (obj_fields req))) in
+  let reps = Router.replicas t.router ~key:uri in
+  let results =
+    List.map
+      (fun name ->
+        if not (is_alive t name) then (name, Error "dead")
+        else (name, send_retry t name ~timeout_ms:t.config.timeout_ms line))
+      reps
+  in
+  (* a protocol-level failure (bad path, bad generator) is deterministic
+     across replicas: report it instead of recording the document *)
+  let worker_error =
+    List.find_map
+      (fun (_, r) ->
+        match r with
+        | Ok resp -> (
+          match Json.parse resp with
+          | j when Json.bool_opt (Json.member "ok" j) = Some false ->
+            Json.str_opt (Json.member "error" j)
+          | _ -> None
+          | exception Json.Parse_error _ -> None)
+        | Error _ -> None)
+      results
+  in
+  match worker_error with
+  | Some msg -> Json.to_string (Protocol.error_response ~id msg)
+  | None ->
+    let succeeded =
+      List.filter_map
+        (fun (name, r) -> match r with Ok _ -> Some name | Error _ -> None)
+        results
+    in
+    if succeeded = [] then
+      Json.to_string
+        (Protocol.error_response ~id
+           (Printf.sprintf "no live replica accepted document %s" uri))
+    else begin
+      let generation =
+        locked t (fun () ->
+            (if not (Hashtbl.mem t.docs uri) then begin
+               t.doc_seq <- t.doc_seq + 1 end);
+            let seq =
+              match Hashtbl.find_opt t.docs uri with
+              | Some (seq, _) -> seq
+              | None -> t.doc_seq
+            in
+            Hashtbl.replace t.docs uri (seq, line);
+            List.iter
+              (fun name -> Hashtbl.replace (loaded_set t name) uri ())
+              succeeded;
+            t.generation <- t.generation + 1;
+            t.generation)
+      in
+      Json.to_string
+        (Protocol.ok_response ~id
+           [ ("uri", Json.Str uri);
+             ("generation", Json.of_int generation);
+             ("workers",
+              Json.List (List.map (fun w -> Json.Str w) succeeded)) ])
+    end
+
+let handle_unload_doc t ~id req uri =
+  let line = Json.to_string (Json.Obj (without [ "id" ] (obj_fields req))) in
+  let holders =
+    locked t (fun () ->
+        Hashtbl.fold
+          (fun name set acc -> if Hashtbl.mem set uri then name :: acc else acc)
+          t.loaded [])
+  in
+  List.iter
+    (fun name ->
+      if is_alive t name then
+        ignore (send_retry t name ~timeout_ms:t.config.timeout_ms line);
+      locked t (fun () -> Hashtbl.remove (loaded_set t name) uri))
+    holders;
+  let generation =
+    locked t (fun () ->
+        Hashtbl.remove t.docs uri;
+        t.generation <- t.generation + 1;
+        t.generation)
+  in
+  Json.to_string
+    (Protocol.ok_response ~id
+       [ ("uri", Json.Str uri); ("generation", Json.of_int generation) ])
+
+(* ------------------------------------------------------------------ *)
+(* Query-shaped forwards that are not runs                             *)
+(* ------------------------------------------------------------------ *)
+
+(* prepare broadcasts to every live replica — cache warming is only
+   useful where the query may later land; check/plan route like a run. *)
+let handle_prepare t ~id req query =
+  match parse_query query with
+  | Error msg -> Json.to_string (Protocol.error_response ~id msg)
+  | Ok program -> (
+    let docs = Fixq.doc_uris program in
+    let targets =
+      match scatter_set t ~docs ~query with
+      | [] -> (
+        match candidates t ~docs ~query with [] -> [] | c :: _ -> [ c ])
+      | reps -> reps
+    in
+    let line = Json.to_string (Json.Obj (without [ "id" ] (obj_fields req))) in
+    let results =
+      List.filter_map
+        (fun name ->
+          match ensure_docs t name docs with
+          | Error _ -> None
+          | Ok () -> (
+            match send_retry t name ~timeout_ms:t.config.timeout_ms line with
+            | Ok resp -> Some (name, resp)
+            | Error _ -> None))
+        targets
+    in
+    match results with
+    | [] ->
+      Json.to_string
+        (Protocol.error_response ~id "no live worker can serve this request")
+    | (_, first) :: _ ->
+      let fields =
+        match Json.parse first with
+        | Json.Obj f -> without [ "ok"; "id" ] f
+        | _ | (exception Json.Parse_error _) -> []
+      in
+      Json.to_string
+        (Protocol.ok_response ~id
+           (fields
+           @ [ ("workers",
+                Json.List (List.map (fun (w, _) -> Json.Str w) results)) ])))
+
+let handle_query_forward t ~id req query =
+  match parse_query query with
+  | Error msg -> Json.to_string (Protocol.error_response ~id msg)
+  | Ok program ->
+    let docs = Fixq.doc_uris program in
+    let cands = candidates t ~docs ~query in
+    run_routed t ~id ~docs ~cands ~timeout_ms:t.config.timeout_ms
+      (Json.to_string req)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let worker_stats t name =
+  if not (is_alive t name) then Json.Null
+  else
+    match
+      send_retry t name ~timeout_ms:t.config.timeout_ms {|{"op":"stats"}|}
+    with
+    | Error _ -> Json.Null
+    | Ok resp -> (
+      match Json.parse resp with
+      | j -> Json.member "stats" j
+      | exception Json.Parse_error _ -> Json.Null)
+
+let handle_stats t ~id =
+  let workers =
+    List.map
+      (fun name ->
+        Json.Obj
+          ([ ("name", Json.Str name);
+             ("alive", Json.Bool (is_alive t name)) ]
+          @ t.backend.info name
+          @ [ ("stats", worker_stats t name) ]))
+      t.backend.workers
+  in
+  let (gen, docs, retries, failovers, scatter, routed) =
+    locked t (fun () ->
+        ( t.generation,
+          Hashtbl.fold (fun uri (seq, _) acc -> (seq, uri) :: acc) t.docs []
+          |> List.sort compare |> List.map snd,
+          t.retries_total, t.failovers_total, t.scatter_runs, t.routed_runs ))
+  in
+  Json.to_string
+    (Protocol.ok_response ~id
+       [ ("stats",
+          Json.Obj
+            [ ("workers", Json.List workers);
+              ("documents", Json.List (List.map (fun u -> Json.Str u) docs));
+              ("generation", Json.of_int gen);
+              ("replication", Json.of_int (Router.replication t.router));
+              ("retries", Json.of_int retries);
+              ("failovers", Json.of_int failovers);
+              ("scatter_runs", Json.of_int scatter);
+              ("routed_runs", Json.of_int routed);
+              ("restarts", Json.of_int (t.backend.restarts ()));
+              ("uptime_ms",
+               Json.Num ((Unix.gettimeofday () -. t.started_at) *. 1000.)) ]) ])
+
+(* Inject worker="name" as the first label of every sample line so the
+   workers' expositions can share one scrape page; # TYPE headers are
+   deduplicated across workers. *)
+let relabel_exposition ~worker ~seen_types buf text =
+  List.iter
+    (fun line ->
+      if line = "" then ()
+      else if String.length line > 0 && line.[0] = '#' then begin
+        if not (Hashtbl.mem seen_types line) then begin
+          Hashtbl.replace seen_types line ();
+          Buffer.add_string buf line;
+          Buffer.add_char buf '\n'
+        end
+      end
+      else
+        let space = String.index_opt line ' ' in
+        let brace = String.index_opt line '{' in
+        let out =
+          match (brace, space) with
+          | (Some b, Some s) when b < s ->
+            String.sub line 0 b
+            ^ Printf.sprintf "{worker=%S," worker
+            ^ String.sub line (b + 1) (String.length line - b - 1)
+          | (_, Some s) ->
+            String.sub line 0 s
+            ^ Printf.sprintf "{worker=%S}" worker
+            ^ String.sub line s (String.length line - s)
+          | _ -> line
+        in
+        Buffer.add_string buf out;
+        Buffer.add_char buf '\n')
+    (String.split_on_char '\n' text)
+
+let prometheus_stats t =
+  let buf = Buffer.create 2048 in
+  let gauge name value =
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n%s %s\n" name name value)
+  in
+  let counter name value =
+    Buffer.add_string buf
+      (Printf.sprintf "# TYPE %s counter\n%s %d\n" name name value)
+  in
+  let (gen, ndocs, retries, failovers, scatter, routed) =
+    locked t (fun () ->
+        ( t.generation, Hashtbl.length t.docs, t.retries_total,
+          t.failovers_total, t.scatter_runs, t.routed_runs ))
+  in
+  gauge "fixq_cluster_uptime_seconds"
+    (Printf.sprintf "%.3f" (Unix.gettimeofday () -. t.started_at));
+  gauge "fixq_cluster_workers"
+    (string_of_int (List.length t.backend.workers));
+  gauge "fixq_cluster_workers_alive"
+    (string_of_int (List.length (alive_workers t)));
+  gauge "fixq_cluster_generation" (string_of_int gen);
+  gauge "fixq_cluster_documents" (string_of_int ndocs);
+  counter "fixq_cluster_retries_total" retries;
+  counter "fixq_cluster_failovers_total" failovers;
+  counter "fixq_cluster_scatter_runs_total" scatter;
+  counter "fixq_cluster_routed_runs_total" routed;
+  counter "fixq_cluster_worker_restarts_total" (t.backend.restarts ());
+  let seen_types = Hashtbl.create 32 in
+  List.iter
+    (fun name ->
+      if is_alive t name then
+        match
+          send_retry t name ~timeout_ms:t.config.timeout_ms
+            {|{"op":"stats","format":"prometheus"}|}
+        with
+        | Error _ -> ()
+        | Ok resp -> (
+          match Json.parse resp with
+          | j -> (
+            match Json.str_opt (Json.member "prometheus" j) with
+            | Some text -> relabel_exposition ~worker:name ~seen_types buf text
+            | None -> ())
+          | exception Json.Parse_error _ -> ()))
+    t.backend.workers;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let broadcast_shutdown t =
+  List.iter
+    (fun name ->
+      if is_alive t name then
+        ignore
+          (t.backend.send name ~timeout_ms:(Some 2000.) {|{"op":"shutdown"}|}))
+    t.backend.workers
+
+let handle_line t line =
+  match Json.parse line with
+  | exception Json.Parse_error msg ->
+    (Json.to_string (Protocol.error_response ~id:Json.Null msg), false)
+  | req -> (
+    let id = Protocol.request_id req in
+    match Protocol.parse_request req with
+    | Error msg -> (Json.to_string (Protocol.error_response ~id msg), false)
+    | Ok parsed -> (
+      try
+        match parsed with
+        | Protocol.Run params -> (handle_run t ~id req params, false)
+        | Protocol.Prepare { query; _ } ->
+          (handle_prepare t ~id req query, false)
+        | Protocol.Check { query; _ } | Protocol.Plan { query; _ } ->
+          (handle_query_forward t ~id req query, false)
+        | Protocol.Load_doc { uri; _ } -> (handle_load_doc t ~id req uri, false)
+        | Protocol.Unload_doc { uri } ->
+          (handle_unload_doc t ~id req uri, false)
+        | Protocol.Stats Protocol.Stats_json -> (handle_stats t ~id, false)
+        | Protocol.Stats Protocol.Stats_prometheus ->
+          ( Json.to_string
+              (Protocol.ok_response ~id
+                 [ ("prometheus", Json.Str (prometheus_stats t)) ]),
+            false )
+        | Protocol.Ping ->
+          ( Json.to_string
+              (Protocol.ok_response ~id
+                 [ ("pong", Json.Bool true);
+                   ("workers",
+                    Json.of_int (List.length (alive_workers t))) ]),
+            false )
+        | Protocol.Shutdown ->
+          broadcast_shutdown t;
+          ( Json.to_string
+              (Protocol.ok_response ~id [ ("shutdown", Json.Bool true) ]),
+            true )
+      with exn ->
+        ( Json.to_string
+            (Protocol.error_response ~id
+               ("internal error: " ^ Printexc.to_string exn)),
+          false )))

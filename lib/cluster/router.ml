@@ -1,0 +1,29 @@
+type t = { workers : string list; replication : int }
+
+let create ~workers ~replication =
+  if workers = [] then invalid_arg "Router.create: no workers";
+  let n = List.length workers in
+  let replication = max 1 (min replication n) in
+  { workers; replication }
+
+let workers t = t.workers
+let replication t = t.replication
+
+(* First 8 bytes of MD5(worker NUL key) as a non-negative int64.
+   MD5 here is a mixing function, not a security primitive. *)
+let score ~worker ~key =
+  let d = Digest.string (worker ^ "\x00" ^ key) in
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code d.[i]))
+  done;
+  Int64.logand !v Int64.max_int
+
+let ranking t ~key =
+  t.workers
+  |> List.map (fun w -> (score ~worker:w ~key, w))
+  |> List.sort (fun (s1, w1) (s2, w2) ->
+         match Int64.compare s2 s1 with 0 -> compare w1 w2 | c -> c)
+  |> List.map snd
+
+let replicas t ~key = List.filteri (fun i _ -> i < t.replication) (ranking t ~key)

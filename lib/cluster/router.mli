@@ -1,0 +1,35 @@
+(** Rendezvous (highest-random-weight) placement of documents on
+    workers.
+
+    Every (worker, document) pair gets a deterministic pseudo-random
+    score; a document lives on the [replication] highest-scoring
+    workers. The property that makes this the right tool for a
+    fixed-point cluster: placement depends only on the {e names}, so
+    every coordinator — and every restart of the same coordinator —
+    computes the same assignment with no shared state, and removing a
+    worker reshuffles {e only} the documents that scored it into their
+    replica set (the classic HRW stability argument; consistent hashing
+    without the ring). *)
+
+type t
+
+(** [create ~workers ~replication] — [workers] are stable names (the
+    supervisor names processes [w0], [w1], …; a respawned worker keeps
+    its name, and therefore its documents). [replication] is clamped to
+    [1 .. length workers]. Raises [Invalid_argument] on an empty worker
+    list. *)
+val create : workers:string list -> replication:int -> t
+
+val workers : t -> string list
+val replication : t -> int
+
+(** Deterministic score of a (worker, key) pair — exposed for tests. *)
+val score : worker:string -> key:string -> int64
+
+(** All workers ordered by descending score for [key] (ties broken by
+    name, so the order is total and reproducible). *)
+val ranking : t -> key:string -> string list
+
+(** The first [replication] entries of {!ranking}: the workers that
+    hold (replicas of) document [key], best first. *)
+val replicas : t -> key:string -> string list

@@ -1,0 +1,66 @@
+type conn = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+type t = { spath : string; lock : Mutex.t; mutable conn : conn option }
+
+let create spath = { spath; lock = Mutex.create (); conn = None }
+let path t = t.spath
+
+let teardown t =
+  match t.conn with
+  | None -> ()
+  | Some c ->
+      t.conn <- None;
+      (try close_in_noerr c.ic with _ -> ());
+      (try close_out_noerr c.oc with _ -> ());
+      (try Unix.close c.fd with _ -> ())
+
+let connect t =
+  match t.conn with
+  | Some c -> c
+  | None ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX t.spath)
+       with e ->
+         (try Unix.close fd with _ -> ());
+         raise e);
+      let c =
+        {
+          fd;
+          ic = Unix.in_channel_of_descr fd;
+          oc = Unix.out_channel_of_descr fd;
+        }
+      in
+      t.conn <- Some c;
+      c
+
+let call ?timeout_ms t line =
+  Mutex.lock t.lock;
+  let result =
+    try
+      let c = connect t in
+      (match timeout_ms with
+      | Some ms when ms > 0. ->
+          Unix.setsockopt_float c.fd Unix.SO_RCVTIMEO (ms /. 1000.)
+      | _ -> Unix.setsockopt_float c.fd Unix.SO_RCVTIMEO 0.);
+      output_string c.oc line;
+      output_char c.oc '\n';
+      flush c.oc;
+      let resp = input_line c.ic in
+      Ok resp
+    with
+    | End_of_file ->
+        teardown t;
+        Error "connection closed by worker"
+    | Unix.Unix_error (err, _, _) ->
+        teardown t;
+        Error (Unix.error_message err)
+    | Sys_error msg ->
+        teardown t;
+        Error msg
+  in
+  Mutex.unlock t.lock;
+  result
+
+let close t =
+  Mutex.lock t.lock;
+  teardown t;
+  Mutex.unlock t.lock

@@ -1,0 +1,24 @@
+(** A persistent line-oriented client for one worker's Unix-domain
+    socket: one request line out, one response line back, over a
+    connection that is kept open across calls and re-dialed on demand.
+    All failure modes (connect refused, timeout, torn connection,
+    worker EOF) surface as [Error msg] — the coordinator turns those
+    into retries and failovers, never into exceptions. *)
+
+type t
+
+(** [create path] — no connection is attempted until the first
+    {!call}. *)
+val create : string -> t
+
+val path : t -> string
+
+(** Send [line] (a newline is appended) and read one response line.
+    [timeout_ms] bounds the {e read} via [SO_RCVTIMEO]; connect and
+    write fail fast on their own. Any error tears down the cached
+    connection so the next call starts from a fresh dial. Thread-safe:
+    calls on the same [t] are serialized. *)
+val call : ?timeout_ms:float -> t -> string -> (string, string) result
+
+(** Close the cached connection, if any. *)
+val close : t -> unit

@@ -314,6 +314,29 @@ let iter_exprs f (p : Lang.Ast.program) =
   go p.Lang.Ast.main;
   List.iter (fun fd -> go fd.Lang.Ast.body) p.Lang.Ast.functions
 
+(* Literal doc("uri") references anywhere in the program — main
+   expression, function bodies and global variable declarations. The
+   cluster router keys document-sharded placement on these. *)
+let doc_uris (p : Lang.Ast.program) =
+  let seen = Hashtbl.create 4 in
+  let uris = ref [] in
+  let visit e =
+    match (e : Lang.Ast.expr) with
+    | Lang.Ast.Call ("doc", [ Lang.Ast.Literal (Xdm.Atom.Str u) ])
+      when not (Hashtbl.mem seen u) ->
+      Hashtbl.replace seen u ();
+      uris := u :: !uris
+    | _ -> ()
+  in
+  let rec go e =
+    visit e;
+    List.iter go (subexprs e)
+  in
+  go p.Lang.Ast.main;
+  List.iter (fun fd -> go fd.Lang.Ast.body) p.Lang.Ast.functions;
+  List.iter (fun (_, e) -> go e) p.Lang.Ast.variables;
+  List.rev !uris
+
 let first_ifp (p : Lang.Ast.program) =
   let found = ref None in
   iter_exprs
@@ -331,6 +354,108 @@ let count_ifps (p : Lang.Ast.program) =
     (function Lang.Ast.Ifp _ -> incr n | _ -> ())
     p;
   !n
+
+(* Rewrite the first IFP's seed to its [index]-th residue class modulo
+   [count]: [seed] becomes [seed[(position() - 1) mod count = index]].
+   Theorem 3.2 (distributivity) is exactly the licence to evaluate a
+   distributive IFP on each slice separately and union the results —
+   the cluster coordinator's scatter-gather applies this rewrite on one
+   worker per replica. The rewrite itself is mode- and engine-agnostic:
+   the sliced seed is an ordinary filter expression. *)
+let partition_first_seed ~index ~count (p : Lang.Ast.program) =
+  if count < 1 || index < 0 || index >= count then
+    raise
+      (Error
+         (Printf.sprintf "invalid seed partition %d/%d" index count));
+  let ilit n = Lang.Ast.Literal (Xdm.Atom.Int n) in
+  let slice seed =
+    Lang.Ast.Filter
+      ( seed,
+        Lang.Ast.Gen_cmp
+          ( Lang.Ast.Eq,
+            Lang.Ast.Arith
+              ( Lang.Ast.Mod,
+                Lang.Ast.Arith
+                  (Lang.Ast.Sub, Lang.Ast.Call ("position", []), ilit 1),
+                ilit count ),
+            ilit index ) )
+  in
+  let done_ = ref false in
+  let rec go e =
+    if !done_ then e
+    else
+      match (e : Lang.Ast.expr) with
+      | Lang.Ast.Ifp { var; seed; body } ->
+        done_ := true;
+        Lang.Ast.Ifp { var; seed = slice seed; body }
+      | _ -> map_subexprs go e
+  and map_subexprs f e =
+    match (e : Lang.Ast.expr) with
+    | Lang.Ast.Literal _ | Lang.Ast.Empty_seq | Lang.Ast.Var _
+    | Lang.Ast.Context_item | Lang.Ast.Root | Lang.Ast.Axis_step _ ->
+      e
+    | Lang.Ast.Sequence (a, b) -> Lang.Ast.Sequence (f a, f b)
+    | Lang.Ast.Union (a, b) -> Lang.Ast.Union (f a, f b)
+    | Lang.Ast.Except (a, b) -> Lang.Ast.Except (f a, f b)
+    | Lang.Ast.Intersect (a, b) -> Lang.Ast.Intersect (f a, f b)
+    | Lang.Ast.Path (a, b) -> Lang.Ast.Path (f a, f b)
+    | Lang.Ast.Filter (a, b) -> Lang.Ast.Filter (f a, f b)
+    | Lang.Ast.For r ->
+      Lang.Ast.For { r with source = f r.source; body = f r.body }
+    | Lang.Ast.Sort r ->
+      Lang.Ast.Sort
+        { r with source = f r.source; key = f r.key; body = f r.body }
+    | Lang.Ast.Let r ->
+      Lang.Ast.Let { r with value = f r.value; body = f r.body }
+    | Lang.Ast.If (c, t, e') -> Lang.Ast.If (f c, f t, f e')
+    | Lang.Ast.Quantified (q, v, s, pr) -> Lang.Ast.Quantified (q, v, f s, f pr)
+    | Lang.Ast.Arith (op, a, b) -> Lang.Ast.Arith (op, f a, f b)
+    | Lang.Ast.Neg a -> Lang.Ast.Neg (f a)
+    | Lang.Ast.Gen_cmp (c, a, b) -> Lang.Ast.Gen_cmp (c, f a, f b)
+    | Lang.Ast.Val_cmp (c, a, b) -> Lang.Ast.Val_cmp (c, f a, f b)
+    | Lang.Ast.Node_is (a, b) -> Lang.Ast.Node_is (f a, f b)
+    | Lang.Ast.Node_before (a, b) -> Lang.Ast.Node_before (f a, f b)
+    | Lang.Ast.Node_after (a, b) -> Lang.Ast.Node_after (f a, f b)
+    | Lang.Ast.And (a, b) -> Lang.Ast.And (f a, f b)
+    | Lang.Ast.Or (a, b) -> Lang.Ast.Or (f a, f b)
+    | Lang.Ast.Range (a, b) -> Lang.Ast.Range (f a, f b)
+    | Lang.Ast.Call (n, args) -> Lang.Ast.Call (n, List.map f args)
+    | Lang.Ast.Elem_constr (n, attrs, content) ->
+      Lang.Ast.Elem_constr
+        ( n,
+          List.map
+            (fun (an, pieces) ->
+              ( an,
+                List.map
+                  (function
+                    | Lang.Ast.A_lit l -> Lang.Ast.A_lit l
+                    | Lang.Ast.A_expr e -> Lang.Ast.A_expr (f e))
+                  pieces ))
+            attrs,
+          List.map f content )
+    | Lang.Ast.Comp_elem (n, a) -> Lang.Ast.Comp_elem (n, f a)
+    | Lang.Ast.Text_constr a -> Lang.Ast.Text_constr (f a)
+    | Lang.Ast.Attr_constr (n, a) -> Lang.Ast.Attr_constr (n, f a)
+    | Lang.Ast.Comment_constr a -> Lang.Ast.Comment_constr (f a)
+    | Lang.Ast.Doc_constr a -> Lang.Ast.Doc_constr (f a)
+    | Lang.Ast.Instance_of (a, ty) -> Lang.Ast.Instance_of (f a, ty)
+    | Lang.Ast.Cast (a, ty, o) -> Lang.Ast.Cast (f a, ty, o)
+    | Lang.Ast.Castable (a, ty, o) -> Lang.Ast.Castable (f a, ty, o)
+    | Lang.Ast.Typeswitch (s, cases, dv, db) ->
+      Lang.Ast.Typeswitch
+        (f s, List.map (fun (ty, v, b) -> (ty, v, f b)) cases, dv, f db)
+    | Lang.Ast.Ifp { var; seed; body } ->
+      Lang.Ast.Ifp { var; seed = f seed; body = f body }
+  in
+  let main = go p.Lang.Ast.main in
+  let functions =
+    List.map
+      (fun fd -> { fd with Lang.Ast.body = go fd.Lang.Ast.body })
+      p.Lang.Ast.functions
+  in
+  if not !done_ then
+    raise (Error "seed partition requires a query with an IFP");
+  { p with Lang.Ast.main; functions }
 
 let program_functions (p : Lang.Ast.program) =
   let functions = Hashtbl.create 16 in

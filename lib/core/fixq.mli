@@ -88,6 +88,25 @@ val first_ifp : Lang.Ast.program -> (string * Lang.Ast.expr) option
     [Auto] decision. *)
 val count_ifps : Lang.Ast.program -> int
 
+(** The distinct literal [doc("uri")] references of the whole program
+    (main expression, function bodies, global variable declarations),
+    in first-occurrence order. Document-sharded routing keys on
+    these. *)
+val doc_uris : Lang.Ast.program -> string list
+
+(** [partition_first_seed ~index ~count p] rewrites the {e first} IFP
+    (same traversal order as {!first_ifp}) so its seed keeps only the
+    [index]-th residue class modulo [count]:
+    [seed\[(position() - 1) mod count = index\]]. When the IFP body is
+    distributive, Theorem 3.2 makes evaluating the IFP once per slice
+    and uniting the results equivalent to one evaluation of the whole
+    seed — the soundness argument behind the cluster's scatter-gather
+    (and the same licence that justifies Naïve→Delta). Raises {!Error}
+    if the program has no IFP or the partition is malformed
+    ([count < 1] or [index] outside [0 .. count-1]). *)
+val partition_first_seed :
+  index:int -> count:int -> Lang.Ast.program -> Lang.Ast.program
+
 (** Both distributivity verdicts for the body of the {e first} IFP in
     the program: [(syntactic, algebraic)]. The algebraic verdict is
     [None] when the body is outside the compilable subset.

@@ -23,13 +23,19 @@ let record t ~key ~label ~ms =
       { label; count = 1; total_ms = ms; min_ms = ms; max_ms = ms });
   Mutex.unlock t.lock
 
-let to_json t =
+let sorted_aggs t =
   Mutex.lock t.lock;
-  let aggs = Hashtbl.fold (fun _ a acc -> a :: acc) t.table [] in
-  Mutex.unlock t.lock;
   let aggs =
-    List.sort (fun a b -> compare (b.count, b.label) (a.count, a.label)) aggs
+    Hashtbl.fold
+      (fun _ a acc ->
+        { a with label = a.label } :: acc (* copy under the lock *))
+      t.table []
   in
+  Mutex.unlock t.lock;
+  List.sort (fun a b -> compare (b.count, b.label) (a.count, a.label)) aggs
+
+let to_json t =
+  let aggs = sorted_aggs t in
   Json.List
     (List.map
        (fun a ->
@@ -41,3 +47,59 @@ let to_json t =
              ("max_ms", Json.Num a.max_ms);
              ("mean_ms", Json.Num (a.total_ms /. float_of_int a.count)) ])
        aggs)
+
+type snapshot = {
+  s_label : string;
+  s_count : int;
+  s_total_ms : float;
+  s_min_ms : float;
+  s_max_ms : float;
+}
+
+let snapshots t =
+  List.map
+    (fun a ->
+      { s_label = a.label; s_count = a.count; s_total_ms = a.total_ms;
+        s_min_ms = a.min_ms; s_max_ms = a.max_ms })
+    (sorted_aggs t)
+
+let escape_label s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Prometheus numbers must not use OCaml's "1." spelling. *)
+let prom_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let to_prometheus ?(labels = "") ~prefix t =
+  let buf = Buffer.create 512 in
+  let snaps = snapshots t in
+  let sample family value s =
+    Buffer.add_string buf
+      (Printf.sprintf "%s_%s{query=\"%s\"%s} %s\n" prefix family
+         (escape_label s.s_label)
+         (if labels = "" then "" else "," ^ labels)
+         value)
+  in
+  if snaps <> [] then begin
+    Buffer.add_string buf
+      (Printf.sprintf "# TYPE %s_query_executions_total counter\n" prefix);
+    List.iter
+      (fun s -> sample "query_executions_total" (string_of_int s.s_count) s)
+      snaps;
+    Buffer.add_string buf
+      (Printf.sprintf "# TYPE %s_query_ms_total counter\n" prefix);
+    List.iter
+      (fun s -> sample "query_ms_total" (prom_float s.s_total_ms) s)
+      snaps
+  end;
+  Buffer.contents buf

@@ -19,3 +19,27 @@ val record : t -> key:string -> label:string -> ms:float -> unit
     [{"query": label, "count": n, "total_ms": t, "min_ms": m,
     "max_ms": M, "mean_ms": µ}]. *)
 val to_json : t -> Json.t
+
+(** A point-in-time copy of one aggregate (for exports that outlive the
+    lock, e.g. the Prometheus exposition). *)
+type snapshot = {
+  s_label : string;
+  s_count : int;
+  s_total_ms : float;
+  s_min_ms : float;
+  s_max_ms : float;
+}
+
+(** Aggregates sorted most-executed first, copied under the lock. *)
+val snapshots : t -> snapshot list
+
+(** Escape a string for use as a Prometheus label value (backslash,
+    double quote, newline). *)
+val escape_label : string -> string
+
+(** Prometheus text-exposition lines for the per-query aggregates:
+    [<prefix>_query_executions_total{query="…"}] and
+    [<prefix>_query_ms_total{query="…"}], with one [# TYPE] header per
+    family. [labels] (e.g. [{|worker="w0"|}]) is spliced into every
+    sample's label set. *)
+val to_prometheus : ?labels:string -> prefix:string -> t -> string

@@ -11,15 +11,19 @@ type run_params = {
   max_iterations : int option;
   timeout_ms : float option;
   cache : bool;
+  partition : (int * int) option;
 }
+
+type stats_format = Stats_json | Stats_prometheus
 
 type request =
   | Run of run_params
+  | Prepare of { query : string; stratified : bool option }
   | Check of { query : string; stratified : bool option }
   | Plan of { query : string; stratified : bool option }
   | Load_doc of { uri : string; source : doc_source }
   | Unload_doc of { uri : string }
-  | Stats
+  | Stats of stats_format
   | Ping
   | Shutdown
 
@@ -55,6 +59,23 @@ let parse_request j =
         | Some other ->
           Error (Printf.sprintf "unknown mode %S (auto|naive|delta)" other)
       in
+      let* partition =
+        match Json.member "partition" j with
+        | Json.Null -> Ok None
+        | p -> (
+          match
+            ( Json.int_opt (Json.member "index" p),
+              Json.int_opt (Json.member "of" p) )
+          with
+          | (Some index, Some count) when count >= 1 && index >= 0 && index < count
+            ->
+            Ok (Some (index, count))
+          | (Some index, Some count) ->
+            Error
+              (Printf.sprintf "invalid partition %d/%d (need 0 <= index < of)"
+                 index count)
+          | _ -> Error "partition needs integer members \"index\" and \"of\"")
+      in
       Ok
         (Run
            { query; engine; mode; stratified;
@@ -62,7 +83,11 @@ let parse_request j =
              timeout_ms = Json.num_opt (Json.member "timeout_ms" j);
              cache =
                Option.value ~default:true
-                 (Json.bool_opt (Json.member "cache" j)) })
+                 (Json.bool_opt (Json.member "cache" j));
+             partition })
+    | "prepare" ->
+      let* query = query_of j in
+      Ok (Prepare { query; stratified })
     | "check" ->
       let* query = query_of j in
       Ok (Check { query; stratified })
@@ -99,7 +124,12 @@ let parse_request j =
       match Json.str_opt (Json.member "uri" j) with
       | Some uri -> Ok (Unload_doc { uri })
       | None -> Error "missing string member \"uri\"")
-    | "stats" -> Ok Stats
+    | "stats" -> (
+      match Json.str_opt (Json.member "format" j) with
+      | None | Some "json" -> Ok (Stats Stats_json)
+      | Some "prometheus" -> Ok (Stats Stats_prometheus)
+      | Some other ->
+        Error (Printf.sprintf "unknown stats format %S (json|prometheus)" other))
     | "ping" -> Ok Ping
     | "shutdown" -> Ok Shutdown
     | other -> Error (Printf.sprintf "unknown op %S" other))

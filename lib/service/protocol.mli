@@ -1,4 +1,6 @@
-(** The newline-delimited JSON protocol of [fixq serve].
+(** The newline-delimited JSON protocol of [fixq serve] (and, one level
+    up, of the [fixq cluster] coordinator, which speaks the same wire
+    format to clients and forwards to workers).
 
     One request object per line, one response object per line. Every
     request carries an ["op"] discriminator; an optional ["id"] member
@@ -10,7 +12,15 @@
       ("interp"|"algebra"), ["mode"] ("auto"|"naive"|"delta"; "auto"
       uses the mode pinned at preparation), ["stratified"] (bool),
       ["max_iterations"] (int), ["timeout_ms"] (number), ["cache"]
-      (bool, default true — set false to bypass the result cache).
+      (bool, default true — set false to bypass the result cache),
+      ["partition"] ([{"index":k,"of":n}] — evaluate with the first
+      IFP's seed sliced to the k-th residue class modulo n; the
+      response then carries a ["keyed"] item list so a coordinator can
+      unite slices; see {!Server}).
+    - [{"op":"prepare","query":Q}] — parse, statically check, compute
+      both distributivity verdicts, pin the fixpoint mode and compile
+      the plan into the prepared-query LRU {e without executing}: cache
+      warming for coordinators and deploy scripts.
     - [{"op":"check","query":Q}] — distributivity verdicts and pinned
       modes, without running.
     - [{"op":"plan","query":Q}] — ASCII algebra plan of the first IFP.
@@ -20,6 +30,9 @@
       optional ["size"], ["seed"]).
     - [{"op":"unload-doc","uri":U}]
     - [{"op":"stats"}] — cache counters, per-query latency aggregates.
+      With ["format":"prometheus"], the response instead carries a
+      ["prometheus"] member with the text exposition of the same
+      counters, ready to serve to a scraper.
     - [{"op":"ping"}]
     - [{"op":"shutdown"}] — answer, then stop the server.
 
@@ -40,15 +53,22 @@ type run_params = {
   max_iterations : int option;
   timeout_ms : float option;
   cache : bool;  (** [false] bypasses the result cache *)
+  partition : (int * int) option;
+      (** [(index, count)]: slice the first IFP's seed to one residue
+          class; sound to unite across all [count] slices exactly when
+          the IFP is distributive (Theorem 3.2) *)
 }
+
+type stats_format = Stats_json | Stats_prometheus
 
 type request =
   | Run of run_params
+  | Prepare of { query : string; stratified : bool option }
   | Check of { query : string; stratified : bool option }
   | Plan of { query : string; stratified : bool option }
   | Load_doc of { uri : string; source : doc_source }
   | Unload_doc of { uri : string }
-  | Stats
+  | Stats of stats_format
   | Ping
   | Shutdown
 

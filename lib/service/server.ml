@@ -20,13 +20,19 @@ type t = {
   results : Result_cache.t;
   metrics : Metrics.t;
   started_at : float;
+  ranks : (int, (int, int) Hashtbl.t) Hashtbl.t;
+      (** per-document preorder ranks, keyed by root node id — node ids
+          are process-global and never reused, so entries never go
+          stale (see {!keyed_items}) *)
+  ranks_lock : Mutex.t;
 }
 
 let create ?(config = default_config) ?(store = Store.create ()) () =
   { config; store;
     prepared = Lru.create ~capacity:config.prepared_capacity ();
     results = Result_cache.create ~capacity:config.result_capacity ();
-    metrics = Metrics.create (); started_at = Unix.gettimeofday () }
+    metrics = Metrics.create (); started_at = Unix.gettimeofday ();
+    ranks = Hashtbl.create 8; ranks_lock = Mutex.create () }
 
 let store t = t.store
 let config t = t.config
@@ -57,9 +63,77 @@ let get_prepared t ~stratified ~max_iterations query =
     Lru.put t.prepared key p;
     (p, "miss")
 
+(* ------------------------------------------------------------------ *)
+(* Cross-process node identity                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Two workers that loaded the same document (same XML bytes, path, or
+   generator+seed) hold structurally identical trees, so a node's
+   preorder position within its tree — element, then its attributes,
+   then its children, the id order documented in [Node] — names the
+   same node in both processes. [keyed_items] tags each result item
+   with that portable identity so a cluster coordinator can unite
+   result slices by node identity and document order, reproducing
+   byte-for-byte what a single process would serialize. *)
+
+let rank_table root =
+  let tbl = Hashtbl.create 256 in
+  let next = ref 0 in
+  let rec walk n =
+    Hashtbl.replace tbl n.Xdm.Node.id !next;
+    incr next;
+    List.iter walk (Xdm.Node.attributes n);
+    List.iter walk (Xdm.Node.children n)
+  in
+  walk root;
+  tbl
+
+let rank_of t root =
+  Mutex.lock t.ranks_lock;
+  let tbl =
+    match Hashtbl.find_opt t.ranks root.Xdm.Node.id with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = rank_table root in
+      Hashtbl.replace t.ranks root.Xdm.Node.id tbl;
+      tbl
+  in
+  Mutex.unlock t.ranks_lock;
+  tbl
+
+let keyed_items t (items : Xdm.Item.seq) =
+  Json.List
+    (List.map
+       (fun item ->
+         match (item : Xdm.Item.t) with
+         | Xdm.Item.N n -> (
+           let root = Xdm.Node.root n in
+           let xml = Xdm.Serializer.to_string n in
+           match Xdm.Node.uri root with
+           | Some u ->
+             let rank =
+               match Hashtbl.find_opt (rank_of t root) n.Xdm.Node.id with
+               | Some r -> r
+               | None -> -1 (* detached from its indexed tree; content key *)
+             in
+             if rank >= 0 then
+               Json.Obj
+                 [ ("u", Json.Str u); ("r", Json.of_int rank);
+                   ("x", Json.Str xml) ]
+             else Json.Obj [ ("k", Json.Str ("x:" ^ xml)); ("x", Json.Str xml) ]
+           | None ->
+             (* constructed node: no portable identity; key by content.
+                Distributive bodies never construct (constructors void
+                the verdict), so the scatter path never lands here. *)
+             Json.Obj [ ("k", Json.Str ("x:" ^ xml)); ("x", Json.Str xml) ])
+         | Xdm.Item.A a ->
+           let s = Xdm.Serializer.escape_text (Xdm.Atom.to_string a) in
+           Json.Obj [ ("k", Json.Str ("a:" ^ s)); ("x", Json.Str s) ])
+       items)
+
 let handle_run t ~id
     { Protocol.query; engine; mode; stratified; max_iterations; timeout_ms;
-      cache } =
+      cache; partition } =
   let stratified = Option.value ~default:t.config.stratified stratified in
   let max_iterations =
     Option.value ~default:t.config.max_iterations max_iterations
@@ -84,19 +158,24 @@ let handle_run t ~id
         Printf.sprintf "%s:%s:%b" engine_str (mode_string run_mode) stratified;
       generation }
   in
-  let respond ~result_status (entry : Result_cache.entry) =
+  let respond ~result_status ?(extra = []) (entry : Result_cache.entry) =
     Protocol.ok_response ~id
-      [ ("engine", Json.Str engine_str);
-        ("mode", Json.Str (mode_string run_mode));
-        ("used_delta", Json.of_bool_opt entry.Result_cache.used_delta);
-        ("prepared_cache", Json.Str prepared_status);
-        ("result_cache", Json.Str result_status);
-        ("generation", Json.of_int generation);
-        ("nodes_fed", Json.of_int entry.Result_cache.nodes_fed);
-        ("depth", Json.of_int entry.Result_cache.depth);
-        ("result", Json.Str entry.Result_cache.serialized);
-        ("wall_ms", Json.Num entry.Result_cache.wall_ms) ]
+      ([ ("engine", Json.Str engine_str);
+         ("mode", Json.Str (mode_string run_mode));
+         ("used_delta", Json.of_bool_opt entry.Result_cache.used_delta);
+         ("prepared_cache", Json.Str prepared_status);
+         ("result_cache", Json.Str result_status);
+         ("generation", Json.of_int generation);
+         ("nodes_fed", Json.of_int entry.Result_cache.nodes_fed);
+         ("depth", Json.of_int entry.Result_cache.depth);
+         ("result", Json.Str entry.Result_cache.serialized) ]
+      @ extra
+      @ [ ("wall_ms", Json.Num entry.Result_cache.wall_ms) ])
   in
+  (* Partitioned runs (the cluster's scatter legs) always execute: the
+     keyed item list cannot be rebuilt from a cached serialization, and
+     the coordinator only scatters cold or invalidated work anyway. *)
+  let cache = cache && partition = None in
   match (if cache then Result_cache.find t.results rkey else None) with
   | Some entry -> respond ~result_status:"hit" entry
   | None ->
@@ -108,9 +187,15 @@ let handle_run t ~id
       | `Interp -> Fixq.Interpreter run_mode
       | `Algebra -> Fixq.Algebra run_mode
     in
+    let program =
+      match partition with
+      | None -> prepared.Prepared.program
+      | Some (index, count) ->
+        Fixq.partition_first_seed ~index ~count prepared.Prepared.program
+    in
     let report =
       Fixq.run_program ~registry:(Store.registry t.store) ~max_iterations
-        ~stratified ?deadline ~engine:fixq_engine prepared.Prepared.program
+        ~stratified ?deadline ~engine:fixq_engine program
     in
     let entry =
       { Result_cache.serialized =
@@ -126,7 +211,31 @@ let handle_run t ~id
       Result_cache.put t.results rkey entry;
     Metrics.record t.metrics ~key:prepared.Prepared.hash
       ~label:(preview query) ~ms:report.Fixq.wall_ms;
-    respond ~result_status:"miss" entry
+    let extra =
+      match partition with
+      | None -> []
+      | Some (index, count) ->
+        [ ("partition", Json.Str (Printf.sprintf "%d/%d" index count));
+          ("keyed", keyed_items t report.Fixq.result) ]
+    in
+    respond ~result_status:"miss" ~extra entry
+
+(* prepare: warm the prepared-query LRU (parse + static check + both
+   verdicts + pinned modes + compiled plan) without executing — the
+   cluster coordinator uses this to warm every replica before traffic. *)
+let handle_prepare t ~id query stratified =
+  let stratified = Option.value ~default:t.config.stratified stratified in
+  let (p, prepared_status) =
+    get_prepared t ~stratified ~max_iterations:t.config.max_iterations query
+  in
+  Protocol.ok_response ~id
+    [ ("prepared_cache", Json.Str prepared_status);
+      ("hash", Json.Str p.Prepared.hash);
+      ("ifp_count", Json.of_int p.Prepared.ifp_count);
+      ("interp_mode", Json.Str (mode_string p.Prepared.interp_mode));
+      ("algebra_mode", Json.Str (mode_string p.Prepared.algebra_mode));
+      ("has_plan", Json.Bool (p.Prepared.plan <> None));
+      ("prepare_ms", Json.Num p.Prepared.prepare_ms) ]
 
 let handle_check t ~id query stratified =
   let stratified = Option.value ~default:t.config.stratified stratified in
@@ -180,6 +289,47 @@ let cache_stats_json ~hits ~misses ~size ~capacity =
     [ ("hits", Json.of_int hits); ("misses", Json.of_int misses);
       ("size", Json.of_int size); ("capacity", Json.of_int capacity) ]
 
+(* Prometheus text exposition of the same counters the JSON stats
+   report: cache hit/miss/size, registry generation, uptime, and the
+   per-query execution aggregates from [Metrics]. Emitted by workers
+   (scraped directly or relayed by the coordinator). *)
+let prometheus_stats t =
+  let buf = Buffer.create 1024 in
+  let gauge name ?(labels = "") value =
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" name);
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s %s\n" name
+         (if labels = "" then "" else "{" ^ labels ^ "}")
+         value)
+  in
+  let counter_family name samples =
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" name);
+    List.iter
+      (fun (labels, value) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s{%s} %d\n" name labels value))
+      samples
+  in
+  gauge "fixq_uptime_seconds"
+    (Printf.sprintf "%.3f" (Unix.gettimeofday () -. t.started_at));
+  gauge "fixq_store_generation" (string_of_int (Store.generation t.store));
+  gauge "fixq_documents" (string_of_int (List.length (Store.uris t.store)));
+  counter_family "fixq_cache_hits_total"
+    [ ("cache=\"prepared\"", Lru.hits t.prepared);
+      ("cache=\"results\"", Result_cache.hits t.results) ];
+  counter_family "fixq_cache_misses_total"
+    [ ("cache=\"prepared\"", Lru.misses t.prepared);
+      ("cache=\"results\"", Result_cache.misses t.results) ];
+  Buffer.add_string buf "# TYPE fixq_cache_entries gauge\n";
+  List.iter
+    (fun (label, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "fixq_cache_entries{cache=%S} %d\n" label v))
+    [ ("prepared", Lru.length t.prepared);
+      ("results", Result_cache.length t.results) ];
+  Buffer.add_string buf (Metrics.to_prometheus ~prefix:"fixq" t.metrics);
+  Buffer.contents buf
+
 let handle_stats t ~id =
   Protocol.ok_response ~id
     [ ("stats",
@@ -209,6 +359,8 @@ let handle t request =
     try
       match req with
       | Protocol.Run r -> (handle_run t ~id r, false)
+      | Protocol.Prepare { query; stratified } ->
+        (handle_prepare t ~id query stratified, false)
       | Protocol.Check { query; stratified } ->
         (handle_check t ~id query stratified, false)
       | Protocol.Plan { query; stratified } ->
@@ -221,7 +373,11 @@ let handle t request =
             [ ("uri", Json.Str uri);
               ("generation", Json.of_int (Store.generation t.store)) ],
           false )
-      | Protocol.Stats -> (handle_stats t ~id, false)
+      | Protocol.Stats Protocol.Stats_json -> (handle_stats t ~id, false)
+      | Protocol.Stats Protocol.Stats_prometheus ->
+        ( Protocol.ok_response ~id
+            [ ("prometheus", Json.Str (prometheus_stats t)) ],
+          false )
       | Protocol.Ping -> (Protocol.ok_response ~id [ ("pong", Json.Bool true) ], false)
       | Protocol.Shutdown ->
         (Protocol.ok_response ~id [ ("shutdown", Json.Bool true) ], true)
@@ -316,7 +472,12 @@ let is_shutdown_line line =
   | j -> Json.str_opt (Json.member "op" j) = Some "shutdown"
   | exception Json.Parse_error _ -> false
 
-let serve_pipe t ic oc =
+(* The transports are generic over the request handler so that the
+   single-process server and the cluster coordinator (whose handler
+   fans out to worker processes) share the exact same pipe/socket
+   plumbing. [handle] maps one request line to (response line, stop). *)
+
+let serve_pipe_with ~handle ?(workers = 1) ic oc =
   let out_lock = Mutex.create () in
   let write_line s =
     Mutex.lock out_lock;
@@ -325,19 +486,19 @@ let serve_pipe t ic oc =
     flush oc;
     Mutex.unlock out_lock
   in
-  if t.config.workers <= 1 then
+  if workers <= 1 then
     let rec loop () =
       match input_line ic with
       | exception End_of_file -> ()
       | line when String.trim line = "" -> loop ()
       | line ->
-        let (response, shutdown) = handle_line t line in
+        let (response, shutdown) = handle line in
         write_line response;
         if not shutdown then loop ()
     in
     loop ()
   else begin
-    let pool = Pool.create t.config.workers in
+    let pool = Pool.create workers in
     let rec loop () =
       match input_line ic with
       | exception End_of_file -> ()
@@ -346,12 +507,12 @@ let serve_pipe t ic oc =
         if is_shutdown_line line then begin
           (* answer shutdown only after in-flight requests completed *)
           Pool.drain pool;
-          let (response, _) = handle_line t line in
+          let (response, _) = handle line in
           write_line response
         end
         else begin
           Pool.submit pool (fun () ->
-              let (response, _) = handle_line t line in
+              let (response, _) = handle line in
               write_line response);
           loop ()
         end
@@ -360,15 +521,33 @@ let serve_pipe t ic oc =
     Pool.shutdown pool
   end
 
-let serve_socket t ~path =
+exception Socket_in_use of string
+
+(* Is there a live server behind this socket path? A stale path left by
+   a crashed process refuses the connection; a healthy one accepts. *)
+let socket_alive path =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      match Unix.connect sock (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error _ -> false)
+
+let serve_socket_with ~handle ?(workers = 1) ~path () =
   (* a client hanging up mid-response must not kill the process *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-  if Sys.file_exists path then Unix.unlink path;
+  if Sys.file_exists path then begin
+    (* refuse to clobber another live server's socket; only unlink a
+       stale leftover that nothing answers behind *)
+    if socket_alive path then raise (Socket_in_use path);
+    Unix.unlink path
+  end;
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind sock (Unix.ADDR_UNIX path);
   Unix.listen sock 64;
   let stopping = ref false in
-  let pool = Pool.create t.config.workers in
+  let pool = Pool.create workers in
   let handle_conn fd =
     let ic = Unix.in_channel_of_descr fd in
     let oc = Unix.out_channel_of_descr fd in
@@ -378,7 +557,7 @@ let serve_socket t ~path =
       | exception Sys_error _ -> ()
       | line when String.trim line = "" -> loop ()
       | line ->
-        let (response, shutdown) = handle_line t line in
+        let (response, shutdown) = handle line in
         (try
            output_string oc response;
            output_char oc '\n';
@@ -405,3 +584,9 @@ let serve_socket t ~path =
   Pool.shutdown pool;
   (try Unix.close sock with Unix.Unix_error _ -> ());
   if Sys.file_exists path then (try Unix.unlink path with Sys_error _ -> ())
+
+let serve_pipe t ic oc =
+  serve_pipe_with ~handle:(handle_line t) ~workers:t.config.workers ic oc
+
+let serve_socket t ~path =
+  serve_socket_with ~handle:(handle_line t) ~workers:t.config.workers ~path ()

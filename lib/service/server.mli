@@ -38,6 +38,40 @@ val handle : t -> Json.t -> Json.t * bool
     response). *)
 val handle_line : t -> string -> string * bool
 
+(** The Prometheus text exposition of the server's counters (cache
+    hits/misses/sizes, generation, uptime, per-query aggregates) — the
+    payload of [{"op":"stats","format":"prometheus"}]. *)
+val prometheus_stats : t -> string
+
+(** Raised by the socket transports instead of clobbering the socket of
+    another {e live} server at the same path. Stale socket files (left
+    by a crashed process; nothing accepts behind them) are unlinked and
+    reused as before. *)
+exception Socket_in_use of string
+
+(** [socket_alive path] — does a connect to the Unix socket at [path]
+    currently succeed? *)
+val socket_alive : string -> bool
+
+(** Generic transports: serve with an arbitrary line handler (response
+    line, stop?). The single-process server and the cluster coordinator
+    share these. [workers] is the handler thread count (default 1). *)
+val serve_pipe_with :
+  handle:(string -> string * bool) ->
+  ?workers:int ->
+  in_channel ->
+  out_channel ->
+  unit
+
+(** Like {!serve_pipe_with} for a Unix-domain socket listener. Raises
+    {!Socket_in_use} when a live server already answers at [path]. *)
+val serve_socket_with :
+  handle:(string -> string * bool) ->
+  ?workers:int ->
+  path:string ->
+  unit ->
+  unit
+
 (** Serve requests line-by-line from [ic] to [oc] until EOF or a
     [shutdown] op. With [workers > 1], requests are dispatched to the
     pool and responses may interleave out of request order — clients
@@ -47,5 +81,6 @@ val serve_pipe : t -> in_channel -> out_channel -> unit
 (** Listen on a Unix-domain socket at [path] (unlinking any stale
     socket first), serving each connection from the worker pool. A
     [shutdown] op from any client stops accepting, drains in-flight
-    work and returns. *)
+    work and returns. Raises {!Socket_in_use} rather than stealing a
+    live server's socket. *)
 val serve_socket : t -> path:string -> unit

@@ -1,0 +1,110 @@
+End-to-end coverage for fixq cluster: worker processes behind the
+coordinator socket, document-sharded routing, scatter-gather on a
+distributive fixed point, and crash recovery (failover, then respawn
+with document replay).
+
+Sockets live under a short mktemp path: Unix socket paths are
+length-limited and cram working directories are deep.
+
+  $ cat > tree.xml <<'XML'
+  > <r><a><b/><b/></a><a><b/></a></r>
+  > XML
+  $ Q='{"op":"run","id":3,"query":"with $x seeded by doc(\"t.xml\")/r/* recurse $x/*","cache":false}'
+
+Part 1 — failover. Health checks are effectively off (1h interval), so
+killing a worker leaves a hole that only failover can cross.
+
+  $ D=$(mktemp -d /tmp/fixq-clu-XXXXXX)
+  $ fixq cluster --socket $D/c.sock --workers 2 --replication 2 \
+  >   --worker-dir $D/w --health-interval-ms 3600000 2>/dev/null &
+  $ for i in $(seq 150); do [ -S $D/c.sock ] && break; sleep 0.1; done
+
+The document lands on both workers (replication 2), rendezvous order:
+
+  $ echo '{"op":"load-doc","id":1,"uri":"t.xml","path":"tree.xml"}' | fixq client -s $D/c.sock
+  {"ok":true,"id":1,"uri":"t.xml","generation":1,"workers":["w0","w1"]}
+
+A distributive closure scatter-gathers across both replicas:
+
+  $ echo "$Q" | fixq client -s $D/c.sock | sed -E 's/,"wall_ms":[0-9.e+-]+//'
+  {"ok":true,"id":3,"engine":"interp","mode":"delta","used_delta":true,"generation":1,"nodes_fed":5,"depth":2,"result":"<b/> <b/> <b/>","scatter":{"legs":2,"workers":["w0","w1"]}}
+
+The same query through a single-process server gives byte-identical
+results (Theorem 3.2: uniting the per-replica slices of a distributive
+IFP reproduces the whole):
+
+  $ printf '%s\n' '{"op":"load-doc","uri":"t.xml","path":"tree.xml"}' "$Q" '{"op":"shutdown"}' \
+  >   | fixq serve --pipe | sed -n 's/.*"result":"\([^"]*\)".*/\1/p' > single.txt
+  $ echo "$Q" | fixq client -s $D/c.sock | sed -n 's/.*"result":"\([^"]*\)".*/\1/p' > scattered.txt
+  $ cmp single.txt scattered.txt && echo identical
+  identical
+
+Kill the primary replica (w1). The next run's scatter leg dies, the
+coordinator marks w1 dead and fails over to a whole-query run on w0 —
+the client still gets one correct answer:
+
+  $ STATS=$(echo '{"op":"stats"}' | fixq client -s $D/c.sock)
+  $ W1PID=$(echo "$STATS" | sed -n 's/.*"name":"w1","alive":true,"socket":"[^"]*","pid":\([0-9]*\).*/\1/p')
+  $ kill -9 $W1PID
+  $ echo "$Q" | fixq client -s $D/c.sock | sed -E 's/,"wall_ms":[0-9.e+-]+//'
+  {"ok":true,"id":3,"engine":"interp","mode":"delta","used_delta":true,"prepared_cache":"hit","result_cache":"miss","generation":1,"nodes_fed":5,"depth":2,"result":"<b/> <b/> <b/>","worker":"w0"}
+  $ echo '{"op":"stats"}' | fixq client -s $D/c.sock | grep -o '"failovers":[0-9]*'
+  "failovers":1
+  $ echo '{"op":"shutdown"}' | fixq client -s $D/c.sock
+  {"ok":true,"shutdown":true}
+  $ wait
+
+Part 2 — respawn. With health checks on, a killed worker comes back
+under its old name, its documents are replayed, and scatter resumes.
+
+  $ fixq cluster --socket $D/c2.sock --workers 2 --replication 2 \
+  >   --worker-dir $D/w2 --health-interval-ms 200 2>/dev/null &
+  $ for i in $(seq 150); do [ -S $D/c2.sock ] && break; sleep 0.1; done
+  $ echo '{"op":"load-doc","id":1,"uri":"t.xml","path":"tree.xml"}' | fixq client -s $D/c2.sock
+  {"ok":true,"id":1,"uri":"t.xml","generation":1,"workers":["w0","w1"]}
+  $ W0PID=$(echo '{"op":"stats"}' | fixq client -s $D/c2.sock | sed -n 's/.*"name":"w0","alive":true,"socket":"[^"]*","pid":\([0-9]*\).*/\1/p')
+  $ kill -9 $W0PID
+  $ for i in $(seq 150); do echo '{"op":"stats"}' | fixq client -s $D/c2.sock | grep -q '"restarts":1' && break; sleep 0.2; done
+  $ echo '{"op":"stats"}' | fixq client -s $D/c2.sock | grep -o '"restarts":[0-9]*'
+  "restarts":1
+
+The respawned w0 holds the replayed document again — it shows up in
+three document lists: w0's, w1's, and the coordinator's own:
+
+  $ echo '{"op":"stats"}' | fixq client -s $D/c2.sock | grep -o '"documents":\["t.xml"\]' | wc -l | tr -d ' '
+  3
+
+Scatter works across the healed pair, byte-identical as before:
+
+  $ echo "$Q" | fixq client -s $D/c2.sock | sed -E 's/,"wall_ms":[0-9.e+-]+//'
+  {"ok":true,"id":3,"engine":"interp","mode":"delta","used_delta":true,"generation":1,"nodes_fed":5,"depth":2,"result":"<b/> <b/> <b/>","scatter":{"legs":2,"workers":["w0","w1"]}}
+
+prepare warms every replica's prepared-query cache without executing:
+
+  $ echo '{"op":"prepare","id":9,"query":"with $x seeded by doc(\"t.xml\")/r/* recurse $x/*"}' | fixq client -s $D/c2.sock | sed -E 's/,"prepare_ms":[0-9.e+-]+//'
+  {"ok":true,"id":9,"prepared_cache":"hit","hash":"c1180df37a6b2cb523876b41e14dc5c9","ifp_count":1,"interp_mode":"delta","algebra_mode":"delta","has_plan":true,"workers":["w0","w1"]}
+
+The Prometheus exposition aggregates coordinator counters with
+per-worker samples relabeled by worker:
+
+  $ PROM=$(echo '{"op":"stats","format":"prometheus"}' | fixq client -s $D/c2.sock)
+  $ echo "$PROM" | grep -oE 'fixq_cluster_scatter_runs_total [0-9]+'
+  fixq_cluster_scatter_runs_total 1
+  $ echo "$PROM" | grep -oE 'fixq_cluster_worker_restarts_total [0-9]+'
+  fixq_cluster_worker_restarts_total 1
+  $ echo "$PROM" | grep -o 'fixq_uptime_seconds{worker=' | wc -l | tr -d ' '
+  2
+  $ echo '{"op":"shutdown"}' | fixq client -s $D/c2.sock
+  {"ok":true,"shutdown":true}
+  $ wait
+
+A second server refuses to steal a live coordinator or server socket:
+
+  $ fixq serve --socket $D/s.sock 2>/dev/null &
+  $ for i in $(seq 150); do [ -S $D/s.sock ] && break; sleep 0.1; done
+  $ fixq serve --socket $D/s.sock </dev/null 2>&1 | tail -1 | sed "s,$D,DIR,"
+  fixq serve: DIR/s.sock is in use by a live server (stop it or pick another path)
+  $ echo '{"op":"shutdown"}' | fixq client -s $D/s.sock
+  {"ok":true,"shutdown":true}
+  $ wait
+  $ rm -rf $D

@@ -1,0 +1,358 @@
+(* The fixq_cluster subsystem: rendezvous placement, seed
+   partitioning (Theorem 3.2 soundness of scatter-gather), and the
+   coordinator's routing / scatter / retry / failover behaviour over
+   in-process workers (real [Server.t]s behind an injectable backend —
+   the process-and-socket layer is exercised by the cram test). *)
+
+module Xdm = Fixq_xdm
+module Lang = Fixq_lang
+module Service = Fixq_service
+module Json = Service.Json
+module Server = Service.Server
+module Router = Fixq_cluster.Router
+module Coordinator = Fixq_cluster.Coordinator
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Router                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let names n = List.init n (Printf.sprintf "w%d")
+
+let test_router_basic () =
+  let r = Router.create ~workers:(names 4) ~replication:2 in
+  checki "replication" 2 (Router.replication r);
+  (* clamped *)
+  checki "clamped" 4
+    (Router.replication (Router.create ~workers:(names 4) ~replication:9));
+  List.iter
+    (fun key ->
+      let ranking = Router.ranking r ~key in
+      checki "ranking is a permutation" 4 (List.length ranking);
+      checki "distinct" 4
+        (List.length (List.sort_uniq compare ranking));
+      checks "deterministic"
+        (String.concat "," ranking)
+        (String.concat "," (Router.ranking r ~key));
+      let reps = Router.replicas r ~key in
+      checki "replica count" 2 (List.length reps);
+      checkb "replicas prefix ranking" true
+        (reps = [ List.nth ranking 0; List.nth ranking 1 ]))
+    [ "a.xml"; "b.xml"; "some/long/path.xml"; "" ]
+
+(* the HRW property: removing a worker only moves keys that worker
+   held; every other key keeps its exact replica set *)
+let test_router_stability () =
+  let before = Router.create ~workers:(names 5) ~replication:2 in
+  let after = Router.create ~workers:(names 4) ~replication:2 in
+  let keys = List.init 200 (Printf.sprintf "doc-%d.xml") in
+  let moved = ref 0 in
+  List.iter
+    (fun key ->
+      let b = Router.replicas before ~key in
+      if List.mem "w4" b then incr moved
+      else
+        checks ("stable " ^ key) (String.concat "," b)
+          (String.concat "," (Router.replicas after ~key)))
+    keys;
+  (* sanity: the removed worker did hold some replicas *)
+  checkb "w4 held some keys" true (!moved > 0);
+  (* and roughly its fair share: 2/5 of all replica slots *)
+  checkb "roughly fair share" true (!moved < 160)
+
+let test_router_spread () =
+  let r = Router.create ~workers:(names 4) ~replication:1 in
+  let counts = Hashtbl.create 4 in
+  List.iter
+    (fun key ->
+      let w = List.hd (Router.replicas r ~key) in
+      Hashtbl.replace counts w
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts w)))
+    (List.init 400 (Printf.sprintf "k%d"));
+  Hashtbl.iter
+    (fun w n ->
+      checkb (Printf.sprintf "%s gets a reasonable share (%d)" w n) true
+        (n > 40 && n < 250))
+    counts
+
+(* ------------------------------------------------------------------ *)
+(* Seed partitioning (the paper's Theorem 3.2, operationally)          *)
+(* ------------------------------------------------------------------ *)
+
+let tree_xml =
+  "<r><a><b><c/><c/></b><b><c/></b></a><a><b><c/></b></a></r>"
+
+let make_registry () =
+  let registry = Xdm.Doc_registry.create () in
+  Xdm.Doc_registry.register ~registry "t.xml"
+    (Xdm.Xml_parser.parse_string ~uri:"t.xml" tree_xml);
+  registry
+
+let closure_query = {|with $x seeded by doc("t.xml")/r/* recurse $x/*|}
+
+let test_partition_union_equals_whole () =
+  let registry = make_registry () in
+  let program = Lang.Parser.parse_program closure_query in
+  let engine = Fixq.Interpreter Fixq.Auto in
+  let whole = (Fixq.run_program ~registry ~engine program).Fixq.result in
+  List.iter
+    (fun count ->
+      let slices =
+        List.init count (fun index ->
+            let p = Fixq.partition_first_seed ~index ~count program in
+            (Fixq.run_program ~registry ~engine p).Fixq.result)
+      in
+      let union = Xdm.Item.ddo (List.concat slices) in
+      checks
+        (Printf.sprintf "union of %d slices = whole" count)
+        (Xdm.Serializer.seq_to_string whole)
+        (Xdm.Serializer.seq_to_string union))
+    [ 1; 2; 3; 5 ]
+
+let test_partition_validation () =
+  let program = Lang.Parser.parse_program closure_query in
+  let invalid index count =
+    match Fixq.partition_first_seed ~index ~count program with
+    | _ -> Alcotest.failf "expected rejection of %d/%d" index count
+    | exception Fixq.Error _ -> ()
+  in
+  invalid (-1) 2;
+  invalid 2 2;
+  invalid 0 0;
+  match
+    Fixq.partition_first_seed ~index:0 ~count:2
+      (Lang.Parser.parse_program "1 + 2")
+  with
+  | _ -> Alcotest.fail "expected rejection of IFP-free program"
+  | exception Fixq.Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator over in-process workers                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Real servers, injectable transport: [kill name] makes every send to
+   [name] fail like a torn connection; [revive name] heals it. *)
+type harness = {
+  servers : (string * Server.t) list;
+  failing : (string, unit) Hashtbl.t;
+  mutable sends : (string * string) list;  (** (worker, line), newest first *)
+  coordinator : Coordinator.t;
+}
+
+let make_harness ?config ~workers () =
+  let servers =
+    List.init workers (fun i -> (Printf.sprintf "w%d" i, Server.create ()))
+  in
+  let failing = Hashtbl.create 4 in
+  let h = ref None in
+  let send name ~timeout_ms:_ line =
+    let harness = Option.get !h in
+    harness.sends <- (name, line) :: harness.sends;
+    if Hashtbl.mem failing name then Error "injected failure"
+    else
+      let (resp, _) = Server.handle_line (List.assoc name servers) line in
+      Ok resp
+  in
+  let backend =
+    { Coordinator.workers = List.map fst servers; send;
+      info = (fun _ -> []); restarts = (fun () -> 0); stop = ignore }
+  in
+  let config =
+    Option.value
+      ~default:{ Coordinator.default_config with backoff_ms = 1. }
+      config
+  in
+  let harness =
+    { servers; failing; sends = [];
+      coordinator = Coordinator.create ~config backend }
+  in
+  h := Some harness;
+  harness
+
+let request h line =
+  let (resp, _) = Coordinator.handle_line h.coordinator line in
+  Json.parse resp
+
+let ok j = Json.bool_opt (Json.member "ok" j) = Some true
+let str name j = Option.value ~default:"" (Json.str_opt (Json.member name j))
+
+let load_line =
+  Printf.sprintf {|{"op":"load-doc","uri":"t.xml","xml":%s}|}
+    (Json.to_string (Json.Str tree_xml))
+
+let run_line ?(extra = "") query =
+  Printf.sprintf {|{"op":"run","query":%s%s}|}
+    (Json.to_string (Json.Str query))
+    extra
+
+(* what a single process answers, for parity checks *)
+let single_process_result query =
+  let server = Server.create () in
+  let (_, _) = Server.handle_line server load_line in
+  let (resp, _) = Server.handle_line server (run_line query) in
+  let j = Json.parse resp in
+  checkb "single-process run ok" true (ok j);
+  str "result" j
+
+let test_coordinator_load_replication () =
+  let h = make_harness ~workers:4 () in
+  let j = request h load_line in
+  checkb "load ok" true (ok j);
+  let holders =
+    List.filter
+      (fun (_, s) -> Service.Store.uris (Server.store s) = [ "t.xml" ])
+      h.servers
+  in
+  checki "document on exactly replication-many workers" 2
+    (List.length holders)
+
+let test_coordinator_routing_deterministic () =
+  let h = make_harness ~workers:4 () in
+  ignore (request h load_line);
+  (* non-distributive: predicate mentions $x, so Figure 5 refuses and
+     the query routes whole *)
+  let q = {|with $x seeded by doc("t.xml")/r recurse doc("t.xml")//b[$x]|} in
+  let j1 = request h (run_line q) in
+  let j2 = request h (run_line q) in
+  checkb "ok" true (ok j1 && ok j2);
+  checkb "routed, not scattered" true
+    (Json.member "scatter" j1 = Json.Null);
+  checkb "worker reported" true (str "worker" j1 <> "");
+  checks "same worker both times" (str "worker" j1) (str "worker" j2)
+
+let test_coordinator_scatter_parity () =
+  let h = make_harness ~workers:3 () in
+  ignore (request h load_line);
+  let j = request h (run_line closure_query) in
+  checkb "ok" true (ok j);
+  checki "two legs (replication 2)" 2
+    (Option.value ~default:0
+       (Json.int_opt (Json.member "legs" (Json.member "scatter" j))));
+  checks "scatter-gather equals single process"
+    (single_process_result closure_query)
+    (str "result" j)
+
+let test_coordinator_scatter_respects_optout () =
+  let h =
+    make_harness
+      ~config:{ Coordinator.default_config with scatter = false }
+      ~workers:3 ()
+  in
+  ignore (request h load_line);
+  let j = request h (run_line closure_query) in
+  checkb "ok" true (ok j);
+  checkb "no scatter when disabled" true (Json.member "scatter" j = Json.Null);
+  checks "still the right answer"
+    (single_process_result closure_query)
+    (str "result" j)
+
+(* a dead scatter leg falls back to one whole-query run on a live
+   worker: the client still gets exactly one correct answer *)
+let test_coordinator_failover () =
+  let h = make_harness ~workers:3 () in
+  ignore (request h load_line);
+  let reps =
+    Router.replicas (Coordinator.router h.coordinator) ~key:"t.xml"
+  in
+  Hashtbl.replace h.failing (List.hd reps) ();
+  let j = request h (run_line closure_query) in
+  checkb "ok despite dead replica" true (ok j);
+  checkb "fell back from scatter" true (Json.member "scatter" j = Json.Null);
+  checks "answer unchanged" (single_process_result closure_query)
+    (str "result" j);
+  let stats = Json.member "stats" (request h {|{"op":"stats"}|}) in
+  checkb "failover counted" true
+    (Option.value ~default:0 (Json.int_opt (Json.member "failovers" stats))
+     >= 1);
+  checkb "dead worker marked" true
+    (not
+       (List.mem (List.hd reps)
+          (Coordinator.alive_workers h.coordinator)))
+
+let test_coordinator_respawn_replays_docs () =
+  let h = make_harness ~workers:2 () in
+  ignore (request h load_line);
+  let victim =
+    List.hd (Router.replicas (Coordinator.router h.coordinator) ~key:"t.xml")
+  in
+  Hashtbl.replace h.failing victim ();
+  ignore (request h (run_line closure_query));
+  checkb "victim dead" true
+    (not (List.mem victim (Coordinator.alive_workers h.coordinator)));
+  (* "respawn": heal the transport, then fire the supervisor hook *)
+  Hashtbl.remove h.failing victim;
+  h.sends <- [];
+  Coordinator.on_worker_respawn h.coordinator victim;
+  checkb "victim alive again" true
+    (List.mem victim (Coordinator.alive_workers h.coordinator));
+  let replayed =
+    List.exists
+      (fun (name, line) ->
+        name = victim
+        &&
+        match Json.parse line with
+        | j -> Json.str_opt (Json.member "op" j) = Some "load-doc"
+        | exception Json.Parse_error _ -> false)
+      h.sends
+  in
+  checkb "documents replayed on respawn" true replayed;
+  (* and the healed worker serves scatter legs again *)
+  let j = request h (run_line ~extra:{|,"cache":false|} closure_query) in
+  checkb "scatter resumed" true (Json.member "scatter" j <> Json.Null);
+  checks "answer unchanged" (single_process_result closure_query)
+    (str "result" j)
+
+let test_coordinator_retry_accounting () =
+  let h = make_harness ~workers:2 () in
+  ignore (request h load_line);
+  let victim =
+    List.hd (Router.replicas (Coordinator.router h.coordinator) ~key:"t.xml")
+  in
+  Hashtbl.replace h.failing victim ();
+  let j = request h (run_line ~extra:{|,"cache":false|} closure_query) in
+  checkb "still answered" true (ok j);
+  let stats = Json.member "stats" (request h {|{"op":"stats"}|}) in
+  checkb "retries counted" true
+    (Option.value ~default:0 (Json.int_opt (Json.member "retries" stats)) >= 1)
+
+let test_coordinator_parse_error_local () =
+  let h = make_harness ~workers:2 () in
+  let j = request h (run_line "with $x seeded") in
+  checkb "not ok" true (not (ok j));
+  checkb "parse error mentioned" true
+    (String.length (str "error" j) > 0
+    && String.sub (str "error" j) 0 5 = "parse");
+  (* nothing was forwarded: the coordinator rejected locally *)
+  checki "no worker saw it" 0 (List.length h.sends)
+
+let () =
+  Alcotest.run "cluster"
+    [ ("router",
+       [ Alcotest.test_case "basic" `Quick test_router_basic;
+         Alcotest.test_case "join/leave stability" `Quick
+           test_router_stability;
+         Alcotest.test_case "spread" `Quick test_router_spread ]);
+      ("partition",
+       [ Alcotest.test_case "union of slices = whole" `Quick
+           test_partition_union_equals_whole;
+         Alcotest.test_case "validation" `Quick test_partition_validation ]);
+      ("coordinator",
+       [ Alcotest.test_case "load-doc replication" `Quick
+           test_coordinator_load_replication;
+         Alcotest.test_case "deterministic routing" `Quick
+           test_coordinator_routing_deterministic;
+         Alcotest.test_case "scatter parity" `Quick
+           test_coordinator_scatter_parity;
+         Alcotest.test_case "scatter opt-out" `Quick
+           test_coordinator_scatter_respects_optout;
+         Alcotest.test_case "failover exactly-once" `Quick
+           test_coordinator_failover;
+         Alcotest.test_case "respawn replays documents" `Quick
+           test_coordinator_respawn_replays_docs;
+         Alcotest.test_case "retry accounting" `Quick
+           test_coordinator_retry_accounting;
+         Alcotest.test_case "local parse errors" `Quick
+           test_coordinator_parse_error_local ]) ]
