@@ -23,20 +23,37 @@ let default_config =
   { replication = 2; scatter = true; retries = 2; backoff_ms = 50.;
     timeout_ms = None }
 
+(* What one worker process holds, and in which order it loaded it. A
+   worker allocates node ids in load order and [Item.ddo] sorts
+   cross-document by node id, so [ords] is exactly the worker's
+   cross-document serialization (and seed enumeration) order. *)
+type worker_docs = {
+  mutable next_ord : int;
+  ords : (string, int) Hashtbl.t;  (** uri → local load order *)
+}
+
 type t = {
   config : config;
   backend : backend;
   router : Router.t;
   lock : Mutex.t;
+  doc_lock : Mutex.t;
+      (** serializes document placement: load/unload, failover
+          shipping, respawn replay. Two racing load-docs for one uri
+          (or a load racing a replay) must not leave workers holding
+          different content or different load orders than [docs] and
+          [loaded] record. Never acquired while holding [lock]. *)
   alive : (string, unit) Hashtbl.t;
   docs : (string, int * string) Hashtbl.t;
-      (** uri → (load sequence, load-doc request line). The sequence
-          reproduces cross-document order at gather time: a worker
-          allocates node ids in load order, and [Item.ddo] sorts
-          cross-document by those ids, so documents serialize in load
-          order — which every worker shares, because only the
-          coordinator loads documents. *)
-  loaded : (string, (string, unit) Hashtbl.t) Hashtbl.t;  (** worker → uris *)
+      (** uri → (load sequence, load-doc request line). The sequence is
+          the document's position in the global load order — fresh on
+          every (re)load, because each load allocates fresh node ids on
+          the workers that take it. [gather_keyed] sorts by it, and
+          [order_ok] admits a worker to scatter (or prefers it for
+          routed multi-document runs) only when the worker's own load
+          order agrees, so position() enumeration and cross-document
+          serialization match across processes. *)
+  loaded : (string, worker_docs) Hashtbl.t;
   mutable doc_seq : int;
   mutable generation : int;
   mutable retries_total : int;
@@ -52,7 +69,8 @@ let create ?(config = default_config) backend =
   in
   let alive = Hashtbl.create 8 in
   List.iter (fun w -> Hashtbl.replace alive w ()) backend.workers;
-  { config; backend; router; lock = Mutex.create (); alive;
+  { config; backend; router; lock = Mutex.create ();
+    doc_lock = Mutex.create (); alive;
     docs = Hashtbl.create 16; loaded = Hashtbl.create 8; doc_seq = 0;
     generation = 0; retries_total = 0; failovers_total = 0; scatter_runs = 0;
     routed_runs = 0; started_at = Unix.gettimeofday () }
@@ -63,6 +81,10 @@ let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
+let doc_locked t f =
+  Mutex.lock t.doc_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.doc_lock) f
+
 let is_alive t name = locked t (fun () -> Hashtbl.mem t.alive name)
 let mark_dead t name = locked t (fun () -> Hashtbl.remove t.alive name)
 
@@ -70,13 +92,54 @@ let alive_workers t =
   locked t (fun () ->
       List.filter (fun w -> Hashtbl.mem t.alive w) t.backend.workers)
 
-let loaded_set t name =
+(* The per-worker bookkeeping below runs under [t.lock]. *)
+
+let worker_docs t name =
   match Hashtbl.find_opt t.loaded name with
-  | Some s -> s
+  | Some wd -> wd
   | None ->
-    let s = Hashtbl.create 16 in
-    Hashtbl.replace t.loaded name s;
-    s
+    let wd = { next_ord = 0; ords = Hashtbl.create 16 } in
+    Hashtbl.replace t.loaded name wd;
+    wd
+
+(* The worker just (re)loaded [uri], allocating fresh node ids: the
+   document is now LAST in its local load order. *)
+let record_loaded t name uri =
+  let wd = worker_docs t name in
+  wd.next_ord <- wd.next_ord + 1;
+  Hashtbl.replace wd.ords uri wd.next_ord
+
+(* After [ensure_docs] ships whatever [name] is missing of [uris] (in
+   global load order, appended after everything it already holds),
+   will [name] hold [uris] in the global load order? Seed enumeration
+   — hence position() slicing — and cross-document serialization both
+   follow worker-local node-id order, so a scatter leg whose order
+   diverges from its peers slices a different enumeration, and the
+   gathered union silently drops or duplicates items. *)
+let order_ok t name uris =
+  let ords =
+    match Hashtbl.find_opt t.loaded name with
+    | Some wd -> wd.ords
+    | None -> Hashtbl.create 0
+  in
+  let known =
+    List.filter_map
+      (fun uri ->
+        Option.map (fun (seq, _) -> (uri, seq)) (Hashtbl.find_opt t.docs uri))
+      uris
+  in
+  let (held, missing) =
+    List.partition (fun (uri, _) -> Hashtbl.mem ords uri) known
+  in
+  let by_ord =
+    List.sort compare
+      (List.map (fun (uri, _) -> (Hashtbl.find ords uri, uri)) held)
+  in
+  let by_seq = List.sort compare (List.map (fun (u, s) -> (s, u)) held) in
+  List.map snd by_ord = List.map snd by_seq
+  && List.for_all
+       (fun (_, hseq) -> List.for_all (fun (_, mseq) -> hseq < mseq) missing)
+       held
 
 (* ------------------------------------------------------------------ *)
 (* Sending with retry / failover                                       *)
@@ -103,57 +166,84 @@ let send_retry t name ~timeout_ms line =
   in
   go 0
 
+(* The documents of [uris] that [name] is missing, oldest global load
+   sequence first — shipping in that order keeps the worker's local
+   node-id order aligned with the global one whenever possible. *)
+let missing_docs t name uris =
+  locked t (fun () ->
+      let ords =
+        match Hashtbl.find_opt t.loaded name with
+        | Some wd -> wd.ords
+        | None -> Hashtbl.create 0
+      in
+      List.filter_map
+        (fun uri ->
+          match Hashtbl.find_opt t.docs uri with
+          | Some (seq, line) when not (Hashtbl.mem ords uri) ->
+            Some (seq, uri, line)
+          | _ -> None)
+        uris
+      |> List.sort compare)
+
 (* Make sure [name] holds every document of [uris] that the coordinator
-   knows, re-sending the recorded load-doc lines for missing ones. This
-   is what lets failover land on a worker outside a document's replica
-   set: the document follows the query. *)
+   knows, re-sending the recorded load-doc lines for missing ones in
+   global load order. This is what lets failover land on a worker
+   outside a document's replica set: the document follows the query. *)
 let ensure_docs t name uris =
-  let missing =
-    locked t (fun () ->
-        let set = loaded_set t name in
-        List.filter_map
-          (fun uri ->
-            match Hashtbl.find_opt t.docs uri with
-            | Some (_, line) when not (Hashtbl.mem set uri) -> Some (uri, line)
-            | _ -> None)
-          uris)
-  in
-  let rec push = function
-    | [] -> Ok ()
-    | (uri, line) :: rest -> (
-      match send_retry t name ~timeout_ms:t.config.timeout_ms line with
-      | Error e -> Error e
-      | Ok resp -> (
-        match Json.parse resp with
-        | j when Json.bool_opt (Json.member "ok" j) = Some true ->
-          locked t (fun () -> Hashtbl.replace (loaded_set t name) uri ());
-          push rest
-        | _ -> Error (Printf.sprintf "replaying %s on %s failed" uri name)
-        | exception Json.Parse_error _ ->
-          Error (Printf.sprintf "replaying %s on %s: bad response" uri name)))
-  in
-  push missing
+  match missing_docs t name uris with
+  | [] -> Ok ()
+  | _ :: _ ->
+    (* ship under the document lock: a concurrent (re)load of one of
+       these uris, or a second shipper racing to the same worker, must
+       not interleave — the worker would hold content or a load order
+       the coordinator did not record *)
+    doc_locked t (fun () ->
+        let rec push = function
+          | [] -> Ok ()
+          | (_, uri, line) :: rest -> (
+            match send_retry t name ~timeout_ms:t.config.timeout_ms line with
+            | Error e -> Error e
+            | Ok resp -> (
+              match Json.parse resp with
+              | j when Json.bool_opt (Json.member "ok" j) = Some true ->
+                locked t (fun () -> record_loaded t name uri);
+                push rest
+              | _ -> Error (Printf.sprintf "replaying %s on %s failed" uri name)
+              | exception Json.Parse_error _ ->
+                Error (Printf.sprintf "replaying %s on %s: bad response" uri
+                         name)))
+        in
+        (* recompute under the lock: a racing shipper may have won *)
+        push (missing_docs t name uris))
 
 let on_worker_respawn t name =
-  let lines =
-    locked t (fun () ->
-        Hashtbl.replace t.alive name ();
-        (* the respawned process is empty: forget, then replay *)
-        let uris =
-          Hashtbl.fold (fun uri () acc -> uri :: acc) (loaded_set t name) []
-        in
-        Hashtbl.remove t.loaded name;
-        List.filter_map
-          (fun uri ->
-            Option.map (fun (_, line) -> (uri, line)) (Hashtbl.find_opt t.docs uri))
-          uris)
-  in
-  List.iter
-    (fun (uri, line) ->
-      match send_retry t name ~timeout_ms:t.config.timeout_ms line with
-      | Ok _ -> locked t (fun () -> Hashtbl.replace (loaded_set t name) uri ())
-      | Error _ -> ())
-    lines
+  doc_locked t (fun () ->
+      let lines =
+        locked t (fun () ->
+            Hashtbl.replace t.alive name ();
+            (* the respawned process is empty: forget, then replay in
+               global load order so its node-id order matches its
+               scatter peers' *)
+            let uris =
+              match Hashtbl.find_opt t.loaded name with
+              | Some wd -> Hashtbl.fold (fun uri _ acc -> uri :: acc) wd.ords []
+              | None -> []
+            in
+            Hashtbl.remove t.loaded name;
+            List.filter_map
+              (fun uri ->
+                Option.map
+                  (fun (seq, line) -> (seq, uri, line))
+                  (Hashtbl.find_opt t.docs uri))
+              uris
+            |> List.sort compare)
+      in
+      List.iter
+        (fun (_, uri, line) ->
+          match send_retry t name ~timeout_ms:t.config.timeout_ms line with
+          | Ok _ -> locked t (fun () -> record_loaded t name uri)
+          | Error _ -> ())
+        lines)
 
 (* ------------------------------------------------------------------ *)
 (* Routing                                                             *)
@@ -171,28 +261,45 @@ let parse_query query =
    document (or of the query text itself when it touches no document),
    restricted to live workers. Workers outside the replica set still
    qualify — [ensure_docs] ships them the documents — so a query
-   survives as long as one worker lives. *)
+   survives as long as one worker lives. Multi-document queries prefer
+   workers whose local load order matches the global one: the others
+   would answer with a set-equal but differently serialized result
+   (documents in the wrong order). *)
 let candidates t ~docs ~query =
   let key = match docs with [] -> "q:" ^ query | uri :: _ -> uri in
-  List.filter (is_alive t) (Router.ranking t.router ~key)
+  let ranked = Router.ranking t.router ~key in
+  locked t (fun () ->
+      let live = List.filter (fun w -> Hashtbl.mem t.alive w) ranked in
+      match docs with
+      | [] | [ _ ] -> live
+      | _ ->
+        let (consistent, rest) =
+          List.partition (fun w -> order_ok t w docs) live
+        in
+        consistent @ rest)
 
-(* Live workers inside the replica sets of ALL the query's documents —
-   the only sound scatter targets without first shipping documents. *)
+(* Live workers inside the replica sets of ALL the query's documents
+   whose local document load order agrees with the global one — the
+   only sound scatter targets: a worker that loaded (or will receive,
+   via [ensure_docs]) the documents in another order enumerates the
+   seed differently, and the position()-mod-N slices would overlap or
+   miss elements. *)
 let scatter_set t ~docs ~query =
-  match docs with
-  | [] ->
-    List.filter (is_alive t)
-      (Router.replicas t.router ~key:("q:" ^ query))
-  | first :: rest ->
-    let inter =
+  let reps =
+    match docs with
+    | [] -> Router.replicas t.router ~key:("q:" ^ query)
+    | first :: rest ->
       List.fold_left
         (fun acc uri ->
-          let reps = Router.replicas t.router ~key:uri in
-          List.filter (fun w -> List.mem w reps) acc)
+          let r = Router.replicas t.router ~key:uri in
+          List.filter (fun w -> List.mem w r) acc)
         (Router.replicas t.router ~key:first)
         rest
-    in
-    List.filter (is_alive t) inter
+  in
+  locked t (fun () ->
+      List.filter
+        (fun w -> Hashtbl.mem t.alive w && order_ok t w docs)
+        reps)
 
 let functions_table (p : Lang.Ast.program) =
   let tbl = Hashtbl.create 8 in
@@ -202,17 +309,23 @@ let functions_table (p : Lang.Ast.program) =
   tbl
 
 (* Scatter is sound only when uniting the slices provably reproduces
-   the whole: the program must BE one IFP (not merely contain one) and
+   the whole: the program must BE one IFP (not merely contain one),
    its body must pass the Figure-5 syntactic distributivity check —
-   Theorem 3.2 then gives e(s1 ∪ s2) = e(s1) ∪ e(s2). *)
+   Theorem 3.2 then gives e(s1 ∪ s2) = e(s1) ∪ e(s2) — and seed and
+   body must produce document nodes only: [gather_keyed] merges by
+   portable node identity, while atoms would have to be restored to
+   the single process's engine-production order, which the slices do
+   not carry. *)
 let scatterable t ~stratified (p : Lang.Ast.program) =
   t.config.scatter
   && Fixq.count_ifps p = 1
   &&
   match p.Lang.Ast.main with
-  | Lang.Ast.Ifp { var; body; _ } ->
-    Lang.Distributivity.check ~functions:(functions_table p) ~stratified var
-      body
+  | Lang.Ast.Ifp { var; seed; body } ->
+    Fixq.node_only ~env:[] seed
+    && Fixq.node_only ~env:[ var ] body
+    && Lang.Distributivity.check ~functions:(functions_table p) ~stratified
+         var body
   | _ -> false
 
 (* ------------------------------------------------------------------ *)
@@ -346,7 +459,17 @@ let run_scatter t ~id ~docs ~workers ~timeout_ms fields =
             let r =
               match ensure_docs t name docs with
               | Error e -> Error e
-              | Ok () -> send_retry t name ~timeout_ms leg_line
+              | Ok () ->
+                (* re-check after shipping: a racing load-doc may have
+                   changed this worker's local order since
+                   [scatter_set] approved it *)
+                if locked t (fun () -> order_ok t name docs) then
+                  send_retry t name ~timeout_ms leg_line
+                else
+                  Error
+                    (Printf.sprintf
+                       "%s no longer holds documents in global load order"
+                       name)
             in
             results.(j) <- r)
           ())
@@ -370,7 +493,7 @@ let run_scatter t ~id ~docs ~workers ~timeout_ms fields =
              | exception Json.Parse_error m -> Error (`Worker m)))
   in
   if List.exists (function Error (`Transport _) -> true | _ -> false) parsed
-  then `Fallback (* a leg's worker died: give up on this scatter *)
+  then `Fallback (* a leg died or fell out of load order: give up *)
   else
     match
       List.find_map
@@ -380,6 +503,23 @@ let run_scatter t ~id ~docs ~workers ~timeout_ms fields =
     | Some msg -> `Response (Json.to_string (Protocol.error_response ~id msg))
     | None ->
       let legs = List.filter_map Result.to_option parsed in
+      (* belt and braces under the static node-only gate: if a leg
+         still produced an item without portable node identity (an
+         atom or constructed node, keyed "k"), its single-process
+         serialization order cannot be rebuilt here — run whole *)
+      let nodes_only =
+        List.for_all
+          (fun leg ->
+            match Json.member "keyed" leg with
+            | Json.List items ->
+              List.for_all
+                (fun item -> Json.str_opt (Json.member "u" item) <> None)
+                items
+            | _ -> true)
+          legs
+      in
+      if not nodes_only then `Fallback
+      else
       let first = List.hd legs in
       let result = gather_keyed t legs in
       locked t (fun () -> t.scatter_runs <- t.scatter_runs + 1);
@@ -446,7 +586,12 @@ let handle_run t ~id req (params : Protocol.run_params) =
 (* Documents                                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* One document op at a time ([doc_lock]): with several serving
+   threads, two racing load-docs for the same uri with different
+   sources could otherwise leave replicas holding different content
+   while [t.docs] records a single line. *)
 let handle_load_doc t ~id req uri =
+  doc_locked t @@ fun () ->
   let line = Json.to_string (Json.Obj (without [ "id" ] (obj_fields req))) in
   let reps = Router.replicas t.router ~key:uri in
   let results =
@@ -486,17 +631,16 @@ let handle_load_doc t ~id req uri =
     else begin
       let generation =
         locked t (fun () ->
-            (if not (Hashtbl.mem t.docs uri) then begin
-               t.doc_seq <- t.doc_seq + 1 end);
-            let seq =
-              match Hashtbl.find_opt t.docs uri with
-              | Some (seq, _) -> seq
-              | None -> t.doc_seq
-            in
-            Hashtbl.replace t.docs uri (seq, line);
-            List.iter
-              (fun name -> Hashtbl.replace (loaded_set t name) uri ())
-              succeeded;
+            (* a (re)load allocates fresh node ids on every worker that
+               takes it, so the document moves to the END of the global
+               load order: always a fresh sequence *)
+            t.doc_seq <- t.doc_seq + 1;
+            Hashtbl.replace t.docs uri (t.doc_seq, line);
+            (* workers that held an older copy (stale replicas after a
+               reload, earlier failover recipients) must be re-shipped
+               the new line before they serve this document again *)
+            Hashtbl.iter (fun _ wd -> Hashtbl.remove wd.ords uri) t.loaded;
+            List.iter (fun name -> record_loaded t name uri) succeeded;
             t.generation <- t.generation + 1;
             t.generation)
       in
@@ -509,18 +653,20 @@ let handle_load_doc t ~id req uri =
     end
 
 let handle_unload_doc t ~id req uri =
+  doc_locked t @@ fun () ->
   let line = Json.to_string (Json.Obj (without [ "id" ] (obj_fields req))) in
   let holders =
     locked t (fun () ->
         Hashtbl.fold
-          (fun name set acc -> if Hashtbl.mem set uri then name :: acc else acc)
+          (fun name wd acc ->
+            if Hashtbl.mem wd.ords uri then name :: acc else acc)
           t.loaded [])
   in
   List.iter
     (fun name ->
       if is_alive t name then
         ignore (send_retry t name ~timeout_ms:t.config.timeout_ms line);
-      locked t (fun () -> Hashtbl.remove (loaded_set t name) uri))
+      locked t (fun () -> Hashtbl.remove (worker_docs t name).ords uri))
     holders;
   let generation =
     locked t (fun () ->

@@ -114,36 +114,44 @@ let kill_worker w =
   wait ()
 
 let check ?ping ~on_respawn t =
+  (* snapshot under the lock; ping and kill (seconds each for an
+     unresponsive worker) run outside it so they cannot block stop()
+     or restarts(); only the quick respawn bookkeeping relocks *)
+  Mutex.lock t.lock;
+  let snapshot = if t.stopping then [] else t.workers in
+  Mutex.unlock t.lock;
   let respawn_list =
-    (* decide under the lock, spawn + ready-wait + notify outside it *)
+    List.filter
+      (fun w ->
+        if reaped w then true
+        else
+          match ping with
+          | Some p when not (p w.w_name) ->
+            kill_worker w;
+            true
+          | _ -> false)
+      snapshot
+  in
+  if respawn_list <> [] then begin
     Mutex.lock t.lock;
-    let l =
-      if t.stopping then []
-      else
-        List.filter
+    let spawned =
+      if t.stopping then [] (* stop() won the race: stay down *)
+      else begin
+        List.iter
           (fun w ->
-            if reaped w then true
-            else
-              match ping with
-              | Some p when not (p w.w_name) ->
-                kill_worker w;
-                true
-              | _ -> false)
-          t.workers
+            w.w_restarts <- w.w_restarts + 1;
+            spawn_process t w)
+          respawn_list;
+        respawn_list
+      end
     in
+    Mutex.unlock t.lock;
     List.iter
       (fun w ->
-        w.w_restarts <- w.w_restarts + 1;
-        spawn_process t w)
-      l;
-    Mutex.unlock t.lock;
-    l
-  in
-  List.iter
-    (fun w ->
-      wait_ready t w;
-      on_respawn w.w_name)
-    respawn_list
+        wait_ready t w;
+        on_respawn w.w_name)
+      spawned
+  end
 
 let start_health ~interval_ms ?ping ~on_respawn t =
   if t.health <> None then invalid_arg "Supervisor.start_health: already running";

@@ -82,6 +82,17 @@ val run_program :
     (document order, main expression before function bodies). *)
 val first_ifp : Lang.Ast.program -> (string * Lang.Ast.expr) option
 
+(** Conservative syntactic check that the expression surely evaluates
+    to document-tree nodes only — never atoms or freshly constructed
+    nodes. [env] lists the variables known to be node-only (the IFP
+    recursion variable, for its body). The cluster scatter gate
+    requires it: scattered result slices are united by portable node
+    identity (document uri, preorder rank), which atoms and
+    constructed nodes do not have — and a single process serializes
+    such items in engine-production order, which slices cannot
+    reproduce. *)
+val node_only : env:string list -> Lang.Ast.expr -> bool
+
 (** Number of [with … seeded by … recurse] sites in the whole program.
     The prepared-query layer pins a fixpoint algorithm at preparation
     time only for single-IFP programs; anything else keeps the per-site

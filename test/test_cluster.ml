@@ -305,6 +305,122 @@ let test_coordinator_respawn_replays_docs () =
   checks "answer unchanged" (single_process_result closure_query)
     (str "result" j)
 
+(* ------------------------------------------------------------------ *)
+(* Load-order soundness and atom results                               *)
+(* ------------------------------------------------------------------ *)
+
+let a_xml = "<r><p><q/><q/></p></r>"
+let b_xml = "<r><s><u/></s><s/></r>"
+
+(* seed spans both documents through a union, so its enumeration —
+   which position()-mod-N slices — follows cross-document node-id
+   order, i.e. each worker's local document load order *)
+let multi_doc_query =
+  {|with $x seeded by doc("a.xml")/r/* union doc("b.xml")/r/* recurse $x/*|}
+
+let load_uri_line uri xml =
+  Printf.sprintf {|{"op":"load-doc","uri":%s,"xml":%s}|}
+    (Json.to_string (Json.Str uri))
+    (Json.to_string (Json.Str xml))
+
+(* what a single process answers after this exact load sequence *)
+let single_process_after loads query =
+  let server = Server.create () in
+  List.iter (fun l -> ignore (Server.handle_line server l)) loads;
+  let (resp, _) = Server.handle_line server (run_line query) in
+  let j = Json.parse resp in
+  checkb "single-process run ok" true (ok j);
+  str "result" j
+
+(* A worker holding documents out of the global load order must not
+   serve scatter legs (its seed enumeration disagrees with its peers',
+   so the slices would overlap or miss), and routed multi-document
+   runs must prefer order-consistent workers. Reloading moves the
+   document to the end of the global order on every replica, healing
+   the divergence. *)
+let test_scatter_excludes_out_of_order_worker () =
+  let h = make_harness ~workers:2 () in
+  (* replication 2 over 2 workers: both replicate everything — but w1
+     is down while a.xml loads, so only w0 takes it *)
+  Coordinator.mark_dead h.coordinator "w1";
+  checkb "load a while w1 down" true
+    (ok (request h (load_uri_line "a.xml" a_xml)));
+  Coordinator.on_worker_respawn h.coordinator "w1" (* nothing to replay *);
+  checkb "load b with both up" true
+    (ok (request h (load_uri_line "b.xml" b_xml)));
+  (* w1 holds only b.xml: shipping a.xml now would append it AFTER b,
+     inverting the global order — so no scatter, and the whole query
+     goes to the order-consistent worker *)
+  let j = request h (run_line multi_doc_query) in
+  checkb "ok" true (ok j);
+  checkb "routed, not scattered" true (Json.member "scatter" j = Json.Null);
+  checks "parity with a single process that loaded a then b"
+    (single_process_after
+       [ load_uri_line "a.xml" a_xml; load_uri_line "b.xml" b_xml ]
+       multi_doc_query)
+    (str "result" j);
+  (* reloading a.xml re-ships it everywhere with a fresh sequence:
+     both workers agree on the order (b before a) and scatter resumes *)
+  checkb "reload a" true (ok (request h (load_uri_line "a.xml" a_xml)));
+  let j = request h (run_line ~extra:{|,"cache":false|} multi_doc_query) in
+  checkb "ok" true (ok j);
+  checkb "scatter resumed after reload" true
+    (Json.member "scatter" j <> Json.Null);
+  checks "parity with a single process that loaded a, b, then a again"
+    (single_process_after
+       [ load_uri_line "a.xml" a_xml; load_uri_line "b.xml" b_xml;
+         load_uri_line "a.xml" a_xml ]
+       multi_doc_query)
+    (str "result" j)
+
+(* Respawn replay must follow the global load order, not hash-table
+   fold order: the respawned worker's node-id order has to match its
+   peers' or it cannot serve multi-document scatter legs. *)
+let test_respawn_replay_order () =
+  let h = make_harness ~workers:2 () in
+  let uris = List.init 8 (Printf.sprintf "d%d.xml") in
+  List.iter
+    (fun uri ->
+      checkb ("load " ^ uri) true (ok (request h (load_uri_line uri a_xml))))
+    uris;
+  (* replication 2 over 2 workers: w0 holds all eight *)
+  h.sends <- [];
+  Coordinator.on_worker_respawn h.coordinator "w0";
+  let replayed =
+    List.rev h.sends
+    |> List.filter_map (fun (name, line) ->
+           if name <> "w0" then None
+           else
+             match Json.parse line with
+             | j when Json.str_opt (Json.member "op" j) = Some "load-doc" ->
+               Json.str_opt (Json.member "uri" j)
+             | _ -> None
+             | exception Json.Parse_error _ -> None)
+  in
+  checks "replayed in load order" (String.concat "," uris)
+    (String.concat "," replayed)
+
+(* Distributive body, but the seed constructs nodes: constructed nodes
+   have no portable identity (each scatter leg would build its own
+   copies, and the gathered union could only order them by serialized
+   content, not by the single process's document order), so the query
+   must route whole — and still answer byte-identically. *)
+let test_constructed_seed_routes_whole () =
+  let h = make_harness ~workers:2 () in
+  let q = {|with $x seeded by <r><c/></r> recurse $x/*|} in
+  let c =
+    request h
+      (Printf.sprintf {|{"op":"check","query":%s}|}
+         (Json.to_string (Json.Str q)))
+  in
+  checkb "body is distributive (scatter is only stopped by the seed)" true
+    (Json.bool_opt (Json.member "syntactic" c) = Some true);
+  let j = request h (run_line q) in
+  checkb "ok" true (ok j);
+  checkb "constructed seed routes whole" true
+    (Json.member "scatter" j = Json.Null);
+  checks "parity" (single_process_after [] q) (str "result" j)
+
 let test_coordinator_retry_accounting () =
   let h = make_harness ~workers:2 () in
   ignore (request h load_line);
@@ -352,6 +468,12 @@ let () =
            test_coordinator_failover;
          Alcotest.test_case "respawn replays documents" `Quick
            test_coordinator_respawn_replays_docs;
+         Alcotest.test_case "out-of-order worker excluded from scatter"
+           `Quick test_scatter_excludes_out_of_order_worker;
+         Alcotest.test_case "respawn replays in load order" `Quick
+           test_respawn_replay_order;
+         Alcotest.test_case "constructed seed routes whole" `Quick
+           test_constructed_seed_routes_whole;
          Alcotest.test_case "retry accounting" `Quick
            test_coordinator_retry_accounting;
          Alcotest.test_case "local parse errors" `Quick
