@@ -127,20 +127,32 @@ let measure_row row =
      the per-tree encoding caches are shared. *)
   let registry = Doc_registry.create () in
   row.setup registry;
-  let run engine = Fixq.run ~registry ~engine row.query in
-  let an = run (Fixq.Algebra Fixq.Naive) in
-  let ad = run (Fixq.Algebra Fixq.Auto) in
-  let inn = run (Fixq.Interpreter Fixq.Naive) in
-  let ind = run (Fixq.Interpreter Fixq.Auto) in
+  let module Counters = Fixq_xdm.Counters in
+  let run engine =
+    let before = Counters.snapshot () in
+    let r = Fixq.run ~registry ~engine row.query in
+    (r, Counters.diff (Counters.snapshot ()) before)
+  in
+  let (an, kan) = run (Fixq.Algebra Fixq.Naive) in
+  let (ad, kad) = run (Fixq.Algebra Fixq.Auto) in
+  let (inn, kin) = run (Fixq.Interpreter Fixq.Naive) in
+  let (ind, kid) = run (Fixq.Interpreter Fixq.Auto) in
   List.iter
-    (fun (engine, r) ->
+    (fun (engine, r, k) ->
       record_json
         [ ("section", Json.Str "table2"); ("query", Json.Str row.name);
           ("engine", Json.Str engine); ("ms", Json.Num r.Fixq.wall_ms);
           ("iterations", Json.of_int r.Fixq.depth);
-          ("nodes_fed", Json.of_int r.Fixq.nodes_fed) ])
-    [ ("algebra-naive", an); ("algebra-delta", ad); ("interp-naive", inn);
-      ("interp-delta", ind) ];
+          ("nodes_fed", Json.of_int r.Fixq.nodes_fed);
+          ("kernel_merges", Json.of_int k.Counters.merges);
+          ("kernel_merged_items", Json.of_int k.Counters.merged_items);
+          ("kernel_fallback_sorts", Json.of_int k.Counters.fallback_sorts);
+          ("kernel_bitmap_tests", Json.of_int k.Counters.bitmap_tests);
+          ("kernel_bitmap_hits", Json.of_int k.Counters.bitmap_hits);
+          ("kernel_index_steps", Json.of_int k.Counters.index_steps);
+          ("kernel_index_nodes", Json.of_int k.Counters.index_nodes) ])
+    [ ("algebra-naive", an, kan); ("algebra-delta", ad, kad);
+      ("interp-naive", inn, kin); ("interp-delta", ind, kid) ];
   { alg_naive_ms = an.Fixq.wall_ms;
     alg_delta_ms = ad.Fixq.wall_ms;
     int_naive_ms = inn.Fixq.wall_ms;
@@ -504,6 +516,79 @@ let cluster_bench () =
       \  documents large enough to amortize the gather.\n\n"
 
 (* ------------------------------------------------------------------ *)
+(* Accumulator scaling: per-round cost vs |res|                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A chain document makes the recursion advance exactly one node per
+   round for thousands of rounds: ∆ stays 1 while the accumulated
+   result grows to |chain|. If per-round accumulation cost depended on
+   |res| — the old [except]/[union]-over-everything loop re-sorted the
+   whole result each round — late rounds would be measurably slower
+   than early ones; with the run-based accumulator they stay flat. *)
+let accum () =
+  printf "== Accumulator scaling: round cost as |res| grows ==\n\n";
+  let module Eval = Fixq_lang.Eval in
+  let module Fixpoint = Fixq_lang.Fixpoint in
+  let links = 4000 in
+  let registry = Doc_registry.create () in
+  let doc =
+    let buf = Buffer.create (links * 28) in
+    Buffer.add_string buf "<chain>";
+    for i = 1 to links do
+      Buffer.add_string buf
+        (Printf.sprintf {|<n id="p%d" next="p%d"/>|} i (i + 1))
+    done;
+    Buffer.add_string buf "</chain>";
+    Fixq_xdm.Xml_parser.parse_string ~uri:"chain.xml" (Buffer.contents buf)
+  in
+  Node.register_id_attribute doc "id";
+  Doc_registry.register ~registry "chain.xml" doc;
+  let ev = Eval.create ~registry () in
+  let body_expr = Parser.parse_expr "$x/id(@next)" in
+  let body input = Eval.eval_expr ev ~vars:[ ("x", input) ] body_expr in
+  let seed =
+    Eval.eval_expr ev (Parser.parse_expr {|doc("chain.xml")/chain/n[@id = "p1"]|})
+  in
+  let stats = Stats.create () in
+  let result = Fixpoint.delta ~stats ~body ~seed () in
+  let rounds = Array.of_list (Stats.last_run stats) in
+  let n = Array.length rounds in
+  let window = max 50 (n / 8) in
+  let avg lo hi =
+    let s = ref 0.0 in
+    for i = lo to hi do
+      s := !s +. rounds.(i).Stats.round_ms
+    done;
+    !s /. float_of_int (hi - lo + 1)
+  in
+  (* skip the first [window] rounds (JIT-less, but caches/GC warm up)
+     and the final empty round *)
+  let early = avg window (min (n - 1) ((2 * window) - 1)) in
+  let late = avg (max 0 (n - 1 - (2 * window))) (n - 1 - window) in
+  let ratio = if early > 0.0 then late /. early else Float.nan in
+  let k = Stats.run_kernel_totals stats in
+  printf "  chain of %d nodes, ∆ = 1 node/round, %d rounds\n" links n;
+  printf "  result size %d, early rounds avg %.4f ms, late rounds avg %.4f ms\n"
+    (List.length result) early late;
+  printf "  late/early ratio ×%.2f (%s)\n" ratio
+    (if ratio < 2.0 then "flat: accumulation cost independent of |res|"
+     else "NOT FLAT: round cost grows with the accumulated result");
+  printf "  kernel: %d bitmap tests (%d hits), %d merges, %d fallback sorts\n\n"
+    k.Fixq_xdm.Counters.bitmap_tests k.Fixq_xdm.Counters.bitmap_hits
+    k.Fixq_xdm.Counters.merges k.Fixq_xdm.Counters.fallback_sorts;
+  record_json
+    [ ("section", Json.Str "accum"); ("links", Json.of_int links);
+      ("rounds", Json.of_int n);
+      ("result_size", Json.of_int (List.length result));
+      ("early_ms_per_round", Json.Num early);
+      ("late_ms_per_round", Json.Num late); ("late_over_early", Json.Num ratio);
+      ("kernel_bitmap_tests", Json.of_int k.Fixq_xdm.Counters.bitmap_tests);
+      ("kernel_bitmap_hits", Json.of_int k.Fixq_xdm.Counters.bitmap_hits);
+      ("kernel_merges", Json.of_int k.Fixq_xdm.Counters.merges);
+      ("kernel_fallback_sorts",
+       Json.of_int k.Fixq_xdm.Counters.fallback_sorts) ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -542,16 +627,45 @@ let micro () =
         bench "hospital/interp-delta" (Fixq.Interpreter Fixq.Auto)
           W.Queries.hospital ]
   in
+  (* The set kernels under the fixpoint loops, on real node lists: the
+     hospital document's elements whole, reversed (worst case for the
+     sortedness fast path) and interleaved halves. *)
+  let kernel_tests =
+    let all =
+      (Fixq.run ~registry ~engine:(Fixq.Interpreter Fixq.Naive)
+         {|doc("hospital.xml")//*|})
+        .Fixq.result
+    in
+    let rev = List.rev all in
+    let even = List.filteri (fun i _ -> i mod 2 = 0) all in
+    let odd = List.filteri (fun i _ -> i mod 2 = 1) all in
+    let k name f =
+      Bechamel.Test.make ~name (Bechamel.Staged.stage (fun () -> ignore (f ())))
+    in
+    Bechamel.Test.make_grouped ~name:"kernel"
+      [ k "ddo/sorted" (fun () -> Item.ddo all);
+        k "ddo/reversed" (fun () -> Item.ddo rev);
+        k "union/interleaved" (fun () -> Item.union even odd);
+        k "except/half" (fun () -> Item.except all odd);
+        k "intersect/half" (fun () -> Item.intersect all odd);
+        k "accumulator/absorb" (fun () ->
+            let a = Fixq_xdm.Accumulator.create () in
+            ignore (Fixq_xdm.Accumulator.absorb a ~who:"bench" even);
+            Fixq_xdm.Accumulator.absorb a ~who:"bench" odd) ]
+  in
   let open Bechamel in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) () in
-  let raw = Benchmark.all cfg instances tests in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
-  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
   let rows =
-    Hashtbl.fold (fun name result acc -> (name, result) :: acc) results []
+    List.concat_map
+      (fun tests ->
+        let raw = Benchmark.all cfg instances tests in
+        let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+        Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [])
+      [ tests; kernel_tests ]
     |> List.sort compare
   in
   List.iter
@@ -588,18 +702,21 @@ let () =
       (fun a ->
         List.mem a
           [ "table1"; "table2"; "figure9"; "example24"; "section41";
-            "section6"; "section7"; "micro"; "cluster" ])
+            "section6"; "section7"; "accum"; "micro"; "cluster" ])
       args
   in
   let when_ opt f = if (not explicit) || has opt then f () in
+  (* table2 first: it reports wall-clock on a fresh heap, before the
+     allocation-heavy micro/accum phases grow the major heap *)
+  when_ "table2" (fun () -> table2 rows);
   when_ "table1" table1;
   when_ "figure9" figure9;
   when_ "example24" example24;
   when_ "section41" section41;
   when_ "section6" section6;
   when_ "section7" section7;
+  when_ "accum" accum;
   when_ "micro" (fun () -> if has "micro" then micro ());
   (* opt-in like micro: needs the fixq binary built alongside *)
   when_ "cluster" (fun () -> if has "cluster" then cluster_bench ());
-  when_ "table2" (fun () -> table2 rows);
   Option.iter write_json json_out

@@ -83,6 +83,13 @@ let hoistable env e =
     (not (List.exists (fun v -> Ast.is_free v e) env.locals))
     && (not (List.mem "." env.locals) || not (uses_context e))
 
+(* A predicated step: [step[p1][p2]…] — the shapes whose filters can be
+   pulled out of a path RHS (see the Path/Filter rewrite below). *)
+let rec step_filter_chain = function
+  | Ast.Axis_step _ -> true
+  | Ast.Filter (b, _) -> step_filter_chain b
+  | _ -> false
+
 let ii = [ "iter"; "item" ]
 let keep_ii = [ ("iter", "iter"); ("item", "item") ]
 
@@ -228,6 +235,18 @@ and comp_here env (e : Ast.expr) : Plan.t =
       ( "step",
         Plan.Distinct (Plan.Step (axis, test, "item", Plan.Distinct (comp env a)))
       )
+  | Ast.Path (a, Ast.Filter (b, p))
+    when step_filter_chain b
+         && (not (Distributivity.mentions_position p))
+         && Distributivity.surely_non_numeric p ->
+    (* a/step[p] ≡ (a/step)[p] for non-positional predicates (both
+       denote { n ∈ step(a) : p(n) } — set-oriented mode already rejects
+       position()/last() and numeric predicates). The left form maps b
+       over every item of [a] (an |a| × loop blow-up before the step
+       narrows anything); the right form keeps [a/step] a closed
+       subexpression, so inside an iteration the hoist frame lifts it
+       once instead of re-stepping the document every round. *)
+    comp env (Ast.Filter (Ast.Path (a, b), p))
   | Ast.Path (a, b) -> compile_iteration env ~source:(comp env a) ~bind:"." b
   | Ast.Axis_step { axis; test } ->
     let ctx = comp env Ast.Context_item in

@@ -97,8 +97,8 @@ let whitespace_tokens s =
    analogue of reusing staircase-join scans. *)
 let step_cache : (string * int, Node.t list) Hashtbl.t = Hashtbl.create 4096
 
-let step_single axis test (n : Node.t) =
-  let key = (Axis.axis_to_string axis ^ "|" ^ Format.asprintf "%a" Axis.pp_test test, n.Node.id) in
+let step_single axis test step_key (n : Node.t) =
+  let key = (step_key, n.Node.id) in
   match Hashtbl.find_opt step_cache key with
   | Some r -> r
   | None ->
@@ -109,6 +109,11 @@ let step_single axis test (n : Node.t) =
 
 let eval_step rel axis test col =
   let ci = Relation.column_index rel col in
+  (* The textual cache key is a function of (axis, test) only — build it
+     once per step evaluation, not once per row. *)
+  let step_key =
+    Axis.axis_to_string axis ^ "|" ^ Format.asprintf "%a" Axis.pp_test test
+  in
   let out = ref [] in
   List.iter
     (fun row ->
@@ -118,7 +123,7 @@ let eval_step rel axis test col =
           let row' = Array.copy row in
           row'.(ci) <- Value.Nd m;
           out := row' :: !out)
-        (step_single axis test n))
+        (step_single axis test step_key n))
     (Relation.rows rel);
   Relation.distinct (Relation.create (Relation.schema rel) (List.rev !out))
 
@@ -321,7 +326,12 @@ let rec eval t env p =
   | None ->
     let rel = eval_raw t env p in
     (let sym = Plan.op_symbol p in
-     let key = String.sub sym 0 (min 6 (String.length sym)) in
+     let kind =
+       if memo == env.volatile then "V:"
+       else if memo == env.run then "R:"
+       else "P:"
+     in
+     let key = kind ^ String.sub sym 0 (min 6 (String.length sym)) in
      let (c, r) = Option.value ~default:(0, 0) (Hashtbl.find_opt profile key) in
      Hashtbl.replace profile key (c + 1, r + Relation.cardinal rel));
     Phys.replace memo p rel;
@@ -391,9 +401,8 @@ and eval_raw t env (p : Plan.t) : Relation.t =
 and eval_mu t env ~delta (f : Plan.fix) =
   Stats.start_run t.stats;
   let seed = Relation.distinct (eval t env f.seed) in
-  let record input out res =
-    Stats.record_iteration t.stats ~fed:(Relation.cardinal input)
-      ~produced:(Relation.cardinal out) ~result_size:(Relation.cardinal res)
+  let record ~fed ~produced ~result_size =
+    Stats.record_iteration t.stats ~fed ~produced ~result_size
   in
   let apply input =
     (* Fresh volatile memo — the Fix_ref binding changed; loop-invariant
@@ -405,30 +414,64 @@ and eval_mu t env ~delta (f : Plan.fix) =
         dep_ids = f.fix_id :: env.dep_ids }
       f.body
   in
+  (* Incremental accumulation: a persistent seen-set of row keys plays
+     the role the Accumulator bitmap plays in the interpreter, so each
+     round costs O(|out|) — the old distinct/difference/union pair
+     rebuilt hash tables over the whole accumulated result every
+     round. Runs stay separate until the fixpoint converges. *)
+  let seen = Relation.Row_tbl.create 1024 in
+  let total = ref 0 in
+  (* Fresh first-occurrence rows of [rel] not seen before, in row order;
+     also their count and [rel]'s raw cardinality, from the same pass. *)
+  let fresh_of rel =
+    let fresh = ref [] and fresh_n = ref 0 and produced = ref 0 in
+    List.iter
+      (fun row ->
+        incr produced;
+        if not (Relation.Row_tbl.mem seen row) then begin
+          Relation.Row_tbl.add seen row ();
+          fresh := row :: !fresh;
+          incr fresh_n
+        end)
+      (Relation.rows rel);
+    total := !total + !fresh_n;
+    (List.rev !fresh, !fresh_n, !produced)
+  in
   let first = apply seed in
-  let res0 = Relation.distinct first in
-  record seed first res0;
+  let schema = Relation.schema first in
+  let (rows0, n0, first_n) = fresh_of first in
+  record ~fed:(Relation.cardinal seed) ~produced:first_n ~result_size:!total;
+  let runs = ref [ rows0 ] in
+  (* newest first *)
+  let assemble () = Relation.create schema (List.concat (List.rev !runs)) in
   if delta then begin
-    let rec loop dl res i =
+    let rec loop dl dl_n i =
       if i > t.max_iterations then err "µ∆ diverged after %d iterations" i;
       let out = apply dl in
-      let dl' = Relation.difference (Relation.distinct out) res in
-      let res' = Relation.union res dl' in
-      record dl out res';
-      if Relation.cardinal dl' = 0 then res' else loop dl' res' (i + 1)
+      let (fresh, fresh_n, out_n) = fresh_of out in
+      record ~fed:dl_n ~produced:out_n ~result_size:!total;
+      if fresh_n = 0 then assemble ()
+      else begin
+        runs := fresh :: !runs;
+        loop (Relation.create schema fresh) fresh_n (i + 1)
+      end
     in
-    loop res0 res0 1
+    loop (Relation.create schema rows0) n0 1
   end
   else begin
-    let rec loop res i =
+    let rec loop res res_n i =
       if i > t.max_iterations then err "µ diverged after %d iterations" i;
       let out = apply res in
-      let next = Relation.distinct (Relation.union out res) in
-      record res out next;
-      if Relation.cardinal next = Relation.cardinal res then next
-      else loop next (i + 1)
+      let (fresh, fresh_n, out_n) = fresh_of out in
+      record ~fed:res_n ~produced:out_n ~result_size:!total;
+      if fresh_n = 0 then res
+      else begin
+        runs := fresh :: !runs;
+        loop (Relation.union res (Relation.create schema fresh))
+          (res_n + fresh_n) (i + 1)
+      end
     in
-    loop res0 1
+    loop (Relation.create schema rows0) n0 1
   end
 
 type session = Relation.t Phys.t

@@ -43,5 +43,7 @@ val run_with :
 
 (**/**)
 
-(** Internal profiling counters (operator prefix → evaluations, rows). *)
+(** Internal profiling counters: memo-lifetime tag (["V:"] volatile /
+    ["R:"] run / ["P:"] persistent) + operator prefix → evaluations and
+    output rows. The V: entries are what a fixpoint re-pays per round. *)
 val profile : (string, int * int) Hashtbl.t

@@ -27,11 +27,11 @@ let column_index t c =
 let get t row c = row.(column_index t c)
 
 let project renames t =
-  let idx = List.map (fun (_, old) -> column_index t old) renames in
+  let idx =
+    Array.of_list (List.map (fun (_, old) -> column_index t old) renames)
+  in
   { schema = List.map fst renames;
-    rows =
-      List.map (fun r -> Array.of_list (List.map (fun i -> r.(i)) idx)) t.rows
-  }
+    rows = List.map (fun r -> Array.map (fun i -> r.(i)) idx) t.rows }
 
 let select p t = { t with rows = List.filter p t.rows }
 
@@ -43,15 +43,32 @@ let append_column name f t =
 
 let row_key r = Array.to_list (Array.map Value.key r)
 
+(* Row-keyed hash table: cell-wise {!Value.equal_key_cell} equality —
+   identical grouping to hashing [row_key], minus the per-row key
+   allocation. Rows are never mutated once built (operators copy on
+   write), so using the row array itself as key is safe. *)
+module Row_tbl = Hashtbl.Make (struct
+  type t = Value.t array
+
+  let equal a b =
+    Array.length a = Array.length b
+    &&
+    let rec go i =
+      i < 0 || (Value.equal_key_cell a.(i) b.(i) && go (i - 1))
+    in
+    go (Array.length a - 1)
+
+  let hash r = Array.fold_left (fun h c -> (h * 31) + Value.hash_cell c) 17 r
+end)
+
 let distinct t =
-  let seen = Hashtbl.create (max 16 (List.length t.rows)) in
+  let seen = Row_tbl.create 64 in
   let rows =
     List.filter
       (fun r ->
-        let k = row_key r in
-        if Hashtbl.mem seen k then false
+        if Row_tbl.mem seen r then false
         else begin
-          Hashtbl.replace seen k ();
+          Row_tbl.replace seen r ();
           true
         end)
       t.rows
@@ -74,20 +91,18 @@ let difference a b =
     if a.schema = b.schema then b
     else project (List.map (fun c -> (c, c)) a.schema) b
   in
-  let counts = Hashtbl.create (max 16 (List.length b'.rows)) in
+  let counts = Row_tbl.create 64 in
   List.iter
     (fun r ->
-      let k = row_key r in
-      Hashtbl.replace counts k
-        (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+      Row_tbl.replace counts r
+        (1 + Option.value ~default:0 (Row_tbl.find_opt counts r)))
     b'.rows;
   let rows =
     List.filter
       (fun r ->
-        let k = row_key r in
-        match Hashtbl.find_opt counts k with
+        match Row_tbl.find_opt counts r with
         | Some n when n > 0 ->
-          Hashtbl.replace counts k (n - 1);
+          Row_tbl.replace counts r (n - 1);
           false
         | _ -> true)
       a.rows
@@ -99,20 +114,68 @@ let rename_clashes left_schema right_schema =
     (fun c -> if List.mem c left_schema then c ^ "'" else c)
     right_schema
 
-let equi_join ?extra keys l r =
-  let lidx = List.map (fun (lc, _) -> column_index l lc) keys in
-  let ridx = List.map (fun (_, rc) -> column_index r rc) keys in
-  (* Hash the right side on its key columns. *)
-  let tbl = Hashtbl.create (max 16 (List.length r.rows)) in
-  let key_of row idx = List.map (fun i -> Value.key row.(i)) idx in
+let key_of row idx = Array.map (fun i -> row.(i)) idx
+
+(* Hash indexes of join sides, cached weakly per physical relation.
+   Memoized loop-invariant subplans re-enter [equi_join] with the
+   physically same relation on every fixpoint round, so without this
+   the µ∆ loop pays an O(|invariant side|) rebuild per round no matter
+   how small ∆ is. Ephemeron keys let per-round volatile relations be
+   collected together with their indexes. *)
+module Index_cache = Ephemeron.K1.Make (struct
+  type nonrec t = t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+type join_index = Value.t array list ref Row_tbl.t
+
+let join_indexes : (int array * join_index) list Index_cache.t =
+  Index_cache.create 64
+
+let build_index idx rel : join_index =
+  let tbl = Row_tbl.create 64 in
   List.iter
-    (fun row -> Hashtbl.add tbl (key_of row ridx) row)
-    (List.rev r.rows);
+    (fun row ->
+      let k = key_of row idx in
+      match Row_tbl.find_opt tbl k with
+      | Some bucket -> bucket := row :: !bucket
+      | None -> Row_tbl.add tbl k (ref [ row ]))
+    rel.rows;
+  Row_tbl.iter (fun _ bucket -> bucket := List.rev !bucket) tbl;
+  tbl
+
+let index_for idx rel =
+  let existing =
+    match Index_cache.find_opt join_indexes rel with
+    | Some l -> l
+    | None -> []
+  in
+  match List.find_opt (fun (i, _) -> i = idx) existing with
+  | Some (_, tbl) -> tbl
+  | None ->
+    let tbl = build_index idx rel in
+    Index_cache.replace join_indexes rel ((idx, tbl) :: existing);
+    tbl
+
+let equi_join ?extra keys l r =
+  let lidx =
+    Array.of_list (List.map (fun (lc, _) -> column_index l lc) keys)
+  in
+  let ridx =
+    Array.of_list (List.map (fun (_, rc) -> column_index r rc) keys)
+  in
+  let tbl = index_for ridx r in
   let out_schema = l.schema @ rename_clashes l.schema r.schema in
   let rows =
     List.concat_map
       (fun lrow ->
-        let matches = Hashtbl.find_all tbl (key_of lrow lidx) in
+        let matches =
+          match Row_tbl.find_opt tbl (key_of lrow lidx) with
+          | Some bucket -> !bucket
+          | None -> []
+        in
         List.filter_map
           (fun rrow ->
             let keep =

@@ -31,6 +31,15 @@ val select : (Value.t array -> bool) -> t -> t
 val map_rows : (Value.t array -> Value.t array) -> string list -> t -> t
 val append_column : string -> (Value.t array -> Value.t) -> t -> t
 
+(** Hashable identity of a row (cell-wise {!Value.key}) — what
+    {!distinct}/{!difference} compare by. *)
+val row_key : Value.t array -> Value.key list
+
+(** Hash table keyed by rows under the same cell-wise equivalence as
+    {!row_key}, without allocating keys. Exposed so incremental callers
+    (the µ/µ∆ loops) can maintain their own seen-set across rounds. *)
+module Row_tbl : Hashtbl.S with type key = Value.t array
+
 (** Set-style distinct over all columns. *)
 val distinct : t -> t
 

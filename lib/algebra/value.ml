@@ -58,6 +58,27 @@ let key = function
   | Bool b -> KB b
   | Nd n -> KN n.Node.id
 
+(* Same equivalence as structural (=) on [key] — notably NaN ≠ NaN and
+   nodes by identity — without allocating the key. These feed the hot
+   row hash tables (distinct / difference / join indexes), where the
+   per-cell [key] constructor plus per-row key list used to dominate. *)
+let equal_key_cell a b =
+  match (a, b) with
+  | (Int x, Int y) -> Int.equal x y
+  | (Dbl x, Dbl y) -> x = y
+  | (Str x, Str y) -> String.equal x y
+  | (Bool x, Bool y) -> Bool.equal x y
+  | (Nd x, Nd y) -> x.Node.id = y.Node.id
+  | _ -> false
+
+let hash_cell = function
+  | Int i -> Hashtbl.hash i
+  | Dbl f -> Hashtbl.hash f
+  | Str s -> Hashtbl.hash s
+  | Bool b -> Hashtbl.hash b
+  (* salted so node ids rarely collide with equal Int cells *)
+  | Nd n -> 0x9e3779b1 * (n.Node.id + 1)
+
 let pp ppf = function
   | Int i -> Format.pp_print_int ppf i
   | Dbl f -> Format.pp_print_float ppf f

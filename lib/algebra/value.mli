@@ -37,4 +37,11 @@ val to_bool : t -> bool
 type key = KI of int | KF of float | KS of string | KB of bool | KN of int
 
 val key : t -> key
+
+(** Allocation-free equivalents of comparing/hashing [key t]: the same
+    equivalence as structural [(=)] on {!key} (NaN ≠ NaN, nodes by
+    identity). Backing for the row hash tables on the µ/µ∆ hot path. *)
+val equal_key_cell : t -> t -> bool
+
+val hash_cell : t -> int
 val pp : Format.formatter -> t -> unit

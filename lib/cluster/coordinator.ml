@@ -384,57 +384,101 @@ type keyed_entry = { sort : int * int; tie : string; xml : string }
    serialization: dedupe by portable identity, order document nodes by
    (document load sequence, preorder rank) — exactly [Item.ddo]'s
    document order for identically-loaded stores — and join with single
-   spaces as [Serializer.seq_to_string] does. *)
+   spaces as [Serializer.seq_to_string] does.
+
+   Each worker serializes its shard already in that order, so the legs
+   are merged pairwise (the same kernel shape as
+   [Fixq_xdm.Accumulator.merged]) instead of re-sorted globally; a leg
+   that arrives out of order is sorted first (counted as a fallback).
+   Entries sharing a key keep the earlier leg's serialization — the
+   first-seen-wins rule of the old hash-based dedup — and the output
+   order among survivors depends only on the key, so the merged bytes
+   equal the old globally-sorted bytes. *)
+let entry_key e = (e.sort, e.tie)
+
 let gather_keyed t legs =
-  let seen = Hashtbl.create 64 in
-  let entries = ref [] in
-  List.iter
-    (fun leg ->
-      match Json.member "keyed" leg with
-      | Json.List items ->
-        List.iter
-          (fun item ->
-            let xml =
-              Option.value ~default:"" (Json.str_opt (Json.member "x" item))
+  let parse_leg leg =
+    match Json.member "keyed" leg with
+    | Json.List items ->
+      List.map
+        (fun item ->
+          let xml =
+            Option.value ~default:"" (Json.str_opt (Json.member "x" item))
+          in
+          match Json.str_opt (Json.member "u" item) with
+          | Some u ->
+            let rank =
+              Option.value ~default:0 (Json.int_opt (Json.member "r" item))
             in
-            let entry =
-              match Json.str_opt (Json.member "u" item) with
-              | Some u ->
-                let rank =
-                  Option.value ~default:0
-                    (Json.int_opt (Json.member "r" item))
-                in
-                let seq =
-                  locked t (fun () ->
-                      match Hashtbl.find_opt t.docs u with
-                      | Some (seq, _) -> seq
-                      | None -> max_int - 1)
-                in
-                { sort = (seq, rank); tie = "u:" ^ u; xml }
-              | None ->
-                let k =
-                  Option.value ~default:("x:" ^ xml)
-                    (Json.str_opt (Json.member "k" item))
-                in
-                { sort = (max_int, 0); tie = k; xml }
+            let seq =
+              locked t (fun () ->
+                  match Hashtbl.find_opt t.docs u with
+                  | Some (seq, _) -> seq
+                  | None -> max_int - 1)
             in
-            let key = (entry.sort, entry.tie) in
-            if not (Hashtbl.mem seen key) then begin
-              Hashtbl.replace seen key ();
-              entries := entry :: !entries
-            end)
-          items
-      | _ -> ())
-    legs;
-  let sorted =
-    List.sort
-      (fun a b ->
-        match compare a.sort b.sort with
-        | 0 -> compare (a.tie, a.xml) (b.tie, b.xml)
-        | c -> c)
-      !entries
+            { sort = (seq, rank); tie = "u:" ^ u; xml }
+          | None ->
+            let k =
+              Option.value ~default:("x:" ^ xml)
+                (Json.str_opt (Json.member "k" item))
+            in
+            { sort = (max_int, 0); tie = k; xml })
+        items
+    | _ -> []
   in
-  String.concat " " (List.map (fun e -> e.xml) sorted)
+  (* Strictly-ascending scan doubling as within-leg dedup (first wins). *)
+  let sorted_leg entries =
+    let sorted =
+      let rec ascending prev = function
+        | [] -> true
+        | e :: rest ->
+          compare (entry_key prev) (entry_key e) < 0 && ascending e rest
+      in
+      match entries with [] -> true | e :: rest -> ascending e rest
+    in
+    if sorted then entries
+    else begin
+      incr Fixq_xdm.Counters.fallback_sorts;
+      let stable =
+        List.stable_sort
+          (fun a b -> compare (entry_key a) (entry_key b))
+          entries
+      in
+      let rec dedup = function
+        | [] -> []
+        | a :: rest ->
+          let rec drop = function
+            | b :: more when entry_key a = entry_key b -> drop more
+            | more -> more
+          in
+          a :: dedup (drop rest)
+      in
+      dedup stable
+    end
+  in
+  (* Linear two-leg merge; on equal keys the earlier leg's entry wins. *)
+  let merge a b =
+    incr Fixq_xdm.Counters.merges;
+    Fixq_xdm.Counters.merged_items :=
+      !Fixq_xdm.Counters.merged_items + List.length a + List.length b;
+    let rec go acc a b =
+      match (a, b) with
+      | ([], rest) | (rest, []) -> List.rev_append acc rest
+      | (x :: xs, y :: ys) ->
+        let c = compare (entry_key x) (entry_key y) in
+        if c < 0 then go (x :: acc) xs b
+        else if c > 0 then go (y :: acc) a ys
+        else go (x :: acc) xs ys
+    in
+    go [] a b
+  in
+  let rec reduce = function
+    | [] -> []
+    | [ l ] -> l
+    | l1 :: l2 :: rest -> reduce (merge l1 l2 :: rest)
+  in
+  let merged = reduce (List.map (fun l -> sorted_leg (parse_leg l)) legs) in
+  String.concat " " (List.map (fun e -> e.xml) merged)
 
 let num_member name j = Option.value ~default:0. (Json.num_opt (Json.member name j))
 let int_member name j = Option.value ~default:0 (Json.int_opt (Json.member name j))

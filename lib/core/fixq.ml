@@ -161,19 +161,21 @@ let install_algebra_handler ~registry ~max_iterations ~stratified ~mode
              Some (Compile.result_items rel)))
 
 let run_program ?(registry = Xdm.Doc_registry.default)
-    ?(max_iterations = 1_000_000) ?(stratified = false) ?deadline ~engine p =
+    ?(max_iterations = 1_000_000) ?(stratified = false) ?domains
+    ?chunk_threshold ?deadline ~engine p =
   let fallbacks = ref [] in
   let used_delta = ref None in
   let ev =
     match engine with
     | Interpreter mode ->
-      Eval.create ~registry ~max_iterations ~stratified
-        ~strategy:(strategy_of_mode mode) ()
+      Eval.create ~registry ~max_iterations ~stratified ?domains
+        ?chunk_threshold ~strategy:(strategy_of_mode mode) ()
     | Algebra mode ->
       let ev =
-        (* Interpreter strategy doubles as the fallback policy. *)
-        Eval.create ~registry ~max_iterations ~stratified
-          ~strategy:(strategy_of_mode mode) ()
+        (* Interpreter strategy doubles as the fallback policy (and runs
+           any IFP the compiler rejects, hence the parallel knobs). *)
+        Eval.create ~registry ~max_iterations ~stratified ?domains
+          ?chunk_threshold ~strategy:(strategy_of_mode mode) ()
       in
       install_algebra_handler ~registry ~max_iterations ~stratified ~mode
         ~fallbacks ~used_delta ev;
@@ -219,9 +221,10 @@ let parse src =
   | Lang.Lexer.Error { pos; msg } ->
     raise (Error (Printf.sprintf "lex error at offset %d: %s" pos msg))
 
-let run ?registry ?max_iterations ?stratified ?deadline ~engine src =
-  run_program ?registry ?max_iterations ?stratified ?deadline ~engine
-    (parse src)
+let run ?registry ?max_iterations ?stratified ?domains ?chunk_threshold
+    ?deadline ~engine src =
+  run_program ?registry ?max_iterations ?stratified ?domains ?chunk_threshold
+    ?deadline ~engine (parse src)
 
 (* Capture the compiled plan of the first IFP encountered dynamically:
    install a capturing handler, then run the program on the interpreter.

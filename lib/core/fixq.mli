@@ -58,11 +58,17 @@ exception Error of string
     [deadline] (absolute [Unix.gettimeofday] seconds) aborts the run
     with {!Error} once the wall clock passes it; enforcement is
     cooperative, checked once per fixpoint round on either engine — the
-    budget knob of the long-running [fixq serve] front end. *)
+    budget knob of the long-running [fixq serve] front end.
+    [domains]/[chunk_threshold] make Delta-eligible interpreter
+    fixpoints run the body in parallel on that many OCaml domains
+    (rounds smaller than [chunk_threshold], default 64, stay
+    sequential); they do not affect µ/µ∆ plans. *)
 val run :
   ?registry:Xdm.Doc_registry.t ->
   ?max_iterations:int ->
   ?stratified:bool ->
+  ?domains:int ->
+  ?chunk_threshold:int ->
   ?deadline:float ->
   engine:engine ->
   string ->
@@ -73,6 +79,8 @@ val run_program :
   ?registry:Xdm.Doc_registry.t ->
   ?max_iterations:int ->
   ?stratified:bool ->
+  ?domains:int ->
+  ?chunk_threshold:int ->
   ?deadline:float ->
   engine:engine ->
   Lang.Ast.program ->

@@ -240,6 +240,83 @@ let rec has_constructor = function
     || has_constructor d
   | Ifp { seed; body; _ } -> has_constructor seed || has_constructor body
 
+(** Is the value of [e] guaranteed never to be a single numeric atom?
+    Filter predicates treat exactly that shape as an implicit position
+    test, so rewrites that change a step's context positions (e.g.
+    [//t\[p\]] → [descendant::t\[p\]]) are only sound for predicates
+    that are surely boolean-valued. Conservative: [false] means
+    "don't know". *)
+let rec surely_boolean = function
+  | Gen_cmp _ | Val_cmp _ | And _ | Or _ | Quantified _ | Instance_of _
+  | Castable _ | Node_is _ | Node_before _ | Node_after _ ->
+    true
+  | Literal (Atom.Bool _) -> true
+  | Call
+      ( ( "not" | "empty" | "exists" | "boolean" | "true" | "false"
+        | "contains" | "starts-with" | "ends-with" ),
+        _ ) ->
+    true
+  | If (_, a, b) -> surely_boolean a && surely_boolean b
+  | Let { body; _ } -> surely_boolean body
+  | _ -> false
+
+(** Does [e] syntactically mention [fn:position()] or [fn:last()]
+    (anywhere, including under binders)? Such predicates observe the
+    context sequence a step produced, so they block the [//] collapse
+    above. *)
+let rec calls_position_or_last = function
+  | Call (("position" | "last"), _) -> true
+  | Call (_, args) -> List.exists calls_position_or_last args
+  | Literal _ | Empty_seq | Var _ | Context_item | Root | Axis_step _ -> false
+  | Sequence (a, b)
+  | Union (a, b)
+  | Except (a, b)
+  | Intersect (a, b)
+  | Path (a, b)
+  | Filter (a, b)
+  | Arith (_, a, b)
+  | Gen_cmp (_, a, b)
+  | Val_cmp (_, a, b)
+  | Node_is (a, b)
+  | Node_before (a, b)
+  | Node_after (a, b)
+  | And (a, b)
+  | Or (a, b)
+  | Range (a, b) ->
+    calls_position_or_last a || calls_position_or_last b
+  | Neg a | Instance_of (a, _) | Cast (a, _, _) | Castable (a, _, _)
+  | Comp_elem (_, a) | Text_constr a | Attr_constr (_, a)
+  | Comment_constr a | Doc_constr a ->
+    calls_position_or_last a
+  | For { source; body; _ } ->
+    calls_position_or_last source || calls_position_or_last body
+  | Sort { source; key; body; _ } ->
+    calls_position_or_last source
+    || calls_position_or_last key
+    || calls_position_or_last body
+  | Let { value; body; _ } ->
+    calls_position_or_last value || calls_position_or_last body
+  | If (c, t, e) ->
+    calls_position_or_last c
+    || calls_position_or_last t
+    || calls_position_or_last e
+  | Quantified (_, _, s, p) ->
+    calls_position_or_last s || calls_position_or_last p
+  | Elem_constr (_, attrs, content) ->
+    List.exists
+      (fun (_, pieces) ->
+        List.exists
+          (function A_lit _ -> false | A_expr e -> calls_position_or_last e)
+          pieces)
+      attrs
+    || List.exists calls_position_or_last content
+  | Typeswitch (s, cases, _, d) ->
+    calls_position_or_last s
+    || List.exists (fun (_, _, b) -> calls_position_or_last b) cases
+    || calls_position_or_last d
+  | Ifp { seed; body; _ } ->
+    calls_position_or_last seed || calls_position_or_last body
+
 (** Capture-avoiding-enough substitution [e1\[e2/$x\]] — the paper's
     [e1(e2)]. Inner rebindings of [$x] shadow as expected; we do not
     rename other binders, so callers must ensure [e2]'s free variables

@@ -31,6 +31,8 @@ type t = {
   mutable last_ifp_used_delta : bool option;
   mutable ifp_handler : (ifp_site -> Item.seq option) option;
   stratified : bool;
+  domains : int option;  (** Some d: run Delta rounds on d domains *)
+  chunk_threshold : int;
 }
 
 type env = {
@@ -41,10 +43,11 @@ type env = {
 
 let create ?(registry = Doc_registry.default) ?(strategy = Auto)
     ?(max_iterations = 1_000_000) ?(max_call_depth = 100_000)
-    ?(stratified = false) () =
+    ?(stratified = false) ?domains ?(chunk_threshold = 64) () =
   { functions = Hashtbl.create 16; registry; stats = Stats.create ();
     strategy; max_iterations; max_call_depth; globals = Smap.empty;
-    last_ifp_used_delta = None; ifp_handler = None; stratified }
+    last_ifp_used_delta = None; ifp_handler = None; stratified; domains;
+    chunk_threshold }
 
 let set_ifp_handler t h = t.ifp_handler <- h
 
@@ -455,9 +458,25 @@ and eval_node_cmp t env a b op =
   | _ -> err "node comparison requires single nodes"
 
 and eval_path t env a b =
+  (* Collapse the // desugaring [e/descendant-or-self::node()/child::T]
+     to [e/descendant::T] — same node set for any test T, and the form
+     the per-document name index can answer. Through a filter the
+     rewrite changes the predicate's context positions, so it is gated
+     on the predicate being surely boolean and position()/last()-free. *)
+  match (a, b) with
+  | ( Path (x, Axis_step { axis = Axis.Descendant_or_self; test = Axis.Kind_node }),
+      Axis_step { axis = Axis.Child; test } ) ->
+    eval_path t env x (Axis_step { axis = Axis.Descendant; test })
+  | ( Path (x, Axis_step { axis = Axis.Descendant_or_self; test = Axis.Kind_node }),
+      Filter (Axis_step { axis = Axis.Child; test }, pred) )
+    when Ast.surely_boolean pred && not (Ast.calls_position_or_last pred) ->
+    eval_path t env x (Filter (Axis_step { axis = Axis.Descendant; test }, pred))
+  | _ -> eval_path_steps t env a b
+
+and eval_path_steps t env a b =
   let left = eval t env a in
   let nodes = Item.as_node_seq "path" left in
-  let nodes = List.sort_uniq (fun x y -> Node.compare_doc_order x y) nodes in
+  let nodes = Item.sort_uniq_nodes nodes in
   let size = List.length nodes in
   let results =
     List.concat
@@ -545,9 +564,19 @@ and eval_ifp t env var seed body =
           var body
     in
     t.last_ifp_used_delta <- Some use_delta;
-    let algorithm = if use_delta then Fixpoint.delta else Fixpoint.naive in
-    algorithm ~max_iterations:t.max_iterations ~stats:t.stats ~body:body_fn
-      ~seed:seed_v ()
+    match (use_delta, t.domains) with
+    | (true, Some d) ->
+      (* Parallel Delta is only sound for constructor-free distributive
+         bodies — exactly the bodies Delta itself is chosen for. *)
+      Fixpoint.delta_parallel ~max_iterations:t.max_iterations ~domains:d
+        ~chunk_threshold:t.chunk_threshold ~stats:t.stats ~body:body_fn
+        ~seed:seed_v ()
+    | (true, None) ->
+      Fixpoint.delta ~max_iterations:t.max_iterations ~stats:t.stats
+        ~body:body_fn ~seed:seed_v ()
+    | (false, _) ->
+      Fixpoint.naive ~max_iterations:t.max_iterations ~stats:t.stats
+        ~body:body_fn ~seed:seed_v ()
 
 (* ------------------------------------------------------------------ *)
 (* Program interface                                                   *)

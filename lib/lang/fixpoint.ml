@@ -1,8 +1,16 @@
 module Item = Fixq_xdm.Item
+module Accumulator = Fixq_xdm.Accumulator
 
 exception Diverged of int
 
 let default_max = 1_000_000
+
+(* Both loops thread an {!Fixq_xdm.Accumulator} instead of re-sorting
+   the accumulated result every round: [absorb] filters the body's
+   output against a bitmap (the old [Item.except]), appends the fresh
+   nodes as a sorted run (the old [Item.union]) and counts sizes along
+   the way, so the per-round cost depends on |out| + |Δ| only — and the
+   stats recording below costs no extra traversals. *)
 
 (* Figure 3(a): res ← erec(eseed); do res ← erec(res) ∪ res while res
    grows. Growth is detected on node-identity sets, which for node
@@ -12,54 +20,56 @@ let default_max = 1_000_000
 let naive ?(max_iterations = default_max) ?(include_seed = false) ~stats ~body
     ~seed () =
   Stats.start_run stats;
-  let record input out res =
-    Stats.record_iteration stats ~fed:(List.length input)
-      ~produced:(List.length out) ~result_size:(List.length res)
-  in
-  let res =
-    if include_seed then Item.ddo seed
-    else begin
-      let first = body seed in
-      let res = Item.ddo first in
-      record seed first res;
-      res
-    end
-  in
-  let rec loop res i =
+  let acc = Accumulator.create () in
+  if include_seed then ignore (Accumulator.absorb acc ~who:"fs:ddo" seed)
+  else begin
+    let seed_n = List.length seed in
+    let first = body seed in
+    let (_, _, first_n) = Accumulator.absorb acc ~who:"fs:ddo" first in
+    Stats.record_iteration stats ~fed:seed_n ~produced:first_n
+      ~result_size:(Accumulator.size acc)
+  end;
+  let rec loop i =
     if i > max_iterations then raise (Diverged i);
-    let out = body res in
-    let next = Item.union out res in
-    record res out next;
-    if List.length next = List.length res then next else loop next (i + 1)
+    let res_n = Accumulator.size acc in
+    let out = body (Accumulator.to_seq acc) in
+    let (_, fresh_n, out_n) = Accumulator.absorb acc ~who:"union" out in
+    Stats.record_iteration stats ~fed:res_n ~produced:out_n
+      ~result_size:(Accumulator.size acc);
+    if fresh_n = 0 then Accumulator.to_seq acc else loop (i + 1)
   in
-  loop res 1
+  loop 1
 
 (* Figure 3(b): the payload sees only the newly discovered nodes. *)
 let delta ?(max_iterations = default_max) ?(include_seed = false) ~stats ~body
     ~seed () =
   Stats.start_run stats;
-  let record input out res =
-    Stats.record_iteration stats ~fed:(List.length input)
-      ~produced:(List.length out) ~result_size:(List.length res)
-  in
-  let res =
-    if include_seed then Item.ddo seed
+  let acc = Accumulator.create () in
+  let start =
+    if include_seed then
+      let (fresh, fresh_n, _) = Accumulator.absorb acc ~who:"fs:ddo" seed in
+      (fresh, fresh_n)
     else begin
+      let seed_n = List.length seed in
       let first = body seed in
-      let res = Item.ddo first in
-      record seed first res;
-      res
+      let (fresh, fresh_n, first_n) =
+        Accumulator.absorb acc ~who:"fs:ddo" first
+      in
+      Stats.record_iteration stats ~fed:seed_n ~produced:first_n
+        ~result_size:(Accumulator.size acc);
+      (fresh, fresh_n)
     end
   in
-  let rec loop delta res i =
+  let rec loop (delta, delta_n) i =
     if i > max_iterations then raise (Diverged i);
     let out = body delta in
-    let delta' = Item.except out res in
-    let res' = Item.union delta' res in
-    record delta out res';
-    if delta' = [] then res' else loop delta' res' (i + 1)
+    let (fresh, fresh_n, out_n) = Accumulator.absorb acc ~who:"except" out in
+    Stats.record_iteration stats ~fed:delta_n ~produced:out_n
+      ~result_size:(Accumulator.size acc);
+    if fresh_n = 0 then Accumulator.to_seq acc
+    else loop (fresh, fresh_n) (i + 1)
   in
-  loop res res 1
+  loop start 1
 
 (* Parallel Delta (Section 7's divide-and-conquer reading of
    distributivity): split each round's ∆ across domains. The first
@@ -72,9 +82,8 @@ let delta_parallel ?(max_iterations = default_max) ?(include_seed = false)
     | Some d -> max 1 d
     | None -> max 1 (Domain.recommended_domain_count () - 1)
   in
-  let split k items =
+  let split n k items =
     (* k roughly equal chunks, preserving order within chunks *)
-    let n = List.length items in
     let size = max 1 ((n + k - 1) / k) in
     let rec go acc current count = function
       | [] ->
@@ -86,41 +95,51 @@ let delta_parallel ?(max_iterations = default_max) ?(include_seed = false)
     in
     go [] [] 0 items
   in
-  let apply_parallel input =
-    if domains = 1 || List.length input < chunk_threshold then body input
+  (* Returns the per-chunk results in a preallocated array (slot 0 is
+     the chunk evaluated on this domain) — absorbed without ever
+     concatenating them into one list. *)
+  let apply_parallel input input_n =
+    if domains = 1 || input_n < chunk_threshold then [| body input |]
     else begin
-      let chunks = split domains input in
-      match chunks with
-      | [] -> []
+      match split input_n domains input with
+      | [] -> [||]
       | first :: rest ->
         let handles =
           List.map (fun chunk -> Domain.spawn (fun () -> body chunk)) rest
         in
-        let mine = body first in
-        mine @ List.concat_map Domain.join handles
+        let parts = Array.make (List.length handles + 1) [] in
+        parts.(0) <- body first;
+        List.iteri (fun i h -> parts.(i + 1) <- Domain.join h) handles;
+        parts
     end
   in
   Stats.start_run stats;
-  let record input out res =
-    Stats.record_iteration stats ~fed:(List.length input)
-      ~produced:(List.length out) ~result_size:(List.length res)
-  in
-  let res =
-    if include_seed then Item.ddo seed
+  let acc = Accumulator.create () in
+  let start =
+    if include_seed then
+      let (fresh, fresh_n, _) = Accumulator.absorb acc ~who:"fs:ddo" seed in
+      (fresh, fresh_n)
     else begin
       (* sequential first application: warms lazy indexes *)
+      let seed_n = List.length seed in
       let first = body seed in
-      let res = Item.ddo first in
-      record seed first res;
-      res
+      let (fresh, fresh_n, first_n) =
+        Accumulator.absorb acc ~who:"fs:ddo" first
+      in
+      Stats.record_iteration stats ~fed:seed_n ~produced:first_n
+        ~result_size:(Accumulator.size acc);
+      (fresh, fresh_n)
     end
   in
-  let rec loop delta res i =
+  let rec loop (delta, delta_n) i =
     if i > max_iterations then raise (Diverged i);
-    let out = apply_parallel delta in
-    let delta' = Item.except out res in
-    let res' = Item.union delta' res in
-    record delta out res';
-    if delta' = [] then res' else loop delta' res' (i + 1)
+    let out_parts = apply_parallel delta delta_n in
+    let (fresh, fresh_n, out_n) =
+      Accumulator.absorb_parts acc ~who:"except" out_parts
+    in
+    Stats.record_iteration stats ~fed:delta_n ~produced:out_n
+      ~result_size:(Accumulator.size acc);
+    if fresh_n = 0 then Accumulator.to_seq acc
+    else loop (fresh, fresh_n) (i + 1)
   in
-  loop res res 1
+  loop start 1

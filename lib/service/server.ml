@@ -289,6 +289,19 @@ let cache_stats_json ~hits ~misses ~size ~capacity =
     [ ("hits", Json.of_int hits); ("misses", Json.of_int misses);
       ("size", Json.of_int size); ("capacity", Json.of_int capacity) ]
 
+(* Process-wide set-kernel totals (merge/bitmap/name-index work done by
+   every fixpoint round served so far), as label/value rows shared by
+   the JSON and Prometheus expositions. *)
+let kernel_counter_rows () =
+  let c = Xdm.Counters.snapshot () in
+  [ ("merges", c.Xdm.Counters.merges);
+    ("merged_items", c.Xdm.Counters.merged_items);
+    ("fallback_sorts", c.Xdm.Counters.fallback_sorts);
+    ("bitmap_tests", c.Xdm.Counters.bitmap_tests);
+    ("bitmap_hits", c.Xdm.Counters.bitmap_hits);
+    ("index_steps", c.Xdm.Counters.index_steps);
+    ("index_nodes", c.Xdm.Counters.index_nodes) ]
+
 (* Prometheus text exposition of the same counters the JSON stats
    report: cache hit/miss/size, registry generation, uptime, and the
    per-query execution aggregates from [Metrics]. Emitted by workers
@@ -327,6 +340,10 @@ let prometheus_stats t =
         (Printf.sprintf "fixq_cache_entries{cache=%S} %d\n" label v))
     [ ("prepared", Lru.length t.prepared);
       ("results", Result_cache.length t.results) ];
+  counter_family "fixq_kernel_ops_total"
+    (List.map
+       (fun (k, v) -> (Printf.sprintf "kernel=%S" k, v))
+       (kernel_counter_rows ()));
   Buffer.add_string buf (Metrics.to_prometheus ~prefix:"fixq" t.metrics);
   Buffer.contents buf
 
@@ -348,6 +365,11 @@ let handle_stats t ~id =
               ~size:(Result_cache.length t.results)
               ~capacity:t.config.result_capacity);
            ("queries", Metrics.to_json t.metrics);
+           ("kernels",
+            Json.Obj
+              (List.map
+                 (fun (k, v) -> (k, Json.of_int v))
+                 (kernel_counter_rows ())));
            ("uptime_ms",
             Json.Num ((Unix.gettimeofday () -. t.started_at) *. 1000.0)) ]) ]
 

@@ -143,7 +143,69 @@ let nodes axis (n : Node.t) =
              (siblings_before s))
          (List.rev sources))
 
-let step axis test n = List.filter (matches axis test) (nodes axis n)
+(* --- index-assisted steps ------------------------------------------ *)
+
+(* [range arr lo hi] = (i, j) such that arr.(i..j-1) are exactly the
+   entries with lo <= id <= hi ([arr] is sorted by id). *)
+let range (arr : Node.t array) lo hi =
+  let len = Array.length arr in
+  let lower target =
+    let l = ref 0 and r = ref len in
+    while !l < !r do
+      let m = (!l + !r) / 2 in
+      if arr.(m).Node.id < target then l := m + 1 else r := m
+    done;
+    !l
+  in
+  (lower lo, lower (hi + 1))
+
+(* Elements named [pat] in the subtree of [n], answered from the
+   per-document name index: a binary search for the id interval
+   [(n.id), subtree_max_id n] — the subtree-containment pruning that
+   keeps overlapping Δ subtrees from being re-walked. Only consulted
+   for real documents (Document-rooted trees); ephemeral constructed
+   fragments keep the plain walk, so no index is built for them. *)
+let indexed_named_subtree ~or_self pat (n : Node.t) =
+  match n.Node.kind with
+  | Node.Element | Node.Document -> (
+    let r = Node.root n in
+    if r.Node.kind <> Node.Document then None
+    else
+      match Node.elements_by_name r pat with
+      | None -> None
+      | Some arr ->
+        let lo = n.Node.id + (if or_self then 0 else 1) in
+        let hi = Node.subtree_max_id n in
+        let (i, j) = range arr lo hi in
+        incr Counters.index_steps;
+        Counters.index_nodes := !Counters.index_nodes + (j - i);
+        let rec collect k acc =
+          if k < i then acc else collect (k - 1) (arr.(k) :: acc)
+        in
+        Some (collect (j - 1) []))
+  | _ -> None
+
+let step axis test n =
+  match (axis, test) with
+  | ((Descendant | Descendant_or_self), (Name pat | Kind_element (Some pat)))
+    when not (String.equal pat "*") -> (
+    let or_self = axis = Descendant_or_self in
+    match indexed_named_subtree ~or_self pat n with
+    | Some hits -> hits
+    | None -> List.filter (matches axis test) (nodes axis n))
+  | (Child, (Name pat | Kind_element (Some pat)))
+    when not (String.equal pat "*") && Array.length n.Node.children > 8 -> (
+    (* Use the index for child::name only when it beats scanning the
+       children: candidates are all same-named elements in the subtree,
+       so compare counts before materializing. *)
+    match indexed_named_subtree ~or_self:false pat n with
+    | Some hits when List.length hits <= Array.length n.Node.children ->
+      List.filter
+        (fun (c : Node.t) ->
+          match c.Node.parent with Some p -> Node.equal p n | None -> false)
+        hits
+    | _ -> List.filter (matches axis test) (nodes axis n))
+  | _ -> List.filter (matches axis test) (nodes axis n)
 
 let pp_test ppf = function
   | Name s -> Format.pp_print_string ppf s

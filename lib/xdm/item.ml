@@ -14,44 +14,136 @@ let as_node_seq who s =
           (Atom.to_string a))
     s
 
-let sort_uniq_nodes ns =
-  let sorted = List.sort Node.compare_doc_order ns in
-  let rec dedup = function
-    | a :: (b :: _ as rest) ->
-      if Node.equal a b then dedup rest else a :: dedup rest
-    | l -> l
+(* One pass over a node list: its length and whether ids are strictly
+   increasing (strictly sorted = already in doc order and duplicate
+   free). *)
+let scan_nodes ns =
+  let rec go len prev sorted = function
+    | [] -> (sorted, len)
+    | (n : Node.t) :: rest ->
+      go (len + 1) n.Node.id (sorted && n.Node.id > prev) rest
   in
-  dedup sorted
+  go 0 min_int true ns
+
+let sort_uniq_nodes ns =
+  let (sorted, len) = scan_nodes ns in
+  incr Counters.merges;
+  Counters.merged_items := !Counters.merged_items + len;
+  if sorted then ns
+  else begin
+    incr Counters.fallback_sorts;
+    let sorted = List.sort Node.compare_doc_order ns in
+    let rec dedup = function
+      | a :: (b :: _ as rest) ->
+        if Node.equal a b then dedup rest else a :: dedup rest
+      | l -> l
+    in
+    dedup sorted
+  end
+
+(* Linear merges over sorted, duplicate-free runs. All tail-recursive:
+   fixpoint accumulators get long. *)
+let rec merge_union acc a b =
+  match (a, b) with
+  | ([], rest) | (rest, []) -> List.rev_append acc rest
+  | ((x : Node.t) :: a', (y : Node.t) :: b') ->
+    if x.Node.id < y.Node.id then merge_union (x :: acc) a' b
+    else if x.Node.id > y.Node.id then merge_union (y :: acc) a b'
+    else merge_union (x :: acc) a' b'
+
+let rec merge_except acc a b =
+  match a with
+  | [] -> List.rev acc
+  | (x : Node.t) :: a' -> (
+    match b with
+    | [] -> List.rev_append acc a
+    | (y : Node.t) :: b' ->
+      if x.Node.id < y.Node.id then merge_except (x :: acc) a' b
+      else if x.Node.id > y.Node.id then merge_except acc a b'
+      else merge_except acc a' b')
+
+let rec merge_intersect acc a b =
+  match (a, b) with
+  | ([], _) | (_, []) -> List.rev acc
+  | ((x : Node.t) :: a', (y : Node.t) :: b') ->
+    if x.Node.id < y.Node.id then merge_intersect acc a' b
+    else if x.Node.id > y.Node.id then merge_intersect acc a b'
+    else merge_intersect (x :: acc) a' b'
+
+let union_nodes na nb = merge_union [] (sort_uniq_nodes na) (sort_uniq_nodes nb)
+let except_nodes na nb = merge_except [] (sort_uniq_nodes na) (sort_uniq_nodes nb)
+
+let intersect_nodes na nb =
+  merge_intersect [] (sort_uniq_nodes na) (sort_uniq_nodes nb)
 
 let ddo s = List.map node (sort_uniq_nodes (as_node_seq "fs:ddo" s))
 
 let union a b =
   let na = as_node_seq "union" a and nb = as_node_seq "union" b in
-  List.map node (sort_uniq_nodes (na @ nb))
+  List.map node (union_nodes na nb)
 
 let except a b =
   let na = as_node_seq "except" a and nb = as_node_seq "except" b in
-  let forbidden = Node_set.of_nodes nb in
-  List.map node
-    (sort_uniq_nodes (List.filter (fun n -> not (Node_set.mem n forbidden)) na))
+  List.map node (except_nodes na nb)
 
 let intersect a b =
   let na = as_node_seq "intersect" a and nb = as_node_seq "intersect" b in
-  let wanted = Node_set.of_nodes nb in
-  List.map node
-    (sort_uniq_nodes (List.filter (fun n -> Node_set.mem n wanted) na))
+  List.map node (intersect_nodes na nb)
 
 (* Set-equality s= over general sequences: split into node part (by
-   identity) and atom part (by value). *)
+   identity) and atom part (by value).
+
+   [Atom.equal_value] is not transitive across numeric strings
+   (Int 1 ~ Str "1" and Int 1 ~ Str "01", yet Str "1" <> Str "01"), so a
+   key-based comparison is only sound when numbers and numeric-looking
+   strings don't both occur. We detect that case and keep the original
+   pairwise comparison for it; everything else goes through an O(n log n)
+   sort of comparison keys. *)
 module Atom_set = struct
   let mem a l = List.exists (Atom.equal_value a) l
 
   let of_seq s =
     List.fold_left (fun acc a -> if mem a acc then acc else a :: acc) [] s
 
-  let equal a b =
+  let equal_pairwise a b =
     let a = of_seq a and b = of_seq b in
     List.length a = List.length b && List.for_all (fun x -> mem x b) a
+
+  type key = KB of bool | KN of float | KS of string
+
+  let key = function
+    | Atom.Bool b -> KB b
+    | Atom.Int i -> KN (float_of_int i)
+    | Atom.Dbl f -> KN f
+    | Atom.Str s -> KS s
+
+  (* Stdlib.compare gives nan = nan, matching Atom.compare_value. *)
+  let compare_key (x : key) (y : key) = Stdlib.compare x y
+
+  let numeric_crossover s =
+    let has_num = ref false and has_numstr = ref false in
+    List.iter
+      (function
+        | Atom.Int _ | Atom.Dbl _ -> has_num := true
+        | Atom.Str str ->
+          if float_of_string_opt (String.trim str) <> None then
+            has_numstr := true
+        | Atom.Bool _ -> ())
+      s;
+    !has_num && !has_numstr
+
+  let rec equal_keys a b =
+    match (a, b) with
+    | ([], []) -> true
+    | (x :: a', y :: b') -> compare_key x y = 0 && equal_keys a' b'
+    | _ -> false
+
+  let equal a b =
+    if numeric_crossover (List.rev_append a b) then equal_pairwise a b
+    else
+      equal_keys
+        (List.sort_uniq compare_key (List.map key a))
+        (List.sort_uniq compare_key (List.map key b))
 end
 
 let set_equal a b =

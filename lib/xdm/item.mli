@@ -17,6 +17,21 @@ val atom : Atom.t -> t
     for the error message). *)
 val as_node_seq : string -> seq -> Node.t list
 
+(** [sort_uniq_nodes ns] is [ns] in document order without duplicate
+    identities. Detects already-sorted inputs in one pass (the common
+    case for axis-step and fixpoint outputs) and only falls back to a
+    full sort otherwise; see {!Counters}. *)
+val sort_uniq_nodes : Node.t list -> Node.t list
+
+(** Node-level kernels underlying {!union}/{!except}/{!intersect}:
+    linear merges of sorted runs (inputs are normalized with
+    {!sort_uniq_nodes} first). Results are in document order,
+    duplicate free. *)
+val union_nodes : Node.t list -> Node.t list -> Node.t list
+
+val except_nodes : Node.t list -> Node.t list -> Node.t list
+val intersect_nodes : Node.t list -> Node.t list -> Node.t list
+
 (** [fs:distinct-doc-order]: sort by document order, remove duplicate
     node identities. Requires a node-only sequence. *)
 val ddo : seq -> seq

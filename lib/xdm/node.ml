@@ -18,7 +18,14 @@ and doc = {
   mutable idref_attribute_names : string list;
   mutable idref_index : (string, t list) Hashtbl.t option;
       (** ID token → IDREF-typed attribute nodes referring to it *)
+  mutable name_index : name_index;
 }
+
+and name_index =
+  | Ni_unbuilt
+  | Ni_disabled  (** preorder id validation failed; callers must walk *)
+  | Ni_built of (string, t array) Hashtbl.t
+      (** element name → elements with that name, in document order *)
 
 type spec =
   | E of string * (string * string) list * spec list
@@ -65,7 +72,7 @@ let rec build spec =
 let of_spec ?uri ?(id_attrs = []) spec =
   let d = mk Document None "" in
   d.doc <- Some { uri; id_attribute_names = id_attrs; id_index = None;
-      idref_attribute_names = []; idref_index = None };
+      idref_attribute_names = []; idref_index = None; name_index = Ni_unbuilt };
   let c = build spec in
   c.parent <- Some d;
   d.children <- [| c |];
@@ -90,7 +97,7 @@ let rec deep_copy n =
   | Document ->
     let d = mk Document None "" in
     d.doc <- Some { uri = None; id_attribute_names = []; id_index = None;
-      idref_attribute_names = []; idref_index = None };
+      idref_attribute_names = []; idref_index = None; name_index = Ni_unbuilt };
     let copy_into c =
       let c' = deep_copy c in
       c'.parent <- Some d;
@@ -133,7 +140,7 @@ let attribute n v = mk Attribute (Some (Qname.of_string n)) v
 let document kids =
   let d = mk Document None "" in
   d.doc <- Some { uri = None; id_attribute_names = []; id_index = None;
-      idref_attribute_names = []; idref_index = None };
+      idref_attribute_names = []; idref_index = None; name_index = Ni_unbuilt };
   let adopt k =
     let k' = deep_copy k in
     k'.parent <- Some d;
@@ -175,7 +182,7 @@ let doc_of_root r =
   | Some d -> d
   | None ->
     let d = { uri = None; id_attribute_names = []; id_index = None;
-      idref_attribute_names = []; idref_index = None } in
+      idref_attribute_names = []; idref_index = None; name_index = Ni_unbuilt } in
     r.doc <- Some d;
     d
 
@@ -262,6 +269,66 @@ let subtree_size n =
   let k = ref 0 in
   iter_subtree (fun _ -> incr k) n;
   !k
+
+(* Largest id in the subtree of [n] (attributes included): with preorder
+   ids, the subtree occupies exactly the interval [n.id, subtree_max_id n],
+   found by descending the rightmost spine. *)
+let rec subtree_max_id (n : t) =
+  let nc = Array.length n.children in
+  if nc > 0 then subtree_max_id n.children.(nc - 1)
+  else
+    let na = Array.length n.attributes in
+    if na > 0 then n.attributes.(na - 1).id else n.id
+
+(* The name index is only sound if ids really are preorder within this
+   tree (document order = id order, so each bucket is doc-ordered and
+   subtree containment is an id-interval test). All constructors
+   guarantee this, but we validate during the build walk and disable
+   the index for the whole tree if the invariant ever fails. *)
+let build_name_index r d =
+  let tbl : (string, t list ref) Hashtbl.t = Hashtbl.create 256 in
+  let prev = ref (r.id - 1) in
+  let ok = ref true in
+  let check (n : t) =
+    if n.id <= !prev then ok := false;
+    prev := n.id
+  in
+  let rec visit n =
+    check n;
+    Array.iter check n.attributes;
+    (if n.kind = Element then
+       let key = name n in
+       match Hashtbl.find_opt tbl key with
+       | Some l -> l := n :: !l
+       | None -> Hashtbl.add tbl key (ref [ n ]));
+    Array.iter visit n.children
+  in
+  visit r;
+  if !ok then begin
+    let out = Hashtbl.create (max 16 (Hashtbl.length tbl)) in
+    Hashtbl.iter
+      (fun k l -> Hashtbl.replace out k (Array.of_list (List.rev !l)))
+      tbl;
+    d.name_index <- Ni_built out;
+    Some out
+  end
+  else begin
+    d.name_index <- Ni_disabled;
+    None
+  end
+
+let elements_by_name n nm =
+  let r = root n in
+  let d = doc_of_root r in
+  let tbl =
+    match d.name_index with
+    | Ni_built t -> Some t
+    | Ni_disabled -> None
+    | Ni_unbuilt -> build_name_index r d
+  in
+  match tbl with
+  | None -> None
+  | Some t -> Some (Option.value ~default:[||] (Hashtbl.find_opt t nm))
 
 let pp ppf n =
   match n.kind with

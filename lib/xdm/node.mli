@@ -36,7 +36,18 @@ and doc = {
   mutable idref_attribute_names : string list;
       (** attribute names declared of type IDREF/IDREFS *)
   mutable idref_index : (string, t list) Hashtbl.t option;
+  mutable name_index : name_index;  (** built lazily, see {!elements_by_name} *)
 }
+
+(** Lazy element-name index over a tree, same pattern as [id_index]. *)
+and name_index =
+  | Ni_unbuilt
+  | Ni_disabled
+      (** preorder id validation failed during the build walk; callers
+          must fall back to walking the tree *)
+  | Ni_built of (string, t array) Hashtbl.t
+      (** element name (as written) → elements with that name, in
+          document order *)
 
 (** Construction specification: a value describing a tree to build. *)
 type spec =
@@ -119,5 +130,17 @@ val subtree_size : t -> int
 
 (** Preorder iteration over the subtree, attributes excluded. *)
 val iter_subtree : (t -> unit) -> t -> unit
+
+(** Largest id inside the subtree of [n], attributes included. With
+    preorder ids the subtree is exactly the id interval
+    [[n.id, subtree_max_id n]] — the containment test behind
+    index-assisted descendant steps. *)
+val subtree_max_id : t -> int
+
+(** [elements_by_name n name] — all elements named [name] (as written)
+    in the tree containing [n], in document order, answered from a lazy
+    per-document index. [None] when the index is disabled (preorder id
+    validation failed); callers must then walk the tree. *)
+val elements_by_name : t -> string -> t array option
 
 val pp : Format.formatter -> t -> unit

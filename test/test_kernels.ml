@@ -1,0 +1,246 @@
+(* Property tests for the PR-3 set kernels: the merge-based
+   ddo/union/except/intersect in Item, the incremental fixpoint
+   Accumulator, and the name-indexed descendant steps in Axis — each
+   checked against a straightforward list-based reference on randomized
+   node multisets drawn from several documents. Plus regression tests
+   for the Atom_set set-equality path (quadratic before PR 3). *)
+
+module Node = Fixq_xdm.Node
+module Atom = Fixq_xdm.Atom
+module Item = Fixq_xdm.Item
+module Axis = Fixq_xdm.Axis
+module Accumulator = Fixq_xdm.Accumulator
+module Counters = Fixq_xdm.Counters
+
+let check = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures: a pool of nodes spanning three documents                  *)
+(* ------------------------------------------------------------------ *)
+
+let docs =
+  (* distinct shapes, shared element names, text/comment nodes mixed
+     in — the kernels must only ever see ids, never care about shape *)
+  let leaf n = Node.E ("leaf", [ ("n", string_of_int n) ], [ Node.T "x" ]) in
+  [ Node.of_spec
+      (Node.E
+         ( "r", [],
+           [ Node.E ("a", [], [ leaf 1; Node.E ("b", [], [ leaf 2 ]) ]);
+             Node.E ("b", [], [ leaf 3; Node.C "note"; leaf 4 ]);
+             Node.T "tail" ] ));
+    Node.of_spec
+      (Node.E
+         ( "r", [],
+           List.init 10 (fun i ->
+               Node.E
+                 ( (if i mod 2 = 0 then "a" else "b"), [],
+                   [ leaf (10 + i) ] )) ));
+    Node.of_spec (Node.E ("a", [], [ Node.E ("a", [], [ leaf 100 ]) ])) ]
+
+let pool =
+  let out = ref [] in
+  List.iter (fun d -> Node.iter_subtree (fun n -> out := n :: !out) d) docs;
+  Array.of_list (List.rev !out)
+
+let node_of_idx i = pool.(i mod Array.length pool)
+let seq_of_idxs l = List.map (fun i -> Item.node (node_of_idx i)) l
+
+let ids_of_seq s =
+  List.map
+    (function Item.N n -> n.Node.id | Item.A _ -> Alcotest.fail "atom")
+    s
+
+(* ------------------------------------------------------------------ *)
+(* List-based reference implementations                                *)
+(* ------------------------------------------------------------------ *)
+
+let ref_ddo ns = List.sort_uniq Node.compare_doc_order ns
+let mem n l = List.exists (fun m -> Node.compare_doc_order n m = 0) l
+let ref_union a b = ref_ddo (a @ b)
+let ref_except a b = List.filter (fun n -> not (mem n b)) (ref_ddo a)
+let ref_intersect a b = List.filter (fun n -> mem n b) (ref_ddo a)
+let ids = List.map (fun n -> n.Node.id)
+
+let nodes_of_idxs l = List.map node_of_idx l
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let idx_gen = QCheck2.Gen.(list_size (int_bound 40) (int_bound 200))
+
+let prop_kernels_match_reference =
+  QCheck2.Test.make ~count:300 ~name:"merge kernels = list reference"
+    QCheck2.Gen.(pair idx_gen idx_gen)
+    (fun (ia, ib) ->
+      let na = nodes_of_idxs ia and nb = nodes_of_idxs ib in
+      let sa = seq_of_idxs ia and sb = seq_of_idxs ib in
+      ids_of_seq (Item.ddo sa) = ids (ref_ddo na)
+      && ids_of_seq (Item.union sa sb) = ids (ref_union na nb)
+      && ids_of_seq (Item.except sa sb) = ids (ref_except na nb)
+      && ids_of_seq (Item.intersect sa sb) = ids (ref_intersect na nb))
+
+let prop_doc_order =
+  QCheck2.Test.make ~count:200 ~name:"kernel outputs strictly doc-ordered"
+    QCheck2.Gen.(pair idx_gen idx_gen)
+    (fun (ia, ib) ->
+      let strictly_sorted s =
+        let rec go = function
+          | Item.N x :: (Item.N y :: _ as rest) ->
+            Node.compare_doc_order x y < 0 && go rest
+          | [ Item.N _ ] | [] -> true
+          | _ -> false
+        in
+        go s
+      in
+      let sa = seq_of_idxs ia and sb = seq_of_idxs ib in
+      List.for_all strictly_sorted
+        [ Item.ddo sa; Item.union sa sb; Item.except sa sb;
+          Item.intersect sa sb ])
+
+let prop_accumulator =
+  (* a run of absorb batches behaves like folding the reference union,
+     and each round's fresh delta is exactly what the reference except
+     would produce *)
+  QCheck2.Test.make ~count:200 ~name:"accumulator = fold of union"
+    QCheck2.Gen.(list_size (int_bound 8) idx_gen)
+    (fun batches ->
+      let acc = Accumulator.create () in
+      let reference = ref [] in
+      List.for_all
+        (fun batch ->
+          let nodes = nodes_of_idxs batch in
+          let (fresh, fresh_count, produced) =
+            Accumulator.absorb acc ~who:"test" (seq_of_idxs batch)
+          in
+          let expect_fresh = ref_except nodes !reference in
+          reference := ref_union !reference nodes;
+          ids_of_seq fresh = ids expect_fresh
+          && fresh_count = List.length expect_fresh
+          && produced = List.length batch
+          && Accumulator.size acc = List.length !reference
+          && ids_of_seq (Accumulator.to_seq acc) = ids !reference
+          && List.for_all (fun n -> Accumulator.mem acc n) !reference)
+        batches)
+
+let name_gen = QCheck2.Gen.oneofl [ "a"; "b"; "leaf"; "r"; "*"; "zzz" ]
+
+let prop_indexed_step =
+  (* Axis.step answers descendant name tests from the per-document name
+     index with subtree pruning; Axis.nodes is the plain unindexed
+     traversal — they must agree from every context node *)
+  QCheck2.Test.make ~count:300 ~name:"indexed descendant step = scan"
+    QCheck2.Gen.(pair (int_bound 200) name_gen)
+    (fun (i, nm) ->
+      let n = node_of_idx i in
+      let reference axis =
+        List.filter (Axis.matches axis (Axis.Name nm)) (Axis.nodes axis n)
+      in
+      ids (Axis.step Axis.Descendant (Axis.Name nm) n)
+      = ids (reference Axis.Descendant)
+      && ids (Axis.step Axis.Descendant_or_self (Axis.Name nm) n)
+         = ids (reference Axis.Descendant_or_self)
+      && ids (Axis.step Axis.Child (Axis.Name nm) n)
+         = ids (reference Axis.Child))
+
+(* ------------------------------------------------------------------ *)
+(* Unit tests                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let raises_type_error who f =
+  try
+    ignore (f ());
+    false
+  with Atom.Type_error msg -> contains msg who
+
+let test_atom_type_errors () =
+  let atom = [ Item.atom (Atom.Int 1) ] in
+  let nodes = seq_of_idxs [ 0; 1 ] in
+  check "ddo on atoms" true
+    (raises_type_error "fs:ddo" (fun () -> Item.ddo atom));
+  check "union on atoms" true
+    (raises_type_error "union" (fun () -> Item.union nodes atom));
+  check "except on atoms" true
+    (raises_type_error "except" (fun () -> Item.except atom nodes));
+  check "intersect on atoms" true
+    (raises_type_error "intersect" (fun () -> Item.intersect nodes atom));
+  check "accumulator on atoms" true
+    (raises_type_error "fixpoint" (fun () ->
+         Accumulator.absorb (Accumulator.create ()) ~who:"fixpoint" atom))
+
+let test_index_counters () =
+  (* the descendant name step must actually hit the index *)
+  let root = List.hd docs in
+  let before = Counters.snapshot () in
+  let hits = Axis.step Axis.Descendant (Axis.Name "leaf") root in
+  let d = Counters.diff (Counters.snapshot ()) before in
+  check "found leaves" true (List.length hits > 0);
+  check "index used" true (d.Counters.index_steps >= 1);
+  check "index produced the nodes" true
+    (d.Counters.index_nodes >= List.length hits)
+
+let shuffle st arr =
+  let a = Array.copy arr in
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  a
+
+let test_atom_set_scale () =
+  (* regression: set_equal on 10k-atom sequences was quadratic
+     (pairwise membership); the keyed path must handle this instantly *)
+  let st = Random.State.make [| 42 |] in
+  let mk st =
+    Array.to_list
+      (shuffle st (Array.init 10_000 (fun i -> Item.atom (Atom.Str (Printf.sprintf "k%d" i)))))
+  in
+  let a = mk st and b = mk st in
+  let t0 = Unix.gettimeofday () in
+  check "10k sets equal" true (Item.set_equal a b);
+  check "10k sets differ" false
+    (Item.set_equal a (Item.atom (Atom.Str "extra") :: b));
+  let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  check ("10k set_equal under 2s, took " ^ string_of_float ms) true (ms < 2000.0)
+
+let test_atom_set_crossover () =
+  (* numeric strings mixed with numbers fall back to the (sound)
+     pairwise path: equal_value is not transitive there *)
+  let s l = List.map Item.atom l in
+  check "1 = \"01\"" true
+    (Item.set_equal (s [ Atom.Int 1 ]) (s [ Atom.Str "01" ]));
+  check "\"1\" <> \"01\"" false
+    (Item.set_equal (s [ Atom.Str "1" ]) (s [ Atom.Str "01" ]));
+  check "dup collapse" true
+    (Item.set_equal
+       (s [ Atom.Int 2; Atom.Int 2; Atom.Str "x" ])
+       (s [ Atom.Str "x"; Atom.Int 2 ]))
+
+(* ------------------------------------------------------------------ *)
+
+let qc = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "kernels"
+    [ ( "properties",
+        qc
+          [ prop_kernels_match_reference;
+            prop_doc_order;
+            prop_accumulator;
+            prop_indexed_step ] );
+      ( "units",
+        [ Alcotest.test_case "atom type errors" `Quick test_atom_type_errors;
+          Alcotest.test_case "index counters" `Quick test_index_counters;
+          Alcotest.test_case "atom set 10k regression" `Quick
+            test_atom_set_scale;
+          Alcotest.test_case "atom set numeric crossover" `Quick
+            test_atom_set_crossover ] ) ]
