@@ -277,6 +277,85 @@ let explain_cmd =
           distributivity hint.")
     term
 
+(* Shared by serve and cluster: activate a fault-injection schedule
+   from --chaos/--chaos-log, falling back to FIXQ_CHAOS/FIXQ_CHAOS_LOG
+   so worker processes pick a schedule up from their environment. *)
+let setup_chaos ~chaos ~chaos_log =
+  let r =
+    match chaos with
+    | Some spec -> Fixq_chaos.configure spec
+    | None -> (
+      match Sys.getenv_opt "FIXQ_CHAOS" with
+      | Some s when String.trim s <> "" -> Fixq_chaos.configure s
+      | _ -> Ok ())
+  in
+  (match
+     ( chaos_log,
+       match Sys.getenv_opt "FIXQ_CHAOS_LOG" with
+       | Some p when p <> "" -> Some p
+       | _ -> None )
+   with
+  | (Some p, _) | (None, Some p) -> Fixq_chaos.set_log (Some p)
+  | (None, None) -> ());
+  r
+
+let chaos_arg =
+  Arg.(value & opt (some string) None
+       & info [ "chaos" ] ~docv:"SCHEDULE"
+           ~doc:
+             "Deterministic fault-injection schedule, e.g. \
+              'seed=42,transport.recv=drop:0.1,fixpoint.round=oom@3'. \
+              Items are comma-separated: seed=N, or \
+              point=kind[:prob][@nth][#max] with points transport.send, \
+              transport.recv, coordinator.scatter, supervisor.ping, \
+              server.handle, fixpoint.round, store.read and kinds drop, \
+              truncate, kill, oom, delayMS. Falls back to \\$FIXQ_CHAOS.")
+
+let chaos_log_arg =
+  Arg.(value & opt (some string) None
+       & info [ "chaos-log" ] ~docv:"PATH"
+           ~doc:
+             "Append fired chaos events ('pid seq point fault' lines) to \
+              this file; appends are atomic, so entries survive injected \
+              SIGKILLs. Falls back to \\$FIXQ_CHAOS_LOG.")
+
+let max_heap_arg =
+  Arg.(value & opt (some int) None
+       & info [ "max-heap-mb" ] ~docv:"MB"
+           ~doc:
+             "Per-request major-heap growth budget; a request growing the \
+              heap past it is aborted at the next fixpoint round with a \
+              structured error (caches stay intact).")
+
+let shed_heap_arg =
+  Arg.(value & opt (some int) None
+       & info [ "shed-heap-mb" ] ~docv:"MB"
+           ~doc:
+             "Load-shedding watermark: reject new query work (with a \
+              retry_after_ms hint) while the major heap exceeds this.")
+
+let max_pending_arg =
+  Arg.(value & opt (some int) None
+       & info [ "max-pending" ] ~docv:"N"
+           ~doc:
+             "Load-shedding cap: reject new query work while this many \
+              requests are already in flight.")
+
+let max_call_depth_arg =
+  Arg.(value & opt (some int) None
+       & info [ "max-call-depth" ] ~docv:"N"
+           ~doc:"User-function recursion depth bound per request.")
+
+let retry_after_arg =
+  Arg.(value & opt int 200
+       & info [ "retry-after-ms" ] ~docv:"MS"
+           ~doc:"retry_after_ms hint attached to shed responses.")
+
+let governor_config ~max_heap_mb ~shed_heap_mb ~max_pending ~max_call_depth
+    ~retry_after_ms =
+  { Fixq_service.Governor.max_heap_mb; shed_heap_mb; max_pending;
+    max_call_depth; retry_after_ms }
+
 let serve_cmd =
   let module Service = Fixq_service in
   let pipe_arg =
@@ -318,12 +397,21 @@ let serve_cmd =
     Arg.(value & opt (some float) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
   in
   let action docs pipe socket workers prepared_cap result_cap max_iterations
-      timeout_ms stratified =
+      timeout_ms stratified chaos chaos_log max_heap_mb shed_heap_mb
+      max_pending max_call_depth retry_after_ms =
+    match setup_chaos ~chaos ~chaos_log with
+    | Error msg ->
+      Printf.eprintf "fixq serve: %s\n" msg;
+      2
+    | Ok () -> (
     let registry = Xdm.Doc_registry.create () in
     load_docs registry docs;
     let config =
       { Service.Server.workers; prepared_capacity = prepared_cap;
-        result_capacity = result_cap; max_iterations; timeout_ms; stratified }
+        result_capacity = result_cap; max_iterations; timeout_ms; stratified;
+        governor =
+          governor_config ~max_heap_mb ~shed_heap_mb ~max_pending
+            ~max_call_depth ~retry_after_ms }
     in
     let store = Service.Store.create ~registry () in
     let server = Service.Server.create ~config ~store () in
@@ -343,12 +431,14 @@ let serve_cmd =
         1)
     | (false, None) ->
       Printf.eprintf "serve: pass --pipe or --socket PATH\n";
-      2
+      2)
   in
   let term =
     Term.(const action $ docs_arg $ pipe_arg $ socket_arg $ workers_arg
           $ prepared_cache_arg $ result_cache_arg $ max_iterations_arg
-          $ timeout_arg $ stratified_arg)
+          $ timeout_arg $ stratified_arg $ chaos_arg $ chaos_log_arg
+          $ max_heap_arg $ shed_heap_arg $ max_pending_arg
+          $ max_call_depth_arg $ retry_after_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -412,7 +502,17 @@ let cluster_cmd =
     Arg.(value & opt (some float) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
   in
   let action docs pipe socket workers replication worker_dir no_scatter
-      retries backoff_ms health_ms max_iterations timeout_ms stratified =
+      retries backoff_ms health_ms max_iterations timeout_ms stratified chaos
+      chaos_log max_heap_mb shed_heap_mb max_pending max_call_depth
+      retry_after_ms =
+    (* the coordinator process hosts the transport/scatter/ping points;
+       the same schedule is forwarded to every worker (below), where the
+       server.handle/fixpoint.round/store.read points live *)
+    match setup_chaos ~chaos ~chaos_log with
+    | Error msg ->
+      Printf.eprintf "fixq cluster: %s\n" msg;
+      2
+    | Ok () -> (
     let dir =
       match worker_dir with
       | Some d -> d
@@ -421,6 +521,10 @@ let cluster_cmd =
           (Filename.get_temp_dir_name ())
           (Printf.sprintf "fixq-cluster-%d" (Unix.getpid ()))
     in
+    let opt_int flag = function
+      | Some n -> [ flag; string_of_int n ]
+      | None -> []
+    in
     let command ~name:_ ~socket =
       Array.of_list
         ([ Sys.executable_name; "serve"; "--socket"; socket; "--workers"; "4";
@@ -428,7 +532,14 @@ let cluster_cmd =
         @ (match timeout_ms with
           | Some t -> [ "--timeout-ms"; string_of_float t ]
           | None -> [])
-        @ (if stratified then [ "--stratified" ] else []))
+        @ (if stratified then [ "--stratified" ] else [])
+        @ (match chaos with Some s -> [ "--chaos"; s ] | None -> [])
+        @ (match chaos_log with Some p -> [ "--chaos-log"; p ] | None -> [])
+        @ opt_int "--max-heap-mb" max_heap_mb
+        @ opt_int "--shed-heap-mb" shed_heap_mb
+        @ opt_int "--max-pending" max_pending
+        @ opt_int "--max-call-depth" max_call_depth
+        @ [ "--retry-after-ms"; string_of_int retry_after_ms ])
     in
     let config =
       { C.Coordinator.replication; scatter = not no_scatter; retries;
@@ -509,13 +620,15 @@ let cluster_cmd =
         in
         let code = serve () in
         C.Cluster.shutdown cluster;
-        code)
+        code))
   in
   let term =
     Term.(const action $ docs_arg $ pipe_arg $ socket_arg $ workers_arg
           $ replication_arg $ worker_dir_arg $ no_scatter_arg $ retries_arg
           $ backoff_arg $ health_arg $ max_iterations_arg $ timeout_arg
-          $ stratified_arg)
+          $ stratified_arg $ chaos_arg $ chaos_log_arg $ max_heap_arg
+          $ shed_heap_arg $ max_pending_arg $ max_call_depth_arg
+          $ retry_after_arg)
   in
   Cmd.v
     (Cmd.info "cluster"

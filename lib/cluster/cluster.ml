@@ -36,6 +36,23 @@ let launch ~dir ~count ~command ?(config = Coordinator.default_config)
   in
   let coordinator = Coordinator.create ~config backend in
   let ping name =
+    (* A chaos fault on the health probe reports the worker unresponsive,
+       so the supervisor SIGKILLs and respawns it — a real worker crash
+       and doc-replay cycle driven from a deterministic schedule.
+       [Delay] stalls the probe instead (a slow worker, not a dead one). *)
+    let chaos_dead =
+      match Fixq_chaos.check "supervisor.ping" with
+      | None -> false
+      | Some (Fixq_chaos.Delay s) ->
+        Fixq_chaos.sleep s;
+        false
+      | Some
+          ( Fixq_chaos.Drop | Fixq_chaos.Truncate | Fixq_chaos.Kill
+          | Fixq_chaos.Oom ) ->
+        true
+    in
+    if chaos_dead then false
+    else
     match Hashtbl.find_opt ping_transports name with
     | None -> false
     | Some tr -> (

@@ -483,6 +483,23 @@ let gather_keyed t legs =
 let num_member name j = Option.value ~default:0. (Json.num_opt (Json.member name j))
 let int_member name j = Option.value ~default:0 (Json.int_opt (Json.member name j))
 
+(* Chaos faults on a scatter leg resolve to a leg [Error], i.e. the
+   `Transport shape — the coordinator falls back to whole-query routing
+   exactly as it would for a worker that died between scatter and
+   gather. [Kill] additionally marks the worker dead so the fallback
+   must route around it (the in-flight failover path). *)
+let chaos_scatter t name =
+  match Fixq_chaos.check "coordinator.scatter" with
+  | None -> None
+  | Some (Fixq_chaos.Delay s) ->
+    Fixq_chaos.sleep s;
+    None
+  | Some Fixq_chaos.Kill ->
+    mark_dead t name;
+    Some (Printf.sprintf "chaos: %s killed mid-scatter" name)
+  | Some (Fixq_chaos.Drop | Fixq_chaos.Truncate | Fixq_chaos.Oom) ->
+    Some (Printf.sprintf "chaos: scatter leg to %s dropped" name)
+
 let run_scatter t ~id ~docs ~workers ~timeout_ms fields =
   let m = List.length workers in
   let base = without [ "id"; "partition" ] fields in
@@ -501,9 +518,12 @@ let run_scatter t ~id ~docs ~workers ~timeout_ms fields =
         Thread.create
           (fun () ->
             let r =
-              match ensure_docs t name docs with
-              | Error e -> Error e
-              | Ok () ->
+              match chaos_scatter t name with
+              | Some e -> Error e
+              | None -> (
+                match ensure_docs t name docs with
+                | Error e -> Error e
+                | Ok () ->
                 (* re-check after shipping: a racing load-doc may have
                    changed this worker's local order since
                    [scatter_set] approved it *)
@@ -513,7 +533,7 @@ let run_scatter t ~id ~docs ~workers ~timeout_ms fields =
                   Error
                     (Printf.sprintf
                        "%s no longer holds documents in global load order"
-                       name)
+                       name))
             in
             results.(j) <- r)
           ())

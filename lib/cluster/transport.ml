@@ -32,10 +32,47 @@ let connect t =
       t.conn <- Some c;
       c
 
+(* Every injected transport fault resolves to an [Error _] after
+   severing the connection — exactly the observable of a real network
+   failure, so the retry/failover machinery above reacts identically.
+   [Truncate] on send additionally writes a partial frame first,
+   exercising the peer's mid-frame hardening. *)
+exception Chaos of string
+
+let chaos_send t line =
+  match Fixq_chaos.check "transport.send" with
+  | None -> ()
+  | Some (Fixq_chaos.Delay s) -> Fixq_chaos.sleep s
+  | Some Fixq_chaos.Kill -> Fixq_chaos.kill_self ()
+  | Some (Fixq_chaos.Drop | Fixq_chaos.Oom) ->
+      teardown t;
+      raise (Chaos "chaos: connection dropped before send")
+  | Some Fixq_chaos.Truncate ->
+      (try
+         let c = connect t in
+         let n = max 1 (String.length line / 2) in
+         output_string c.oc (String.sub line 0 (min n (String.length line)));
+         flush c.oc
+       with _ -> ());
+      teardown t;
+      raise (Chaos "chaos: frame truncated mid-send")
+
+let chaos_recv t =
+  match Fixq_chaos.check "transport.recv" with
+  | None -> ()
+  | Some (Fixq_chaos.Delay s) -> Fixq_chaos.sleep s
+  | Some Fixq_chaos.Kill -> Fixq_chaos.kill_self ()
+  | Some (Fixq_chaos.Drop | Fixq_chaos.Oom | Fixq_chaos.Truncate) ->
+      (* the worker may already have processed the request; dropping the
+         response exercises the caller's retry idempotency *)
+      teardown t;
+      raise (Chaos "chaos: connection dropped before receive")
+
 let call ?timeout_ms t line =
   Mutex.lock t.lock;
   let result =
     try
+      chaos_send t line;
       let c = connect t in
       (match timeout_ms with
       | Some ms when ms > 0. ->
@@ -44,9 +81,22 @@ let call ?timeout_ms t line =
       output_string c.oc line;
       output_char c.oc '\n';
       flush c.oc;
-      let resp = input_line c.ic in
-      Ok resp
+      chaos_recv t;
+      match Fixq_service.Frame.read c.ic with
+      | `Line resp -> Ok resp
+      | `Eof ->
+          teardown t;
+          Error "connection closed by worker"
+      | `Truncated _ ->
+          (* the worker died mid-answer: indistinguishable from a lost
+             response, never from a complete one *)
+          teardown t;
+          Error "response truncated mid-frame"
+      | `Oversized ->
+          teardown t;
+          Error "oversized response frame"
     with
+    | Chaos msg -> Error msg
     | End_of_file ->
         teardown t;
         Error "connection closed by worker"

@@ -162,35 +162,38 @@ let install_algebra_handler ~registry ~max_iterations ~stratified ~mode
 
 let run_program ?(registry = Xdm.Doc_registry.default)
     ?(max_iterations = 1_000_000) ?(stratified = false) ?domains
-    ?chunk_threshold ?deadline ~engine p =
+    ?chunk_threshold ?deadline ?round_hook ?max_call_depth ~engine p =
   let fallbacks = ref [] in
   let used_delta = ref None in
   let ev =
     match engine with
     | Interpreter mode ->
       Eval.create ~registry ~max_iterations ~stratified ?domains
-        ?chunk_threshold ~strategy:(strategy_of_mode mode) ()
+        ?chunk_threshold ?max_call_depth ~strategy:(strategy_of_mode mode) ()
     | Algebra mode ->
       let ev =
         (* Interpreter strategy doubles as the fallback policy (and runs
            any IFP the compiler rejects, hence the parallel knobs). *)
         Eval.create ~registry ~max_iterations ~stratified ?domains
-          ?chunk_threshold ~strategy:(strategy_of_mode mode) ()
+          ?chunk_threshold ?max_call_depth ~strategy:(strategy_of_mode mode) ()
       in
       install_algebra_handler ~registry ~max_iterations ~stratified ~mode
         ~fallbacks ~used_delta ev;
       ev
   in
-  (match deadline with
-  | None -> ()
-  | Some d ->
+  (match (deadline, round_hook) with
+  | None, None -> ()
+  | _ ->
     (* Cooperative: checked once per fixpoint round, on both engines
        (the plan evaluator shares this Stats.t). Straight-line queries
        without an IFP are not interrupted. *)
     Stats.set_iteration_hook (Eval.stats ev)
       (Some
          (fun () ->
-           if Unix.gettimeofday () > d then raise Deadline_exceeded)));
+           (match round_hook with None -> () | Some h -> h ());
+           match deadline with
+           | Some d when Unix.gettimeofday () > d -> raise Deadline_exceeded
+           | _ -> ())));
   let t0 = now_ms () in
   let result =
     try Eval.run_program ev p with
@@ -222,9 +225,9 @@ let parse src =
     raise (Error (Printf.sprintf "lex error at offset %d: %s" pos msg))
 
 let run ?registry ?max_iterations ?stratified ?domains ?chunk_threshold
-    ?deadline ~engine src =
+    ?deadline ?round_hook ?max_call_depth ~engine src =
   run_program ?registry ?max_iterations ?stratified ?domains ?chunk_threshold
-    ?deadline ~engine (parse src)
+    ?deadline ?round_hook ?max_call_depth ~engine (parse src)
 
 (* Capture the compiled plan of the first IFP encountered dynamically:
    install a capturing handler, then run the program on the interpreter.

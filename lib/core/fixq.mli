@@ -62,7 +62,13 @@ exception Error of string
     [domains]/[chunk_threshold] make Delta-eligible interpreter
     fixpoints run the body in parallel on that many OCaml domains
     (rounds smaller than [chunk_threshold], default 64, stay
-    sequential); they do not affect µ/µ∆ plans. *)
+    sequential); they do not affect µ/µ∆ plans. [round_hook] is called
+    once per fixpoint round (same cooperative site as [deadline], before
+    the deadline check) — the serving layer's resource governor uses it
+    to abort runs whose heap growth exceeds their memory budget; any
+    exception it raises propagates out of the run unconverted.
+    [max_call_depth] bounds user-function recursion depth (default
+    100,000; exceeding it raises {!Error}). *)
 val run :
   ?registry:Xdm.Doc_registry.t ->
   ?max_iterations:int ->
@@ -70,6 +76,8 @@ val run :
   ?domains:int ->
   ?chunk_threshold:int ->
   ?deadline:float ->
+  ?round_hook:(unit -> unit) ->
+  ?max_call_depth:int ->
   engine:engine ->
   string ->
   report
@@ -82,6 +90,8 @@ val run_program :
   ?domains:int ->
   ?chunk_threshold:int ->
   ?deadline:float ->
+  ?round_hook:(unit -> unit) ->
+  ?max_call_depth:int ->
   engine:engine ->
   Lang.Ast.program ->
   report

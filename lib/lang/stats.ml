@@ -47,7 +47,20 @@ let start_run t =
 
 let set_iteration_hook t hook = t.iteration_hook <- hook
 
+(* Both engines report every fixpoint round here (the µ/µ∆ evaluator
+   shares the interpreter's Stats.t), so this is the single place where
+   a chaos schedule can fault "mid-round" deterministically: a
+   simulated allocation failure, a stall, or a worker crash between
+   rounds N and N+1. *)
+let chaos_round_point () =
+  match Fixq_chaos.check "fixpoint.round" with
+  | None | Some (Fixq_chaos.Drop | Fixq_chaos.Truncate) -> ()
+  | Some (Fixq_chaos.Delay s) -> Fixq_chaos.sleep s
+  | Some Fixq_chaos.Oom -> raise Out_of_memory
+  | Some Fixq_chaos.Kill -> Fixq_chaos.kill_self ()
+
 let record_iteration t ~fed ~produced ~result_size =
+  chaos_round_point ();
   let stamp = now () in
   let counters = Counters.snapshot () in
   let round_ms = (stamp -. t.round_started) *. 1000.0 in

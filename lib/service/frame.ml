@@ -1,0 +1,30 @@
+(* Newline-delimited frame reads that can tell a complete line from a
+   stream cut mid-frame. [input_line] cannot: it returns a final
+   unterminated line as if it were complete, so a peer dying mid-write
+   used to hand the reader a truncated JSON frame that parsed as
+   garbage (or worse, as a shorter valid frame). *)
+
+let default_max_len = 64 * 1024 * 1024
+
+let read ?(max_len = default_max_len) ic =
+  let buf = Buffer.create 256 in
+  let rec go oversized =
+    match input_char ic with
+    | exception End_of_file ->
+      if Buffer.length buf = 0 && not oversized then `Eof
+      else `Truncated (Buffer.contents buf)
+    | '\n' -> if oversized then `Oversized else `Line (Buffer.contents buf)
+    | _ when oversized -> go true
+    | c ->
+      if Buffer.length buf >= max_len then begin
+        (* keep consuming to the frame boundary so the stream stays in
+           sync and the caller can answer with a clean error *)
+        Buffer.clear buf;
+        go true
+      end
+      else begin
+        Buffer.add_char buf c;
+        go false
+      end
+  in
+  go false

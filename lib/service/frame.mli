@@ -1,0 +1,21 @@
+(** Hardened newline-delimited frame reads.
+
+    Unlike [input_line], {!read} distinguishes a newline-terminated
+    frame from a stream that ended mid-frame — the difference between
+    "the peer answered" and "the peer died while answering", which the
+    retry layers above must not conflate. *)
+
+val default_max_len : int
+(** 64 MiB. *)
+
+val read :
+  ?max_len:int ->
+  in_channel ->
+  [ `Line of string  (** complete, newline-terminated frame *)
+  | `Truncated of string  (** stream ended mid-frame; partial bytes *)
+  | `Oversized  (** frame exceeded [max_len]; consumed up to its end *)
+  | `Eof  (** clean end of stream at a frame boundary *) ]
+(** Blocking read of one frame. An oversized frame is drained to its
+    terminating newline (bounding memory at [max_len]) so the stream
+    stays framed and the caller can answer a protocol error. May raise
+    [Sys_error] like any channel read on a broken descriptor. *)

@@ -1,0 +1,130 @@
+(* Resource governor: keeps one hostile or merely huge request from
+   taking the whole server (and its caches) down.
+
+   Three mechanisms, all cooperative and cheap:
+
+   - Load shedding at admission: new query work is rejected with a
+     retry_after hint while the major heap sits above a watermark or
+     too many requests are already in flight. Control-plane ops (ping,
+     stats, shutdown …) are never shed, so a loaded server stays
+     observable and drainable.
+
+   - A per-request memory budget: the request records the major-heap
+     size at start; a [Gc.create_alarm] marks the request once the
+     heap has grown past the budget, and the fixpoint round hook
+     (called between rounds on both engines) re-checks directly and
+     raises [Out_of_memory] at a safe point. Attribution is
+     approximate under concurrency — the heap is shared — but a lone
+     runaway IFP is exactly the case that matters, and it is the only
+     thing that can grow the heap by gigabytes between rounds.
+
+   - A recursion-depth guard forwarded to the evaluator
+     ([max_call_depth]), bounding user-function recursion. *)
+
+type config = {
+  max_heap_mb : int option;
+  shed_heap_mb : int option;
+  max_pending : int option;
+  max_call_depth : int option;
+  retry_after_ms : int;
+}
+
+let default_config =
+  { max_heap_mb = None; shed_heap_mb = None; max_pending = None;
+    max_call_depth = None; retry_after_ms = 200 }
+
+type t = {
+  config : config;
+  lock : Mutex.t;
+  mutable inflight : int;
+  mutable shed_total : int;
+  mutable oom_total : int;
+  mutable stack_total : int;
+}
+
+exception Shed of { retry_after_ms : int; reason : string }
+
+let create config =
+  { config; lock = Mutex.create (); inflight = 0; shed_total = 0;
+    oom_total = 0; stack_total = 0 }
+
+let config t = t.config
+
+let words_per_mb = 1024 * 1024 / (Sys.word_size / 8)
+
+let heap_words () = (Gc.quick_stat ()).Gc.heap_words
+
+let shed t reason =
+  Mutex.lock t.lock;
+  t.shed_total <- t.shed_total + 1;
+  Mutex.unlock t.lock;
+  raise (Shed { retry_after_ms = t.config.retry_after_ms; reason })
+
+(* Admission control for query work. Call {!release} when the request
+   finishes (success or failure). *)
+let admit t =
+  (match t.config.shed_heap_mb with
+  | Some mb when heap_words () > mb * words_per_mb ->
+    shed t
+      (Printf.sprintf "heap above shed watermark (%d MiB)" mb)
+  | _ -> ());
+  Mutex.lock t.lock;
+  match t.config.max_pending with
+  | Some m when t.inflight >= m ->
+    Mutex.unlock t.lock;
+    shed t (Printf.sprintf "too many requests in flight (%d)" m)
+  | _ ->
+    t.inflight <- t.inflight + 1;
+    Mutex.unlock t.lock
+
+let release t =
+  Mutex.lock t.lock;
+  if t.inflight > 0 then t.inflight <- t.inflight - 1;
+  Mutex.unlock t.lock
+
+let note_oom t =
+  Mutex.lock t.lock;
+  t.oom_total <- t.oom_total + 1;
+  Mutex.unlock t.lock
+
+let note_stack t =
+  Mutex.lock t.lock;
+  t.stack_total <- t.stack_total + 1;
+  Mutex.unlock t.lock
+
+(* Run [f] under the per-request memory budget. [f] receives a
+   [round_check] to install as the evaluator's per-round hook; the
+   check raises [Out_of_memory] once heap growth since entry exceeds
+   the budget. The Gc alarm marks long rounds that allocate past the
+   budget between checks; the flag fires the exception at the next
+   round boundary, where the evaluator's state is consistent and the
+   partial result is simply dropped. *)
+let with_memory_budget t f =
+  match t.config.max_heap_mb with
+  | None -> f ~round_check:(fun () -> ())
+  | Some mb ->
+    let budget = mb * words_per_mb in
+    let start = heap_words () in
+    let exceeded = ref false in
+    let alarm =
+      Gc.create_alarm (fun () ->
+          if heap_words () - start > budget then exceeded := true)
+    in
+    let round_check () =
+      if !exceeded || heap_words () - start > budget then
+        raise Out_of_memory
+    in
+    Fun.protect
+      ~finally:(fun () -> Gc.delete_alarm alarm)
+      (fun () -> f ~round_check)
+
+let inflight t = t.inflight
+
+let counter_rows t =
+  Mutex.lock t.lock;
+  let rows =
+    [ ("shed", t.shed_total); ("oom", t.oom_total);
+      ("stack_overflow", t.stack_total) ]
+  in
+  Mutex.unlock t.lock;
+  rows

@@ -1,0 +1,54 @@
+(** Resource governor: per-request memory budgets, recursion-depth
+    guard, and load shedding for the serving layer. All limits are off
+    by default ({!default_config}); the server behaves exactly as
+    before until a knob is set. *)
+
+type config = {
+  max_heap_mb : int option;
+      (** per-request major-heap growth budget; exceeding it aborts the
+          run with a structured error at the next fixpoint round *)
+  shed_heap_mb : int option;
+      (** global watermark: shed new query work while the major heap is
+          above this *)
+  max_pending : int option;
+      (** shed new query work while this many requests are in flight *)
+  max_call_depth : int option;
+      (** user-function recursion bound forwarded to the evaluator *)
+  retry_after_ms : int;  (** hint attached to shed responses (200) *)
+}
+
+val default_config : config
+
+type t
+
+exception Shed of { retry_after_ms : int; reason : string }
+
+val create : config -> t
+val config : t -> config
+
+val admit : t -> unit
+(** Admission control for query work (run/prepare/check/plan). Raises
+    {!Shed} instead of admitting when over the heap watermark or the
+    in-flight cap. On success the caller owes a {!release}. *)
+
+val release : t -> unit
+
+val with_memory_budget : t -> (round_check:(unit -> unit) -> 'a) -> 'a
+(** Run a request body under the per-request heap budget. The provided
+    [round_check] must be installed as the evaluation's per-round hook;
+    it raises [Out_of_memory] once heap growth since entry exceeds
+    [max_heap_mb] (a [Gc] alarm catches growth inside long rounds; the
+    direct re-check makes small budgets deterministic). No-op without a
+    budget. *)
+
+val note_oom : t -> unit
+(** Count a request degraded by [Out_of_memory]. *)
+
+val note_stack : t -> unit
+(** Count a request degraded by [Stack_overflow]. *)
+
+val inflight : t -> int
+
+val counter_rows : t -> (string * int) list
+(** [("shed", n); ("oom", n); ("stack_overflow", n)] for stats
+    expositions. *)

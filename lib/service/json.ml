@@ -74,7 +74,13 @@ let to_string j =
 (* Parsing                                                             *)
 (* ------------------------------------------------------------------ *)
 
-type parser_state = { src : string; mutable pos : int }
+type parser_state = { src : string; mutable pos : int; mutable depth : int }
+
+(* Containers may nest at most this deep. parse_value recurses per
+   nesting level, so without a cap a hostile frame of a few hundred
+   thousand '['s overflows the stack — an exception the wire loop's
+   [Parse_error] handler cannot contain. *)
+let max_nesting = 512
 
 let fail st msg =
   raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
@@ -202,6 +208,14 @@ let parse_number st =
   | None -> fail st (Printf.sprintf "bad number %S" s)
 
 let rec parse_value st =
+  if st.depth >= max_nesting then
+    fail st (Printf.sprintf "nesting deeper than %d" max_nesting);
+  st.depth <- st.depth + 1;
+  let v = parse_value_inner st in
+  st.depth <- st.depth - 1;
+  v
+
+and parse_value_inner st =
   skip_ws st;
   match peek st with
   | None -> fail st "unexpected end of input"
@@ -263,7 +277,7 @@ let rec parse_value st =
   | Some c -> fail st (Printf.sprintf "unexpected character '%c'" c)
 
 let parse src =
-  let st = { src; pos = 0 } in
+  let st = { src; pos = 0; depth = 0 } in
   let v = parse_value st in
   skip_ws st;
   if st.pos <> String.length src then fail st "trailing garbage";

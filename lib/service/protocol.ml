@@ -137,8 +137,10 @@ let parse_request j =
 let with_id ~id fields =
   match id with Json.Null -> fields | id -> ("id", id) :: fields
 
-let error_response ~id msg =
-  Json.Obj (("ok", Json.Bool false) :: with_id ~id [ ("error", Json.Str msg) ])
+let error_response ?(extra = []) ~id msg =
+  Json.Obj
+    (("ok", Json.Bool false)
+    :: with_id ~id (("error", Json.Str msg) :: extra))
 
 let ok_response ~id fields =
   Json.Obj (("ok", Json.Bool true) :: with_id ~id fields)

@@ -79,8 +79,10 @@ val parse_request : Json.t -> (request, string) result
 (** The ["id"] member ([Null] when absent). *)
 val request_id : Json.t -> Json.t
 
-(** [{"ok":false,"id":…,"error":msg}] — ["id"] omitted when [Null]. *)
-val error_response : id:Json.t -> string -> Json.t
+(** [{"ok":false,"id":…,"error":msg} ∪ extra] — ["id"] omitted when
+    [Null]. [extra] carries structured degradation detail, e.g. the
+    governor's [("retry_after_ms", …)] hint on shed responses. *)
+val error_response : ?extra:(string * Json.t) list -> id:Json.t -> string -> Json.t
 
 (** [{"ok":true,"id":…} ∪ fields] — ["id"] omitted when [Null]. *)
 val ok_response : id:Json.t -> (string * Json.t) list -> Json.t

@@ -7,11 +7,13 @@ type config = {
   max_iterations : int;
   timeout_ms : float option;
   stratified : bool;
+  governor : Governor.config;
 }
 
 let default_config =
   { workers = 1; prepared_capacity = 64; result_capacity = 256;
-    max_iterations = 100_000; timeout_ms = None; stratified = false }
+    max_iterations = 100_000; timeout_ms = None; stratified = false;
+    governor = Governor.default_config }
 
 type t = {
   config : config;
@@ -19,6 +21,7 @@ type t = {
   prepared : (string, Prepared.t) Lru.t;
   results : Result_cache.t;
   metrics : Metrics.t;
+  governor : Governor.t;
   started_at : float;
   ranks : (int, (int, int) Hashtbl.t) Hashtbl.t;
       (** per-document preorder ranks, keyed by root node id — node ids
@@ -31,11 +34,13 @@ let create ?(config = default_config) ?(store = Store.create ()) () =
   { config; store;
     prepared = Lru.create ~capacity:config.prepared_capacity ();
     results = Result_cache.create ~capacity:config.result_capacity ();
-    metrics = Metrics.create (); started_at = Unix.gettimeofday ();
+    metrics = Metrics.create (); governor = Governor.create config.governor;
+    started_at = Unix.gettimeofday ();
     ranks = Hashtbl.create 8; ranks_lock = Mutex.create () }
 
 let store t = t.store
 let config t = t.config
+let governor t = t.governor
 
 (* ------------------------------------------------------------------ *)
 (* Request handling                                                    *)
@@ -194,8 +199,11 @@ let handle_run t ~id
         Fixq.partition_first_seed ~index ~count prepared.Prepared.program
     in
     let report =
-      Fixq.run_program ~registry:(Store.registry t.store) ~max_iterations
-        ~stratified ?deadline ~engine:fixq_engine program
+      Governor.with_memory_budget t.governor (fun ~round_check ->
+          Fixq.run_program ~registry:(Store.registry t.store) ~max_iterations
+            ~stratified ?deadline ~round_hook:round_check
+            ?max_call_depth:(Governor.config t.governor).Governor.max_call_depth
+            ~engine:fixq_engine program)
     in
     let entry =
       { Result_cache.serialized =
@@ -344,6 +352,12 @@ let prometheus_stats t =
     (List.map
        (fun (k, v) -> (Printf.sprintf "kernel=%S" k, v))
        (kernel_counter_rows ()));
+  gauge "fixq_inflight_requests"
+    (string_of_int (Governor.inflight t.governor));
+  counter_family "fixq_degraded_requests_total"
+    (List.map
+       (fun (k, v) -> (Printf.sprintf "reason=%S" k, v))
+       (Governor.counter_rows t.governor));
   Buffer.add_string buf (Metrics.to_prometheus ~prefix:"fixq" t.metrics);
   Buffer.contents buf
 
@@ -370,42 +384,96 @@ let handle_stats t ~id =
               (List.map
                  (fun (k, v) -> (k, Json.of_int v))
                  (kernel_counter_rows ())));
+           ("governor",
+            Json.Obj
+              (("inflight", Json.of_int (Governor.inflight t.governor))
+              :: List.map
+                   (fun (k, v) -> (k, Json.of_int v))
+                   (Governor.counter_rows t.governor)));
            ("uptime_ms",
             Json.Num ((Unix.gettimeofday () -. t.started_at) *. 1000.0)) ]) ]
+
+(* Chaos faults injected at the request boundary become the same
+   degradations the governor produces naturally. *)
+exception Chaos_fault of string
+
+let chaos_handle_point () =
+  match Fixq_chaos.check "server.handle" with
+  | None -> ()
+  | Some Fixq_chaos.Kill -> Fixq_chaos.kill_self ()
+  | Some (Fixq_chaos.Delay s) -> Fixq_chaos.sleep s
+  | Some Fixq_chaos.Oom -> raise Out_of_memory
+  | Some Fixq_chaos.Drop -> raise (Chaos_fault "injected fault: drop")
+  | Some Fixq_chaos.Truncate -> raise (Chaos_fault "injected fault: truncate")
 
 let handle t request =
   let id = Protocol.request_id request in
   match Protocol.parse_request request with
   | Error msg -> (Protocol.error_response ~id msg, false)
   | Ok req -> (
-    try
+    (* Only query work is subject to admission control: ping, stats and
+       document ops must keep answering on a loaded server. *)
+    let admitted =
       match req with
-      | Protocol.Run r -> (handle_run t ~id r, false)
-      | Protocol.Prepare { query; stratified } ->
-        (handle_prepare t ~id query stratified, false)
-      | Protocol.Check { query; stratified } ->
-        (handle_check t ~id query stratified, false)
-      | Protocol.Plan { query; stratified } ->
-        (handle_plan t ~id query stratified, false)
-      | Protocol.Load_doc { uri; source } ->
-        (handle_load_doc t ~id uri source, false)
-      | Protocol.Unload_doc { uri } ->
-        Store.unload t.store uri;
-        ( Protocol.ok_response ~id
-            [ ("uri", Json.Str uri);
-              ("generation", Json.of_int (Store.generation t.store)) ],
-          false )
-      | Protocol.Stats Protocol.Stats_json -> (handle_stats t ~id, false)
-      | Protocol.Stats Protocol.Stats_prometheus ->
-        ( Protocol.ok_response ~id
-            [ ("prometheus", Json.Str (prometheus_stats t)) ],
-          false )
-      | Protocol.Ping -> (Protocol.ok_response ~id [ ("pong", Json.Bool true) ], false)
-      | Protocol.Shutdown ->
-        (Protocol.ok_response ~id [ ("shutdown", Json.Bool true) ], true)
+      | Protocol.Run _ | Protocol.Prepare _ | Protocol.Check _
+      | Protocol.Plan _ ->
+        true
+      | _ -> false
+    in
+    try
+      if admitted then Governor.admit t.governor;
+      Fun.protect
+        ~finally:(fun () -> if admitted then Governor.release t.governor)
+        (fun () ->
+          chaos_handle_point ();
+          match req with
+          | Protocol.Run r -> (handle_run t ~id r, false)
+          | Protocol.Prepare { query; stratified } ->
+            (handle_prepare t ~id query stratified, false)
+          | Protocol.Check { query; stratified } ->
+            (handle_check t ~id query stratified, false)
+          | Protocol.Plan { query; stratified } ->
+            (handle_plan t ~id query stratified, false)
+          | Protocol.Load_doc { uri; source } ->
+            (handle_load_doc t ~id uri source, false)
+          | Protocol.Unload_doc { uri } ->
+            Store.unload t.store uri;
+            ( Protocol.ok_response ~id
+                [ ("uri", Json.Str uri);
+                  ("generation", Json.of_int (Store.generation t.store)) ],
+              false )
+          | Protocol.Stats Protocol.Stats_json -> (handle_stats t ~id, false)
+          | Protocol.Stats Protocol.Stats_prometheus ->
+            ( Protocol.ok_response ~id
+                [ ("prometheus", Json.Str (prometheus_stats t)) ],
+              false )
+          | Protocol.Ping ->
+            (Protocol.ok_response ~id [ ("pong", Json.Bool true) ], false)
+          | Protocol.Shutdown ->
+            (Protocol.ok_response ~id [ ("shutdown", Json.Bool true) ], true))
     with
-    | Prepared.Rejected msg | Store.Error msg | Fixq.Error msg ->
+    | Prepared.Rejected msg | Store.Error msg | Fixq.Error msg
+    | Chaos_fault msg ->
       (Protocol.error_response ~id msg, false)
+    | Governor.Shed { retry_after_ms; reason } ->
+      ( Protocol.error_response ~id
+          ~extra:[ ("retry_after_ms", Json.of_int retry_after_ms) ]
+          ("overloaded: " ^ reason),
+        false )
+    | Out_of_memory ->
+      (* The run was aborted between fixpoint rounds (memory budget) or
+         by a failed allocation. Nothing was cached: both caches are
+         only written after a fully successful computation, so the
+         failed request leaves no poisoned entry behind. *)
+      Governor.note_oom t.governor;
+      ( Protocol.error_response ~id
+          "out of memory: request aborted (memory budget exceeded)",
+        false )
+    | Stack_overflow ->
+      Governor.note_stack t.governor;
+      ( Protocol.error_response ~id
+          "stack overflow: request aborted (recursion too deep)",
+        false )
     | exn ->
       (* A request must never take the server down. *)
       (Protocol.error_response ~id
@@ -499,6 +567,20 @@ let is_shutdown_line line =
    fans out to worker processes) share the exact same pipe/socket
    plumbing. [handle] maps one request line to (response line, stop). *)
 
+(* A stream that dies mid-frame or ships an oversized frame gets a
+   well-formed error response (where the transport still accepts one)
+   and otherwise ends the connection cleanly — never a bare
+   [End_of_file] out of the serve loop, and never a truncated frame
+   handed to the handler as if it were complete. *)
+let frame_error_line kind =
+  Json.to_string
+    (Protocol.error_response ~id:Json.Null
+       (match kind with
+       | `Truncated -> "protocol error: stream ended mid-frame"
+       | `Oversized ->
+         Printf.sprintf "protocol error: frame larger than %d bytes"
+           Frame.default_max_len))
+
 let serve_pipe_with ~handle ?(workers = 1) ic oc =
   let out_lock = Mutex.create () in
   let write_line s =
@@ -510,10 +592,14 @@ let serve_pipe_with ~handle ?(workers = 1) ic oc =
   in
   if workers <= 1 then
     let rec loop () =
-      match input_line ic with
-      | exception End_of_file -> ()
-      | line when String.trim line = "" -> loop ()
-      | line ->
+      match Frame.read ic with
+      | `Eof -> ()
+      | `Truncated _ -> write_line (frame_error_line `Truncated)
+      | `Oversized ->
+        write_line (frame_error_line `Oversized);
+        loop ()
+      | `Line line when String.trim line = "" -> loop ()
+      | `Line line ->
         let (response, shutdown) = handle line in
         write_line response;
         if not shutdown then loop ()
@@ -522,10 +608,14 @@ let serve_pipe_with ~handle ?(workers = 1) ic oc =
   else begin
     let pool = Pool.create workers in
     let rec loop () =
-      match input_line ic with
-      | exception End_of_file -> ()
-      | line when String.trim line = "" -> loop ()
-      | line ->
+      match Frame.read ic with
+      | `Eof -> ()
+      | `Truncated _ -> write_line (frame_error_line `Truncated)
+      | `Oversized ->
+        write_line (frame_error_line `Oversized);
+        loop ()
+      | `Line line when String.trim line = "" -> loop ()
+      | `Line line ->
         if is_shutdown_line line then begin
           (* answer shutdown only after in-flight requests completed *)
           Pool.drain pool;
@@ -573,18 +663,25 @@ let serve_socket_with ~handle ?(workers = 1) ~path () =
   let handle_conn fd =
     let ic = Unix.in_channel_of_descr fd in
     let oc = Unix.out_channel_of_descr fd in
+    let write_line response =
+      try
+        output_string oc response;
+        output_char oc '\n';
+        flush oc
+      with Sys_error _ -> ()
+    in
     let rec loop () =
-      match input_line ic with
-      | exception End_of_file -> ()
+      match Frame.read ic with
       | exception Sys_error _ -> ()
-      | line when String.trim line = "" -> loop ()
-      | line ->
+      | `Eof -> ()
+      | `Truncated _ -> write_line (frame_error_line `Truncated)
+      | `Oversized ->
+        write_line (frame_error_line `Oversized);
+        loop ()
+      | `Line line when String.trim line = "" -> loop ()
+      | `Line line ->
         let (response, shutdown) = handle line in
-        (try
-           output_string oc response;
-           output_char oc '\n';
-           flush oc
-         with Sys_error _ -> ());
+        write_line response;
         if shutdown then begin
           stopping := true;
           (* wake the accept loop *)

@@ -20,6 +20,9 @@ type config = {
   timeout_ms : float option;
       (** default per-request wall-clock budget (none) *)
   stratified : bool;  (** default for the Section-6 refinement *)
+  governor : Governor.config;
+      (** resource limits: memory budget, load shedding, recursion
+          depth (all off by default) *)
 }
 
 val default_config : config
@@ -29,6 +32,7 @@ type t
 val create : ?config:config -> ?store:Store.t -> unit -> t
 val store : t -> Store.t
 val config : t -> config
+val governor : t -> Governor.t
 
 (** Handle one request object. Returns the response and whether this
     was a [shutdown]. Never raises. *)

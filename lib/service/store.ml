@@ -18,15 +18,31 @@ let load_xml t ~uri xml =
          (Printf.sprintf "cannot parse document %S at %d:%d: %s" uri line col
             msg))
 
+let chaos_read_point path =
+  match Fixq_chaos.check "store.read" with
+  | None -> ()
+  | Some (Fixq_chaos.Delay s) -> Fixq_chaos.sleep s
+  | Some Fixq_chaos.Oom -> raise Out_of_memory
+  | Some Fixq_chaos.Kill -> Fixq_chaos.kill_self ()
+  | Some (Fixq_chaos.Drop | Fixq_chaos.Truncate) ->
+    raise (Error (Printf.sprintf "chaos: injected read failure on %s" path))
+
 let load_file t ~uri path =
+  chaos_read_point path;
   let contents =
     try
       let ic = open_in_bin path in
-      let n = in_channel_length ic in
-      let s = really_input_string ic n in
-      close_in ic;
-      s
-    with Sys_error msg -> raise (Error ("cannot read " ^ msg))
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let n = in_channel_length ic in
+          really_input_string ic n)
+    with
+    | Sys_error msg -> raise (Error ("cannot read " ^ msg))
+    | End_of_file ->
+      (* the file shrank between the length probe and the read *)
+      raise
+        (Error (Printf.sprintf "cannot read %s: file truncated mid-read" path))
   in
   load_xml t ~uri contents
 

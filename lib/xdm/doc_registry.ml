@@ -26,25 +26,45 @@ let unregister ?(registry = default) uri =
         registry.generation <- registry.generation + 1
       end)
 
+(* Fires only on the filesystem fallback — registered documents are in
+   memory and have no read to fail. *)
+let chaos_read_point () =
+  match Fixq_chaos.check "store.read" with
+  | None -> false
+  | Some (Fixq_chaos.Delay s) ->
+    Fixq_chaos.sleep s;
+    false
+  | Some Fixq_chaos.Oom -> raise Out_of_memory
+  | Some Fixq_chaos.Kill -> Fixq_chaos.kill_self ()
+  | Some (Fixq_chaos.Drop | Fixq_chaos.Truncate) -> true
+
 let find ?(registry = default) uri =
   match with_lock registry (fun () -> Hashtbl.find_opt registry.docs uri) with
   | Some d -> Some d
   | None ->
-    if Sys.file_exists uri then begin
-      let ic = open_in_bin uri in
-      let len = in_channel_length ic in
-      let s = really_input_string ic len in
-      close_in ic;
-      match Xml_parser.parse_string ~uri s with
-      | doc ->
-        with_lock registry (fun () ->
-            match Hashtbl.find_opt registry.docs uri with
-            | Some d -> Some d  (* lost a race; keep doc stability *)
-            | None ->
-              Hashtbl.replace registry.docs uri doc;
-              registry.generation <- registry.generation + 1;
-              Some doc)
-      | exception Xml_parser.Parse_error _ -> None
+    if (not (chaos_read_point ())) && Sys.file_exists uri then begin
+      match
+        let ic = open_in_bin uri in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let len = in_channel_length ic in
+            really_input_string ic len)
+      with
+      | exception (Sys_error _ | End_of_file) ->
+        (* unreadable or truncated mid-read: same as not present *)
+        None
+      | s -> (
+        match Xml_parser.parse_string ~uri s with
+        | doc ->
+          with_lock registry (fun () ->
+              match Hashtbl.find_opt registry.docs uri with
+              | Some d -> Some d  (* lost a race; keep doc stability *)
+              | None ->
+                Hashtbl.replace registry.docs uri doc;
+                registry.generation <- registry.generation + 1;
+                Some doc)
+        | exception Xml_parser.Parse_error _ -> None)
     end
     else None
 

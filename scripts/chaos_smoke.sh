@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Chaos smoke: replay fixed fault-injection seeds against an XMark
+# closure through a live fixq cluster. Fails on any coordinator crash,
+# missing answer, result divergence from the fault-free single-process
+# run, or a schedule that injected too few faults to mean anything.
+# Event logs land in $OUT_DIR (default ./chaos-smoke) for CI artifact
+# upload.
+set -euo pipefail
+
+FIXQ=${FIXQ:-dune exec fixq --}
+OUT=${OUT_DIR:-chaos-smoke}
+SEEDS=(11 23 42)
+RUNS=8
+mkdir -p "$OUT"
+
+LOAD='{"op":"load-doc","id":1,"uri":"x.xml","generate":"xmark","size":0.002}'
+QUERY='{"op":"run","id":2,"query":"with $x seeded by doc(\"x.xml\")/site/* recurse $x/*","cache":false}'
+
+# fault-free reference result
+printf '%s\n' "$LOAD" "$QUERY" '{"op":"shutdown"}' \
+  | $FIXQ serve --pipe \
+  | sed -n 's/.*"result":"\([^"]*\)".*/\1/p' > "$OUT/reference.txt"
+[ -s "$OUT/reference.txt" ] \
+  || { echo "chaos-smoke: reference run produced no result" >&2; exit 1; }
+
+total_events=0
+for seed in "${SEEDS[@]}"; do
+  D=$(mktemp -d /tmp/fixq-smoke-XXXXXX)
+  LOG="$OUT/chaos-seed-$seed.log"
+  : > "$LOG"
+  # Parity-safe faults only: connection drops (retried / failed over),
+  # dropped scatter legs (reroute whole), and delays. Caps keep any
+  # single request's worst case inside the retry budget.
+  SCHEDULE="seed=$seed"
+  SCHEDULE="$SCHEDULE,transport.send=drop:0.2#4,transport.recv=drop:0.2#4"
+  SCHEDULE="$SCHEDULE,coordinator.scatter=drop:0.3#3"
+  SCHEDULE="$SCHEDULE,server.handle=delay1#6,fixpoint.round=delay1#8"
+
+  $FIXQ cluster --socket "$D/c.sock" --workers 2 --replication 2 \
+    --worker-dir "$D/w" --health-interval-ms 3600000 \
+    --chaos "$SCHEDULE" --chaos-log "$LOG" 2>"$D/cluster.err" &
+  CLUSTER_PID=$!
+  for i in $(seq 150); do [ -S "$D/c.sock" ] && break; sleep 0.1; done
+  [ -S "$D/c.sock" ] || {
+    echo "chaos-smoke: cluster did not come up (seed $seed)" >&2
+    cat "$D/cluster.err" >&2
+    exit 1
+  }
+
+  echo "$LOAD" | $FIXQ client -s "$D/c.sock" | grep -q '"ok":true' \
+    || { echo "chaos-smoke: load-doc failed (seed $seed)" >&2; exit 1; }
+
+  : > "$D/runs.txt"
+  for i in $(seq $RUNS); do
+    echo "$QUERY" | $FIXQ client -s "$D/c.sock" \
+      | sed -n 's/.*"result":"\([^"]*\)".*/\1/p' >> "$D/runs.txt"
+  done
+
+  echo '{"op":"shutdown"}' | $FIXQ client -s "$D/c.sock" | grep -q '"ok":true' \
+    || { echo "chaos-smoke: coordinator crashed under seed $seed" >&2; exit 1; }
+  wait "$CLUSTER_PID" || true
+
+  [ "$(wc -l < "$D/runs.txt")" -eq "$RUNS" ] \
+    || { echo "chaos-smoke: dropped answers under seed $seed" >&2; exit 1; }
+  sort -u "$D/runs.txt" | cmp -s - "$OUT/reference.txt" \
+    || { echo "chaos-smoke: divergent result under seed $seed" >&2; exit 1; }
+
+  events=$(wc -l < "$LOG")
+  echo "chaos-smoke: seed $seed ok ($events faults injected, $RUNS runs byte-identical)"
+  total_events=$((total_events + events))
+  rm -rf "$D"
+done
+
+[ "$total_events" -ge 20 ] \
+  || { echo "chaos-smoke: only $total_events faults injected (want >= 20)" >&2; exit 1; }
+echo "chaos-smoke: PASS ($total_events faults across ${#SEEDS[@]} seeds)"

@@ -444,6 +444,38 @@ let test_coordinator_parse_error_local () =
   (* nothing was forwarded: the coordinator rejected locally *)
   checki "no worker saw it" 0 (List.length h.sends)
 
+(* Failover during an in-flight scatter-gather, triggered by the
+   deterministic chaos point rather than timing: the first leg's worker
+   is killed after the legs launch, the gather falls back to one whole
+   run on a survivor, and the answer is byte-identical. *)
+let test_chaos_kill_mid_scatter () =
+  let h = make_harness ~workers:3 () in
+  ignore (request h load_line);
+  (match Fixq_chaos.configure "seed=11,coordinator.scatter=kill@1" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Fun.protect ~finally:Fixq_chaos.reset (fun () ->
+      let j = request h (run_line ~extra:{|,"cache":false|} closure_query) in
+      checkb "ok despite leg killed in flight" true (ok j);
+      checkb "gather fell back to a whole run" true
+        (Json.member "scatter" j = Json.Null);
+      checks "answer byte-identical to single process"
+        (single_process_result closure_query)
+        (str "result" j);
+      checki "exactly one fault injected" 1 (Fixq_chaos.fired ());
+      (match Fixq_chaos.events () with
+      | [ e ] ->
+        checks "fault at the scatter point" "coordinator.scatter"
+          e.Fixq_chaos.point
+      | _ -> Alcotest.fail "expected exactly one chaos event");
+      checki "killed worker marked dead" 2
+        (List.length (Coordinator.alive_workers h.coordinator));
+      let stats = Json.member "stats" (request h {|{"op":"stats"}|}) in
+      checkb "failover counted" true
+        (Option.value ~default:0
+           (Json.int_opt (Json.member "failovers" stats))
+        >= 1))
+
 let () =
   Alcotest.run "cluster"
     [ ("router",
@@ -477,4 +509,6 @@ let () =
          Alcotest.test_case "retry accounting" `Quick
            test_coordinator_retry_accounting;
          Alcotest.test_case "local parse errors" `Quick
-           test_coordinator_parse_error_local ]) ]
+           test_coordinator_parse_error_local;
+         Alcotest.test_case "chaos kill mid-scatter fails over" `Quick
+           test_chaos_kill_mid_scatter ]) ]
