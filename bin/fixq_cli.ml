@@ -215,6 +215,204 @@ let check_cmd =
        ~doc:"Report both distributivity verdicts for the first IFP.")
     term
 
+let lint_cmd =
+  let module Json = Fixq_service.Json in
+  let module Analyze = Fixq_analysis.Analyze in
+  let module Diag = Fixq_analysis.Diag in
+  let format_arg =
+    Arg.(value
+         & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+         & info [ "format" ] ~docv:"FORMAT"
+             ~doc:"Output format: 'text' (one line per finding) or 'json'.")
+  in
+  let fix_hints_arg =
+    Arg.(value & flag
+         & info [ "fix-hints" ]
+             ~doc:
+               "Apply the Section-3.2 distributivity hint to every \
+                hint-repairable IFP, re-run both checkers on the result, \
+                and print the rewritten query.")
+  in
+  let diag_json (d : Diag.t) =
+    let (line, col) = match d.Diag.loc with Some lc -> lc | None -> (0, 0) in
+    Json.Obj
+      [ ("severity", Json.Str (Diag.severity_string d.Diag.severity));
+        ("code", Json.Str d.Diag.code);
+        ("line", Json.of_int line);
+        ("col", Json.of_int col);
+        ("context", Json.Str d.Diag.context);
+        ("message", Json.Str d.Diag.message) ]
+  in
+  let push_of registry p =
+    (* Compiling the first IFP body may evaluate the program up to that
+       site; missing documents or interpreter-only bodies just mean
+       there is no algebraic verdict to lint. *)
+    match Fixq.plan_of_first_ifp ~registry ~max_iterations:10_000 p with
+    | Some (fix_id, plan) ->
+      Some (Fixq_algebra.Push.check ~fix_id plan)
+    | None -> None
+    | exception _ -> None
+  in
+  let verdicts registry stratified p =
+    (* both checkers, for confirming a --fix-hints repair *)
+    let syntactic =
+      match (Analyze.analyze ~stratified p).Analyze.ifps with
+      | [] -> false
+      | r :: _ -> r.Analyze.syntactic
+    in
+    let algebraic =
+      Option.map
+        (fun o -> o.Fixq_algebra.Push.distributive)
+        (push_of registry p)
+    in
+    (syntactic, algebraic)
+  in
+  let action file expr docs stratified format fix_hints =
+    let registry = Xdm.Doc_registry.create () in
+    load_docs registry docs;
+    let src = query_source file expr in
+    let fail_parse ~line ~col msg =
+      let d = Analyze.parse_error_diag ~line ~col msg in
+      (match format with
+      | `Text -> print_endline (Diag.to_text d)
+      | `Json ->
+        print_endline
+          (Json.to_string
+             (Json.Obj [ ("diagnostics", Json.List [ diag_json d ]) ])));
+      1
+    in
+    match Lang.Parser.parse_program_spans src with
+    | exception Lang.Parser.Error { line; col; msg } ->
+      fail_parse ~line ~col msg
+    | exception Lang.Lexer.Error { pos; msg } ->
+      let (line, col) = Lang.Lexer.line_col_of src pos in
+      fail_parse ~line ~col msg
+    | (p, spans) ->
+      let analysis = Analyze.analyze ~stratified ~spans p in
+      let push = push_of registry p in
+      let diagnostics =
+        let push_block =
+          match (push, analysis.Analyze.ifps) with
+          | (Some o, r :: _) -> (
+            match Analyze.push_block_diag ~spans r o with
+            | Some d -> [ d ]
+            | None -> [])
+          | _ -> []
+        in
+        List.stable_sort Diag.compare
+          (analysis.Analyze.diagnostics @ push_block)
+      in
+      let errors =
+        List.length (List.filter Diag.is_error diagnostics)
+      in
+      let fixed =
+        if not fix_hints then None
+        else
+          let (p', applied) = Analyze.apply_hints p analysis in
+          if applied = 0 then None
+          else
+            let src' = Lang.Pretty.program_to_string p' in
+            let (syn, alg) = verdicts registry stratified p' in
+            Some (src', applied, syn, alg)
+      in
+      (match format with
+      | `Text ->
+        List.iter (fun d -> print_endline (Diag.to_text d)) diagnostics;
+        List.iter
+          (fun (r : Analyze.ifp_report) ->
+            Printf.printf
+              "ifp $%s (%s)%s: divergence=%s syntactic=%s%s\n" r.Analyze.var
+              r.Analyze.context
+              (match r.Analyze.loc with
+              | Some (l, c) -> Printf.sprintf " at %d:%d" l c
+              | None -> "")
+              (Analyze.divergence_string r.Analyze.divergence)
+              (if r.Analyze.syntactic then "distributive" else "blamed")
+              (match push with
+              | Some o when r.Analyze.index = 0 ->
+                Printf.sprintf " algebraic=%s"
+                  (if o.Fixq_algebra.Push.distributive then "distributive"
+                   else "blocked")
+              | _ -> ""))
+          analysis.Analyze.ifps;
+        (match fixed with
+        | None ->
+          if fix_hints then
+            print_endline "fix-hints: nothing to repair"
+        | Some (src', applied, syn, alg) ->
+          Printf.printf "fix-hints: applied to %d fixed point(s)\n" applied;
+          Printf.printf "fix-hints: syntactic after repair: %s\n"
+            (if syn then "distributive" else "still not established");
+          Printf.printf "fix-hints: algebraic after repair: %s\n"
+            (match alg with
+            | Some true -> "distributive"
+            | Some false -> "still blocked"
+            | None -> "no compilable plan");
+          print_endline src')
+      | `Json ->
+        let ifp_json (r : Analyze.ifp_report) =
+          let (line, col) =
+            match r.Analyze.loc with Some lc -> lc | None -> (0, 0)
+          in
+          Json.Obj
+            ([ ("var", Json.Str r.Analyze.var);
+               ("context", Json.Str r.Analyze.context);
+               ("line", Json.of_int line);
+               ("col", Json.of_int col);
+               ("divergence",
+                Json.Str (Analyze.divergence_string r.Analyze.divergence));
+               ("node_only",
+                Json.Bool
+                  (r.Analyze.node_only_seed && r.Analyze.node_only_body));
+               ("syntactic", Json.Bool r.Analyze.syntactic);
+               ("hint_repairable", Json.Bool r.Analyze.hint_repairable) ]
+            @ (match r.Analyze.blame with
+              | None -> []
+              | Some b ->
+                [ ("blame_rule", Json.Str b.Lang.Distributivity.rule);
+                  ("blame_reason", Json.Str b.Lang.Distributivity.reason) ])
+            @
+            match push with
+            | Some o when r.Analyze.index = 0 ->
+              [ ("algebraic", Json.Bool o.Fixq_algebra.Push.distributive) ]
+              @ (match o.Fixq_algebra.Push.blocking with
+                | Some b -> [ ("blocking", Json.Str b) ]
+                | None -> [])
+            | _ -> [])
+        in
+        let fixed_json =
+          match fixed with
+          | None -> []
+          | Some (src', applied, syn, alg) ->
+            [ ("fixed",
+               Json.Obj
+                 [ ("applied", Json.of_int applied);
+                   ("syntactic", Json.Bool syn);
+                   ("algebraic", Json.of_bool_opt alg);
+                   ("query", Json.Str src') ]) ]
+        in
+        print_endline
+          (Json.to_string
+             (Json.Obj
+                ([ ("diagnostics", Json.List (List.map diag_json diagnostics));
+                   ("ifps",
+                    Json.List (List.map ifp_json analysis.Analyze.ifps));
+                   ("errors", Json.of_int errors) ]
+                @ fixed_json))));
+      if errors > 0 then 1 else 0
+  in
+  let term =
+    Term.(const action $ file_arg $ expr_arg $ docs_arg $ stratified_arg
+          $ format_arg $ fix_hints_arg)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static analysis with located, coded diagnostics: lint rules, \
+          distributivity blame, divergence classification, and \
+          auto-applicable distributivity hints.")
+    term
+
 let plan_cmd =
   let dot_arg =
     Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz dot instead of ASCII.")
@@ -723,5 +921,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ run_cmd; check_cmd; plan_cmd; explain_cmd; generate_cmd;
+          [ run_cmd; check_cmd; lint_cmd; plan_cmd; explain_cmd; generate_cmd;
             repl_cmd; serve_cmd; cluster_cmd; client_cmd ]))

@@ -1,0 +1,5 @@
+(: Transitive closure of course prerequisites — the paper's running
+   example. Node-only seed and body: classified `terminates`, Figure 5
+   accepts the body, so Delta and cluster scatter are both licensed. :)
+with $x seeded by doc("curriculum.xml")/curriculum/course[@code = "c1"]
+recurse $x/id(./prerequisites/pre_code)

@@ -1,0 +1,5 @@
+(: Plain FLWOR over a document — no fixed point, nothing to classify;
+   the linter only checks bindings and static references here. :)
+for $c in doc("curriculum.xml")/curriculum/course
+where count($c/prerequisites/pre_code) > 0
+return $c/@code

@@ -1,0 +1,6 @@
+(: A declared function used from the recursion body. The call is
+   linear in $x, so distributivity inference descends into the body
+   and the whole fixed point stays Delta-eligible. :)
+declare function local:step($s) { $s/id(./prerequisites/pre_code) };
+with $x seeded by doc("curriculum.xml")/curriculum/course[@code = "c1"]
+recurse local:step($x)

@@ -1,0 +1,6 @@
+(: A non-distributive body: `except` must see both sides at once, so
+   Figure 5 blames it (FQ030) and the algebraic ∪-push blocks at the
+   difference operator (FQ031). The hint rewrite repairs it — run
+   `fixq lint --fix-hints examples/prereq_blame.xq`. :)
+with $x seeded by doc("curriculum.xml")/curriculum/course
+recurse ($x/id(./prerequisites/pre_code) except $x/self::course[@retired = "yes"])

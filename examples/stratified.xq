@@ -1,0 +1,6 @@
+(: Difference against a set that does not mention $x: rejected by the
+   plain Figure-5 check but accepted under `--stratified` (the paper's
+   Section 6 refinement), where `$x/... except FIXED` is distributive. :)
+with $x seeded by doc("curriculum.xml")/curriculum/course[@code = "c1"]
+recurse ($x/id(./prerequisites/pre_code)
+         except doc("curriculum.xml")/curriculum/course[@code = "c9"])

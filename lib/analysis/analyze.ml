@@ -1,0 +1,598 @@
+module Lang = Fixq_lang
+module Push = Fixq_algebra.Push
+open Lang.Ast
+
+type divergence = Terminates | Bounded | May_diverge of string
+
+let divergence_string = function
+  | Terminates -> "terminates"
+  | Bounded -> "bounded"
+  | May_diverge _ -> "may-diverge"
+
+let divergence_reason = function
+  | Terminates | Bounded -> None
+  | May_diverge r -> Some r
+
+type ifp_report = {
+  index : int;
+  var : string;
+  context : string;
+  loc : (int * int) option;
+  seed : Lang.Ast.expr;
+  body : Lang.Ast.expr;
+  node_only_seed : bool;
+  node_only_body : bool;
+  divergence : divergence;
+  syntactic : bool;
+  blame : Lang.Distributivity.blame option;
+  hint_repairable : bool;
+}
+
+type t = { diagnostics : Diag.t list; ifps : ifp_report list }
+
+(* ------------------------------------------------------------------ *)
+(* Generic traversal *)
+
+let iter_children f e =
+  match e with
+  | Literal _ | Empty_seq | Var _ | Context_item | Root | Axis_step _ -> ()
+  | Sequence (a, b)
+  | Union (a, b)
+  | Except (a, b)
+  | Intersect (a, b)
+  | Path (a, b)
+  | Filter (a, b)
+  | Arith (_, a, b)
+  | Gen_cmp (_, a, b)
+  | Val_cmp (_, a, b)
+  | Node_is (a, b)
+  | Node_before (a, b)
+  | Node_after (a, b)
+  | And (a, b)
+  | Or (a, b)
+  | Range (a, b) ->
+    f a;
+    f b
+  | Neg a
+  | Text_constr a
+  | Attr_constr (_, a)
+  | Comment_constr a
+  | Doc_constr a
+  | Comp_elem (_, a)
+  | Instance_of (a, _)
+  | Cast (a, _, _)
+  | Castable (a, _, _) ->
+    f a
+  | For { source; body; _ } ->
+    f source;
+    f body
+  | Sort { source; key; body; _ } ->
+    f source;
+    f key;
+    f body
+  | Let { value; body; _ } ->
+    f value;
+    f body
+  | If (c, t, e') ->
+    f c;
+    f t;
+    f e'
+  | Quantified (_, _, s, p) ->
+    f s;
+    f p
+  | Call (_, args) -> List.iter f args
+  | Elem_constr (_, attrs, content) ->
+    List.iter
+      (fun (_, pieces) ->
+        List.iter (function A_lit _ -> () | A_expr e -> f e) pieces)
+      attrs;
+    List.iter f content
+  | Typeswitch (s, cases, _, d) ->
+    f s;
+    List.iter (fun (_, _, b) -> f b) cases;
+    f d
+  | Ifp { seed; body; _ } ->
+    f seed;
+    f body
+
+let rec iter_deep f e =
+  f e;
+  iter_children (iter_deep f) e
+
+exception Found of expr
+
+let find_deep p e =
+  try
+    iter_deep (fun e -> if p e then raise (Found e)) e;
+    None
+  with Found e -> Some e
+
+let exists_deep p e = find_deep p e <> None
+
+(* Identity-preserving map over direct children: [apply_hints] needs a
+   top-down mapper (the bottom-up {!Lang.Rewrite.map_expr} rebuilds
+   children before the callback sees the parent, destroying the
+   physical identities the span table is keyed on). *)
+let map_children f e =
+  match e with
+  | Literal _ | Empty_seq | Var _ | Context_item | Root | Axis_step _ -> e
+  | Sequence (a, b) -> Sequence (f a, f b)
+  | Union (a, b) -> Union (f a, f b)
+  | Except (a, b) -> Except (f a, f b)
+  | Intersect (a, b) -> Intersect (f a, f b)
+  | Path (a, b) -> Path (f a, f b)
+  | Filter (a, b) -> Filter (f a, f b)
+  | Arith (op, a, b) -> Arith (op, f a, f b)
+  | Gen_cmp (c, a, b) -> Gen_cmp (c, f a, f b)
+  | Val_cmp (c, a, b) -> Val_cmp (c, f a, f b)
+  | Node_is (a, b) -> Node_is (f a, f b)
+  | Node_before (a, b) -> Node_before (f a, f b)
+  | Node_after (a, b) -> Node_after (f a, f b)
+  | And (a, b) -> And (f a, f b)
+  | Or (a, b) -> Or (f a, f b)
+  | Range (a, b) -> Range (f a, f b)
+  | Neg a -> Neg (f a)
+  | Text_constr a -> Text_constr (f a)
+  | Attr_constr (n, a) -> Attr_constr (n, f a)
+  | Comment_constr a -> Comment_constr (f a)
+  | Doc_constr a -> Doc_constr (f a)
+  | Comp_elem (n, a) -> Comp_elem (n, f a)
+  | Instance_of (a, ty) -> Instance_of (f a, ty)
+  | Cast (a, ty, o) -> Cast (f a, ty, o)
+  | Castable (a, ty, o) -> Castable (f a, ty, o)
+  | For r -> For { r with source = f r.source; body = f r.body }
+  | Sort r -> Sort { r with source = f r.source; key = f r.key; body = f r.body }
+  | Let r -> Let { r with value = f r.value; body = f r.body }
+  | If (c, t, e') -> If (f c, f t, f e')
+  | Quantified (q, v, s, p) -> Quantified (q, v, f s, f p)
+  | Call (n, args) -> Call (n, List.map f args)
+  | Elem_constr (n, attrs, content) ->
+    Elem_constr
+      ( n,
+        List.map
+          (fun (an, pieces) ->
+            ( an,
+              List.map
+                (function A_lit l -> A_lit l | A_expr e -> A_expr (f e))
+                pieces ))
+          attrs,
+        List.map f content )
+  | Typeswitch (s, cases, dv, db) ->
+    Typeswitch (f s, List.map (fun (ty, v, b) -> (ty, v, f b)) cases, dv, f db)
+  | Ifp { var; seed; body } -> Ifp { var; seed = f seed; body = f body }
+
+(* ------------------------------------------------------------------ *)
+(* Node-only check (moved from [Fixq]) *)
+
+let node_only ~env e =
+  let rec go env (e : expr) =
+    match e with
+    | Root | Axis_step _ | Empty_seq -> true
+    | Var v -> List.mem v env
+    | Sequence (a, b) | Union (a, b) | Except (a, b) | Intersect (a, b) ->
+      go env a && go env b
+    (* a path's value is its last step's; a filter's is its subject's *)
+    | Path (_, b) -> go env b
+    | Filter (a, _) -> go env a
+    | If (_, t, e') -> go env t && go env e'
+    | For { var; source; body; _ } | Sort { var; source; body; _ } ->
+      go (if go env source then var :: env else env) body
+    | Let { var; value; body } ->
+      go (if go env value then var :: env else env) body
+    | Typeswitch (_, cases, _, d) ->
+      List.for_all (fun (_, _, b) -> go env b) cases && go env d
+    | Ifp { var; seed; body } -> go env seed && go (var :: env) body
+    | Call (("doc" | "id" | "idref" | "root"), _) -> true
+    | Call (("reverse" | "unordered"), [ a ]) -> go env a
+    | _ -> false
+  in
+  go env e
+
+(* ------------------------------------------------------------------ *)
+(* Divergence classification *)
+
+let has_arith_over var body =
+  exists_deep
+    (fun e ->
+      match e with
+      | Arith _ | Neg _ | Range _ -> is_free var e
+      | _ -> false)
+    body
+
+let classify ~var ~seed ~body =
+  (* Node-only first: it is the strongest guarantee (finite node
+     universe ⇒ termination, Section 2.2) and exactly the cluster's
+     scatter precondition — internal constructors or arithmetic in a
+     branch whose *value* is still node-only do not endanger it. *)
+  if node_only ~env:[] seed && node_only ~env:[ var ] body then Terminates
+  else if has_constructor body then
+    May_diverge
+      "node constructors in the recursive body mint fresh node \
+       identities every round"
+  else if has_arith_over var body then
+    May_diverge
+      (Printf.sprintf
+         "arithmetic over $%s can mint new atoms every round" var)
+  else Bounded
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostic constructors *)
+
+let loc_of spans at =
+  match (spans, at) with
+  | Some spans, Some e -> Lang.Parser.Spans.line_col spans e
+  | _ -> None
+
+let of_static ?spans (d : Lang.Static.diagnostic) =
+  Diag.make
+    ~loc:(loc_of spans d.at)
+    ~code:d.code
+    ~severity:
+      (match d.severity with
+      | Lang.Static.Error -> Diag.Error
+      | Lang.Static.Warning -> Diag.Warning)
+    ~context:d.context d.message
+
+let parse_error_diag ~line ~col msg =
+  Diag.make ~loc:(Some (line, col)) ~code:"FQ001" ~severity:Diag.Error
+    ~context:"parse" msg
+
+(* ------------------------------------------------------------------ *)
+(* Lint rules FQ020–FQ023 *)
+
+let unused_binding_diags ?spans (p : program) =
+  let out = ref [] in
+  let emit at ctx fmt =
+    Format.kasprintf
+      (fun message ->
+        out :=
+          Diag.make ~loc:(loc_of spans (Some at)) ~code:"FQ020"
+            ~severity:Diag.Warning ~context:ctx message
+          :: !out)
+      fmt
+  in
+  let emit_for at ctx fmt =
+    Format.kasprintf
+      (fun message ->
+        out :=
+          Diag.make ~loc:(loc_of spans (Some at)) ~code:"FQ021"
+            ~severity:Diag.Warning ~context:ctx message
+          :: !out)
+      fmt
+  in
+  let walk ctx =
+    iter_deep (fun e ->
+        match e with
+        | Let { var; body; _ } when not (is_free var body) ->
+          emit e ctx "the let binding $%s is never used" var
+        | For { var; pos; body; _ } ->
+          if not (is_free var body) then
+            emit_for e ctx "the for binding $%s is never used" var;
+          (match pos with
+          | Some p when not (is_free p body) ->
+            emit_for e ctx "the positional binding $%s is never used" p
+          | _ -> ())
+        | Sort { var; key; body; _ }
+          when (not (is_free var key)) && not (is_free var body) ->
+          emit_for e ctx "the for binding $%s is never used" var
+        | _ -> ())
+  in
+  walk "main" p.main;
+  List.iter (fun fd -> walk fd.fname fd.body) p.functions;
+  List.iter
+    (fun (v, e) -> walk (Printf.sprintf "variable $%s" v) e)
+    p.variables;
+  List.rev !out
+
+let unused_function_diags ?spans (p : program) =
+  let declared = Hashtbl.create 16 in
+  List.iter (fun fd -> Hashtbl.replace declared fd.fname fd) p.functions;
+  let reached = Hashtbl.create 16 in
+  let rec visit e =
+    iter_deep
+      (fun e ->
+        match e with
+        | Call (f, _) when Hashtbl.mem declared f && not (Hashtbl.mem reached f)
+          ->
+          Hashtbl.replace reached f ();
+          visit (Hashtbl.find declared f).body
+        | _ -> ())
+      e
+  in
+  visit p.main;
+  List.iter (fun (_, e) -> visit e) p.variables;
+  List.filter_map
+    (fun fd ->
+      if Hashtbl.mem reached fd.fname then None
+      else
+        Some
+          (Diag.make
+             ~loc:
+               (match spans with
+               | Some s -> Lang.Parser.Spans.fun_line_col s fd.fname
+               | None -> None)
+             ~code:"FQ022" ~severity:Diag.Warning ~context:fd.fname
+             (Printf.sprintf
+                "function %s is declared but never called" fd.fname)))
+    p.functions
+
+let shadowing_diags ?spans (p : program) =
+  let out = ref [] in
+  let emit at ctx v =
+    out :=
+      Diag.make ~loc:(loc_of spans (Some at)) ~code:"FQ023"
+        ~severity:Diag.Warning ~context:ctx
+        (Printf.sprintf
+           "$%s shadows an outer binding inside a recursion body" v)
+      :: !out
+  in
+  (* Only inside IFP bodies: rebinding a name there silently cuts the
+     recursion variable (or an outer loop variable) out of scope, which
+     is almost always a mistake in a fixpoint. *)
+  let rec inside ctx bound e =
+    let check at v k =
+      if List.mem v bound then emit at ctx v;
+      k (v :: bound)
+    in
+    match e with
+    | For { var; pos; source; body } ->
+      inside ctx bound source;
+      check e var (fun bound ->
+          let bound =
+            match pos with
+            | Some p ->
+              if List.mem p bound then emit e ctx p;
+              p :: bound
+            | None -> bound
+          in
+          inside ctx bound body)
+    | Sort { var; source; key; body; _ } ->
+      inside ctx bound source;
+      check e var (fun bound ->
+          inside ctx bound key;
+          inside ctx bound body)
+    | Let { var; value; body } ->
+      inside ctx bound value;
+      check e var (fun bound -> inside ctx bound body)
+    | Quantified (_, v, source, pred) ->
+      inside ctx bound source;
+      check e v (fun bound -> inside ctx bound pred)
+    | Typeswitch (scrut, cases, dvar, dbody) ->
+      inside ctx bound scrut;
+      List.iter
+        (fun (_, v, b) ->
+          match v with
+          | Some v -> check e v (fun bound -> inside ctx bound b)
+          | None -> inside ctx bound b)
+        cases;
+      (match dvar with
+      | Some v -> check e v (fun bound -> inside ctx bound dbody)
+      | None -> inside ctx bound dbody)
+    | Ifp { var; seed; body } ->
+      inside ctx bound seed;
+      check e var (fun bound -> inside ctx bound body)
+    | _ -> iter_children (inside ctx bound) e
+  in
+  let outside ctx =
+    iter_deep (fun e ->
+        match e with
+        | Ifp { var; seed = _; body } -> inside ctx [ var ] body
+        | _ -> ())
+  in
+  outside "main" p.main;
+  List.iter (fun fd -> outside fd.fname fd.body) p.functions;
+  List.iter
+    (fun (v, e) -> outside (Printf.sprintf "variable $%s" v) e)
+    p.variables;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Per-IFP reports *)
+
+let program_functions (p : program) =
+  let functions = Hashtbl.create 16 in
+  List.iter (fun fd -> Hashtbl.replace functions fd.fname fd) p.functions;
+  functions
+
+let ifp_sites (p : program) =
+  let acc = ref [] in
+  let walk ctx = iter_deep (fun e ->
+      match e with Ifp _ -> acc := (ctx, e) :: !acc | _ -> ())
+  in
+  walk "main" p.main;
+  List.iter (fun fd -> walk fd.fname fd.body) p.functions;
+  List.iter
+    (fun (v, e) -> walk (Printf.sprintf "variable $%s" v) e)
+    p.variables;
+  List.rev !acc
+
+let report_of ~functions ~stratified ?spans index (ctx, site) =
+  match site with
+  | Ifp { var; seed; body } ->
+    let syntactic_blame =
+      Lang.Distributivity.blame_of ~functions ~stratified var body
+    in
+    let syntactic = syntactic_blame = None in
+    let hint_repairable =
+      (not syntactic)
+      && (not (has_constructor body))
+      && (not (Lang.Distributivity.mentions_position body))
+      && (not (exists_deep (function Sort _ -> true | _ -> false) body))
+      && not (exists_deep (function Ifp _ -> true | _ -> false) body)
+    in
+    {
+      index;
+      var;
+      context = ctx;
+      loc = loc_of spans (Some site);
+      seed;
+      body;
+      node_only_seed = node_only ~env:[] seed;
+      node_only_body = node_only ~env:[ var ] body;
+      divergence = classify ~var ~seed ~body;
+      syntactic;
+      blame = syntactic_blame;
+      hint_repairable;
+    }
+  | _ -> invalid_arg "report_of: not an IFP site"
+
+let ifp_diags ?spans (r : ifp_report) =
+  let at_ifp = r.loc in
+  let blame_diags =
+    match r.blame with
+    | None -> []
+    | Some b ->
+      let reason = b.Lang.Distributivity.reason in
+      let suffix =
+        (* most reasons already name their rule *)
+        if String.length reason >= 5 && String.sub reason 0 5 = "rule " then
+          ""
+        else Printf.sprintf " (rule %s)" b.Lang.Distributivity.rule
+      in
+      let d =
+        Diag.make
+          ~loc:(loc_of spans (Some b.Lang.Distributivity.blamed))
+          ~code:"FQ030" ~severity:Diag.Warning ~context:r.context
+          (Printf.sprintf "not distributive for $%s: %s%s" r.var reason
+             suffix)
+      in
+      if r.hint_repairable then
+        [
+          d;
+          Diag.make ~loc:at_ifp ~code:"FQ032" ~severity:Diag.Info
+            ~context:r.context
+            (Printf.sprintf
+               "the distributivity hint can repair this recursion body \
+                (fixq lint --fix-hints)");
+        ]
+      else [ d ]
+  in
+  let divergence_diags =
+    match r.divergence with
+    | Terminates -> []
+    | Bounded ->
+      [
+        Diag.make ~loc:at_ifp ~code:"FQ041" ~severity:Diag.Info
+          ~context:r.context
+          (Printf.sprintf
+             "fixed point over $%s is bounded but not node-only; serve \
+              it with an iteration or time budget"
+             r.var);
+      ]
+    | May_diverge reason ->
+      [
+        Diag.make ~loc:at_ifp ~code:"FQ040" ~severity:Diag.Warning
+          ~context:r.context
+          (Printf.sprintf "fixed point over $%s may diverge: %s" r.var
+             reason);
+      ]
+  in
+  blame_diags @ divergence_diags
+
+(* ------------------------------------------------------------------ *)
+(* Push-block → source mapping *)
+
+let push_block_diag ?spans (r : ifp_report) (o : Push.outcome) =
+  match o.Push.blocking with
+  | None -> None
+  | Some blocking ->
+    let starts p = String.length blocking >= String.length p
+                   && String.sub blocking 0 (String.length p) = p in
+    let find p = find_deep p r.body in
+    let culprit =
+      if starts "\\" then
+        find (function Except _ | Intersect _ -> true | _ -> false)
+      else if starts "count" || starts "sum" || starts "max" || starts "min"
+      then
+        let name =
+          match String.index_opt blocking ' ' with
+          | Some i -> String.sub blocking 0 i
+          | None -> blocking
+        in
+        find (function Call (f, _) -> f = name | _ -> false)
+      else if starts "\xcc\xba" (* ̺ row-numbering *) then
+        match
+          find (function
+            | Call (("position" | "last"), _) -> true
+            | _ -> false)
+        with
+        | Some e -> Some e
+        | None -> find (function Filter _ -> true | _ -> false)
+      else if starts "#" || starts "document" || starts "text" then
+        find (fun e -> has_constructor e && match e with
+          | Elem_constr _ | Comp_elem _ | Text_constr _ | Attr_constr _
+          | Comment_constr _ | Doc_constr _ -> true
+          | _ -> false)
+      else None
+    in
+    let loc =
+      match culprit with Some c -> loc_of spans (Some c) | None -> r.loc
+    in
+    Some
+      (Diag.make ~loc ~code:"FQ031" ~severity:Diag.Info ~context:r.context
+         (Printf.sprintf
+            "the algebraic \xe2\x88\xaa-push is blocked at plan operator \
+             '%s'%s"
+            blocking
+            (match culprit with
+            | Some _ -> " \xe2\x80\x94 introduced by this construct"
+            | None -> "")))
+
+(* ------------------------------------------------------------------ *)
+(* Assembly *)
+
+let analyze ?(stratified = false) ?spans (p : program) =
+  let functions = program_functions p in
+  let ifps =
+    List.mapi (report_of ~functions ~stratified ?spans) (ifp_sites p)
+  in
+  let diagnostics =
+    List.map (of_static ?spans) (Lang.Static.check_program p)
+    @ unused_binding_diags ?spans p
+    @ unused_function_diags ?spans p
+    @ shadowing_diags ?spans p
+    @ List.concat_map (ifp_diags ?spans) ifps
+  in
+  { diagnostics = List.stable_sort Diag.compare diagnostics; ifps }
+
+let count_ifps (p : program) =
+  List.length (ifp_sites p)
+
+let scatter_eligible ?(stratified = false) (p : program) =
+  count_ifps p = 1
+  &&
+  match p.main with
+  | Ifp { var; seed; body } ->
+    classify ~var ~seed ~body = Terminates
+    && Lang.Distributivity.check
+         ~functions:(program_functions p) ~stratified var body
+  | _ -> false
+
+let apply_hints (p : program) (a : t) =
+  let repairable =
+    List.filter_map
+      (fun r -> if r.hint_repairable then Some r.index else None)
+      a.ifps
+  in
+  let applied = ref 0 in
+  let idx = ref (-1) in
+  let rec go e =
+    match e with
+    | Ifp { var; seed; body } ->
+      incr idx;
+      let i = !idx in
+      let seed = go seed in
+      let body = go body in
+      if List.mem i repairable then begin
+        incr applied;
+        Ifp { var; seed; body = Lang.Rewrite.distributivity_hint ~var body }
+      end
+      else Ifp { var; seed; body }
+    | e -> map_children go e
+  in
+  let main = go p.main in
+  let functions =
+    List.map (fun (fd : fundef) -> { fd with body = go fd.body }) p.functions
+  in
+  let variables = List.map (fun (v, e) -> (v, go e)) p.variables in
+  ({ functions; variables; main }, !applied)

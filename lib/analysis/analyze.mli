@@ -1,0 +1,96 @@
+(** Static analysis over parsed programs: located lint findings,
+    distributivity blame, and divergence classification for every
+    inflationary fixed point.
+
+    This sits above {!Fixq_lang} (syntax, Figure-5 distributivity) and
+    {!Fixq_algebra} (the ∪-push over Table-1 plans) and below the
+    service/cluster layers, which consume its verdicts instead of
+    re-deriving them. *)
+
+module Lang = Fixq_lang
+module Push = Fixq_algebra.Push
+
+(** Termination classification of one IFP (conservative):
+
+    - [Terminates]: seed and body are node-only over loaded documents —
+      the accumulator is bounded by the finite node universe, so the
+      fixed point is reached (Section 2.2 of the paper). This is also
+      exactly the cluster's scatter precondition: slices merge by
+      portable node identity.
+    - [Bounded]: the body mints no fresh nodes and no new atoms by
+      arithmetic; the value universe is bounded but not node-only.
+    - [May_diverge reason]: the body can mint fresh values every round
+      (node constructors, or arithmetic over the recursion variable). *)
+type divergence = Terminates | Bounded | May_diverge of string
+
+val divergence_string : divergence -> string
+
+val divergence_reason : divergence -> string option
+
+(** Per-IFP analysis. [blame] is present iff [syntactic] is [false];
+    [hint_repairable] says {!Lang.Rewrite.distributivity_hint} applied
+    to [body] would satisfy Figure 5 (no constructor, no positional
+    access, no [order by], no nested IFP). *)
+type ifp_report = {
+  index : int;  (** position in program order (main, functions, globals) *)
+  var : string;
+  context : string;
+  loc : (int * int) option;
+  seed : Lang.Ast.expr;
+  body : Lang.Ast.expr;
+  node_only_seed : bool;
+  node_only_body : bool;
+  divergence : divergence;
+  syntactic : bool;  (** Figure-5 [ds] verdict on the body *)
+  blame : Lang.Distributivity.blame option;
+  hint_repairable : bool;
+}
+
+type t = {
+  diagnostics : Diag.t list;  (** sorted by source position *)
+  ifps : ifp_report list;  (** in program order *)
+}
+
+(** Conservative syntactic check that [e] evaluates to document-tree
+    nodes only — never atoms, never freshly constructed nodes. [env]
+    lists the variables known to be bound to node-only sequences.
+    (Moved here from [Fixq]; the cluster's scatter gate and the
+    divergence classifier share it.) *)
+val node_only : env:string list -> Lang.Ast.expr -> bool
+
+val classify :
+  var:string -> seed:Lang.Ast.expr -> body:Lang.Ast.expr -> divergence
+
+(** Full analysis: {!Lang.Static} findings (re-coded and located),
+    lint rules FQ020–FQ023, and per-IFP distributivity blame (FQ030,
+    FQ032) and divergence class (FQ040, FQ041). [spans] locates
+    diagnostics; without it every [loc] is [None]. *)
+val analyze :
+  ?stratified:bool ->
+  ?spans:Lang.Parser.Spans.t ->
+  Lang.Ast.program ->
+  t
+
+(** Convert one {!Lang.Static} diagnostic, resolving its node to a
+    position through [spans]. *)
+val of_static :
+  ?spans:Lang.Parser.Spans.t -> Lang.Static.diagnostic -> Diag.t
+
+(** An [FQ001] parse/lex error at a known position. *)
+val parse_error_diag : line:int -> col:int -> string -> Diag.t
+
+(** Locate the source construct that compiled to the plan operator
+    blocking the algebraic ∪-push ([outcome.blocking]), as an [FQ031]
+    diagnostic against the IFP's body. [None] when the push succeeded. *)
+val push_block_diag :
+  ?spans:Lang.Parser.Spans.t -> ifp_report -> Push.outcome -> Diag.t option
+
+(** The cluster's scatter precondition, centralised: exactly one IFP,
+    it is the main expression, it [Terminates] (node-only seed and
+    body), and Figure 5 accepts the body. *)
+val scatter_eligible : ?stratified:bool -> Lang.Ast.program -> bool
+
+(** Apply {!Lang.Rewrite.distributivity_hint} to every
+    [hint_repairable] IFP of the report; returns the rewritten program
+    and how many hints were applied. *)
+val apply_hints : Lang.Ast.program -> t -> Lang.Ast.program * int

@@ -1,0 +1,34 @@
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;
+  severity : severity;
+  loc : (int * int) option;
+  context : string;
+  message : string;
+}
+
+let severity_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let to_text d =
+  let pos =
+    match d.loc with
+    | Some (l, c) -> Printf.sprintf "%d:%d: " l c
+    | None -> ""
+  in
+  Printf.sprintf "%s%s %s (%s): %s" pos (severity_string d.severity) d.code
+    d.context d.message
+
+let compare a b =
+  let pos = function None -> (0, 0) | Some (l, c) -> (l, c) in
+  match Stdlib.compare (pos a.loc) (pos b.loc) with
+  | 0 -> Stdlib.compare a.code b.code
+  | n -> n
+
+let is_error d = d.severity = Error
+
+let make ?(loc = None) ~code ~severity ~context message =
+  { code; severity; loc; context; message }

@@ -1,0 +1,48 @@
+(** Located diagnostics with stable codes.
+
+    Every finding the analyzer (or the parser, or {!Fixq_lang.Static})
+    produces is rendered as one of these: a stable [FQ0xx] code, a
+    severity, an optional source position ([line:col], 1-based) and the
+    enclosing context (["main"], a function name, or ["variable $v"]).
+
+    Code ranges:
+    - [FQ001] parse/lex errors;
+    - [FQ01x] name-resolution/arity errors and warnings from
+      {!Fixq_lang.Static} ([FQ010] undefined variable, [FQ011] unknown
+      function, [FQ012] wrong arity, [FQ013] duplicate function,
+      [FQ014] duplicate parameter, [FQ015] IFP variable unused);
+    - [FQ02x] lint warnings ([FQ020] unused [let] binding, [FQ021]
+      unused [for] binding, [FQ022] unused declared function, [FQ023]
+      shadowing inside an IFP body);
+    - [FQ03x] distributivity ([FQ030] non-distributive with blame,
+      [FQ031] algebraic ∪-push blocked, [FQ032] hint-repairable);
+    - [FQ04x] divergence ([FQ040] may diverge, [FQ041] bounded). *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;  (** stable [FQ0xx] code *)
+  severity : severity;
+  loc : (int * int) option;  (** 1-based [line, col] when resolvable *)
+  context : string;  (** enclosing function, ["main"], or ["parse"] *)
+  message : string;
+}
+
+val severity_string : severity -> string
+
+(** ["3:7: warning FQ020 (main): …"]; position prefix omitted when the
+    node carries no span. *)
+val to_text : t -> string
+
+(** Source order: by position (unlocated first), then code. *)
+val compare : t -> t -> int
+
+val is_error : t -> bool
+
+val make :
+  ?loc:(int * int) option ->
+  code:string ->
+  severity:severity ->
+  context:string ->
+  string ->
+  t

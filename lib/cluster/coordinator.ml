@@ -255,7 +255,8 @@ let parse_query query =
   | exception Lang.Parser.Error { line; col; msg } ->
     Error (Printf.sprintf "parse error at %d:%d: %s" line col msg)
   | exception Lang.Lexer.Error { pos; msg } ->
-    Error (Printf.sprintf "lex error at offset %d: %s" pos msg)
+    let line, col = Lang.Lexer.line_col_of query pos in
+    Error (Printf.sprintf "lex error at %d:%d: %s" line col msg)
 
 (* Preference order for a query: the rendezvous ranking of its first
    document (or of the query text itself when it touches no document),
@@ -301,32 +302,18 @@ let scatter_set t ~docs ~query =
         (fun w -> Hashtbl.mem t.alive w && order_ok t w docs)
         reps)
 
-let functions_table (p : Lang.Ast.program) =
-  let tbl = Hashtbl.create 8 in
-  List.iter
-    (fun (f : Lang.Ast.fundef) -> Hashtbl.replace tbl f.Lang.Ast.fname f)
-    p.Lang.Ast.functions;
-  tbl
-
 (* Scatter is sound only when uniting the slices provably reproduces
    the whole: the program must BE one IFP (not merely contain one),
    its body must pass the Figure-5 syntactic distributivity check —
-   Theorem 3.2 then gives e(s1 ∪ s2) = e(s1) ∪ e(s2) — and seed and
-   body must produce document nodes only: [gather_keyed] merges by
-   portable node identity, while atoms would have to be restored to
-   the single process's engine-production order, which the slices do
-   not carry. *)
+   Theorem 3.2 then gives e(s1 ∪ s2) = e(s1) ∪ e(s2) — and the
+   analyzer must classify it [Terminates] (node-only seed and body):
+   [gather_keyed] merges by portable node identity, while atoms would
+   have to be restored to the single process's engine-production
+   order, which the slices do not carry. The whole precondition lives
+   in {!Fixq_analysis.Analyze.scatter_eligible}, shared with `fixq
+   lint`'s report. *)
 let scatterable t ~stratified (p : Lang.Ast.program) =
-  t.config.scatter
-  && Fixq.count_ifps p = 1
-  &&
-  match p.Lang.Ast.main with
-  | Lang.Ast.Ifp { var; seed; body } ->
-    Fixq.node_only ~env:[] seed
-    && Fixq.node_only ~env:[ var ] body
-    && Lang.Distributivity.check ~functions:(functions_table p) ~stratified
-         var body
-  | _ -> false
+  t.config.scatter && Fixq_analysis.Analyze.scatter_eligible ~stratified p
 
 (* ------------------------------------------------------------------ *)
 (* JSON plumbing                                                       *)

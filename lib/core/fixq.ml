@@ -222,7 +222,8 @@ let parse src =
   | Lang.Parser.Error { line; col; msg } ->
     raise (Error (Printf.sprintf "parse error at %d:%d: %s" line col msg))
   | Lang.Lexer.Error { pos; msg } ->
-    raise (Error (Printf.sprintf "lex error at offset %d: %s" pos msg))
+    let line, col = Lang.Lexer.line_col_of src pos in
+    raise (Error (Printf.sprintf "lex error at %d:%d: %s" line col msg))
 
 let run ?registry ?max_iterations ?stratified ?domains ?chunk_threshold
     ?deadline ?round_hook ?max_call_depth ~engine src =
@@ -355,41 +356,15 @@ let first_ifp (p : Lang.Ast.program) =
   !found
 
 (* Conservative syntactic check that [e] evaluates to document-tree
-   nodes only — never atoms, never freshly constructed nodes. [env]
-   lists the variables known to be bound to node-only sequences. The
+   nodes only — never atoms, never freshly constructed nodes. The
    cluster's scatter gate needs this: gathered slices are merged by
    portable node identity (document uri, preorder rank); atoms and
    constructed nodes have none, and a single process emits them in
    engine-production order, which cannot be reconstructed from
-   slices. *)
-let node_only ~env e =
-  let rec go env (e : Lang.Ast.expr) =
-    match e with
-    | Lang.Ast.Root | Lang.Ast.Axis_step _ | Lang.Ast.Empty_seq -> true
-    | Lang.Ast.Var v -> List.mem v env
-    | Lang.Ast.Sequence (a, b)
-    | Lang.Ast.Union (a, b)
-    | Lang.Ast.Except (a, b)
-    | Lang.Ast.Intersect (a, b) ->
-      go env a && go env b
-    (* a path's value is its last step's; a filter's is its subject's *)
-    | Lang.Ast.Path (_, b) -> go env b
-    | Lang.Ast.Filter (a, _) -> go env a
-    | Lang.Ast.If (_, t, e') -> go env t && go env e'
-    | Lang.Ast.For { var; source; body; _ }
-    | Lang.Ast.Sort { var; source; body; _ } ->
-      go (if go env source then var :: env else env) body
-    | Lang.Ast.Let { var; value; body } ->
-      go (if go env value then var :: env else env) body
-    | Lang.Ast.Typeswitch (_, cases, _, d) ->
-      List.for_all (fun (_, _, b) -> go env b) cases && go env d
-    | Lang.Ast.Ifp { var; seed; body } ->
-      go env seed && go (var :: env) body
-    | Lang.Ast.Call (("doc" | "id" | "idref" | "root"), _) -> true
-    | Lang.Ast.Call (("reverse" | "unordered"), [ a ]) -> go env a
-    | _ -> false
-  in
-  go env e
+   slices. The check itself lives in the analyzer
+   ({!Fixq_analysis.Analyze.node_only}), shared with the divergence
+   classifier; this delegate keeps existing call sites working. *)
+let node_only = Fixq_analysis.Analyze.node_only
 
 let count_ifps (p : Lang.Ast.program) =
   let n = ref 0 in

@@ -72,17 +72,50 @@ let rec surely_non_numeric = function
   | Let { body; _ } -> surely_non_numeric body
   | _ -> false
 
-let explain ?(functions = Hashtbl.create 0) ?(stratified = false) x expr =
+type blame = { rule : string; reason : string; blamed : Ast.expr }
+
+(* The outermost constructor inside an expression — the precise node
+   to blame when the base rule rejects a constructor-carrying
+   subexpression. *)
+let rec find_constructor e =
+  let first xs = List.find_map find_constructor xs in
+  match e with
+  | Elem_constr _ | Comp_elem _ | Text_constr _ | Attr_constr _
+  | Comment_constr _ | Doc_constr _ ->
+    Some e
+  | Literal _ | Empty_seq | Var _ | Context_item | Root | Axis_step _ -> None
+  | Sequence (a, b) | Union (a, b) | Except (a, b) | Intersect (a, b)
+  | Path (a, b) | Filter (a, b) | Arith (_, a, b) | Gen_cmp (_, a, b)
+  | Val_cmp (_, a, b) | Node_is (a, b) | Node_before (a, b)
+  | Node_after (a, b) | And (a, b) | Or (a, b) | Range (a, b) ->
+    first [ a; b ]
+  | Neg a | Instance_of (a, _) | Cast (a, _, _) | Castable (a, _, _) ->
+    find_constructor a
+  | For { source; body; _ } -> first [ source; body ]
+  | Sort { source; key; body; _ } -> first [ source; key; body ]
+  | Let { value; body; _ } -> first [ value; body ]
+  | If (c, t, e') -> first [ c; t; e' ]
+  | Quantified (_, _, s, p) -> first [ s; p ]
+  | Call (_, args) -> first args
+  | Typeswitch (s, cases, _, d) ->
+    first (s :: List.map (fun (_, _, b) -> b) cases @ [ d ])
+  | Ifp { seed; body; _ } -> first [ seed; body ]
+
+let blame_of ?(functions = Hashtbl.create 0) ?(stratified = false) x expr =
   (* [in_progress] guards rule FUNCALL against recursive functions:
      encountering a function whose distributivity is already being
      assessed rejects conservatively. *)
   let in_progress : (string, unit) Hashtbl.t = Hashtbl.create 4 in
-  let unsafe fmt = Format.kasprintf (fun s -> Some s) fmt in
-  (* Returns None when safe, Some reason when the rules fail. *)
+  let unsafe rule blamed fmt =
+    Format.kasprintf (fun reason -> Some { rule; reason; blamed }) fmt
+  in
+  let constructor_in e = Option.value ~default:e (find_constructor e) in
+  (* Returns None when safe, Some blame when the rules fail. *)
   let rec ds x e =
     if not (is_free x e) then
       if has_constructor e then
-        unsafe "a node constructor occurs (fresh node identities)"
+        unsafe "BASE" (constructor_in e)
+          "a node constructor occurs (fresh node identities)"
       else None
     else
       match e with
@@ -94,7 +127,7 @@ let explain ?(functions = Hashtbl.create 0) ?(stratified = false) x expr =
       | If (c, t, e') ->
         (* rule IF *)
         if is_free x c then
-          unsafe "rule IF: $%s occurs free in the condition" x
+          unsafe "IF" c "rule IF: $%s occurs free in the condition" x
         else (
           match ds x t with Some r -> Some r | None -> ds x e')
       | For { var = _; pos; source; body } ->
@@ -102,12 +135,12 @@ let explain ?(functions = Hashtbl.create 0) ?(stratified = false) x expr =
           (* rule FOR1: $x only in the body *)
           ds x body
         else if is_free x body then
-          unsafe
+          unsafe "FOR1/FOR2" e
             "rule FOR1/FOR2: $%s occurs free in both the range and the \
              body of a for (linearity violation)"
             x
         else if pos <> None then
-          unsafe
+          unsafe "FOR2" e
             "rule FOR2: a positional variable exposes the division of \
              the input"
         else ds x source (* rule FOR2 *)
@@ -116,7 +149,7 @@ let explain ?(functions = Hashtbl.create 0) ?(stratified = false) x expr =
           (* rule LET1 *)
           ds x body
         else if is_free x body then
-          unsafe
+          unsafe "LET1/LET2" e
             "rule LET1/LET2: $%s occurs free in both the value and the \
              body of a let"
             x
@@ -128,7 +161,8 @@ let explain ?(functions = Hashtbl.create 0) ?(stratified = false) x expr =
       | Typeswitch (scrut, cases, _, dbody) ->
         (* rule TYPESW *)
         if is_free x scrut then
-          unsafe "rule TYPESW: $%s occurs free in the scrutinee" x
+          unsafe "TYPESW" scrut
+            "rule TYPESW: $%s occurs free in the scrutinee" x
         else
           List.fold_left
             (fun acc (_, _, b) ->
@@ -140,20 +174,21 @@ let explain ?(functions = Hashtbl.create 0) ?(stratified = false) x expr =
         (* rules STEP1 / STEP2 *)
         if not (is_free x a) then ds x b
         else if is_free x b then
-          unsafe
+          unsafe "STEP1/STEP2" e
             "rule STEP1/STEP2: $%s occurs free on both sides of '/'" x
         else ds x a
       | Filter (a, p) ->
         (* FILTER extension (sound, beyond Figure 5): itemwise,
            non-positional predicates distribute. *)
         if is_free x p then
-          unsafe "filter: $%s occurs free in a predicate" x
+          unsafe "FILTER" p "filter: $%s occurs free in a predicate" x
         else if mentions_position p then
-          unsafe "filter: the predicate uses position()/last()"
+          unsafe "FILTER" p "filter: the predicate uses position()/last()"
         else if not (surely_non_numeric p) then
-          unsafe "filter: the predicate may be positional (numeric)"
+          unsafe "FILTER" p "filter: the predicate may be positional (numeric)"
         else if has_constructor p then
-          unsafe "filter: the predicate contains a node constructor"
+          unsafe "FILTER" (constructor_in p)
+            "filter: the predicate contains a node constructor"
         else ds x a
       | Call (f, args) -> (
         (* rule FUNCALL: user functions by recursion into the body;
@@ -161,12 +196,12 @@ let explain ?(functions = Hashtbl.create 0) ?(stratified = false) x expr =
         match Hashtbl.find_opt functions f with
         | Some fd ->
           if Hashtbl.mem in_progress f then
-            unsafe "rule FUNCALL: %s is recursive" f
+            unsafe "FUNCALL" e "rule FUNCALL: %s is recursive" f
           else begin
             Hashtbl.replace in_progress f ();
             let result =
               if List.length fd.params <> List.length args then
-                unsafe "rule FUNCALL: wrong arity for %s" f
+                unsafe "FUNCALL" e "rule FUNCALL: wrong arity for %s" f
               else
                 List.fold_left2
                   (fun acc (param, _) arg ->
@@ -175,7 +210,7 @@ let explain ?(functions = Hashtbl.create 0) ?(stratified = false) x expr =
                     | None ->
                       if not (is_free x arg) then
                         if has_constructor arg then
-                          unsafe
+                          unsafe "FUNCALL" (constructor_in arg)
                             "rule FUNCALL: an argument contains a node \
                              constructor"
                         else None
@@ -195,12 +230,13 @@ let explain ?(functions = Hashtbl.create 0) ?(stratified = false) x expr =
               let allowed = i < Array.length mask && mask.(i) in
               if not (is_free x arg) then
                 if has_constructor arg then
-                  unsafe "an argument of %s contains a node constructor" f
+                  unsafe "FUNCALL" (constructor_in arg)
+                    "an argument of %s contains a node constructor" f
                 else None
               else if allowed then ds x arg
               else
-                unsafe "built-in %s is not distributive in argument %d" f
-                  (i + 1)
+                unsafe "FUNCALL" e
+                  "built-in %s is not distributive in argument %d" f (i + 1)
             in
             List.fold_left
               (fun (i, acc) arg ->
@@ -210,42 +246,49 @@ let explain ?(functions = Hashtbl.create 0) ?(stratified = false) x expr =
               (0, None) args
             |> snd
           | None ->
-            unsafe
+            unsafe "FUNCALL" e
               "built-in %s must see its whole input (not distributive)" f))
       | Axis_step _ | Context_item | Root -> None
       | Except (a, b) when stratified && not (is_free x b) ->
         (* Section 6: x \ R with R fixed is distributive. The fixed side
            must also be constructor-free (base rule). *)
         if has_constructor b then
-          unsafe "a node constructor occurs in the fixed side of except"
+          unsafe "BASE" (constructor_in b)
+            "a node constructor occurs in the fixed side of except"
         else ds x a
       | Except _ | Intersect _ ->
-        unsafe "'except'/'intersect' with $%s free must see both sides" x
+        unsafe "EXCEPT/INTERSECT" e
+          "'except'/'intersect' with $%s free must see both sides" x
       | Arith _ | Neg _ | Range _ ->
-        unsafe "arithmetic over $%s atomizes the whole sequence" x
+        unsafe "ARITH" e "arithmetic over $%s atomizes the whole sequence" x
       | Gen_cmp _ | Val_cmp _ | Node_is _ | Node_before _ | Node_after _ ->
-        unsafe "a comparison inspects the sequence bound to $%s as a whole"
-          x
+        unsafe "CMP" e
+          "a comparison inspects the sequence bound to $%s as a whole" x
       | And _ | Or _ ->
-        unsafe "a boolean connective inspects $%s as a whole" x
+        unsafe "BOOL" e "a boolean connective inspects $%s as a whole" x
       | Quantified _ ->
-        unsafe "a quantifier over $%s yields a single boolean" x
+        unsafe "QUANT" e "a quantifier over $%s yields a single boolean" x
       | Sort _ ->
         (* order by is moot under set-equality, but the key may be
            positional and the construct is outside Figure 5 — stay
            conservative *)
-        unsafe "'order by' over $%s is not assessed" x
+        unsafe "ORDER" e "'order by' over $%s is not assessed" x
       | Instance_of _ | Cast _ | Castable _ ->
-        unsafe
+        unsafe "CAST" e
           "'instance of'/'cast' inspects the sequence bound to $%s as a \
            whole"
           x
       | Elem_constr _ | Comp_elem _ | Text_constr _ | Attr_constr _
       | Comment_constr _ | Doc_constr _ ->
-        unsafe "a node constructor creates fresh node identities"
-      | Ifp _ -> unsafe "nested fixed points are not assessed"
+        unsafe "CONSTR" e "a node constructor creates fresh node identities"
+      | Ifp _ -> unsafe "NESTED-IFP" e "nested fixed points are not assessed"
   in
-  match ds x expr with None -> Safe | Some reason -> Unsafe reason
+  ds x expr
+
+let explain ?functions ?stratified x expr =
+  match blame_of ?functions ?stratified x expr with
+  | None -> Safe
+  | Some b -> Unsafe b.reason
 
 let check ?functions ?stratified x e =
   match explain ?functions ?stratified x e with

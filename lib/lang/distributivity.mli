@@ -33,6 +33,13 @@
 (** Why a check failed (best-effort, for diagnostics). *)
 type verdict = Safe | Unsafe of string
 
+(** Structured failure: the Figure-5 rule that could not be applied
+    ([FOR1/FOR2], [EXCEPT/INTERSECT], [ARITH], …), the human-readable
+    reason, and the smallest blamed subexpression (a physical node of
+    the input tree, so it resolves to [line:col] through
+    {!Parser.Spans}). *)
+type blame = { rule : string; reason : string; blamed : Ast.expr }
+
 (** [stratified] (default [false]) enables the Section-6 refinement the
     paper credits to stratified Datalog: [e1 except e2] is distributive
     for [$x] when [e1] is and [e2] is fixed (no free [$x]) —
@@ -51,6 +58,16 @@ val explain :
   string ->
   Ast.expr ->
   verdict
+
+(** [blame_of x e] is [None] when [ds_x(e)] holds, otherwise the first
+    (leftmost-innermost along the inference) violated rule with the
+    blamed subexpression. [explain] is its reason projection. *)
+val blame_of :
+  ?functions:(string, Ast.fundef) Hashtbl.t ->
+  ?stratified:bool ->
+  string ->
+  Ast.expr ->
+  blame option
 
 (** Does the expression mention [position()] or [last()] anywhere?
     (Used by the FILTER rule and by the algebra compiler to reject

@@ -271,13 +271,15 @@ let describe = function
   | PIPE -> "'|'"
   | EOF -> "end of input"
 
-let line_col t off =
+let line_col_of src off =
   let line = ref 1 and col = ref 1 in
-  for i = 0 to min (off - 1) (String.length t.src - 1) do
-    if t.src.[i] = '\n' then begin
+  for i = 0 to min (off - 1) (String.length src - 1) do
+    if src.[i] = '\n' then begin
       incr line;
       col := 1
     end
     else incr col
   done;
   (!line, !col)
+
+let line_col t off = line_col_of t.src off

@@ -74,3 +74,7 @@ val describe : token -> string
 
 (** Line/column of an offset, for error reporting. *)
 val line_col : t -> int -> int * int
+
+(** Same, directly from a source string — for error sites that hold
+    only the original source text, not the lexer. *)
+val line_col_of : string -> int -> int * int

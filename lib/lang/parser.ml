@@ -4,6 +4,78 @@ open Ast
 
 exception Error of { line : int; col : int; msg : string }
 
+(* ------------------------------------------------------------------ *)
+(* Source spans                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A side-table from AST nodes (by physical identity — the parser
+   allocates a fresh block per construct, so identity is a stable key
+   that survives every later read-only traversal) to the source offset
+   of the construct's first token. Constant constructors (Root,
+   Context_item, Empty_seq) are immediate values shared by every
+   occurrence and cannot be keyed; [record] skips them. *)
+module Spans = struct
+  module Tbl = Hashtbl.Make (struct
+    type t = Obj.t
+
+    let equal = ( == )
+    let hash = Hashtbl.hash
+  end)
+
+  type t = {
+    src : string;
+    tbl : int Tbl.t;
+    names : (string, int) Hashtbl.t;
+        (* "fn:<name>" / "var:<name>" → offset of the declaration *)
+  }
+
+  let create src =
+    { src; tbl = Tbl.create 256; names = Hashtbl.create 16 }
+
+  (* First record wins: inner parse functions note a node before the
+     outer ones see it again, and the inner note is the precise one. *)
+  let record t (e : Ast.expr) off =
+    let r = Obj.repr e in
+    if Obj.is_block r && not (Tbl.mem t.tbl r) then Tbl.add t.tbl r off
+
+  let record_name t key off =
+    if not (Hashtbl.mem t.names key) then Hashtbl.add t.names key off
+
+  let source t = t.src
+
+  let offset t (e : Ast.expr) =
+    let r = Obj.repr e in
+    if Obj.is_block r then Tbl.find_opt t.tbl r else None
+
+  let line_col t e = Option.map (Lexer.line_col_of t.src) (offset t e)
+
+  let fun_line_col t name =
+    Option.map (Lexer.line_col_of t.src)
+      (Hashtbl.find_opt t.names ("fn:" ^ name))
+
+  let global_line_col t name =
+    Option.map (Lexer.line_col_of t.src)
+      (Hashtbl.find_opt t.names ("var:" ^ name))
+end
+
+(* The span table under construction. Parsing happens on server worker
+   threads too, so the ref is guarded by a mutex held for the whole
+   parse (parses are short; systhreads contend rarely). When no table
+   is installed, [note] is free. *)
+let spans_lock = Mutex.create ()
+let current_spans : Spans.t option ref = ref None
+
+let note start e =
+  (match !current_spans with
+  | Some s -> Spans.record s e start
+  | None -> ());
+  e
+
+let note_name key start =
+  match !current_spans with
+  | Some s -> Spans.record_name s key start
+  | None -> ()
+
 let fail lx fmt =
   Format.kasprintf
     (fun msg ->
@@ -135,22 +207,27 @@ let kind_test_of_name = function
   | _ -> None
 
 let rec parse_expr_seq lx =
+  let start = Lexer.token_start lx in
   let e = parse_single lx in
   if Lexer.peek lx = Lexer.COMMA then begin
     Lexer.advance lx;
-    Sequence (e, parse_expr_seq lx)
+    note start (Sequence (e, parse_expr_seq lx))
   end
   else e
 
 and parse_single lx =
-  match Lexer.peek lx with
-  | Lexer.NAME ("for" | "let") when next_is_var_or_dollar lx -> parse_flwor lx
-  | Lexer.NAME ("some" | "every") when next_is_var_or_dollar lx ->
-    parse_quantified lx
-  | Lexer.NAME "if" when next_is lx Lexer.LPAREN -> parse_if lx
-  | Lexer.NAME "typeswitch" when next_is lx Lexer.LPAREN -> parse_typeswitch lx
-  | Lexer.NAME "with" when next_is_var_or_dollar lx -> parse_ifp lx
-  | _ -> parse_or lx
+  let start = Lexer.token_start lx in
+  note start
+    (match Lexer.peek lx with
+    | Lexer.NAME ("for" | "let") when next_is_var_or_dollar lx ->
+      parse_flwor lx
+    | Lexer.NAME ("some" | "every") when next_is_var_or_dollar lx ->
+      parse_quantified lx
+    | Lexer.NAME "if" when next_is lx Lexer.LPAREN -> parse_if lx
+    | Lexer.NAME "typeswitch" when next_is lx Lexer.LPAREN ->
+      parse_typeswitch lx
+    | Lexer.NAME "with" when next_is_var_or_dollar lx -> parse_ifp lx
+    | _ -> parse_or lx)
 
 and next_is lx tok =
   let p = save lx in
@@ -178,6 +255,7 @@ and parse_flwor lx =
     if is_kw lx "for" && next_is_var_or_dollar lx then begin
       Lexer.advance lx;
       let rec bindings () =
+        let voff = Lexer.token_start lx in
         let var = parse_var lx in
         let pos =
           if is_kw lx "at" then begin
@@ -192,7 +270,7 @@ and parse_flwor lx =
          end);
         expect_name lx "in";
         let source = parse_single lx in
-        clauses := `For (var, pos, source) :: !clauses;
+        clauses := `For (var, pos, source, voff) :: !clauses;
         if Lexer.peek lx = Lexer.COMMA then begin
           Lexer.advance lx;
           bindings ()
@@ -204,6 +282,7 @@ and parse_flwor lx =
     else if is_kw lx "let" && next_is_var_or_dollar lx then begin
       Lexer.advance lx;
       let rec bindings () =
+        let voff = Lexer.token_start lx in
         let var = parse_var lx in
         (if is_kw lx "as" then begin
            Lexer.advance lx;
@@ -211,7 +290,7 @@ and parse_flwor lx =
          end);
         expect lx Lexer.ASSIGN;
         let value = parse_single lx in
-        clauses := `Let (var, value) :: !clauses;
+        clauses := `Let (var, value, voff) :: !clauses;
         if Lexer.peek lx = Lexer.COMMA then begin
           Lexer.advance lx;
           bindings ()
@@ -260,14 +339,15 @@ and parse_flwor lx =
     List.fold_left
       (fun body clause ->
         match clause with
-        | `For (var, pos, source) -> For { var; pos; source; body }
-        | `Let (var, value) -> Let { var; value; body })
+        | `For (var, pos, source, voff) ->
+          note voff (For { var; pos; source; body })
+        | `Let (var, value, voff) -> note voff (Let { var; value; body }))
       body !clauses
   | Some (key, descending) -> (
     (* restricted order by: exactly one positionless for binding *)
     match !clauses with
-    | [ `For (var, None, source) ] ->
-      Sort { var; source; key; descending; body }
+    | [ `For (var, None, source, voff) ] ->
+      note voff (Sort { var; source; key; descending; body })
     | _ ->
       fail lx
         "'order by' is supported for FLWORs with exactly one 'for' \
@@ -342,30 +422,33 @@ and parse_ifp lx =
   Ifp { var; seed; body }
 
 and parse_or lx =
+  let start = Lexer.token_start lx in
   let e = parse_and lx in
   if is_kw lx "or" then begin
     Lexer.advance lx;
-    Or (e, parse_or lx)
+    note start (Or (e, parse_or lx))
   end
   else e
 
 and parse_and lx =
+  let start = Lexer.token_start lx in
   let e = parse_comparison lx in
   if is_kw lx "and" then begin
     Lexer.advance lx;
-    And (e, parse_and lx)
+    note start (And (e, parse_and lx))
   end
   else e
 
 and parse_comparison lx =
+  let start = Lexer.token_start lx in
   let e = parse_range lx in
   let gen c =
     Lexer.advance lx;
-    Gen_cmp (c, e, parse_range lx)
+    note start (Gen_cmp (c, e, parse_range lx))
   in
   let value c =
     Lexer.advance lx;
-    Val_cmp (c, e, parse_range lx)
+    note start (Val_cmp (c, e, parse_range lx))
   in
   match Lexer.peek lx with
   | Lexer.EQ -> gen Eq
@@ -382,107 +465,115 @@ and parse_comparison lx =
   | Lexer.NAME "ge" -> value Ge
   | Lexer.NAME "is" ->
     Lexer.advance lx;
-    Node_is (e, parse_range lx)
+    note start (Node_is (e, parse_range lx))
   | Lexer.LT2 ->
     Lexer.advance lx;
-    Node_before (e, parse_range lx)
+    note start (Node_before (e, parse_range lx))
   | Lexer.GT2 ->
     Lexer.advance lx;
-    Node_after (e, parse_range lx)
+    note start (Node_after (e, parse_range lx))
   | _ -> e
 
 and parse_range lx =
+  let start = Lexer.token_start lx in
   let e = parse_additive lx in
   if is_kw lx "to" then begin
     Lexer.advance lx;
-    Range (e, parse_additive lx)
+    note start (Range (e, parse_additive lx))
   end
   else e
 
 and parse_additive lx =
+  let start = Lexer.token_start lx in
   let rec loop e =
     match Lexer.peek lx with
     | Lexer.PLUS ->
       Lexer.advance lx;
-      loop (Arith (Add, e, parse_multiplicative lx))
+      loop (note start (Arith (Add, e, parse_multiplicative lx)))
     | Lexer.MINUS ->
       Lexer.advance lx;
-      loop (Arith (Sub, e, parse_multiplicative lx))
+      loop (note start (Arith (Sub, e, parse_multiplicative lx)))
     | _ -> e
   in
   loop (parse_multiplicative lx)
 
 and parse_multiplicative lx =
+  let start = Lexer.token_start lx in
   let rec loop e =
     match Lexer.peek lx with
     | Lexer.STAR ->
       Lexer.advance lx;
-      loop (Arith (Mul, e, parse_union lx))
+      loop (note start (Arith (Mul, e, parse_union lx)))
     | Lexer.NAME "div" ->
       Lexer.advance lx;
-      loop (Arith (Div, e, parse_union lx))
+      loop (note start (Arith (Div, e, parse_union lx)))
     | Lexer.NAME "idiv" ->
       Lexer.advance lx;
-      loop (Arith (Idiv, e, parse_union lx))
+      loop (note start (Arith (Idiv, e, parse_union lx)))
     | Lexer.NAME "mod" ->
       Lexer.advance lx;
-      loop (Arith (Mod, e, parse_union lx))
+      loop (note start (Arith (Mod, e, parse_union lx)))
     | _ -> e
   in
   loop (parse_union lx)
 
 and parse_union lx =
+  let start = Lexer.token_start lx in
   let rec loop e =
     match Lexer.peek lx with
     | Lexer.PIPE ->
       Lexer.advance lx;
-      loop (Union (e, parse_intersect lx))
+      loop (note start (Union (e, parse_intersect lx)))
     | Lexer.NAME "union" ->
       Lexer.advance lx;
-      loop (Union (e, parse_intersect lx))
+      loop (note start (Union (e, parse_intersect lx)))
     | _ -> e
   in
   loop (parse_intersect lx)
 
 and parse_intersect lx =
+  let start = Lexer.token_start lx in
   let rec loop e =
     match Lexer.peek lx with
     | Lexer.NAME "intersect" ->
       Lexer.advance lx;
-      loop (Intersect (e, parse_instance_of lx))
+      loop (note start (Intersect (e, parse_instance_of lx)))
     | Lexer.NAME "except" ->
       Lexer.advance lx;
-      loop (Except (e, parse_instance_of lx))
+      loop (note start (Except (e, parse_instance_of lx)))
     | _ -> e
   in
   loop (parse_instance_of lx)
 
 and parse_instance_of lx =
+  let start = Lexer.token_start lx in
   let e = parse_castable lx in
   if is_kw lx "instance" then begin
     Lexer.advance lx;
     expect_name lx "of";
-    Instance_of (e, parse_seq_type_tokens lx)
+    note start (Instance_of (e, parse_seq_type_tokens lx))
   end
   else e
 
 and parse_castable lx =
+  let start = Lexer.token_start lx in
   let e = parse_cast lx in
   if is_kw lx "castable" then begin
     Lexer.advance lx;
     expect_name lx "as";
     let (ty, opt) = parse_single_type lx in
-    Castable (e, ty, opt)
+    note start (Castable (e, ty, opt))
   end
   else e
 
 and parse_cast lx =
+  let start = Lexer.token_start lx in
   let e = parse_unary lx in
   if is_kw lx "cast" then begin
     Lexer.advance lx;
     expect_name lx "as";
     let (ty, opt) = parse_single_type lx in
-    Cast (e, ty, opt)
+    note start (Cast (e, ty, opt))
   end
   else e
 
@@ -502,16 +593,18 @@ and parse_single_type lx =
   else (name, false)
 
 and parse_unary lx =
+  let start = Lexer.token_start lx in
   match Lexer.peek lx with
   | Lexer.MINUS ->
     Lexer.advance lx;
-    Neg (parse_unary lx)
+    note start (Neg (parse_unary lx))
   | Lexer.PLUS ->
     Lexer.advance lx;
     parse_unary lx
   | _ -> parse_path lx
 
 and parse_path lx =
+  let start = Lexer.token_start lx in
   match Lexer.peek lx with
   | Lexer.SLASH ->
     Lexer.advance lx;
@@ -519,7 +612,9 @@ and parse_path lx =
   | Lexer.SLASH2 ->
     Lexer.advance lx;
     let dos =
-      Path (Root, Axis_step { axis = Axis.Descendant_or_self; test = Axis.Kind_node })
+      note start
+        (Path
+           (Root, Axis_step { axis = Axis.Descendant_or_self; test = Axis.Kind_node }))
     in
     parse_relative lx dos
   | _ ->
@@ -535,10 +630,12 @@ and starts_step lx =
   | _ -> false
 
 and parse_relative lx left =
+  let start = Lexer.token_start lx in
   let step = parse_step lx in
-  parse_relative_tail lx (Path (left, step))
+  parse_relative_tail lx (note start (Path (left, step)))
 
 and parse_relative_tail lx e =
+  let start = Lexer.token_start lx in
   match Lexer.peek lx with
   | Lexer.SLASH ->
     Lexer.advance lx;
@@ -546,17 +643,20 @@ and parse_relative_tail lx e =
   | Lexer.SLASH2 ->
     Lexer.advance lx;
     let dos =
-      Path (e, Axis_step { axis = Axis.Descendant_or_self; test = Axis.Kind_node })
+      note start
+        (Path (e, Axis_step { axis = Axis.Descendant_or_self; test = Axis.Kind_node }))
     in
     parse_relative lx dos
   | _ -> e
 
 (* A step: axis step (with predicates) or postfix-primary. *)
 and parse_step lx =
+  let start = Lexer.token_start lx in
   match Lexer.peek lx with
   | Lexer.DOT2 ->
     Lexer.advance lx;
-    parse_predicates lx (Axis_step { axis = Axis.Parent; test = Axis.Kind_node })
+    parse_predicates lx start
+      (note start (Axis_step { axis = Axis.Parent; test = Axis.Kind_node }))
   | Lexer.AT ->
     Lexer.advance lx;
     let test =
@@ -565,10 +665,12 @@ and parse_step lx =
       | Lexer.STAR -> Axis.Name "*"
       | got -> fail lx "expected an attribute name, found %s" (Lexer.describe got)
     in
-    parse_predicates lx (Axis_step { axis = Axis.Attribute; test })
+    parse_predicates lx start
+      (note start (Axis_step { axis = Axis.Attribute; test }))
   | Lexer.STAR ->
     Lexer.advance lx;
-    parse_predicates lx (Axis_step { axis = Axis.Child; test = Axis.Name "*" })
+    parse_predicates lx start
+      (note start (Axis_step { axis = Axis.Child; test = Axis.Name "*" }))
   | Lexer.NAME n -> (
     let p = save lx in
     Lexer.advance lx;
@@ -579,14 +681,14 @@ and parse_step lx =
       | Some axis ->
         Lexer.advance lx;
         let test = parse_node_test lx axis in
-        parse_predicates lx (Axis_step { axis; test }))
+        parse_predicates lx start (note start (Axis_step { axis; test })))
     | Lexer.LPAREN when kind_test_of_name n <> None ->
       restore lx p;
       let axis =
         if n = "attribute" then Axis.Attribute else Axis.Child
       in
       let test = parse_node_test lx axis in
-      parse_predicates lx (Axis_step { axis; test })
+      parse_predicates lx start (note start (Axis_step { axis; test }))
     | Lexer.LPAREN | Lexer.LBRACE ->
       (* function call or computed constructor *)
       restore lx p;
@@ -600,7 +702,8 @@ and parse_step lx =
     | _ ->
       restore lx p;
       Lexer.advance lx;
-      parse_predicates lx (Axis_step { axis = Axis.Child; test = Axis.Name n }))
+      parse_predicates lx start
+        (note start (Axis_step { axis = Axis.Child; test = Axis.Name n })))
   | _ -> parse_postfix lx
 
 and parse_node_test lx _axis =
@@ -634,86 +737,89 @@ and parse_node_test lx _axis =
     | _ -> Axis.Name n)
   | got -> fail lx "expected a node test, found %s" (Lexer.describe got)
 
-and parse_predicates lx e =
+and parse_predicates lx start e =
   if Lexer.peek lx = Lexer.LBRACKET then begin
     Lexer.advance lx;
     let pred = parse_expr_seq lx in
     expect lx Lexer.RBRACKET;
-    parse_predicates lx (Filter (e, pred))
+    parse_predicates lx start (note start (Filter (e, pred)))
   end
   else e
 
 and parse_postfix lx =
+  let start = Lexer.token_start lx in
   let e = parse_primary lx in
-  parse_predicates lx e
+  parse_predicates lx start e
 
 and parse_primary lx =
-  match Lexer.peek lx with
-  | Lexer.INT n ->
-    Lexer.advance lx;
-    Literal (Atom.Int n)
-  | Lexer.DBL f ->
-    Lexer.advance lx;
-    Literal (Atom.Dbl f)
-  | Lexer.STRING s ->
-    Lexer.advance lx;
-    Literal (Atom.Str s)
-  | Lexer.VAR v ->
-    Lexer.advance lx;
-    Var v
-  | Lexer.DOT ->
-    Lexer.advance lx;
-    Context_item
-  | Lexer.LPAREN ->
-    Lexer.advance lx;
-    if Lexer.peek lx = Lexer.RPAREN then begin
+  let start = Lexer.token_start lx in
+  note start
+    (match Lexer.peek lx with
+    | Lexer.INT n ->
       Lexer.advance lx;
-      Empty_seq
-    end
-    else begin
-      let e = parse_expr_seq lx in
+      Literal (Atom.Int n)
+    | Lexer.DBL f ->
+      Lexer.advance lx;
+      Literal (Atom.Dbl f)
+    | Lexer.STRING s ->
+      Lexer.advance lx;
+      Literal (Atom.Str s)
+    | Lexer.VAR v ->
+      Lexer.advance lx;
+      Var v
+    | Lexer.DOT ->
+      Lexer.advance lx;
+      Context_item
+    | Lexer.LPAREN ->
+      Lexer.advance lx;
+      if Lexer.peek lx = Lexer.RPAREN then begin
+        Lexer.advance lx;
+        Empty_seq
+      end
+      else begin
+        let e = parse_expr_seq lx in
+        expect lx Lexer.RPAREN;
+        e
+      end
+    | Lexer.LT -> parse_direct_constructor lx
+    | Lexer.NAME "element" when next_is_name_then lx Lexer.LBRACE ->
+      Lexer.advance lx;
+      let name = parse_ncname lx in
+      let body = parse_enclosed lx in
+      Comp_elem (name, body)
+    | Lexer.NAME "attribute" when next_is_name_then lx Lexer.LBRACE ->
+      Lexer.advance lx;
+      let name = parse_ncname lx in
+      let body = parse_enclosed lx in
+      Attr_constr (name, body)
+    | Lexer.NAME "text" when next_is lx Lexer.LBRACE ->
+      Lexer.advance lx;
+      Text_constr (parse_enclosed lx)
+    | Lexer.NAME "comment" when next_is lx Lexer.LBRACE ->
+      Lexer.advance lx;
+      Comment_constr (parse_enclosed lx)
+    | Lexer.NAME "document" when next_is lx Lexer.LBRACE ->
+      Lexer.advance lx;
+      Doc_constr (parse_enclosed lx)
+    | Lexer.NAME n when next_is lx Lexer.LPAREN ->
+      Lexer.advance lx;
+      Lexer.advance lx;
+      let args =
+        if Lexer.peek lx = Lexer.RPAREN then []
+        else
+          let rec args acc =
+            let a = parse_single lx in
+            if Lexer.peek lx = Lexer.COMMA then begin
+              Lexer.advance lx;
+              args (a :: acc)
+            end
+            else List.rev (a :: acc)
+          in
+          args []
+      in
       expect lx Lexer.RPAREN;
-      e
-    end
-  | Lexer.LT -> parse_direct_constructor lx
-  | Lexer.NAME "element" when next_is_name_then lx Lexer.LBRACE ->
-    Lexer.advance lx;
-    let name = parse_ncname lx in
-    let body = parse_enclosed lx in
-    Comp_elem (name, body)
-  | Lexer.NAME "attribute" when next_is_name_then lx Lexer.LBRACE ->
-    Lexer.advance lx;
-    let name = parse_ncname lx in
-    let body = parse_enclosed lx in
-    Attr_constr (name, body)
-  | Lexer.NAME "text" when next_is lx Lexer.LBRACE ->
-    Lexer.advance lx;
-    Text_constr (parse_enclosed lx)
-  | Lexer.NAME "comment" when next_is lx Lexer.LBRACE ->
-    Lexer.advance lx;
-    Comment_constr (parse_enclosed lx)
-  | Lexer.NAME "document" when next_is lx Lexer.LBRACE ->
-    Lexer.advance lx;
-    Doc_constr (parse_enclosed lx)
-  | Lexer.NAME n when next_is lx Lexer.LPAREN ->
-    Lexer.advance lx;
-    Lexer.advance lx;
-    let args =
-      if Lexer.peek lx = Lexer.RPAREN then []
-      else
-        let rec args acc =
-          let a = parse_single lx in
-          if Lexer.peek lx = Lexer.COMMA then begin
-            Lexer.advance lx;
-            args (a :: acc)
-          end
-          else List.rev (a :: acc)
-        in
-        args []
-    in
-    expect lx Lexer.RPAREN;
-    Call (normalize_fname n, args)
-  | got -> fail lx "expected an expression, found %s" (Lexer.describe got)
+      Call (normalize_fname n, args)
+    | got -> fail lx "expected an expression, found %s" (Lexer.describe got))
 
 and next_is_name_then lx tok =
   let p = save lx in
@@ -958,7 +1064,8 @@ and parse_direct_content lx name =
       end
       else begin
         flush ();
-        let e = parse_direct_element lx in
+        let start = Lexer.pos lx - 1 in
+        let e = note start (parse_direct_element lx) in
         items := e :: !items;
         go ()
       end
@@ -1002,7 +1109,9 @@ and parse_direct_content lx name =
 
 let parse_fundef lx =
   (* after 'declare function' *)
+  let noff = Lexer.token_start lx in
   let name = normalize_fname (parse_ncname lx) in
+  note_name ("fn:" ^ name) noff;
   expect lx Lexer.LPAREN;
   let params =
     if Lexer.peek lx = Lexer.RPAREN then []
@@ -1049,7 +1158,9 @@ let parse_program_lx lx =
        end
        else if is_kw lx "variable" then begin
          Lexer.advance lx;
+         let voff = Lexer.token_start lx in
          let v = parse_var lx in
+         note_name ("var:" ^ v) voff;
          (if is_kw lx "as" then begin
             Lexer.advance lx;
             ignore (parse_seq_type_tokens lx)
@@ -1079,6 +1190,19 @@ let wrap_errors lx f =
 let parse_program src =
   let lx = Lexer.create src in
   wrap_errors lx (fun () -> parse_program_lx lx)
+
+let parse_program_spans src =
+  let lx = Lexer.create src in
+  let spans = Spans.create src in
+  Mutex.lock spans_lock;
+  current_spans := Some spans;
+  Fun.protect
+    ~finally:(fun () ->
+      current_spans := None;
+      Mutex.unlock spans_lock)
+    (fun () ->
+      let p = wrap_errors lx (fun () -> parse_program_lx lx) in
+      (p, spans))
 
 let parse_expr src =
   let lx = Lexer.create src in

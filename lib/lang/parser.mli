@@ -16,8 +16,33 @@
 
 exception Error of { line : int; col : int; msg : string }
 
+(** A source-span side-table: AST node (by physical identity — every
+    construct allocates a fresh block) → offset of its first token,
+    plus declaration sites of functions and global variables. Filled
+    by {!parse_program_spans}; diagnostics use it to report
+    [line:col]. Constant constructors ([Root], [.], [()]) are
+    immediate values shared by all their occurrences and carry no
+    span. *)
+module Spans : sig
+  type t
+
+  val source : t -> string
+  val offset : t -> Ast.expr -> int option
+  val line_col : t -> Ast.expr -> (int * int) option
+
+  (** Declaration site of a [declare function]. *)
+  val fun_line_col : t -> string -> (int * int) option
+
+  (** Declaration site of a [declare variable]. *)
+  val global_line_col : t -> string -> (int * int) option
+end
+
 (** Parse a complete program: prolog followed by the main expression. *)
 val parse_program : string -> Ast.program
+
+(** Like {!parse_program}, additionally recording a source span for
+    every binder, call, constructor, operator and IFP node. *)
+val parse_program_spans : string -> Ast.program * Spans.t
 
 (** Parse a single expression (no prolog). *)
 val parse_expr : string -> Ast.expr

@@ -2,7 +2,13 @@ open Ast
 
 type severity = Error | Warning
 
-type diagnostic = { severity : severity; context : string; message : string }
+type diagnostic = {
+  severity : severity;
+  context : string;
+  message : string;
+  code : string;
+  at : Ast.expr option;
+}
 
 let errors = List.filter (fun d -> d.severity = Error)
 
@@ -13,9 +19,9 @@ let pp_diagnostic ppf d =
 
 let check_program (p : program) : diagnostic list =
   let out = ref [] in
-  let emit severity context fmt =
+  let emit ?at severity code context fmt =
     Format.kasprintf
-      (fun message -> out := { severity; context; message } :: !out)
+      (fun message -> out := { severity; context; message; code; at } :: !out)
       fmt
   in
   (* declared functions, with duplicate detection *)
@@ -23,13 +29,14 @@ let check_program (p : program) : diagnostic list =
   List.iter
     (fun fd ->
       if Hashtbl.mem declared fd.fname then
-        emit Error fd.fname "function %s is declared more than once" fd.fname;
+        emit Error "FQ013" fd.fname "function %s is declared more than once"
+          fd.fname;
       Hashtbl.replace declared fd.fname (List.length fd.params);
       let rec dup_params = function
         | [] -> ()
         | (v, _) :: rest ->
           if List.mem_assoc v rest then
-            emit Error fd.fname "duplicate parameter $%s" v;
+            emit Error "FQ014" fd.fname "duplicate parameter $%s" v;
           dup_params rest
       in
       dup_params fd.params)
@@ -41,7 +48,7 @@ let check_program (p : program) : diagnostic list =
     match e with
     | Var v ->
       if not (List.mem v bound) then
-        emit Error ctx "undefined variable $%s" v
+        emit ~at:e Error "FQ010" ctx "undefined variable $%s" v
     | Literal _ | Empty_seq | Context_item | Root | Axis_step _ -> ()
     | Sequence (a, b) | Union (a, b) | Except (a, b) | Intersect (a, b)
     | Path (a, b) | Filter (a, b) | Arith (_, a, b) | Gen_cmp (_, a, b)
@@ -77,11 +84,12 @@ let check_program (p : program) : diagnostic list =
       (match Hashtbl.find_opt declared f with
       | Some arity ->
         if arity <> List.length args then
-          emit Error ctx "function %s expects %d argument(s), given %d" f
-            arity (List.length args)
+          emit ~at:e Error "FQ012" ctx
+            "function %s expects %d argument(s), given %d" f arity
+            (List.length args)
       | None ->
         if not (Builtins.is_builtin f) then
-          emit Error ctx "unknown function %s" f);
+          emit ~at:e Error "FQ011" ctx "unknown function %s" f);
       List.iter w args
     | Elem_constr (_, attrs, content) ->
       List.iter
@@ -103,7 +111,7 @@ let check_program (p : program) : diagnostic list =
     | Ifp { var; seed; body } ->
       w seed;
       if not (is_free var body) then
-        emit Warning ctx
+        emit ~at:e Warning "FQ015" ctx
           "the recursion body never uses $%s: the fixed point converges \
            after one round"
           var;

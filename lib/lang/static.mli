@@ -18,6 +18,10 @@ type diagnostic = {
   severity : severity;
   context : string;  (** enclosing function name, or ["main"] *)
   message : string;
+  code : string;  (** stable [FQ0xx] diagnostic code *)
+  at : Ast.expr option;
+      (** the offending node, when one exists — resolves to a source
+          [line:col] through {!Parser.Spans} *)
 }
 
 val check_program : Ast.program -> diagnostic list

@@ -1,11 +1,16 @@
 module Lang = Fixq_lang
 module Push = Fixq_algebra.Push
+module Analyze = Fixq_analysis.Analyze
+module Diag = Fixq_analysis.Diag
 
 type t = {
   source : string;
   hash : string;
   program : Lang.Ast.program;
+  spans : Lang.Parser.Spans.t;
   warnings : string list;
+  analysis : Analyze.t;
+  push : Push.outcome option;
   ifp_count : int;
   syntactic : bool;
   algebraic : bool option;
@@ -17,7 +22,9 @@ type t = {
   prepare_ms : float;
 }
 
-exception Rejected of string
+exception Rejected of { message : string; diagnostics : Diag.t list }
+
+let reject message diagnostics = raise (Rejected { message; diagnostics })
 
 let hash_source src = Digest.to_hex (Digest.string src)
 
@@ -27,41 +34,42 @@ let prepare ~store ~stratified ~max_iterations source =
   let t0 = Unix.gettimeofday () in
   let registry = Store.registry store in
   let generation = Store.generation store in
-  let program =
-    match Lang.Parser.parse_program source with
+  let program, spans =
+    match Lang.Parser.parse_program_spans source with
     | p -> p
     | exception Lang.Parser.Error { line; col; msg } ->
-      raise
-        (Rejected (Printf.sprintf "parse error at %d:%d: %s" line col msg))
+      let message = Printf.sprintf "parse error at %d:%d: %s" line col msg in
+      reject message [ Analyze.parse_error_diag ~line ~col msg ]
     | exception Lang.Lexer.Error { pos; msg } ->
-      raise (Rejected (Printf.sprintf "lex error at offset %d: %s" pos msg))
+      let line, col = Lang.Lexer.line_col_of source pos in
+      let message = Printf.sprintf "lex error at %d:%d: %s" line col msg in
+      reject message [ Analyze.parse_error_diag ~line ~col msg ]
   in
-  let diagnostics = Lang.Static.check_program program in
-  (match Lang.Static.errors diagnostics with
+  let static = Lang.Static.check_program program in
+  (match Lang.Static.errors static with
   | [] -> ()
   | errs ->
-    raise (Rejected (String.concat "; " (List.map format_diagnostic errs))));
-  let warnings = List.map format_diagnostic diagnostics in
-  let ifp_count = Fixq.count_ifps program in
+    reject
+      (String.concat "; " (List.map format_diagnostic errs))
+      (List.map (Analyze.of_static ~spans) errs));
+  let warnings = List.map format_diagnostic static in
+  let analysis = Analyze.analyze ~stratified ~spans program in
+  let ifp_count = List.length analysis.Analyze.ifps in
   let syntactic =
-    match Fixq.first_ifp program with
-    | None -> false
-    | Some (var, body) ->
-      let functions = Hashtbl.create 16 in
-      List.iter
-        (fun fd -> Hashtbl.replace functions fd.Lang.Ast.fname fd)
-        program.Lang.Ast.functions;
-      Lang.Distributivity.check ~functions ~stratified var body
+    match analysis.Analyze.ifps with
+    | [] -> false
+    | r :: _ -> r.Analyze.syntactic
   in
   let plan =
     if ifp_count = 0 then None
     else Fixq.plan_of_first_ifp ~registry ~max_iterations program
   in
-  let algebraic =
+  let push =
     Option.map
-      (fun (fix_id, p) -> (Push.check ~stratified ~fix_id p).Push.distributive)
+      (fun (fix_id, p) -> Push.check ~stratified ~fix_id p)
       plan
   in
+  let algebraic = Option.map (fun o -> o.Push.distributive) push in
   let interp_mode =
     if ifp_count = 0 then Fixq.Naive
     else if ifp_count > 1 then Fixq.Auto
@@ -80,9 +88,27 @@ let prepare ~store ~stratified ~max_iterations source =
            the interpreter, whose Auto strategy re-checks syntactically *)
         Fixq.Auto
   in
-  { source; hash = hash_source source; program; warnings; ifp_count;
-    syntactic; algebraic; plan; interp_mode; algebra_mode; stratified;
-    generation; prepare_ms = (Unix.gettimeofday () -. t0) *. 1000.0 }
+  { source; hash = hash_source source; program; spans; warnings; analysis;
+    push; ifp_count; syntactic; algebraic; plan; interp_mode; algebra_mode;
+    stratified; generation; prepare_ms = (Unix.gettimeofday () -. t0) *. 1000.0 }
+
+(* Diagnostics including the FQ031 push-block mapping, which needs the
+   plan verdict and so cannot be part of [Analyze.analyze]. *)
+let diagnostics t =
+  let push_blocks =
+    match (t.push, t.analysis.Analyze.ifps) with
+    | Some o, r :: _ -> (
+      match Analyze.push_block_diag ~spans:t.spans r o with
+      | Some d -> [ d ]
+      | None -> [])
+    | _ -> []
+  in
+  List.stable_sort Diag.compare (t.analysis.Analyze.diagnostics @ push_blocks)
+
+let divergence t =
+  match t.analysis.Analyze.ifps with
+  | [] -> None
+  | r :: _ -> Some r.Analyze.divergence
 
 let mode_for t = function
   | `Interp -> t.interp_mode

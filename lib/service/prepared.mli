@@ -2,13 +2,14 @@
     depend on {e when} it runs, computed once and cached.
 
     Preparing a query performs the whole per-query pipeline of the
-    paper — parse, static check, the syntactic [ds_$x] inference
-    (Figure 5), compilation of the first IFP body to a Table-1 algebra
-    plan, and the algebraic ∪ push-up (Section 4.1) — and pins the
-    fixpoint algorithm each engine should use: Delta/µ∆ when the
-    respective check proves distributivity, Naïve/µ otherwise. Repeat
-    runs of the same query text skip all of it (an LRU cache in the
-    server keys prepared queries by source text).
+    paper — parse (with source spans), static check, the full analyzer
+    pass ({!Fixq_analysis.Analyze}: lint rules, distributivity blame,
+    divergence classification), compilation of the first IFP body to a
+    Table-1 algebra plan, and the algebraic ∪ push-up (Section 4.1) —
+    and pins the fixpoint algorithm each engine should use: Delta/µ∆
+    when the respective check proves distributivity, Naïve/µ otherwise.
+    Repeat runs of the same query text skip all of it (an LRU cache in
+    the server keys prepared queries by source text).
 
     For programs with more than one IFP the pinned mode degrades to
     [Auto]: the first site's verdict must not be forced onto the
@@ -19,7 +20,13 @@ type t = {
   source : string;
   hash : string;  (** hex digest of [source] — the result-cache key *)
   program : Fixq.Lang.Ast.program;
+  spans : Fixq.Lang.Parser.Spans.t;
+      (** node → source position side-table from parsing *)
   warnings : string list;  (** static warnings; static errors reject *)
+  analysis : Fixq_analysis.Analyze.t;
+      (** located diagnostics and per-IFP reports *)
+  push : Fixq_algebra.Push.outcome option;
+      (** full ∪ push-up outcome, including the blocking operator *)
   ifp_count : int;
   syntactic : bool;  (** Figure 5 verdict for the first IFP ([false] if none) *)
   algebraic : bool option;
@@ -34,8 +41,13 @@ type t = {
   prepare_ms : float;
 }
 
-(** Parse or static errors. *)
-exception Rejected of string
+(** Parse or static errors. [message] is the legacy one-line rendering;
+    [diagnostics] the located, coded findings behind it. *)
+exception
+  Rejected of {
+    message : string;
+    diagnostics : Fixq_analysis.Diag.t list;
+  }
 
 (** [prepare ~store ~stratified ~max_iterations src] runs the full
     pipeline. Compiling the first IFP body requires evaluating the
@@ -47,6 +59,15 @@ exception Rejected of string
     @raise Rejected on parse errors or static errors. *)
 val prepare :
   store:Store.t -> stratified:bool -> max_iterations:int -> string -> t
+
+(** All located diagnostics for the query, sorted by position: the
+    analyzer's, plus the FQ031 push-block mapping (which needs the
+    compiled plan's verdict and so is assembled here). *)
+val diagnostics : t -> Fixq_analysis.Diag.t list
+
+(** Divergence class of the first IFP ([None] when the query has no
+    fixed point). *)
+val divergence : t -> Fixq_analysis.Analyze.divergence option
 
 (** The mode a request for the given engine kind should run with:
     [`Interp] → [interp_mode], [`Algebra] → [algebra_mode]. *)

@@ -1,4 +1,6 @@
 module Xdm = Fixq_xdm
+module Diag = Fixq_analysis.Diag
+module Analyze = Fixq_analysis.Analyze
 
 type config = {
   workers : int;
@@ -28,6 +30,10 @@ type t = {
           are process-global and never reused, so entries never go
           stale (see {!keyed_items}) *)
   ranks_lock : Mutex.t;
+  analysis_counters : (string, int) Hashtbl.t;
+      (** divergence class of each freshly prepared query, plus
+          refusals — exposed in stats JSON and Prometheus *)
+  analysis_lock : Mutex.t;
 }
 
 let create ?(config = default_config) ?(store = Store.create ()) () =
@@ -36,7 +42,20 @@ let create ?(config = default_config) ?(store = Store.create ()) () =
     results = Result_cache.create ~capacity:config.result_capacity ();
     metrics = Metrics.create (); governor = Governor.create config.governor;
     started_at = Unix.gettimeofday ();
-    ranks = Hashtbl.create 8; ranks_lock = Mutex.create () }
+    ranks = Hashtbl.create 8; ranks_lock = Mutex.create ();
+    analysis_counters = Hashtbl.create 8; analysis_lock = Mutex.create () }
+
+let bump_analysis t key =
+  Mutex.lock t.analysis_lock;
+  Hashtbl.replace t.analysis_counters key
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.analysis_counters key));
+  Mutex.unlock t.analysis_lock
+
+let analysis_counter_rows t =
+  Mutex.lock t.analysis_lock;
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.analysis_counters [] in
+  Mutex.unlock t.analysis_lock;
+  List.sort compare rows
 
 let store t = t.store
 let config t = t.config
@@ -65,8 +84,21 @@ let get_prepared t ~stratified ~max_iterations query =
   | Some p -> (p, "hit")
   | None ->
     let p = Prepared.prepare ~store:t.store ~stratified ~max_iterations query in
+    (match Prepared.divergence p with
+    | Some d -> bump_analysis t (Analyze.divergence_string d)
+    | None -> ());
     Lru.put t.prepared key p;
     (p, "miss")
+
+let diag_json (d : Diag.t) =
+  let line, col = match d.Diag.loc with Some lc -> lc | None -> (0, 0) in
+  Json.Obj
+    [ ("severity", Json.Str (Diag.severity_string d.Diag.severity));
+      ("code", Json.Str d.Diag.code);
+      ("line", Json.of_int line);
+      ("col", Json.of_int col);
+      ("context", Json.Str d.Diag.context);
+      ("message", Json.Str d.Diag.message) ]
 
 (* ------------------------------------------------------------------ *)
 (* Cross-process node identity                                         *)
@@ -139,6 +171,12 @@ let keyed_items t (items : Xdm.Item.seq) =
 let handle_run t ~id
     { Protocol.query; engine; mode; stratified; max_iterations; timeout_ms;
       cache; partition } =
+  (* A budget is an explicit request-level iteration or time bound, or
+     a server-wide timeout. The config's max_iterations default is a
+     backstop, not a budget the caller chose. *)
+  let unbudgeted =
+    max_iterations = None && timeout_ms = None && t.config.timeout_ms = None
+  in
   let stratified = Option.value ~default:t.config.stratified stratified in
   let max_iterations =
     Option.value ~default:t.config.max_iterations max_iterations
@@ -150,6 +188,19 @@ let handle_run t ~id
   let (prepared, prepared_status) =
     get_prepared t ~stratified ~max_iterations query
   in
+  match (if unbudgeted then Prepared.divergence prepared else None) with
+  | Some (Analyze.May_diverge reason) ->
+    bump_analysis t "refused";
+    Protocol.error_response ~id
+      ~extra:
+        [ ("code", Json.Str "FQ040");
+          ("divergence", Json.Str "may-diverge");
+          ("reason", Json.Str reason) ]
+      (Printf.sprintf
+         "query may diverge (%s) and carries no budget: set \
+          max_iterations or timeout_ms"
+         reason)
+  | _ ->
   let run_mode =
     match mode with
     | `Pinned -> Prepared.mode_for prepared engine
@@ -250,6 +301,10 @@ let handle_check t ~id query stratified =
   let (p, prepared_status) =
     get_prepared t ~stratified ~max_iterations:t.config.max_iterations query
   in
+  let first = match p.Prepared.analysis.Analyze.ifps with
+    | r :: _ -> Some r
+    | [] -> None
+  in
   Protocol.ok_response ~id
     [ ("ifp_count", Json.of_int p.Prepared.ifp_count);
       ("syntactic", Json.Bool p.Prepared.syntactic);
@@ -259,6 +314,21 @@ let handle_check t ~id query stratified =
       ("stratified", Json.Bool stratified);
       ("warnings",
        Json.List (List.map (fun w -> Json.Str w) p.Prepared.warnings));
+      ("diagnostics",
+       Json.List (List.map diag_json (Prepared.diagnostics p)));
+      ("divergence",
+       (match Prepared.divergence p with
+       | Some d -> Json.Str (Analyze.divergence_string d)
+       | None -> Json.Null));
+      ("node_only",
+       Json.of_bool_opt
+         (Option.map
+            (fun r -> r.Analyze.node_only_seed && r.Analyze.node_only_body)
+            first));
+      ("blocking",
+       (match p.Prepared.push with
+       | Some { Fixq_algebra.Push.blocking = Some b; _ } -> Json.Str b
+       | _ -> Json.Null));
       ("prepared_cache", Json.Str prepared_status) ]
 
 let handle_plan t ~id query stratified =
@@ -358,6 +428,20 @@ let prometheus_stats t =
     (List.map
        (fun (k, v) -> (Printf.sprintf "reason=%S" k, v))
        (Governor.counter_rows t.governor));
+  (match analysis_counter_rows t with
+  | [] -> ()
+  | rows ->
+    counter_family "fixq_prepared_divergence_total"
+      (List.filter_map
+         (fun (k, v) ->
+           if k = "refused" then None
+           else Some (Printf.sprintf "class=%S" k, v))
+         rows);
+    (match List.assoc_opt "refused" rows with
+    | Some n ->
+      counter_family "fixq_refused_queries_total"
+        [ ("reason=\"may-diverge\"", n) ]
+    | None -> ()));
   Buffer.add_string buf (Metrics.to_prometheus ~prefix:"fixq" t.metrics);
   Buffer.contents buf
 
@@ -390,6 +474,11 @@ let handle_stats t ~id =
               :: List.map
                    (fun (k, v) -> (k, Json.of_int v))
                    (Governor.counter_rows t.governor)));
+           ("analysis",
+            Json.Obj
+              (List.map
+                 (fun (k, v) -> (k, Json.of_int v))
+                 (analysis_counter_rows t)));
            ("uptime_ms",
             Json.Num ((Unix.gettimeofday () -. t.started_at) *. 1000.0)) ]) ]
 
@@ -452,8 +541,13 @@ let handle t request =
           | Protocol.Shutdown ->
             (Protocol.ok_response ~id [ ("shutdown", Json.Bool true) ], true))
     with
-    | Prepared.Rejected msg | Store.Error msg | Fixq.Error msg
-    | Chaos_fault msg ->
+    | Prepared.Rejected { message; diagnostics } ->
+      ( Protocol.error_response ~id
+          ~extra:
+            [ ("diagnostics", Json.List (List.map diag_json diagnostics)) ]
+          message,
+        false )
+    | Store.Error msg | Fixq.Error msg | Chaos_fault msg ->
       (Protocol.error_response ~id msg, false)
     | Governor.Shed { retry_after_ms; reason } ->
       ( Protocol.error_response ~id

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Lint gate: run `fixq lint --format json` over every example query,
+# check the JSON diagnostic schema with jq, and fail on any
+# error-severity finding (the CLI exits non-zero exactly then, but we
+# also assert it from the JSON so the schema and the exit code cannot
+# drift apart silently).
+set -euo pipefail
+
+FIXQ=${FIXQ:-dune exec fixq --}
+shopt -s nullglob
+examples=(examples/*.xq)
+if [ ${#examples[@]} -eq 0 ]; then
+  echo "no example queries found" >&2
+  exit 1
+fi
+
+for f in "${examples[@]}"; do
+  echo "lint $f"
+  out=$($FIXQ lint --format json "$f")
+
+  # every diagnostic carries the full located shape with a stable code
+  jq -e '
+    .diagnostics | all(
+      (.severity | IN("error", "warning", "info")) and
+      (.code | test("^FQ[0-9]{3}$")) and
+      (.line | type == "number") and
+      (.col | type == "number") and
+      (.context | type == "string") and
+      (.message | type == "string"))' <<<"$out" >/dev/null
+
+  # every IFP got a divergence verdict and both checker fields
+  jq -e '
+    .ifps | all(
+      (.divergence | IN("terminates", "bounded", "may-diverge")) and
+      (.syntactic | type == "boolean") and
+      (.hint_repairable | type == "boolean"))' <<<"$out" >/dev/null
+
+  # the error counter agrees with the per-diagnostic severities
+  jq -e '.errors == ([.diagnostics[] | select(.severity == "error")] | length)' \
+    <<<"$out" >/dev/null
+
+  errors=$(jq '.errors' <<<"$out")
+  if [ "$errors" -ne 0 ]; then
+    echo "error-severity findings in $f:" >&2
+    jq -r '.diagnostics[] | select(.severity == "error")
+           | "  \(.line):\(.col) \(.code) \(.message)"' <<<"$out" >&2
+    exit 1
+  fi
+done
+
+echo "all ${#examples[@]} example queries lint clean"

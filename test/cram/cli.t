@@ -114,3 +114,29 @@ The explain subcommand instantiates the paper's Figure 2/4 templates:
   declare function rec_1($x as node()*) as node()* { $x/child::a };
   $ fixq explain --template hint -e 'with $x seeded by . recurse count($x)' 
   (with $x seeded by . recurse (for $y_1 in $x return count($y_1)))
+
+The lint subcommand reports located, coded findings. A non-distributive
+body gets blamed at its smallest offending subexpression, the blocked
+algebra operator is mapped back to the same construct, and --fix-hints
+applies the Section-3.2 rewrite and re-runs both checkers:
+
+  $ printf '<r><a/><b/></r>' > t.xml
+  $ fixq lint --doc t=t.xml -e 'with $x seeded by doc("t")/r recurse ($x/a except $x/b)'
+  1:1: info FQ032 (main): the distributivity hint can repair this recursion body (fixq lint --fix-hints)
+  1:39: warning FQ030 (main): not distributive for $x: 'except'/'intersect' with $x free must see both sides (rule EXCEPT/INTERSECT)
+  1:39: info FQ031 (main): the algebraic ∪-push is blocked at plan operator '\ (∪ arrives on both inputs)' — introduced by this construct
+  ifp $x (main) at 1:1: divergence=terminates syntactic=blamed algebraic=blocked
+  $ fixq lint --doc t=t.xml --fix-hints -e 'with $x seeded by doc("t")/r recurse ($x/a except $x/b)' | tail -4
+  fix-hints: applied to 1 fixed point(s)
+  fix-hints: syntactic after repair: distributive
+  fix-hints: algebraic after repair: distributive
+  (with $x seeded by doc("t")/child::r recurse (for $y_1 in $x return ($y_1/child::a except $y_1/child::b)))
+
+Error-severity findings drive the exit status; warnings alone do not:
+
+  $ fixq lint -e 'let $u := 1 return count($nope)'
+  1:5: warning FQ020 (main): the let binding $u is never used
+  1:26: error FQ010 (main): undefined variable $nope
+  [1]
+  $ fixq lint -e 'for $i in (1, 2) return 3'
+  1:5: warning FQ021 (main): the for binding $i is never used

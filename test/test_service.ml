@@ -360,6 +360,114 @@ let test_server_unload_and_generated () =
   let r = send server {|{"op":"run","query":"count(doc(\"c.xml\")/curriculum/course)"}|} in
   checkb "doc gone" false (ok r)
 
+(* The analyzer's divergence verdict gates serving: an un-budgeted
+   may-diverge query is refused up front (FQ040) instead of spinning
+   against the config backstop; any explicit budget, or a verdict of
+   terminates/bounded, lets it through. *)
+let test_server_divergence_refusal () =
+  let server = mk_server () in
+  let diverging = {|with $x seeded by 1 recurse $x * 1|} in
+  let r =
+    send server
+      (Json.to_string
+         (Json.Obj [ ("op", Json.Str "run"); ("query", Json.Str diverging) ]))
+  in
+  checkb "refused" false (ok r);
+  checks "code" "FQ040" (sfield "code" r);
+  checks "class" "may-diverge" (sfield "divergence" r);
+  let e = sfield "error" r in
+  checkb "explains the refusal" true
+    (String.length e >= 17 && String.sub e 0 17 = "query may diverge");
+  (* the same query with an iteration budget clears the gate: it is
+     attempted (and fails downstream on its own merits — atoms have no
+     document order), not refused up front *)
+  let r =
+    send server
+      (Json.to_string
+         (Json.Obj
+            [ ("op", Json.Str "run"); ("query", Json.Str diverging);
+              ("max_iterations", Json.Num 10.) ]))
+  in
+  checkb "budgeted not refused" true (field "code" r = Json.Null);
+  (* a budgeted constructor-divergent query likewise reaches the
+     evaluator and trips the iteration budget, not the gate *)
+  let r =
+    send server
+      {|{"op":"run","query":"with $x seeded by <a/> recurse <b/>","max_iterations":10}|}
+  in
+  let e = sfield "error" r in
+  checkb "budget trips, not the gate" true
+    (String.length e >= 12 && String.sub e 0 12 = "IFP diverged");
+  (* node-only queries are classified terminates: no budget required *)
+  ignore (send server load_doc_line);
+  let r =
+    send server
+      (Json.to_string
+         (Json.Obj [ ("op", Json.Str "run"); ("query", Json.Str q1) ]))
+  in
+  checkb "terminating unbudgeted ok" true (ok r);
+  (* refusals are counted *)
+  let st = send server {|{"op":"stats"}|} in
+  let analysis = field "analysis" (field "stats" st) in
+  checki "refused counted" 1
+    (Option.get (Json.int_opt (field "refused" analysis)))
+
+let test_server_check_diagnostics () =
+  let server = mk_server () in
+  ignore (send server load_doc_line);
+  let check_op q =
+    send server
+      (Json.to_string
+         (Json.Obj [ ("op", Json.Str "check"); ("query", Json.Str q) ]))
+  in
+  let r = check_op q1 in
+  checkb "check ok" true (ok r);
+  checks "divergence surfaced" "terminates" (sfield "divergence" r);
+  checkb "node_only surfaced" true
+    (Json.bool_opt (field "node_only" r) = Some true);
+  checkb "no diagnostics on clean query" true
+    (field "diagnostics" r = Json.List []);
+  (* a blamed query: FQ030 located, blocking operator surfaced *)
+  let r =
+    check_op
+      ("with $x seeded by doc(\"curriculum.xml\")/curriculum/course \
+        recurse ($x/prereq except $x/course)")
+  in
+  checkb "blamed check ok" true (ok r);
+  let codes =
+    match field "diagnostics" r with
+    | Json.List ds ->
+      List.map (fun d -> Option.get (Json.str_opt (Json.member "code" d))) ds
+    | _ -> Alcotest.fail "diagnostics must be a list"
+  in
+  checkb "FQ030 present" true (List.mem "FQ030" codes);
+  checkb "FQ031 present" true (List.mem "FQ031" codes);
+  checkb "FQ032 present" true (List.mem "FQ032" codes);
+  (match field "diagnostics" r with
+  | Json.List (d :: _) ->
+    checkb "diagnostics located" true
+      (Option.get (Json.int_opt (Json.member "line" d)) >= 1)
+  | _ -> Alcotest.fail "expected at least one diagnostic");
+  checkb "blocking operator surfaced" true
+    (Json.str_opt (field "blocking" r) <> None);
+  (* rejected queries answer with located structured diagnostics *)
+  let r = check_op "1 + count($nope)" in
+  checkb "static error not ok" false (ok r);
+  (match field "diagnostics" r with
+  | Json.List [ d ] ->
+    checks "code" "FQ010"
+      (Option.get (Json.str_opt (Json.member "code" d)));
+    checki "line" 1 (Option.get (Json.int_opt (Json.member "line" d)));
+    checki "col" 11 (Option.get (Json.int_opt (Json.member "col" d)))
+  | _ -> Alcotest.fail "expected exactly one diagnostic");
+  let r = check_op "1 +" in
+  checkb "parse error not ok" false (ok r);
+  (match field "diagnostics" r with
+  | Json.List [ d ] ->
+    checks "parse code" "FQ001"
+      (Option.get (Json.str_opt (Json.member "code" d)))
+  | _ -> Alcotest.fail "expected exactly one parse diagnostic")
+
 let () =
   Alcotest.run "service"
     [ ("json",
@@ -390,4 +498,8 @@ let () =
          Alcotest.test_case "shutdown and ids" `Quick
            test_server_shutdown_and_ids;
          Alcotest.test_case "unload and generated docs" `Quick
-           test_server_unload_and_generated ]) ]
+           test_server_unload_and_generated;
+         Alcotest.test_case "divergence refusal" `Quick
+           test_server_divergence_refusal;
+         Alcotest.test_case "check diagnostics" `Quick
+           test_server_check_diagnostics ]) ]
