@@ -43,6 +43,56 @@ let load_docs registry docs =
         exit 1)
     docs
 
+(* --patch "URI ACTION [PAYLOAD] at /PATH [POSITION]" applications.
+   [fixq run] applies them locally after --doc registration; [fixq
+   client] translates each into a patch-doc request line sent before
+   the stdin loop. *)
+let parse_patch_specs specs =
+  List.map
+    (fun spec ->
+      match Fixq_service.Protocol.parse_patch_spec spec with
+      | Ok parsed -> parsed
+      | Error msg ->
+        Printf.eprintf "error: --patch %S: %s\n" spec msg;
+        exit 1)
+    specs
+
+let apply_patches registry specs =
+  List.iter
+    (fun (uri, op) ->
+      match Xdm.Doc_registry.find ~registry uri with
+      | None ->
+        Printf.eprintf "error: --patch: no document loaded under %S\n" uri;
+        exit 1
+      | Some root -> (
+        match Xdm.Patch.apply root op with
+        | delta -> Xdm.Doc_registry.register ~registry uri delta.Xdm.Patch.new_root
+        | exception Xdm.Patch.Patch_error msg ->
+          Printf.eprintf "error: --patch %s: %s\n" uri msg;
+          exit 1))
+    (parse_patch_specs specs)
+
+let patch_request_line uri op =
+  let module Json = Fixq_service.Json in
+  let module P = Xdm.Patch in
+  let fields =
+    match op with
+    | P.Insert { path; position; xml } ->
+      [ ("action", Json.Str "insert"); ("path", Json.Str path);
+        ("position", Json.Str (P.string_of_position position));
+        ("xml", Json.Str xml) ]
+    | P.Delete { path } ->
+      [ ("action", Json.Str "delete"); ("path", Json.Str path) ]
+    | P.Replace { path; xml } ->
+      [ ("action", Json.Str "replace"); ("path", Json.Str path);
+        ("xml", Json.Str xml) ]
+    | P.Set_text { path; text } ->
+      [ ("action", Json.Str "set-text"); ("path", Json.Str path);
+        ("text", Json.Str text) ]
+  in
+  Json.to_string
+    (Json.Obj (("op", Json.Str "patch-doc") :: ("uri", Json.Str uri) :: fields))
+
 let query_source file expr =
   match (file, expr) with
   | (_, Some e) -> e
@@ -61,6 +111,16 @@ let query_source file expr =
 let docs_arg =
   let doc = "Register an XML document: URI=PATH (or just PATH)." in
   Arg.(value & opt_all string [] & info [ "doc"; "d" ] ~docv:"URI=PATH" ~doc)
+
+let patch_arg =
+  let doc =
+    "Apply a document edit (repeatable, applied in order): \"URI ACTION \
+     [PAYLOAD] at /PATH [POSITION]\", e.g. 'auction.xml insert <x/> at \
+     /site/people' or 'auction.xml delete at /site/regions[2]'. ACTION is \
+     insert|delete|replace|set-text; POSITION is \
+     into|into-first|into-last|before|after (default into-last)."
+  in
+  Arg.(value & opt_all string [] & info [ "patch" ] ~docv:"SPEC" ~doc)
 
 let file_arg =
   let doc = "Query file; omit to read from stdin." in
@@ -115,10 +175,11 @@ let to_engine engine mode =
 (* ------------------------------------------------------------------ *)
 
 let run_cmd =
-  let action file expr docs engine mode stats stratified domains
+  let action file expr docs patches engine mode stats stratified domains
       chunk_threshold =
     let registry = Xdm.Doc_registry.create () in
     load_docs registry docs;
+    apply_patches registry patches;
     let src = query_source file expr in
     match
       Fixq.run ~registry ~stratified ?domains ~chunk_threshold
@@ -142,8 +203,8 @@ let run_cmd =
       1
   in
   let term =
-    Term.(const action $ file_arg $ expr_arg $ docs_arg $ engine_arg
-          $ mode_arg $ stats_arg $ stratified_arg $ domains_arg
+    Term.(const action $ file_arg $ expr_arg $ docs_arg $ patch_arg
+          $ engine_arg $ mode_arg $ stats_arg $ stratified_arg $ domains_arg
           $ chunk_threshold_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Evaluate a query.") term
@@ -506,7 +567,7 @@ let chaos_arg =
               Items are comma-separated: seed=N, or \
               point=kind[:prob][@nth][#max] with points transport.send, \
               transport.recv, coordinator.scatter, supervisor.ping, \
-              server.handle, fixpoint.round, store.read and kinds drop, \
+              server.handle, fixpoint.round, store.read, store.patch and kinds drop, \
               truncate, kill, oom, delayMS. Falls back to \\$FIXQ_CHAOS.")
 
 let chaos_log_arg =
@@ -848,26 +909,34 @@ let client_cmd =
     let doc = "Per-response read timeout in milliseconds." in
     Arg.(value & opt (some float) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
   in
-  let action socket timeout_ms =
+  let action socket timeout_ms patches =
     let tr = C.Transport.create socket in
+    let send line =
+      match C.Transport.call ?timeout_ms tr line with
+      | Ok resp ->
+        print_endline resp;
+        true
+      | Error e ->
+        Printf.eprintf "fixq client: %s\n" e;
+        false
+    in
+    (* --patch requests go first, then the stdin request loop *)
+    let patched =
+      List.for_all
+        (fun (uri, op) -> send (patch_request_line uri op))
+        (parse_patch_specs patches)
+    in
     let rec loop () =
       match input_line stdin with
       | exception End_of_file -> 0
       | line when String.trim line = "" -> loop ()
-      | line -> (
-        match C.Transport.call ?timeout_ms tr line with
-        | Ok resp ->
-          print_endline resp;
-          loop ()
-        | Error e ->
-          Printf.eprintf "fixq client: %s\n" e;
-          1)
+      | line -> if send line then loop () else 1
     in
-    let code = loop () in
+    let code = if patched then loop () else 1 in
     C.Transport.close tr;
     code
   in
-  let term = Term.(const action $ socket_arg $ timeout_arg) in
+  let term = Term.(const action $ socket_arg $ timeout_arg $ patch_arg) in
   Cmd.v
     (Cmd.info "client"
        ~doc:

@@ -568,6 +568,110 @@ let scatter_eligible ?(stratified = false) (p : program) =
          ~functions:(program_functions p) ~stratified var body
   | _ -> false
 
+(* ------------------------------------------------------------------ *)
+(* IVM eligibility *)
+
+type ivm_class = Ivm_full | Ivm_insert_only | Ivm_ineligible of string
+
+let ivm_string = function
+  | Ivm_full -> "full"
+  | Ivm_insert_only -> "insert-only"
+  | Ivm_ineligible _ -> "ineligible"
+
+let ivm_reason = function
+  | Ivm_full | Ivm_insert_only -> None
+  | Ivm_ineligible r -> Some r
+
+(* The maintenance grammar: expressions whose value from a context node
+   depends only on that node's subtree ("downward"). For such bodies the
+   producers whose output a patch can change are exactly the ancestors
+   of the edit point, which is what makes the maintenance frontier
+   sub-linear. Filters are allowed only when insert-monotone — an
+   existing node's predicate can then flip false→true only by gaining
+   descendants, i.e. only on the ancestor spine the frontier already
+   re-feeds — and any filter at all downgrades eligibility to
+   insert-only, because deletions can un-derive filtered results. *)
+let downward_axis = function
+  | Axis.Child | Axis.Descendant | Axis.Descendant_or_self | Axis.Self
+  | Axis.Attribute ->
+    true
+  | _ -> false
+
+let rec downward_check ~env ~filtered e =
+  match e with
+  | Var v -> List.mem v env
+  | Empty_seq | Context_item -> true
+  | Axis_step { axis; _ } -> downward_axis axis
+  | Path (a, b) | Sequence (a, b) | Union (a, b) | Intersect (a, b) ->
+    downward_check ~env ~filtered a && downward_check ~env ~filtered b
+  | Let { var; value; body } ->
+    downward_check ~env ~filtered value
+    && downward_check ~env:(var :: env) ~filtered body
+  | Call ("doc", [ Literal _ ]) -> true
+  | Filter (a, p) ->
+    filtered := true;
+    downward_check ~env ~filtered a && monotone_pred ~env ~filtered p
+  | _ -> false
+
+and monotone_pred ~env ~filtered e =
+  match e with
+  | And (a, b) | Or (a, b) ->
+    monotone_pred ~env ~filtered a && monotone_pred ~env ~filtered b
+  | Gen_cmp (_, a, b) | Val_cmp (_, a, b) ->
+    stable_operand ~env ~filtered a && stable_operand ~env ~filtered b
+  | e -> downward_check ~env ~filtered e
+
+(* Comparison operands whose value at an existing node a patch cannot
+   change: literals, and downward paths ending in an attribute step
+   (attribute values never change under subtree edits; only node
+   insertion/removal does, which the frontier covers). *)
+and stable_operand ~env ~filtered e =
+  match e with
+  | Literal _ -> true
+  | Axis_step { axis = Axis.Attribute; _ } -> true
+  | Path (a, b) ->
+    downward_check ~env ~filtered a && stable_operand ~env ~filtered b
+  | _ -> false
+
+let ivm_eligibility ?(stratified = false) (p : program) : ivm_class =
+  if count_ifps p <> 1 then
+    Ivm_ineligible "the program must be a single top-level fixed point"
+  else
+    match p.main with
+    | Ifp { var; seed; body } ->
+      if classify ~var ~seed ~body <> Terminates then
+        Ivm_ineligible "seed/body are not provably node-only"
+      else if
+        not
+          (Lang.Distributivity.check
+             ~functions:(program_functions p) ~stratified var body)
+      then Ivm_ineligible "recursion body is not syntactically distributive"
+      else begin
+        (* Globals extend the environment only when filter-free
+           downward themselves (they are re-evaluated against the
+           patched document by the maintenance engine). *)
+        let env0 =
+          List.fold_left
+            (fun env (v, e) ->
+              let f = ref false in
+              if downward_check ~env ~filtered:f e && not !f then v :: env
+              else env)
+            [] p.variables
+        in
+        let bf = ref false in
+        let sf = ref false in
+        if not (downward_check ~env:(var :: env0) ~filtered:bf body) then
+          Ivm_ineligible
+            "recursion body falls outside the downward maintenance grammar \
+             (child/descendant/self/attribute steps, union/intersect, \
+             insert-monotone predicates)"
+        else if not (downward_check ~env:env0 ~filtered:sf seed) then
+          Ivm_ineligible "seed falls outside the downward maintenance grammar"
+        else if !bf || !sf then Ivm_insert_only
+        else Ivm_full
+      end
+    | _ -> Ivm_ineligible "the fixed point is not the main expression"
+
 let apply_hints (p : program) (a : t) =
   let repairable =
     List.filter_map

@@ -90,6 +90,34 @@ val push_block_diag :
     body), and Figure 5 accepts the body. *)
 val scatter_eligible : ?stratified:bool -> Lang.Ast.program -> bool
 
+(** Incremental-view-maintenance eligibility of a prepared program.
+
+    - [Ivm_full]: single top-level fixed point, node-only, syntactically
+      distributive, and both seed and body stay in the {e filter-free
+      downward grammar} (child / descendant / descendant-or-self / self
+      / attribute steps, union, intersect, sequence, [let], variables,
+      [doc("…")] literals). Such results can be maintained under
+      insertions {e and} deletions: downward bodies derive only within
+      the producer's subtree, so deleting a subtree deletes every result
+      it supported and nothing else.
+    - [Ivm_insert_only]: as above but with filters, each restricted to
+      insert-monotone predicates (downward existence paths, [and]/[or],
+      comparisons whose operands are literals or attribute-ended
+      downward paths). Insertions are maintainable — a predicate on an
+      existing node can only flip on the re-fed ancestor spine — but
+      deletions may un-derive results, so they fall back to recompute.
+    - [Ivm_ineligible reason]: everything else; the cache entry is
+      dropped on any patch to a footprint document. *)
+type ivm_class = Ivm_full | Ivm_insert_only | Ivm_ineligible of string
+
+val ivm_eligibility : ?stratified:bool -> Lang.Ast.program -> ivm_class
+
+(** ["full" | "insert-only" | "ineligible"] — the [check] op's [ivm]
+    field. *)
+val ivm_string : ivm_class -> string
+
+val ivm_reason : ivm_class -> string option
+
 (** Apply {!Lang.Rewrite.distributivity_hint} to every
     [hint_repairable] IFP of the report; returns the rewritten program
     and how many hints were applied. *)

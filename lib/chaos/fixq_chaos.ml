@@ -9,7 +9,8 @@ type event = { point : string; fault : fault; seq : int }
 
 let points =
   [ "transport.send"; "transport.recv"; "coordinator.scatter";
-    "supervisor.ping"; "server.handle"; "fixpoint.round"; "store.read" ]
+    "supervisor.ping"; "server.handle"; "fixpoint.round"; "store.read";
+    "store.patch" ]
 
 let fault_to_string = function
   | Drop -> "drop"

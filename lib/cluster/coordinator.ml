@@ -44,11 +44,15 @@ type t = {
           different content or different load orders than [docs] and
           [loaded] record. Never acquired while holding [lock]. *)
   alive : (string, unit) Hashtbl.t;
-  docs : (string, int * string) Hashtbl.t;
-      (** uri → (load sequence, load-doc request line). The sequence is
-          the document's position in the global load order — fresh on
-          every (re)load, because each load allocates fresh node ids on
-          the workers that take it. [gather_keyed] sorts by it, and
+  docs : (string, int * string list) Hashtbl.t;
+      (** uri → (load sequence, request-line history: the load-doc line
+          followed by every patch-doc line applied since, in order).
+          Failover shipping and respawn replay re-send the whole
+          history so the recipient reconstructs the patched document.
+          The sequence is the document's position in the global load
+          order — fresh on every (re)load {e and} every patch, because
+          both allocate fresh node ids on the workers that take them.
+          [gather_keyed] sorts by it, and
           [order_ok] admits a worker to scatter (or prefers it for
           routed multi-document runs) only when the worker's own load
           order agrees, so position() enumeration and cross-document
@@ -179,8 +183,8 @@ let missing_docs t name uris =
       List.filter_map
         (fun uri ->
           match Hashtbl.find_opt t.docs uri with
-          | Some (seq, line) when not (Hashtbl.mem ords uri) ->
-            Some (seq, uri, line)
+          | Some (seq, lines) when not (Hashtbl.mem ords uri) ->
+            Some (seq, uri, lines)
           | _ -> None)
         uris
       |> List.sort compare)
@@ -198,20 +202,31 @@ let ensure_docs t name uris =
        not interleave — the worker would hold content or a load order
        the coordinator did not record *)
     doc_locked t (fun () ->
-        let rec push = function
+        (* a document's history (load line then patch lines) must land
+           whole: recording the uri only after the last line means a
+           partial replay leaves the worker out of the replica set *)
+        let rec push_lines uri = function
           | [] -> Ok ()
-          | (_, uri, line) :: rest -> (
+          | line :: rest -> (
             match send_retry t name ~timeout_ms:t.config.timeout_ms line with
             | Error e -> Error e
             | Ok resp -> (
               match Json.parse resp with
               | j when Json.bool_opt (Json.member "ok" j) = Some true ->
-                locked t (fun () -> record_loaded t name uri);
-                push rest
+                push_lines uri rest
               | _ -> Error (Printf.sprintf "replaying %s on %s failed" uri name)
               | exception Json.Parse_error _ ->
                 Error (Printf.sprintf "replaying %s on %s: bad response" uri
                          name)))
+        in
+        let rec push = function
+          | [] -> Ok ()
+          | (_, uri, lines) :: rest -> (
+            match push_lines uri lines with
+            | Error e -> Error e
+            | Ok () ->
+              locked t (fun () -> record_loaded t name uri);
+              push rest)
         in
         (* recompute under the lock: a racing shipper may have won *)
         push (missing_docs t name uris))
@@ -233,16 +248,24 @@ let on_worker_respawn t name =
             List.filter_map
               (fun uri ->
                 Option.map
-                  (fun (seq, line) -> (seq, uri, line))
+                  (fun (seq, lines) -> (seq, uri, lines))
                   (Hashtbl.find_opt t.docs uri))
               uris
             |> List.sort compare)
       in
       List.iter
-        (fun (_, uri, line) ->
-          match send_retry t name ~timeout_ms:t.config.timeout_ms line with
-          | Ok _ -> locked t (fun () -> record_loaded t name uri)
-          | Error _ -> ())
+        (fun (_, uri, doc_lines) ->
+          let ok =
+            List.for_all
+              (fun line ->
+                match
+                  send_retry t name ~timeout_ms:t.config.timeout_ms line
+                with
+                | Ok _ -> true
+                | Error _ -> false)
+              doc_lines
+          in
+          if ok then locked t (fun () -> record_loaded t name uri))
         lines)
 
 (* ------------------------------------------------------------------ *)
@@ -686,7 +709,7 @@ let handle_load_doc t ~id req uri =
                takes it, so the document moves to the END of the global
                load order: always a fresh sequence *)
             t.doc_seq <- t.doc_seq + 1;
-            Hashtbl.replace t.docs uri (t.doc_seq, line);
+            Hashtbl.replace t.docs uri (t.doc_seq, [ line ]);
             (* workers that held an older copy (stale replicas after a
                reload, earlier failover recipients) must be re-shipped
                the new line before they serve this document again *)
@@ -728,6 +751,100 @@ let handle_unload_doc t ~id req uri =
   Json.to_string
     (Protocol.ok_response ~id
        [ ("uri", Json.Str uri); ("generation", Json.of_int generation) ])
+
+(* A patch ships only to the workers currently holding the uri — the
+   shards owning the document — never the whole fleet: workers without
+   the document pick the patch up from the line history the next time
+   [ensure_docs] or a respawn replay lands the document on them. Each
+   holder rebuilds the patched subtree with fresh node ids, so (like a
+   reload) the document moves to the END of every holder's local load
+   order; recording a fresh sequence and re-recording ords keeps
+   [order_ok] honest. *)
+let handle_patch_doc t ~id req uri =
+  doc_locked t @@ fun () ->
+  let line = Json.to_string (Json.Obj (without [ "id" ] (obj_fields req))) in
+  let known = locked t (fun () -> Hashtbl.mem t.docs uri) in
+  if not known then
+    Json.to_string
+      (Protocol.error_response ~id
+         (Printf.sprintf "no document loaded under %S" uri))
+  else begin
+    let holders =
+      locked t (fun () ->
+          Hashtbl.fold
+            (fun name wd acc ->
+              if Hashtbl.mem wd.ords uri && Hashtbl.mem t.alive name then
+                name :: acc
+              else acc)
+            t.loaded []
+          |> List.sort compare)
+    in
+    let results =
+      List.map
+        (fun name ->
+          (name, send_retry t name ~timeout_ms:t.config.timeout_ms line))
+        holders
+    in
+    (* a protocol-level refusal (bad path, malformed payload) is
+       deterministic across holders: report it, leave the history
+       unchanged so replicas stay consistent *)
+    let worker_error =
+      List.find_map
+        (fun (_, r) ->
+          match r with
+          | Ok resp -> (
+            match Json.parse resp with
+            | j when Json.bool_opt (Json.member "ok" j) = Some false ->
+              Json.str_opt (Json.member "error" j)
+            | _ -> None
+            | exception Json.Parse_error _ -> None)
+          | Error _ -> None)
+        results
+    in
+    match worker_error with
+    | Some msg -> Json.to_string (Protocol.error_response ~id msg)
+    | None ->
+      let succeeded, failed =
+        List.partition_map
+          (fun (name, r) ->
+            match r with Ok _ -> Left name | Error _ -> Right name)
+          results
+      in
+      if succeeded = [] then
+        Json.to_string
+          (Protocol.error_response ~id
+             (Printf.sprintf "no live holder accepted patch for %s" uri))
+      else begin
+        let generation =
+          locked t (fun () ->
+              t.doc_seq <- t.doc_seq + 1;
+              (match Hashtbl.find_opt t.docs uri with
+               | Some (_, lines) ->
+                 Hashtbl.replace t.docs uri (t.doc_seq, lines @ [ line ])
+               | None -> ());
+              (* a holder that missed the patch holds stale content:
+                 drop it from the replica set so it gets the full
+                 history replayed before serving this uri again *)
+              List.iter
+                (fun name ->
+                  Hashtbl.remove (worker_docs t name).ords uri)
+                failed;
+              List.iter
+                (fun name ->
+                  Hashtbl.remove (worker_docs t name).ords uri;
+                  record_loaded t name uri)
+                succeeded;
+              t.generation <- t.generation + 1;
+              t.generation)
+        in
+        Json.to_string
+          (Protocol.ok_response ~id
+             [ ("uri", Json.Str uri);
+               ("generation", Json.of_int generation);
+               ("workers",
+                Json.List (List.map (fun w -> Json.Str w) succeeded)) ])
+      end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Query-shaped forwards that are not runs                             *)
@@ -943,6 +1060,8 @@ let handle_line t line =
         | Protocol.Load_doc { uri; _ } -> (handle_load_doc t ~id req uri, false)
         | Protocol.Unload_doc { uri } ->
           (handle_unload_doc t ~id req uri, false)
+        | Protocol.Patch_doc { uri; _ } ->
+          (handle_patch_doc t ~id req uri, false)
         | Protocol.Stats Protocol.Stats_json -> (handle_stats t ~id, false)
         | Protocol.Stats Protocol.Stats_prometheus ->
           ( Json.to_string

@@ -54,6 +54,25 @@ let find t key =
         t.misses <- t.misses + 1;
         None)
 
+let find_valid t key ~valid =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some node when valid node.value ->
+        t.hits <- t.hits + 1;
+        unlink t node;
+        push_front t node;
+        Some node.value
+      | Some node ->
+        (* present but stale: evict and account a miss, so staleness is
+           indistinguishable from absence to callers and stats alike *)
+        t.misses <- t.misses + 1;
+        unlink t node;
+        Hashtbl.remove t.table key;
+        None
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
+
 let put t key value =
   with_lock t (fun () ->
       match Hashtbl.find_opt t.table key with
@@ -97,5 +116,15 @@ let keys t =
       let rec go acc = function
         | None -> List.rev acc
         | Some node -> go (node.key :: acc) node.next
+      in
+      go [] t.first)
+
+(* A snapshot with no recency or counter effects — enumeration for
+   maintenance sweeps must not masquerade as cache traffic. *)
+let bindings t =
+  with_lock t (fun () ->
+      let rec go acc = function
+        | None -> List.rev acc
+        | Some node -> go ((node.key, node.value) :: acc) node.next
       in
       go [] t.first)

@@ -17,6 +17,11 @@ val create : ?capacity:int -> unit -> ('k, 'v) t
     or a miss. *)
 val find : ('k, 'v) t -> 'k -> 'v option
 
+(** [find_valid t k ~valid] — like {!find}, but an entry failing [valid]
+    is evicted and counted as a miss: staleness behaves exactly like
+    absence, both to the caller and in the hit/miss statistics. *)
+val find_valid : ('k, 'v) t -> 'k -> valid:('v -> bool) -> 'v option
+
 (** Insert or replace; promotes to most-recently-used, evicting the LRU
     entry if the cache was full. Does not touch the hit/miss
     counters. *)
@@ -31,3 +36,7 @@ val misses : ('k, 'v) t -> int
 
 (** Keys from most to least recently used (a debugging/stats aid). *)
 val keys : ('k, 'v) t -> 'k list
+
+(** Key/value snapshot, MRU first, with {e no} recency or counter
+    effects — for maintenance sweeps over live entries. *)
+val bindings : ('k, 'v) t -> ('k * 'v) list

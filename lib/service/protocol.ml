@@ -1,3 +1,5 @@
+module Patch = Fixq_xdm.Patch
+
 type doc_source =
   | From_xml of string
   | From_path of string
@@ -23,6 +25,7 @@ type request =
   | Plan of { query : string; stratified : bool option }
   | Load_doc of { uri : string; source : doc_source }
   | Unload_doc of { uri : string }
+  | Patch_doc of { uri : string; op : Patch.op }
   | Stats of stats_format
   | Ping
   | Shutdown
@@ -124,6 +127,52 @@ let parse_request j =
       match Json.str_opt (Json.member "uri" j) with
       | Some uri -> Ok (Unload_doc { uri })
       | None -> Error "missing string member \"uri\"")
+    | "patch-doc" -> (
+      match
+        ( Json.str_opt (Json.member "uri" j),
+          Json.str_opt (Json.member "path" j) )
+      with
+      | (None, _) -> Error "missing string member \"uri\""
+      | (_, None) -> Error "missing string member \"path\""
+      | (Some uri, Some path) ->
+        let xml_of () =
+          match Json.str_opt (Json.member "xml" j) with
+          | Some xml -> Ok xml
+          | None -> Error "missing string member \"xml\""
+        in
+        let* op =
+          match Json.str_opt (Json.member "action" j) with
+          | Some "insert" ->
+            let* xml = xml_of () in
+            let* position =
+              match Json.str_opt (Json.member "position" j) with
+              | None -> Ok Patch.Last
+              | Some s -> (
+                match Patch.position_of_string s with
+                | Some p -> Ok p
+                | None ->
+                  Error
+                    (Printf.sprintf
+                       "unknown position %S \
+                        (into|into-first|into-last|before|after)"
+                       s))
+            in
+            Ok (Patch.Insert { path; position; xml })
+          | Some "delete" -> Ok (Patch.Delete { path })
+          | Some "replace" ->
+            let* xml = xml_of () in
+            Ok (Patch.Replace { path; xml })
+          | Some "set-text" -> (
+            match Json.str_opt (Json.member "text" j) with
+            | Some text -> Ok (Patch.Set_text { path; text })
+            | None -> Error "missing string member \"text\"")
+          | Some other ->
+            Error
+              (Printf.sprintf
+                 "unknown action %S (insert|delete|replace|set-text)" other)
+          | None -> Error "missing string member \"action\""
+        in
+        Ok (Patch_doc { uri; op }))
     | "stats" -> (
       match Json.str_opt (Json.member "format" j) with
       | None | Some "json" -> Ok (Stats Stats_json)
@@ -133,6 +182,80 @@ let parse_request j =
     | "ping" -> Ok Ping
     | "shutdown" -> Ok Shutdown
     | other -> Error (Printf.sprintf "unknown op %S" other))
+
+(* [--patch] convenience grammar: URI ACTION [PAYLOAD] at /PATH
+   [POSITION]. The payload/path boundary is the {e last} " at " — paths
+   contain no spaces, so payload XML may mention "at" freely. *)
+let parse_patch_spec spec =
+  let split_first s =
+    match String.index_opt s ' ' with
+    | None -> (s, "")
+    | Some i ->
+      ( String.sub s 0 i,
+        String.trim (String.sub s (i + 1) (String.length s - i - 1)) )
+  in
+  let uri, rest = split_first (String.trim spec) in
+  let action, rest = split_first rest in
+  let usage = "expected \"URI ACTION [PAYLOAD] at /PATH [POSITION]\"" in
+  if uri = "" || action = "" then Error ("patch spec: " ^ usage)
+  else begin
+    let padded = " " ^ rest in
+    let n = String.length padded in
+    let last_at = ref None in
+    for i = 0 to n - 4 do
+      if String.sub padded i 4 = " at " then last_at := Some i
+    done;
+    match !last_at with
+    | None -> Error ("patch spec: missing \" at /PATH\"; " ^ usage)
+    | Some i ->
+      let payload = String.trim (String.sub padded 0 i) in
+      let tail = String.trim (String.sub padded (i + 4) (n - i - 4)) in
+      let path, pos_str = split_first tail in
+      let ( let* ) = Result.bind in
+      let* position =
+        match pos_str with
+        | "" -> Ok Patch.Last
+        | s -> (
+          match Patch.position_of_string s with
+          | Some p -> Ok p
+          | None ->
+            Error
+              (Printf.sprintf
+                 "patch spec: unknown position %S \
+                  (into|into-first|into-last|before|after)"
+                 s))
+      in
+      let* () =
+        if path = "" then Error ("patch spec: missing path; " ^ usage)
+        else Ok ()
+      in
+      let need_payload what =
+        if payload = "" then
+          Error (Printf.sprintf "patch spec: %s needs %s" action what)
+        else Ok payload
+      in
+      let* op =
+        match action with
+        | "insert" ->
+          let* xml = need_payload "an XML payload" in
+          Ok (Patch.Insert { path; position; xml })
+        | "replace" ->
+          let* xml = need_payload "an XML payload" in
+          Ok (Patch.Replace { path; xml })
+        | "set-text" -> Ok (Patch.Set_text { path; text = payload })
+        | "delete" ->
+          if payload <> "" then
+            Error "patch spec: delete takes no payload"
+          else Ok (Patch.Delete { path })
+        | other ->
+          Error
+            (Printf.sprintf
+               "patch spec: unknown action %S \
+                (insert|delete|replace|set-text)"
+               other)
+      in
+      Ok (uri, op)
+  end
 
 let with_id ~id fields =
   match id with Json.Null -> fields | id -> ("id", id) :: fields

@@ -29,6 +29,16 @@
       ["generate"] ("xmark"|"curriculum"|"play"|"hospital", with
       optional ["size"], ["seed"]).
     - [{"op":"unload-doc","uri":U}]
+    - [{"op":"patch-doc","uri":U,"action":A,"path":P, ...}] — apply a
+      structural edit to the document registered under [U] at element
+      path [P] ([/site/people[2]] — child steps, 1-based selectors).
+      [A] is ["insert"] (with ["xml"], optional ["position"]:
+      "into"|"into-first"|"into-last"|"before"|"after", default
+      into-last), ["delete"], ["replace"] (with ["xml"]), or
+      ["set-text"] (with ["text"]). Eligible cached fixpoint results
+      are maintained differentially instead of recomputed (see
+      {!Fixq_ivm.Ivm}); the response reports ∆ sizes and per-entry
+      maintenance outcomes.
     - [{"op":"stats"}] — cache counters, per-query latency aggregates.
       With ["format":"prometheus"], the response instead carries a
       ["prometheus"] member with the text exposition of the same
@@ -68,6 +78,7 @@ type request =
   | Plan of { query : string; stratified : bool option }
   | Load_doc of { uri : string; source : doc_source }
   | Unload_doc of { uri : string }
+  | Patch_doc of { uri : string; op : Fixq_xdm.Patch.op }
   | Stats of stats_format
   | Ping
   | Shutdown
@@ -75,6 +86,13 @@ type request =
 (** Parse a request object. [Error msg] on unknown ops, missing or
     ill-typed members. *)
 val parse_request : Json.t -> (request, string) result
+
+(** Parse the CLI convenience syntax
+    ["URI ACTION [PAYLOAD] at /PATH [POSITION]"], e.g.
+    ["auction.xml insert <bidder/> at /site/people into-first"] or
+    ["auction.xml delete at /site/regions"]. The payload/path boundary
+    is the last [" at "]. Returns the URI and the structured op. *)
+val parse_patch_spec : string -> (string * Fixq_xdm.Patch.op, string) result
 
 (** The ["id"] member ([Null] when absent). *)
 val request_id : Json.t -> Json.t

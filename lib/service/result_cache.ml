@@ -1,4 +1,4 @@
-type key = { hash : string; config : string; generation : int }
+type key = { hash : string; config : string }
 
 type entry = {
   serialized : string;
@@ -6,16 +6,35 @@ type entry = {
   nodes_fed : int;
   depth : int;
   wall_ms : float;
+  footprint : (string * int) list;
 }
 
 type t = (string, entry) Lru.t
 
-let render { hash; config; generation } =
-  Printf.sprintf "%s|%s|%d" hash config generation
+let render { hash; config } = hash ^ "|" ^ config
+
+let parse rendered =
+  match String.index_opt rendered '|' with
+  | Some i ->
+    { hash = String.sub rendered 0 i;
+      config =
+        String.sub rendered (i + 1) (String.length rendered - i - 1) }
+  | None -> { hash = rendered; config = "" }
+
+let fresh ~current entry =
+  List.for_all (fun (uri, gen) -> current uri = gen) entry.footprint
 
 let create ?(capacity = 256) () : t = Lru.create ~capacity ()
-let find t key = Lru.find t (render key)
+
+let find t key ~current =
+  Lru.find_valid t (render key) ~valid:(fresh ~current)
+
 let put t key entry = Lru.put t (render key) entry
+let remove t key = Lru.remove t (render key)
+
+let bindings t =
+  List.map (fun (k, entry) -> (parse k, entry)) (Lru.bindings t)
+
 let clear = Lru.clear
 let length = Lru.length
 let hits = Lru.hits

@@ -1,18 +1,22 @@
 (** The result cache: serialized query answers keyed by
-    [(query hash, engine/mode configuration, registry generation)].
+    [(query hash, engine/mode configuration)] and guarded by the
+    {e per-document generation footprint} recorded when the answer was
+    computed.
 
-    The generation component makes invalidation precise without any
-    bookkeeping: a [load-doc] bumps the registry generation, every
-    subsequent lookup therefore misses, and the stale entries age out
-    of the LRU on their own. An entry stores the serialized result plus
-    the Table-2 instrumentation (nodes fed back, recursion depth) so a
-    cache hit can answer with the same statistics the original
-    execution reported. *)
+    Instead of baking the global registry generation into the key — and
+    so losing every cached answer whenever {e any} document loads — each
+    entry remembers which documents its execution actually read and at
+    which per-doc generation ({!Fixq_xdm.Doc_registry.track}). A lookup
+    revalidates that footprint: loading an unrelated document leaves the
+    entry live, while touching a footprint document evicts it (counted
+    as a miss, exactly as if it had never been cached). An entry stores
+    the serialized result plus the Table-2 instrumentation (nodes fed
+    back, recursion depth) so a cache hit can answer with the same
+    statistics the original execution reported. *)
 
 type key = {
   hash : string;  (** prepared-query hash *)
   config : string;  (** engine/mode/stratified discriminator *)
-  generation : int;  (** registry generation the result was computed at *)
 }
 
 type entry = {
@@ -21,13 +25,26 @@ type entry = {
   nodes_fed : int;
   depth : int;
   wall_ms : float;  (** cost of the original execution *)
+  footprint : (string * int) list;
+      (** sorted [(uri, doc_generation)] pairs read by the execution *)
 }
 
 type t
 
 val create : ?capacity:int -> unit -> t
-val find : t -> key -> entry option
+
+(** [find t key ~current] — [current uri] must return the live per-doc
+    generation. A footprint mismatch evicts the entry and counts a
+    miss. *)
+val find : t -> key -> current:(string -> int) -> entry option
+
 val put : t -> key -> entry -> unit
+val remove : t -> key -> unit
+
+(** Live entries, MRU first, without touching hit/miss counters or
+    recency — the [patch-doc] maintenance sweep. *)
+val bindings : t -> (key * entry) list
+
 val clear : t -> unit
 val length : t -> int
 val hits : t -> int

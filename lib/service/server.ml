@@ -1,6 +1,7 @@
 module Xdm = Fixq_xdm
 module Diag = Fixq_analysis.Diag
 module Analyze = Fixq_analysis.Analyze
+module Ivm = Fixq_ivm.Ivm
 
 type config = {
   workers : int;
@@ -24,6 +25,9 @@ type t = {
   results : Result_cache.t;
   metrics : Metrics.t;
   governor : Governor.t;
+  ivm : Ivm.t;
+      (** maintained fixpoint entries mirroring eligible result-cache
+          entries; consulted by [patch-doc] *)
   started_at : float;
   ranks : (int, (int, int) Hashtbl.t) Hashtbl.t;
       (** per-document preorder ranks, keyed by root node id — node ids
@@ -41,6 +45,9 @@ let create ?(config = default_config) ?(store = Store.create ()) () =
     prepared = Lru.create ~capacity:config.prepared_capacity ();
     results = Result_cache.create ~capacity:config.result_capacity ();
     metrics = Metrics.create (); governor = Governor.create config.governor;
+    ivm =
+      Ivm.create ~capacity:config.result_capacity
+        ~registry:(Store.registry store) ();
     started_at = Unix.gettimeofday ();
     ranks = Hashtbl.create 8; ranks_lock = Mutex.create ();
     analysis_counters = Hashtbl.create 8; analysis_lock = Mutex.create () }
@@ -211,8 +218,7 @@ let handle_run t ~id
   let rkey =
     { Result_cache.hash = prepared.Prepared.hash;
       config =
-        Printf.sprintf "%s:%s:%b" engine_str (mode_string run_mode) stratified;
-      generation }
+        Printf.sprintf "%s:%s:%b" engine_str (mode_string run_mode) stratified }
   in
   let respond ~result_status ?(extra = []) (entry : Result_cache.entry) =
     Protocol.ok_response ~id
@@ -232,7 +238,8 @@ let handle_run t ~id
      keyed item list cannot be rebuilt from a cached serialization, and
      the coordinator only scatters cold or invalidated work anyway. *)
   let cache = cache && partition = None in
-  match (if cache then Result_cache.find t.results rkey else None) with
+  let current uri = Store.doc_generation t.store uri in
+  match (if cache then Result_cache.find t.results rkey ~current else None) with
   | Some entry -> respond ~result_status:"hit" entry
   | None ->
     let deadline =
@@ -249,25 +256,33 @@ let handle_run t ~id
       | Some (index, count) ->
         Fixq.partition_first_seed ~index ~count prepared.Prepared.program
     in
-    let report =
-      Governor.with_memory_budget t.governor (fun ~round_check ->
-          Fixq.run_program ~registry:(Store.registry t.store) ~max_iterations
-            ~stratified ?deadline ~round_hook:round_check
-            ?max_call_depth:(Governor.config t.governor).Governor.max_call_depth
-            ~engine:fixq_engine program)
+    let report, footprint =
+      Store.track t.store (fun () ->
+          Governor.with_memory_budget t.governor (fun ~round_check ->
+              Fixq.run_program ~registry:(Store.registry t.store)
+                ~max_iterations ~stratified ?deadline ~round_hook:round_check
+                ?max_call_depth:
+                  (Governor.config t.governor).Governor.max_call_depth
+                ~engine:fixq_engine program))
     in
     let entry =
       { Result_cache.serialized =
           Xdm.Serializer.seq_to_string report.Fixq.result;
         used_delta = report.Fixq.used_delta;
         nodes_fed = report.Fixq.nodes_fed; depth = report.Fixq.depth;
-        wall_ms = report.Fixq.wall_ms }
+        wall_ms = report.Fixq.wall_ms; footprint }
     in
     (* Cache only when no document changed under the evaluation: a
-       concurrent load-doc would make this entry's generation stamp a
+       concurrent load-doc would make this entry's footprint stamps a
        lie. *)
-    if cache && Store.generation t.store = generation then
+    if cache && Store.generation t.store = generation then begin
       Result_cache.put t.results rkey entry;
+      (* Eligible fixpoints additionally become maintained entries so a
+         later patch-doc can update the cached bytes differentially. *)
+      Ivm.adopt t.ivm ~hash:rkey.Result_cache.hash
+        ~config:rkey.Result_cache.config ~program:prepared.Prepared.program
+        ~stratified ~max_iterations ~result:report.Fixq.result ~footprint
+    end;
     Metrics.record t.metrics ~key:prepared.Prepared.hash
       ~label:(preview query) ~ms:report.Fixq.wall_ms;
     let extra =
@@ -325,6 +340,10 @@ let handle_check t ~id query stratified =
          (Option.map
             (fun r -> r.Analyze.node_only_seed && r.Analyze.node_only_body)
             first));
+      ("ivm",
+       Json.Str
+         (Analyze.ivm_string
+            (Analyze.ivm_eligibility ~stratified p.Prepared.program)));
       ("blocking",
        (match p.Prepared.push with
        | Some { Fixq_algebra.Push.blocking = Some b; _ } -> Json.Str b
@@ -358,9 +377,76 @@ let handle_load_doc t ~id uri (source : Protocol.doc_source) =
         match kind with "xmark" -> 0.002 | "hospital" -> 1000.0 | _ -> 100.0)
     in
     Store.load_generated t.store ~uri ~kind ~size ~seed);
+  (* A wholesale replacement leaves nothing to remap a maintained entry
+     through — only patch-doc preserves node identity. *)
+  Ivm.on_unload t.ivm ~uri;
   Protocol.ok_response ~id
     [ ("uri", Json.Str uri);
       ("generation", Json.of_int (Store.generation t.store)) ]
+
+let handle_patch_doc t ~id uri op =
+  let t0 = Unix.gettimeofday () in
+  let delta = Store.patch t.store ~uri op in
+  let outcomes =
+    Ivm.on_patch t.ivm ~uri ~op delta
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let current u = Store.doc_generation t.store u in
+  let maintained = ref 0 in
+  let dropped = ref 0 in
+  let entry_rows =
+    List.map
+      (fun ((hash, config), outcome) ->
+        let key = { Result_cache.hash; config } in
+        let base =
+          [ ("hash", Json.Str hash); ("config", Json.Str config) ]
+        in
+        match (outcome : Ivm.outcome) with
+        | Ivm.Maintained { serialized; delta_count; rounds } ->
+          incr maintained;
+          (match
+             List.find_opt
+               (fun (k, _) -> k = key)
+               (Result_cache.bindings t.results)
+           with
+          | Some (_, entry) ->
+            (* Refresh the cached bytes in place. Only the patched
+               document's stamp advances; the rest of the footprint
+               keeps its recorded generations, so an unrelated
+               concurrent load still invalidates as before. *)
+            Result_cache.put t.results key
+              { entry with
+                Result_cache.serialized;
+                footprint =
+                  List.map
+                    (fun (u, g) -> (u, if u = uri then current u else g))
+                    entry.Result_cache.footprint }
+          | None -> ());
+          Json.Obj
+            (base
+            @ [ ("outcome", Json.Str "maintained");
+                ("delta", Json.of_int delta_count);
+                ("rounds", Json.of_int rounds) ])
+        | Ivm.Dropped reason ->
+          incr dropped;
+          Result_cache.remove t.results key;
+          Json.Obj
+            (base
+            @ [ ("outcome", Json.Str "recompute");
+                ("reason", Json.Str reason) ]))
+      outcomes
+  in
+  Protocol.ok_response ~id
+    [ ("uri", Json.Str uri);
+      ("path", Json.Str (Xdm.Patch.path_of_op op));
+      ("generation", Json.of_int (Store.generation t.store));
+      ("doc_generation", Json.of_int (current uri));
+      ("inserted", Json.of_int delta.Xdm.Patch.inserted_count);
+      ("deleted", Json.of_int (List.length delta.Xdm.Patch.deleted));
+      ("maintained", Json.of_int !maintained);
+      ("recompute", Json.of_int !dropped);
+      ("entries", Json.List entry_rows);
+      ("wall_ms", Json.Num ((Unix.gettimeofday () -. t0) *. 1000.0)) ]
 
 let cache_stats_json ~hits ~misses ~size ~capacity =
   Json.Obj
@@ -442,6 +528,16 @@ let prometheus_stats t =
       counter_family "fixq_refused_queries_total"
         [ ("reason=\"may-diverge\"", n) ]
     | None -> ()));
+  gauge "fixq_ivm_entries" (string_of_int (Ivm.size t.ivm));
+  (match Ivm.counters t.ivm with
+  | [] -> ()
+  | rows ->
+    counter_family "fixq_ivm_maintained_total"
+      (List.map (fun (h, (m, _, _)) -> (Printf.sprintf "query=%S" h, m)) rows);
+    counter_family "fixq_ivm_fallback_recompute_total"
+      (List.map (fun (h, (_, f, _)) -> (Printf.sprintf "query=%S" h, f)) rows);
+    counter_family "fixq_ivm_delta_nodes_total"
+      (List.map (fun (h, (_, _, d)) -> (Printf.sprintf "query=%S" h, d)) rows));
   Buffer.add_string buf (Metrics.to_prometheus ~prefix:"fixq" t.metrics);
   Buffer.contents buf
 
@@ -479,6 +575,23 @@ let handle_stats t ~id =
               (List.map
                  (fun (k, v) -> (k, Json.of_int v))
                  (analysis_counter_rows t)));
+           ("ivm",
+            (let m, f, d = Ivm.totals t.ivm in
+             Json.Obj
+               [ ("entries", Json.of_int (Ivm.size t.ivm));
+                 ("maintained_total", Json.of_int m);
+                 ("fallback_recompute_total", Json.of_int f);
+                 ("delta_nodes_total", Json.of_int d);
+                 ("queries",
+                  Json.Obj
+                    (List.map
+                       (fun (hash, (m, f, d)) ->
+                         ( hash,
+                           Json.Obj
+                             [ ("maintained", Json.of_int m);
+                               ("fallback_recompute", Json.of_int f);
+                               ("delta_nodes", Json.of_int d) ] ))
+                       (Ivm.counters t.ivm))) ]));
            ("uptime_ms",
             Json.Num ((Unix.gettimeofday () -. t.started_at) *. 1000.0)) ]) ]
 
@@ -527,10 +640,13 @@ let handle t request =
             (handle_load_doc t ~id uri source, false)
           | Protocol.Unload_doc { uri } ->
             Store.unload t.store uri;
+            Ivm.on_unload t.ivm ~uri;
             ( Protocol.ok_response ~id
                 [ ("uri", Json.Str uri);
                   ("generation", Json.of_int (Store.generation t.store)) ],
               false )
+          | Protocol.Patch_doc { uri; op } ->
+            (handle_patch_doc t ~id uri op, false)
           | Protocol.Stats Protocol.Stats_json -> (handle_stats t ~id, false)
           | Protocol.Stats Protocol.Stats_prometheus ->
             ( Protocol.ok_response ~id

@@ -68,3 +68,30 @@ let load_generated t ~uri ~kind ~size ~seed =
 
 let unload t uri = Xdm.Doc_registry.unregister ~registry:t.reg uri
 let uris t = Xdm.Doc_registry.uris ~registry:t.reg ()
+
+let doc_generation t uri = Xdm.Doc_registry.doc_generation ~registry:t.reg uri
+let track t f = Xdm.Doc_registry.track ~registry:t.reg f
+
+let chaos_patch_point uri =
+  match Fixq_chaos.check "store.patch" with
+  | None -> ()
+  | Some (Fixq_chaos.Delay s) -> Fixq_chaos.sleep s
+  | Some Fixq_chaos.Oom -> raise Out_of_memory
+  | Some Fixq_chaos.Kill -> Fixq_chaos.kill_self ()
+  | Some (Fixq_chaos.Drop | Fixq_chaos.Truncate) ->
+    raise (Error (Printf.sprintf "chaos: injected patch failure on %s" uri))
+
+(* The chaos point fires before any mutation: a killed worker leaves the
+   registry exactly as it was, so a respawn that replays the document
+   history (load + patches) converges to the same tree. *)
+let patch t ~uri op =
+  chaos_patch_point uri;
+  match Xdm.Doc_registry.find ~registry:t.reg uri with
+  | None -> raise (Error (Printf.sprintf "no document loaded under %S" uri))
+  | Some root -> (
+    match Xdm.Patch.apply root op with
+    | delta ->
+      Xdm.Doc_registry.register ~registry:t.reg uri delta.Xdm.Patch.new_root;
+      delta
+    | exception Xdm.Patch.Patch_error msg ->
+      raise (Error (Printf.sprintf "cannot patch %S: %s" uri msg)))

@@ -35,3 +35,20 @@ val load_generated :
 val unload : t -> string -> unit
 
 val uris : t -> string list
+
+(** Per-document generation stamp
+    ({!Fixq_xdm.Doc_registry.doc_generation}). *)
+val doc_generation : t -> string -> int
+
+(** Footprint-recording wrapper ({!Fixq_xdm.Doc_registry.track}): run
+    [f] and report which documents it read, at which generations. *)
+val track : t -> (unit -> 'a) -> 'a * (string * int) list
+
+(** [patch t ~uri op] applies a structural edit to the document
+    registered under [uri] and re-registers the patched tree (bumping
+    its per-doc generation), returning the structured delta for
+    incremental maintenance. Raises {!Error} when nothing is loaded
+    under [uri] or the edit is invalid. Subject to the ["store.patch"]
+    chaos point, which fires {e before} any mutation so a killed worker
+    can be replayed to a consistent state. *)
+val patch : t -> uri:string -> Fixq_xdm.Patch.op -> Fixq_xdm.Patch.delta

@@ -1,11 +1,17 @@
 type t = {
   docs : (string, Node.t) Hashtbl.t;
+  gens : (string, int) Hashtbl.t;
+      (* per-URI generation stamps; persist across unregister so a
+         re-registered URI never reuses an old stamp *)
   lock : Mutex.t;
   mutable generation : int;
+  mutable trackers : (string -> unit) list;
+      (* footprint callbacks, notified on every successful [find] *)
 }
 
 let create () : t =
-  { docs = Hashtbl.create 8; lock = Mutex.create (); generation = 0 }
+  { docs = Hashtbl.create 8; gens = Hashtbl.create 8;
+    lock = Mutex.create (); generation = 0; trackers = [] }
 
 let default : t = create ()
 
@@ -13,18 +19,30 @@ let with_lock registry f =
   Mutex.lock registry.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock registry.lock) f
 
+(* Callers hold the lock. *)
+let bump_doc registry uri =
+  Hashtbl.replace registry.gens uri
+    (1 + Option.value ~default:0 (Hashtbl.find_opt registry.gens uri))
+
 let register ?(registry = default) uri doc =
   Node.set_uri doc uri;
   with_lock registry (fun () ->
       Hashtbl.replace registry.docs uri doc;
+      bump_doc registry uri;
       registry.generation <- registry.generation + 1)
 
 let unregister ?(registry = default) uri =
   with_lock registry (fun () ->
       if Hashtbl.mem registry.docs uri then begin
         Hashtbl.remove registry.docs uri;
+        bump_doc registry uri;
         registry.generation <- registry.generation + 1
       end)
+
+let notify registry uri =
+  match with_lock registry (fun () -> registry.trackers) with
+  | [] -> ()
+  | cbs -> List.iter (fun cb -> cb uri) cbs
 
 (* Fires only on the filesystem fallback — registered documents are in
    memory and have no read to fail. *)
@@ -40,7 +58,9 @@ let chaos_read_point () =
 
 let find ?(registry = default) uri =
   match with_lock registry (fun () -> Hashtbl.find_opt registry.docs uri) with
-  | Some d -> Some d
+  | Some d ->
+    notify registry uri;
+    Some d
   | None ->
     if (not (chaos_read_point ())) && Sys.file_exists uri then begin
       match
@@ -57,19 +77,28 @@ let find ?(registry = default) uri =
       | s -> (
         match Xml_parser.parse_string ~uri s with
         | doc ->
-          with_lock registry (fun () ->
-              match Hashtbl.find_opt registry.docs uri with
-              | Some d -> Some d  (* lost a race; keep doc stability *)
-              | None ->
-                Hashtbl.replace registry.docs uri doc;
-                registry.generation <- registry.generation + 1;
-                Some doc)
+          let found =
+            with_lock registry (fun () ->
+                match Hashtbl.find_opt registry.docs uri with
+                | Some d -> Some d  (* lost a race; keep doc stability *)
+                | None ->
+                  Hashtbl.replace registry.docs uri doc;
+                  bump_doc registry uri;
+                  registry.generation <- registry.generation + 1;
+                  Some doc)
+          in
+          notify registry uri;
+          found
         | exception Xml_parser.Parse_error _ -> None)
     end
     else None
 
 let generation ?(registry = default) () =
   with_lock registry (fun () -> registry.generation)
+
+let doc_generation ?(registry = default) uri =
+  with_lock registry (fun () ->
+      Option.value ~default:0 (Hashtbl.find_opt registry.gens uri))
 
 let uris ?(registry = default) () =
   with_lock registry (fun () ->
@@ -78,5 +107,33 @@ let uris ?(registry = default) () =
 
 let clear ?(registry = default) () =
   with_lock registry (fun () ->
+      Hashtbl.iter (fun uri _ -> bump_doc registry uri) registry.docs;
       Hashtbl.reset registry.docs;
       registry.generation <- registry.generation + 1)
+
+let track ?(registry = default) f =
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let seen_lock = Mutex.create () in
+  let cb uri =
+    Mutex.lock seen_lock;
+    Hashtbl.replace seen uri ();
+    Mutex.unlock seen_lock
+  in
+  with_lock registry (fun () ->
+      registry.trackers <- cb :: registry.trackers);
+  let detach () =
+    with_lock registry (fun () ->
+        registry.trackers <- List.filter (fun c -> c != cb) registry.trackers)
+  in
+  match f () with
+  | v ->
+    detach ();
+    let fp =
+      Hashtbl.fold (fun uri () acc -> uri :: acc) seen []
+      |> List.sort String.compare
+      |> List.map (fun uri -> (uri, doc_generation ~registry uri))
+    in
+    (v, fp)
+  | exception e ->
+    detach ();
+    raise e

@@ -36,6 +36,22 @@ val find : ?registry:t -> string -> Node.t option
     a fresh registry. *)
 val generation : ?registry:t -> unit -> int
 
+(** [doc_generation uri] — per-document generation stamp: how many times
+    {e this} URI's binding changed ({!register}, {!unregister},
+    {!clear}, fallback loads). [0] for a URI never seen. Stamps persist
+    across {!unregister}, so a re-registered URI never repeats one.
+    Fine-grained consumers (the result-cache footprint) key on these
+    instead of the global {!generation}, so an unrelated [load-doc] no
+    longer invalidates everything. *)
+val doc_generation : ?registry:t -> string -> int
+
+(** [track f] runs [f ()] while recording every URI that {!find}
+    resolves in this registry — from any thread, which over-approximates
+    the footprint under concurrency and is therefore safe (it can only
+    over-invalidate). Returns [f]'s result together with the sorted
+    [(uri, doc_generation uri)] footprint observed at completion. *)
+val track : ?registry:t -> (unit -> 'a) -> 'a * (string * int) list
+
 (** Registered URIs, sorted. *)
 val uris : ?registry:t -> unit -> string list
 

@@ -330,6 +330,138 @@ let elements_by_name n nm =
   | None -> None
   | Some t -> Some (Option.value ~default:[||] (Hashtbl.find_opt t nm))
 
+(* ------------------------------------------------------------------ *)
+(* Patch rebuild                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type patch_action =
+  | Pa_delete
+  | Pa_replace of t
+  | Pa_insert_child of t * [ `First | `Last ]
+  | Pa_insert_sibling of t * [ `Before | `After ]
+  | Pa_set_text of string
+
+(* In-place edits would break the id-is-document-order invariant (a
+   node inserted mid-tree cannot receive an id between its neighbours'),
+   which the accumulator bitmaps, ddo and the name index all rely on.
+   So a patch rebuilds the whole tree with fresh preorder ids — an
+   O(|doc|) pointer walk with no query evaluation — and reports how old
+   ids map to surviving new nodes, which inserted subtrees are new, and
+   which old ids disappeared. *)
+let rebuild_patched old_root ~target ~action =
+  let remap : (int, t) Hashtbl.t = Hashtbl.create 1024 in
+  let inserted = ref [] in
+  let deleted = ref [] in
+  let record_deleted old =
+    let rec go n =
+      deleted := n.id :: !deleted;
+      Array.iter (fun a -> deleted := a.id :: !deleted) n.attributes;
+      Array.iter go n.children
+    in
+    go old
+  in
+  (* Templates are deep-copied at their splice point, so the copies'
+     fresh ids land exactly where document order puts them. *)
+  let insert_copy template =
+    let n = deep_copy template in
+    inserted := n :: !inserted;
+    n
+  in
+  let remember old n =
+    Hashtbl.replace remap old.id n;
+    n
+  in
+  let rec copy_kids olds =
+    List.concat_map
+      (fun c ->
+        if c == target then
+          match action with
+          | Pa_delete ->
+            record_deleted c;
+            []
+          | Pa_insert_sibling (tpl, `Before) ->
+            let n = insert_copy tpl in
+            let c' = copy_one c in
+            [ n; c' ]
+          | Pa_insert_sibling (tpl, `After) ->
+            let c' = copy_one c in
+            let n = insert_copy tpl in
+            [ c'; n ]
+          | Pa_replace _ | Pa_insert_child _ | Pa_set_text _ -> [ copy_one c ]
+        else [ copy_one c ])
+      (Array.to_list olds)
+  and copy_one old =
+    if old == target then
+      match action with
+      | Pa_replace tpl ->
+        record_deleted old;
+        insert_copy tpl
+      | Pa_set_text text when old.kind = Text || old.kind = Comment ->
+        remember old (mk old.kind None text)
+      | _ -> copy_plain old
+    else copy_plain old
+  and copy_plain old =
+    match old.kind with
+    | Text -> remember old (mk Text None old.content)
+    | Comment -> remember old (mk Comment None old.content)
+    | Pi -> remember old (mk Pi old.name old.content)
+    | Attribute -> remember old (mk Attribute old.name old.content)
+    | Element ->
+      let e = remember old (mk Element old.name "") in
+      let attrs =
+        Array.map
+          (fun a ->
+            let a' = remember a (mk Attribute a.name a.content) in
+            a'.parent <- Some e;
+            a')
+          old.attributes
+      in
+      e.attributes <- attrs;
+      let kids =
+        if old == target then
+          match action with
+          | Pa_insert_child (tpl, `First) ->
+            let n = insert_copy tpl in
+            n :: copy_kids old.children
+          | Pa_insert_child (tpl, `Last) ->
+            let kids = copy_kids old.children in
+            let n = insert_copy tpl in
+            kids @ [ n ]
+          | Pa_set_text text ->
+            Array.iter record_deleted old.children;
+            let tn = mk Text None text in
+            inserted := tn :: !inserted;
+            [ tn ]
+          | Pa_delete | Pa_replace _ | Pa_insert_sibling _ ->
+            copy_kids old.children
+        else copy_kids old.children
+      in
+      let kids = Array.of_list kids in
+      Array.iter (fun c -> c.parent <- Some e) kids;
+      e.children <- kids;
+      e
+    | Document ->
+      let d = remember old (mk Document None "") in
+      let meta =
+        match old.doc with
+        | Some m ->
+          { uri = m.uri; id_attribute_names = m.id_attribute_names;
+            id_index = None; idref_attribute_names = m.idref_attribute_names;
+            idref_index = None; name_index = Ni_unbuilt }
+        | None ->
+          { uri = None; id_attribute_names = []; id_index = None;
+            idref_attribute_names = []; idref_index = None;
+            name_index = Ni_unbuilt }
+      in
+      d.doc <- Some meta;
+      let kids = Array.of_list (copy_kids old.children) in
+      Array.iter (fun c -> c.parent <- Some d) kids;
+      d.children <- kids;
+      d
+  in
+  let new_root = copy_one old_root in
+  (new_root, remap, List.rev !inserted, !deleted)
+
 let pp ppf n =
   match n.kind with
   | Document -> Format.fprintf ppf "document-node(#%d)" n.id

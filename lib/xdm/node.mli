@@ -143,4 +143,35 @@ val subtree_max_id : t -> int
     validation failed); callers must then walk the tree. *)
 val elements_by_name : t -> string -> t array option
 
+(** One structural edit applied during a {!rebuild_patched} walk.
+    Template nodes ([Pa_replace], [Pa_insert_*]) are deep-copied at
+    their splice point so their fresh ids land in document order. *)
+type patch_action =
+  | Pa_delete
+  | Pa_replace of t
+  | Pa_insert_child of t * [ `First | `Last ]
+  | Pa_insert_sibling of t * [ `Before | `After ]
+  | Pa_set_text of string
+      (** replace the element's content with a single text node *)
+
+(** [rebuild_patched root ~target ~action] copies the whole tree under
+    [root] with fresh preorder ids, applying [action] at [target]
+    (compared by physical identity, so [target] must come from this
+    tree). In-place splicing is impossible here: node ids {e are}
+    document order, and no fresh id fits between two existing
+    neighbours — so every patch is a full O(|doc|) rebuild (still a
+    plain pointer walk, far cheaper than re-running a fixpoint).
+
+    Returns [(new_root, remap, inserted, deleted)]: the patched tree;
+    a map from every surviving old id (attributes included) to its new
+    node; the roots of newly inserted subtrees inside the new tree, in
+    document order; and the old ids that were removed. Document
+    metadata (URI, ID/IDREF attribute declarations) is carried over;
+    lazy indexes restart unbuilt. *)
+val rebuild_patched :
+  t ->
+  target:t ->
+  action:patch_action ->
+  t * (int, t) Hashtbl.t * t list * int list
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,58 @@
+(** Structured document edits ([patch-doc]) over {!Node.t} trees.
+
+    An {!op} addresses an element with a tiny path language
+    ([/site/people[2]/person] — child element steps with 1-based
+    positional selectors) and inserts, deletes or replaces a subtree
+    there, or rewrites its text content. {!apply} executes the edit by
+    rebuilding the tree with fresh preorder ids (see
+    {!Node.rebuild_patched}) and returns the structured {!delta} that
+    incremental-maintenance consumers need: the old-id → new-node remap
+    for surviving nodes, the inserted subtree roots, the deleted old
+    ids, and the surviving parent of the edit point (the frontier from
+    which differential re-evaluation restarts). *)
+
+exception Patch_error of string
+
+(** Where an [Insert] lands relative to the addressed element:
+    [First]/[Last] are child positions inside it, [Before]/[After] are
+    sibling positions next to it. *)
+type position = First | Last | Before | After
+
+type op =
+  | Insert of { path : string; position : position; xml : string }
+  | Delete of { path : string }
+  | Replace of { path : string; xml : string }
+  | Set_text of { path : string; text : string }
+
+type delta = {
+  new_root : Node.t;  (** the patched document, fresh preorder ids *)
+  remap : (int, Node.t) Hashtbl.t;
+      (** every surviving old id (attributes included) → its new node *)
+  inserted : Node.t list;
+      (** roots of inserted subtrees in the new tree, document order *)
+  inserted_count : int;  (** total inserted nodes, attributes included *)
+  deleted : int list;  (** old ids that no longer exist *)
+  edit_parent : Node.t option;
+      (** surviving node (new tree) whose subtree changed — the
+          maintenance frontier anchor *)
+}
+
+(** [None] if the string is not one of [into], [into-first],
+    [into-last], [first], [last], [before], [after]. *)
+val position_of_string : string -> position option
+
+val string_of_position : position -> string
+val path_of_op : op -> string
+
+(** [parse_path "/a/b[2]"] → [[("a", 1); ("b", 2)]]. Raises
+    {!Patch_error} on malformed paths. *)
+val parse_path : string -> (string * int) list
+
+(** Resolve a path from a (document or element) root to the addressed
+    element. Raises {!Patch_error} when a step matches nothing. *)
+val resolve : Node.t -> string -> Node.t
+
+(** [apply root op] — rebuild the tree with the edit applied. Raises
+    {!Patch_error} on bad paths/XML and on edits that would damage the
+    document shape (deleting the root element, giving it siblings). *)
+val apply : Node.t -> op -> delta

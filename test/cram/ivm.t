@@ -1,0 +1,95 @@
+Differential maintenance of cached fixpoints under document updates:
+the patch-doc op on the single-process server (maintained cache entry,
+byte parity with recompute), the same through the cluster (patched via
+the fixq client --patch convenience syntax), and a chaos kill inside
+the worker's patch path proving a killed worker respawns to a
+patch-consistent state.
+
+  $ cat > tree.xml <<'XML'
+  > <r><a><b/><b/></a><a><b/></a></r>
+  > XML
+  $ Q='{"op":"run","id":3,"query":"with $x seeded by doc(\"t.xml\")/r recurse $x/*"}'
+  $ QF='{"op":"run","id":5,"query":"with $x seeded by doc(\"t.xml\")/r recurse $x/*","cache":false}'
+  $ L='{"op":"load-doc","id":1,"uri":"t.xml","path":"tree.xml"}'
+  $ P='{"op":"patch-doc","id":4,"uri":"t.xml","action":"insert","path":"/r","xml":"<c/>"}'
+
+Part 1 — serve. Run an IVM-eligible closure (adopting it), patch the
+document, and observe: the patch response reports one maintained
+entry, the follow-up run is a result-cache HIT carrying the updated
+bytes, and a cache-bypassing recompute returns the same bytes.
+
+  $ printf '%s\n' "$L" "$Q" "$P" "$Q" "$QF" '{"op":"shutdown","id":9}' \
+  >   | fixq serve --pipe | sed -E 's/,"wall_ms":[0-9.e+-]+//'
+  {"ok":true,"id":1,"uri":"t.xml","generation":1}
+  {"ok":true,"id":3,"engine":"interp","mode":"delta","used_delta":true,"prepared_cache":"miss","result_cache":"miss","generation":1,"nodes_fed":6,"depth":3,"result":"<a><b/><b/></a> <b/> <b/> <a><b/></a> <b/>"}
+  {"ok":true,"id":4,"uri":"t.xml","path":"/r","generation":2,"doc_generation":2,"inserted":1,"deleted":0,"maintained":1,"recompute":0,"entries":[{"hash":"24b9466035757388b28116f3f51b34af","config":"interp:delta:false","outcome":"maintained","delta":1,"rounds":2}]}
+  {"ok":true,"id":3,"engine":"interp","mode":"delta","used_delta":true,"prepared_cache":"hit","result_cache":"hit","generation":2,"nodes_fed":6,"depth":3,"result":"<a><b/><b/></a> <b/> <b/> <a><b/></a> <b/> <c/>"}
+  {"ok":true,"id":5,"engine":"interp","mode":"delta","used_delta":true,"prepared_cache":"hit","result_cache":"miss","generation":2,"nodes_fed":7,"depth":3,"result":"<a><b/><b/></a> <b/> <b/> <a><b/></a> <b/> <c/>"}
+  {"ok":true,"id":9,"shutdown":true}
+
+The check op reports IVM eligibility alongside divergence:
+
+  $ printf '%s\n' '{"op":"check","query":"with $x seeded by doc(\"t.xml\")/r recurse $x/*"}' '{"op":"shutdown"}' \
+  >   | fixq serve --pipe | head -1 | grep -o '"divergence":"[a-z-]*","node_only":[a-z]*,"ivm":"[a-z-]*"'
+  "divergence":"terminates","node_only":true,"ivm":"full"
+
+Part 2 — cluster. The coordinator ships the patch only to the shard
+holding the uri and records it in the document's line history. The
+edit arrives through fixq client --patch, and the cluster's bytes
+match a single-process reference.
+
+  $ D=$(mktemp -d /tmp/fixq-ivm-XXXXXX)
+  $ fixq cluster --socket $D/c.sock --workers 2 --replication 2 \
+  >   --worker-dir $D/w --health-interval-ms 3600000 2>/dev/null &
+  $ for i in $(seq 150); do [ -S $D/c.sock ] && break; sleep 0.1; done
+  $ echo "$L" | fixq client -s $D/c.sock
+  {"ok":true,"id":1,"uri":"t.xml","generation":1,"workers":["w0","w1"]}
+  $ fixq client -s $D/c.sock --patch 't.xml insert <c/> at /r' </dev/null
+  {"ok":true,"uri":"t.xml","generation":2,"workers":["w0","w1"]}
+  $ printf '%s\n' "$L" "$P" "$QF" '{"op":"shutdown"}' | fixq serve --pipe \
+  >   | sed -n 's/.*"result":"\([^"]*\)".*/\1/p' > single.txt
+  $ echo "$QF" | fixq client -s $D/c.sock \
+  >   | sed -n 's/.*"result":"\([^"]*\)".*/\1/p' > cluster.txt
+  $ cmp single.txt cluster.txt && echo identical
+  identical
+  $ echo '{"op":"shutdown"}' | fixq client -s $D/c.sock
+  {"ok":true,"shutdown":true}
+  $ wait
+
+Part 3 — chaos at store.patch. The injection point fires BEFORE any
+mutation, so a worker killed mid-patch leaves no half-applied state.
+The first patch lands (arrival 1); the second kills the holder
+(kill@2) and reports failure; the supervisor respawns the worker,
+which replays its line history — load plus the first patch — back to
+a patch-consistent document. The replay re-applies the first patch,
+so the rule re-arms and every retry of the second patch is killed
+too: the document must remain patch-consistent through repeated
+mid-patch crashes.
+
+  $ fixq cluster --socket $D/c2.sock --workers 2 --replication 1 \
+  >   --worker-dir $D/w2 --health-interval-ms 200 \
+  >   --chaos "seed=9,store.patch=kill@2" --chaos-log $D/chaos.log 2>/dev/null &
+  $ for i in $(seq 150); do [ -S $D/c2.sock ] && break; sleep 0.1; done
+  $ P2='{"op":"patch-doc","id":6,"uri":"t.xml","action":"insert","path":"/r","xml":"<d/>"}'
+  $ echo "$L" | fixq client -s $D/c2.sock | grep -o '"ok":true'
+  "ok":true
+  $ echo "$P" | fixq client -s $D/c2.sock | grep -o '"ok":true'
+  "ok":true
+  $ echo "$P2" | fixq client -s $D/c2.sock | grep -o '"ok":false'
+  "ok":false
+  $ for i in $(seq 150); do echo '{"op":"stats"}' | fixq client -s $D/c2.sock | grep -q '"restarts":1' && break; sleep 0.2; done
+  $ echo "$QF" | fixq client -s $D/c2.sock \
+  >   | sed -n 's/.*"result":"\([^"]*\)".*/\1/p' | cmp - single.txt && echo consistent-after-replay
+  consistent-after-replay
+  $ echo "$P2" | fixq client -s $D/c2.sock | grep -o '"ok":false'
+  "ok":false
+  $ for i in $(seq 150); do echo '{"op":"stats"}' | fixq client -s $D/c2.sock | grep -q '"restarts":2' && break; sleep 0.2; done
+  $ echo "$QF" | fixq client -s $D/c2.sock \
+  >   | sed -n 's/.*"result":"\([^"]*\)".*/\1/p' | cmp - single.txt && echo still-consistent
+  still-consistent
+  $ awk '{print $3, $4}' $D/chaos.log | sort -u
+  store.patch kill
+  $ echo '{"op":"shutdown"}' | fixq client -s $D/c2.sock
+  {"ok":true,"shutdown":true}
+  $ wait
+  $ rm -rf $D

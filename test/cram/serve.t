@@ -46,7 +46,7 @@ stripped:
   {"ok":true,"id":4,"engine":"interp","mode":"delta","used_delta":true,"prepared_cache":"hit","result_cache":"hit","generation":1,"nodes_fed":4,"depth":3,"result":"3"}
   {"ok":true,"id":5,"uri":"curriculum.xml","generation":2}
   {"ok":true,"id":6,"engine":"interp","mode":"delta","used_delta":true,"prepared_cache":"hit","result_cache":"miss","generation":2,"nodes_fed":4,"depth":3,"result":"3"}
-  {"ok":true,"id":7,"ifp_count":1,"syntactic":true,"algebraic":true,"interp_mode":"delta","algebra_mode":"delta","stratified":false,"warnings":[],"diagnostics":[],"divergence":"terminates","node_only":true,"blocking":null,"prepared_cache":"miss"}
+  {"ok":true,"id":7,"ifp_count":1,"syntactic":true,"algebraic":true,"interp_mode":"delta","algebra_mode":"delta","stratified":false,"warnings":[],"diagnostics":[],"divergence":"terminates","node_only":true,"ivm":"ineligible","blocking":null,"prepared_cache":"miss"}
   {"ok":false,"id":8,"error":"parse error at 1:4: expected an expression, found end of input","diagnostics":[{"severity":"error","code":"FQ001","line":1,"col":4,"context":"parse","message":"expected an expression, found end of input"}]}
   {"ok":false,"id":9,"error":"IFP diverged after 11 iterations"}
   $ sed -n '11p' out.jsonl
@@ -56,12 +56,14 @@ The stats response carries per-query latency aggregates (variable), but
 the cache counters are exact: four prepared misses (q1, the check, the
 parse error, the divergent query), two hits (the repeat runs), one
 result-cache hit, and three misses (first run, post-reload run, the
-divergent attempt).
+divergent attempt). The post-reload miss also *evicts* the
+stale-footprint entry it found, so only the fresh entry stays in the
+LRU.
 
   $ grep -o '"prepared":{[^}]*}' out.jsonl
   "prepared":{"hits":2,"misses":4,"size":3,"capacity":64}
   $ grep -o '"results":{[^}]*}' out.jsonl
-  "results":{"hits":1,"misses":3,"size":2,"capacity":256}
+  "results":{"hits":1,"misses":3,"size":1,"capacity":256}
   $ grep -o '"documents":\[[^]]*\]' out.jsonl
   "documents":["curriculum.xml"]
 

@@ -1,0 +1,343 @@
+(* Differential maintenance of cached fixpoints (lib/ivm) and its
+   substrate: the patch-doc primitive on Node/Patch, per-document
+   generation stamps, footprint-keyed result caching, the
+   Analyze.ivm_eligibility verdict, and — the load-bearing property —
+   maintained results byte-identical to full recompute across
+   randomized edit sequences, driven through Server.handle_line exactly
+   as the wire transports would. *)
+
+module Xdm = Fixq_xdm
+module Node = Xdm.Node
+module Patch = Xdm.Patch
+module Doc_registry = Xdm.Doc_registry
+module Serializer = Xdm.Serializer
+module Analyze = Fixq_analysis.Analyze
+module Parser = Fixq_lang.Parser
+module Service = Fixq_service
+module Json = Service.Json
+module Server = Service.Server
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let doc_of xml = Xdm.Xml_parser.parse_string ~uri:"u.xml" xml
+
+let ser n = Serializer.to_string n
+
+(* serialize the single document element of a patched root *)
+let root_elem n =
+  match Array.to_list n.Node.children with
+  | [ e ] -> e
+  | _ -> Alcotest.fail "expected exactly one root element"
+
+(* ------------------------------------------------------------------ *)
+(* Patch primitives                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_patch_insert () =
+  let d = doc_of "<r><a><k/></a><a/></r>" in
+  let apply op = Patch.apply d op in
+  let last =
+    apply (Patch.Insert { path = "/r"; position = Patch.Last; xml = "<z/>" })
+  in
+  checks "into-last" "<r><a><k/></a><a/><z/></r>" (ser (root_elem last.Patch.new_root));
+  let first =
+    apply (Patch.Insert { path = "/r"; position = Patch.First; xml = "<z/>" })
+  in
+  checks "into-first" "<r><z/><a><k/></a><a/></r>" (ser (root_elem first.Patch.new_root));
+  let before =
+    apply
+      (Patch.Insert { path = "/r/a[2]"; position = Patch.Before; xml = "<z/>" })
+  in
+  checks "before" "<r><a><k/></a><z/><a/></r>" (ser (root_elem before.Patch.new_root));
+  let after =
+    apply
+      (Patch.Insert { path = "/r/a[1]"; position = Patch.After; xml = "<z/>" })
+  in
+  checks "after" "<r><a><k/></a><z/><a/></r>" (ser (root_elem after.Patch.new_root));
+  checki "one inserted element" 1 last.Patch.inserted_count;
+  checkb "nothing deleted" true (last.Patch.deleted = [])
+
+let test_patch_delete_replace_settext () =
+  let d = doc_of "<r><a><k/></a><b>old</b></r>" in
+  let del = Patch.apply d (Patch.Delete { path = "/r/a" }) in
+  checks "delete" "<r><b>old</b></r>" (ser (root_elem del.Patch.new_root));
+  checkb "deleted ids recorded" true (List.length del.Patch.deleted >= 2);
+  let rep =
+    Patch.apply d (Patch.Replace { path = "/r/b"; xml = "<b>new</b>" })
+  in
+  checks "replace" "<r><a><k/></a><b>new</b></r>" (ser (root_elem rep.Patch.new_root));
+  let txt = Patch.apply d (Patch.Set_text { path = "/r/b"; text = "t2" }) in
+  checks "set-text" "<r><a><k/></a><b>t2</b></r>" (ser (root_elem txt.Patch.new_root))
+
+(* fresh ids must be a valid preorder: strictly increasing across a
+   document-order walk (element, attributes, children) *)
+let test_patch_preorder () =
+  let d = doc_of "<r><a x=\"1\"><k/></a><b/></r>" in
+  let { Patch.new_root; remap; _ } =
+    Patch.apply d
+      (Patch.Insert
+         { path = "/r/a"; position = Patch.Last; xml = "<w y=\"2\"><v/></w>" })
+  in
+  let last = ref (-1) in
+  let rec walk n =
+    checkb "preorder id" true (n.Node.id > !last);
+    last := n.Node.id;
+    Array.iter walk n.Node.attributes;
+    Array.iter walk n.Node.children
+  in
+  walk new_root;
+  (* the remap covers every surviving old node, mapping to the
+     same-name copy *)
+  checkb "root remapped" true (Hashtbl.mem remap d.Node.id);
+  Hashtbl.iter
+    (fun _old_id n -> checkb "remap into new tree" true (n.Node.id >= new_root.Node.id))
+    remap
+
+let test_patch_errors () =
+  let d = doc_of "<r><a/></r>" in
+  let fails op =
+    match Patch.apply d op with
+    | _ -> Alcotest.fail "expected Patch_error"
+    | exception Patch.Patch_error _ -> ()
+  in
+  fails (Patch.Delete { path = "/r/zz" });
+  fails (Patch.Delete { path = "/r" });
+  fails (Patch.Insert { path = "/r"; position = Patch.Before; xml = "<z/>" });
+  fails (Patch.Replace { path = "/r/a[3]"; xml = "<z/>" });
+  fails (Patch.Insert { path = "/r/a"; position = Patch.Last; xml = "<open" })
+
+(* ------------------------------------------------------------------ *)
+(* Per-document generations                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_doc_generations () =
+  let registry = Doc_registry.create () in
+  Doc_registry.register ~registry "a.xml" (doc_of "<a/>");
+  Doc_registry.register ~registry "b.xml" (doc_of "<b/>");
+  checki "a gen" 1 (Doc_registry.doc_generation ~registry "a.xml");
+  checki "b gen" 1 (Doc_registry.doc_generation ~registry "b.xml");
+  Doc_registry.register ~registry "a.xml" (doc_of "<a2/>");
+  checki "a bumped" 2 (Doc_registry.doc_generation ~registry "a.xml");
+  checki "b untouched" 1 (Doc_registry.doc_generation ~registry "b.xml");
+  let ((), footprint) =
+    Doc_registry.track ~registry (fun () ->
+        ignore (Doc_registry.find ~registry "a.xml"))
+  in
+  checkb "tracked footprint" true (footprint = [ ("a.xml", 2) ])
+
+(* ------------------------------------------------------------------ *)
+(* Eligibility verdicts                                                *)
+(* ------------------------------------------------------------------ *)
+
+let eligibility q =
+  Analyze.ivm_eligibility ~stratified:false (Parser.parse_program q)
+
+let test_eligibility () =
+  checks "full" "full"
+    (Analyze.ivm_string
+       (eligibility
+          {|with $x seeded by doc("u.xml")/r recurse $x/*|}));
+  checks "descendant full" "full"
+    (Analyze.ivm_string
+       (eligibility
+          {|with $x seeded by doc("u.xml")/r recurse $x/descendant-or-self::*/k|}));
+  checks "filter is insert-only" "insert-only"
+    (Analyze.ivm_string
+       (eligibility
+          {|with $x seeded by doc("u.xml")/r recurse $x/*[k]|}));
+  checks "id() ineligible" "ineligible"
+    (Analyze.ivm_string
+       (eligibility
+          {|with $x seeded by doc("u.xml")/r recurse $x/id("c")|}));
+  checks "no ifp ineligible" "ineligible"
+    (Analyze.ivm_string (eligibility "1 + 1"));
+  checks "wrapped main ineligible" "ineligible"
+    (Analyze.ivm_string
+       (eligibility
+          {|count(with $x seeded by doc("u.xml")/r recurse $x/*)|}))
+
+(* ------------------------------------------------------------------ *)
+(* Server plumbing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let send server line = fst (Server.handle_line server line)
+
+let member name resp = Json.member name (Json.parse resp)
+let member_str name resp = Option.value ~default:"" (Json.str_opt (member name resp))
+let member_int name resp = Option.value ~default:(-1) (Json.int_opt (member name resp))
+
+let load_line uri xml =
+  Json.to_string
+    (Json.Obj
+       [ ("op", Json.Str "load-doc"); ("uri", Json.Str uri);
+         ("xml", Json.Str xml) ])
+
+let run_line ?(cache = true) q =
+  Json.to_string
+    (Json.Obj
+       (("op", Json.Str "run") :: ("query", Json.Str q)
+       :: (if cache then [] else [ ("cache", Json.Bool false) ])))
+
+(* satellite regression: a cached result must survive a load of a
+   document it never read — only its own footprint invalidates it *)
+let test_footprint_survives_unrelated_load () =
+  let server = Server.create () in
+  ignore (send server (load_line "u.xml" "<r><a/><a/></r>"));
+  let q = {|with $x seeded by doc("u.xml")/r recurse $x/*|} in
+  checks "first run misses" "miss" (member_str "result_cache" (send server (run_line q)));
+  ignore (send server (load_line "other.xml" "<zzz/>"));
+  checks "unrelated load keeps the hit" "hit"
+    (member_str "result_cache" (send server (run_line q)));
+  ignore (send server (load_line "u.xml" "<r><a/><a/><a/></r>"));
+  checks "reloading the read doc invalidates" "miss"
+    (member_str "result_cache" (send server (run_line q)))
+
+let patch_line ?(uri = "u.xml") ?position ~action ~path payload =
+  Json.to_string
+    (Json.Obj
+       ([ ("op", Json.Str "patch-doc"); ("uri", Json.Str uri);
+          ("action", Json.Str action); ("path", Json.Str path) ]
+       @ (match position with
+         | Some p -> [ ("position", Json.Str p) ]
+         | None -> [])
+       @ payload))
+
+let test_server_patch_maintains () =
+  let server = Server.create () in
+  ignore (send server (load_line "u.xml" "<r><a><k/></a><a/></r>"));
+  let q = {|with $x seeded by doc("u.xml")/r recurse $x/*|} in
+  ignore (send server (run_line q));
+  let presp =
+    send server
+      (patch_line ~action:"insert" ~path:"/r"
+         [ ("xml", Json.Str "<a><k/></a>") ])
+  in
+  checkb "patch ok" true (Json.bool_opt (member "ok" presp) = Some true);
+  checki "one entry maintained" 1 (member_int "maintained" presp);
+  checki "none recomputed" 0 (member_int "recompute" presp);
+  let hit = send server (run_line q) in
+  checks "maintained entry hits" "hit" (member_str "result_cache" hit);
+  let fresh = send server (run_line ~cache:false q) in
+  checks "maintained bytes = recompute bytes" (member_str "result" fresh)
+    (member_str "result" hit)
+
+let test_server_patch_drops_ineligible () =
+  let server = Server.create () in
+  ignore (send server (load_line "u.xml" "<r><a><k/></a><a/></r>"));
+  (* insert-only query: a delete edit must fall back to recompute *)
+  let q = {|with $x seeded by doc("u.xml")/r recurse $x/*[k]|} in
+  ignore (send server (run_line q));
+  let presp =
+    send server (patch_line ~action:"delete" ~path:"/r/a[2]" [])
+  in
+  checki "entry dropped" 1 (member_int "recompute" presp);
+  checki "nothing maintained" 0 (member_int "maintained" presp);
+  checks "next run recomputes" "miss"
+    (member_str "result_cache" (send server (run_line q)));
+  let stats = send server {|{"op":"stats"}|} in
+  let ivm = Json.member "ivm" (member "stats" stats) in
+  checkb "fallback counted" true
+    (Json.int_opt (Json.member "fallback_recompute_total" ivm) = Some 1)
+
+let test_server_patch_errors () =
+  let server = Server.create () in
+  ignore (send server (load_line "u.xml" "<r><a/></r>"));
+  let bad = send server (patch_line ~action:"delete" ~path:"/r/zz" []) in
+  checkb "bad path is an error" true
+    (Json.bool_opt (member "ok" bad) = Some false);
+  let missing =
+    send server (patch_line ~uri:"nope.xml" ~action:"delete" ~path:"/r/a" [])
+  in
+  checkb "unknown uri is an error" true
+    (Json.bool_opt (member "ok" missing) = Some false)
+
+(* ------------------------------------------------------------------ *)
+(* Property: maintained ≡ recompute over randomized edit sequences     *)
+(* ------------------------------------------------------------------ *)
+
+(* Drive a server through a deterministic random edit sequence and
+   assert, after every edit and for every query class (full-eligible,
+   insert-only, ineligible), that the default (cached, maintained)
+   result is byte-identical to a cache-bypassing recompute. *)
+let run_edit_property ~seed ~steps =
+  let rng = Random.State.make [| seed |] in
+  let server = Server.create () in
+  ignore (send server (load_line "u.xml" "<r><a><k/></a><a><k/><k/></a></r>"));
+  let queries =
+    [ ("full", {|with $x seeded by doc("u.xml")/r recurse $x/*|});
+      ("insert-only", {|with $x seeded by doc("u.xml")/r recurse $x/*[k]|});
+      ("ineligible", {|with $x seeded by doc("u.xml")/r recurse $x/id("c")|}) ]
+  in
+  List.iter (fun (_, q) -> ignore (send server (run_line q))) queries;
+  let c_count = ref 0 in
+  for step = 1 to steps do
+    let edit =
+      match Random.State.int rng 5 with
+      | 0 | 4 ->
+        incr c_count;
+        patch_line ~action:"insert" ~path:"/r"
+          [ ("xml", Json.Str (Printf.sprintf "<c n=\"%d\"><k/></c>" step)) ]
+      | 1 when !c_count > 0 ->
+        decr c_count;
+        patch_line ~action:"delete" ~path:"/r/c[1]" []
+      | 1 ->
+        incr c_count;
+        patch_line ~position:"into-first" ~action:"insert" ~path:"/r"
+          [ ("xml", Json.Str "<c/>") ]
+      | 2 ->
+        patch_line ~action:"replace" ~path:"/r/a[1]"
+          [ ("xml", Json.Str (Printf.sprintf "<a><k/><m n=\"%d\"/></a>" step)) ]
+      | _ -> patch_line ~action:"set-text" ~path:"/r/a[2]" [ ("text", Json.Str "t") ]
+    in
+    let presp = send server edit in
+    if Json.bool_opt (member "ok" presp) <> Some true then
+      Alcotest.failf "step %d: patch failed: %s" step presp;
+    List.iter
+      (fun (label, q) ->
+        let cached = send server (run_line q) in
+        let fresh = send server (run_line ~cache:false q) in
+        let c = member_str "result" cached and f = member_str "result" fresh in
+        if c <> f then
+          Alcotest.failf "step %d: %s diverged:\n cached: %s\n  fresh: %s" step
+            label c f)
+      queries
+  done;
+  (* the full-eligible query must actually have been maintained, not
+     silently recomputed every time *)
+  let stats = send server {|{"op":"stats"}|} in
+  let ivm = Json.member "ivm" (member "stats" stats) in
+  checkb "maintenance engaged" true
+    (match Json.int_opt (Json.member "maintained_total" ivm) with
+    | Some n -> n >= steps
+    | None -> false)
+
+let test_property_edits_seed7 () = run_edit_property ~seed:7 ~steps:25
+let test_property_edits_seed42 () = run_edit_property ~seed:42 ~steps:25
+
+let () =
+  Alcotest.run "ivm"
+    [ ("patch",
+       [ Alcotest.test_case "insert positions" `Quick test_patch_insert;
+         Alcotest.test_case "delete/replace/set-text" `Quick
+           test_patch_delete_replace_settext;
+         Alcotest.test_case "preorder + remap" `Quick test_patch_preorder;
+         Alcotest.test_case "errors" `Quick test_patch_errors ]);
+      ("registry",
+       [ Alcotest.test_case "per-doc generations" `Quick test_doc_generations ]);
+      ("eligibility",
+       [ Alcotest.test_case "classification" `Quick test_eligibility ]);
+      ("server",
+       [ Alcotest.test_case "footprint survives unrelated load" `Quick
+           test_footprint_survives_unrelated_load;
+         Alcotest.test_case "patch maintains cached entry" `Quick
+           test_server_patch_maintains;
+         Alcotest.test_case "delete drops insert-only entry" `Quick
+           test_server_patch_drops_ineligible;
+         Alcotest.test_case "patch errors" `Quick test_server_patch_errors ]);
+      ("property",
+       [ Alcotest.test_case "random edits, seed 7" `Quick
+           test_property_edits_seed7;
+         Alcotest.test_case "random edits, seed 42" `Quick
+           test_property_edits_seed42 ]) ]
