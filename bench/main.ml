@@ -694,6 +694,210 @@ let accum () =
        Json.of_int k.Fixq_xdm.Counters.fallback_sorts) ]
 
 (* ------------------------------------------------------------------ *)
+(* Semiring-annotated fixpoints: recursive aggregates per kind         *)
+(* ------------------------------------------------------------------ *)
+
+(* [accumulate by] over the paper's workloads: min (cheapest
+   prerequisite chain, cross-checked against a reference Bellman-Ford
+   on the extracted edge relation), max (widest-path bidder reach),
+   count and why (path multiplicity / seed witnesses on an acyclic
+   curriculum), and the bool semiring's parity with the legacy IFP
+   (same bytes, comparable time). *)
+let semiring_bench () =
+  printf "== Semiring fixpoints: accumulate by over the paper's workloads ==\n\n";
+  let module Eval = Fixq_lang.Eval in
+  let module Semiring = Fixq_semiring.Semiring in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1000.0)
+  in
+  let code_of n =
+    List.find_opt (fun a -> Node.name a = "code") (Node.attributes n)
+    |> Option.fold ~none:"" ~some:Node.string_value
+  in
+  let annotated ~registry src =
+    let ev = Eval.create ~registry () in
+    let (result, wall_ms) = time (fun () -> Eval.run_string ev src) in
+    (result, wall_ms, Eval.last_annotations ev)
+  in
+  let row ~kind ~doc ~wall_ms ~result_size ~cross_check =
+    printf "  %-5s %-18s %8.2f ms  %5d annotated  %s\n" kind doc wall_ms
+      result_size cross_check;
+    record_json
+      [ ("section", Json.Str "semiring"); ("kind", Json.Str kind);
+        ("doc", Json.Str doc); ("wall_ms", Json.Num wall_ms);
+        ("result_size", Json.of_int result_size);
+        ("cross_check", Json.Str cross_check) ]
+  in
+  (* Seed at the course with the largest transitive prerequisite
+     closure — any given course may have none at all. *)
+  let pick_seed doc courses =
+    let best = ref "c1" and best_n = ref 0 in
+    for i = 1 to courses do
+      let c = Printf.sprintf "c%d" i in
+      let n =
+        List.length (W.Curriculum.cheapest_prerequisite_costs doc ~from:c)
+      in
+      if n > !best_n then begin
+        best := c;
+        best_n := n
+      end
+    done;
+    !best
+  in
+  (* Tropical semiring vs reference shortest paths. *)
+  let courses = 400 in
+  let registry = Doc_registry.create () in
+  let doc =
+    W.Curriculum.load_weighted ~registry
+      { W.Curriculum.default with W.Curriculum.courses }
+  in
+  let from = pick_seed doc courses in
+  let (result, wall_ms, anns) =
+    annotated ~registry (W.Queries.cheapest_prerequisite from)
+  in
+  let kernel_costs =
+    match anns with
+    | Some (Semiring.Min, entries) ->
+      List.filter_map
+        (fun (n, a) ->
+          match a with
+          | Semiring.Num d -> Some (code_of n, d)
+          | _ -> None)
+        entries
+      |> List.sort compare
+    | _ -> []
+  in
+  let reference =
+    W.Curriculum.cheapest_prerequisite_costs doc ~from
+    |> List.sort compare
+  in
+  row ~kind:"min"
+    ~doc:(Printf.sprintf "curriculum-%d" courses)
+    ~wall_ms ~result_size:(List.length result)
+    ~cross_check:
+      (if kernel_costs = reference && kernel_costs <> [] then
+         "Bellman-Ford agrees"
+       else "BELLMAN-FORD DISAGREES");
+  (* Widest path over the rated bidder network. *)
+  let registry = Doc_registry.create () in
+  ignore
+    (W.Xmark.load_weighted ~registry
+       { W.Xmark.default with W.Xmark.scale = 0.004 });
+  let (result, wall_ms, anns) =
+    annotated ~registry (W.Queries.weighted_bidder_reach "person0")
+  in
+  let max_ok =
+    match anns with
+    | Some (Semiring.Max, entries) ->
+      entries <> []
+      && List.for_all
+           (fun (_, a) ->
+             match a with Semiring.Num d -> d >= 1.0 | _ -> false)
+           entries
+    | _ -> false
+  in
+  row ~kind:"max" ~doc:"xmark-0.004" ~wall_ms
+    ~result_size:(List.length result)
+    ~cross_check:
+      (if max_ok then "bottleneck ratings in range" else "NO ANNOTATIONS");
+  (* Count and why on an acyclic curriculum (count is unstable on
+     cycles — Analyze flags it FQ043 and serve refuses it unbudgeted). *)
+  let registry = Doc_registry.create () in
+  let dag =
+    W.Curriculum.load_weighted ~registry
+      { W.Curriculum.default with
+        W.Curriculum.courses;
+        back_edge_fraction = 0.0 }
+  in
+  let from = pick_seed dag courses in
+  let (result, wall_ms, anns) =
+    annotated ~registry (W.Queries.counted_closure from)
+  in
+  let paths =
+    match anns with
+    | Some (Semiring.Count, entries) ->
+      List.fold_left
+        (fun acc (_, a) ->
+          match a with Semiring.Num d -> acc +. d | _ -> acc)
+        0.0 entries
+    | _ -> 0.0
+  in
+  row ~kind:"count"
+    ~doc:(Printf.sprintf "curriculum-%d-dag" courses)
+    ~wall_ms ~result_size:(List.length result)
+    ~cross_check:(Printf.sprintf "%.0f derivation paths" paths);
+  let (result, wall_ms, anns) =
+    annotated ~registry (W.Queries.witnessed_closure from)
+  in
+  let why_ok =
+    match anns with
+    | Some (Semiring.Why, entries) ->
+      entries <> []
+      && List.for_all
+           (fun (_, a) ->
+             match a with
+             | Semiring.Wit w -> Semiring.Int_set.cardinal w = 1
+             | _ -> false)
+           entries
+    | _ -> false
+  in
+  row ~kind:"why"
+    ~doc:(Printf.sprintf "curriculum-%d-dag" courses)
+    ~wall_ms ~result_size:(List.length result)
+    ~cross_check:
+      (if why_ok then "single-seed witnesses" else "WITNESSES OFF");
+  (* Bool semiring: same bytes as the legacy fixpoint, comparable
+     time. *)
+  let registry = Doc_registry.create () in
+  let doc =
+    W.Curriculum.load_weighted ~registry
+      { W.Curriculum.default with W.Curriculum.courses }
+  in
+  let from = pick_seed doc courses in
+  let p =
+    Parser.parse_program
+      (Printf.sprintf
+         {|with $x seeded by doc("curriculum.xml")/curriculum/course[@code="%s"]
+recurse $x/id(./prerequisites/pre_code)|}
+         from)
+  in
+  let bool_p =
+    let rewrite e =
+      Fixq_lang.Rewrite.map_expr
+        (function
+          | Fixq_lang.Ast.Ifp { var; seed; body; accum = None } ->
+            Fixq_lang.Ast.Ifp
+              { var; seed; body;
+                accum =
+                  Some { Fixq_lang.Ast.kind = Semiring.Bool; weight = None } }
+          | e -> e)
+        e
+    in
+    { p with Fixq_lang.Ast.main = rewrite p.Fixq_lang.Ast.main }
+  in
+  let engine = Fixq.Interpreter Fixq.Auto in
+  let plain = Fixq.run_program ~registry ~engine p in
+  let annotated_run = Fixq.run_program ~registry ~engine bool_p in
+  let byte_equal =
+    Fixq_xdm.Serializer.seq_to_string plain.Fixq.result
+    = Fixq_xdm.Serializer.seq_to_string annotated_run.Fixq.result
+  in
+  printf "  bool  curriculum-%d      plain %6.2f ms  annotated %6.2f ms  %s\n"
+    courses plain.Fixq.wall_ms annotated_run.Fixq.wall_ms
+    (if byte_equal then "bytes equal" else "BYTES DIFFER");
+  record_json
+    [ ("section", Json.Str "semiring"); ("kind", Json.Str "bool");
+      ("doc", Json.Str (Printf.sprintf "curriculum-%d" courses));
+      ("wall_ms", Json.Num annotated_run.Fixq.wall_ms);
+      ("result_size", Json.of_int (List.length annotated_run.Fixq.result));
+      ("plain_wall_ms", Json.Num plain.Fixq.wall_ms);
+      ("cross_check",
+       Json.Str (if byte_equal then "bytes equal" else "BYTES DIFFER")) ];
+  printf "\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -807,7 +1011,8 @@ let () =
       (fun a ->
         List.mem a
           [ "table1"; "table2"; "figure9"; "example24"; "section41";
-            "section6"; "section7"; "accum"; "micro"; "cluster"; "ivm" ])
+            "section6"; "section7"; "accum"; "micro"; "cluster"; "ivm";
+            "semiring" ])
       args
   in
   let when_ opt f = if (not explicit) || has opt then f () in
@@ -821,6 +1026,7 @@ let () =
   when_ "section6" section6;
   when_ "section7" section7;
   when_ "accum" accum;
+  when_ "semiring" semiring_bench;
   when_ "ivm" ivm_bench;
   when_ "micro" (fun () -> if has "micro" then micro ());
   (* opt-in like micro: needs the fixq binary built alongside *)

@@ -187,6 +187,13 @@ let run_cmd =
     with
     | report ->
       print_endline (Xdm.Serializer.seq_to_string report.Fixq.result);
+      (match report.Fixq.semiring with
+      | None -> ()
+      | Some kind ->
+        Printf.printf "-- accumulate by %s --\n" kind;
+        List.iter
+          (fun (x, a) -> Printf.printf "%s @ %s\n" x a)
+          report.Fixq.annotations);
       if stats then begin
         Printf.eprintf "time: %.1f ms\n" report.Fixq.wall_ms;
         Printf.eprintf "delta used: %s\n"
@@ -911,10 +918,32 @@ let client_cmd =
   in
   let action socket timeout_ms patches =
     let tr = C.Transport.create socket in
+    (* Annotated run responses additionally render their
+       node @ annotation pairs, so a terminal client sees the semiring
+       output without parsing JSON. *)
+    let module Json = Fixq_service.Json in
+    let print_annotations resp =
+      match Json.parse resp with
+      | Json.Obj fields -> (
+        match (List.assoc_opt "semiring" fields,
+               List.assoc_opt "annotations" fields) with
+        | Some (Json.Str kind), Some (Json.List rows) ->
+          Printf.printf "-- accumulate by %s --\n" kind;
+          List.iter
+            (fun row ->
+              match (Json.str_opt (Json.member "x" row),
+                     Json.str_opt (Json.member "a" row)) with
+              | Some x, Some a -> Printf.printf "%s @ %s\n" x a
+              | _ -> ())
+            rows
+        | _ -> ())
+      | _ | (exception _) -> ()
+    in
     let send line =
       match C.Transport.call ?timeout_ms tr line with
       | Ok resp ->
         print_endline resp;
+        print_annotations resp;
         true
       | Error e ->
         Printf.eprintf "fixq client: %s\n" e;

@@ -1,0 +1,9 @@
+(: Recursive aggregate over the prerequisite closure: the tropical
+   (min-cost) semiring annotates every transitively required course
+   with the cheapest cumulative @cost of reaching it — Bellman-Ford
+   over the derivation graph. The min semiring is p-stable, so the
+   node set converges but annotations can keep improving for up to
+   |nodes| extra rounds: classified `bounded` with an FQ044 info. :)
+with $x seeded by doc("curriculum.xml")/curriculum/course[@code = "c1"]
+recurse $x/id(./prerequisites/pre_code)
+accumulate by min(number(./@cost))

@@ -1,0 +1,10 @@
+(: The counting semiring over the prerequisite closure: every derived
+   course is annotated with its number of distinct derivation paths.
+   Counting is NOT a stable semiring — on a cyclic curriculum the
+   counts on the cycle grow forever even though the node set is long
+   converged. Lint flags the site FQ043 (may-diverge) and `fixq serve`
+   refuses the query unless the request carries an iteration or time
+   budget. :)
+with $x seeded by doc("curriculum.xml")/curriculum/course[@code = "c1"]
+recurse $x/id(./prerequisites/pre_code)
+accumulate by count

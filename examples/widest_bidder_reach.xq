@@ -1,0 +1,17 @@
+(: The Figure-10 bidder network with the max semiring over @rating:
+   each reachable person is annotated with the best bottleneck rating
+   over all referral chains from the seed (the widest path). Max is a
+   stable semiring — the annotated fixpoint converges exactly when the
+   plain one does, so the structural verdict is kept unchanged. :)
+declare variable $doc := doc("auction.xml");
+
+declare function bidder ($in as node()*) as node()*
+{ for $id in $in/@id
+  let $b := $doc//open_auction[seller/@person = $id]
+            /bidder/personref
+  return $doc//people/person[@id = $b/@person]
+};
+
+with $x seeded by $doc//people/person[@id = "person0"]
+recurse bidder ($x)
+accumulate by max(number(./@rating))

@@ -1,5 +1,6 @@
 module Lang = Fixq_lang
 module Push = Fixq_algebra.Push
+module Semiring = Fixq_semiring.Semiring
 open Lang.Ast
 
 type divergence = Terminates | Bounded | May_diverge of string
@@ -22,6 +23,8 @@ type ifp_report = {
   body : Lang.Ast.expr;
   node_only_seed : bool;
   node_only_body : bool;
+  semiring : Semiring.kind option;
+      (** the [accumulate by] kind, [None] for a plain IFP *)
   divergence : divergence;
   syntactic : bool;
   blame : Lang.Distributivity.blame option;
@@ -91,8 +94,9 @@ let iter_children f e =
     f s;
     List.iter (fun (_, _, b) -> f b) cases;
     f d
-  | Ifp { seed; body; _ } ->
+  | Ifp { seed; body; accum; _ } ->
     f seed;
+    (match accum with Some { weight = Some w; _ } -> f w | _ -> ());
     f body
 
 let rec iter_deep f e =
@@ -159,7 +163,11 @@ let map_children f e =
         List.map f content )
   | Typeswitch (s, cases, dv, db) ->
     Typeswitch (f s, List.map (fun (ty, v, b) -> (ty, v, f b)) cases, dv, f db)
-  | Ifp { var; seed; body } -> Ifp { var; seed = f seed; body = f body }
+  | Ifp { var; seed; body; accum } ->
+    let accum =
+      Option.map (fun a -> { a with weight = Option.map f a.weight }) accum
+    in
+    Ifp { var; seed = f seed; body = f body; accum }
 
 (* ------------------------------------------------------------------ *)
 (* Node-only check (moved from [Fixq]) *)
@@ -181,7 +189,7 @@ let node_only ~env e =
       go (if go env value then var :: env else env) body
     | Typeswitch (_, cases, _, d) ->
       List.for_all (fun (_, _, b) -> go env b) cases && go env d
-    | Ifp { var; seed; body } -> go env seed && go (var :: env) body
+    | Ifp { var; seed; body; _ } -> go env seed && go (var :: env) body
     | Call (("doc" | "id" | "idref" | "root"), _) -> true
     | Call (("reverse" | "unordered"), [ a ]) -> go env a
     | _ -> false
@@ -199,7 +207,7 @@ let has_arith_over var body =
       | _ -> false)
     body
 
-let classify ~var ~seed ~body =
+let classify_structural ~var ~seed ~body =
   (* Node-only first: it is the strongest guarantee (finite node
      universe ⇒ termination, Section 2.2) and exactly the cluster's
      scatter precondition — internal constructors or arithmetic in a
@@ -214,6 +222,30 @@ let classify ~var ~seed ~body =
       (Printf.sprintf
          "arithmetic over $%s can mint new atoms every round" var)
   else Bounded
+
+(* Semiring-annotated fixpoints refine the structural verdict by the
+   stability of the annotation structure (after Abo Khamis et al.):
+   naturally-ordered stable semirings (bool, max, why) keep the
+   structural class; a p-stable semiring (min / tropical) caps the
+   annotated rounds at |nodes| — never better than Bounded; an
+   unstable semiring (count) can grow annotations on every cycle, so
+   the site may diverge regardless of node-only structure. *)
+let classify ?accum ~var ~seed ~body () =
+  let structural = classify_structural ~var ~seed ~body in
+  match accum with
+  | None | Some { kind = Semiring.Bool; _ } -> structural
+  | Some { kind; _ } -> (
+    match (Semiring.stability kind, structural) with
+    | Semiring.Stable, s -> s
+    | Semiring.P_stable, May_diverge r -> May_diverge r
+    | Semiring.P_stable, _ -> Bounded
+    | Semiring.Unstable, May_diverge r -> May_diverge r
+    | Semiring.Unstable, _ ->
+      May_diverge
+        (Printf.sprintf
+           "the %s semiring is not stable: annotations on a cycle \
+            through $%s can grow on every round"
+           (Semiring.kind_to_string kind) var))
 
 (* ------------------------------------------------------------------ *)
 (* Diagnostic constructors *)
@@ -368,15 +400,18 @@ let shadowing_diags ?spans (p : program) =
       (match dvar with
       | Some v -> check e v (fun bound -> inside ctx bound dbody)
       | None -> inside ctx bound dbody)
-    | Ifp { var; seed; body } ->
+    | Ifp { var; seed; body; accum } ->
       inside ctx bound seed;
+      (match accum with
+      | Some { weight = Some w; _ } -> inside ctx bound w
+      | _ -> ());
       check e var (fun bound -> inside ctx bound body)
     | _ -> iter_children (inside ctx bound) e
   in
   let outside ctx =
     iter_deep (fun e ->
         match e with
-        | Ifp { var; seed = _; body } -> inside ctx [ var ] body
+        | Ifp { var; body; _ } -> inside ctx [ var ] body
         | _ -> ())
   in
   outside "main" p.main;
@@ -408,7 +443,7 @@ let ifp_sites (p : program) =
 
 let report_of ~functions ~stratified ?spans index (ctx, site) =
   match site with
-  | Ifp { var; seed; body } ->
+  | Ifp { var; seed; body; accum } ->
     let syntactic_blame =
       Lang.Distributivity.blame_of ~functions ~stratified var body
     in
@@ -418,7 +453,10 @@ let report_of ~functions ~stratified ?spans index (ctx, site) =
       && (not (has_constructor body))
       && (not (Lang.Distributivity.mentions_position body))
       && (not (exists_deep (function Sort _ -> true | _ -> false) body))
-      && not (exists_deep (function Ifp _ -> true | _ -> false) body)
+      && (not (exists_deep (function Ifp _ -> true | _ -> false) body))
+      && (match accum with
+         | Some { kind; _ } -> kind = Semiring.Bool
+         | None -> true)
     in
     {
       index;
@@ -429,7 +467,8 @@ let report_of ~functions ~stratified ?spans index (ctx, site) =
       body;
       node_only_seed = node_only ~env:[] seed;
       node_only_body = node_only ~env:[ var ] body;
-      divergence = classify ~var ~seed ~body;
+      semiring = Option.map (fun (a : accum) -> a.kind) accum;
+      divergence = classify ?accum ~var ~seed ~body ();
       syntactic;
       blame = syntactic_blame;
       hint_repairable;
@@ -467,9 +506,24 @@ let ifp_diags ?spans (r : ifp_report) =
         ]
       else [ d ]
   in
+  let semiring_stability =
+    Option.map Semiring.stability r.semiring
+  in
   let divergence_diags =
     match r.divergence with
     | Terminates -> []
+    | Bounded when semiring_stability = Some Semiring.P_stable ->
+      [
+        Diag.make ~loc:at_ifp ~code:"FQ044" ~severity:Diag.Info
+          ~context:r.context
+          (Printf.sprintf
+             "accumulate by %s over $%s is p-stable: the node set \
+              converges but annotations improve for up to |nodes| \
+              extra rounds"
+             (Semiring.kind_to_string
+                (Option.get r.semiring))
+             r.var);
+      ]
     | Bounded ->
       [
         Diag.make ~loc:at_ifp ~code:"FQ041" ~severity:Diag.Info
@@ -478,6 +532,16 @@ let ifp_diags ?spans (r : ifp_report) =
              "fixed point over $%s is bounded but not node-only; serve \
               it with an iteration or time budget"
              r.var);
+      ]
+    | May_diverge reason when semiring_stability = Some Semiring.Unstable ->
+      [
+        Diag.make ~loc:at_ifp ~code:"FQ043" ~severity:Diag.Warning
+          ~context:r.context
+          (Printf.sprintf
+             "unstable semiring: accumulate by %s over $%s may \
+              diverge: %s"
+             (Semiring.kind_to_string (Option.get r.semiring))
+             r.var reason);
       ]
     | May_diverge reason ->
       [
@@ -562,8 +626,10 @@ let scatter_eligible ?(stratified = false) (p : program) =
   count_ifps p = 1
   &&
   match p.main with
-  | Ifp { var; seed; body } ->
-    classify ~var ~seed ~body = Terminates
+  (* Annotated fixpoints never scatter: the keyed gather merges node
+     sets, not semiring annotations. *)
+  | Ifp { var; seed; body; accum = None } ->
+    classify ~var ~seed ~body () = Terminates
     && Lang.Distributivity.check
          ~functions:(program_functions p) ~stratified var body
   | _ -> false
@@ -638,8 +704,12 @@ let ivm_eligibility ?(stratified = false) (p : program) : ivm_class =
     Ivm_ineligible "the program must be a single top-level fixed point"
   else
     match p.main with
-    | Ifp { var; seed; body } ->
-      if classify ~var ~seed ~body <> Terminates then
+    | Ifp { accum = Some _; _ } ->
+      Ivm_ineligible
+        "annotated fixpoints are not maintained: a patch can change \
+         annotations without changing the node set"
+    | Ifp { var; seed; body; accum = None } ->
+      if classify ~var ~seed ~body () <> Terminates then
         Ivm_ineligible "seed/body are not provably node-only"
       else if
         not
@@ -682,16 +752,18 @@ let apply_hints (p : program) (a : t) =
   let idx = ref (-1) in
   let rec go e =
     match e with
-    | Ifp { var; seed; body } ->
+    | Ifp { var; seed; body; accum } ->
       incr idx;
       let i = !idx in
       let seed = go seed in
       let body = go body in
       if List.mem i repairable then begin
         incr applied;
-        Ifp { var; seed; body = Lang.Rewrite.distributivity_hint ~var body }
+        Ifp
+          { var; seed; accum;
+            body = Lang.Rewrite.distributivity_hint ~var body }
       end
-      else Ifp { var; seed; body }
+      else Ifp { var; seed; body; accum }
     | e -> map_children go e
   in
   let main = go p.main in

@@ -40,6 +40,8 @@ type ifp_report = {
   body : Lang.Ast.expr;
   node_only_seed : bool;
   node_only_body : bool;
+  semiring : Fixq_semiring.Semiring.kind option;
+      (** the [accumulate by] kind, [None] for a plain IFP *)
   divergence : divergence;
   syntactic : bool;  (** Figure-5 [ds] verdict on the body *)
   blame : Lang.Distributivity.blame option;
@@ -58,12 +60,24 @@ type t = {
     divergence classifier share it.) *)
 val node_only : env:string list -> Lang.Ast.expr -> bool
 
+(** Divergence classification. The structural verdict (node-only ⇒
+    [Terminates]; constructor/arithmetic ⇒ [May_diverge]; else
+    [Bounded]) is refined by the semiring stability of an [accumulate
+    by] clause: stable kinds (bool, max, why) keep the structural
+    class, the p-stable min semiring caps at [Bounded], and the
+    unstable count semiring forces [May_diverge]. *)
 val classify :
-  var:string -> seed:Lang.Ast.expr -> body:Lang.Ast.expr -> divergence
+  ?accum:Lang.Ast.accum ->
+  var:string ->
+  seed:Lang.Ast.expr ->
+  body:Lang.Ast.expr ->
+  unit ->
+  divergence
 
 (** Full analysis: {!Lang.Static} findings (re-coded and located),
     lint rules FQ020–FQ023, and per-IFP distributivity blame (FQ030,
-    FQ032) and divergence class (FQ040, FQ041). [spans] locates
+    FQ032) and divergence class (FQ040, FQ041 — or FQ043/FQ044 when an
+    [accumulate by] semiring drives the verdict). [spans] locates
     diagnostics; without it every [loc] is [None]. *)
 val analyze :
   ?stratified:bool ->

@@ -24,6 +24,8 @@ type report = {
   depth : int;
   wall_ms : float;
   fallbacks : string list;
+  semiring : string option;
+  annotations : (string * string) list;
 }
 
 exception Error of string
@@ -71,7 +73,21 @@ let install_algebra_handler ~registry ~max_iterations ~stratified ~mode
   Eval.set_ifp_handler ev
     (Some
        (fun (site : Eval.ifp_site) ->
-         if
+         if site.Eval.ifp_accum <> None then begin
+           (* Annotated sites: Table-1 relations carry node identities,
+              not semiring annotations — both engines run the
+              interpreter's semiring kernel, keeping results equal. *)
+           if not (Expr_tbl.mem failed site.Eval.ifp_body) then begin
+             let reason =
+               "accumulate by: annotated fixpoints run on the \
+                interpreter's semiring kernel"
+             in
+             fallbacks := reason :: !fallbacks;
+             Expr_tbl.replace failed site.Eval.ifp_body reason
+           end;
+           None
+         end
+         else if
            (* Definition 2.1 restricts IFP to node()*; decline atom
               seeds so both engines raise the same dynamic error *)
            List.exists
@@ -214,8 +230,20 @@ let run_program ?(registry = Xdm.Doc_registry.default)
       | Some d -> Some d
       | None -> Eval.last_ifp_used_delta ev)
   in
+  let semiring, annotations =
+    match Eval.last_annotations ev with
+    | None -> (None, [])
+    | Some (kind, entries) ->
+      ( Some (Fixq_semiring.Semiring.kind_to_string kind),
+        List.map
+          (fun (n, ann) ->
+            ( Xdm.Serializer.seq_to_string [ Item.N n ],
+              Fixq_semiring.Semiring.ann_to_string ann ))
+          entries )
+  in
   { result; engine; used_delta; nodes_fed = Stats.nodes_fed stats;
-    depth = Stats.depth stats; wall_ms; fallbacks = List.rev !fallbacks }
+    depth = Stats.depth stats; wall_ms; fallbacks = List.rev !fallbacks;
+    semiring; annotations }
 
 let parse src =
   try Lang.Parser.parse_program src with
@@ -308,7 +336,12 @@ let subexprs (e : Lang.Ast.expr) : Lang.Ast.expr list =
             @ content
           | Lang.Ast.Typeswitch (s, cases, _, d) ->
             (s :: List.map (fun (_, _, b) -> b) cases) @ [ d ]
-  | Lang.Ast.Ifp { seed; body; _ } -> [ seed; body ]
+  | Lang.Ast.Ifp { seed; body; accum; _ } -> (
+    seed :: body
+    ::
+    (match accum with
+    | Some { Lang.Ast.weight = Some w; _ } -> [ w ]
+    | _ -> []))
   | Lang.Ast.Literal _ | Lang.Ast.Empty_seq | Lang.Ast.Var _
   | Lang.Ast.Context_item | Lang.Ast.Root | Lang.Ast.Axis_step _ ->
     []
@@ -403,9 +436,9 @@ let partition_first_seed ~index ~count (p : Lang.Ast.program) =
     if !done_ then e
     else
       match (e : Lang.Ast.expr) with
-      | Lang.Ast.Ifp { var; seed; body } ->
+      | Lang.Ast.Ifp { var; seed; body; accum } ->
         done_ := true;
-        Lang.Ast.Ifp { var; seed = slice seed; body }
+        Lang.Ast.Ifp { var; seed = slice seed; body; accum }
       | _ -> map_subexprs go e
   and map_subexprs f e =
     match (e : Lang.Ast.expr) with
@@ -462,8 +495,14 @@ let partition_first_seed ~index ~count (p : Lang.Ast.program) =
     | Lang.Ast.Typeswitch (s, cases, dv, db) ->
       Lang.Ast.Typeswitch
         (f s, List.map (fun (ty, v, b) -> (ty, v, f b)) cases, dv, f db)
-    | Lang.Ast.Ifp { var; seed; body } ->
-      Lang.Ast.Ifp { var; seed = f seed; body = f body }
+    | Lang.Ast.Ifp { var; seed; body; accum } ->
+      let accum =
+        Option.map
+          (fun (a : Lang.Ast.accum) ->
+            { a with Lang.Ast.weight = Option.map f a.Lang.Ast.weight })
+          accum
+      in
+      Lang.Ast.Ifp { var; seed = f seed; body = f body; accum }
   in
   let main = go p.Lang.Ast.main in
   let functions =

@@ -45,6 +45,12 @@ type report = {
   fallbacks : string list;
       (** algebra-engine IFP sites that fell back to the interpreter,
           with reasons *)
+  semiring : string option;
+      (** the [accumulate by] kind of the last annotated IFP, if any *)
+  annotations : (string * string) list;
+      (** [(serialized node, annotation)] pairs of the last annotated
+          IFP, in document order — how [run]/[client] print
+          [node @ annotation] *)
 }
 
 exception Error of string

@@ -78,7 +78,7 @@ let all_nodes items =
 let adopt t ~hash ~config ~program ~stratified ~max_iterations ~result
     ~footprint =
   match program.Lang.Ast.main with
-  | Lang.Ast.Ifp { var; seed; body } when all_nodes result -> (
+  | Lang.Ast.Ifp { var; seed; body; accum = None } when all_nodes result -> (
     match Analyze.ivm_eligibility ~stratified program with
     | Analyze.Ivm_ineligible _ -> ()
     | cls ->

@@ -106,8 +106,21 @@ type expr =
   | Typeswitch of expr * (seq_type * string option * expr) list * string option * expr
       (** scrutinee, cases (type, optional case variable, body), default
           variable, default body *)
-  | Ifp of { var : string; seed : expr; body : expr }
-      (** [with $var seeded by seed recurse body] *)
+  | Ifp of { var : string; seed : expr; body : expr; accum : accum option }
+      (** [with $var seeded by seed recurse body], optionally followed
+          by [accumulate by kind(weight)] — a semiring annotation on
+          every accumulated node *)
+
+(** The [accumulate by] clause of an IFP: the annotation semiring and,
+    for [min]/[max], the per-node weight expression (evaluated with the
+    produced node as the context item). *)
+and accum = {
+  kind :
+    (Fixq_semiring.Semiring.kind
+    [@printer Fixq_semiring.Semiring.pp_kind]
+    [@equal Fixq_semiring.Semiring.equal_kind]);
+  weight : expr option;
+}
 [@@deriving show { with_path = false }, eq]
 
 (** A user-defined function declaration. Parameter and return types are
@@ -192,8 +205,11 @@ let free_vars (e : expr) : (string, unit) Hashtbl.t =
         cases;
       let bound = match dvar with Some v -> v :: bound | None -> bound in
       go bound dbody
-    | Ifp { var; seed; body } ->
+    | Ifp { var; seed; body; accum } ->
       go bound seed;
+      (match accum with
+      | Some { weight = Some w; _ } -> go bound w
+      | _ -> ());
       go (var :: bound) body
   in
   go [] e;
@@ -238,7 +254,11 @@ let rec has_constructor = function
     has_constructor s
     || List.exists (fun (_, _, b) -> has_constructor b) cases
     || has_constructor d
-  | Ifp { seed; body; _ } -> has_constructor seed || has_constructor body
+  | Ifp { seed; body; accum; _ } ->
+    has_constructor seed || has_constructor body
+    || (match accum with
+       | Some { weight = Some w; _ } -> has_constructor w
+       | _ -> false)
 
 (** Is the value of [e] guaranteed never to be a single numeric atom?
     Filter predicates treat exactly that shape as an implicit position
@@ -314,8 +334,11 @@ let rec calls_position_or_last = function
     calls_position_or_last s
     || List.exists (fun (_, _, b) -> calls_position_or_last b) cases
     || calls_position_or_last d
-  | Ifp { seed; body; _ } ->
+  | Ifp { seed; body; accum; _ } ->
     calls_position_or_last seed || calls_position_or_last body
+    || (match accum with
+       | Some { weight = Some w; _ } -> calls_position_or_last w
+       | _ -> false)
 
 (** Capture-avoiding-enough substitution [e1\[e2/$x\]] — the paper's
     [e1(e2)]. Inner rebindings of [$x] shadow as expected; we do not
@@ -390,9 +413,14 @@ let rec subst x replacement e =
     in
     let dbody = if dvar = Some x then dbody else s dbody in
     Typeswitch (s scrut, cases, dvar, dbody)
-  | Ifp { var; seed; body } ->
+  | Ifp { var; seed; body; accum } ->
     let body = if String.equal var x then body else s body in
-    Ifp { var; seed = s seed; body }
+    let accum =
+      Option.map
+        (fun a -> { a with weight = Option.map s a.weight })
+        accum
+    in
+    Ifp { var; seed = s seed; body; accum }
 
 (** Fresh variable names for rewrites. *)
 let fresh_var =

@@ -12,10 +12,14 @@ exception Error of string
 
 let err fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
 
+module Semiring = Fixq_semiring.Semiring
+module Kernel = Fixq_semiring.Kernel
+
 type ifp_site = {
   ifp_var : string;
   ifp_seed : Item.seq;
   ifp_body : Ast.expr;
+  ifp_accum : Ast.accum option;
   ifp_bindings : (string * Item.seq) list;
   ifp_context : Item.t option;
 }
@@ -29,6 +33,9 @@ type t = {
   max_call_depth : int;
   mutable globals : Item.seq Smap.t;
   mutable last_ifp_used_delta : bool option;
+  mutable last_annotations :
+    (Semiring.kind * (Node.t * Semiring.ann) list) option;
+      (** annotated result of the most recent [accumulate by] fixpoint *)
   mutable ifp_handler : (ifp_site -> Item.seq option) option;
   stratified : bool;
   domains : int option;  (** Some d: run Delta rounds on d domains *)
@@ -46,8 +53,8 @@ let create ?(registry = Doc_registry.default) ?(strategy = Auto)
     ?(stratified = false) ?domains ?(chunk_threshold = 64) () =
   { functions = Hashtbl.create 16; registry; stats = Stats.create ();
     strategy; max_iterations; max_call_depth; globals = Smap.empty;
-    last_ifp_used_delta = None; ifp_handler = None; stratified; domains;
-    chunk_threshold }
+    last_ifp_used_delta = None; last_annotations = None; ifp_handler = None;
+    stratified; domains; chunk_threshold }
 
 let set_ifp_handler t h = t.ifp_handler <- h
 
@@ -57,6 +64,7 @@ let set_strategy t s = t.strategy <- s
 let registry t = t.registry
 let functions t = t.functions
 let last_ifp_used_delta t = t.last_ifp_used_delta
+let last_annotations t = t.last_annotations
 
 let builtin_ctx t env =
   let (context_item, context_pos, context_size) =
@@ -448,7 +456,7 @@ let rec eval t env (e : expr) : Item.seq =
         else try_cases rest
     in
     try_cases cases
-  | Ifp { var; seed; body } -> eval_ifp t env var seed body
+  | Ifp { var; seed; body; accum } -> eval_ifp t env var seed body accum
 
 and eval_node_cmp t env a b op =
   let na = eval t env a and nb = eval t env b in
@@ -527,7 +535,7 @@ and eval_call t env f args =
       in
       eval t { vars; ctx = None; depth = env.depth + 1 } fd.body)
 
-and eval_ifp t env var seed body =
+and eval_ifp t env var seed body accum =
   let seed_v = eval t env seed in
   let external_result =
     match t.ifp_handler with
@@ -547,11 +555,11 @@ and eval_ifp t env var seed body =
       in
       handler
         { ifp_var = var; ifp_seed = seed_v; ifp_body = body;
-          ifp_bindings = bindings; ifp_context = context }
+          ifp_accum = accum; ifp_bindings = bindings; ifp_context = context }
   in
   match external_result with
   | Some result -> result
-  | None ->
+  | None -> (
     let body_fn input =
       eval t { env with vars = Smap.add var input env.vars } body
     in
@@ -563,20 +571,65 @@ and eval_ifp t env var seed body =
         Distributivity.check ~functions:t.functions ~stratified:t.stratified
           var body
     in
-    t.last_ifp_used_delta <- Some use_delta;
-    match (use_delta, t.domains) with
-    | (true, Some d) ->
-      (* Parallel Delta is only sound for constructor-free distributive
-         bodies — exactly the bodies Delta itself is chosen for. *)
-      Fixpoint.delta_parallel ~max_iterations:t.max_iterations ~domains:d
-        ~chunk_threshold:t.chunk_threshold ~stats:t.stats ~body:body_fn
-        ~seed:seed_v ()
-    | (true, None) ->
-      Fixpoint.delta ~max_iterations:t.max_iterations ~stats:t.stats
-        ~body:body_fn ~seed:seed_v ()
-    | (false, _) ->
-      Fixpoint.naive ~max_iterations:t.max_iterations ~stats:t.stats
-        ~body:body_fn ~seed:seed_v ()
+    match accum with
+    | Some a -> eval_ifp_semiring t env var seed_v body a ~use_delta ~body_fn
+    | None -> (
+      t.last_ifp_used_delta <- Some use_delta;
+      match (use_delta, t.domains) with
+      | (true, Some d) ->
+        (* Parallel Delta is only sound for constructor-free distributive
+           bodies — exactly the bodies Delta itself is chosen for. *)
+        Fixpoint.delta_parallel ~max_iterations:t.max_iterations ~domains:d
+          ~chunk_threshold:t.chunk_threshold ~stats:t.stats ~body:body_fn
+          ~seed:seed_v ()
+      | (true, None) ->
+        Fixpoint.delta ~max_iterations:t.max_iterations ~stats:t.stats
+          ~body:body_fn ~seed:seed_v ()
+      | (false, _) ->
+        Fixpoint.naive ~max_iterations:t.max_iterations ~stats:t.stats
+          ~body:body_fn ~seed:seed_v ()))
+
+(* [accumulate by …]: route the fixpoint through the semiring kernel.
+   [bool] runs the batch kernel with the same naive/delta choice as the
+   legacy loop (byte-identical results and round statistics); the other
+   kinds feed the body one frontier node at a time so each produced
+   node's annotation extends its source's via ⊗, re-feeding only strict
+   improvements. *)
+and eval_ifp_semiring t env var seed_v body a ~use_delta ~body_fn =
+  let kind = a.kind in
+  let record ~fed ~produced ~result_size =
+    Stats.record_iteration t.stats ~fed ~produced ~result_size
+  in
+  Stats.start_run t.stats;
+  let acc =
+    match
+      Kernel.run ~max_iterations:t.max_iterations ~kind ~use_delta ~record
+        ~body:body_fn
+        ~step:(fun n ->
+          eval t { env with vars = Smap.add var [ Item.N n ] env.vars } body)
+        ~weight:(weight_fn t env a) ~seed:seed_v ()
+    with
+    | acc -> acc
+    | exception Kernel.Diverged i -> raise (Fixpoint.Diverged i)
+  in
+  t.last_ifp_used_delta <- Some (kind <> Semiring.Bool || use_delta);
+  t.last_annotations <- Some (kind, Kernel.Annot_acc.entries acc);
+  Kernel.Annot_acc.to_seq acc
+
+(* The weight expression of [min]/[max] is evaluated once per produced
+   node, with that node as the context item (the recursion variable is
+   not in scope). It must yield a single number. *)
+and weight_fn t env (a : Ast.accum) =
+  match a.weight with
+  | None -> None
+  | Some we ->
+    Some
+      (fun n ->
+        let env' = { env with ctx = Some (Item.N n, 1, 1) } in
+        match Item.atomize (eval t env' we) with
+        | [ atom ] -> Atom.to_number atom
+        | [] -> err "accumulate by: the weight expression yielded ()"
+        | _ -> err "accumulate by: the weight expression is not a singleton")
 
 (* ------------------------------------------------------------------ *)
 (* Program interface                                                   *)

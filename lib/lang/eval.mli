@@ -46,13 +46,24 @@ val functions : t -> (string, Ast.fundef) Hashtbl.t
     IFP ran). *)
 val last_ifp_used_delta : t -> bool option
 
+(** Annotated result of the most recent [accumulate by] fixpoint: the
+    semiring kind and each accumulated node's final annotation, in
+    document order. [None] before any annotated IFP ran. *)
+val last_annotations :
+  t ->
+  (Fixq_semiring.Semiring.kind
+  * (Fixq_xdm.Node.t * Fixq_semiring.Semiring.ann) list)
+  option
+
 (** Everything an external IFP executor needs about an [Ifp] site: the
     recursion variable, the evaluated seed, the body expression, the
-    values of the body's other free variables, and the context item. *)
+    [accumulate by] clause (if any), the values of the body's other
+    free variables, and the context item. *)
 type ifp_site = {
   ifp_var : string;
   ifp_seed : Fixq_xdm.Item.seq;
   ifp_body : Ast.expr;
+  ifp_accum : Ast.accum option;
   ifp_bindings : (string * Fixq_xdm.Item.seq) list;
   ifp_context : Fixq_xdm.Item.t option;
 }

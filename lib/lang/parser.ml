@@ -419,7 +419,49 @@ and parse_ifp lx =
   let seed = parse_single lx in
   expect_name lx "recurse";
   let body = parse_single lx in
-  Ifp { var; seed; body }
+  let accum = if is_kw lx "accumulate" then Some (parse_accum lx) else None in
+  Ifp { var; seed; body; accum }
+
+(* [accumulate by KIND] or [accumulate by KIND(weight)] after an IFP
+   body. KIND names an annotation semiring; min/max require a weight
+   expression (evaluated per produced node), the rest refuse one. *)
+and parse_accum lx =
+  expect_name lx "accumulate";
+  expect_name lx "by";
+  let kind_name =
+    match Lexer.next lx with
+    | Lexer.NAME n -> n
+    | tok ->
+      fail lx
+        "accumulate by: expected a semiring kind (bool, count, max, min or \
+         why), got %s"
+        (Lexer.describe tok)
+  in
+  match Fixq_semiring.Semiring.kind_of_string kind_name with
+  | None ->
+    fail lx
+      "accumulate by: unknown semiring kind %S (expected bool, count, max, \
+       min or why)"
+      kind_name
+  | Some kind -> (
+    let weight =
+      if Lexer.peek lx = Lexer.LPAREN then begin
+        Lexer.advance lx;
+        let w = parse_expr_seq lx in
+        expect lx Lexer.RPAREN;
+        Some w
+      end
+      else None
+    in
+    match (Fixq_semiring.Semiring.takes_weight kind, weight) with
+    | (true, None) ->
+      fail lx
+        "accumulate by %s: a weight expression is required, e.g. \
+         'accumulate by %s(number(@cost))'"
+        kind_name kind_name
+    | (false, Some _) ->
+      fail lx "accumulate by %s does not take a weight expression" kind_name
+    | _ -> { kind; weight })
 
 and parse_or lx =
   let start = Lexer.token_start lx in

@@ -178,9 +178,17 @@ let rec go (e : expr) : string =
       (String.concat "" (List.map case cases))
       (match dvar with None -> "" | Some v -> "$" ^ v ^ " ")
       (go dbody)
-  | Ifp { var; seed; body } ->
-    Printf.sprintf "(with $%s seeded by %s recurse %s)" var (go seed)
+  | Ifp { var; seed; body; accum } ->
+    Printf.sprintf "(with $%s seeded by %s recurse %s%s)" var (go seed)
       (go body)
+      (match accum with
+      | None -> ""
+      | Some { kind; weight } ->
+        Printf.sprintf " accumulate by %s%s"
+          (Fixq_semiring.Semiring.kind_to_string kind)
+          (match weight with
+          | None -> ""
+          | Some w -> "(" ^ go w ^ ")"))
 
 (* Base of a predicate: like a path operand, except that a Path base
    must be parenthesized — "a/b[p]" attaches the predicate to the last

@@ -51,7 +51,13 @@ let rec map_expr f e =
     | Doc_constr a -> Doc_constr (m a)
     | Typeswitch (s, cases, dv, db) ->
       Typeswitch (m s, List.map (fun (ty, v, b) -> (ty, v, m b)) cases, dv, m db)
-    | Ifp { var; seed; body } -> Ifp { var; seed = m seed; body = m body }
+    | Ifp { var; seed; body; accum } ->
+      let accum =
+        Option.map
+          (fun a -> { a with weight = Option.map m a.weight })
+          accum
+      in
+      Ifp { var; seed = m seed; body = m body; accum }
   in
   f e'
 
@@ -71,7 +77,9 @@ let desugar_with ~make p =
   let rewrite_expr e =
     map_expr
       (function
-        | Ifp { var; seed; body } ->
+        (* Annotated IFPs have no recursive-function reading in the set
+           semantics of the Figure 2/4 templates; they stay in place. *)
+        | Ifp { var; seed; body; accum = None } ->
           incr counter;
           let extras =
             List.filter (fun v -> v <> var) (free_vars_list body)
@@ -187,8 +195,8 @@ let hint_program p =
   let rewrite e =
     map_expr
       (function
-        | Ifp { var; seed; body } ->
-          Ifp { var; seed; body = distributivity_hint ~var body }
+        | Ifp { var; seed; body; accum } ->
+          Ifp { var; seed; body = distributivity_hint ~var body; accum }
         | e -> e)
       e
   in

@@ -7,6 +7,12 @@
     exactly those templates. {!desugar_naive} and {!desugar_delta}
     perform that instantiation on a whole program. *)
 
+(** Bottom-up expression mapper: rebuild [e] with every subexpression
+    (children first) passed through [f]. The workhorse behind the
+    desugarings below, exposed for whole-program AST surgery elsewhere
+    (e.g. annotating every [Ifp] with an [accumulate by] clause). *)
+val map_expr : (Ast.expr -> Ast.expr) -> Ast.expr -> Ast.expr
+
 (** [desugar_naive p] replaces every [Ifp] node in [p] by a call to a
     freshly declared [fix]-style function pair (Figure 2):
 

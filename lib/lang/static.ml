@@ -108,8 +108,11 @@ let check_program (p : program) : diagnostic list =
         cases;
       let bound = match dvar with Some v -> v :: bound | None -> bound in
       walk ctx bound dbody
-    | Ifp { var; seed; body } ->
+    | Ifp { var; seed; body; accum } ->
       w seed;
+      (match accum with
+      | Some { weight = Some wexpr; _ } -> w wexpr
+      | _ -> ());
       if not (is_free var body) then
         emit ~at:e Warning "FQ015" ctx
           "the recursion body never uses $%s: the fixed point converges \

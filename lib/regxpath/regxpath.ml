@@ -189,7 +189,7 @@ let rec to_ifp = function
     let var = Ast.fresh_var "rx" in
     Ast.Ifp
       { var; seed = Ast.Context_item;
-        body = Ast.Path (Ast.Var var, to_ifp p) }
+        body = Ast.Path (Ast.Var var, to_ifp p); accum = None }
 
 let eval ?(strategy = Eval.Auto) starts p =
   let e = to_ifp p in

@@ -1,0 +1,139 @@
+(** Annotation semirings for inflationary fixed points.
+
+    The paper's IFP accumulates a plain node set — the boolean semiring:
+    a node is in or out. Following "Convergence of Datalog over
+    (Pre-)Semirings" (Abo Khamis et al.) and Zaniolo et al.'s
+    aggregate-fixpoint work, the same inflationary loop runs over any
+    naturally ordered semiring: each accumulated node carries an
+    annotation, [absorb] merges annotations with the semiring's ⊕, and
+    only nodes whose annotation {e strictly improved} are re-fed — so
+    the |∆|-scaling of the Delta loop carries over unchanged.
+
+    Convergence is classified by semiring stability:
+    - stable semirings ([Bool], [Max], [Why]) reach a fixpoint in at
+      most |domain| rounds — the loop terminates;
+    - p-stable semirings ([Min], the tropical semiring) converge within
+      a polynomial round bound — termination is bounded but annotations
+      may improve after the node set has stabilized;
+    - unstable semirings ([Count], ℕ under +) diverge on cyclic data —
+      the query may diverge and needs an explicit budget. *)
+
+module Node = Fixq_xdm.Node
+
+module Int_set = Set.Make (Int)
+
+type kind =
+  | Bool  (** set membership — the paper's IFP, byte-identical *)
+  | Count  (** ⊕ = +: number of distinct derivations per node *)
+  | Max  (** ⊕ = max, ⊗ = min: widest-bottleneck annotation *)
+  | Min  (** ⊕ = min, ⊗ = +: tropical semiring, cheapest derivation *)
+  | Why  (** ⊕ = ∪ over seed-witness sets: why-provenance *)
+
+let kind_to_string = function
+  | Bool -> "bool"
+  | Count -> "count"
+  | Max -> "max"
+  | Min -> "min"
+  | Why -> "why"
+
+let kind_of_string = function
+  | "bool" -> Some Bool
+  | "count" -> Some Count
+  | "max" -> Some Max
+  | "min" -> Some Min
+  | "why" -> Some Why
+  | _ -> None
+
+let pp_kind ppf k = Format.pp_print_string ppf (kind_to_string k)
+let show_kind = kind_to_string
+let equal_kind (a : kind) (b : kind) = a = b
+
+(** Does the accumulate kind take a weight expression? [Min]/[Max]
+    extend a source annotation with the produced node's weight; the
+    other kinds propagate annotations structurally. *)
+let takes_weight = function Min | Max -> true | Bool | Count | Why -> false
+
+type stability = Stable | P_stable | Unstable
+
+let stability = function
+  | Bool | Max | Why -> Stable
+  | Min -> P_stable
+  | Count -> Unstable
+
+let stability_string = function
+  | Stable -> "stable"
+  | P_stable -> "p-stable"
+  | Unstable -> "unstable"
+
+(* ------------------------------------------------------------------ *)
+(* Annotations                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type ann =
+  | Mark  (** [Bool]: presence *)
+  | Num of float  (** [Count]/[Min]/[Max] *)
+  | Wit of Int_set.t  (** [Why]: ids of the seed nodes this node derives from *)
+
+let num = function
+  | Num f -> f
+  | Mark | Wit _ -> invalid_arg "Semiring.num: not a numeric annotation"
+
+(* Annotation of a seed node: the ⊗-neutral starting point of every
+   derivation rooted at it. *)
+let seed_ann kind (n : Node.t) =
+  match kind with
+  | Bool -> Mark
+  | Count -> Num 1.0  (* one derivation: the seed itself *)
+  | Min -> Num 0.0  (* zero accumulated cost *)
+  | Max -> Num infinity  (* an unconstrained bottleneck *)
+  | Why -> Wit (Int_set.singleton n.Node.id)
+
+(* ⊗: extend a source annotation across one derivation step onto a
+   produced node whose weight is [w] ([None] for weightless kinds). *)
+let extend kind src w =
+  match (kind, src) with
+  | (Bool, _) -> Mark
+  | (Count, a) -> a  (* each derivation of the source yields one here *)
+  | (Min, Num c) -> Num (c +. Option.value ~default:0.0 w)
+  | (Max, Num c) -> Num (Float.min c (Option.value ~default:infinity w))
+  | (Why, a) -> a
+  | ((Min | Max), _) -> invalid_arg "Semiring.extend: non-numeric annotation"
+
+(* ⊕ with strict-improvement detection. [improve ~old ~incoming] returns
+   the updated stored annotation together with the {e increment} to
+   re-feed, or [None] when the incoming annotation is absorbed without
+   change. The increment is what downstream nodes still need to see:
+   the new best value for [Min]/[Max], the count delta for [Count], the
+   genuinely new witnesses for [Why]. *)
+let improve kind ~old ~incoming =
+  match (kind, old, incoming) with
+  | (Bool, Mark, Mark) -> None
+  | (Count, Num c, Num d) -> if d = 0.0 then None else Some (Num (c +. d), Num d)
+  | (Min, Num c, Num d) -> if d < c then Some (Num d, Num d) else None
+  | (Max, Num c, Num d) -> if d > c then Some (Num d, Num d) else None
+  | (Why, Wit s, Wit s') ->
+    let fresh = Int_set.diff s' s in
+    if Int_set.is_empty fresh then None
+    else Some (Wit (Int_set.union s s'), Wit fresh)
+  | _ -> invalid_arg "Semiring.improve: annotation does not match the kind"
+
+let float_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    string_of_int (int_of_float f)
+  else if f = infinity then "INF"
+  else Printf.sprintf "%g" f
+
+let ann_to_string = function
+  | Mark -> "true"
+  | Num f -> float_to_string f
+  | Wit s ->
+    "{"
+    ^ String.concat "," (List.map string_of_int (Int_set.elements s))
+    ^ "}"
+
+let equal_ann a b =
+  match (a, b) with
+  | (Mark, Mark) -> true
+  | (Num x, Num y) -> Float.equal x y
+  | (Wit x, Wit y) -> Int_set.equal x y
+  | _ -> false

@@ -110,6 +110,11 @@ let divergence t =
   | [] -> None
   | r :: _ -> Some r.Analyze.divergence
 
+let semiring t =
+  match t.analysis.Analyze.ifps with
+  | [] -> None
+  | r :: _ -> r.Analyze.semiring
+
 let mode_for t = function
   | `Interp -> t.interp_mode
   | `Algebra -> t.algebra_mode

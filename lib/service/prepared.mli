@@ -69,6 +69,10 @@ val diagnostics : t -> Fixq_analysis.Diag.t list
     fixed point). *)
 val divergence : t -> Fixq_analysis.Analyze.divergence option
 
+(** [accumulate by] kind of the first IFP ([None] for a plain
+    fixpoint or a query without one). *)
+val semiring : t -> Fixq_semiring.Semiring.kind option
+
 (** The mode a request for the given engine kind should run with:
     [`Interp] → [interp_mode], [`Algebra] → [algebra_mode]. *)
 val mode_for : t -> [ `Interp | `Algebra ] -> Fixq.mode

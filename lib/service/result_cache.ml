@@ -7,6 +7,8 @@ type entry = {
   depth : int;
   wall_ms : float;
   footprint : (string * int) list;
+  semiring : string option;
+  annotations : (string * string) list;
 }
 
 type t = (string, entry) Lru.t

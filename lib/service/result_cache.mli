@@ -27,6 +27,11 @@ type entry = {
   wall_ms : float;  (** cost of the original execution *)
   footprint : (string * int) list;
       (** sorted [(uri, doc_generation)] pairs read by the execution *)
+  semiring : string option;
+      (** [accumulate by] kind of the run, if the query was annotated *)
+  annotations : (string * string) list;
+      (** [(serialized node, annotation)] pairs for annotated queries,
+          replayed verbatim on a cache hit *)
 }
 
 type t

@@ -2,6 +2,7 @@ module Xdm = Fixq_xdm
 module Diag = Fixq_analysis.Diag
 module Analyze = Fixq_analysis.Analyze
 module Ivm = Fixq_ivm.Ivm
+module Semiring = Fixq_semiring.Semiring
 
 type config = {
   workers : int;
@@ -93,6 +94,9 @@ let get_prepared t ~stratified ~max_iterations query =
     let p = Prepared.prepare ~store:t.store ~stratified ~max_iterations query in
     (match Prepared.divergence p with
     | Some d -> bump_analysis t (Analyze.divergence_string d)
+    | None -> ());
+    (match Prepared.semiring p with
+    | Some k -> bump_analysis t ("semiring:" ^ Semiring.kind_to_string k)
     | None -> ());
     Lru.put t.prepared key p;
     (p, "miss")
@@ -198,9 +202,17 @@ let handle_run t ~id
   match (if unbudgeted then Prepared.divergence prepared else None) with
   | Some (Analyze.May_diverge reason) ->
     bump_analysis t "refused";
+    (* An unstable [accumulate by] semiring gets its own code so
+       clients can distinguish "your aggregate cannot stabilize" from
+       the structural may-diverge verdict. *)
+    let code =
+      match Prepared.semiring prepared with
+      | Some k when Semiring.stability k = Semiring.Unstable -> "FQ043"
+      | _ -> "FQ040"
+    in
     Protocol.error_response ~id
       ~extra:
-        [ ("code", Json.Str "FQ040");
+        [ ("code", Json.Str code);
           ("divergence", Json.Str "may-diverge");
           ("reason", Json.Str reason) ]
       (Printf.sprintf
@@ -221,6 +233,18 @@ let handle_run t ~id
         Printf.sprintf "%s:%s:%b" engine_str (mode_string run_mode) stratified }
   in
   let respond ~result_status ?(extra = []) (entry : Result_cache.entry) =
+    let annotated =
+      match entry.Result_cache.semiring with
+      | None -> []
+      | Some kind ->
+        [ ("semiring", Json.Str kind);
+          ("annotations",
+           Json.List
+             (List.map
+                (fun (x, a) ->
+                  Json.Obj [ ("x", Json.Str x); ("a", Json.Str a) ])
+                entry.Result_cache.annotations)) ]
+    in
     Protocol.ok_response ~id
       ([ ("engine", Json.Str engine_str);
          ("mode", Json.Str (mode_string run_mode));
@@ -231,7 +255,7 @@ let handle_run t ~id
          ("nodes_fed", Json.of_int entry.Result_cache.nodes_fed);
          ("depth", Json.of_int entry.Result_cache.depth);
          ("result", Json.Str entry.Result_cache.serialized) ]
-      @ extra
+      @ annotated @ extra
       @ [ ("wall_ms", Json.Num entry.Result_cache.wall_ms) ])
   in
   (* Partitioned runs (the cluster's scatter legs) always execute: the
@@ -270,7 +294,9 @@ let handle_run t ~id
           Xdm.Serializer.seq_to_string report.Fixq.result;
         used_delta = report.Fixq.used_delta;
         nodes_fed = report.Fixq.nodes_fed; depth = report.Fixq.depth;
-        wall_ms = report.Fixq.wall_ms; footprint }
+        wall_ms = report.Fixq.wall_ms; footprint;
+        semiring = report.Fixq.semiring;
+        annotations = report.Fixq.annotations }
     in
     (* Cache only when no document changed under the evaluation: a
        concurrent load-doc would make this entry's footprint stamps a
@@ -334,6 +360,14 @@ let handle_check t ~id query stratified =
       ("divergence",
        (match Prepared.divergence p with
        | Some d -> Json.Str (Analyze.divergence_string d)
+       | None -> Json.Null));
+      ("semiring",
+       (match Prepared.semiring p with
+       | Some k -> Json.Str (Semiring.kind_to_string k)
+       | None -> Json.Null));
+      ("convergence",
+       (match Prepared.semiring p with
+       | Some k -> Json.Str (Semiring.stability_string (Semiring.stability k))
        | None -> Json.Null));
       ("node_only",
        Json.of_bool_opt
@@ -517,12 +551,25 @@ let prometheus_stats t =
   (match analysis_counter_rows t with
   | [] -> ()
   | rows ->
+    let is_semiring k =
+      String.length k > 9 && String.sub k 0 9 = "semiring:"
+    in
     counter_family "fixq_prepared_divergence_total"
       (List.filter_map
          (fun (k, v) ->
-           if k = "refused" then None
+           if k = "refused" || is_semiring k then None
            else Some (Printf.sprintf "class=%S" k, v))
          rows);
+    (match List.filter (fun (k, _) -> is_semiring k) rows with
+    | [] -> ()
+    | semi ->
+      counter_family "fixq_semiring_queries_total"
+        (List.map
+           (fun (k, v) ->
+             ( Printf.sprintf "kind=%S"
+                 (String.sub k 9 (String.length k - 9)),
+               v ))
+           semi));
     (match List.assoc_opt "refused" rows with
     | Some n ->
       counter_family "fixq_refused_queries_total"

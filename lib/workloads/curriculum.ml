@@ -11,7 +11,10 @@ type params = {
 let default =
   { courses = 800; seed = 11; max_prereqs = 3; back_edge_fraction = 0.02 }
 
-let generate p =
+(* [costs] adds a [@cost] attribute per course without perturbing the
+   structure rng stream, so the weighted document has exactly the
+   edge structure of the plain one. *)
+let generate_with ?costs p =
   let rng = Rng.create p.seed in
   let code i = Printf.sprintf "c%d" (i + 1) in
   let course i =
@@ -33,10 +36,12 @@ let generate p =
         [ Node.E ("pre_code", [], [ Node.T (code (Rng.int rng i)) ]) ]
       else []
     in
+    let attrs =
+      ("code", code i)
+      :: (match costs with None -> [] | Some f -> [ ("cost", f i) ])
+    in
     Node.E
-      ( "course",
-        [ ("code", code i) ],
-        [ Node.E ("prerequisites", [], forward @ backward) ] )
+      ("course", attrs, [ Node.E ("prerequisites", [], forward @ backward) ])
   in
   let doc =
     Node.of_spec ~id_attrs:[ "code" ]
@@ -44,8 +49,21 @@ let generate p =
   in
   doc
 
+let generate p = generate_with p
+
+let generate_weighted p =
+  let cost_rng = Rng.create (p.seed lxor 0x9e3779) in
+  let costs = Array.init p.courses (fun _ -> 1 + Rng.int cost_rng 9) in
+  generate_with ~costs:(fun i -> string_of_int costs.(i)) p
+
 let load ?(registry = Doc_registry.default) ?(uri = "curriculum.xml") p =
   let doc = generate p in
+  Doc_registry.register ~registry uri doc;
+  doc
+
+let load_weighted ?(registry = Doc_registry.default)
+    ?(uri = "curriculum.xml") p =
+  let doc = generate_weighted p in
   Doc_registry.register ~registry uri doc;
   doc
 
@@ -94,3 +112,66 @@ let self_prerequisite_codes doc =
     go start
   in
   List.filter reaches_self (List.rev !codes)
+
+(* Reference Bellman-Ford over the prerequisite edge list with
+   node costs, mirroring the min-semiring kernel's semantics: the seed
+   propagates 0, a derived course's distance is min over incoming
+   derivations of (source distance + its own [@cost]), and only
+   {e derived} courses are reported (the seed appears only if some
+   course requires it back). The test oracle for
+   [accumulate by min(number(./@cost))]. *)
+let cheapest_prerequisite_costs doc ~from =
+  let root = Node.root doc in
+  let cost = Hashtbl.create 256 in
+  let edges = Hashtbl.create 256 in
+  let codes = ref [] in
+  Node.iter_subtree
+    (fun n ->
+      if Node.name n = "course" then begin
+        let attr name =
+          List.find_opt (fun a -> Node.name a = name) (Node.attributes n)
+          |> Option.map Node.string_value
+        in
+        let c = Option.value ~default:"" (attr "code") in
+        codes := c :: !codes;
+        Hashtbl.replace cost c
+          (match attr "cost" with Some s -> float_of_string s | None -> 1.0);
+        let pres = ref [] in
+        Node.iter_subtree
+          (fun m ->
+            if Node.name m = "pre_code" then
+              pres := Node.string_value m :: !pres)
+          n;
+        Hashtbl.replace edges c (List.rev !pres)
+      end)
+    root;
+  let best = Hashtbl.create 256 in
+  let dist c =
+    match Hashtbl.find_opt best c with Some d -> d | None -> infinity
+  in
+  (* The seed always propagates 0: re-deriving it can only cost more,
+     exactly as the kernel's ⊕ discards non-improvements. *)
+  let prop c = if String.equal c from then 0.0 else dist c in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun u pres ->
+        let du = prop u in
+        if du < infinity then
+          List.iter
+            (fun v ->
+              match Hashtbl.find_opt cost v with
+              | None -> ()
+              | Some cv ->
+                let cand = du +. cv in
+                if cand < dist v then begin
+                  Hashtbl.replace best v cand;
+                  changed := true
+                end)
+            pres)
+      edges
+  done;
+  List.filter_map
+    (fun c -> Option.map (fun d -> (c, d)) (Hashtbl.find_opt best c))
+    (List.rev !codes)

@@ -20,10 +20,26 @@ val default : params
 
 val generate : params -> Fixq_xdm.Node.t
 
+(** Same edge structure as {!generate} (the structure rng stream is
+    untouched) plus a per-course [@cost] attribute in 1–9 — the
+    weighted document behind [accumulate by min(number(./@cost))]. *)
+val generate_weighted : params -> Fixq_xdm.Node.t
+
 val load :
+  ?registry:Fixq_xdm.Doc_registry.t -> ?uri:string -> params -> Fixq_xdm.Node.t
+
+val load_weighted :
   ?registry:Fixq_xdm.Doc_registry.t -> ?uri:string -> params -> Fixq_xdm.Node.t
 
 (** Reference computation of the Rule-5 violations (graph closure on the
     edge list, no XQuery involved) — test oracle: codes of courses that
     transitively require themselves. *)
 val self_prerequisite_codes : Fixq_xdm.Node.t -> string list
+
+(** Reference Bellman-Ford over the prerequisite edge list of a
+    {!generate_weighted} document: cheapest cumulative cost of every
+    course transitively required by [from] (node costs; the seed
+    propagates 0 and is reported only if re-derived). Test oracle for
+    the min-semiring kernel. *)
+val cheapest_prerequisite_costs :
+  Fixq_xdm.Node.t -> from:string -> (string * float) list

@@ -79,6 +79,58 @@ where exists($c intersect
               recurse $x/id(./prerequisites/pre_code)))
 return $c|}
 
+(* ------------------------------------------------------------------ *)
+(* Semiring-annotated variants (accumulate by)                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Q1 over a weighted curriculum: cheapest cumulative cost of every
+   transitively required course — the tropical (min-cost) semiring,
+   Bellman-Ford over the derivation graph. *)
+let cheapest_prerequisite code =
+  Printf.sprintf
+    {|with $x seeded by doc("curriculum.xml")/curriculum/course[@code="%s"]
+recurse $x/id(./prerequisites/pre_code)
+accumulate by min(number(./@cost))|}
+    code
+
+(* Figure-10 bidder reach over a rated people section: the max semiring
+   keeps, per reachable person, the best bottleneck rating over all
+   referral chains (widest path). *)
+let weighted_bidder_reach pid =
+  Printf.sprintf
+    {|declare variable $doc := doc("auction.xml");
+
+declare function bidder ($in as node()*) as node()*
+{ for $id in $in/@id
+  let $b := $doc//open_auction[seller/@person = $id]
+            /bidder/personref
+  return $doc//people/person[@id = $b/@person]
+};
+
+with $x seeded by $doc//people/person[@id = "%s"]
+recurse bidder ($x)
+accumulate by max(number(./@rating))|}
+    pid
+
+(* Counting semiring over Q1: number of distinct prerequisite
+   derivation paths per course. Unstable on cyclic curricula — serve
+   refuses it without a budget (FQ043). *)
+let counted_closure code =
+  Printf.sprintf
+    {|with $x seeded by doc("curriculum.xml")/curriculum/course[@code="%s"]
+recurse $x/id(./prerequisites/pre_code)
+accumulate by count|}
+    code
+
+(* Why-provenance over Q1: which seed witnesses support each derived
+   course. *)
+let witnessed_closure code =
+  Printf.sprintf
+    {|with $x seeded by doc("curriculum.xml")/curriculum/course[@code="%s"]
+recurse $x/id(./prerequisites/pre_code)
+accumulate by why|}
+    code
+
 (* Hereditary-disease exploration: close the genealogy downwards from
    every on-file patient, then keep the hereditary cases found among
    ancestors (vertical structural recursion into subtrees of depth ≤ 5,

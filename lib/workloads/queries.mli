@@ -42,3 +42,20 @@ val curriculum_check : string
 (** Hereditary-disease exploration: genealogy closure from hereditary
     cases down the nested patient records. *)
 val hospital : string
+
+(** Q1 over a {!Curriculum.generate_weighted} document with the
+    tropical semiring: cheapest cumulative [@cost] per transitively
+    required course, seeded at the given course code. *)
+val cheapest_prerequisite : string -> string
+
+(** Figure-10 bidder reach over a {!Xmark.generate_weighted} document
+    with the max semiring: best bottleneck [@rating] per reachable
+    person (widest path), seeded at the given person id. *)
+val weighted_bidder_reach : string -> string
+
+(** Q1 with the counting semiring: distinct derivation paths per
+    course. Unstable — serve refuses it without a budget (FQ043). *)
+val counted_closure : string -> string
+
+(** Q1 with why-provenance: seed witnesses per derived course. *)
+val witnessed_closure : string -> string

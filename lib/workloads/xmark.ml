@@ -16,14 +16,21 @@ let last_names =
   [| "Lovelace"; "Hopper"; "Turing"; "Dijkstra"; "Liskov"; "Knuth"; "Hoare";
      "Backus"; "Lamport"; "Milner" |]
 
-let generate p =
+(* [ratings] adds a [@rating] attribute per person from its own rng, so
+   the weighted network has exactly the edge structure of the plain
+   one. *)
+let generate_with ?ratings p =
   let rng = Rng.create p.seed in
   let persons = persons_of_scale p.scale in
   let auctions = auctions_of_scale p.scale in
   let person i =
+    let attrs =
+      ("id", Printf.sprintf "person%d" i)
+      :: (match ratings with None -> [] | Some f -> [ ("rating", f i) ])
+    in
     Node.E
       ( "person",
-        [ ("id", Printf.sprintf "person%d" i) ],
+        attrs,
         [ Node.E
             ( "name", [],
               [ Node.T
@@ -62,7 +69,20 @@ let generate p =
   in
   Node.of_spec spec
 
+let generate p = generate_with p
+
+let generate_weighted p =
+  let rating_rng = Rng.create (p.seed lxor 0x9e3779) in
+  let n = persons_of_scale p.scale in
+  let ratings = Array.init n (fun _ -> 1 + Rng.int rating_rng 9) in
+  generate_with ~ratings:(fun i -> string_of_int ratings.(i)) p
+
 let load ?(registry = Doc_registry.default) ?(uri = "auction.xml") p =
   let doc = generate p in
+  Doc_registry.register ~registry uri doc;
+  doc
+
+let load_weighted ?(registry = Doc_registry.default) ?(uri = "auction.xml") p =
+  let doc = generate_weighted p in
   Doc_registry.register ~registry uri doc;
   doc

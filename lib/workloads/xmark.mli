@@ -24,6 +24,14 @@ val auctions_of_scale : float -> int
 (** Generate a document. *)
 val generate : params -> Fixq_xdm.Node.t
 
+(** Same network as {!generate} (the structure rng stream is untouched)
+    plus a per-person [@rating] attribute in 1–9 — the weighted
+    document behind the max-semiring (widest-path) bidder reach. *)
+val generate_weighted : params -> Fixq_xdm.Node.t
+
 (** Generate and register under [uri] (default ["auction.xml"]). *)
 val load :
+  ?registry:Fixq_xdm.Doc_registry.t -> ?uri:string -> params -> Fixq_xdm.Node.t
+
+val load_weighted :
   ?registry:Fixq_xdm.Doc_registry.t -> ?uri:string -> params -> Fixq_xdm.Node.t

@@ -30,8 +30,8 @@ bytes, and a cache-bypassing recompute returns the same bytes.
 The check op reports IVM eligibility alongside divergence:
 
   $ printf '%s\n' '{"op":"check","query":"with $x seeded by doc(\"t.xml\")/r recurse $x/*"}' '{"op":"shutdown"}' \
-  >   | fixq serve --pipe | head -1 | grep -o '"divergence":"[a-z-]*","node_only":[a-z]*,"ivm":"[a-z-]*"'
-  "divergence":"terminates","node_only":true,"ivm":"full"
+  >   | fixq serve --pipe | head -1 | grep -o '"divergence":"[a-z-]*".*"node_only":[a-z]*,"ivm":"[a-z-]*"'
+  "divergence":"terminates","semiring":null,"convergence":null,"node_only":true,"ivm":"full"
 
 Part 2 — cluster. The coordinator ships the patch only to the shard
 holding the uri and records it in the document's line history. The

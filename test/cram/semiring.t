@@ -1,0 +1,115 @@
+Semiring-annotated fixpoints end to end: min-cost, count, and why
+annotations from the CLI; bool-annotation byte-parity with the legacy
+IFP; lint classification; and the serve front end refusing an unstable
+semiring without a budget.
+
+  $ cat > curriculum.xml <<'XML'
+  > <!DOCTYPE curriculum [ <!ATTLIST course code ID #REQUIRED> ]>
+  > <curriculum>
+  >   <course code="c1" cost="1"><prerequisites><pre_code>c2</pre_code><pre_code>c3</pre_code></prerequisites></course>
+  >   <course code="c2" cost="2"><prerequisites><pre_code>c4</pre_code></prerequisites></course>
+  >   <course code="c3" cost="9"><prerequisites><pre_code>c4</pre_code></prerequisites></course>
+  >   <course code="c4" cost="3"><prerequisites/></course>
+  > </curriculum>
+  > XML
+
+  $ cat > cheapest.xq <<'XQ'
+  > with $x seeded by doc("curriculum.xml")/curriculum/course[@code="c1"]
+  > recurse $x/id(./prerequisites/pre_code)
+  > accumulate by min(number(./@cost))
+  > XQ
+
+The tropical semiring: each derived course is annotated with its
+cheapest cumulative cost (c4 is reached for 5 via c2, not 12 via c3):
+
+  $ fixq run --doc curriculum.xml=curriculum.xml cheapest.xq
+  <course code="c2" cost="2"><prerequisites><pre_code>c4</pre_code></prerequisites></course> <course code="c3" cost="9"><prerequisites><pre_code>c4</pre_code></prerequisites></course> <course code="c4" cost="3"><prerequisites/></course>
+  -- accumulate by min --
+  <course code="c2" cost="2"><prerequisites><pre_code>c4</pre_code></prerequisites></course> @ 2
+  <course code="c3" cost="9"><prerequisites><pre_code>c4</pre_code></prerequisites></course> @ 9
+  <course code="c4" cost="3"><prerequisites/></course> @ 5
+
+Bool annotations are byte-identical to the plain fixpoint, modulo the
+annotation trailer:
+
+  $ cat > plain.xq <<'XQ'
+  > with $x seeded by doc("curriculum.xml")/curriculum/course[@code="c1"]
+  > recurse $x/id(./prerequisites/pre_code)
+  > XQ
+  $ fixq run --doc curriculum.xml=curriculum.xml plain.xq > plain.out
+  $ { cat plain.xq; echo 'accumulate by bool'; } > bool.xq
+  $ fixq run --doc curriculum.xml=curriculum.xml bool.xq | sed '/^-- accumulate/,$d' > bool.out
+  $ cmp plain.out bool.out
+
+Counting derivation paths (c4 is reachable via c2 and via c3):
+
+  $ fixq run --doc curriculum.xml=curriculum.xml -e 'with $x seeded by doc("curriculum.xml")/curriculum/course[@code="c1"] recurse $x/id(./prerequisites/pre_code) accumulate by count' | grep -o '@ [0-9]*$'
+  @ 1
+  @ 1
+  @ 2
+
+Why-provenance over two seeds:
+
+  $ fixq run --doc curriculum.xml=curriculum.xml -e 'with $x seeded by doc("curriculum.xml")/curriculum/course[@code="c2" or @code="c3"] recurse $x/id(./prerequisites/pre_code) accumulate by why' | grep -o '@ {.*}$'
+  @ {13,20}
+
+Lint classifies semiring convergence: min is p-stable (FQ044, the node
+set converges but annotations keep improving for up to |nodes| extra
+rounds), count is unstable (FQ043):
+
+  $ fixq lint --doc curriculum.xml=curriculum.xml cheapest.xq
+  1:1: info FQ044 (main): accumulate by min over $x is p-stable: the node set converges but annotations improve for up to |nodes| extra rounds
+  ifp $x (main) at 1:1: divergence=bounded syntactic=distributive algebraic=distributive
+  $ fixq lint --doc curriculum.xml=curriculum.xml -e 'with $x seeded by doc("curriculum.xml")/curriculum/course[@code="c1"] recurse $x/id(./prerequisites/pre_code) accumulate by count'
+  1:1: warning FQ043 (main): unstable semiring: accumulate by count over $x may diverge: the count semiring is not stable: annotations on a cycle through $x can grow on every round
+  ifp $x (main) at 1:1: divergence=may-diverge syntactic=distributive algebraic=distributive
+
+The serve front end refuses the unstable counting semiring without an
+iteration budget (FQ043, not the generic FQ040), reports semiring and
+convergence in check responses, runs the p-stable min query, and counts
+semiring queries per kind in the Prometheus export:
+
+  $ cat > session.jsonl <<'EOF'
+  > {"op":"load-doc","id":1,"uri":"curriculum.xml","path":"curriculum.xml"}
+  > {"op":"run","id":2,"query":"with $x seeded by doc(\"curriculum.xml\")/curriculum/course[@code=\"c1\"] recurse $x/id(./prerequisites/pre_code) accumulate by count"}
+  > {"op":"run","id":3,"query":"with $x seeded by doc(\"curriculum.xml\")/curriculum/course[@code=\"c1\"] recurse $x/id(./prerequisites/pre_code) accumulate by count","max_iterations":100}
+  > {"op":"check","id":4,"query":"with $x seeded by doc(\"curriculum.xml\")/curriculum/course[@code=\"c1\"] recurse $x/id(./prerequisites/pre_code) accumulate by min(number(./@cost))"}
+  > {"op":"run","id":5,"query":"(with $x seeded by doc(\"curriculum.xml\")/curriculum/course[@code=\"c1\"] recurse $x/id(./prerequisites/pre_code) accumulate by min(number(./@cost)))/@code"}
+  > {"op":"stats","id":6}
+  > {"op":"stats","id":7,"format":"prometheus"}
+  > {"op":"shutdown","id":8}
+  > EOF
+
+  $ fixq serve --pipe < session.jsonl > out.jsonl
+  $ grep -c . out.jsonl
+  8
+
+The unbudgeted run is refused with the semiring-specific code:
+
+  $ sed -n 2p out.jsonl | grep -o '"code":"FQ043"'
+  "code":"FQ043"
+  $ sed -n 2p out.jsonl | grep -c 'may diverge'
+  1
+
+With a budget it runs, and the response carries the annotations:
+
+  $ sed -n 3p out.jsonl | grep -o '"semiring":"count"'
+  "semiring":"count"
+
+check reports the semiring kind and its convergence class:
+
+  $ sed -n 4p out.jsonl | grep -o '"semiring":"min","convergence":"p-stable"'
+  "semiring":"min","convergence":"p-stable"
+
+  $ sed -n 5p out.jsonl | grep -o '"result":[^,]*'
+  "result":"code=\"c2\" code=\"c3\" code=\"c4\""
+
+Preparation counts semiring queries per kind — in the JSON analysis
+counters and as a labelled Prometheus family:
+
+  $ sed -n 6p out.jsonl | grep -o '"semiring:[a-z]*":[0-9]*'
+  "semiring:count":1
+  "semiring:min":2
+  $ sed -n 7p out.jsonl | grep -o 'fixq_semiring_queries_total{kind=[^}]*} [0-9]*'
+  fixq_semiring_queries_total{kind=\"count\"} 1
+  fixq_semiring_queries_total{kind=\"min\"} 2

@@ -4,6 +4,7 @@
 
 module Lexer = Fixq_lang.Lexer
 module Parser = Fixq_lang.Parser
+module Semiring = Fixq_semiring.Semiring
 open Fixq_lang.Ast
 
 let check = Alcotest.(check bool)
@@ -221,10 +222,71 @@ let test_if_typeswitch () =
 
 let test_ifp_form () =
   check_expr "with..recurse"
-    (Ifp { var = "x"; seed = Var "s"; body = Path (Var "x", child "a") })
+    (Ifp
+       { var = "x"; seed = Var "s"; body = Path (Var "x", child "a");
+         accum = None })
     "with $x seeded by $s recurse $x/a";
   (* 'with' still usable as an element name *)
   check_expr "with as name test" (Path (Var "d", child "with")) "$d/with"
+
+let test_accumulate_clause () =
+  let ifp accum =
+    Ifp { var = "x"; seed = Var "s"; body = Path (Var "x", child "a"); accum }
+  in
+  check_expr "accumulate by bool"
+    (ifp (Some { kind = Semiring.Bool; weight = None }))
+    "with $x seeded by $s recurse $x/a accumulate by bool";
+  check_expr "accumulate by count"
+    (ifp (Some { kind = Semiring.Count; weight = None }))
+    "with $x seeded by $s recurse $x/a accumulate by count";
+  check_expr "accumulate by why"
+    (ifp (Some { kind = Semiring.Why; weight = None }))
+    "with $x seeded by $s recurse $x/a accumulate by why";
+  check_expr "accumulate by min(weight)"
+    (ifp
+       (Some
+          { kind = Semiring.Min; weight = Some (parse "number(./@cost)") }))
+    "with $x seeded by $s recurse $x/a accumulate by min(number(./@cost))";
+  check_expr "accumulate by max(weight)"
+    (ifp
+       (Some
+          { kind = Semiring.Max; weight = Some (parse "number(./@rating)") }))
+    "with $x seeded by $s recurse $x/a accumulate by max(number(./@rating))";
+  (* 'accumulate' is not reserved: usable as an element name after a body *)
+  check_expr "accumulate as name test"
+    (Path (Var "d", child "accumulate"))
+    "$d/accumulate"
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_accumulate_errors () =
+  let error s =
+    try
+      ignore (Parser.parse_expr s);
+      Alcotest.failf "expected a parse error: %s" s
+    with Parser.Error { line; col; msg } -> (line, col, msg)
+  in
+  let q = "with $x seeded by $s recurse $x/a" in
+  (* Unknown semiring kind: located at the kind token. *)
+  let (line, _, msg) = error (q ^ " accumulate by tropical") in
+  check "names the kind" true (contains msg "tropical");
+  check "lists the valid kinds" true (contains msg "min");
+  check_int "unknown kind line" 1 line;
+  (* min/max demand a weight; the rest refuse one. *)
+  let (_, _, msg) = error (q ^ " accumulate by min") in
+  check "min needs weight" true (contains msg "weight");
+  let (_, _, msg) = error (q ^ " accumulate by count(number(./@cost))") in
+  check "count refuses weight" true (contains msg "weight");
+  (* Errors on later lines carry the right line number. *)
+  let (line, col, _) = error (q ^ "\naccumulate by wibble") in
+  check_int "second-line clause located" 2 line;
+  check "column past the keyword" true (col > 1);
+  (* Dangling clause fragments fail rather than parse as paths. *)
+  ignore (error (q ^ " accumulate min"));
+  ignore (error (q ^ " accumulate by"))
 
 let test_constructors () =
   check_expr "direct empty" (Elem_constr ("a", [], [])) "<a/>";
@@ -346,6 +408,9 @@ let () =
           Alcotest.test_case "cast" `Quick test_cast_parse;
           Alcotest.test_case "if/typeswitch" `Quick test_if_typeswitch;
           Alcotest.test_case "ifp form" `Quick test_ifp_form;
+          Alcotest.test_case "accumulate clause" `Quick test_accumulate_clause;
+          Alcotest.test_case "accumulate errors" `Quick
+            test_accumulate_errors;
           Alcotest.test_case "constructors" `Quick test_constructors ] );
       ( "programs",
         [ Alcotest.test_case "prolog" `Quick test_programs;

@@ -5,6 +5,7 @@ module Parser = Fixq_lang.Parser
 module Pretty = Fixq_lang.Pretty
 module Atom = Fixq_xdm.Atom
 module Axis = Fixq_xdm.Axis
+module Semiring = Fixq_semiring.Semiring
 open Fixq_lang.Ast
 
 let check = Alcotest.(check bool)
@@ -44,6 +45,13 @@ let corpus =
     "1 to 10";
     "count(distinct-values($x))";
     "with $x seeded by . recurse $x/a";
+    "with $x seeded by . recurse $x/a accumulate by bool";
+    "with $x seeded by . recurse $x/a accumulate by count";
+    "with $x seeded by . recurse $x/a accumulate by why";
+    "with $x seeded by . recurse $x/a accumulate by min(number(./@cost))";
+    "with $x seeded by . recurse $x/a accumulate by max(number(./@r), 1)";
+    "with $x seeded by . recurse with $y seeded by . recurse $y/a \
+     accumulate by why";
     "<a k=\"v{$x}w\"><b/>{$y}</a>";
     "element n { attribute k { 1 }, text { \"t\" } }";
     "comment { \"c\" }";
@@ -136,9 +144,20 @@ let expr_gen =
                  (fun v (s, b) -> Quantified (Some_, v, s, b))
                  var (pair half half);
                map3 (fun a b c -> If (a, b, c)) half half half;
-               map2
-                 (fun v (s, b) -> Ifp { var = v; seed = s; body = b })
-                 var (pair half half);
+               (let accum =
+                  oneof
+                    [ return None;
+                      map
+                        (fun k -> Some { kind = k; weight = None })
+                        (oneofl [ Semiring.Bool; Semiring.Count; Semiring.Why ]);
+                      map2
+                        (fun k w -> Some { kind = k; weight = Some w })
+                        (oneofl [ Semiring.Min; Semiring.Max ])
+                        half ]
+                in
+                map3
+                  (fun v (s, b) accum -> Ifp { var = v; seed = s; body = b; accum })
+                  var (pair half half) accum);
                map (fun a -> Comp_elem ("e", a)) half;
                map (fun a -> Text_constr a) half;
                map2

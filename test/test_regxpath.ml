@@ -67,7 +67,7 @@ let test_pp_roundtrip () =
 
 let test_to_ifp_shape () =
   match R.to_ifp (R.parse "a+") with
-  | Ifp { seed = Context_item; body = Path (Var v, _); var = v' }
+  | Ifp { seed = Context_item; body = Path (Var v, _); var = v'; _ }
     when v = v' ->
     check "s+ = with $x seeded by . recurse $x/s" true true
   | other -> Alcotest.failf "unexpected translation: %s" (show_expr other)
