@@ -150,7 +150,10 @@ let measure_row row =
           ("kernel_bitmap_tests", Json.of_int k.Counters.bitmap_tests);
           ("kernel_bitmap_hits", Json.of_int k.Counters.bitmap_hits);
           ("kernel_index_steps", Json.of_int k.Counters.index_steps);
-          ("kernel_index_nodes", Json.of_int k.Counters.index_nodes) ])
+          ("kernel_index_nodes", Json.of_int k.Counters.index_nodes);
+          ("kernel_col_batches", Json.of_int k.Counters.col_batches);
+          ("kernel_col_rows", Json.of_int k.Counters.col_rows);
+          ("kernel_col_boxed_rows", Json.of_int k.Counters.col_boxed_rows) ])
     [ ("algebra-naive", an, kan); ("algebra-delta", ad, kad);
       ("interp-naive", inn, kin); ("interp-delta", ind, kid) ];
   { alg_naive_ms = an.Fixq.wall_ms;
@@ -694,6 +697,100 @@ let accum () =
        Json.of_int k.Fixq_xdm.Counters.fallback_sorts) ]
 
 (* ------------------------------------------------------------------ *)
+(* Columnar executor + SQL:1999 backend                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The vectorized batch kernels under the algebra engine, per workload
+   family: wall-clock against the row-at-a-time interpreter, the batch
+   counters (batches executed, rows moved, rows that crossed the boxed
+   [Value.t] boundary — the vectorization payoff is a low
+   boxed/total ratio), and — where the body renders to the Table-1
+   SQL:1999 dialect — the [WITH RECURSIVE] backend's wall-clock on the
+   same document with a result-parity check. *)
+let columnar_bench () =
+  printf "== Columnar executor (batch kernels, SQL:1999 backend) ==\n\n";
+  let module Counters = Fixq_xdm.Counters in
+  let families =
+    [ ("curriculum-q1", W.Queries.q1,
+       fun registry ->
+         ignore
+           (W.Curriculum.load ~registry
+              { W.Curriculum.default with W.Curriculum.courses = 400 }));
+      ("curriculum-check", W.Queries.curriculum_check,
+       fun registry ->
+         ignore
+           (W.Curriculum.load ~registry
+              { W.Curriculum.default with W.Curriculum.courses = 400 }));
+      ("bidder", W.Queries.bidder_network,
+       fun registry ->
+         ignore
+           (W.Xmark.load ~registry
+              { W.Xmark.default with W.Xmark.scale = 0.004 }));
+      ("dialogs", W.Queries.dialogs,
+       fun registry ->
+         ignore (W.Shakespeare.load ~registry W.Shakespeare.default));
+      ("hospital", W.Queries.hospital,
+       fun registry ->
+         ignore
+           (W.Hospital.load ~registry
+              { W.Hospital.default with W.Hospital.total = 20_000 })) ]
+  in
+  printf "%-18s | %9s | %9s | %9s | %8s | %11s | %6s\n" "Family" "interp ms"
+    "column ms" "sql ms" "batches" "rows(boxed)" "ok";
+  printf "%s\n" (String.make 84 '-');
+  List.iter
+    (fun (name, query, setup) ->
+      let registry = Doc_registry.create () in
+      setup registry;
+      let run engine =
+        let before = Counters.snapshot () in
+        let r = Fixq.run ~registry ~engine query in
+        (r, Counters.diff (Counters.snapshot ()) before)
+      in
+      let (interp, _) = run (Fixq.Interpreter Fixq.Auto) in
+      let (alg, k) = run (Fixq.Algebra Fixq.Auto) in
+      let renderable =
+        match
+          Fixq.sql_of_first_ifp ~registry (Parser.parse_program query)
+        with
+        | Some (Ok _) -> true
+        | _ -> false
+      in
+      let sql = if renderable then Some (run (Fixq.Sql Fixq.Auto)) else None in
+      let same a b =
+        Item.set_equal a.Fixq.result b.Fixq.result
+        || Item.deep_equal a.Fixq.result b.Fixq.result
+      in
+      let agree =
+        same interp alg
+        && match sql with Some (s, _) -> same interp s | None -> true
+      in
+      printf "%-18s | %9.1f | %9.1f | %9s | %8d | %5d(%4d)k | %6s\n%!" name
+        interp.Fixq.wall_ms alg.Fixq.wall_ms
+        (match sql with
+        | Some (s, _) -> Printf.sprintf "%.1f" s.Fixq.wall_ms
+        | None -> "—")
+        k.Counters.col_batches
+        (k.Counters.col_rows / 1000)
+        (k.Counters.col_boxed_rows / 1000)
+        (if agree then "yes" else "NO");
+      record_json
+        [ ("section", Json.Str "columnar"); ("family", Json.Str name);
+          ("interp_ms", Json.Num interp.Fixq.wall_ms);
+          ("algebra_ms", Json.Num alg.Fixq.wall_ms);
+          ("sql_ms",
+           match sql with
+           | Some (s, _) -> Json.Num s.Fixq.wall_ms
+           | None -> Json.Null);
+          ("sql_renderable", Json.Bool renderable);
+          ("col_batches", Json.of_int k.Counters.col_batches);
+          ("col_rows", Json.of_int k.Counters.col_rows);
+          ("col_boxed_rows", Json.of_int k.Counters.col_boxed_rows);
+          ("agree", Json.Bool agree) ])
+    families;
+  printf "\n"
+
+(* ------------------------------------------------------------------ *)
 (* Semiring-annotated fixpoints: recursive aggregates per kind         *)
 (* ------------------------------------------------------------------ *)
 
@@ -962,6 +1059,38 @@ let micro () =
             ignore (Fixq_xdm.Accumulator.absorb a ~who:"bench" even);
             Fixq_xdm.Accumulator.absorb a ~who:"bench" odd) ]
   in
+  (* The columnar batch kernels on (iter, item) relations built from the
+     same hospital elements: the shapes the µ/µ∆ loops execute every
+     round. *)
+  let columnar_tests =
+    let module R = Fixq_algebra.Relation in
+    let module V = Fixq_algebra.Value in
+    let all =
+      (Fixq.run ~registry ~engine:(Fixq.Interpreter Fixq.Naive)
+         {|doc("hospital.xml")//*|})
+        .Fixq.result
+    in
+    let nodes =
+      List.filter_map (function Item.N n -> Some n | Item.A _ -> None) all
+    in
+    let rel =
+      R.create [ "iter"; "item" ]
+        (List.mapi (fun i n -> [| V.Int (i mod 7); V.Nd n |]) nodes)
+    in
+    let even = R.select_bool "pick" (R.append_col "pick"
+        (R.col_of_values (Array.init (R.cardinal rel) (fun i -> V.Bool (i mod 2 = 0)))) rel)
+    in
+    let k name f =
+      Bechamel.Test.make ~name (Bechamel.Staged.stage (fun () -> ignore (f ())))
+    in
+    Bechamel.Test.make_grouped ~name:"kernel/columnar"
+      [ k "distinct" (fun () -> R.distinct rel);
+        k "union" (fun () -> R.union even rel);
+        k "difference" (fun () -> R.difference rel even);
+        k "equi_join" (fun () -> R.equi_join [ ("item", "item") ] even rel);
+        k "semi_join" (fun () -> R.semi_join [ ("item", "item") ] rel even);
+        k "project" (fun () -> R.project [ ("item", "item") ] rel) ]
+  in
   let open Bechamel in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) () in
@@ -974,7 +1103,7 @@ let micro () =
         let raw = Benchmark.all cfg instances tests in
         let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
         Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [])
-      [ tests; kernel_tests ]
+      [ tests; kernel_tests; columnar_tests ]
     |> List.sort compare
   in
   List.iter
@@ -1012,7 +1141,7 @@ let () =
         List.mem a
           [ "table1"; "table2"; "figure9"; "example24"; "section41";
             "section6"; "section7"; "accum"; "micro"; "cluster"; "ivm";
-            "semiring" ])
+            "semiring"; "columnar" ])
       args
   in
   let when_ opt f = if (not explicit) || has opt then f () in
@@ -1026,6 +1155,7 @@ let () =
   when_ "section6" section6;
   when_ "section7" section7;
   when_ "accum" accum;
+  when_ "columnar" columnar_bench;
   when_ "semiring" semiring_bench;
   when_ "ivm" ivm_bench;
   when_ "micro" (fun () -> if has "micro" then micro ());

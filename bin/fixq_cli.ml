@@ -131,8 +131,15 @@ let expr_arg =
   Arg.(value & opt (some string) None & info [ "expr"; "e" ] ~docv:"QUERY" ~doc)
 
 let engine_arg =
-  let doc = "Engine: 'interp' (tree-walking) or 'algebra' (relational)." in
-  Arg.(value & opt (enum [ ("interp", `Interp); ("algebra", `Algebra) ]) `Interp
+  let doc =
+    "Engine: 'interp' (tree-walking), 'algebra' (relational), or 'sql' \
+     (WITH RECURSIVE over materialized document relations; \
+     non-renderable IFP sites fall back to the interpreter)."
+  in
+  Arg.(value
+       & opt
+           (enum [ ("interp", `Interp); ("algebra", `Algebra); ("sql", `Sql) ])
+           `Interp
        & info [ "engine" ] ~docv:"ENGINE" ~doc)
 
 let mode_arg =
@@ -171,6 +178,7 @@ let to_engine engine mode =
   match engine with
   | `Interp -> Fixq.Interpreter mode
   | `Algebra -> Fixq.Algebra mode
+  | `Sql -> Fixq.Sql mode
 
 (* ------------------------------------------------------------------ *)
 
@@ -274,6 +282,11 @@ let check_cmd =
           (match alg with
           | Some true -> "distributive — µ∆ applies"
           | Some false -> "not distributive"
+          | None -> "body outside the compilable subset");
+        Printf.printf "SQL:1999 rendering: %s\n"
+          (match Fixq.sql_of_first_ifp ~registry p with
+          | Some (Ok _) -> "renderable — WITH RECURSIVE applies"
+          | Some (Error reason) -> "not renderable (" ^ reason ^ ")"
           | None -> "body outside the compilable subset");
         0)
   in
@@ -485,24 +498,49 @@ let plan_cmd =
   let dot_arg =
     Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz dot instead of ASCII.")
   in
-  let action file expr docs dot =
+  let sql_arg =
+    Arg.(value & flag
+         & info [ "sql" ]
+             ~doc:
+               "Print the SQL:1999 WITH RECURSIVE rendering of the first \
+                IFP site (with a legend of the materialized document \
+                relations), or the reason it has none.")
+  in
+  let action file expr docs dot sql =
     let registry = Xdm.Doc_registry.create () in
     load_docs registry docs;
     let src = query_source file expr in
-    match Fixq.plan_of_first_ifp ~registry (Lang.Parser.parse_program src) with
-    | None ->
-      Printf.eprintf "no compilable IFP body found\n";
-      1
-    | Some (fix_id, plan) ->
-      if dot then print_string (Fixq_algebra.Render.to_dot plan)
-      else begin
-        print_string (Fixq_algebra.Render.to_ascii plan);
-        let o = Fixq_algebra.Push.check ~fix_id plan in
-        Format.printf "%a@." Fixq_algebra.Push.pp_outcome o
-      end;
-      0
+    if sql then
+      match Fixq.sql_of_first_ifp ~registry (Lang.Parser.parse_program src) with
+      | None ->
+        Printf.eprintf "no compilable IFP body found\n";
+        1
+      | Some (Error reason) ->
+        Printf.printf "not renderable: %s\n" reason;
+        0
+      | Some (Ok r) ->
+        print_endline r.Fixq_algebra.Render_sql.sql;
+        List.iter
+          (fun l -> Printf.printf "-- %s\n" l)
+          (Fixq_algebra.Render_sql.legend r);
+        0
+    else
+      match Fixq.plan_of_first_ifp ~registry (Lang.Parser.parse_program src) with
+      | None ->
+        Printf.eprintf "no compilable IFP body found\n";
+        1
+      | Some (fix_id, plan) ->
+        if dot then print_string (Fixq_algebra.Render.to_dot plan)
+        else begin
+          print_string (Fixq_algebra.Render.to_ascii plan);
+          let o = Fixq_algebra.Push.check ~fix_id plan in
+          Format.printf "%a@." Fixq_algebra.Push.pp_outcome o
+        end;
+        0
   in
-  let term = Term.(const action $ file_arg $ expr_arg $ docs_arg $ dot_arg) in
+  let term =
+    Term.(const action $ file_arg $ expr_arg $ docs_arg $ dot_arg $ sql_arg)
+  in
   Cmd.v
     (Cmd.info "plan" ~doc:"Print the algebra plan of the first IFP body.")
     term

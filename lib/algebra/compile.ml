@@ -655,17 +655,20 @@ let expr ~functions ?(bindings = []) ?context e =
     e
 
 let result_items rel =
-  let item_ci = Relation.column_index rel "item" in
-  let cells = List.map (fun row -> row.(item_ci)) (Relation.rows rel) in
-  let items =
-    List.map
-      (fun c ->
-        match c with
-        | Value.Nd n -> Item.N n
-        | v -> Item.A (Value.to_atom v))
-      cells
-  in
-  (* Document order for all-node results; leave atoms as produced. *)
-  if List.for_all (function Item.N _ -> true | _ -> false) items then
-    Item.ddo items
-  else items
+  match Relation.col rel "item" with
+  | Relation.Nodes a ->
+    (* All-node results go to document order. The µ loop hands sorted
+       node columns over (sorted-run merge assembly), so this is the
+       linear fast path of the ddo kernel, not a fallback sort. *)
+    Item.ddo (List.map Item.node (Array.to_list a))
+  | c ->
+    let items =
+      List.init (Relation.cardinal rel) (fun i ->
+          match Relation.col_get c i with
+          | Value.Nd n -> Item.N n
+          | v -> Item.A (Value.to_atom v))
+    in
+    (* Document order for all-node results; leave atoms as produced. *)
+    if List.for_all (function Item.N _ -> true | _ -> false) items then
+      Item.ddo items
+    else items

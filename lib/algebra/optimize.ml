@@ -5,6 +5,8 @@ module Phys = Hashtbl.Make (struct
   let hash = Hashtbl.hash
 end)
 
+module SS = Set.Make (String)
+
 let rewrites = ref 0
 
 let last_rewrite_count () = !rewrites
@@ -16,6 +18,130 @@ let reproject schema p =
   if Plan.schema_of p = schema then p
   else Plan.Project (List.map (fun c -> (c, c)) schema, p)
 
+(* ------------------------------------------------------------------ *)
+(* Distinctness analysis                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* [distinct_output p]: is the output of [p] duplicate-free for every
+   input binding? Used to drop redundant δ operators: column-appending
+   operators (⊚, ̺) and row filters (σ) preserve distinctness, # makes
+   any input distinct (fresh tags), joins of distinct inputs are
+   distinct (each match pair is unique and keeps all columns), and the
+   fixpoint operators assemble their result from bitmap-deduplicated
+   runs. A projection preserves distinctness only when it is an
+   injective renaming of the full schema. *)
+let distinct_output root =
+  let memo : bool Phys.t = Phys.create 32 in
+  let umemo : SS.t Phys.t = Phys.create 32 in
+  (* [uniq p]: columns whose value differs on every row of [p]'s output,
+     for any input binding — single-column keys. # mints fresh tags and
+     an unpartitioned ̺ mints a global rank; π/σ/δ/Template/∖ preserve
+     uniqueness on surviving columns (renamings or row subsets); every
+     column of a ≤1-row source is trivially unique. *)
+  let rec uniq p =
+    match Phys.find_opt umemo p with
+    | Some s -> s
+    | None ->
+      let s = uniq_compute p in
+      Phys.replace umemo p s;
+      s
+  and uniq_compute = function
+    | Plan.Tag (c, q) -> SS.add c (uniq q)
+    | Plan.Row_num ({ Plan.num_partition = None; _ } as spec, q) ->
+      SS.add spec.Plan.num_result (uniq q)
+    | Plan.Row_num (_, q) | Plan.Fun (_, _, q) -> uniq q
+    | Plan.Select (_, q) | Plan.Distinct q | Plan.Template (_, q) -> uniq q
+    | Plan.Difference (a, _) -> uniq a
+    | Plan.Project (cols, q) ->
+      let u = uniq q in
+      List.fold_left
+        (fun s (nw, old) -> if SS.mem old u then SS.add nw s else s)
+        SS.empty cols
+    | (Plan.Doc _ | Plan.Lit_table (_, ([] | [ _ ]))) as p ->
+      (match Plan.schema_of p with
+      | s -> SS.of_list s
+      | exception _ -> SS.empty)
+    | _ -> SS.empty
+  in
+  (* [covers pred a b kept]: do the [kept] join-output columns
+     functionally determine every output column of [⋈pred(a,b)]?
+     Determination saturates through the equi keys (equal by
+     definition) and through single-column keys: once a key of one
+     side is determined, that side's row — hence all of its columns —
+     is. With both inputs distinct, a projection onto a determining
+     set keeps the join's rows pairwise distinct (drop the δ). *)
+  let covers pred a b kept =
+    match (Plan.schema_of a, Plan.schema_of b) with
+    | exception _ -> false
+    | sa, sb ->
+      let outb c = if List.mem c sa then c ^ "'" else c in
+      let det = ref kept and changed = ref true in
+      let add c =
+        if not (SS.mem c !det) then begin
+          det := SS.add c !det;
+          changed := true
+        end
+      in
+      while !changed do
+        changed := false;
+        if SS.exists (fun u -> SS.mem u !det) (uniq a) then List.iter add sa;
+        if SS.exists (fun u -> SS.mem (outb u) !det) (uniq b) then
+          List.iter (fun c -> add (outb c)) sb;
+        List.iter
+          (fun (lc, rc) ->
+            if SS.mem lc !det then add (outb rc);
+            if SS.mem (outb rc) !det then add lc)
+          pred.Plan.equi
+      done;
+      List.for_all (fun c -> SS.mem c !det) sa
+      && List.for_all (fun c -> SS.mem (outb c) !det) sb
+  in
+  let no_keys = { Plan.equi = []; theta = [] } in
+  let rec go p =
+    match Phys.find_opt memo p with
+    | Some b -> b
+    | None ->
+      let b = compute p in
+      Phys.replace memo p b;
+      b
+  and compute = function
+    | Plan.Distinct _ | Plan.Step _ | Plan.Id_join _ | Plan.Tag _
+    | Plan.Mu _ | Plan.Mu_delta _ | Plan.Doc _ | Plan.Aggr _ ->
+      true
+    | Plan.Lit_table (_, ([] | [ _ ])) -> true
+    | Plan.Template (_, q)
+    | Plan.Select (_, q)
+    | Plan.Fun (_, _, q)
+    | Plan.Row_num (_, q) ->
+      go q
+    | Plan.Difference (a, _) -> go a
+    | Plan.Join (_, a, b) | Plan.Cross (a, b) -> go a && go b
+    | Plan.Project (cols, q) ->
+      let kept = SS.of_list (List.map snd cols) in
+      (* a kept unique column keeps rows pairwise distinct outright *)
+      (not (SS.is_empty (SS.inter kept (uniq q))))
+      || (match Plan.schema_of q with
+         | s ->
+           let olds = List.sort compare (List.map snd cols) in
+           let rec nodup = function
+             | a :: b :: _ when String.equal a b -> false
+             | _ :: tl -> nodup tl
+             | [] -> true
+           in
+           List.sort compare s = olds && nodup olds && go q
+         | exception _ -> false)
+      || (match q with
+         | Plan.Join (pred, a, b) ->
+           go a && go b && covers pred a b kept
+         | Plan.Cross (a, b) -> go a && go b && covers no_keys a b kept
+         | _ -> false)
+    | Plan.Iterate it -> go it.Plan.it_result
+    | Plan.Lit_table _ | Plan.Fix_ref _ | Plan.Union _
+    | Plan.Construct _ ->
+      false
+  in
+  go root
+
 (* One local simplification step at the root of [p]; children are
    already rewritten. *)
 let step (p : Plan.t) : Plan.t =
@@ -24,10 +150,14 @@ let step (p : Plan.t) : Plan.t =
     q
   in
   match p with
-  (* δ is idempotent; the step join already emits distinct rows *)
-  | Plan.Distinct (Plan.Distinct _ as q) -> hit q
-  | Plan.Distinct (Plan.Step _ as q) -> hit q
-  | Plan.Distinct (Plan.Id_join _ as q) -> hit q
+  (* δ is idempotent; drop it over any provably-distinct subplan (the
+     step join, another δ — possibly through templates, column
+     appenders and joins of distinct inputs) *)
+  | Plan.Distinct q when distinct_output q -> hit q
+  (* δ∘π∘δ: the inner δ only removes duplicates the outer δ would
+     remove anyway (π maps equal rows to equal rows) *)
+  | Plan.Distinct (Plan.Project (cols, Plan.Distinct q)) ->
+    hit (Plan.Distinct (Plan.Project (cols, q)))
   (* projection fusion: π_a(π_b(q)) = π_{a∘b}(q) *)
   | Plan.Project (outer, Plan.Project (inner, q)) ->
     let compose (n, o) =
@@ -58,8 +188,7 @@ let step (p : Plan.t) : Plan.t =
   | Plan.Join ({ Plan.equi = []; theta = [] }, a, b) -> hit (Plan.Cross (a, b))
   | p -> p
 
-let optimize plan =
-  rewrites := 0;
+let rewrite plan =
   let memo : Plan.t Phys.t = Phys.create 64 in
   let rec go p =
     match Phys.find_opt memo p with
@@ -99,3 +228,252 @@ let optimize plan =
           it_result = go it.Plan.it_result }
   in
   go plan
+
+(* ------------------------------------------------------------------ *)
+(* Projection pushdown / dead-column elimination                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Needed-column analysis over the plan DAG: the set of columns each
+   physical node must actually produce, as the union over all of its
+   parents' requirements. Set-semantics boundaries (δ, ∪, \, µ, µ∆,
+   ⋈id, ε) require full rows — their children are pinned to their whole
+   schema — while everything in between can narrow:
+
+   - ⋈/× inputs are wrapped in π keeping only needed ∪ key columns, so
+     the probe-and-gather kernel never materializes dead columns (a
+     column dropped from one side can change the join's clash renaming,
+     so the join is re-normalized by an outer π mapping the new output
+     names back to the original ones);
+   - ⊚/#/̺ whose result column no parent needs are dropped entirely
+     (they are cardinality-preserving column appenders);
+   - existing π nodes shed output columns no parent needs.
+
+   Needs flow top-down in reverse postorder (every parent before its
+   children), so each node's requirement is complete before it is
+   propagated; the rebuild is memoized per physical node, preserving
+   the DAG sharing the evaluator's memo and # alignment depend on. *)
+let prune root =
+  let order = ref [] in
+  let seen : unit Phys.t = Phys.create 64 in
+  let rec dfs p =
+    if not (Phys.mem seen p) then begin
+      Phys.replace seen p ();
+      List.iter dfs (Plan.children p);
+      order := p :: !order
+    end
+  in
+  dfs root;
+  let full p = SS.of_list (Plan.schema_of p) in
+  let needed : SS.t Phys.t = Phys.create 64 in
+  let note p s =
+    let cur = Option.value ~default:SS.empty (Phys.find_opt needed p) in
+    Phys.replace needed p (SS.union cur s)
+  in
+  let need_of p = Option.value ~default:(full p) (Phys.find_opt needed p) in
+  (* requirement a join imposes on its left / right input *)
+  let join_needs pred a b n =
+    let sa = Plan.schema_of a and sb = Plan.schema_of b in
+    let na = SS.filter (fun c -> List.mem c sa) n in
+    let na =
+      List.fold_left (fun s (lc, _) -> SS.add lc s) na pred.Plan.equi
+    in
+    let na =
+      List.fold_left (fun s (lc, _, _) -> SS.add lc s) na pred.Plan.theta
+    in
+    let nb =
+      List.fold_left
+        (fun s c ->
+          let out = if List.mem c sa then c ^ "'" else c in
+          if SS.mem out n then SS.add c s else s)
+        SS.empty sb
+    in
+    let nb =
+      List.fold_left (fun s (_, rc) -> SS.add rc s) nb pred.Plan.equi
+    in
+    let nb =
+      List.fold_left (fun s (_, _, rc) -> SS.add rc s) nb pred.Plan.theta
+    in
+    (na, nb)
+  in
+  let no_keys = { Plan.equi = []; theta = [] } in
+  let propagate p =
+    let n = need_of p in
+    match p with
+    | Plan.Lit_table _ | Plan.Doc _ | Plan.Fix_ref _ -> ()
+    | Plan.Project (cols, q) ->
+      let s =
+        SS.of_list
+          (List.filter_map
+             (fun (nw, old) -> if SS.mem nw n then Some old else None)
+             cols)
+      in
+      (* never let a child shrink to zero width: keep the first source
+         column alive so cardinality-only consumers (count) still see
+         their rows *)
+      note q (if SS.is_empty s then SS.singleton (snd (List.hd cols)) else s)
+    | Plan.Select (c, q) -> note q (SS.add c n)
+    | Plan.Join (pred, a, b) ->
+      let (na, nb) = join_needs pred a b n in
+      note a na;
+      note b nb
+    | Plan.Cross (a, b) ->
+      let (na, nb) = join_needs no_keys a b n in
+      note a (if SS.is_empty na then SS.singleton (List.hd (Plan.schema_of a)) else na);
+      note b (if SS.is_empty nb then SS.singleton (List.hd (Plan.schema_of b)) else nb)
+    | Plan.Distinct q | Plan.Construct (_, q) -> note q (full q)
+    | Plan.Union (a, b) | Plan.Difference (a, b) | Plan.Id_join (a, b) ->
+      note a (full a);
+      note b (full b)
+    | Plan.Mu f | Plan.Mu_delta f ->
+      note f.Plan.seed (full f.Plan.seed);
+      note f.Plan.body (full f.Plan.body)
+    | Plan.Aggr (_, spec, q) ->
+      let s =
+        SS.of_list
+          (Option.to_list spec.Plan.agg_input
+          @ Option.to_list spec.Plan.agg_partition)
+      in
+      note q
+        (if SS.is_empty s then
+           match Plan.schema_of q with
+           | c :: _ -> SS.singleton c
+           | [] -> SS.empty
+         else s)
+    | Plan.Fun (_, spec, q) ->
+      if SS.mem spec.Plan.fun_result n then
+        note q
+          (SS.union
+             (SS.remove spec.Plan.fun_result n)
+             (SS.of_list spec.Plan.fun_args))
+      else note q n
+    | Plan.Tag (c, q) -> note q (SS.remove c n)
+    | Plan.Row_num (spec, q) ->
+      if SS.mem spec.Plan.num_result n then
+        note q
+          (SS.union
+             (SS.remove spec.Plan.num_result n)
+             (SS.of_list
+                (spec.Plan.num_order
+                @ Option.to_list spec.Plan.num_partition)))
+      else note q n
+    | Plan.Step (_, _, col, q) -> note q (SS.add col n)
+    | Plan.Template (_, q) -> note q n
+    | Plan.Iterate it -> note it.Plan.it_result n
+  in
+  note root (full root);
+  List.iter propagate !order;
+  (* Bottom-up rebuild. Invariant: [schema_of (go p)] contains every
+     column of [need_of p] (it may retain more — base tables and
+     dropped appenders keep what they have) with original names, so
+     parents only ever reference columns that exist. *)
+  let rebuilt : Plan.t Phys.t = Phys.create 64 in
+  let narrow keep q =
+    let s = Plan.schema_of q in
+    let kept = List.filter (fun c -> SS.mem c keep) s in
+    let kept = if kept = [] then [ List.hd s ] else kept in
+    if List.length kept = List.length s then q
+    else begin
+      incr rewrites;
+      Plan.Project (List.map (fun c -> (c, c)) kept, q)
+    end
+  in
+  let rec go p =
+    match Phys.find_opt rebuilt p with
+    | Some q -> q
+    | None ->
+      let q = build p in
+      Phys.replace rebuilt p q;
+      q
+  and rebuild_join pred a b n =
+    let (na, nb) = join_needs pred a b n in
+    let sa = Plan.schema_of a and sb = Plan.schema_of b in
+    let a' = narrow na (go a) and b' = narrow nb (go b) in
+    let j =
+      match pred with
+      | { Plan.equi = []; theta = [] } -> Plan.Cross (a', b')
+      | _ -> Plan.Join (pred, a', b')
+    in
+    let sa' = Plan.schema_of a' and sb' = Plan.schema_of b' in
+    (* original and rebuilt output names, keyed by (side, source col) *)
+    let out_names la lb =
+      List.map (fun c -> ((`L, c), c)) la
+      @ List.map
+          (fun c -> ((`R, c), if List.mem c la then c ^ "'" else c))
+          lb
+    in
+    let orig_out = out_names sa sb in
+    let new_out = out_names sa' sb' in
+    let cols =
+      List.filter_map
+        (fun (src, o) ->
+          if SS.mem o n then Some (o, List.assoc src new_out) else None)
+        orig_out
+    in
+    let cols =
+      if cols = [] then
+        match Plan.schema_of j with c :: _ -> [ (c, c) ] | [] -> []
+      else cols
+    in
+    if List.map snd cols = Plan.schema_of j
+       && List.for_all (fun (nw, o) -> String.equal nw o) cols
+    then j
+    else Plan.Project (cols, j)
+  and build p =
+    let n = need_of p in
+    match p with
+    | Plan.Lit_table _ | Plan.Doc _ | Plan.Fix_ref _ -> p
+    | Plan.Project (cols, q) ->
+      let q' = go q in
+      let cols' = List.filter (fun (nw, _) -> SS.mem nw n) cols in
+      let cols' = if cols' = [] then [ List.hd cols ] else cols' in
+      if List.length cols' < List.length cols then incr rewrites;
+      Plan.Project (cols', q')
+    | Plan.Select (c, q) -> Plan.Select (c, go q)
+    | Plan.Join (pred, a, b) -> rebuild_join pred a b n
+    | Plan.Cross (a, b) -> rebuild_join no_keys a b n
+    | Plan.Distinct q -> Plan.Distinct (go q)
+    | Plan.Union (a, b) -> Plan.Union (go a, go b)
+    | Plan.Difference (a, b) -> Plan.Difference (go a, go b)
+    | Plan.Aggr (agg, spec, q) -> Plan.Aggr (agg, spec, go q)
+    | Plan.Fun (prim, spec, q) ->
+      if SS.mem spec.Plan.fun_result n then Plan.Fun (prim, spec, go q)
+      else begin
+        incr rewrites;
+        go q
+      end
+    | Plan.Tag (c, q) ->
+      if SS.mem c n then Plan.Tag (c, go q)
+      else begin
+        incr rewrites;
+        go q
+      end
+    | Plan.Row_num (spec, q) ->
+      if SS.mem spec.Plan.num_result n then Plan.Row_num (spec, go q)
+      else begin
+        incr rewrites;
+        go q
+      end
+    | Plan.Step (axis, test, col, q) -> Plan.Step (axis, test, col, go q)
+    | Plan.Id_join (a, b) -> Plan.Id_join (go a, go b)
+    | Plan.Construct (k, q) -> Plan.Construct (k, go q)
+    | Plan.Mu f ->
+      Plan.Mu { f with Plan.seed = go f.Plan.seed; body = go f.Plan.body }
+    | Plan.Mu_delta f ->
+      Plan.Mu_delta
+        { f with Plan.seed = go f.Plan.seed; body = go f.Plan.body }
+    | Plan.Template (nm, q) -> Plan.Template (nm, go q)
+    | Plan.Iterate it ->
+      Plan.Iterate
+        { it with
+          Plan.it_source = go it.Plan.it_source;
+          it_map = go it.Plan.it_map;
+          it_result = go it.Plan.it_result }
+  in
+  go root
+
+let optimize plan =
+  rewrites := 0;
+  (* local rewrites first (removing redundant δ widens what the
+     needed-column pass may narrow), then pushdown, then a final local
+     pass to fuse the π chains the pushdown introduced *)
+  rewrite (prune (rewrite plan))

@@ -1,6 +1,7 @@
 module Node = Fixq_xdm.Node
 module Atom = Fixq_xdm.Atom
 module Axis = Fixq_xdm.Axis
+module Accumulator = Fixq_xdm.Accumulator
 module Doc_registry = Fixq_xdm.Doc_registry
 module Encoding = Fixq_store.Encoding
 module Staircase = Fixq_store.Staircase
@@ -85,6 +86,64 @@ let eval_prim prim (args : Value.t list) =
   | (Plan.P_const v, []) -> v
   | _ -> err "⊚: arity mismatch"
 
+(* Batch (columnar) evaluation of ⊚: whole-column kernels for the hot
+   primitives, boxed row-at-a-time only for the rest. *)
+let eval_fun_col prim (args : Relation.col list) n =
+  match (prim, args) with
+  | (Plan.P_const v, []) -> (
+    match v with
+    | Value.Int x -> Relation.Ints (Array.make n x)
+    | Value.Str s -> Relation.Strs (Array.make n s)
+    | Value.Bool b -> Relation.Bools (Array.make n b)
+    | Value.Nd nd -> Relation.Nodes (Array.make n nd)
+    | Value.Dbl _ -> Relation.Vals (Array.make n v))
+  | (Plan.P_data, [ c ]) -> (
+    match c with
+    | Relation.Nodes a -> Relation.Strs (Array.map Node.string_value a)
+    | Relation.Ints _ | Relation.Strs _ | Relation.Bools _ -> c
+    | Relation.Vals a ->
+      Relation.col_of_values
+        (Array.map
+           (function
+             | Value.Nd nd -> Value.Str (Node.string_value nd)
+             | v -> v)
+           a))
+  | (Plan.P_ebv, [ c ]) -> (
+    match c with
+    | Relation.Nodes _ -> Relation.Bools (Array.make n true)
+    | Relation.Bools _ -> c
+    | Relation.Ints a -> Relation.Bools (Array.map (fun x -> x <> 0) a)
+    | Relation.Strs a ->
+      Relation.Bools (Array.map (fun s -> String.length s > 0) a)
+    | Relation.Vals a ->
+      Relation.Bools
+        (Array.map
+           (function Value.Nd _ -> true | v -> Value.to_bool v)
+           a))
+  | (Plan.P_cmp cm, [ a; b ]) -> (
+    (* Value.compare_value atomizes: Int/Int and Str/Str reduce to the
+       primitive comparisons, which covers iter and data() columns. *)
+    match (a, b) with
+    | (Relation.Ints x, Relation.Ints y) ->
+      Relation.Bools
+        (Array.init n (fun i -> cmp_holds cm (Int.compare x.(i) y.(i))))
+    | (Relation.Strs x, Relation.Strs y) ->
+      Relation.Bools
+        (Array.init n (fun i -> cmp_holds cm (String.compare x.(i) y.(i))))
+    | _ ->
+      Fixq_xdm.Counters.col_boxed_rows :=
+        !Fixq_xdm.Counters.col_boxed_rows + n;
+      Relation.Bools
+        (Array.init n (fun i ->
+             cmp_holds cm
+               (Value.compare_value (Relation.col_get a i)
+                  (Relation.col_get b i)))))
+  | _ ->
+    Fixq_xdm.Counters.col_boxed_rows := !Fixq_xdm.Counters.col_boxed_rows + n;
+    Relation.col_of_values
+      (Array.init n (fun i ->
+           eval_prim prim (List.map (fun c -> Relation.col_get c i) args)))
+
 let whitespace_tokens s =
   String.split_on_char ' ' s
   |> List.concat_map (String.split_on_char '\n')
@@ -93,12 +152,26 @@ let whitespace_tokens s =
 
 (* Axis steps repeat heavily across fixpoint rounds (lifted
    loop-invariant paths re-enter the step with the same context nodes),
-   so results are cached per (axis, test, context node) — the in-memory
-   analogue of reusing staircase-join scans. *)
-let step_cache : (string * int, Node.t list) Hashtbl.t = Hashtbl.create 4096
+   so results are cached per (axis, test, context node). The (axis,
+   test) part is interned to a small integer once per step evaluation,
+   so the per-row cache key is a single unboxed int — hashing a string
+   tuple per row costs more than the staircase scan it saves. *)
+let step_ids : (string, int) Hashtbl.t = Hashtbl.create 64
 
-let step_single axis test step_key (n : Node.t) =
-  let key = (step_key, n.Node.id) in
+let step_id_of key =
+  match Hashtbl.find_opt step_ids key with
+  | Some i -> i
+  | None ->
+    let i = Hashtbl.length step_ids in
+    Hashtbl.add step_ids key i;
+    i
+
+let step_cache : (int, Node.t list) Hashtbl.t = Hashtbl.create 4096
+
+(* node ids are dense ints; 20 bits cover every (axis, name-test) pair
+   a process will ever intern while leaving 42 for the node id *)
+let step_single axis test step_id (n : Node.t) =
+  let key = (n.Node.id lsl 20) lor step_id in
   match Hashtbl.find_opt step_cache key with
   | Some r -> r
   | None ->
@@ -107,70 +180,52 @@ let step_single axis test step_key (n : Node.t) =
     Hashtbl.replace step_cache key r;
     r
 
-let eval_step rel axis test col =
-  let ci = Relation.column_index rel col in
+(* Growable parallel (source index, result node) buffers for the step
+   kernel output. *)
+type step_buf = {
+  mutable src : int array;
+  mutable nds : Node.t array;
+  mutable n : int;
+}
+
+let step_push b i (m : Node.t) =
+  if b.n = Array.length b.src then begin
+    let cap = max 64 (b.n * 2) in
+    let src' = Array.make cap 0 in
+    Array.blit b.src 0 src' 0 b.n;
+    b.src <- src';
+    let nds' = Array.make cap m in
+    Array.blit b.nds 0 nds' 0 b.n;
+    b.nds <- nds'
+  end;
+  b.src.(b.n) <- i;
+  b.nds.(b.n) <- m;
+  b.n <- b.n + 1
+
+let eval_step rel axis test colname =
+  let ci = Relation.column_index rel colname in
+  let c = (Relation.cols rel).(ci) in
+  let n = Relation.cardinal rel in
   (* The textual cache key is a function of (axis, test) only — build it
      once per step evaluation, not once per row. *)
-  let step_key =
-    Axis.axis_to_string axis ^ "|" ^ Format.asprintf "%a" Axis.pp_test test
+  let step_id =
+    step_id_of
+      (Axis.axis_to_string axis ^ "|" ^ Format.asprintf "%a" Axis.pp_test test)
   in
-  let out = ref [] in
-  List.iter
-    (fun row ->
-      let n = Value.as_node "step" row.(ci) in
-      List.iter
-        (fun m ->
-          let row' = Array.copy row in
-          row'.(ci) <- Value.Nd m;
-          out := row' :: !out)
-        (step_single axis test step_key n))
-    (Relation.rows rel);
-  Relation.distinct (Relation.create (Relation.schema rel) (List.rev !out))
-
-let _grouped_eval_step rel axis test col =
-  let ci = Relation.column_index rel col in
-  let groups = Hashtbl.create 16 in
-  let order = ref [] in
-  List.iter
-    (fun row ->
-      let key =
-        Array.to_list row
-        |> List.mapi (fun i v -> if i = ci then Value.KI 0 else Value.key v)
-      in
-      (match Hashtbl.find_opt groups key with
-      | None ->
-        order := (key, row) :: !order;
-        Hashtbl.add groups key [ row.(ci) ]
-      | Some vs -> Hashtbl.replace groups key (row.(ci) :: vs)))
-    (Relation.rows rel);
-  let out = ref [] in
-  List.iter
-    (fun (key, proto) ->
-      let cells = Hashtbl.find groups key in
-      let nodes = List.map (Value.as_node "step") cells in
-      (* Partition by tree so each encoding sees its own pre ranks. *)
-      let by_root = Hashtbl.create 4 in
-      List.iter
-        (fun n ->
-          let r = Node.root n in
-          let existing =
-            Option.value ~default:[] (Hashtbl.find_opt by_root r.Node.id)
-          in
-          Hashtbl.replace by_root r.Node.id (n :: existing))
-        nodes;
-      Hashtbl.iter
-        (fun _root ns ->
-          let enc = Encoding.of_tree_cached (List.hd ns) in
-          let result = Staircase.step_nodes enc axis test ns in
-          List.iter
-            (fun n ->
-              let row = Array.copy proto in
-              row.(ci) <- Value.Nd n;
-              out := row :: !out)
-            result)
-        by_root)
-    (List.rev !order);
-  Relation.distinct (Relation.create (Relation.schema rel) (List.rev !out))
+  let node_at =
+    match c with
+    | Relation.Nodes a -> fun i -> a.(i)
+    | _ -> fun i -> Value.as_node "step" (Relation.col_get c i)
+  in
+  let buf = { src = [||]; nds = [||]; n = 0 } in
+  for i = 0 to n - 1 do
+    List.iter (step_push buf i) (step_single axis test step_id (node_at i))
+  done;
+  let src = Array.sub buf.src 0 buf.n in
+  let gathered = Relation.gather rel src in
+  let cols = Array.copy (Relation.cols gathered) in
+  cols.(ci) <- Relation.Nodes (Array.sub buf.nds 0 buf.n);
+  Relation.distinct (Relation.of_cols (Relation.schema rel) cols)
 
 let eval_id_join registry ctx_rel arg_rel =
   ignore registry;
@@ -317,14 +372,81 @@ let memo_for t env p =
   else if List.exists (fun id -> contains_ref id p) env.run_ids then env.run
   else t.persistent
 
-let profile : (string, int * int) Hashtbl.t = Hashtbl.create 64
+let profile : (string, int * int * float) Hashtbl.t = Hashtbl.create 64
+
+(* Per-pair theta checks for a join, precompiled per column pair
+   (specialized for the common string/int columns). *)
+(* Promote θ-equalities over same-kind string/int columns into hash
+   keys: [String.compare]/[Int.compare] equality coincides with the
+   equi-join's [col_eq] on those kinds, and a hash probe replaces a
+   per-pair bucket scan (the d=d value filters degenerate to O(|l|·|r|)
+   otherwise). Mixed-kind comparisons keep θ's [Value.compare_value]
+   coercions and stay residual. *)
+let promote_theta_eq ra rb pred =
+  let promote, rest =
+    List.partition
+      (fun (lc, cm, rc) ->
+        cm = Plan.Ceq
+        && (match (Relation.col ra lc, Relation.col rb rc) with
+           | (Relation.Strs _, Relation.Strs _)
+           | (Relation.Ints _, Relation.Ints _) ->
+             true
+           | _ -> false
+           | exception _ -> false))
+      pred.Plan.theta
+  in
+  (pred.Plan.equi @ List.map (fun (l, _, r) -> (l, r)) promote, rest)
+
+let theta_extra ra rb theta =
+  if theta = [] then None
+  else begin
+    let checks =
+      List.map
+        (fun (lc, cm, rc) ->
+          let ca = Relation.col ra lc and cb = Relation.col rb rc in
+          match (ca, cb) with
+          | (Relation.Strs x, Relation.Strs y) ->
+            fun i j -> cmp_holds cm (String.compare x.(i) y.(j))
+          | (Relation.Ints x, Relation.Ints y) ->
+            fun i j -> cmp_holds cm (Int.compare x.(i) y.(j))
+          | _ ->
+            fun i j ->
+              cmp_holds cm
+                (Value.compare_value (Relation.col_get ca i)
+                   (Relation.col_get cb j)))
+        theta
+    in
+    Some (fun i j -> List.for_all (fun f -> f i j) checks)
+  end
+
+(* Per-operator self-time accounting is opt-in: the two clock reads per
+   evaluation are measurable on workloads with tens of thousands of
+   tiny fixpoint rounds. *)
+let profile_timing = ref false
+
+(* Time spent in child evaluations of the current [eval_raw] frame, so
+   the profile records self-time per operator, not inclusive time. *)
+let child_time = ref 0.0
 
 let rec eval t env p =
   let memo = memo_for t env p in
   match Phys.find_opt memo p with
   | Some rel -> rel
   | None ->
+    let timed = !profile_timing in
+    let t0 = if timed then Sys.time () else 0.0 in
+    let saved = !child_time in
+    child_time := 0.0;
     let rel = eval_raw t env p in
+    let self =
+      if timed then begin
+        let elapsed = Sys.time () -. t0 in
+        let s = elapsed -. !child_time in
+        child_time := saved +. elapsed;
+        s
+      end
+      else 0.0
+    in
     (let sym = Plan.op_symbol p in
      let kind =
        if memo == env.volatile then "V:"
@@ -332,8 +454,10 @@ let rec eval t env p =
        else "P:"
      in
      let key = kind ^ String.sub sym 0 (min 6 (String.length sym)) in
-     let (c, r) = Option.value ~default:(0, 0) (Hashtbl.find_opt profile key) in
-     Hashtbl.replace profile key (c + 1, r + Relation.cardinal rel));
+     let (c, r, s) =
+       Option.value ~default:(0, 0, 0.) (Hashtbl.find_opt profile key)
+     in
+     Hashtbl.replace profile key (c + 1, r + Relation.cardinal rel, s +. self));
     Phys.replace memo p rel;
     rel
 
@@ -349,26 +473,27 @@ and eval_raw t env (p : Plan.t) : Relation.t =
     | Some rel -> rel
     | None -> Relation.empty schema)
   | Plan.Project (cols, q) -> Relation.project cols (eval t env q)
-  | Plan.Select (c, q) ->
-    let rel = eval t env q in
-    let ci = Relation.column_index rel c in
-    Relation.select (fun row -> Value.to_bool row.(ci)) rel
+  | Plan.Select (c, q) -> Relation.select_bool c (eval t env q)
   | Plan.Join (pred, a, b) ->
     let ra = eval t env a and rb = eval t env b in
-    let extra =
-      if pred.Plan.theta = [] then None
-      else
-        Some
-          (fun lrow rrow ->
-            List.for_all
-              (fun (lc, c, rc) ->
-                let li = Relation.column_index ra lc in
-                let ri = Relation.column_index rb rc in
-                cmp_holds c (Value.compare_value lrow.(li) rrow.(ri)))
-              pred.Plan.theta)
-    in
-    Relation.equi_join ?extra pred.Plan.equi ra rb
+    let keys, residual = promote_theta_eq ra rb pred in
+    let extra = theta_extra ra rb residual in
+    Relation.equi_join ?extra keys ra rb
   | Plan.Cross (a, b) -> Relation.cross (eval t env a) (eval t env b)
+  | Plan.Distinct (Plan.Project (cols, Plan.Join (pred, a, b)))
+    when (match Plan.schema_of a with
+         | sa -> List.for_all (fun (_, o) -> List.mem o sa) cols
+         | exception _ -> false) ->
+    (* δ∘π∘⋈ keeping only left-side columns is an existential filter —
+       a semi-join: each left row survives at most once, and the match
+       pairs are never materialized. (A left column's output name is
+       never claimed by the right side: clashing right columns are
+       renamed.) *)
+    let ra = eval t env a and rb = eval t env b in
+    let keys, residual = promote_theta_eq ra rb pred in
+    let extra = theta_extra ra rb residual in
+    Relation.distinct
+      (Relation.project cols (Relation.semi_join ?extra keys ra rb))
   | Plan.Distinct q -> Relation.distinct (eval t env q)
   | Plan.Union (a, b) -> Relation.union (eval t env a) (eval t env b)
   | Plan.Difference (a, b) ->
@@ -376,9 +501,13 @@ and eval_raw t env (p : Plan.t) : Relation.t =
   | Plan.Aggr (agg, spec, q) -> eval_aggr agg spec (eval t env q)
   | Plan.Fun (prim, spec, q) ->
     let rel = eval t env q in
-    let idx = List.map (Relation.column_index rel) spec.Plan.fun_args in
-    Relation.append_column spec.Plan.fun_result
-      (fun row -> eval_prim prim (List.map (fun i -> row.(i)) idx))
+    let args =
+      List.map
+        (fun a -> (Relation.cols rel).(Relation.column_index rel a))
+        spec.Plan.fun_args
+    in
+    Relation.append_col spec.Plan.fun_result
+      (eval_fun_col prim args (Relation.cardinal rel))
       rel
   | Plan.Tag (c, q) -> Relation.tag ~result:c (eval t env q)
   | Plan.Row_num (spec, q) ->
@@ -396,11 +525,16 @@ and eval_raw t env (p : Plan.t) : Relation.t =
   | Plan.Mu_delta f -> eval_mu t env ~delta:true f
 
 (* µ (Naïve) and µ∆ (Delta) at the algebra level: Figure 3 lifted to
-   relations. [iter] participates in every tuple, so the fixpoint of
-   all outer iterations advances in lock-step. *)
+   relations. The seen-set has two modes: packed mode covers the
+   dominant [iter|item] shapes (int iters, node or int items) with two
+   unboxed probes into an off-heap pair set; if a round produces a
+   column kind packed keys can't represent (strings, doubles,
+   width > 2), the accumulated runs replay once into the boxed row
+   table and the loop continues there. *)
 and eval_mu t env ~delta (f : Plan.fix) =
   Stats.start_run t.stats;
   let seed = Relation.distinct (eval t env f.seed) in
+  let schema_width = List.length (Relation.schema seed) in
   let record ~fed ~produced ~result_size =
     Stats.record_iteration t.stats ~fed ~produced ~result_size
   in
@@ -414,49 +548,153 @@ and eval_mu t env ~delta (f : Plan.fix) =
         dep_ids = f.fix_id :: env.dep_ids }
       f.body
   in
-  (* Incremental accumulation: a persistent seen-set of row keys plays
-     the role the Accumulator bitmap plays in the interpreter, so each
-     round costs O(|out|) — the old distinct/difference/union pair
-     rebuilt hash tables over the whole accumulated result every
-     round. Runs stay separate until the fixpoint converges. *)
-  let seen = Relation.Row_tbl.create 1024 in
+  let runs = ref [] in
+  (* newest first *)
+  let packed =
+    (* sized from the seed: thousands of small per-course fixpoints must
+       not each pay for a large off-heap table *)
+    if schema_width >= 1 && schema_width <= 2 then
+      Some (Relation.Pair_set.create (max 8 (Relation.cardinal seed * 4)))
+    else None
+  in
+  let packed_ok = ref (packed <> None) in
+  let boxed : unit Relation.Row_tbl.t lazy_t =
+    lazy
+      (let tbl = Relation.Row_tbl.create 1024 in
+       (* migrate: replay already-accumulated runs *)
+       List.iter
+         (fun run ->
+           for i = 0 to Relation.cardinal run - 1 do
+             Relation.Row_tbl.replace tbl (Relation.row run i) ()
+           done)
+         !runs;
+       tbl)
+  in
   let total = ref 0 in
+  (* Sorted-run bookkeeping: while the fixpoint stays over ["iter";
+     "item"] rows with one constant iter and node items, per-round
+     deltas are kept sorted by node id so the final assembly is a pure
+     linear merge (and downstream ddo sees already-sorted input). *)
+  let node_mode = ref (Relation.schema seed = [ "iter"; "item" ]) in
+  let node_iter = ref None in
+  let check_node_mode rel =
+    if !node_mode && Relation.cardinal rel > 0 then
+      match Relation.cols rel with
+      | [| Relation.Ints iters; Relation.Nodes _ |] ->
+        let v0 = match !node_iter with Some v -> v | None -> iters.(0) in
+        node_iter := Some v0;
+        if not (Array.for_all (fun v -> v = v0) iters) then node_mode := false
+      | _ -> node_mode := false
+  in
+  let sort_run rel =
+    (* silent pre-sort: makes every later merge input already sorted *)
+    match Relation.cols rel with
+    | [| Relation.Ints _; Relation.Nodes nds |] when !node_mode ->
+      let n = Array.length nds in
+      let sorted = ref true in
+      for i = 1 to n - 1 do
+        if nds.(i - 1).Node.id >= nds.(i).Node.id then sorted := false
+      done;
+      if !sorted then rel
+      else begin
+        let idx = Array.init n (fun i -> i) in
+        Array.sort (fun i j -> Int.compare nds.(i).Node.id nds.(j).Node.id) idx;
+        Relation.gather rel idx
+      end
+    | _ -> rel
+  in
   (* Fresh first-occurrence rows of [rel] not seen before, in row order;
      also their count and [rel]'s raw cardinality, from the same pass. *)
   let fresh_of rel =
-    let fresh = ref [] and fresh_n = ref 0 and produced = ref 0 in
-    List.iter
-      (fun row ->
-        incr produced;
-        if not (Relation.Row_tbl.mem seen row) then begin
-          Relation.Row_tbl.add seen row ();
-          fresh := row :: !fresh;
-          incr fresh_n
-        end)
-      (Relation.rows rel);
-    total := !total + !fresh_n;
-    (List.rev !fresh, !fresh_n, !produced)
+    let n = Relation.cardinal rel in
+    let produced = n in
+    let idx = Array.make n 0 in
+    let k = ref 0 in
+    let use_packed =
+      !packed_ok
+      &&
+      match packed with
+      | None -> false
+      | Some set -> (
+        let cols = Relation.cols rel in
+        let reps = Array.map Relation.int_rep cols in
+        if Array.for_all Option.is_some reps then begin
+          (match reps with
+          | [| Some r1 |] ->
+            for i = 0 to n - 1 do
+              if Relation.Pair_set.add set (r1 i) 0 then begin
+                idx.(!k) <- i;
+                incr k
+              end
+            done
+          | [| Some r1; Some r2 |] ->
+            for i = 0 to n - 1 do
+              if Relation.Pair_set.add set (r1 i) (r2 i) then begin
+                idx.(!k) <- i;
+                incr k
+              end
+            done
+          | _ -> assert false);
+          true
+        end
+        else false)
+    in
+    if not use_packed then begin
+      (* boxed fallback; disable packed mode for all later rounds so the
+         two structures never diverge *)
+      packed_ok := false;
+      let tbl = Lazy.force boxed in
+      k := 0;
+      for i = 0 to n - 1 do
+        let r = Relation.row rel i in
+        if not (Relation.Row_tbl.mem tbl r) then begin
+          Relation.Row_tbl.replace tbl r ();
+          idx.(!k) <- i;
+          incr k
+        end
+      done
+    end;
+    let fresh = Relation.gather rel (Array.sub idx 0 !k) in
+    check_node_mode fresh;
+    let fresh = sort_run fresh in
+    total := !total + !k;
+    if !k > 0 then runs := fresh :: !runs;
+    (fresh, !k, produced)
   in
   let first = apply seed in
   let schema = Relation.schema first in
-  let (rows0, n0, first_n) = fresh_of first in
+  let (fresh0, n0, first_n) = fresh_of first in
   record ~fed:(Relation.cardinal seed) ~produced:first_n ~result_size:!total;
-  let runs = ref [ rows0 ] in
-  (* newest first *)
-  let assemble () = Relation.create schema (List.concat (List.rev !runs)) in
+  let assemble () =
+    let rs = List.rev !runs in
+    if !node_mode then
+      (* pairwise linear merges over sorted, disjoint runs (the PR 3
+         accumulator kernel) — output lands in document order, so the
+         result gather is merge-only. *)
+      let node_runs =
+        List.map
+          (fun r ->
+            match Relation.cols r with
+            | [| _; Relation.Nodes nds |] -> nds
+            | _ -> assert false)
+          rs
+      in
+      let merged = Accumulator.merge_runs node_runs in
+      let iter_v = match !node_iter with Some v -> v | None -> 1 in
+      Relation.of_cols schema
+        [| Relation.Ints (Array.make (Array.length merged) iter_v);
+           Relation.Nodes merged |]
+    else Relation.concat_many schema rs
+  in
   if delta then begin
     let rec loop dl dl_n i =
       if i > t.max_iterations then err "µ∆ diverged after %d iterations" i;
       let out = apply dl in
       let (fresh, fresh_n, out_n) = fresh_of out in
       record ~fed:dl_n ~produced:out_n ~result_size:!total;
-      if fresh_n = 0 then assemble ()
-      else begin
-        runs := fresh :: !runs;
-        loop (Relation.create schema fresh) fresh_n (i + 1)
-      end
+      if fresh_n = 0 then assemble () else loop fresh fresh_n (i + 1)
     in
-    loop (Relation.create schema rows0) n0 1
+    loop fresh0 n0 1
   end
   else begin
     let rec loop res res_n i =
@@ -464,14 +702,10 @@ and eval_mu t env ~delta (f : Plan.fix) =
       let out = apply res in
       let (fresh, fresh_n, out_n) = fresh_of out in
       record ~fed:res_n ~produced:out_n ~result_size:!total;
-      if fresh_n = 0 then res
-      else begin
-        runs := fresh :: !runs;
-        loop (Relation.union res (Relation.create schema fresh))
-          (res_n + fresh_n) (i + 1)
-      end
+      if fresh_n = 0 then assemble ()
+      else loop (Relation.union res fresh) (res_n + fresh_n) (i + 1)
     in
-    loop (Relation.create schema rows0) n0 1
+    loop fresh0 n0 1
   end
 
 type session = Relation.t Phys.t

@@ -46,4 +46,8 @@ val run_with :
 (** Internal profiling counters: memo-lifetime tag (["V:"] volatile /
     ["R:"] run / ["P:"] persistent) + operator prefix → evaluations and
     output rows. The V: entries are what a fixpoint re-pays per round. *)
-val profile : (string, int * int) Hashtbl.t
+val profile : (string, int * int * float) Hashtbl.t
+
+(** Record per-operator self-time in {!profile} (off by default: the
+    clock reads are measurable on fixpoint-heavy workloads). *)
+val profile_timing : bool ref

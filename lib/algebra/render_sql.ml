@@ -1,0 +1,482 @@
+(* Plan → SQL:1999 renderer (Section 2 / Section 6 of the paper).
+
+   A µ/µ∆ site whose body stays inside the step/id/data spine of the
+   Table-1 dialect is exactly a linear WITH RECURSIVE query over
+   materialized document relations:
+
+     - step_k(src, dst)   the transition relation of one (axis, test)
+                          step, over every node of the document
+     - val_k(src, v)      string values of the nodes reachable by
+                          step_k (fn:data)
+     - ids_k(v, dst)      fn:id resolution of the strings in val_k
+     - seed(iter, item)   the loop-lifted seed relation
+
+   Nodes are encoded by their stable preorder ids (integers), strings
+   stay strings — the cell vocabulary of {!Fixq_sqlrec.Sqldb}.
+
+   Rendering is static: it decides renderability and emits the SQL text
+   from the plan alone. {!prepare} additionally materializes the tables
+   against a seed's document and parses the emitted text back through
+   {!Fixq_sqlrec.Sqlrec.parse}, so the query fed to the SQL engine is
+   by construction inside the grammar the engine accepts. *)
+
+module Axis = Fixq_xdm.Axis
+module Node = Fixq_xdm.Node
+module Sqlrec = Fixq_sqlrec.Sqlrec
+module Sqldb = Fixq_sqlrec.Sqldb
+
+type rendered = {
+  sql : string;
+  steps : (Axis.t * Axis.test) list;  (** step_k is the k-th entry *)
+  vals : int list;  (** step indices whose val_k table is required *)
+  ids : int list;  (** step indices whose ids_k table is required *)
+}
+
+let rec_table = "fixpoint"
+let seed_table = "seed"
+
+exception Unrenderable of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Unrenderable s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Normalization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Templates and Iterate markers are evaluation-transparent. *)
+let rec strip (p : Plan.t) : Plan.t =
+  match p with
+  | Plan.Template (_, q) -> strip q
+  | Plan.Iterate it -> strip it.Plan.it_result
+  | Plan.Lit_table _ | Plan.Doc _ | Plan.Fix_ref _ -> p
+  | Plan.Project (c, q) -> Plan.Project (c, strip q)
+  | Plan.Select (c, q) -> Plan.Select (c, strip q)
+  | Plan.Join (pr, a, b) -> Plan.Join (pr, strip a, strip b)
+  | Plan.Cross (a, b) -> Plan.Cross (strip a, strip b)
+  | Plan.Distinct q -> Plan.Distinct (strip q)
+  | Plan.Union (a, b) -> Plan.Union (strip a, strip b)
+  | Plan.Difference (a, b) -> Plan.Difference (strip a, strip b)
+  | Plan.Aggr (a, s, q) -> Plan.Aggr (a, s, strip q)
+  | Plan.Fun (f, s, q) -> Plan.Fun (f, s, strip q)
+  | Plan.Tag (c, q) -> Plan.Tag (c, strip q)
+  | Plan.Row_num (s, q) -> Plan.Row_num (s, strip q)
+  | Plan.Step (a, t, c, q) -> Plan.Step (a, t, c, strip q)
+  | Plan.Id_join (a, b) -> Plan.Id_join (strip a, strip b)
+  | Plan.Construct (k, q) -> Plan.Construct (k, strip q)
+  | Plan.Mu f -> Plan.Mu { f with Plan.seed = strip f.Plan.seed; body = strip f.Plan.body }
+  | Plan.Mu_delta f ->
+    Plan.Mu_delta { f with Plan.seed = strip f.Plan.seed; body = strip f.Plan.body }
+
+(* Structural equality restricted to the tiny shapes the loop wrapper
+   re-tags (δ/π over the recursion leaf). Anything larger — in
+   particular plans that could hold node-valued literal cells, on which
+   polymorphic compare is unsafe — compares unequal, which only makes
+   the normalization conservative. *)
+let rec small_eq (a : Plan.t) (b : Plan.t) =
+  match (a, b) with
+  | (Plan.Fix_ref (i, s), Plan.Fix_ref (j, t)) -> i = j && s = t
+  | (Plan.Distinct x, Plan.Distinct y) -> small_eq x y
+  | (Plan.Project (c, x), Plan.Project (d, y)) -> c = d && small_eq x y
+  | (Plan.Tag (c, x), Plan.Tag (d, y)) -> c = d && small_eq x y
+  | _ -> false
+
+(* The compiler's loop-lifting wrapper: the body of a [for]/path
+   iteration re-tags each (iter, item) context row with a fresh [inner]
+   id, runs the per-row computation with [inner] as its iteration
+   column, and joins the original [iter] back at the end:
+
+     δ? (π[iter:iter', item] (⋈_{iter=inner} (CORE,
+                                π[iter,inner] (#inner (BASE)))))
+
+   where CORE reads its context through π[iter:inner,item](#inner(BASE)).
+   Because the per-row computation is driven by [item] only — [inner]
+   is threaded, never inspected — substituting BASE for that reader and
+   dropping the closing join is an identity: each context row keeps its
+   original iteration id all the way through. *)
+let unwrap_loop (p : Plan.t) : Plan.t =
+  let rewrap, p =
+    match p with Plan.Distinct q -> ((fun x -> Plan.Distinct x), q) | _ -> ((fun x -> x), p)
+  in
+  match p with
+  | Plan.Project
+      ( [ ("iter", iter_src); ("item", "item") ],
+        Plan.Join
+          ( { Plan.equi = [ ("iter", "inner") ]; theta = [] },
+            core,
+            Plan.Project (wrap_cols, Plan.Tag ("inner", base)) ) )
+    when iter_src = "iter'"
+         && List.sort compare (List.map fst wrap_cols) = [ "inner"; "iter" ]
+         && List.for_all (fun (n, o) -> n = o) wrap_cols ->
+    let substituted = ref false in
+    let rec sub q =
+      match q with
+      | Plan.Project ([ ("iter", "inner"); ("item", "item") ], Plan.Tag ("inner", base'))
+        when small_eq base base' ->
+        substituted := true;
+        base'
+      | Plan.Project (c, q) -> Plan.Project (c, sub q)
+      | Plan.Select (c, q) -> Plan.Select (c, sub q)
+      | Plan.Distinct q -> Plan.Distinct (sub q)
+      | Plan.Fun (f, s, q) -> Plan.Fun (f, s, sub q)
+      | Plan.Step (a, t, c, q) -> Plan.Step (a, t, c, sub q)
+      | Plan.Id_join (a, b) -> Plan.Id_join (sub a, sub b)
+      | Plan.Join (pr, a, b) -> Plan.Join (pr, sub a, sub b)
+      | Plan.Cross (a, b) -> Plan.Cross (sub a, sub b)
+      | Plan.Union (a, b) -> Plan.Union (sub a, sub b)
+      | q -> q
+    in
+    let core = sub core in
+    if !substituted then rewrap core else rewrap (Plan.Project ([ ("iter", "iter"); ("item", "item") ], core))
+  | _ -> rewrap p
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Where a column's values come from, so table materialization can stay
+   keyed to the node universes that actually flow through the query. *)
+type dom =
+  | Dnode  (** document nodes out of the recursion input or an id lookup *)
+  | Dstep of int  (** dst nodes of step table k *)
+  | Dval of int  (** string values of val table k *)
+  | Dother  (** iteration ids and other non-item columns *)
+
+type state = {
+  mutable steps : (Axis.t * Axis.test) list;  (* reversed *)
+  mutable nsteps : int;
+  mutable vals : int list;
+  mutable ids : int list;
+  mutable naliases : int;
+  mutable rec_refs : int;
+}
+
+type frag = {
+  from : (string * string) list;  (* (table, alias), reversed *)
+  where : (string * string) list;  (* "a.c" = "b.c", reversed *)
+  cols : (string * (string * dom)) list;  (* schema col → (operand, domain) *)
+}
+
+let alias st =
+  let a = Printf.sprintf "a%d" st.naliases in
+  st.naliases <- st.naliases + 1;
+  a
+
+let step_index st axis test =
+  let rec find i = function
+    | [] -> None
+    | (a, t) :: _ when a = axis && t = test -> Some (st.nsteps - 1 - i)
+    | _ :: r -> find (i + 1) r
+  in
+  match find 0 st.steps with
+  | Some k -> k
+  | None ->
+    st.steps <- (axis, test) :: st.steps;
+    st.nsteps <- st.nsteps + 1;
+    st.nsteps - 1
+
+let col_of frag c =
+  match List.assoc_opt c frag.cols with
+  | Some x -> x
+  | None -> fail "internal: column %s lost during rendering" c
+
+(* Does [p] read exactly the recursion input (modulo δ and π renamings)?
+   Used for the context side of ⋈id, which contributes only the lookup
+   roots: under the single-document precondition checked by {!prepare}
+   those are constant, so the reference neither appears in the SQL nor
+   counts against SQL:1999 linearity. *)
+let rec is_rec_input fix_id (p : Plan.t) =
+  match p with
+  | Plan.Fix_ref (i, _) -> i = fix_id
+  | Plan.Distinct q | Plan.Project (_, q) -> is_rec_input fix_id q
+  | _ -> false
+
+let rec render_plan st ~fix_id (p : Plan.t) : frag =
+  match p with
+  | Plan.Fix_ref (i, schema) when i = fix_id ->
+    st.rec_refs <- st.rec_refs + 1;
+    if st.rec_refs > 1 then
+      fail "the recursion input is referenced more than once (SQL:1999 linearity)";
+    let a = alias st in
+    { from = [ (rec_table, a) ];
+      where = [];
+      cols =
+        List.map
+          (fun c -> (c, (a ^ "." ^ c, if c = "item" then Dnode else Dother)))
+          schema }
+  | Plan.Fix_ref (_, _) ->
+    fail "the body reads a free variable binding (no relational rendering)"
+  | Plan.Distinct q ->
+    (* WITH RECURSIVE iterates with set semantics: every round is
+       distinct already, so inner δ is the identity here. *)
+    render_plan st ~fix_id q
+  | Plan.Project (cols, q) ->
+    let f = render_plan st ~fix_id q in
+    { f with cols = List.map (fun (n, o) -> (n, col_of f o)) cols }
+  | Plan.Step (axis, test, c, q) ->
+    let f = render_plan st ~fix_id q in
+    let (op, d) = col_of f c in
+    (match d with
+    | Dnode | Dstep _ -> ()
+    | Dval _ | Dother -> fail "axis step over a non-node column");
+    let k = step_index st axis test in
+    let a = alias st in
+    { from = (Printf.sprintf "step_%d" k, a) :: f.from;
+      where = (op, a ^ ".src") :: f.where;
+      cols =
+        List.map
+          (fun (n, v) -> if n = c then (n, (a ^ ".dst", Dstep k)) else (n, v))
+          f.cols }
+  | Plan.Fun (Plan.P_data, spec, q) ->
+    let f = render_plan st ~fix_id q in
+    let arg =
+      match spec.Plan.fun_args with
+      | [ a ] -> a
+      | _ -> fail "fn:data over %d columns" (List.length spec.Plan.fun_args)
+    in
+    let (op, d) = col_of f arg in
+    let k =
+      match d with
+      | Dstep k -> k
+      | _ -> fail "fn:data is only rendered over axis-step results"
+    in
+    if not (List.mem k st.vals) then st.vals <- k :: st.vals;
+    let a = alias st in
+    { from = (Printf.sprintf "val_%d" k, a) :: f.from;
+      where = (op, a ^ ".src") :: f.where;
+      cols = f.cols @ [ (spec.Plan.fun_result, (a ^ ".v", Dval k)) ] }
+  | Plan.Id_join (ctx, arg) ->
+    if not (is_rec_input fix_id ctx) then
+      fail "fn:id over a context other than the recursion input";
+    let f = render_plan st ~fix_id arg in
+    let (op, d) = col_of f "item" in
+    let k =
+      match d with
+      | Dval k -> k
+      | _ -> fail "fn:id argument is not a rendered string column"
+    in
+    if not (List.mem k st.ids) then st.ids <- k :: st.ids;
+    let a = alias st in
+    { from = (Printf.sprintf "ids_%d" k, a) :: f.from;
+      where = (op, a ^ ".v") :: f.where;
+      cols =
+        List.map
+          (fun (n, v) -> if n = "item" then (n, (a ^ ".dst", Dnode)) else (n, v))
+          f.cols }
+  | p -> fail "operator %s has no SQL:1999 rendering" (Plan.op_symbol p)
+
+let render ~fix_id (body : Plan.t) : (rendered, string) result =
+  let st =
+    { steps = []; nsteps = 0; vals = []; ids = []; naliases = 0; rec_refs = 0 }
+  in
+  match
+    let body = unwrap_loop (strip body) in
+    let f = render_plan st ~fix_id body in
+    let (iter_op, _) = col_of f "iter" in
+    let (item_op, d) = col_of f "item" in
+    (match d with
+    | Dnode | Dstep _ -> ()
+    | Dval _ | Dother -> fail "the body yields atoms, not nodes");
+    if st.rec_refs = 0 then fail "the body never reads the recursion input";
+    (* IFP semantics (Figure 3): the result accumulates body outputs
+       only — the seed just feeds the first round. So the
+       non-recursive member is the body select read over the seed
+       relation instead of the recursive table. *)
+    let from_over start =
+      String.concat ", "
+        (List.rev_map
+           (fun (t, a) -> (if t = rec_table then start else t) ^ " " ^ a)
+           f.from)
+    in
+    let where =
+      match List.rev f.where with
+      | [] -> ""
+      | ws ->
+        "\n     WHERE "
+        ^ String.concat " AND " (List.map (fun (l, r) -> l ^ " = " ^ r) ws)
+    in
+    let member start =
+      Printf.sprintf "(SELECT %s, %s\n     FROM %s%s)" iter_op item_op
+        (from_over start) where
+    in
+    Printf.sprintf
+      "WITH RECURSIVE %s(iter, item) AS (\n\
+      \    %s\n\
+      \  UNION ALL\n\
+      \    %s\n\
+       )\n\
+       SELECT DISTINCT iter, item FROM %s"
+      rec_table (member seed_table) (member rec_table) rec_table
+  with
+  | sql ->
+    Ok
+      { sql;
+        steps = List.rev st.steps;
+        vals = List.sort compare st.vals;
+        ids = List.sort compare st.ids }
+  | exception Unrenderable reason -> Error reason
+
+(* ------------------------------------------------------------------ *)
+(* Table materialization                                               *)
+(* ------------------------------------------------------------------ *)
+
+type tables = {
+  named : (string * Sqldb.table) list;
+  decode : (int, Node.t) Hashtbl.t;
+}
+
+(* All nodes of the tree under [root], attributes included (they can be
+   step destinations and then step sources). *)
+let universe root =
+  let out = ref [] in
+  let rec walk n =
+    out := n :: !out;
+    Array.iter walk n.Node.attributes;
+    Array.iter walk n.Node.children
+  in
+  walk root;
+  List.rev !out
+
+let whitespace_tokens s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\n')
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.concat_map (String.split_on_char '\r')
+  |> List.filter (fun t -> t <> "")
+
+(* Materialize the document relations [r] requires against [root]. *)
+let materialize (r : rendered) (root : Node.t) : tables =
+  let decode = Hashtbl.create 256 in
+  let uni = universe root in
+  List.iter (fun n -> Hashtbl.replace decode n.Node.id n) uni;
+  let step_tbls =
+    List.map
+      (fun (axis, test) ->
+        let rows = ref [] in
+        List.iter
+          (fun src ->
+            List.iter
+              (fun dst ->
+                rows := [ Sqldb.I src.Node.id; Sqldb.I dst.Node.id ] :: !rows)
+              (Axis.step axis test src))
+          uni;
+        { Sqldb.columns = [ "src"; "dst" ]; rows = List.rev !rows })
+      r.steps
+  in
+  let dsts k =
+    let tbl = List.nth step_tbls k in
+    let seen = Hashtbl.create 64 in
+    List.filter_map
+      (fun row ->
+        match row with
+        | [ _; Sqldb.I d ] when not (Hashtbl.mem seen d) ->
+          Hashtbl.replace seen d ();
+          Hashtbl.find_opt decode d
+        | _ -> None)
+      tbl.Sqldb.rows
+  in
+  let val_tbls =
+    List.map
+      (fun k ->
+        let rows =
+          List.map
+            (fun n -> [ Sqldb.I n.Node.id; Sqldb.S (Node.string_value n) ])
+            (dsts k)
+        in
+        (k, { Sqldb.columns = [ "src"; "v" ]; rows }))
+      r.vals
+  in
+  let id_tbls =
+    List.map
+      (fun k ->
+        let strings = Hashtbl.create 64 in
+        List.iter
+          (fun n ->
+            let s = Node.string_value n in
+            if not (Hashtbl.mem strings s) then Hashtbl.replace strings s ())
+          (dsts k);
+        let rows = ref [] in
+        Hashtbl.iter
+          (fun s () ->
+            List.iter
+              (fun tok ->
+                match Node.lookup_id root tok with
+                | Some e ->
+                  Hashtbl.replace decode e.Node.id e;
+                  rows := [ Sqldb.S s; Sqldb.I e.Node.id ] :: !rows
+                | None -> ())
+              (whitespace_tokens s))
+          strings;
+        (k, { Sqldb.columns = [ "v"; "dst" ]; rows = !rows }))
+      r.ids
+  in
+  let named =
+    List.mapi (fun k t -> (Printf.sprintf "step_%d" k, t)) step_tbls
+    @ List.map (fun (k, t) -> (Printf.sprintf "val_%d" k, t)) val_tbls
+    @ List.map (fun (k, t) -> (Printf.sprintf "ids_%d" k, t)) id_tbls
+  in
+  { named; decode }
+
+type prepared = {
+  rendered : rendered;
+  query : Sqlrec.query;
+  tables : tables;
+  root : Node.t;
+}
+
+(* The single document every node of the fixpoint lives in: axis steps
+   stay inside their tree and fn:id resolves against the roots of the
+   recursion input, so a single-rooted seed pins the whole run to one
+   tree. A multi-rooted (or atom-carrying) seed is declined. *)
+let seed_root (seed : Fixq_xdm.Item.seq) : (Node.t, string) result =
+  let rec go acc = function
+    | [] -> (
+      match acc with
+      | Some r -> Ok r
+      | None -> Error "empty seed: no document to materialize")
+    | Fixq_xdm.Item.A _ :: _ -> Error "the seed contains atoms"
+    | Fixq_xdm.Item.N n :: rest -> (
+      let r = Node.root n in
+      match acc with
+      | Some r0 when not (Node.equal r0 r) ->
+        Error "the seed spans more than one document"
+      | _ -> go (Some r) rest)
+  in
+  go None seed
+
+let prepare ~seed ~fix_id (body : Plan.t) : (prepared, string) result =
+  match render ~fix_id body with
+  | Error e -> Error e
+  | Ok rendered -> (
+    match seed_root seed with
+    | Error e -> Error e
+    | Ok root ->
+      (* Round-trip through the SQL:1999 front end: the engine runs the
+         parsed text, not the plan. *)
+      let query = Sqlrec.parse rendered.sql in
+      Ok { rendered; query; tables = materialize rendered root; root })
+
+(* A fresh database per run: the materialized document relations are
+   shared (immutable), only the seed table varies between evaluations
+   of the same site. *)
+let database (p : prepared) ~(seed_rows : (int * int) list) : Sqldb.t =
+  let db = Sqldb.create () in
+  List.iter (fun (name, t) -> Sqldb.add_table db name t) p.tables.named;
+  Sqldb.add_table db seed_table
+    { Sqldb.columns = [ "iter"; "item" ];
+      rows = List.map (fun (it, id) -> [ Sqldb.I it; Sqldb.I id ]) seed_rows };
+  db
+
+let legend (r : rendered) : string list =
+  List.mapi
+    (fun k (axis, test) ->
+      Format.asprintf "step_%d(src, dst): %s::%a over every document node" k
+        (Axis.axis_to_string axis) Axis.pp_test test)
+    r.steps
+  @ List.map
+      (fun k -> Printf.sprintf "val_%d(src, v): string values of step_%d targets" k k)
+      r.vals
+  @ List.map
+      (fun k ->
+        Printf.sprintf "ids_%d(v, dst): fn:id resolution of val_%d values" k k)
+      r.ids
+  @ [ Printf.sprintf "%s(iter, item): the loop-lifted seed relation" seed_table ]

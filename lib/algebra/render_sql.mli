@@ -1,0 +1,50 @@
+(** Plan → SQL:1999 renderer: a µ/µ∆ body inside the step/id/data spine
+    of the Table-1 dialect becomes one linear [WITH RECURSIVE] query
+    over materialized document relations (step tables, string-value
+    tables, fn:id resolution tables), executed by {!Fixq_sqlrec}.
+
+    Rendering is static ({!render} needs only the plan); {!prepare}
+    additionally materializes the document relations for a concrete
+    seed and parses the emitted text back through
+    {!Fixq_sqlrec.Sqlrec.parse}, so what runs is by construction inside
+    the engine's grammar. *)
+
+type rendered = {
+  sql : string;  (** the [WITH RECURSIVE] text *)
+  steps : (Fixq_xdm.Axis.t * Fixq_xdm.Axis.test) list;
+      (** [step_k(src, dst)] is the k-th entry *)
+  vals : int list;  (** step indices needing a [val_k(src, v)] table *)
+  ids : int list;  (** step indices needing an [ids_k(v, dst)] table *)
+}
+
+(** Decide renderability and emit the SQL text, or explain the first
+    obstruction (operator outside the subset, nonlinear recursion
+    reference, …). *)
+val render : fix_id:int -> Plan.t -> (rendered, string) result
+
+type tables = {
+  named : (string * Fixq_sqlrec.Sqldb.table) list;
+  decode : (int, Fixq_xdm.Node.t) Hashtbl.t;
+      (** node id → node, for reading result rows back *)
+}
+
+type prepared = {
+  rendered : rendered;
+  query : Fixq_sqlrec.Sqlrec.query;
+  tables : tables;
+  root : Fixq_xdm.Node.t;
+}
+
+(** Render and materialize against the (single) document of [seed].
+    Fails when the body is not renderable or the seed is empty, carries
+    atoms, or spans several documents. *)
+val prepare :
+  seed:Fixq_xdm.Item.seq -> fix_id:int -> Plan.t -> (prepared, string) result
+
+(** A fresh database for one evaluation: the shared document relations
+    plus a seed table holding [(iter, node id)] rows. *)
+val database : prepared -> seed_rows:(int * int) list -> Fixq_sqlrec.Sqldb.t
+
+(** Human-readable provenance of each materialized table (for
+    [fixq plan --sql]). *)
+val legend : rendered -> string list

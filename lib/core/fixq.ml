@@ -11,10 +11,12 @@ module Plan = Algebra_ir.Plan
 module Plan_eval = Algebra_ir.Plan_eval
 module Push = Algebra_ir.Push
 module Optimize = Algebra_ir.Optimize
+module Render_sql = Algebra_ir.Render_sql
+module Sqlrec = Fixq_sqlrec.Sqlrec
 
 type mode = Naive | Delta | Auto
 
-type engine = Interpreter of mode | Algebra of mode
+type engine = Interpreter of mode | Algebra of mode | Sql of mode
 
 type report = {
   result : Item.seq;
@@ -176,6 +178,139 @@ let install_algebra_handler ~registry ~max_iterations ~stratified ~mode
              let rel = Plan_eval.run_with pe ~session bindings plan in
              Some (Compile.result_items rel)))
 
+(* The SQL:1999 engine: the interpreter drives the query; every IFP
+   site whose optimized plan renders to a linear WITH RECURSIVE query
+   (see {!Render_sql}) runs on the {!Fixq_sqlrec} evaluator over
+   materialized document relations. Non-renderable sites fall back to
+   the interpreter — results stay byte-identical either way, the
+   rendering only changes which fixpoint loop produces them. *)
+type sql_site = {
+  sql_cs : Compile.compiled;
+  sql_distributive : bool;
+  mutable sql_prep : Render_sql.prepared option;
+      (** materialization, reusable while the seed's document root is
+          unchanged (e.g. the per-course fixpoints of Rule 5) *)
+}
+
+let install_sql_handler ~mode ~fallbacks ~used_delta ev =
+  let cache : sql_site Expr_tbl.t = Expr_tbl.create 8 in
+  let failed : string Expr_tbl.t = Expr_tbl.create 8 in
+  let stats = Eval.stats ev in
+  let decline reason site =
+    if not (Expr_tbl.mem failed site.Eval.ifp_body) then begin
+      fallbacks := reason :: !fallbacks;
+      Expr_tbl.replace failed site.Eval.ifp_body reason
+    end;
+    None
+  in
+  Eval.set_ifp_handler ev
+    (Some
+       (fun (site : Eval.ifp_site) ->
+         if site.Eval.ifp_accum <> None then
+           decline
+             "accumulate by: annotated fixpoints run on the interpreter's \
+              semiring kernel"
+             site
+         else if
+           List.exists
+             (function Xdm.Item.A _ -> true | Xdm.Item.N _ -> false)
+             site.Eval.ifp_seed
+         then None (* Definition 2.1: let the interpreter raise *)
+         else if Expr_tbl.mem failed site.Eval.ifp_body then None
+         else
+           let compiled =
+             match Expr_tbl.find_opt cache site.Eval.ifp_body with
+             | Some c -> Some c
+             | None -> (
+               let names =
+                 List.map fst site.Eval.ifp_bindings
+                 @ (if site.Eval.ifp_context <> None then [ "." ] else [])
+               in
+               match
+                 Compile.body ~functions:(Eval.functions ev)
+                   ~recursion_var:site.Eval.ifp_var ~bindings:names
+                   site.Eval.ifp_body
+               with
+               | exception Compile.Unsupported reason ->
+                 decline ("no SQL rendering: " ^ reason) site
+               | cs ->
+                 let cs =
+                   { cs with Compile.body = Optimize.optimize cs.Compile.body }
+                 in
+                 (* Static renderability is a property of the body; a
+                    failure here is permanent for the site. *)
+                 (match
+                    Render_sql.render ~fix_id:cs.Compile.fix_id cs.Compile.body
+                  with
+                 | Error reason -> decline ("no SQL rendering: " ^ reason) site
+                 | Ok _ ->
+                   let sql_distributive =
+                     (Push.check ~stratified:false ~fix_id:cs.Compile.fix_id
+                        cs.Compile.body)
+                       .Push.distributive
+                   in
+                   let c = { sql_cs = cs; sql_distributive; sql_prep = None } in
+                   Expr_tbl.replace cache site.Eval.ifp_body c;
+                   Some c))
+           in
+           match compiled with
+           | None -> None
+           | Some c -> (
+             let prep =
+               match (c.sql_prep, site.Eval.ifp_seed) with
+               | (Some p, Xdm.Item.N n :: _)
+                 when Xdm.Node.equal (Xdm.Node.root n) p.Render_sql.root ->
+                 Ok p
+               | _ ->
+                 Render_sql.prepare ~seed:site.Eval.ifp_seed
+                   ~fix_id:c.sql_cs.Compile.fix_id c.sql_cs.Compile.body
+             in
+             match prep with
+             | Error reason ->
+               (* Seed-dependent: the same site may get a renderable
+                  seed next time, so this is not a permanent failure. *)
+               fallbacks := ("no SQL rendering: " ^ reason) :: !fallbacks;
+               None
+             | Ok p ->
+               c.sql_prep <- Some p;
+               let use_delta =
+                 match mode with
+                 | Naive -> false
+                 | Delta -> true
+                 | Auto -> c.sql_distributive
+               in
+               used_delta := Some use_delta;
+               let seed_rows =
+                 List.filter_map
+                   (function
+                     | Xdm.Item.N n -> Some (1, n.Xdm.Node.id)
+                     | Xdm.Item.A _ -> None)
+                   site.Eval.ifp_seed
+               in
+               let db = Render_sql.database p ~seed_rows in
+               Stats.start_run stats;
+               let r =
+                 Sqlrec.run
+                   ~on_round:(fun ~fed ~produced ~total ->
+                     Stats.record_iteration stats ~fed ~produced
+                       ~result_size:total)
+                   ~algorithm:(if use_delta then Sqlrec.Delta else Sqlrec.Naive)
+                   db p.Render_sql.query
+               in
+               let rows =
+                 List.filter_map
+                   (function
+                     | [ Fixq_sqlrec.Sqldb.I it; Fixq_sqlrec.Sqldb.I id ] ->
+                       Option.map
+                         (fun n -> [| Algebra_ir.Value.Int it; Algebra_ir.Value.Nd n |])
+                         (Hashtbl.find_opt p.Render_sql.tables.Render_sql.decode id)
+                     | _ -> None)
+                   r.Sqlrec.result.Fixq_sqlrec.Sqldb.rows
+               in
+               Some
+                 (Compile.result_items
+                    (Algebra_ir.Relation.create [ "iter"; "item" ] rows)))))
+
 let run_program ?(registry = Xdm.Doc_registry.default)
     ?(max_iterations = 1_000_000) ?(stratified = false) ?domains
     ?chunk_threshold ?deadline ?round_hook ?max_call_depth ~engine p =
@@ -196,6 +331,13 @@ let run_program ?(registry = Xdm.Doc_registry.default)
       install_algebra_handler ~registry ~max_iterations ~stratified ~mode
         ~fallbacks ~used_delta ev;
       ev
+    | Sql mode ->
+      let ev =
+        Eval.create ~registry ~max_iterations ~stratified ?domains
+          ?chunk_threshold ?max_call_depth ~strategy:(strategy_of_mode mode) ()
+      in
+      install_sql_handler ~mode ~fallbacks ~used_delta ev;
+      ev
   in
   (match (deadline, round_hook) with
   | None, None -> ()
@@ -213,7 +355,8 @@ let run_program ?(registry = Xdm.Doc_registry.default)
   let t0 = now_ms () in
   let result =
     try Eval.run_program ev p with
-    | Eval.Error m | Lang.Builtins.Error m | Plan_eval.Error m ->
+    | Eval.Error m | Lang.Builtins.Error m | Plan_eval.Error m
+    | Sqlrec.Error m ->
       raise (Error m)
     | Lang.Fixpoint.Diverged n ->
       raise (Error (Printf.sprintf "IFP diverged after %d iterations" n))
@@ -225,7 +368,7 @@ let run_program ?(registry = Xdm.Doc_registry.default)
   let used_delta =
     match engine with
     | Interpreter _ -> Eval.last_ifp_used_delta ev
-    | Algebra _ -> (
+    | Algebra _ | Sql _ -> (
       match !used_delta with
       | Some d -> Some d
       | None -> Eval.last_ifp_used_delta ev)
@@ -287,6 +430,15 @@ let plan_of_first_ifp ?(registry = Xdm.Doc_registry.default)
          raise Plan_captured));
   (try ignore (Eval.run_program ev p) with _ -> ());
   !captured
+
+(* The SQL:1999 rendering of the first IFP's (optimized) body — what
+   the Sql engine would run at that site. [None] when the query has no
+   compilable IFP at all. *)
+let sql_of_first_ifp ?registry ?max_iterations p =
+  match plan_of_first_ifp ?registry ?max_iterations p with
+  | None -> None
+  | Some (fix_id, plan) ->
+    Some (Render_sql.render ~fix_id (Optimize.optimize plan))
 
 (* One canonical child enumeration for whole-program expression walks
    (first-IFP lookup, IFP counting for the prepared-query layer, …). *)

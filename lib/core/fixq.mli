@@ -15,6 +15,11 @@
       and µ∆ fixpoint operators; evaluation runs over [iter|item]
       relations with staircase-join steps. Bodies outside the
       compilable subset fall back to the interpreter.
+    - {!Sql}: the SQL:1999 comparison engine (Sections 2 and 6). IFP
+      plans that render to a linear [WITH RECURSIVE] query (see
+      {!Algebra_ir.Render_sql}) run on the {!Fixq_sqlrec} evaluator
+      over materialized document relations; everything else falls back
+      to the interpreter, so results stay byte-identical.
 
     Re-exported substrate libraries: {!Xdm} (data model), {!Lang}
     (language), {!Algebra_ir} (plans), {!Store} (pre/size/level
@@ -31,7 +36,7 @@ type mode =
   | Delta  (** always Figure 3(b) / µ∆ — unsound if non-distributive *)
   | Auto  (** Delta when the engine's distributivity check succeeds *)
 
-type engine = Interpreter of mode | Algebra of mode
+type engine = Interpreter of mode | Algebra of mode | Sql of mode
 
 (** Outcome of a query run, with the instrumentation that Table 2
     reports. *)
@@ -162,3 +167,13 @@ val plan_of_first_ifp :
   ?max_iterations:int ->
   Lang.Ast.program ->
   (int * Algebra_ir.Plan.t) option
+
+(** The SQL:1999 rendering of the first IFP's optimized body — the
+    [WITH RECURSIVE] query the {!Sql} engine would run at that site, or
+    the reason there is none. [None] when no IFP body compiles at
+    all. *)
+val sql_of_first_ifp :
+  ?registry:Xdm.Doc_registry.t ->
+  ?max_iterations:int ->
+  Lang.Ast.program ->
+  (Algebra_ir.Render_sql.rendered, string) result option

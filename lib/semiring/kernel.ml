@@ -53,17 +53,26 @@ module Annot_acc = struct
 
   (* Absorb a round's annotated output. Returns the strictly improved
      entries sorted by node id (document order for stored trees), so
-     the next round's frontier is deterministic. *)
+     the next round's frontier is deterministic. A node improved by
+     several sources in the same round yields one entry whose increment
+     is the ⊕ of the individual increments — keeping an arbitrary one
+     (e.g. an early improvement later superseded) would propagate a
+     stale annotation downstream. *)
   let absorb t entries =
-    let fresh =
-      List.filter_map
-        (fun (n, ann) ->
-          Option.map (fun inc -> (n, inc)) (merge t n ann))
-        entries
-    in
-    List.sort_uniq
-      (fun ((a : Node.t), _) ((b : Node.t), _) -> compare a.Node.id b.Node.id)
-      fresh
+    let fresh = Hashtbl.create 16 in
+    List.iter
+      (fun ((n : Node.t), ann) ->
+        match merge t n ann with
+        | None -> ()
+        | Some inc -> (
+          match Hashtbl.find_opt fresh n.Node.id with
+          | None -> Hashtbl.replace fresh n.Node.id (n, inc)
+          | Some (_, prev) ->
+            Hashtbl.replace fresh n.Node.id (n, Semiring.plus t.kind prev inc)))
+      entries;
+    Hashtbl.fold (fun _ e acc -> e :: acc) fresh []
+    |> List.sort (fun ((a : Node.t), _) ((b : Node.t), _) ->
+           compare a.Node.id b.Node.id)
 
   let entries t =
     Hashtbl.fold (fun id n acc -> (n, Hashtbl.find t.anns id) :: acc) t.nodes []

@@ -117,6 +117,19 @@ let improve kind ~old ~incoming =
     else Some (Wit (Int_set.union s s'), Wit fresh)
   | _ -> invalid_arg "Semiring.improve: annotation does not match the kind"
 
+(* Raw ⊕ without improvement detection: combines several same-round
+   increments for one node into the single refeed entry the next round
+   should see (best value for [Min]/[Max], summed delta for [Count],
+   witness union for [Why]). *)
+let plus kind a b =
+  match (kind, a, b) with
+  | (Bool, Mark, Mark) -> Mark
+  | (Count, Num c, Num d) -> Num (c +. d)
+  | (Min, Num c, Num d) -> Num (Float.min c d)
+  | (Max, Num c, Num d) -> Num (Float.max c d)
+  | (Why, Wit s, Wit s') -> Wit (Int_set.union s s')
+  | _ -> invalid_arg "Semiring.plus: annotation does not match the kind"
+
 let float_to_string f =
   if Float.is_integer f && Float.abs f < 1e15 then
     string_of_int (int_of_float f)

@@ -346,6 +346,10 @@ let handle_check t ~id query stratified =
     | r :: _ -> Some r
     | [] -> None
   in
+  let sql =
+    Fixq.sql_of_first_ifp ~registry:(Store.registry t.store)
+      p.Prepared.program
+  in
   Protocol.ok_response ~id
     [ ("ifp_count", Json.of_int p.Prepared.ifp_count);
       ("syntactic", Json.Bool p.Prepared.syntactic);
@@ -382,6 +386,11 @@ let handle_check t ~id query stratified =
        (match p.Prepared.push with
        | Some { Fixq_algebra.Push.blocking = Some b; _ } -> Json.Str b
        | _ -> Json.Null));
+      ("sql_renderable", Json.of_bool_opt (Option.map Result.is_ok sql));
+      ("sql_reason",
+       (match sql with
+       | Some (Error reason) -> Json.Str reason
+       | Some (Ok _) | None -> Json.Null));
       ("prepared_cache", Json.Str prepared_status) ]
 
 let handle_plan t ~id query stratified =
@@ -498,7 +507,10 @@ let kernel_counter_rows () =
     ("bitmap_tests", c.Xdm.Counters.bitmap_tests);
     ("bitmap_hits", c.Xdm.Counters.bitmap_hits);
     ("index_steps", c.Xdm.Counters.index_steps);
-    ("index_nodes", c.Xdm.Counters.index_nodes) ]
+    ("index_nodes", c.Xdm.Counters.index_nodes);
+    ("col_batches", c.Xdm.Counters.col_batches);
+    ("col_rows", c.Xdm.Counters.col_rows);
+    ("col_boxed_rows", c.Xdm.Counters.col_boxed_rows) ]
 
 (* Prometheus text exposition of the same counters the JSON stats
    report: cache hit/miss/size, registry generation, uptime, and the

@@ -6,11 +6,13 @@ type colref = { tbl : string option; col : string }
 
 type operand = Col of colref | Lit of Sqldb.value
 
+type cmp = Ceq | Cne | Clt | Cle | Cgt | Cge
+
 type select = {
   distinct : bool;
   columns : operand list;
   from : (string * string) list;
-  where : (operand * operand) list;
+  where : (operand * cmp * operand) list;
 }
 
 type query = {
@@ -175,18 +177,42 @@ let parse_select_body st =
     else List.rev ((name, alias) :: acc)
   in
   let from = tables [] in
+  let parse_cmp st =
+    match peek st with
+    | Some (Sym '=') ->
+      advance st;
+      Ceq
+    | Some (Sym '<') ->
+      advance st;
+      (match peek st with
+      | Some (Sym '>') ->
+        advance st;
+        Cne
+      | Some (Sym '=') ->
+        advance st;
+        Cle
+      | _ -> Clt)
+    | Some (Sym '>') ->
+      advance st;
+      (match peek st with
+      | Some (Sym '=') ->
+        advance st;
+        Cge
+      | _ -> Cgt)
+    | _ -> err "expected a comparison operator (=, <>, <, <=, >, >=)"
+  in
   let where =
     if at_word st "where" then begin
       advance st;
       let rec conds acc =
         let l = parse_operand st in
-        expect_sym st '=';
+        let cm = parse_cmp st in
         let r = parse_operand st in
         if at_word st "and" then begin
           advance st;
-          conds ((l, r) :: acc)
+          conds ((l, cm, r) :: acc)
         end
-        else List.rev ((l, r) :: acc)
+        else List.rev ((l, cm, r) :: acc)
       in
       conds []
     end
@@ -301,29 +327,181 @@ let eval_select ?extra (db : Sqldb.t) (s : select) : Sqldb.table =
     | Lit v -> v
     | Col r -> col_value env r
   in
-  let out = ref [] in
-  let rec product env = function
-    | [] ->
-      let ok =
-        List.for_all
-          (fun (l, r) ->
-            Sqldb.value_equal (operand_value env l) (operand_value env r))
-          s.where
-      in
-      if ok then begin
-        let row =
-          if s.columns = [] then
-            List.concat_map (fun (_, (_, row)) -> row) (List.rev env)
-          else List.map (operand_value env) s.columns
-        in
-        out := row :: !out
-      end
-    | (alias, t) :: rest ->
-      List.iter
-        (fun row -> product ((alias, (t, row)) :: env) rest)
-        t.Sqldb.rows
+  (* Ordering comparisons require operands of the same kind; SQL:1999 has
+     no implicit string/number coercion in this subset. *)
+  let order l r =
+    match (l, r) with
+    | (Sqldb.I a, Sqldb.I b) -> Int.compare a b
+    | (Sqldb.S a, Sqldb.S b) -> String.compare a b
+    | _ ->
+      err "type mismatch in comparison: %a vs %a" Sqldb.pp_value l
+        Sqldb.pp_value r
   in
-  product [] tables;
+  let cmp_holds cm l r =
+    match cm with
+    | Ceq -> Sqldb.value_equal l r
+    | Cne -> not (Sqldb.value_equal l r)
+    | Clt -> order l r < 0
+    | Cle -> order l r <= 0
+    | Cgt -> order l r > 0
+    | Cge -> order l r >= 0
+  in
+  (* Predicate pushdown: each WHERE conjunct runs at the outermost level
+     of the FROM nesting where every column it references is bound, so
+     the product enumeration prunes eagerly instead of filtering only
+     completed rows — the chain equalities WITH RECURSIVE bodies emit
+     turn the nested loop into a join. Row order is unchanged: the
+     surviving leaves appear in the same nesting order. Conjuncts whose
+     columns are unknown or ambiguous stay at the innermost level, where
+     evaluation raises the same errors as before. *)
+  let n_tables = List.length tables in
+  let level_of_operand = function
+    | Lit _ -> Some (-1)
+    | Col { tbl = Some a; _ } ->
+      let la = String.lowercase_ascii a in
+      let (_, last) =
+        List.fold_left
+          (fun (i, acc) (a', _) ->
+            ( i + 1,
+              if String.lowercase_ascii a' = la then Some i else acc ))
+          (0, None) tables
+      in
+      last
+    | Col { tbl = None; col } ->
+      let lcol = String.lowercase_ascii col in
+      let holders =
+        List.mapi (fun i e -> (i, e)) tables
+        |> List.filter (fun (_, (_, (t : Sqldb.table))) ->
+               List.exists
+                 (fun c -> String.lowercase_ascii c = lcol)
+                 t.Sqldb.columns)
+      in
+      (match holders with [ (i, _) ] -> Some i | _ -> None)
+  in
+  let pred_level (l, _, r) =
+    match (level_of_operand l, level_of_operand r) with
+    | (Some a, Some b) -> max a b
+    | _ -> n_tables - 1
+  in
+  let preds_at = Array.make (max 1 n_tables) [] in
+  let pre = ref [] in
+  List.iter
+    (fun p ->
+      let lv = pred_level p in
+      if lv < 0 then pre := p :: !pre else preds_at.(lv) <- p :: preds_at.(lv))
+    s.where;
+  Array.iteri (fun i l -> preds_at.(i) <- List.rev l) preds_at;
+  let holds env (l, cm, r) =
+    cmp_holds cm (operand_value env l) (operand_value env r)
+  in
+  (* Hash-join narrowing: when a level carries a pushed equality between
+     one of its own columns and an operand bound earlier, bucket the
+     table's rows by that column and enumerate only the matching bucket.
+     Because [Sqldb.value_equal] coerces between [S] and [I] spellings
+     (and is not transitive), an [S] cell that also reads as an integer
+     is bucketed under both spellings and the bucket is only a candidate
+     pre-filter — every WHERE conjunct is still checked per row, so the
+     result is bit-for-bit what the plain scan produces. *)
+  let keys_of = function
+    | Sqldb.I _ as v -> [ v ]
+    | Sqldb.S str as v -> (
+      match int_of_string_opt str with
+      | Some i -> [ v; Sqldb.I i ]
+      | None -> [ v ])
+  in
+  let col_index_in (t : Sqldb.table) col =
+    let lcol = String.lowercase_ascii col in
+    let rec idx i = function
+      | [] -> None
+      | c :: _ when String.lowercase_ascii c = lcol -> Some i
+      | _ :: rest -> idx (i + 1) rest
+    in
+    idx 0 t.Sqldb.columns
+  in
+  let tables_arr = Array.of_list tables in
+  let index_at =
+    Array.init (max 1 n_tables) (fun i ->
+        if i >= n_tables then None
+        else
+          let (_, t) = tables_arr.(i) in
+          let local op =
+            match op with
+            | Col { col; _ } when level_of_operand op = Some i ->
+              col_index_in t col
+            | _ -> None
+          in
+          let earlier op =
+            match level_of_operand op with Some l -> l < i | None -> false
+          in
+          let eligible = function
+            | (l, Ceq, r) -> (
+              match (local l, earlier r) with
+              | (Some ci, true) -> Some (ci, r)
+              | _ -> (
+                match (local r, earlier l) with
+                | (Some ci, true) -> Some (ci, l)
+                | _ -> None))
+            | _ -> None
+          in
+          match List.find_map eligible preds_at.(i) with
+          | None -> None
+          | Some (ci, outer) ->
+            let buckets = Hashtbl.create 64 in
+            List.iteri
+              (fun ri row ->
+                List.iter
+                  (fun k ->
+                    Hashtbl.replace buckets k
+                      ((ri, row)
+                      ::
+                      (match Hashtbl.find_opt buckets k with
+                      | Some l -> l
+                      | None -> [])))
+                  (keys_of (List.nth row ci)))
+              t.Sqldb.rows;
+            Hashtbl.filter_map_inplace
+              (fun _ l -> Some (List.rev l))
+              buckets;
+            Some (outer, buckets))
+  in
+  (* Merge two idx-sorted candidate lists, dropping duplicate rows. *)
+  let rec merge a b =
+    match (a, b) with
+    | ([], l) | (l, []) -> l
+    | (((ia, _) as x) :: ta, ((ib, _) as y) :: tb) ->
+      if ia < ib then x :: merge ta b
+      else if ib < ia then y :: merge a tb
+      else x :: merge ta tb
+  in
+  let out = ref [] in
+  let rec product i env = function
+    | [] ->
+      let row =
+        if s.columns = [] then
+          List.concat_map (fun (_, (_, row)) -> row) (List.rev env)
+        else List.map (operand_value env) s.columns
+      in
+      out := row :: !out
+    | (alias, t) :: rest ->
+      let visit row =
+        let env = (alias, (t, row)) :: env in
+        if List.for_all (holds env) preds_at.(i) then product (i + 1) env rest
+      in
+      (match index_at.(i) with
+      | Some (outer, buckets) ->
+        let cands =
+          List.fold_left
+            (fun acc k ->
+              match Hashtbl.find_opt buckets k with
+              | Some l -> merge acc l
+              | None -> acc)
+            []
+            (keys_of (operand_value env outer))
+        in
+        List.iter (fun (_, row) -> visit row) cands
+      | None -> List.iter visit t.Sqldb.rows)
+  in
+  if List.for_all (holds []) (List.rev !pre) then product 0 [] tables;
   let columns =
     if s.columns = [] then
       List.concat_map (fun (alias, t) ->
@@ -345,7 +523,7 @@ type algorithm = Naive | Delta
 
 type run = { result : Sqldb.table; iterations : int; rows_fed : int }
 
-let run ?(enforce_linearity = true) ~algorithm db q =
+let run ?(enforce_linearity = true) ?on_round ~algorithm db q =
   if enforce_linearity && not (is_linear q) then
     err
       "SQL:1999 linearity violation: %s is referenced more than once in \
@@ -370,8 +548,18 @@ let run ?(enforce_linearity = true) ~algorithm db q =
   let union (a : Sqldb.table) (b : Sqldb.table) =
     Sqldb.distinct { a with Sqldb.rows = a.Sqldb.rows @ b.Sqldb.rows }
   in
+  let round ~fed ~produced ~total =
+    match on_round with
+    | Some f -> f ~fed ~produced ~total
+    | None -> ()
+  in
   let rec naive res =
-    let next = union (apply res) res in
+    let out = apply res in
+    let next = union out res in
+    round
+      ~fed:(List.length res.Sqldb.rows)
+      ~produced:(List.length out.Sqldb.rows)
+      ~total:(List.length next.Sqldb.rows);
     if List.length next.Sqldb.rows = List.length res.Sqldb.rows then next
     else naive next
   in
@@ -379,6 +567,10 @@ let run ?(enforce_linearity = true) ~algorithm db q =
     let out = apply dl in
     let dl' = Sqldb.difference out res in
     let res' = union res dl' in
+    round
+      ~fed:(List.length dl.Sqldb.rows)
+      ~produced:(List.length out.Sqldb.rows)
+      ~total:(List.length res'.Sqldb.rows);
     if dl'.Sqldb.rows = [] then res' else delta dl' res'
   in
   let fixed =

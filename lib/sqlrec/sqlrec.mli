@@ -13,7 +13,11 @@
     v}
 
     where selects use [FROM t [alias], …] and conjunctive [WHERE]
-    equality conditions between column references or against literals.
+    comparisons ([=], [<>], [<], [<=], [>], [>=]) between column
+    references or against literals. Equality and inequality compare any
+    two values; the ordering operators require both operands to be of
+    the same kind (two ints or two strings) and raise {!Error}
+    otherwise.
 
     The engine implements both Naïve and Delta (semi-naïve) iteration
     for the recursive table, plus the standard's {e linearity} check:
@@ -27,11 +31,14 @@ type colref = { tbl : string option; col : string }
 
 type operand = Col of colref | Lit of Sqldb.value
 
+(** WHERE comparison operators: [=], [<>], [<], [<=], [>], [>=]. *)
+type cmp = Ceq | Cne | Clt | Cle | Cgt | Cge
+
 type select = {
   distinct : bool;
   columns : operand list;  (** empty means [*] *)
   from : (string * string) list;  (** (table, alias) *)
-  where : (operand * operand) list;  (** conjunctive equalities *)
+  where : (operand * cmp * operand) list;  (** conjunctive comparisons *)
 }
 
 type query = {
@@ -58,9 +65,17 @@ type run = {
 
 (** Evaluate. Raises {!Error} for nonlinear queries when
     [enforce_linearity] (default [true]) — matching the standard — and
-    for unknown tables/columns. *)
+    for unknown tables/columns. [on_round] fires after every iteration
+    with the rows fed into the body, the rows it produced, and the
+    accumulated result size — the observation hook the fixpoint stats
+    layer and cooperative deadlines attach to. *)
 val run :
-  ?enforce_linearity:bool -> algorithm:algorithm -> Sqldb.t -> query -> run
+  ?enforce_linearity:bool ->
+  ?on_round:(fed:int -> produced:int -> total:int -> unit) ->
+  algorithm:algorithm ->
+  Sqldb.t ->
+  query ->
+  run
 
 (** Evaluate a plain (non-recursive) select, for tests. *)
 val run_select : Sqldb.t -> select -> Sqldb.table

@@ -117,6 +117,20 @@ let merge_two a b =
   done;
   out
 
+let merge_runs runs =
+  let runs = List.filter (fun a -> Array.length a > 0) runs in
+  let rec pairs = function
+    | [] -> []
+    | [ r ] -> [ r ]
+    | a :: b :: rest -> merge_two a b :: pairs rest
+  in
+  let rec reduce = function
+    | [] -> [||]
+    | [ r ] -> r
+    | rs -> reduce (pairs rs)
+  in
+  reduce runs
+
 let merged t =
   match t.cache with
   | Some a -> a

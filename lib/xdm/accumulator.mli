@@ -40,6 +40,13 @@ val absorb : t -> who:string -> Item.seq -> Item.seq * int * int
     of per-domain results. *)
 val absorb_parts : t -> who:string -> Item.seq array -> Item.seq * int * int
 
+(** [merge_runs runs] — bottom-up pairwise linear merge of sorted,
+    pairwise-disjoint node runs into one sorted array. The merge kernel
+    behind {!to_nodes}, exposed for external run stores (the columnar
+    µ/µ∆ loop keeps its per-round deltas as sorted node vectors and
+    assembles the result here). *)
+val merge_runs : Node.t array list -> Node.t array
+
 (** Accumulated result in document order. Cached; absorbing afterwards
     invalidates the cache. *)
 val to_seq : t -> Item.seq

@@ -16,6 +16,9 @@ type snapshot = {
   bitmap_hits : int;  (** … of which answered "already present" *)
   index_steps : int;  (** axis steps answered from the name index *)
   index_nodes : int;  (** nodes produced by index-assisted steps *)
+  col_batches : int;  (** columnar batch-kernel invocations (algebra) *)
+  col_rows : int;  (** rows flowing through columnar batch kernels *)
+  col_boxed_rows : int;  (** … of which fell back to boxed row-at-a-time *)
 }
 
 val merges : int ref
@@ -25,6 +28,9 @@ val bitmap_tests : int ref
 val bitmap_hits : int ref
 val index_steps : int ref
 val index_nodes : int ref
+val col_batches : int ref
+val col_rows : int ref
+val col_boxed_rows : int ref
 
 val snapshot : unit -> snapshot
 val zero : snapshot

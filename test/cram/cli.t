@@ -28,12 +28,14 @@ Both distributivity verdicts:
   $ fixq check --doc curriculum.xml=curriculum.xml q1.xq
   syntactic check (Figure 5): distributive — Delta applies
   algebraic check (∪ push-up): distributive — µ∆ applies
+  SQL:1999 rendering: renderable — WITH RECURSIVE applies
 
 Q2 (Example 2.4) is rejected by both:
 
   $ fixq check -e 'let $seed := (<a/>,<b><c><d/></c></b>) return with $x seeded by $seed recurse if (count($x/self::a)) then $x/* else ()'
   syntactic check (Figure 5): not established
   algebraic check (∪ push-up): not distributive
+  SQL:1999 rendering: not renderable (operator ⋈ has no SQL:1999 rendering)
 
 The plan subcommand prints the push-up outcome:
 
@@ -59,11 +61,49 @@ Engine selection and parity:
   $ fixq run --doc curriculum.xml=curriculum.xml --engine interp q1.xq > int.out
   $ cmp alg.out int.out
 
+The SQL:1999 backend: plan --sql prints the WITH RECURSIVE rendering of
+the first IFP site with the provenance of each materialized relation,
+and --engine sql executes it byte-identically:
+
+  $ fixq plan --sql --doc curriculum.xml=curriculum.xml q1.xq
+  WITH RECURSIVE fixpoint(iter, item) AS (
+      (SELECT a0.iter, a4.dst
+       FROM seed a0, step_0 a1, step_1 a2, val_1 a3, ids_1 a4
+       WHERE a0.item = a1.src AND a1.dst = a2.src AND a2.dst = a3.src AND a3.v = a4.v)
+    UNION ALL
+      (SELECT a0.iter, a4.dst
+       FROM fixpoint a0, step_0 a1, step_1 a2, val_1 a3, ids_1 a4
+       WHERE a0.item = a1.src AND a1.dst = a2.src AND a2.dst = a3.src AND a3.v = a4.v)
+  )
+  SELECT DISTINCT iter, item FROM fixpoint
+  -- step_0(src, dst): child::prerequisites over every document node
+  -- step_1(src, dst): child::pre_code over every document node
+  -- val_1(src, v): string values of step_1 targets
+  -- ids_1(v, dst): fn:id resolution of val_1 values
+  -- seed(iter, item): the loop-lifted seed relation
+
+  $ fixq run --doc curriculum.xml=curriculum.xml --engine sql q1.xq > sql.out
+  $ cmp sql.out int.out
+
+A generated hospital document renders too (a pure step chain), and the
+engine falls back to the interpreter when the body is outside the
+SQL:1999 subset — parity holds either way:
+
+  $ fixq generate hospital --size 60 > hospital.xml
+  $ cat > hq.xq <<'XQ'
+  > with $x seeded by doc("hospital.xml")/hospital/patient
+  > recurse $x/parents/patient
+  > XQ
+  $ fixq run --doc hospital.xml=hospital.xml --engine sql hq.xq > hsql.out
+  $ fixq run --doc hospital.xml=hospital.xml --engine interp hq.xq > hint.out
+  $ cmp hsql.out hint.out
+
 The stratified-difference refinement (Section 6):
 
   $ fixq check -e 'with $x seeded by doc("curriculum.xml")/curriculum/course[@code="c1"] recurse ($x/id(./prerequisites/pre_code) except doc("curriculum.xml")/curriculum/course[@code="c3"])' --doc curriculum.xml=curriculum.xml
   syntactic check (Figure 5): not established
   algebraic check (∪ push-up): not distributive
+  SQL:1999 rendering: not renderable (operator \ has no SQL:1999 rendering)
   $ fixq run --stratified --doc curriculum.xml=curriculum.xml -e 'count(with $x seeded by doc("curriculum.xml")/curriculum/course[@code="c1"] recurse ($x/id(./prerequisites/pre_code) except doc("curriculum.xml")/curriculum/course[@code="c3"]))' --stats 2>stats.txt
   2
   $ grep "delta used" stats.txt

@@ -46,7 +46,7 @@ stripped:
   {"ok":true,"id":4,"engine":"interp","mode":"delta","used_delta":true,"prepared_cache":"hit","result_cache":"hit","generation":1,"nodes_fed":4,"depth":3,"result":"3"}
   {"ok":true,"id":5,"uri":"curriculum.xml","generation":2}
   {"ok":true,"id":6,"engine":"interp","mode":"delta","used_delta":true,"prepared_cache":"hit","result_cache":"miss","generation":2,"nodes_fed":4,"depth":3,"result":"3"}
-  {"ok":true,"id":7,"ifp_count":1,"syntactic":true,"algebraic":true,"interp_mode":"delta","algebra_mode":"delta","stratified":false,"warnings":[],"diagnostics":[],"divergence":"terminates","semiring":null,"convergence":null,"node_only":true,"ivm":"ineligible","blocking":null,"prepared_cache":"miss"}
+  {"ok":true,"id":7,"ifp_count":1,"syntactic":true,"algebraic":true,"interp_mode":"delta","algebra_mode":"delta","stratified":false,"warnings":[],"diagnostics":[],"divergence":"terminates","semiring":null,"convergence":null,"node_only":true,"ivm":"ineligible","blocking":null,"sql_renderable":true,"sql_reason":null,"prepared_cache":"miss"}
   {"ok":false,"id":8,"error":"parse error at 1:4: expected an expression, found end of input","diagnostics":[{"severity":"error","code":"FQ001","line":1,"col":4,"context":"parse","message":"expected an expression, found end of input"}]}
   {"ok":false,"id":9,"error":"IFP diverged after 11 iterations"}
   $ sed -n '11p' out.jsonl

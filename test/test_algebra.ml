@@ -505,7 +505,13 @@ let test_render () =
 (* ------------------------------------------------------------------ *)
 
 let test_optimize_rules () =
-  let lit = Plan.Lit_table ([ "iter"; "item" ], []) in
+  let lit =
+    (* two rows: a 0/1-row literal is trivially distinct and the
+       optimizer would drop the δ entirely. *)
+    Plan.Lit_table
+      ( [ "iter"; "item" ],
+        [ [| Value.Int 1; Value.Int 1 |]; [| Value.Int 1; Value.Int 2 |] ] )
+  in
   let payload =
     Plan.Step (Axis.Child, Axis.Kind_node, "item", Plan.Doc "small.xml")
   in
@@ -514,6 +520,11 @@ let test_optimize_rules () =
   (match Optimize.optimize dd with
   | Plan.Distinct (Plan.Lit_table _) -> ()
   | other -> Alcotest.failf "δδ not collapsed: %s" (Render.summary other));
+  (match Optimize.optimize (Plan.Distinct (Plan.Lit_table ([ "iter" ], []))) with
+  | Plan.Lit_table _ -> ()
+  | other ->
+    Alcotest.failf "δ over empty literal not removed: %s"
+      (Render.summary other));
   let pp_plan =
     Plan.Project
       ( [ ("x", "iter") ],

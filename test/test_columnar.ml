@@ -1,0 +1,357 @@
+(* The columnar executor's batch kernels: every vectorized operator
+   against a row-at-a-time reference on typed, mixed and node-valued
+   columns, plus two parity properties — kernel-vs-reference on random
+   relations, and [--engine sql] byte-identical to the interpreter
+   across the four workload families. *)
+
+module Node = Fixq_xdm.Node
+module Item = Fixq_xdm.Item
+module Doc_registry = Fixq_xdm.Doc_registry
+module Xml_parser = Fixq_xdm.Xml_parser
+module Serializer = Fixq_xdm.Serializer
+module Value = Fixq_algebra.Value
+module R = Fixq_algebra.Relation
+module W = Fixq_workloads
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A small pool of real nodes for node-valued cells. *)
+let pool =
+  let doc =
+    Xml_parser.parse_string ~strip_whitespace:true
+      {|<r><a k="1"><b>x</b></a><a k="2"><b>y</b><b>z</b></a><c k="1"/></r>|}
+  in
+  let out = ref [] in
+  Node.iter_subtree (fun n -> out := n :: !out) doc;
+  Array.of_list (List.rev !out)
+
+(* ------------------------------------------------------------------ *)
+(* Row-at-a-time references                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Compare rows via {!Value.key} — nodes carry cyclic parent pointers,
+   so polymorphic compare on raw rows must never run. *)
+let keys row = Array.to_list (Array.map Value.key row)
+let sorted rows = List.sort compare (List.map keys rows)
+
+(* Multiset equality modulo order — the batch kernels may emit any
+   order for set-semantics operators. *)
+let same_bag a b = sorted a = sorted b
+
+(* Exact list equality (for operators with a specified row order). *)
+let same_list a b = List.map keys a = List.map keys b
+
+let row_mem r rows = List.exists (fun r' -> keys r' = keys r) rows
+
+let ref_distinct rows =
+  List.rev
+    (List.fold_left
+       (fun acc r -> if row_mem r acc then acc else r :: acc)
+       [] rows)
+
+(* EXCEPT ALL: each right occurrence cancels one matching left
+   occurrence. *)
+let ref_difference l r =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun row ->
+      let k = keys row in
+      Hashtbl.replace counts k
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+    r;
+  List.filter
+    (fun row ->
+      let k = keys row in
+      match Hashtbl.find_opt counts k with
+      | Some c when c > 0 ->
+        Hashtbl.replace counts k (c - 1);
+        false
+      | _ -> true)
+    l
+
+let cell_eq a b = Value.equal_key_cell a b
+
+let ref_equi_join keyidx l r =
+  List.concat_map
+    (fun lr ->
+      List.filter_map
+        (fun rr ->
+          if List.for_all (fun (li, ri) -> cell_eq lr.(li) rr.(ri)) keyidx
+          then Some (Array.append lr rr)
+          else None)
+        r)
+    l
+
+let ref_semi_join keyidx l r =
+  List.filter
+    (fun lr ->
+      List.exists
+        (fun rr ->
+          List.for_all (fun (li, ri) -> cell_eq lr.(li) rr.(ri)) keyidx)
+        r)
+    l
+
+(* ------------------------------------------------------------------ *)
+(* Unit suites per kernel                                              *)
+(* ------------------------------------------------------------------ *)
+
+let n i = Value.Nd pool.(i mod Array.length pool)
+
+let mixed_rows =
+  [ [| Value.Int 1; Value.Str "x" |]; [| Value.Int 2; Value.Str "y" |];
+    [| Value.Int 1; Value.Str "x" |]; [| Value.Bool true; n 0 |];
+    [| Value.Int 2; Value.Str "y" |]; [| Value.Bool true; n 0 |];
+    [| n 1; Value.Dbl 2.5 |] ]
+
+let test_distinct_mixed () =
+  let r = R.create [ "a"; "b" ] mixed_rows in
+  check "distinct = reference" true
+    (same_bag (R.rows (R.distinct r)) (ref_distinct mixed_rows))
+
+let test_distinct_packed () =
+  (* int/node/bool columns take the packed Pair_set path; push past any
+     small-input threshold. *)
+  let rows =
+    List.init 4000 (fun i -> [| Value.Int (i mod 37); Value.Int (i mod 11) |])
+  in
+  let d = R.distinct (R.create [ "x"; "y" ] rows) in
+  check "packed distinct = reference" true
+    (same_bag (R.rows d) (ref_distinct rows));
+  let rows_n = List.init 900 (fun i -> [| Value.Int (i mod 13); n i |]) in
+  let dn = R.distinct (R.create [ "x"; "y" ] rows_n) in
+  check "node-column distinct = reference" true
+    (same_bag (R.rows dn) (ref_distinct rows_n))
+
+let test_union_permuted () =
+  let l = R.create [ "a"; "b" ] [ [| Value.Int 1; Value.Str "u" |] ] in
+  let r = R.create [ "b"; "a" ] [ [| Value.Str "v"; Value.Int 2 |] ] in
+  let u = R.union l r in
+  check "schema kept" true (R.schema u = [ "a"; "b" ]);
+  check "bag union, right side permuted" true
+    (same_bag (R.rows u)
+       [ [| Value.Int 1; Value.Str "u" |]; [| Value.Int 2; Value.Str "v" |] ])
+
+let test_difference_all () =
+  let l =
+    R.create [ "a" ]
+      [ [| Value.Int 1 |]; [| Value.Int 2 |]; [| Value.Int 1 |];
+        [| Value.Int 3 |] ]
+  in
+  let r = R.create [ "a" ] [ [| Value.Int 1 |] ] in
+  (* EXCEPT ALL: one right occurrence cancels one of the two left 1s. *)
+  check "difference = reference" true
+    (same_bag
+       (R.rows (R.difference l r))
+       [ [| Value.Int 2 |]; [| Value.Int 1 |]; [| Value.Int 3 |] ]);
+  check "difference property reference agrees" true
+    (same_bag
+       (R.rows (R.difference l r))
+       (ref_difference (R.rows l) (R.rows r)))
+
+let test_equi_join_both_orientations () =
+  (* The kernel picks its probe side by size; a small relation joined
+     with a large one must agree with the reference either way
+     around. *)
+  let small_rows = List.init 3 (fun i -> [| Value.Int i; Value.Str "s" |]) in
+  let large_rows =
+    List.init 200 (fun i -> [| Value.Int (i mod 5); n i |])
+  in
+  let small = R.create [ "k"; "s" ] small_rows in
+  let large = R.create [ "k2"; "v" ] large_rows in
+  let j1 = R.equi_join [ ("k", "k2") ] small large in
+  check "small ⋈ large = reference" true
+    (same_bag (R.rows j1)
+       (ref_equi_join [ (0, 0) ] small_rows large_rows));
+  let j2 = R.equi_join [ ("k2", "k") ] large small in
+  check "large ⋈ small = reference" true
+    (same_bag (R.rows j2)
+       (ref_equi_join [ (0, 0) ] large_rows small_rows))
+
+let test_equi_join_clash_and_extra () =
+  let l = R.create [ "k"; "v" ]
+      [ [| Value.Int 1; Value.Int 10 |]; [| Value.Int 2; Value.Int 20 |] ]
+  in
+  let r = R.create [ "k"; "v" ]
+      [ [| Value.Int 1; Value.Int 11 |]; [| Value.Int 1; Value.Int 12 |] ]
+  in
+  let j = R.equi_join [ ("k", "k") ] l r in
+  check "clashing right columns primed" true
+    (R.schema j = [ "k"; "v"; "k'"; "v'" ]);
+  check_int "rows" 2 (R.cardinal j);
+  let jx = R.equi_join ~extra:(fun li ri -> li <> ri) [ ("k", "k") ] l r in
+  check_int "extra predicate filters" 1 (R.cardinal jx)
+
+let test_semi_join () =
+  let l_rows =
+    [ [| Value.Int 1; Value.Str "a" |]; [| Value.Int 9; Value.Str "b" |];
+      [| Value.Int 2; Value.Str "c" |]; [| Value.Int 1; Value.Str "d" |] ]
+  in
+  let r_rows =
+    [ [| Value.Int 1 |]; [| Value.Int 2 |]; [| Value.Int 1 |] ]
+  in
+  let l = R.create [ "k"; "v" ] l_rows in
+  let r = R.create [ "k" ] r_rows in
+  let s = R.semi_join [ ("k", "k") ] l r in
+  (* each left row at most once, in left order *)
+  check "semi_join = reference, order kept" true
+    (same_list (R.rows s) (ref_semi_join [ (0, 0) ] l_rows r_rows))
+
+let test_project_select () =
+  let r = R.create [ "a"; "b" ] mixed_rows in
+  let p = R.project [ ("b2", "b"); ("a2", "a") ] r in
+  check "project renames and reorders" true (R.schema p = [ "b2"; "a2" ]);
+  check "project rows" true
+    (same_list (R.rows p)
+       (List.map (fun row -> [| row.(1); row.(0) |]) mixed_rows));
+  let flags =
+    R.col_of_values
+      (Array.of_list (List.mapi (fun i _ -> Value.Bool (i mod 2 = 0)) mixed_rows))
+  in
+  let s = R.select_bool "f" (R.append_col "f" flags r) in
+  check_int "select_bool keeps the true rows" 4 (R.cardinal s)
+
+let test_int_rep () =
+  check "int column packs" true
+    (R.int_rep (R.col_of_values [| Value.Int 1; Value.Int 2 |]) <> None);
+  check "bool column packs" true
+    (R.int_rep (R.col_of_values [| Value.Bool true; Value.Bool false |])
+     <> None);
+  check "node column packs" true
+    (R.int_rep (R.col_of_values [| n 0; n 1 |]) <> None);
+  check "string column does not pack" true
+    (R.int_rep (R.col_of_values [| Value.Str "x" |]) = None);
+  check "mixed column does not pack" true
+    (R.int_rep (R.col_of_values [| Value.Int 1; Value.Str "x" |]) = None);
+  (* packed reps of distinct kinds must not collide *)
+  let ci = R.col_of_values [| Value.Int 1 |] in
+  let cb = R.col_of_values [| Value.Bool true |] in
+  match (R.int_rep ci, R.int_rep cb) with
+  | (Some fi, Some fb) -> check "Int 1 ≠ Bool true packed" true (fi 0 <> fb 0)
+  | _ -> Alcotest.fail "expected packed reps"
+
+let test_group_count_number_tag () =
+  let r =
+    R.create [ "g"; "v" ]
+      [ [| Value.Str "a"; Value.Int 3 |]; [| Value.Str "b"; Value.Int 1 |];
+        [| Value.Str "a"; Value.Int 2 |]; [| Value.Str "a"; Value.Int 1 |] ]
+  in
+  let gc = R.group_count ~partition:(Some "g") ~result:"n" r in
+  check "group sizes" true
+    (same_bag (R.rows gc)
+       [ [| Value.Str "a"; Value.Int 3 |]; [| Value.Str "b"; Value.Int 1 |] ]);
+  let total = R.group_count ~partition:None ~result:"n" r in
+  check "whole-table count" true
+    (same_list (R.rows total) [ [| Value.Int 4 |] ]);
+  let nb = R.number ~order:[ "v" ] ~partition:(Some "g") ~result:"rk" r in
+  let rank row = match row.(2) with Value.Int i -> i | _ -> -1 in
+  let by_gv g v =
+    List.find
+      (fun row -> row.(0) = Value.Str g && row.(1) = Value.Int v)
+      (R.rows nb)
+  in
+  check_int "rank a/1" 1 (rank (by_gv "a" 1));
+  check_int "rank a/2" 2 (rank (by_gv "a" 2));
+  check_int "rank a/3" 3 (rank (by_gv "a" 3));
+  check_int "rank b/1" 1 (rank (by_gv "b" 1));
+  let tagged = R.tag ~result:"t" r in
+  let tags =
+    List.map (fun row -> match row.(2) with Value.Int i -> i | _ -> -1)
+      (R.rows tagged)
+  in
+  check "tags unique" true
+    (List.length (List.sort_uniq compare tags) = List.length tags)
+
+(* ------------------------------------------------------------------ *)
+(* Property: kernels ≡ row references on random relations              *)
+(* ------------------------------------------------------------------ *)
+
+let cell_gen =
+  QCheck2.Gen.oneof
+    [ QCheck2.Gen.map (fun i -> Value.Int i) (QCheck2.Gen.int_range 0 4);
+      QCheck2.Gen.map (fun i -> Value.Str (String.make 1 (Char.chr (97 + i))))
+        (QCheck2.Gen.int_range 0 3);
+      QCheck2.Gen.map (fun b -> Value.Bool b) QCheck2.Gen.bool;
+      QCheck2.Gen.map n (QCheck2.Gen.int_range 0 11) ]
+
+let rows_gen width =
+  QCheck2.Gen.(
+    list_size (int_range 0 40)
+      (map Array.of_list (list_repeat width cell_gen)))
+
+let prop_kernels_match_reference =
+  QCheck2.Test.make ~count:120 ~name:"batch kernels = row references"
+    QCheck2.Gen.(pair (rows_gen 2) (rows_gen 2))
+    (fun (lrows, rrows) ->
+      let l = R.create [ "a"; "b" ] lrows in
+      let r = R.create [ "a"; "b" ] rrows in
+      let rkeyed = R.project [ ("a2", "a"); ("b2", "b") ] r in
+      same_bag (R.rows (R.distinct l)) (ref_distinct lrows)
+      && same_bag (R.rows (R.union l r)) (lrows @ rrows)
+      && same_bag (R.rows (R.difference l r)) (ref_difference lrows rrows)
+      && same_bag
+           (R.rows (R.equi_join [ ("a", "a2") ] l rkeyed))
+           (ref_equi_join [ (0, 0) ] lrows rrows)
+      && same_list
+           (R.rows (R.semi_join [ ("a", "a2") ] l rkeyed))
+           (ref_semi_join [ (0, 0) ] lrows rrows))
+
+(* ------------------------------------------------------------------ *)
+(* Property: --engine sql byte-identical to the interpreter            *)
+(* ------------------------------------------------------------------ *)
+
+(* The four workload families per generator seed: curriculum (q1 and
+   the per-course check — both render to WITH RECURSIVE), bidder and
+   dialogs (outside the SQL:1999 subset — the engine falls back), and
+   hospital (renders). Byte parity must hold either way. *)
+let sql_parity_on seed =
+  let registry = Doc_registry.create () in
+  ignore
+    (W.Curriculum.load ~registry
+       { W.Curriculum.default with W.Curriculum.courses = 60; seed });
+  ignore
+    (W.Xmark.load ~registry
+       { W.Xmark.default with W.Xmark.scale = 0.002; W.Xmark.seed });
+  ignore
+    (W.Shakespeare.load ~registry
+       { W.Shakespeare.default with W.Shakespeare.acts = 2;
+         scenes_per_act = 2; seed });
+  ignore
+    (W.Hospital.load ~registry
+       { W.Hospital.default with W.Hospital.total = 120; seed });
+  List.for_all
+    (fun src ->
+      let irun = Fixq.run ~registry ~engine:(Fixq.Interpreter Fixq.Auto) src in
+      let srun = Fixq.run ~registry ~engine:(Fixq.Sql Fixq.Auto) src in
+      Serializer.seq_to_string irun.Fixq.result
+      = Serializer.seq_to_string srun.Fixq.result)
+    [ W.Queries.q1; W.Queries.curriculum_check; W.Queries.bidder_network;
+      W.Queries.dialogs; W.Queries.hospital ]
+
+let prop_sql_parity =
+  QCheck2.Test.make ~count:6
+    ~name:"--engine sql byte-identical to interpreter (four families)"
+    QCheck2.Gen.(int_range 1 1000)
+    sql_parity_on
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "columnar"
+    [ ( "kernels",
+        [ Alcotest.test_case "distinct mixed" `Quick test_distinct_mixed;
+          Alcotest.test_case "distinct packed" `Quick test_distinct_packed;
+          Alcotest.test_case "union permuted" `Quick test_union_permuted;
+          Alcotest.test_case "difference all" `Quick test_difference_all;
+          Alcotest.test_case "equi_join orientations" `Quick
+            test_equi_join_both_orientations;
+          Alcotest.test_case "equi_join clash/extra" `Quick
+            test_equi_join_clash_and_extra;
+          Alcotest.test_case "semi_join" `Quick test_semi_join;
+          Alcotest.test_case "project/select" `Quick test_project_select;
+          Alcotest.test_case "int_rep" `Quick test_int_rep;
+          Alcotest.test_case "group/number/tag" `Quick
+            test_group_count_number_tag ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_kernels_match_reference;
+          QCheck_alcotest.to_alcotest prop_sql_parity ] ) ]

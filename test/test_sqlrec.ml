@@ -202,6 +202,38 @@ let test_int_literals_and_errors () =
   check "ambiguous column" true
     (fails "SELECT k FROM T a, T b WHERE a.k = b.k")
 
+let test_comparison_operators () =
+  let db = Sqldb.create () in
+  Sqldb.add_table db "T"
+    { Sqldb.columns = [ "k"; "v" ];
+      rows =
+        [ [ Sqldb.I 1; Sqldb.S "a" ];
+          [ Sqldb.I 2; Sqldb.S "b" ];
+          [ Sqldb.I 3; Sqldb.S "c" ] ] };
+  let count s =
+    List.length (Sqlrec.run_select db (Sqlrec.parse_select s)).Sqldb.rows
+  in
+  check_int "<> excludes one row" 2 (count "SELECT v FROM T WHERE k <> 2");
+  check_int "< strict" 1 (count "SELECT v FROM T WHERE k < 2");
+  check_int "<= inclusive" 2 (count "SELECT v FROM T WHERE k <= 2");
+  check_int "> strict" 1 (count "SELECT v FROM T WHERE k > 2");
+  check_int ">= inclusive" 2 (count "SELECT v FROM T WHERE k >= 2");
+  check_int "string ordering" 2 (count "SELECT k FROM T WHERE v >= 'b'");
+  check_int "conjunction of comparisons" 1
+    (count "SELECT v FROM T WHERE k > 1 AND k < 3");
+  check_int "self-join strict order" 3
+    (count "SELECT a.k, b.k FROM T a, T b WHERE a.k < b.k");
+  let fails s =
+    try
+      ignore (Sqlrec.run_select db (Sqlrec.parse_select s));
+      false
+    with Sqlrec.Error _ -> true
+  in
+  check "mixed-kind ordering rejected" true
+    (fails "SELECT v FROM T WHERE k < 'b'");
+  check "mixed-kind inequality allowed" false
+    (fails "SELECT v FROM T WHERE k <> 'b'")
+
 let test_value_semantics () =
   check "string/int comparable" true
     (Sqldb.value_equal (Sqldb.S "3") (Sqldb.I 3));
@@ -256,5 +288,7 @@ let () =
             test_linearity_enforced;
           Alcotest.test_case "literals and errors" `Quick
             test_int_literals_and_errors;
+          Alcotest.test_case "comparison operators" `Quick
+            test_comparison_operators;
           Alcotest.test_case "values" `Quick test_value_semantics ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_naive_eq_delta ]) ]
