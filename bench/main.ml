@@ -624,6 +624,176 @@ let ivm_bench () =
     \  cost the recompute column. Byte equality is asserted per row.\n\n"
 
 (* ------------------------------------------------------------------ *)
+(* Recovery: snapshot + tail vs full-history replay                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Durability headline: after a long patch history, how fast does state
+   come back? The cold-start row starts a stateful server over the same
+   state directory twice — before any snapshot (full WAL replay:
+   regenerate the document, re-apply every patch) and after one (decode
+   the materialized registry, replay the short tail). The respawn row
+   is the cluster-side analogue: replaying a worker's recorded line
+   history with compaction off (every line re-sent) vs on (one
+   materialized load-doc). Byte equality against the pre-crash answer
+   is asserted per row. *)
+let recovery_bench () =
+  printf "== Recovery: snapshot + tail vs full-history replay ==\n\n";
+  let module Server = Fixq_service.Server in
+  let module Coordinator = Fixq_cluster.Coordinator in
+  let member_str name resp =
+    Option.value ~default:""
+      (Json.str_opt (Json.member name (Json.parse resp)))
+  in
+  (* per-row history length: re-applying a patch costs O(doc), so a few
+     hundred ops already make full replay dwarf the snapshot's one-time
+     O(doc) decode — and keep the bench itself quick *)
+  let cold_patches = 500 in
+  let respawn_patches = 200 in
+  let load =
+    {|{"op":"load-doc","uri":"auction.xml","generate":"xmark","size":0.024,"seed":42}|}
+  in
+  let patch =
+    {|{"op":"patch-doc","uri":"auction.xml","action":"insert","path":"/site","xml":"<chaos/>"}|}
+  in
+  let query =
+    "with $x seeded by doc(\"auction.xml\")/site recurse \
+     $x/descendant-or-self::*/bidder"
+  in
+  let nocache_line =
+    Json.to_string
+      (Json.Obj
+         [ ("op", Json.Str "run"); ("query", Json.Str query);
+           ("cache", Json.Bool false) ])
+  in
+  let report case patches replay_ms snapshot_ms byte_equal =
+    let speedup = replay_ms /. Float.max snapshot_ms 1e-9 in
+    printf
+      "  %-10s  full replay %8.1f ms   snapshot+tail %8.1f ms   %5.1fx   %s\n"
+      case replay_ms snapshot_ms speedup
+      (if byte_equal then "bytes equal" else "BYTES DIFFER");
+    record_json
+      [ ("section", Json.Str "recovery"); ("case", Json.Str case);
+        ("patches", Json.of_int patches);
+        ("replay_ms", Json.Num replay_ms);
+        ("snapshot_ms", Json.Num snapshot_ms);
+        ("speedup", Json.Num speedup);
+        ("byte_equal", Json.Bool byte_equal) ]
+  in
+
+  (* serve --state-dir cold start *)
+  let dir =
+    let d = Filename.temp_file "fixq-recovery" "" in
+    Sys.remove d;
+    Unix.mkdir d 0o755;
+    d
+  in
+  (* threshold 0 disables the op-count snapshot trigger: the only
+     snapshot in this row is the explicit one between the two cold
+     starts, so cold start #1 really replays the whole history *)
+  let mk () =
+    Server.create
+      ~config:
+        { Server.default_config with
+          state_dir = Some dir; snapshot_threshold = 0 }
+      ()
+  in
+  let send s line = fst (Server.handle_line s line) in
+  let a = mk () in
+  ignore (send a load);
+  for _ = 1 to cold_patches do
+    ignore (send a patch)
+  done;
+  let expected = member_str "result" (send a nocache_line) in
+  (* crash (no shutdown): cold start #1 replays the whole WAL —
+     regenerate the document, re-apply every patch. Recovery is
+     read-only until the next accepted op, so cold starts can be
+     repeated over the same directory; min of 3 damps GC noise. *)
+  let cold_start () =
+    Gc.compact ();
+    let t0 = Unix.gettimeofday () in
+    let s = mk () in
+    ((Unix.gettimeofday () -. t0) *. 1000., s)
+  in
+  let min_of_3 () =
+    let best_ms = ref infinity and last = ref None in
+    for _ = 1 to 3 do
+      let (ms, s) = cold_start () in
+      if ms < !best_ms then best_ms := ms;
+      last := Some s
+    done;
+    (!best_ms, Option.get !last)
+  in
+  let (replay_ms, b) = min_of_3 () in
+  let replay_equal = member_str "result" (send b nocache_line) = expected in
+  (* snapshot, keep a short tail, cold start #2 decodes the
+     materialized registry and replays five ops *)
+  ignore (send b {|{"op":"snapshot"}|});
+  for _ = 1 to 5 do
+    ignore (send b patch)
+  done;
+  let expected2 = member_str "result" (send b nocache_line) in
+  let (snapshot_ms, c) = min_of_3 () in
+  let snapshot_equal =
+    member_str "result" (send c nocache_line) = expected2
+  in
+  report "cold-start" cold_patches replay_ms snapshot_ms
+    (replay_equal && snapshot_equal);
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (Sys.readdir dir);
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+
+  (* coordinator respawn replay, compaction off vs on *)
+  let respawn_ms compact_patches =
+    let servers =
+      ref [ ("w0", Server.create ()); ("w1", Server.create ()) ]
+    in
+    let backend =
+      { Coordinator.workers = [ "w0"; "w1" ];
+        send =
+          (fun name ~timeout_ms:_ line ->
+            match List.assoc_opt name !servers with
+            | Some s -> Ok (fst (Server.handle_line s line))
+            | None -> Error "unknown worker");
+        info = (fun _ -> []);
+        restarts = (fun () -> 0);
+        stop = ignore;
+        add_worker = (fun () -> Error "fixed fleet");
+        retire_worker = ignore;
+        kill_worker = ignore }
+    in
+    let coord =
+      Coordinator.create
+        ~config:
+          { Coordinator.default_config with
+            replication = 2; compact_patches }
+        backend
+    in
+    let chandle line = fst (Coordinator.handle_line coord line) in
+    ignore (chandle load);
+    for _ = 1 to respawn_patches do
+      ignore (chandle patch)
+    done;
+    let expected = member_str "result" (chandle nocache_line) in
+    (* kill w1: replace it with a fresh empty process, time the replay *)
+    servers := ("w1", Server.create ()) :: List.remove_assoc "w1" !servers;
+    let t0 = Unix.gettimeofday () in
+    Coordinator.on_worker_respawn coord "w1";
+    let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+    (ms, member_str "result" (chandle nocache_line) = expected)
+  in
+  let (respawn_replay_ms, eq_off) = respawn_ms 0 in
+  let (respawn_compact_ms, eq_on) = respawn_ms 16 in
+  report "respawn" respawn_patches respawn_replay_ms respawn_compact_ms
+    (eq_off && eq_on);
+  printf
+    "\n  cold-start = Server.create over the same --state-dir (recovery\n\
+    \  runs inside create): full WAL replay vs decoding the materialized\n\
+    \  snapshot plus a 5-op tail. respawn = Coordinator.on_worker_respawn\n\
+    \  replaying a worker's doc history into a fresh process, full line\n\
+    \  history vs one compacted load-doc.\n\n"
+
+(* ------------------------------------------------------------------ *)
 (* Accumulator scaling: per-round cost vs |res|                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -1141,7 +1311,7 @@ let () =
         List.mem a
           [ "table1"; "table2"; "figure9"; "example24"; "section41";
             "section6"; "section7"; "accum"; "micro"; "cluster"; "ivm";
-            "semiring"; "columnar" ])
+            "semiring"; "columnar"; "recovery" ])
       args
   in
   let when_ opt f = if (not explicit) || has opt then f () in
@@ -1158,6 +1328,8 @@ let () =
   when_ "columnar" columnar_bench;
   when_ "semiring" semiring_bench;
   when_ "ivm" ivm_bench;
+  (* opt-in like micro: stateful temp dirs + a long patch history *)
+  when_ "recovery" (fun () -> if has "recovery" then recovery_bench ());
   when_ "micro" (fun () -> if has "micro" then micro ());
   (* opt-in like micro: needs the fixq binary built alongside *)
   when_ "cluster" (fun () -> if has "cluster" then cluster_bench ());

@@ -612,8 +612,10 @@ let chaos_arg =
               Items are comma-separated: seed=N, or \
               point=kind[:prob][@nth][#max] with points transport.send, \
               transport.recv, coordinator.scatter, supervisor.ping, \
-              server.handle, fixpoint.round, store.read, store.patch and kinds drop, \
-              truncate, kill, oom, delayMS. Falls back to \\$FIXQ_CHAOS.")
+              server.handle, fixpoint.round, store.read, store.patch, \
+              store.wal, store.snapshot, coordinator.rebalance and kinds \
+              drop, truncate, kill, oom, delayMS. Falls back to \
+              \\$FIXQ_CHAOS.")
 
 let chaos_log_arg =
   Arg.(value & opt (some string) None
@@ -700,9 +702,25 @@ let serve_cmd =
     in
     Arg.(value & opt (some float) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
   in
+  let state_dir_arg =
+    let doc =
+      "Durability directory: write-ahead-log every accepted document op \
+       and snapshot the store there, and recover from it on start \
+       (snapshot + WAL tail, tolerating torn tails)."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "state-dir" ] ~docv:"DIR" ~doc)
+  in
+  let snapshot_threshold_arg =
+    let doc =
+      "Snapshot (and truncate the WAL) every N logged ops; 0 disables \
+       op-triggered snapshots."
+    in
+    Arg.(value & opt int 64 & info [ "snapshot-threshold" ] ~docv:"N" ~doc)
+  in
   let action docs pipe socket workers prepared_cap result_cap max_iterations
       timeout_ms stratified chaos chaos_log max_heap_mb shed_heap_mb
-      max_pending max_call_depth retry_after_ms =
+      max_pending max_call_depth retry_after_ms state_dir snapshot_threshold =
     match setup_chaos ~chaos ~chaos_log with
     | Error msg ->
       Printf.eprintf "fixq serve: %s\n" msg;
@@ -715,7 +733,8 @@ let serve_cmd =
         result_capacity = result_cap; max_iterations; timeout_ms; stratified;
         governor =
           governor_config ~max_heap_mb ~shed_heap_mb ~max_pending
-            ~max_call_depth ~retry_after_ms }
+            ~max_call_depth ~retry_after_ms;
+        state_dir; snapshot_threshold }
     in
     let store = Service.Store.create ~registry () in
     let server = Service.Server.create ~config ~store () in
@@ -742,7 +761,8 @@ let serve_cmd =
           $ prepared_cache_arg $ result_cache_arg $ max_iterations_arg
           $ timeout_arg $ stratified_arg $ chaos_arg $ chaos_log_arg
           $ max_heap_arg $ shed_heap_arg $ max_pending_arg
-          $ max_call_depth_arg $ retry_after_arg)
+          $ max_call_depth_arg $ retry_after_arg $ state_dir_arg
+          $ snapshot_threshold_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -787,11 +807,34 @@ let cluster_cmd =
   in
   let retries_arg =
     let doc = "Re-sends per request leg before failing over." in
-    Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N" ~doc)
+    Arg.(value & opt int 2 & info [ "retries"; "retry-max" ] ~docv:"N" ~doc)
   in
   let backoff_arg =
     let doc = "Base retry backoff in milliseconds (doubles per retry, jittered)." in
-    Arg.(value & opt float 50. & info [ "backoff-ms" ] ~docv:"MS" ~doc)
+    Arg.(value & opt float 50.
+         & info [ "backoff-ms"; "retry-base-ms" ] ~docv:"MS" ~doc)
+  in
+  let jitter_arg =
+    let doc =
+      "Retry jitter as a fraction of the current backoff (0 disables, \
+       making retry timing deterministic)."
+    in
+    Arg.(value & opt float 0.5 & info [ "retry-jitter" ] ~docv:"FRACTION" ~doc)
+  in
+  let compact_arg =
+    let doc =
+      "Fold a document's request-line history into one materialized load \
+       once it exceeds N lines (0 disables compaction)."
+    in
+    Arg.(value & opt int 16 & info [ "compact-patches" ] ~docv:"N" ~doc)
+  in
+  let cluster_state_dir_arg =
+    let doc =
+      "Per-worker durability: worker NAME write-ahead-logs and snapshots \
+       under DIR/NAME, and recovers from it when respawned."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "state-dir" ] ~docv:"DIR" ~doc)
   in
   let health_arg =
     let doc = "Health-check interval in milliseconds (ping, reap, respawn)." in
@@ -806,7 +849,8 @@ let cluster_cmd =
     Arg.(value & opt (some float) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
   in
   let action docs pipe socket workers replication worker_dir no_scatter
-      retries backoff_ms health_ms max_iterations timeout_ms stratified chaos
+      retries backoff_ms jitter compact_patches state_dir health_ms
+      max_iterations timeout_ms stratified chaos
       chaos_log max_heap_mb shed_heap_mb max_pending max_call_depth
       retry_after_ms =
     (* the coordinator process hosts the transport/scatter/ping points;
@@ -829,10 +873,13 @@ let cluster_cmd =
       | Some n -> [ flag; string_of_int n ]
       | None -> []
     in
-    let command ~name:_ ~socket =
+    let command ~name ~socket =
       Array.of_list
         ([ Sys.executable_name; "serve"; "--socket"; socket; "--workers"; "4";
            "--max-iterations"; string_of_int max_iterations ]
+        @ (match state_dir with
+          | Some d -> [ "--state-dir"; Filename.concat d name ]
+          | None -> [])
         @ (match timeout_ms with
           | Some t -> [ "--timeout-ms"; string_of_float t ]
           | None -> [])
@@ -847,7 +894,7 @@ let cluster_cmd =
     in
     let config =
       { C.Coordinator.replication; scatter = not no_scatter; retries;
-        backoff_ms;
+        backoff_ms; jitter; compact_patches;
         (* transport read budget: the workers' own budget plus slack,
            unbounded when the workers are unbudgeted *)
         timeout_ms = Option.map (fun t -> (t *. 2.) +. 5000.) timeout_ms }
@@ -929,7 +976,8 @@ let cluster_cmd =
   let term =
     Term.(const action $ docs_arg $ pipe_arg $ socket_arg $ workers_arg
           $ replication_arg $ worker_dir_arg $ no_scatter_arg $ retries_arg
-          $ backoff_arg $ health_arg $ max_iterations_arg $ timeout_arg
+          $ backoff_arg $ jitter_arg $ compact_arg $ cluster_state_dir_arg
+          $ health_arg $ max_iterations_arg $ timeout_arg
           $ stratified_arg $ chaos_arg $ chaos_log_arg $ max_heap_arg
           $ shed_heap_arg $ max_pending_arg $ max_call_depth_arg
           $ retry_after_arg)

@@ -3,6 +3,9 @@ module Json = Fixq_service.Json
 type t = {
   supervisor : Supervisor.t;
   coordinator : Coordinator.t;
+  transport_lock : Mutex.t;
+      (** [add-worker]/[remove-worker] mutate the transport tables while
+          request threads read them *)
   transports : (string, Transport.t) Hashtbl.t;
   ping_transports : (string, Transport.t) Hashtbl.t;
       (** health pings ride their own connections so a long-running
@@ -12,16 +15,22 @@ type t = {
 let launch ~dir ~count ~command ?(config = Coordinator.default_config)
     ?(health_interval_ms = 1000.) () =
   let supervisor = Supervisor.create ~dir ~count ~command () in
+  let transport_lock = Mutex.create () in
   let transports = Hashtbl.create 8 in
   let ping_transports = Hashtbl.create 8 in
-  List.iter
-    (fun name ->
-      let path = Supervisor.socket_path supervisor name in
-      Hashtbl.replace transports name (Transport.create path);
-      Hashtbl.replace ping_transports name (Transport.create path))
-    (Supervisor.names supervisor);
+  let with_transports f =
+    Mutex.lock transport_lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock transport_lock) f
+  in
+  let register name =
+    let path = Supervisor.socket_path supervisor name in
+    with_transports (fun () ->
+        Hashtbl.replace transports name (Transport.create path);
+        Hashtbl.replace ping_transports name (Transport.create path))
+  in
+  List.iter register (Supervisor.names supervisor);
   let send name ~timeout_ms line =
-    match Hashtbl.find_opt transports name with
+    match with_transports (fun () -> Hashtbl.find_opt transports name) with
     | None -> Error ("unknown worker " ^ name)
     | Some tr -> Transport.call ?timeout_ms tr line
   in
@@ -29,13 +38,42 @@ let launch ~dir ~count ~command ?(config = Coordinator.default_config)
     [ ("socket", Json.Str (Supervisor.socket_path supervisor name));
       ("pid", Json.of_int (Option.value ~default:(-1) (Supervisor.pid supervisor name))) ]
   in
+  let add_worker () =
+    match Supervisor.add_worker supervisor with
+    | name ->
+      register name;
+      Ok name
+    | exception Failure msg -> Error msg
+  in
+  let retire_worker name =
+    Supervisor.retire_worker supervisor name;
+    with_transports (fun () ->
+        (match Hashtbl.find_opt transports name with
+        | Some tr ->
+          Transport.close tr;
+          Hashtbl.remove transports name
+        | None -> ());
+        match Hashtbl.find_opt ping_transports name with
+        | Some tr ->
+          Transport.close tr;
+          Hashtbl.remove ping_transports name
+        | None -> ())
+  in
   let backend =
     { Coordinator.workers = Supervisor.names supervisor; send; info;
       restarts = (fun () -> Supervisor.restarts supervisor);
-      stop = (fun () -> Supervisor.stop supervisor) }
+      stop = (fun () -> Supervisor.stop supervisor);
+      add_worker; retire_worker;
+      kill_worker = (fun name -> Supervisor.kill9 supervisor name) }
   in
   let coordinator = Coordinator.create ~config backend in
   let ping name =
+    let find_ping name =
+      Mutex.lock transport_lock;
+      let tr = Hashtbl.find_opt ping_transports name in
+      Mutex.unlock transport_lock;
+      tr
+    in
     (* A chaos fault on the health probe reports the worker unresponsive,
        so the supervisor SIGKILLs and respawns it — a real worker crash
        and doc-replay cycle driven from a deterministic schedule.
@@ -53,7 +91,7 @@ let launch ~dir ~count ~command ?(config = Coordinator.default_config)
     in
     if chaos_dead then false
     else
-    match Hashtbl.find_opt ping_transports name with
+    match find_ping name with
     | None -> false
     | Some tr -> (
       let once () = Transport.call ~timeout_ms:5000. tr {|{"op":"ping"}|} in
@@ -68,7 +106,7 @@ let launch ~dir ~count ~command ?(config = Coordinator.default_config)
   Supervisor.start_health ~interval_ms:health_interval_ms ~ping
     ~on_respawn:(fun name -> Coordinator.on_worker_respawn coordinator name)
     supervisor;
-  { supervisor; coordinator; transports; ping_transports }
+  { supervisor; coordinator; transport_lock; transports; ping_transports }
 
 let coordinator t = t.coordinator
 let supervisor t = t.supervisor
@@ -76,5 +114,7 @@ let handle_line t line = Coordinator.handle_line t.coordinator line
 
 let shutdown t =
   Supervisor.stop t.supervisor;
+  Mutex.lock t.transport_lock;
   Hashtbl.iter (fun _ tr -> Transport.close tr) t.transports;
-  Hashtbl.iter (fun _ tr -> Transport.close tr) t.ping_transports
+  Hashtbl.iter (fun _ tr -> Transport.close tr) t.ping_transports;
+  Mutex.unlock t.transport_lock

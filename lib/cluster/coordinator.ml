@@ -9,6 +9,9 @@ type backend = {
   info : string -> (string * Json.t) list;
   restarts : unit -> int;
   stop : unit -> unit;
+  add_worker : unit -> (string, string) result;
+  retire_worker : string -> unit;
+  kill_worker : string -> unit;
 }
 
 type config = {
@@ -16,12 +19,14 @@ type config = {
   scatter : bool;
   retries : int;
   backoff_ms : float;
+  jitter : float;
   timeout_ms : float option;
+  compact_patches : int;
 }
 
 let default_config =
   { replication = 2; scatter = true; retries = 2; backoff_ms = 50.;
-    timeout_ms = None }
+    jitter = 0.5; timeout_ms = None; compact_patches = 16 }
 
 (* What one worker process holds, and in which order it loaded it. A
    worker allocates node ids in load order and [Item.ddo] sorts
@@ -35,7 +40,18 @@ type worker_docs = {
 type t = {
   config : config;
   backend : backend;
-  router : Router.t;
+  mutable workers : string list;
+      (** current cluster membership, under [lock] — starts as
+          [backend.workers], grows on add-worker, shrinks on
+          remove-worker *)
+  mutable router : Router.t;
+  mutable next_router : Router.t option;
+      (** set only while a rebalance is in flight ([doc_lock] held) *)
+  cutover : (string, unit) Hashtbl.t;
+      (** uris already routed by [next_router]: each key's cutover is
+          one table insert under [lock] — atomic per key *)
+  drained : (string, unit) Hashtbl.t;
+      (** workers out of the routing table but still running *)
   lock : Mutex.t;
   doc_lock : Mutex.t;
       (** serializes document placement: load/unload, failover
@@ -61,23 +77,31 @@ type t = {
   mutable doc_seq : int;
   mutable generation : int;
   mutable retries_total : int;
+  mutable backoff_ms_total : float;
   mutable failovers_total : int;
   mutable scatter_runs : int;
   mutable routed_runs : int;
+  mutable rebalances_total : int;
+  mutable docs_moved_total : int;
+  mutable compactions_total : int;
   started_at : float;
 }
 
-let create ?(config = default_config) backend =
+let create ?(config = default_config) (backend : backend) =
   let router =
     Router.create ~workers:backend.workers ~replication:config.replication
   in
   let alive = Hashtbl.create 8 in
   List.iter (fun w -> Hashtbl.replace alive w ()) backend.workers;
-  { config; backend; router; lock = Mutex.create ();
+  { config; backend; workers = backend.workers; router; next_router = None;
+    cutover = Hashtbl.create 16; drained = Hashtbl.create 4;
+    lock = Mutex.create ();
     doc_lock = Mutex.create (); alive;
     docs = Hashtbl.create 16; loaded = Hashtbl.create 8; doc_seq = 0;
-    generation = 0; retries_total = 0; failovers_total = 0; scatter_runs = 0;
-    routed_runs = 0; started_at = Unix.gettimeofday () }
+    generation = 0; retries_total = 0; backoff_ms_total = 0.;
+    failovers_total = 0; scatter_runs = 0;
+    routed_runs = 0; rebalances_total = 0; docs_moved_total = 0;
+    compactions_total = 0; started_at = Unix.gettimeofday () }
 
 let router t = t.router
 
@@ -91,10 +115,26 @@ let doc_locked t f =
 
 let is_alive t name = locked t (fun () -> Hashtbl.mem t.alive name)
 let mark_dead t name = locked t (fun () -> Hashtbl.remove t.alive name)
+let current_workers t = locked t (fun () -> t.workers)
 
 let alive_workers t =
   locked t (fun () ->
-      List.filter (fun w -> Hashtbl.mem t.alive w) t.backend.workers)
+      List.filter (fun w -> Hashtbl.mem t.alive w) t.workers)
+
+(* During a rebalance a key routes by the old table until its cutover
+   lands in [t.cutover]; outside one, [next_router] is [None] and the
+   current table decides. Both reads happen under one [lock] section so
+   a key's routing flips atomically. *)
+let router_for_locked t key =
+  match t.next_router with
+  | Some next when Hashtbl.mem t.cutover key -> next
+  | _ -> t.router
+
+let ranking_for t ~key =
+  locked t (fun () -> Router.ranking (router_for_locked t key) ~key)
+
+let replicas_for t ~key =
+  locked t (fun () -> Router.replicas (router_for_locked t key) ~key)
 
 (* The per-worker bookkeeping below runs under [t.lock]. *)
 
@@ -149,8 +189,10 @@ let order_ok t name uris =
 (* Sending with retry / failover                                       *)
 (* ------------------------------------------------------------------ *)
 
-(* Retry the same worker with doubling backoff and jitter; when the
-   budget is exhausted, mark it dead and let the caller fail over. *)
+(* Retry the same worker with doubling backoff and jitter ([config.jitter]
+   is the fraction of the backoff the random component may add — 0
+   makes retries deterministic); when the budget is exhausted, mark it
+   dead and let the caller fail over. *)
 let send_retry t name ~timeout_ms line =
   let rec go attempt =
     match t.backend.send name ~timeout_ms line with
@@ -161,9 +203,14 @@ let send_retry t name ~timeout_ms line =
         Error e
       end
       else begin
-        locked t (fun () -> t.retries_total <- t.retries_total + 1);
         let backoff = t.config.backoff_ms *. (2. ** float_of_int attempt) in
-        let jitter = Random.float (max 1. (backoff *. 0.5)) in
+        let jitter =
+          if t.config.jitter <= 0. then 0.
+          else Random.float (max 1. (backoff *. t.config.jitter))
+        in
+        locked t (fun () ->
+            t.retries_total <- t.retries_total + 1;
+            t.backoff_ms_total <- t.backoff_ms_total +. backoff +. jitter);
         Thread.delay ((backoff +. jitter) /. 1000.);
         go (attempt + 1)
       end
@@ -231,6 +278,87 @@ let ensure_docs t name uris =
         (* recompute under the lock: a racing shipper may have won *)
         push (missing_docs t name uris))
 
+(* ------------------------------------------------------------------ *)
+(* History compaction                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Replace a document's request-line history (load line + every patch
+   line since) with ONE materialized load-doc line, dumped from a live
+   holder. The global load sequence is KEPT: a worker rebuilding the
+   document from the materialized line produces the same tree —
+   preorder ranks are structural — as one that replayed the patches,
+   so [order_ok] and [gather_keyed] are unaffected; only replays get
+   shorter. Requires [doc_lock]. *)
+let compact_doc t uri =
+  let info =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.docs uri with
+        | None -> None
+        | Some (seq, lines) ->
+          let holders =
+            Hashtbl.fold
+              (fun name wd acc ->
+                if Hashtbl.mem wd.ords uri && Hashtbl.mem t.alive name then
+                  name :: acc
+                else acc)
+              t.loaded []
+            |> List.sort compare
+          in
+          Some (seq, lines, holders))
+  in
+  match info with
+  | None -> Error (Printf.sprintf "no document loaded under %S" uri)
+  | Some (_, [ line ], _) -> Ok line (* already compact *)
+  | Some (seq, _, holders) ->
+    let dump =
+      Json.to_string
+        (Json.Obj [ ("op", Json.Str "dump-doc"); ("uri", Json.Str uri) ])
+    in
+    let rec try_holders = function
+      | [] -> Error (Printf.sprintf "no live holder can dump %s" uri)
+      | h :: rest -> (
+        match send_retry t h ~timeout_ms:t.config.timeout_ms dump with
+        | Error _ -> try_holders rest
+        | Ok resp -> (
+          match Json.parse resp with
+          | j when Json.bool_opt (Json.member "ok" j) = Some true -> (
+            match Json.str_opt (Json.member "xml" j) with
+            | None -> try_holders rest
+            | Some xml ->
+              let line =
+                Json.to_string
+                  (Json.Obj
+                     [ ("op", Json.Str "load-doc"); ("uri", Json.Str uri);
+                       ("xml", Json.Str xml) ])
+              in
+              locked t (fun () ->
+                  match Hashtbl.find_opt t.docs uri with
+                  | Some (seq', _) when seq' = seq ->
+                    (* same seq: nothing reloaded the doc meanwhile *)
+                    Hashtbl.replace t.docs uri (seq, [ line ]);
+                    t.compactions_total <- t.compactions_total + 1
+                  | _ -> ());
+              Ok line)
+          | _ -> try_holders rest
+          | exception Json.Parse_error _ -> try_holders rest))
+    in
+    try_holders holders
+
+(* Compact every multi-line history — the cluster [{"op":"snapshot"}]
+   op. Requires [doc_lock]. *)
+let compact_all t =
+  let uris =
+    locked t (fun () ->
+        Hashtbl.fold
+          (fun uri (_, lines) acc ->
+            if List.length lines > 1 then uri :: acc else acc)
+          t.docs [])
+  in
+  List.fold_left
+    (fun acc uri ->
+      match compact_doc t uri with Ok _ -> acc + 1 | Error _ -> acc)
+    0 uris
+
 let on_worker_respawn t name =
   doc_locked t (fun () ->
       let lines =
@@ -255,6 +383,15 @@ let on_worker_respawn t name =
       in
       List.iter
         (fun (_, uri, doc_lines) ->
+          (* replay the compacted history when we can: one materialized
+             load line instead of load + N patches *)
+          let doc_lines =
+            if t.config.compact_patches > 0 && List.length doc_lines > 1 then
+              match compact_doc t uri with
+              | Ok line -> [ line ]
+              | Error _ -> doc_lines
+            else doc_lines
+          in
           let ok =
             List.for_all
               (fun line ->
@@ -291,7 +428,7 @@ let parse_query query =
    (documents in the wrong order). *)
 let candidates t ~docs ~query =
   let key = match docs with [] -> "q:" ^ query | uri :: _ -> uri in
-  let ranked = Router.ranking t.router ~key in
+  let ranked = ranking_for t ~key in
   locked t (fun () ->
       let live = List.filter (fun w -> Hashtbl.mem t.alive w) ranked in
       match docs with
@@ -311,13 +448,13 @@ let candidates t ~docs ~query =
 let scatter_set t ~docs ~query =
   let reps =
     match docs with
-    | [] -> Router.replicas t.router ~key:("q:" ^ query)
+    | [] -> replicas_for t ~key:("q:" ^ query)
     | first :: rest ->
       List.fold_left
         (fun acc uri ->
-          let r = Router.replicas t.router ~key:uri in
+          let r = replicas_for t ~key:uri in
           List.filter (fun w -> List.mem w r) acc)
-        (Router.replicas t.router ~key:first)
+        (replicas_for t ~key:first)
         rest
   in
   locked t (fun () ->
@@ -667,7 +804,7 @@ let handle_run t ~id req (params : Protocol.run_params) =
 let handle_load_doc t ~id req uri =
   doc_locked t @@ fun () ->
   let line = Json.to_string (Json.Obj (without [ "id" ] (obj_fields req))) in
-  let reps = Router.replicas t.router ~key:uri in
+  let reps = replicas_for t ~key:uri in
   let results =
     List.map
       (fun name ->
@@ -837,6 +974,18 @@ let handle_patch_doc t ~id req uri =
               t.generation <- t.generation + 1;
               t.generation)
         in
+        (* keep respawn replay and failover shipping O(1) lines per
+           document: past the threshold, fold the history into one
+           materialized load (same seq, so the global order is kept) *)
+        if t.config.compact_patches > 0 then begin
+          let depth =
+            locked t (fun () ->
+                match Hashtbl.find_opt t.docs uri with
+                | Some (_, lines) -> List.length lines
+                | None -> 0)
+          in
+          if depth > t.config.compact_patches then ignore (compact_doc t uri)
+        end;
         Json.to_string
           (Protocol.ok_response ~id
              [ ("uri", Json.Str uri);
@@ -845,6 +994,248 @@ let handle_patch_doc t ~id req uri =
                 Json.List (List.map (fun w -> Json.Str w) succeeded)) ])
       end
   end
+
+(* ------------------------------------------------------------------ *)
+(* Online rebalancing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A chaos fault on a key move. [Kill] SIGKILLs the DESTINATION worker
+   mid-move — the realistic mid-cutover crash: the health thread
+   respawns the process (its [on_respawn] replay then queues on
+   [doc_lock] until the rebalance finishes), and the move is retried on
+   a later round against the fresh, empty worker. The other faults fail
+   the attempt without side effects; it is retried the same way. *)
+let chaos_rebalance t ~dest =
+  match Fixq_chaos.check "coordinator.rebalance" with
+  | None -> Ok ()
+  | Some (Fixq_chaos.Delay s) ->
+    Fixq_chaos.sleep s;
+    Ok ()
+  | Some Fixq_chaos.Kill ->
+    t.backend.kill_worker dest;
+    mark_dead t dest;
+    Error (Printf.sprintf "chaos: destination %s killed mid-move" dest)
+  | Some (Fixq_chaos.Drop | Fixq_chaos.Truncate | Fixq_chaos.Oom) ->
+    Error "chaos: key move dropped"
+
+(* Move one key to its placement under [next]: compact its history to a
+   single materialized load line (dumped from a live holder — snapshot
+   shipping, not line replay), send that to the replicas gained under
+   [next], then flip the key's routing in one [cutover] insert. The old
+   holders keep serving the key until that flip. Requires [doc_lock]. *)
+let move_key t ~next uri =
+  let old_reps = Router.replicas t.router ~key:uri in
+  let new_reps = Router.replicas next ~key:uri in
+  let gained = List.filter (fun w -> not (List.mem w old_reps)) new_reps in
+  let targets =
+    locked t (fun () ->
+        List.filter
+          (fun w ->
+            match Hashtbl.find_opt t.loaded w with
+            | Some wd -> not (Hashtbl.mem wd.ords uri)
+            | None -> true)
+          gained)
+  in
+  let lines =
+    (* a doc whose only holders died ships its recorded history instead *)
+    match compact_doc t uri with
+    | Ok line -> [ line ]
+    | Error _ -> (
+      match locked t (fun () -> Hashtbl.find_opt t.docs uri) with
+      | Some (_, lines) -> lines
+      | None -> [])
+  in
+  let ship_to dest =
+    if lines = [] then Error (Printf.sprintf "no recorded history for %s" uri)
+    else
+    match chaos_rebalance t ~dest with
+    | Error _ as e -> e
+    | Ok () ->
+      let rec push = function
+        | [] ->
+          locked t (fun () -> record_loaded t dest uri);
+          Ok ()
+        | line :: rest -> (
+          match send_retry t dest ~timeout_ms:t.config.timeout_ms line with
+          | Error _ as e -> e
+          | Ok resp -> (
+            match Json.parse resp with
+            | j when Json.bool_opt (Json.member "ok" j) = Some true ->
+              push rest
+            | j ->
+              Error
+                (Option.value ~default:"load refused"
+                   (Json.str_opt (Json.member "error" j)))
+            | exception Json.Parse_error _ -> Error "bad response"))
+      in
+      push lines
+  in
+  let shipped =
+    List.fold_left
+      (fun acc dest -> match acc with Error _ -> acc | Ok () -> ship_to dest)
+      (Ok ()) targets
+  in
+  match shipped with
+  | Error _ as e -> e
+  | Ok () ->
+    locked t (fun () -> Hashtbl.replace t.cutover uri ());
+    Ok ()
+
+(* Swap the routing table to [next]. Runs whole under [doc_lock]:
+   loads, unloads and patches queue behind it; queries keep flowing
+   (they contend on [doc_lock] only when a document must be shipped).
+   Key moves that keep failing — chaos killing the destination over and
+   over — are bounded by [max_rounds] and then cut over anyway: that is
+   safe, because routing a query at a replica that lacks the document
+   makes [ensure_docs] ship the (compacted) history on demand. Returns
+   (moved, still-pending) uris. *)
+let rebalance t ~next =
+  doc_locked t @@ fun () ->
+  locked t (fun () ->
+      t.rebalances_total <- t.rebalances_total + 1;
+      t.next_router <- Some next;
+      Hashtbl.reset t.cutover);
+  let keys =
+    locked t (fun () ->
+        Hashtbl.fold (fun uri (seq, _) acc -> (seq, uri) :: acc) t.docs []
+        |> List.sort compare |> List.map snd)
+  in
+  let moving =
+    List.filter
+      (fun uri ->
+        Router.replicas t.router ~key:uri <> Router.replicas next ~key:uri)
+      keys
+  in
+  let max_rounds = 50 in
+  let rec rounds n pending =
+    if pending = [] || n >= max_rounds then pending
+    else begin
+      if n > 0 then Thread.delay 0.2;
+      (* a killed destination needs the health thread's respawn *)
+      let failed =
+        List.filter
+          (fun uri ->
+            match move_key t ~next uri with Ok () -> false | Error _ -> true)
+          pending
+      in
+      rounds (n + 1) failed
+    end
+  in
+  let pending = rounds 0 moving in
+  locked t (fun () ->
+      t.router <- next;
+      t.next_router <- None;
+      Hashtbl.reset t.cutover;
+      t.docs_moved_total <- t.docs_moved_total + List.length moving);
+  (moving, pending)
+
+let topology_response t ~id ~worker ~moved ~pending =
+  Json.to_string
+    (Protocol.ok_response ~id
+       [ ("worker", Json.Str worker);
+         ("moved", Json.List (List.map (fun u -> Json.Str u) moved));
+         ("pending", Json.List (List.map (fun u -> Json.Str u) pending));
+         ("workers",
+          Json.List
+            (List.map (fun w -> Json.Str w)
+               (locked t (fun () -> Router.workers t.router)))) ])
+
+let handle_add_worker t ~id =
+  match t.backend.add_worker () with
+  | Error msg -> Json.to_string (Protocol.error_response ~id msg)
+  | Ok name ->
+    locked t (fun () ->
+        t.workers <- t.workers @ [ name ];
+        Hashtbl.replace t.alive name ());
+    let next =
+      Router.create
+        ~workers:(locked t (fun () -> Router.workers t.router) @ [ name ])
+        ~replication:t.config.replication
+    in
+    let (moved, pending) = rebalance t ~next in
+    topology_response t ~id ~worker:name ~moved ~pending
+
+(* Take [name] out of the routing table (its keys move to the
+   survivors) but keep the process running. Idempotent-ish: draining a
+   worker already out of the table moves nothing. *)
+let drain_out t name =
+  let current = locked t (fun () -> Router.workers t.router) in
+  if not (List.mem name current) then Ok ([], [])
+  else if List.length current <= 1 then
+    Error "cannot drain the last worker"
+  else begin
+    let next =
+      Router.create
+        ~workers:(List.filter (fun w -> w <> name) current)
+        ~replication:t.config.replication
+    in
+    let (moved, pending) = rebalance t ~next in
+    locked t (fun () -> Hashtbl.replace t.drained name ());
+    Ok (moved, pending)
+  end
+
+let handle_drain t ~id name =
+  if not (List.mem name (current_workers t)) then
+    Json.to_string
+      (Protocol.error_response ~id (Printf.sprintf "unknown worker %S" name))
+  else
+    match drain_out t name with
+    | Error msg -> Json.to_string (Protocol.error_response ~id msg)
+    | Ok (moved, pending) ->
+      topology_response t ~id ~worker:name ~moved ~pending
+
+let handle_remove_worker t ~id name =
+  if not (List.mem name (current_workers t)) then
+    Json.to_string
+      (Protocol.error_response ~id (Printf.sprintf "unknown worker %S" name))
+  else
+    match drain_out t name with
+    | Error msg -> Json.to_string (Protocol.error_response ~id msg)
+    | Ok (moved, pending) ->
+      t.backend.retire_worker name;
+      locked t (fun () ->
+          t.workers <- List.filter (fun w -> w <> name) t.workers;
+          Hashtbl.remove t.alive name;
+          Hashtbl.remove t.drained name;
+          Hashtbl.remove t.loaded name);
+      topology_response t ~id ~worker:name ~moved ~pending
+
+(* The cluster-level [{"op":"snapshot"}]: compact every document's line
+   history (the cluster's equivalent of the workers' WAL-truncating
+   snapshot — respawn replay afterwards is one line per document). *)
+let handle_cluster_snapshot t ~id =
+  let compacted = doc_locked t (fun () -> compact_all t) in
+  let docs = locked t (fun () -> Hashtbl.length t.docs) in
+  Json.to_string
+    (Protocol.ok_response ~id
+       [ ("snapshot", Json.Bool true);
+         ("compacted", Json.of_int compacted);
+         ("documents", Json.of_int docs) ])
+
+(* dump-doc forwards to a live holder of the uri, verbatim. *)
+let handle_dump_doc t ~id req uri =
+  let holders =
+    locked t (fun () ->
+        Hashtbl.fold
+          (fun name wd acc ->
+            if Hashtbl.mem wd.ords uri && Hashtbl.mem t.alive name then
+              name :: acc
+            else acc)
+          t.loaded []
+        |> List.sort compare)
+  in
+  let line = Json.to_string req in
+  let rec go = function
+    | [] ->
+      Json.to_string
+        (Protocol.error_response ~id
+           (Printf.sprintf "no live holder of %S" uri))
+    | h :: rest -> (
+      match send_retry t h ~timeout_ms:t.config.timeout_ms line with
+      | Error _ -> go rest
+      | Ok resp -> append_field resp "worker" (Json.Str h))
+  in
+  go holders
 
 (* ------------------------------------------------------------------ *)
 (* Query-shaped forwards that are not runs                             *)
@@ -924,15 +1315,20 @@ let handle_stats t ~id =
           ([ ("name", Json.Str name);
              ("alive", Json.Bool (is_alive t name)) ]
           @ t.backend.info name
-          @ [ ("stats", worker_stats t name) ]))
-      t.backend.workers
+          @ [ ("drained",
+               Json.Bool (locked t (fun () -> Hashtbl.mem t.drained name)));
+              ("stats", worker_stats t name) ]))
+      (current_workers t)
   in
-  let (gen, docs, retries, failovers, scatter, routed) =
+  let ( gen, docs, retries, backoff_ms, failovers, scatter, routed,
+        rebalances, moved, compactions ) =
     locked t (fun () ->
         ( t.generation,
           Hashtbl.fold (fun uri (seq, _) acc -> (seq, uri) :: acc) t.docs []
           |> List.sort compare |> List.map snd,
-          t.retries_total, t.failovers_total, t.scatter_runs, t.routed_runs ))
+          t.retries_total, t.backoff_ms_total, t.failovers_total,
+          t.scatter_runs, t.routed_runs, t.rebalances_total,
+          t.docs_moved_total, t.compactions_total ))
   in
   Json.to_string
     (Protocol.ok_response ~id
@@ -943,9 +1339,13 @@ let handle_stats t ~id =
               ("generation", Json.of_int gen);
               ("replication", Json.of_int (Router.replication t.router));
               ("retries", Json.of_int retries);
+              ("backoff_ms_total", Json.Num backoff_ms);
               ("failovers", Json.of_int failovers);
               ("scatter_runs", Json.of_int scatter);
               ("routed_runs", Json.of_int routed);
+              ("rebalances", Json.of_int rebalances);
+              ("docs_moved", Json.of_int moved);
+              ("compactions", Json.of_int compactions);
               ("restarts", Json.of_int (t.backend.restarts ()));
               ("uptime_ms",
                Json.Num ((Unix.gettimeofday () -. t.started_at) *. 1000.)) ]) ])
@@ -992,23 +1392,34 @@ let prometheus_stats t =
     Buffer.add_string buf
       (Printf.sprintf "# TYPE %s counter\n%s %d\n" name name value)
   in
-  let (gen, ndocs, retries, failovers, scatter, routed) =
+  let ( gen, ndocs, retries, backoff_ms, failovers, scatter, routed,
+        rebalances, moved, compactions ) =
     locked t (fun () ->
         ( t.generation, Hashtbl.length t.docs, t.retries_total,
-          t.failovers_total, t.scatter_runs, t.routed_runs ))
+          t.backoff_ms_total, t.failovers_total, t.scatter_runs,
+          t.routed_runs, t.rebalances_total, t.docs_moved_total,
+          t.compactions_total ))
   in
   gauge "fixq_cluster_uptime_seconds"
     (Printf.sprintf "%.3f" (Unix.gettimeofday () -. t.started_at));
   gauge "fixq_cluster_workers"
-    (string_of_int (List.length t.backend.workers));
+    (string_of_int (List.length (current_workers t)));
   gauge "fixq_cluster_workers_alive"
     (string_of_int (List.length (alive_workers t)));
   gauge "fixq_cluster_generation" (string_of_int gen);
   gauge "fixq_cluster_documents" (string_of_int ndocs);
+  counter "fixq_retries_total" retries;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "# TYPE fixq_backoff_ms_total counter\nfixq_backoff_ms_total %.3f\n"
+       backoff_ms);
   counter "fixq_cluster_retries_total" retries;
   counter "fixq_cluster_failovers_total" failovers;
   counter "fixq_cluster_scatter_runs_total" scatter;
   counter "fixq_cluster_routed_runs_total" routed;
+  counter "fixq_cluster_rebalances_total" rebalances;
+  counter "fixq_cluster_docs_moved_total" moved;
+  counter "fixq_cluster_compactions_total" compactions;
   counter "fixq_cluster_worker_restarts_total" (t.backend.restarts ());
   let seen_types = Hashtbl.create 32 in
   List.iter
@@ -1026,7 +1437,7 @@ let prometheus_stats t =
             | Some text -> relabel_exposition ~worker:name ~seen_types buf text
             | None -> ())
           | exception Json.Parse_error _ -> ()))
-    t.backend.workers;
+    (current_workers t);
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
@@ -1039,7 +1450,7 @@ let broadcast_shutdown t =
       if is_alive t name then
         ignore
           (t.backend.send name ~timeout_ms:(Some 2000.) {|{"op":"shutdown"}|}))
-    t.backend.workers
+    (current_workers t)
 
 let handle_line t line =
   match Json.parse line with
@@ -1062,6 +1473,12 @@ let handle_line t line =
           (handle_unload_doc t ~id req uri, false)
         | Protocol.Patch_doc { uri; _ } ->
           (handle_patch_doc t ~id req uri, false)
+        | Protocol.Snapshot -> (handle_cluster_snapshot t ~id, false)
+        | Protocol.Dump_doc { uri } -> (handle_dump_doc t ~id req uri, false)
+        | Protocol.Add_worker -> (handle_add_worker t ~id, false)
+        | Protocol.Remove_worker { name } ->
+          (handle_remove_worker t ~id name, false)
+        | Protocol.Drain { name } -> (handle_drain t ~id name, false)
         | Protocol.Stats Protocol.Stats_json -> (handle_stats t ~id, false)
         | Protocol.Stats Protocol.Stats_prometheus ->
           ( Json.to_string

@@ -73,6 +73,43 @@ let create ~dir ~count ~command ?(ready_timeout_ms = 15000.) () =
 let names t = List.map (fun w -> w.w_name) t.workers
 let find t name = List.find_opt (fun w -> w.w_name = name) t.workers
 
+(* Worker names are never reused: a retired [w2] leaves a gap, and the
+   next add becomes [w5] if 4 was the highest ever — rendezvous
+   placement is name-keyed, so reusing a name would silently inherit
+   the old worker's documents. *)
+let next_name workers =
+  let top =
+    List.fold_left
+      (fun acc w ->
+        let n = String.length w.w_name in
+        if n > 1 && w.w_name.[0] = 'w' then
+          match int_of_string_opt (String.sub w.w_name 1 (n - 1)) with
+          | Some i -> max acc i
+          | None -> acc
+        else acc)
+      (-1) workers
+  in
+  Printf.sprintf "w%d" (top + 1)
+
+let add_worker t =
+  Mutex.lock t.lock;
+  if t.stopping then begin
+    Mutex.unlock t.lock;
+    failwith "Supervisor.add_worker: supervisor is stopping"
+  end;
+  let name = next_name t.workers in
+  let w =
+    { w_name = name;
+      w_socket = Filename.concat t.dir (name ^ ".sock");
+      w_log = Filename.concat t.dir (name ^ ".log");
+      w_pid = -1; w_restarts = 0 }
+  in
+  t.workers <- t.workers @ [ w ];
+  spawn_process t w;
+  Mutex.unlock t.lock;
+  wait_ready t w;
+  name
+
 let socket_path t name =
   match find t name with
   | Some w -> w.w_socket
@@ -113,6 +150,24 @@ let kill_worker w =
   in
   wait ()
 
+let retire_worker t name =
+  Mutex.lock t.lock;
+  let (gone, kept) = List.partition (fun w -> w.w_name = name) t.workers in
+  t.workers <- kept;
+  Mutex.unlock t.lock;
+  List.iter
+    (fun w ->
+      kill_worker w;
+      if Sys.file_exists w.w_socket then
+        try Unix.unlink w.w_socket with Unix.Unix_error _ | Sys_error _ -> ())
+    gone
+
+let kill9 t name =
+  match find t name with
+  | Some w when w.w_pid > 0 -> (
+    try Unix.kill w.w_pid Sys.sigkill with Unix.Unix_error _ -> ())
+  | _ -> ()
+
 let check ?ping ~on_respawn t =
   (* snapshot under the lock; ping and kill (seconds each for an
      unresponsive worker) run outside it so they cannot block stop()
@@ -137,12 +192,16 @@ let check ?ping ~on_respawn t =
     let spawned =
       if t.stopping then [] (* stop() won the race: stay down *)
       else begin
+        (* a worker retired since the snapshot must stay down *)
+        let still =
+          List.filter (fun w -> List.memq w t.workers) respawn_list
+        in
         List.iter
           (fun w ->
             w.w_restarts <- w.w_restarts + 1;
             spawn_process t w)
-          respawn_list;
-        respawn_list
+          still;
+        still
       end
     in
     Mutex.unlock t.lock;

@@ -31,6 +31,23 @@ val pid : t -> string -> int option
 (** Times each worker was respawned, summed. *)
 val restarts : t -> int
 
+(** Spawn one more worker and block until its socket accepts. The name
+    is the lowest [wN] above every name ever used — names are never
+    reused, since rendezvous placement is keyed on them. Raises
+    [Failure] if the worker does not come up or the supervisor is
+    stopping. *)
+val add_worker : t -> string
+
+(** Permanently remove a worker: drop it from supervision (so the
+    health thread will not respawn it), terminate the process (SIGTERM,
+    grace, SIGKILL) and unlink its socket. Unknown names are a no-op. *)
+val retire_worker : t -> string -> unit
+
+(** SIGKILL a worker {e without} retiring it — the health thread will
+    notice and respawn it. This is the chaos hook behind the
+    [coordinator.rebalance] Kill fault. Unknown names are a no-op. *)
+val kill9 : t -> string -> unit
+
 (** One supervision sweep: reap exited workers ([waitpid WNOHANG]) and
     respawn them; additionally treat [ping name = false] as dead (kill,
     then respawn). Each respawned worker is re-awaited on its socket

@@ -1,0 +1,103 @@
+type loaded = { meta : string; items : string list }
+
+let file ~dir = Filename.concat dir "snapshot"
+let tmp_file ~dir = Filename.concat dir "snapshot.tmp"
+
+let trailer_payload n = Printf.sprintf "FXQSNAP-END %d" n
+
+let render ~meta ~items =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Wal.render ~seq:0 meta);
+  List.iteri
+    (fun i item -> Buffer.add_string buf (Wal.render ~seq:(i + 1) item))
+    items;
+  Buffer.add_string buf
+    (Wal.render ~seq:(List.length items + 1)
+       (trailer_payload (List.length items)));
+  Buffer.contents buf
+
+let write_bytes fd s =
+  let b = Bytes.of_string s in
+  let rec go off len =
+    if len > 0 then begin
+      let n = Unix.write fd b off len in
+      go (off + n) (len - n)
+    end
+  in
+  go 0 (Bytes.length b)
+
+(* [Kill] must leave a half-written tmp behind — the realistic crash
+   mid-snapshot — so recovery proves it ignores tmp files. *)
+let chaos_point ~dir contents =
+  match Fixq_chaos.check "store.snapshot" with
+  | None -> Ok ()
+  | Some (Fixq_chaos.Delay s) ->
+    Fixq_chaos.sleep s;
+    Ok ()
+  | Some Fixq_chaos.Oom -> raise Out_of_memory
+  | Some (Fixq_chaos.Drop | Fixq_chaos.Truncate) ->
+    (try Sys.remove (tmp_file ~dir) with Sys_error _ -> ());
+    Error "chaos: snapshot aborted"
+  | Some Fixq_chaos.Kill ->
+    (try
+       let fd =
+         Unix.openfile (tmp_file ~dir)
+           [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+           0o644
+       in
+       write_bytes fd (String.sub contents 0 (String.length contents / 2));
+       Unix.close fd
+     with Unix.Unix_error _ -> ());
+    Fixq_chaos.kill_self ()
+
+let write ~dir ~meta ~items =
+  let contents = render ~meta ~items in
+  match chaos_point ~dir contents with
+  | Error _ as e -> e
+  | Ok () -> (
+    match
+      let tmp = tmp_file ~dir in
+      let fd =
+        Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+      in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          write_bytes fd contents;
+          Unix.fsync fd);
+      Unix.rename tmp (file ~dir)
+    with
+    | () -> Ok ()
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Sys.remove (tmp_file ~dir) with Sys_error _ -> ());
+      Error ("snapshot write failed: " ^ Unix.error_message e))
+
+let read ~dir =
+  let path = file ~dir in
+  if not (Sys.file_exists path) then Ok None
+  else begin
+    let contents =
+      match open_in_bin path with
+      | exception Sys_error _ -> ""
+      | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let n = in_channel_length ic in
+            try really_input_string ic n with End_of_file -> "")
+    in
+    let r = Wal.parse_all contents in
+    if r.Wal.truncated_bytes > 0 then
+      Error
+        (Printf.sprintf "snapshot invalid: %s"
+           (Option.value ~default:"trailing garbage" r.Wal.diagnostic))
+    else
+      match List.rev r.Wal.records with
+      | (_, trailer) :: rev_items -> (
+        match List.rev rev_items with
+        | (0, meta) :: items
+          when trailer = trailer_payload (List.length items) ->
+          Ok (Some { meta; items = List.map snd items })
+        | _ -> Error "snapshot invalid: bad meta or trailer")
+      | [] -> Error "snapshot invalid: empty file"
+  end

@@ -1,0 +1,33 @@
+(** Atomic snapshots: a materialized registry image that makes the WAL
+    tail short.
+
+    A snapshot file is a sequence of {!Wal}-framed records (same
+    length-prefixed, checksummed line format): record 0 carries the
+    caller's opaque [meta] payload, records 1..n the item payloads, and
+    a final trailer record seals the count. The file is written to
+    [<dir>/snapshot.tmp], fsynced, then renamed over [<dir>/snapshot] —
+    a crash mid-write leaves at worst a garbage [.tmp] that {!read}
+    never looks at, so the visible snapshot is always either absent or
+    complete.
+
+    The payload encoding is the caller's business (the service layer
+    stores JSON); this module only guarantees integrity and
+    atomicity. *)
+
+type loaded = { meta : string; items : string list }
+
+val file : dir:string -> string
+(** [<dir>/snapshot] *)
+
+val write : dir:string -> meta:string -> items:string list -> (unit, string) result
+(** Write atomically. Hosts the [store.snapshot] chaos point: [Kill]
+    SIGKILLs after half the tmp bytes (the torn tmp is ignored on
+    recovery); [Drop]/[Truncate] abort the snapshot cleanly, removing
+    the tmp and leaving the previous snapshot and the WAL intact. *)
+
+val read : dir:string -> (loaded option, string) result
+(** [Ok None] when no snapshot exists; [Error diag] when a snapshot
+    file exists but fails validation (callers fall back to full WAL
+    replay — the WAL is only ever truncated {e after} a snapshot
+    committed, so an invalid snapshot never loses data). Never
+    raises. *)

@@ -1,0 +1,169 @@
+exception Append_failed of string
+
+let magic = "FXQW1"
+
+let digest_of ~seq payload =
+  Digest.to_hex (Digest.string (string_of_int seq ^ ":" ^ payload))
+
+let render ~seq payload =
+  if String.contains payload '\n' then
+    invalid_arg "Wal.render: payload contains a newline";
+  Printf.sprintf "%s %d %d %s %s\n" magic seq (String.length payload)
+    (digest_of ~seq payload) payload
+
+type replayed = {
+  records : (int * string) list;
+  valid_bytes : int;
+  truncated_bytes : int;
+  diagnostic : string option;
+}
+
+(* Scan [contents] record by record. Each record must be a complete,
+   well-formed, checksummed line; the first violation stops the scan at
+   that record's START, so everything before it is kept and everything
+   from it on is the (to-be-truncated) invalid tail. *)
+let parse_all contents =
+  let n = String.length contents in
+  let bad off msg =
+    Some (Printf.sprintf "%s at byte %d" msg off)
+  in
+  let rec go acc off =
+    if off >= n then (List.rev acc, off, None)
+    else
+      match String.index_from_opt contents off '\n' with
+      | None ->
+        (List.rev acc, off, bad off "unterminated final record")
+      | Some nl -> (
+        let line = String.sub contents off (nl - off) in
+        (* magic SP seq SP len SP digest SP payload *)
+        let fields_ok =
+          match String.split_on_char ' ' line with
+          | m :: seq_s :: len_s :: digest :: rest when m = magic -> (
+            match (int_of_string_opt seq_s, int_of_string_opt len_s) with
+            | (Some seq, Some len) ->
+              (* the payload may itself contain spaces: rejoin *)
+              let payload = String.concat " " rest in
+              if String.length payload <> len then
+                Error "length prefix mismatch"
+              else if not (String.equal digest (digest_of ~seq payload)) then
+                Error "checksum mismatch"
+              else Ok (seq, payload)
+            | _ -> Error "malformed record header")
+          | _ -> Error "bad record magic"
+        in
+        match fields_ok with
+        | Ok record -> go (record :: acc) (nl + 1)
+        | Error msg -> (List.rev acc, off, bad off msg))
+  in
+  let (records, valid_bytes, diagnostic) = go [] 0 in
+  { records; valid_bytes; truncated_bytes = n - valid_bytes; diagnostic }
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> ""
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let n = in_channel_length ic in
+        try really_input_string ic n with End_of_file -> "")
+
+let load path = parse_all (read_file path)
+
+let repair path =
+  let r = load path in
+  if r.truncated_bytes > 0 && Sys.file_exists path then
+    (try Unix.truncate path r.valid_bytes with Unix.Unix_error _ -> ());
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Appending                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  w_path : string;
+  fd : Unix.file_descr;
+  mutable offset : int;  (** end of the last complete record *)
+}
+
+let path t = t.w_path
+let size t = t.offset
+
+let open_wal path =
+  let r = repair path in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+  ignore (Unix.lseek fd r.valid_bytes Unix.SEEK_SET);
+  { w_path = path; fd; offset = r.valid_bytes }
+
+let write_all fd bytes off len =
+  let rec go off len =
+    if len > 0 then begin
+      let n = Unix.write fd bytes off len in
+      go (off + n) (len - n)
+    end
+  in
+  go off len
+
+(* Chaos [store.wal]: [Kill] leaves a genuinely torn tail on disk —
+   half a record, then SIGKILL — so recovery exercises the real
+   truncation path. [Truncate] is the partial write an appender
+   detects: half a record lands, the appender truncates back to the
+   record boundary and reports failure, leaving the log whole. *)
+let chaos_append t record =
+  match Fixq_chaos.check "store.wal" with
+  | None -> ()
+  | Some (Fixq_chaos.Delay s) -> Fixq_chaos.sleep s
+  | Some Fixq_chaos.Oom -> raise Out_of_memory
+  | Some Fixq_chaos.Drop ->
+    raise (Append_failed "chaos: wal append dropped")
+  | Some Fixq_chaos.Kill ->
+    let b = Bytes.of_string record in
+    let half = max 1 (Bytes.length b / 2) in
+    (try write_all t.fd b 0 half with Unix.Unix_error _ -> ());
+    Fixq_chaos.kill_self ()
+  | Some Fixq_chaos.Truncate ->
+    let b = Bytes.of_string record in
+    let half = max 1 (Bytes.length b / 2) in
+    (try write_all t.fd b 0 half with Unix.Unix_error _ -> ());
+    (try
+       Unix.ftruncate t.fd t.offset;
+       ignore (Unix.lseek t.fd t.offset Unix.SEEK_SET)
+     with Unix.Unix_error _ -> ());
+    raise (Append_failed "chaos: wal append torn mid-write (repaired)")
+
+let append t ~seq payload =
+  let record = render ~seq payload in
+  chaos_append t record;
+  let b = Bytes.of_string record in
+  (match write_all t.fd b 0 (Bytes.length b) with
+  | () -> ()
+  | exception Unix.Unix_error (e, _, _) ->
+    (* undo any partial write so the log stays whole *)
+    (try
+       Unix.ftruncate t.fd t.offset;
+       ignore (Unix.lseek t.fd t.offset Unix.SEEK_SET)
+     with Unix.Unix_error _ -> ());
+    raise (Append_failed ("wal append failed: " ^ Unix.error_message e)));
+  t.offset <- t.offset + Bytes.length b
+
+let truncate t =
+  (try
+     Unix.ftruncate t.fd 0;
+     ignore (Unix.lseek t.fd 0 Unix.SEEK_SET)
+   with Unix.Unix_error _ -> ());
+  t.offset <- 0
+
+let rewind t size =
+  if size < t.offset then begin
+    (try
+       Unix.ftruncate t.fd size;
+       ignore (Unix.lseek t.fd size Unix.SEEK_SET)
+     with Unix.Unix_error _ -> ());
+    t.offset <- size
+  end
+
+let fsync t = try Unix.fsync t.fd with Unix.Unix_error _ -> ()
+
+let close t =
+  fsync t;
+  try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,76 @@
+(** Write-ahead log of length-prefixed, checksummed records.
+
+    One record per line:
+    {v
+      FXQW1 <seq> <len> <md5-hex> <payload>\n
+    v}
+    where [len] is the payload's byte length and the digest covers
+    ["<seq>:<payload>"]. The framing discipline mirrors {!Frame}'s
+    newline-delimited protocol (a record is exactly one line, so a
+    reader can always resynchronize on record boundaries), with the
+    length prefix and checksum catching the two failure modes a crash
+    or disk fault can leave behind: a torn tail (partial final record)
+    and flipped bytes.
+
+    Replay validates strictly and stops at the first record that fails
+    any check — recovery always lands on the last complete record and
+    {e never} raises on corrupt input. {!open_wal} physically truncates
+    a torn tail before appending, so new records can never land after
+    garbage. *)
+
+exception Append_failed of string
+(** An append was refused before any partial record could remain in the
+    log (injected fault, or a detected-and-repaired partial write). *)
+
+type t
+
+val path : t -> string
+
+val open_wal : string -> t
+(** Open (creating if missing) for appending. A torn or corrupt tail is
+    truncated to the last complete record first. *)
+
+val append : t -> seq:int -> string -> unit
+(** Append one record. [payload] must not contain a newline. Hosts the
+    [store.wal] chaos point: [Kill] leaves a real torn tail (partial
+    record, then SIGKILL); [Truncate] simulates a partial write that
+    the appender detects and truncates back (the op fails cleanly);
+    [Drop] fails the append with nothing written. *)
+
+val size : t -> int
+(** Current log size in bytes. *)
+
+val truncate : t -> unit
+(** Empty the log (after a successful snapshot made it redundant). *)
+
+val rewind : t -> int -> unit
+(** [rewind t size] — truncate back to a record boundary the caller
+    remembered from {!size}: the undo for a record whose operation
+    failed {e after} the append (log-before-apply, apply raised). No-op
+    unless [size] is smaller than the current log. *)
+
+val fsync : t -> unit
+val close : t -> unit
+
+type replayed = {
+  records : (int * string) list;  (** (seq, payload), in log order *)
+  valid_bytes : int;  (** offset of the first invalid byte *)
+  truncated_bytes : int;  (** bytes dropped after the last valid record *)
+  diagnostic : string option;
+      (** why scanning stopped early, when it did *)
+}
+
+val load : string -> replayed
+(** Scan a log read-only. A missing file is an empty log. Never
+    raises on corrupt input. *)
+
+val repair : string -> replayed
+(** {!load}, then physically truncate the file to [valid_bytes]. *)
+
+val render : seq:int -> string -> string
+(** The exact bytes {!append} writes for one record (shared with the
+    snapshot format). *)
+
+val parse_all : string -> replayed
+(** Validate a byte string of records (shared with the snapshot
+    format). *)

@@ -1,0 +1,200 @@
+module Wal = Fixq_durable.Wal
+module Snapshot = Fixq_durable.Snapshot
+
+type recovered = {
+  rec_docs : (string * string) list;
+  rec_gens : (string * int) list;
+  rec_generation : int;
+  rec_cache : Json.t list;
+  rec_tail : (int * Json.t) list;
+  rec_last_seq : int;
+  rec_snapshot_seq : int;
+  rec_truncated_bytes : int;
+  rec_diagnostic : string option;
+}
+
+type t = {
+  dir : string;
+  threshold : int;
+  wal : Wal.t;
+  lock : Mutex.t;
+  mutable d_last_seq : int;
+  mutable ops_since : int;
+  mutable d_appends : int;
+  mutable d_snapshots : int;
+  d_recovery : recovered;
+}
+
+let wal_file dir = Filename.concat dir "wal"
+
+(* mkdir -p: a cluster worker's state dir is <state-dir>/<name>, so the
+   parent may not exist either *)
+let rec ensure_dir dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then ensure_dir parent;
+    try Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot payload encoding                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* meta = {"last_seq":N,"generation":G,"gens":[{"u":U,"g":G},…]}
+   items = {"t":"doc","u":U,"x":XML} rows in registration order,
+   then {"t":"cache",…} rows the server interprets. *)
+
+let decode_snapshot (s : Snapshot.loaded) =
+  match Json.parse s.Snapshot.meta with
+  | exception Json.Parse_error msg -> Error ("snapshot meta: " ^ msg)
+  | meta -> (
+    match Json.int_opt (Json.member "last_seq" meta) with
+    | None -> Error "snapshot meta: missing last_seq"
+    | Some last_seq -> (
+      let generation =
+        Option.value ~default:0 (Json.int_opt (Json.member "generation" meta))
+      in
+      let gens =
+        match Json.member "gens" meta with
+        | Json.List rows ->
+          List.filter_map
+            (fun r ->
+              match
+                (Json.str_opt (Json.member "u" r),
+                 Json.int_opt (Json.member "g" r))
+              with
+              | (Some u, Some g) -> Some (u, g)
+              | _ -> None)
+            rows
+        | _ -> []
+      in
+      let rec split docs cache = function
+        | [] -> Ok (List.rev docs, List.rev cache)
+        | item :: rest -> (
+          match Json.parse item with
+          | exception Json.Parse_error msg ->
+            Error ("snapshot item: " ^ msg)
+          | j -> (
+            match Json.str_opt (Json.member "t" j) with
+            | Some "doc" -> (
+              match
+                (Json.str_opt (Json.member "u" j),
+                 Json.str_opt (Json.member "x" j))
+              with
+              | (Some u, Some x) -> split ((u, x) :: docs) cache rest
+              | _ -> Error "snapshot doc item: missing u/x")
+            | Some "cache" -> split docs (j :: cache) rest
+            | _ -> Error "snapshot item: unknown tag"))
+      in
+      match split [] [] s.Snapshot.items with
+      | Error _ as e -> e
+      | Ok (docs, cache) -> Ok (last_seq, generation, gens, docs, cache)))
+
+let recover ~dir =
+  ensure_dir dir;
+  let empty =
+    { rec_docs = []; rec_gens = []; rec_generation = 0; rec_cache = [];
+      rec_tail = []; rec_last_seq = 0; rec_snapshot_seq = 0;
+      rec_truncated_bytes = 0; rec_diagnostic = None }
+  in
+  let (snap, snap_diag) =
+    match Snapshot.read ~dir with
+    | Ok None -> (None, None)
+    | Ok (Some s) -> (
+      match decode_snapshot s with
+      | Ok v -> (Some v, None)
+      | Error msg -> (None, Some msg))
+    | Error msg -> (None, Some msg)
+  in
+  let base =
+    match snap with
+    | None -> { empty with rec_diagnostic = snap_diag }
+    | Some (last_seq, generation, gens, docs, cache) ->
+      { empty with
+        rec_docs = docs; rec_gens = gens; rec_generation = generation;
+        rec_cache = cache; rec_last_seq = last_seq;
+        rec_snapshot_seq = last_seq }
+  in
+  let w = Wal.load (wal_file dir) in
+  let join a b =
+    match (a, b) with
+    | (None, x) | (x, None) -> x
+    | (Some a, Some b) -> Some (a ^ "; " ^ b)
+  in
+  let (tail, last_seq, bad) =
+    List.fold_left
+      (fun (tail, last, bad) (seq, payload) ->
+        if seq <= base.rec_snapshot_seq then (tail, max last seq, bad)
+        else
+          match Json.parse payload with
+          | op -> ((seq, op) :: tail, max last seq, bad)
+          | exception Json.Parse_error msg ->
+            ( tail, max last seq,
+              join bad
+                (Some (Printf.sprintf "wal seq %d: unparseable op (%s)" seq msg))
+            ))
+      ([], base.rec_last_seq, None) w.Wal.records
+  in
+  { base with
+    rec_tail = List.rev tail;
+    rec_last_seq = last_seq;
+    rec_truncated_bytes = w.Wal.truncated_bytes;
+    rec_diagnostic = join base.rec_diagnostic (join w.Wal.diagnostic bad) }
+
+let start ~dir ~threshold recovered =
+  ensure_dir dir;
+  { dir; threshold = max 0 threshold;
+    wal = Wal.open_wal (wal_file dir);
+    lock = Mutex.create ();
+    d_last_seq = recovered.rec_last_seq;
+    ops_since = List.length recovered.rec_tail;
+    d_appends = 0; d_snapshots = 0; d_recovery = recovered }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let with_op t op apply =
+  with_lock t (fun () ->
+      let saved = Wal.size t.wal in
+      let seq = t.d_last_seq + 1 in
+      Wal.append t.wal ~seq (Json.to_string op);
+      t.d_last_seq <- seq;
+      t.d_appends <- t.d_appends + 1;
+      t.ops_since <- t.ops_since + 1;
+      match apply () with
+      | v -> v
+      | exception e ->
+        (* the op failed after the append: a replay must not apply it *)
+        Wal.rewind t.wal saved;
+        t.d_last_seq <- seq - 1;
+        t.ops_since <- t.ops_since - 1;
+        raise e)
+
+let due t = t.threshold > 0 && t.ops_since >= t.threshold
+
+let snapshot t ~state =
+  with_lock t (fun () ->
+      let (meta_fields, items) = state () in
+      let meta =
+        Json.to_string
+          (Json.Obj (("last_seq", Json.of_int t.d_last_seq) :: meta_fields))
+      in
+      let items = List.map Json.to_string items in
+      Wal.fsync t.wal;
+      match Snapshot.write ~dir:t.dir ~meta ~items with
+      | Error _ as e -> e
+      | Ok () ->
+        (* the snapshot covers every appended record: drop them all *)
+        Wal.truncate t.wal;
+        t.ops_since <- 0;
+        t.d_snapshots <- t.d_snapshots + 1;
+        Ok ())
+
+let close t = with_lock t (fun () -> Wal.close t.wal)
+let last_seq t = t.d_last_seq
+let wal_bytes t = Wal.size t.wal
+let ops_since_snapshot t = t.ops_since
+let appends t = t.d_appends
+let snapshots t = t.d_snapshots
+let recovery t = t.d_recovery

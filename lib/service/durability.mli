@@ -1,0 +1,87 @@
+(** Crash durability for the document store: a snapshot + WAL pair
+    under one state directory.
+
+    Every accepted document op ([load-doc] / [unload-doc] /
+    [patch-doc]) is appended to [<dir>/wal] as a checksummed
+    {!Fixq_durable.Wal} record {e before} it is applied
+    (log-before-apply); a snapshot — taken every
+    [snapshot_threshold] ops, on an explicit [snapshot] op, and on
+    clean shutdown — materializes the registry (documents, generation
+    stamps, result-cache rows) into [<dir>/snapshot] and truncates the
+    log, so recovery is O(snapshot) + O(tail) instead of O(full
+    history).
+
+    This module owns the files, the op sequence numbers and the
+    counters; the {e contents} of op and snapshot payloads are the
+    server's business (JSON lines). {!Server} serializes document ops
+    through {!with_op}, so the log order is the apply order. *)
+
+type t
+
+type recovered = {
+  rec_docs : (string * string) list;
+      (** snapshot documents as [(uri, xml)], in registration order *)
+  rec_gens : (string * int) list;  (** per-URI generation stamps *)
+  rec_generation : int;  (** global registry generation *)
+  rec_cache : Json.t list;  (** result-cache rows, opaque to this module *)
+  rec_tail : (int * Json.t) list;
+      (** WAL ops to replay, [(seq, op)], strictly after the snapshot *)
+  rec_last_seq : int;  (** highest sequence number seen anywhere *)
+  rec_snapshot_seq : int;  (** snapshot's last covered seq; 0 if none *)
+  rec_truncated_bytes : int;  (** torn-tail bytes dropped from the WAL *)
+  rec_diagnostic : string option;
+      (** why the WAL tail or the snapshot was rejected, when one was *)
+}
+
+val recover : dir:string -> recovered
+(** Read-only recovery scan: load the snapshot if present and valid
+    (an invalid one is reported in [rec_diagnostic] and recovery falls
+    back to full WAL replay — the WAL is only truncated after a
+    snapshot commits, so nothing is lost), then the WAL, keeping only
+    records past the snapshot. Creates [dir] if missing. Never
+    raises on corrupt state. *)
+
+val start : dir:string -> threshold:int -> recovered -> t
+(** Open the WAL for appending (physically truncating any torn tail)
+    and adopt [recovered]'s sequence position. Call after the
+    recovered state has been applied. *)
+
+val with_op : t -> Json.t -> (unit -> 'a) -> 'a
+(** [with_op t op apply] — append [op] to the WAL, then run [apply],
+    holding the op lock throughout so log order is apply order. If the
+    append fails ({!Fixq_durable.Wal.Append_failed}), [apply] never
+    runs; if [apply] raises, the record is rewound off the log so a
+    failed op is never replayed. *)
+
+val due : t -> bool
+(** Has the op count since the last snapshot reached the threshold? *)
+
+val snapshot :
+  t ->
+  state:(unit -> (string * Json.t) list * Json.t list) ->
+  (unit, string) result
+(** Take a snapshot: under the op lock, call [state ()] for the meta
+    fields and item rows, write them atomically
+    ({!Fixq_durable.Snapshot}), and on success truncate the WAL. The
+    covered sequence number is recorded in the meta under
+    ["last_seq"]. [Error] leaves the WAL and the previous snapshot
+    untouched. *)
+
+val close : t -> unit
+(** Fsync and close the WAL (clean shutdown, after a final
+    {!snapshot}). *)
+
+val last_seq : t -> int
+
+val wal_bytes : t -> int
+
+val ops_since_snapshot : t -> int
+
+val appends : t -> int
+(** WAL records appended by this process (not counting recovery). *)
+
+val snapshots : t -> int
+(** Snapshots successfully installed by this process. *)
+
+val recovery : t -> recovered
+(** The recovery this handle was started from (for stats). *)

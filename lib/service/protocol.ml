@@ -26,6 +26,11 @@ type request =
   | Load_doc of { uri : string; source : doc_source }
   | Unload_doc of { uri : string }
   | Patch_doc of { uri : string; op : Patch.op }
+  | Snapshot
+  | Dump_doc of { uri : string }
+  | Add_worker
+  | Remove_worker of { name : string }
+  | Drain of { name : string }
   | Stats of stats_format
   | Ping
   | Shutdown
@@ -179,6 +184,20 @@ let parse_request j =
       | Some "prometheus" -> Ok (Stats Stats_prometheus)
       | Some other ->
         Error (Printf.sprintf "unknown stats format %S (json|prometheus)" other))
+    | "snapshot" -> Ok Snapshot
+    | "dump-doc" -> (
+      match Json.str_opt (Json.member "uri" j) with
+      | Some uri -> Ok (Dump_doc { uri })
+      | None -> Error "missing string member \"uri\"")
+    | "add-worker" -> Ok Add_worker
+    | "remove-worker" -> (
+      match Json.str_opt (Json.member "worker" j) with
+      | Some name -> Ok (Remove_worker { name })
+      | None -> Error "missing string member \"worker\"")
+    | "drain" -> (
+      match Json.str_opt (Json.member "worker" j) with
+      | Some name -> Ok (Drain { name })
+      | None -> Error "missing string member \"worker\"")
     | "ping" -> Ok Ping
     | "shutdown" -> Ok Shutdown
     | other -> Error (Printf.sprintf "unknown op %S" other))

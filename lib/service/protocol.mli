@@ -39,6 +39,14 @@
       are maintained differentially instead of recomputed (see
       {!Fixq_ivm.Ivm}); the response reports ∆ sizes and per-entry
       maintenance outcomes.
+    - [{"op":"snapshot"}] — force a durability snapshot (when the server
+      runs with [--state-dir]); the cluster coordinator instead compacts
+      its per-worker doc-line histories.
+    - [{"op":"dump-doc","uri":U}] — the serialized bytes of the document
+      registered under [U].
+    - [{"op":"add-worker"}], [{"op":"remove-worker","worker":W}],
+      [{"op":"drain","worker":W}] — cluster-only topology ops; a plain
+      server answers with an error.
     - [{"op":"stats"}] — cache counters, per-query latency aggregates.
       With ["format":"prometheus"], the response instead carries a
       ["prometheus"] member with the text exposition of the same
@@ -79,6 +87,17 @@ type request =
   | Load_doc of { uri : string; source : doc_source }
   | Unload_doc of { uri : string }
   | Patch_doc of { uri : string; op : Fixq_xdm.Patch.op }
+  | Snapshot
+      (** Force a durability snapshot ([fixq serve --state-dir]); on the
+          cluster coordinator, compact all per-worker doc histories. *)
+  | Dump_doc of { uri : string }
+      (** Serialized bytes of a registered document — the snapshot-based
+          transfer primitive behind cluster rebalancing. *)
+  | Add_worker  (** Cluster only: spin up one worker and rebalance onto it. *)
+  | Remove_worker of { name : string }
+      (** Cluster only: drain, rebalance off, then retire the worker. *)
+  | Drain of { name : string }
+      (** Cluster only: move keys off the worker but keep it running. *)
   | Stats of stats_format
   | Ping
   | Shutdown

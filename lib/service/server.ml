@@ -12,12 +12,27 @@ type config = {
   timeout_ms : float option;
   stratified : bool;
   governor : Governor.config;
+  state_dir : string option;
+  snapshot_threshold : int;
 }
 
 let default_config =
   { workers = 1; prepared_capacity = 64; result_capacity = 256;
     max_iterations = 100_000; timeout_ms = None; stratified = false;
-    governor = Governor.default_config }
+    governor = Governor.default_config; state_dir = None;
+    snapshot_threshold = 64 }
+
+(* What a snapshot needs to revive a maintained IVM entry: the query
+   source (to re-prepare) and the result as portable (uri, preorder
+   rank) node identities (to rebuild the item sequence against the
+   reloaded trees). Recorded at adoption time, keyed like the result
+   cache. *)
+type persist_row = {
+  p_source : string;
+  p_stratified : bool;
+  p_max_iterations : int;
+  p_items : (string * int) list;
+}
 
 type t = {
   config : config;
@@ -39,9 +54,18 @@ type t = {
       (** divergence class of each freshly prepared query, plus
           refusals — exposed in stats JSON and Prometheus *)
   analysis_lock : Mutex.t;
+  mutable durable : Durability.t option;
+      (** the snapshot+WAL pair when running with [state_dir] — [None]
+          during recovery replay, so replayed ops are not re-logged *)
+  persist : (Result_cache.key, persist_row) Hashtbl.t;
+  persist_lock : Mutex.t;
+  mutable recovered_stats : (string * Json.t) list;
+      (** what the last recovery restored (stats exposition) *)
 }
 
-let create ?(config = default_config) ?(store = Store.create ()) () =
+(* [create] proper lives below the request handlers: recovery replays
+   WAL ops through them. *)
+let create_raw ?(config = default_config) ?(store = Store.create ()) () =
   { config; store;
     prepared = Lru.create ~capacity:config.prepared_capacity ();
     results = Result_cache.create ~capacity:config.result_capacity ();
@@ -51,7 +75,9 @@ let create ?(config = default_config) ?(store = Store.create ()) () =
         ~registry:(Store.registry store) ();
     started_at = Unix.gettimeofday ();
     ranks = Hashtbl.create 8; ranks_lock = Mutex.create ();
-    analysis_counters = Hashtbl.create 8; analysis_lock = Mutex.create () }
+    analysis_counters = Hashtbl.create 8; analysis_lock = Mutex.create ();
+    durable = None; persist = Hashtbl.create 8;
+    persist_lock = Mutex.create (); recovered_stats = [] }
 
 let bump_analysis t key =
   Mutex.lock t.analysis_lock;
@@ -178,6 +204,37 @@ let keyed_items t (items : Xdm.Item.seq) =
            let s = Xdm.Serializer.escape_text (Xdm.Atom.to_string a) in
            Json.Obj [ ("k", Json.Str ("a:" ^ s)); ("x", Json.Str s) ])
        items)
+
+(* Record the snapshot-persistable identity of a just-adopted IVM
+   entry: possible exactly when every result item is a node with a
+   portable (uri, preorder rank) identity — the same condition the
+   cluster's keyed merge needs. Anything else clears the row. *)
+let record_persist t key ~query ~stratified ~max_iterations items =
+  if t.durable <> None then begin
+    let rows =
+      List.fold_left
+        (fun acc item ->
+          match (acc, (item : Xdm.Item.t)) with
+          | (None, _) | (_, Xdm.Item.A _) -> None
+          | (Some acc, Xdm.Item.N n) -> (
+            let root = Xdm.Node.root n in
+            match Xdm.Node.uri root with
+            | None -> None
+            | Some u -> (
+              match Hashtbl.find_opt (rank_of t root) n.Xdm.Node.id with
+              | Some r -> Some ((u, r) :: acc)
+              | None -> None)))
+        (Some []) items
+    in
+    Mutex.lock t.persist_lock;
+    (match rows with
+    | Some rows ->
+      Hashtbl.replace t.persist key
+        { p_source = query; p_stratified = stratified;
+          p_max_iterations = max_iterations; p_items = List.rev rows }
+    | None -> Hashtbl.remove t.persist key);
+    Mutex.unlock t.persist_lock
+  end
 
 let handle_run t ~id
     { Protocol.query; engine; mode; stratified; max_iterations; timeout_ms;
@@ -307,7 +364,9 @@ let handle_run t ~id
          later patch-doc can update the cached bytes differentially. *)
       Ivm.adopt t.ivm ~hash:rkey.Result_cache.hash
         ~config:rkey.Result_cache.config ~program:prepared.Prepared.program
-        ~stratified ~max_iterations ~result:report.Fixq.result ~footprint
+        ~stratified ~max_iterations ~result:report.Fixq.result ~footprint;
+      record_persist t rkey ~query ~stratified ~max_iterations
+        report.Fixq.result
     end;
     Metrics.record t.metrics ~key:prepared.Prepared.hash
       ~label:(preview query) ~ms:report.Fixq.wall_ms;
@@ -491,6 +550,368 @@ let handle_patch_doc t ~id uri op =
       ("entries", Json.List entry_rows);
       ("wall_ms", Json.Num ((Unix.gettimeofday () -. t0) *. 1000.0)) ]
 
+(* ------------------------------------------------------------------ *)
+(* Durability: snapshot + WAL                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* WAL op payloads are exactly the protocol's request objects, so
+   replay reuses [Protocol.parse_request] and the handlers above. *)
+
+let op_json_of_load uri (source : Protocol.doc_source) =
+  match source with
+  | Protocol.From_xml xml ->
+    Json.Obj
+      [ ("op", Json.Str "load-doc"); ("uri", Json.Str uri);
+        ("xml", Json.Str xml) ]
+  | Protocol.From_path path ->
+    (* never logged: materialized to [From_xml] before the append so
+       replay does not depend on the file still being there *)
+    Json.Obj
+      [ ("op", Json.Str "load-doc"); ("uri", Json.Str uri);
+        ("path", Json.Str path) ]
+  | Protocol.From_generator { kind; size; seed } ->
+    (* generators are deterministic in (kind, size, seed): logging the
+       parameters replays the identical tree without materializing it *)
+    Json.Obj
+      ([ ("op", Json.Str "load-doc"); ("uri", Json.Str uri);
+         ("generate", Json.Str kind) ]
+      @ (match size with Some s -> [ ("size", Json.Num s) ] | None -> [])
+      @ [ ("seed", Json.of_int seed) ])
+
+let op_json_of_unload uri =
+  Json.Obj [ ("op", Json.Str "unload-doc"); ("uri", Json.Str uri) ]
+
+let op_json_of_patch uri (op : Xdm.Patch.op) =
+  let base action fields =
+    Json.Obj
+      ([ ("op", Json.Str "patch-doc"); ("uri", Json.Str uri);
+         ("action", Json.Str action);
+         ("path", Json.Str (Xdm.Patch.path_of_op op)) ]
+      @ fields)
+  in
+  match op with
+  | Xdm.Patch.Insert { position; xml; _ } ->
+    base "insert"
+      [ ("position", Json.Str (Xdm.Patch.string_of_position position));
+        ("xml", Json.Str xml) ]
+  | Xdm.Patch.Delete _ -> base "delete" []
+  | Xdm.Patch.Replace { xml; _ } -> base "replace" [ ("xml", Json.Str xml) ]
+  | Xdm.Patch.Set_text { text; _ } ->
+    base "set-text" [ ("text", Json.Str text) ]
+
+(* Append-before-apply: [f] only runs once the record is on disk;
+   if [f] raises, the record is rewound so replay never applies a
+   failed op. Transparent when no state dir is configured. *)
+let logged t op f =
+  match t.durable with
+  | None -> f ()
+  | Some d -> Durability.with_op d op f
+
+(* The snapshot's view of the server, evaluated under the durability op
+   lock so no document op is in flight: documents (in construction
+   order — node ids grow monotonically, so sorting roots by id replays
+   registrations in a compatible order), every per-URI generation
+   stamp, and the live result-cache rows (with IVM revival info where
+   recorded). *)
+let snapshot_state t () =
+  let reg = Store.registry t.store in
+  let docs =
+    Store.uris t.store
+    |> List.filter_map (fun u ->
+           Option.map
+             (fun d -> (d.Xdm.Node.id, u, Xdm.Serializer.to_string d))
+             (Xdm.Doc_registry.find ~registry:reg u))
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  let doc_rows =
+    List.map
+      (fun (_, u, x) ->
+        Json.Obj
+          [ ("t", Json.Str "doc"); ("u", Json.Str u); ("x", Json.Str x) ])
+      docs
+  in
+  let bindings = Result_cache.bindings t.results in
+  Mutex.lock t.persist_lock;
+  (* drop persist rows whose cache entry was evicted (bounds the table) *)
+  let live = Hashtbl.create 16 in
+  List.iter (fun (k, _) -> Hashtbl.replace live k ()) bindings;
+  Hashtbl.iter
+    (fun k _ -> if not (Hashtbl.mem live k) then Hashtbl.remove t.persist k)
+    (Hashtbl.copy t.persist);
+  let persist_of k = Hashtbl.find_opt t.persist k in
+  let cache_rows =
+    List.rev_map
+      (fun ((key : Result_cache.key), (e : Result_cache.entry)) ->
+        let ivm_field =
+          match persist_of key with
+          | None -> []
+          | Some p ->
+            [ ( "ivm",
+                Json.Obj
+                  [ ("source", Json.Str p.p_source);
+                    ("stratified", Json.Bool p.p_stratified);
+                    ("max_iterations", Json.of_int p.p_max_iterations);
+                    ("items",
+                     Json.List
+                       (List.map
+                          (fun (u, r) ->
+                            Json.Obj
+                              [ ("u", Json.Str u); ("r", Json.of_int r) ])
+                          p.p_items)) ] ) ]
+        in
+        Json.Obj
+          ([ ("t", Json.Str "cache");
+             ("hash", Json.Str key.Result_cache.hash);
+             ("config", Json.Str key.Result_cache.config);
+             ("serialized", Json.Str e.Result_cache.serialized);
+             ("used_delta", Json.of_bool_opt e.Result_cache.used_delta);
+             ("nodes_fed", Json.of_int e.Result_cache.nodes_fed);
+             ("depth", Json.of_int e.Result_cache.depth);
+             ("wall_ms", Json.Num e.Result_cache.wall_ms);
+             ("footprint",
+              Json.List
+                (List.map
+                   (fun (u, g) ->
+                     Json.Obj [ ("u", Json.Str u); ("g", Json.of_int g) ])
+                   e.Result_cache.footprint));
+             ("semiring",
+              (match e.Result_cache.semiring with
+              | Some s -> Json.Str s
+              | None -> Json.Null));
+             ("annotations",
+              Json.List
+                (List.map
+                   (fun (x, a) ->
+                     Json.Obj [ ("x", Json.Str x); ("a", Json.Str a) ])
+                   e.Result_cache.annotations)) ]
+          @ ivm_field))
+      bindings
+  in
+  Mutex.unlock t.persist_lock;
+  let meta =
+    [ ("generation", Json.of_int (Store.generation t.store));
+      ("gens",
+       Json.List
+         (List.map
+            (fun (u, g) ->
+              Json.Obj [ ("u", Json.Str u); ("g", Json.of_int g) ])
+            (Xdm.Doc_registry.generations ~registry:reg ()))) ]
+  in
+  (meta, doc_rows @ List.rev cache_rows)
+
+let force_snapshot t =
+  match t.durable with
+  | None -> Error "snapshot requires a server started with --state-dir"
+  | Some d -> Durability.snapshot d ~state:(snapshot_state t)
+
+let maybe_snapshot t =
+  match t.durable with
+  | Some d when Durability.due d -> ignore (force_snapshot t)
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Invert the preorder rank: nodes of [root] as an array indexed by
+   rank (the walk order of [rank_table]). *)
+let nodes_by_rank root =
+  let acc = ref [] in
+  let rec walk n =
+    acc := n :: !acc;
+    List.iter walk (Xdm.Node.attributes n);
+    List.iter walk (Xdm.Node.children n)
+  in
+  walk root;
+  Array.of_list (List.rev !acc)
+
+(* Best-effort revival of one maintained IVM entry: re-prepare the
+   source, rebuild the item sequence from (uri, rank) identities
+   against the reloaded trees, and re-adopt. Any mismatch (document
+   gone, rank out of range, program no longer eligible) silently
+   degrades to "cached result without maintenance" — correct, just
+   slower on the next patch. *)
+let readopt_ivm t ~key ~footprint iv =
+  match
+    ( Json.str_opt (Json.member "source" iv),
+      Json.bool_opt (Json.member "stratified" iv),
+      Json.int_opt (Json.member "max_iterations" iv) )
+  with
+  | (Some source, Some stratified, Some max_iterations) -> (
+    let items =
+      match Json.member "items" iv with
+      | Json.List rows ->
+        List.map
+          (fun r ->
+            match
+              ( Json.str_opt (Json.member "u" r),
+                Json.int_opt (Json.member "r" r) )
+            with
+            | (Some u, Some rank) -> (u, rank)
+            | _ -> raise Exit)
+          rows
+      | _ -> raise Exit
+    in
+    let reg = Store.registry t.store in
+    let by_root : (string, Xdm.Node.t array) Hashtbl.t = Hashtbl.create 4 in
+    let result =
+      List.map
+        (fun (u, rank) ->
+          let arr =
+            match Hashtbl.find_opt by_root u with
+            | Some arr -> arr
+            | None -> (
+              match Xdm.Doc_registry.find ~registry:reg u with
+              | None -> raise Exit
+              | Some root ->
+                let arr = nodes_by_rank root in
+                Hashtbl.replace by_root u arr;
+                arr)
+          in
+          if rank >= 0 && rank < Array.length arr then Xdm.Item.N arr.(rank)
+          else raise Exit)
+        items
+    in
+    let (prepared, _) = get_prepared t ~stratified ~max_iterations source in
+    Ivm.adopt t.ivm ~hash:key.Result_cache.hash
+      ~config:key.Result_cache.config ~program:prepared.Prepared.program
+      ~stratified ~max_iterations ~result ~footprint;
+    Mutex.lock t.persist_lock;
+    Hashtbl.replace t.persist key
+      { p_source = source; p_stratified = stratified;
+        p_max_iterations = max_iterations; p_items = items };
+    Mutex.unlock t.persist_lock;
+    true)
+  | _ -> false
+
+let restore_cache_row t row =
+  match
+    ( Json.str_opt (Json.member "hash" row),
+      Json.str_opt (Json.member "config" row),
+      Json.str_opt (Json.member "serialized" row) )
+  with
+  | (Some hash, Some config, Some serialized) ->
+    let pairs name fa fb =
+      match Json.member name row with
+      | Json.List l ->
+        List.filter_map
+          (fun r ->
+            match (fa (Json.member "u" r), fb (Json.member "g" r)) with
+            | (Some a, Some b) -> Some (a, b)
+            | _ -> None)
+          l
+      | _ -> []
+    in
+    let annotations =
+      match Json.member "annotations" row with
+      | Json.List l ->
+        List.filter_map
+          (fun r ->
+            match
+              ( Json.str_opt (Json.member "x" r),
+                Json.str_opt (Json.member "a" r) )
+            with
+            | (Some x, Some a) -> Some (x, a)
+            | _ -> None)
+          l
+      | _ -> []
+    in
+    let footprint = pairs "footprint" Json.str_opt Json.int_opt in
+    let key = { Result_cache.hash; config } in
+    Result_cache.put t.results key
+      { Result_cache.serialized;
+        used_delta = Json.bool_opt (Json.member "used_delta" row);
+        nodes_fed =
+          Option.value ~default:0 (Json.int_opt (Json.member "nodes_fed" row));
+        depth =
+          Option.value ~default:0 (Json.int_opt (Json.member "depth" row));
+        wall_ms =
+          Option.value ~default:0.0
+            (Json.num_opt (Json.member "wall_ms" row));
+        footprint;
+        semiring = Json.str_opt (Json.member "semiring" row);
+        annotations };
+    let revived =
+      match Json.member "ivm" row with
+      | Json.Obj _ as iv -> (
+        try readopt_ivm t ~key ~footprint iv with _ -> false)
+      | _ -> false
+    in
+    Some revived
+  | _ -> None
+
+(* Replay one WAL tail op through the live handlers (durability is
+   still unset, so nothing is re-logged). A replayed op that fails
+   failed identically before the crash — log-rewind keeps failed ops
+   out of the WAL, so this is purely defensive. *)
+let apply_recovered_op t op =
+  match Protocol.parse_request op with
+  | Ok (Protocol.Load_doc { uri; source }) -> (
+    try
+      ignore (handle_load_doc t ~id:Json.Null uri source);
+      true
+    with _ -> false)
+  | Ok (Protocol.Unload_doc { uri }) ->
+    Store.unload t.store uri;
+    Ivm.on_unload t.ivm ~uri;
+    true
+  | Ok (Protocol.Patch_doc { uri; op }) -> (
+    try
+      ignore (handle_patch_doc t ~id:Json.Null uri op);
+      true
+    with _ -> false)
+  | Ok _ | Error _ -> false
+
+let recover_state t ~dir ~threshold =
+  let r = Durability.recover ~dir in
+  let docs = ref 0 in
+  List.iter
+    (fun (uri, xml) ->
+      try
+        Store.load_xml t.store ~uri xml;
+        incr docs
+      with Store.Error _ -> ())
+    r.Durability.rec_docs;
+  Xdm.Doc_registry.restore
+    ~registry:(Store.registry t.store)
+    ~gens:r.Durability.rec_gens ~generation:r.Durability.rec_generation ();
+  let cache = ref 0 and ivm = ref 0 in
+  List.iter
+    (fun row ->
+      match restore_cache_row t row with
+      | Some revived ->
+        incr cache;
+        if revived then incr ivm
+      | None -> ())
+    r.Durability.rec_cache;
+  let tail = ref 0 in
+  List.iter
+    (fun (_, op) -> if apply_recovered_op t op then incr tail)
+    r.Durability.rec_tail;
+  t.recovered_stats <-
+    [ ("docs", Json.of_int !docs);
+      ("tail_ops", Json.of_int !tail);
+      ("cache_entries", Json.of_int !cache);
+      ("ivm_entries", Json.of_int !ivm);
+      ("truncated_bytes", Json.of_int r.Durability.rec_truncated_bytes);
+      ("diagnostic",
+       (match r.Durability.rec_diagnostic with
+       | Some d -> Json.Str d
+       | None -> Json.Null)) ];
+  t.durable <- Some (Durability.start ~dir ~threshold r)
+
+let create ?(config = default_config) ?store () =
+  let t =
+    match store with
+    | Some store -> create_raw ~config ~store ()
+    | None -> create_raw ~config ()
+  in
+  (match config.state_dir with
+  | None -> ()
+  | Some dir ->
+    recover_state t ~dir ~threshold:config.snapshot_threshold);
+  t
+
 let cache_stats_json ~hits ~misses ~size ~capacity =
   Json.Obj
     [ ("hits", Json.of_int hits); ("misses", Json.of_int misses);
@@ -537,6 +958,25 @@ let prometheus_stats t =
     (Printf.sprintf "%.3f" (Unix.gettimeofday () -. t.started_at));
   gauge "fixq_store_generation" (string_of_int (Store.generation t.store));
   gauge "fixq_documents" (string_of_int (List.length (Store.uris t.store)));
+  (match t.durable with
+  | None -> ()
+  | Some d ->
+    let counter name value =
+      Buffer.add_string buf
+        (Printf.sprintf "# TYPE %s counter\n%s %d\n" name name value)
+    in
+    counter "fixq_wal_appends_total" (Durability.appends d);
+    counter "fixq_snapshots_total" (Durability.snapshots d);
+    gauge "fixq_wal_bytes" (string_of_int (Durability.wal_bytes d));
+    gauge "fixq_wal_last_seq" (string_of_int (Durability.last_seq d));
+    let stat name =
+      match List.assoc_opt name t.recovered_stats with
+      | Some (Json.Num n) -> int_of_float n
+      | _ -> 0
+    in
+    gauge "fixq_recovery_replayed_ops" (string_of_int (stat "tail_ops"));
+    gauge "fixq_recovery_truncated_bytes"
+      (string_of_int (stat "truncated_bytes")));
   counter_family "fixq_cache_hits_total"
     [ ("cache=\"prepared\"", Lru.hits t.prepared);
       ("cache=\"results\"", Result_cache.hits t.results) ];
@@ -600,11 +1040,26 @@ let prometheus_stats t =
   Buffer.add_string buf (Metrics.to_prometheus ~prefix:"fixq" t.metrics);
   Buffer.contents buf
 
+let durability_json t =
+  match t.durable with
+  | None -> Json.Null
+  | Some d ->
+    Json.Obj
+      [ ("state_dir", Json.Str (Option.value ~default:"" t.config.state_dir));
+        ("last_seq", Json.of_int (Durability.last_seq d));
+        ("wal_bytes", Json.of_int (Durability.wal_bytes d));
+        ("wal_appends", Json.of_int (Durability.appends d));
+        ("snapshots", Json.of_int (Durability.snapshots d));
+        ("ops_since_snapshot",
+         Json.of_int (Durability.ops_since_snapshot d));
+        ("recovered", Json.Obj t.recovered_stats) ]
+
 let handle_stats t ~id =
   Protocol.ok_response ~id
     [ ("stats",
        Json.Obj
          [ ("generation", Json.of_int (Store.generation t.store));
+           ("durability", durability_json t);
            ("documents",
             Json.List
               (List.map (fun u -> Json.Str u) (Store.uris t.store)));
@@ -696,16 +1151,69 @@ let handle t request =
           | Protocol.Plan { query; stratified } ->
             (handle_plan t ~id query stratified, false)
           | Protocol.Load_doc { uri; source } ->
-            (handle_load_doc t ~id uri source, false)
+            (* materialize file sources before logging, so the WAL
+               replays without the file *)
+            let source =
+              match source with
+              | Protocol.From_path path when t.durable <> None ->
+                Protocol.From_xml (Store.read_file path)
+              | s -> s
+            in
+            let resp =
+              logged t (op_json_of_load uri source) (fun () ->
+                  handle_load_doc t ~id uri source)
+            in
+            maybe_snapshot t;
+            (resp, false)
           | Protocol.Unload_doc { uri } ->
-            Store.unload t.store uri;
-            Ivm.on_unload t.ivm ~uri;
-            ( Protocol.ok_response ~id
-                [ ("uri", Json.Str uri);
-                  ("generation", Json.of_int (Store.generation t.store)) ],
-              false )
+            let resp =
+              logged t (op_json_of_unload uri) (fun () ->
+                  Store.unload t.store uri;
+                  Ivm.on_unload t.ivm ~uri;
+                  Protocol.ok_response ~id
+                    [ ("uri", Json.Str uri);
+                      ("generation", Json.of_int (Store.generation t.store))
+                    ])
+            in
+            maybe_snapshot t;
+            (resp, false)
           | Protocol.Patch_doc { uri; op } ->
-            (handle_patch_doc t ~id uri op, false)
+            let resp =
+              logged t (op_json_of_patch uri op) (fun () ->
+                  handle_patch_doc t ~id uri op)
+            in
+            maybe_snapshot t;
+            (resp, false)
+          | Protocol.Snapshot -> (
+            match force_snapshot t with
+            | Ok () ->
+              let d = Option.get t.durable in
+              ( Protocol.ok_response ~id
+                  [ ("snapshot", Json.Bool true);
+                    ("last_seq", Json.of_int (Durability.last_seq d));
+                    ("wal_bytes", Json.of_int (Durability.wal_bytes d)) ],
+                false )
+            | Error msg -> (Protocol.error_response ~id msg, false))
+          | Protocol.Dump_doc { uri } -> (
+            match
+              Xdm.Doc_registry.find ~registry:(Store.registry t.store) uri
+            with
+            | Some root ->
+              ( Protocol.ok_response ~id
+                  [ ("uri", Json.Str uri);
+                    ("doc_generation",
+                     Json.of_int (Store.doc_generation t.store uri));
+                    ("xml", Json.Str (Xdm.Serializer.to_string root)) ],
+                false )
+            | None ->
+              ( Protocol.error_response ~id
+                  (Printf.sprintf "no document loaded under %S" uri),
+                false ))
+          | Protocol.Add_worker | Protocol.Remove_worker _ | Protocol.Drain _
+            ->
+            ( Protocol.error_response ~id
+                "cluster-only op (send it to a fixq cluster coordinator)",
+              false )
           | Protocol.Stats Protocol.Stats_json -> (handle_stats t ~id, false)
           | Protocol.Stats Protocol.Stats_prometheus ->
             ( Protocol.ok_response ~id
@@ -714,6 +1222,14 @@ let handle t request =
           | Protocol.Ping ->
             (Protocol.ok_response ~id [ ("pong", Json.Bool true) ], false)
           | Protocol.Shutdown ->
+            (* flush the WAL and install a final snapshot so a clean
+               restart replays nothing *)
+            (match t.durable with
+            | Some d ->
+              ignore (force_snapshot t);
+              t.durable <- None;
+              Durability.close d
+            | None -> ());
             (Protocol.ok_response ~id [ ("shutdown", Json.Bool true) ], true))
     with
     | Prepared.Rejected { message; diagnostics } ->
@@ -724,6 +1240,9 @@ let handle t request =
         false )
     | Store.Error msg | Fixq.Error msg | Chaos_fault msg ->
       (Protocol.error_response ~id msg, false)
+    | Fixq_durable.Wal.Append_failed msg ->
+      (* the op was refused before any mutation: store and log agree *)
+      (Protocol.error_response ~id ("durability: " ^ msg), false)
     | Governor.Shed { retry_after_ms; reason } ->
       ( Protocol.error_response ~id
           ~extra:[ ("retry_after_ms", Json.of_int retry_after_ms) ]

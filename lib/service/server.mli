@@ -23,16 +23,33 @@ type config = {
   governor : Governor.config;
       (** resource limits: memory budget, load shedding, recursion
           depth (all off by default) *)
+  state_dir : string option;
+      (** durability: when set, document ops are write-ahead logged
+          under this directory and snapshots make recovery
+          O(snapshot)+O(tail) ({!Durability}); [create] recovers from
+          whatever the directory holds (default [None]) *)
+  snapshot_threshold : int;
+      (** take a snapshot every this many logged ops; [0] disables
+          op-count-triggered snapshots (default 64) *)
 }
 
 val default_config : config
 
 type t
 
+(** Build a server. With [config.state_dir] set, first recovers the
+    document store, result cache and maintained IVM entries from the
+    directory's snapshot + WAL (tolerating torn tails and invalid
+    snapshots — see {!Durability}), then opens the WAL for appending. *)
 val create : ?config:config -> ?store:Store.t -> unit -> t
+
 val store : t -> Store.t
 val config : t -> config
 val governor : t -> Governor.t
+
+(** Force a durability snapshot (and truncate the WAL). [Error] when
+    the server has no [state_dir] or the write failed. *)
+val force_snapshot : t -> (unit, string) result
 
 (** Handle one request object. Returns the response and whether this
     was a [shutdown]. Never raises. *)

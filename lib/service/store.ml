@@ -27,24 +27,23 @@ let chaos_read_point path =
   | Some (Fixq_chaos.Drop | Fixq_chaos.Truncate) ->
     raise (Error (Printf.sprintf "chaos: injected read failure on %s" path))
 
-let load_file t ~uri path =
+let read_file path =
   chaos_read_point path;
-  let contents =
-    try
-      let ic = open_in_bin path in
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () ->
-          let n = in_channel_length ic in
-          really_input_string ic n)
-    with
-    | Sys_error msg -> raise (Error ("cannot read " ^ msg))
-    | End_of_file ->
-      (* the file shrank between the length probe and the read *)
-      raise
-        (Error (Printf.sprintf "cannot read %s: file truncated mid-read" path))
-  in
-  load_xml t ~uri contents
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let n = in_channel_length ic in
+        really_input_string ic n)
+  with
+  | Sys_error msg -> raise (Error ("cannot read " ^ msg))
+  | End_of_file ->
+    (* the file shrank between the length probe and the read *)
+    raise
+      (Error (Printf.sprintf "cannot read %s: file truncated mid-read" path))
+
+let load_file t ~uri path = load_xml t ~uri (read_file path)
 
 let load_generated t ~uri ~kind ~size ~seed =
   let doc =

@@ -23,6 +23,12 @@ val load_xml : t -> uri:string -> string -> unit
 (** Read and parse the file at [path], register under [uri]. *)
 val load_file : t -> uri:string -> string -> unit
 
+(** The raw bytes at [path] ({!Error} on failure; subject to the
+    ["store.read"] chaos point) — the WAL materializes file-sourced
+    [load-doc]s with these bytes so replay is independent of the file
+    system. *)
+val read_file : string -> string
+
 (** Generate a benchmark document and register it under [uri]. [kind]
     is one of ["xmark"], ["curriculum"], ["play"], ["hospital"]; [size]
     is the scale factor (xmark) or element count (curriculum/hospital,

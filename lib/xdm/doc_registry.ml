@@ -111,6 +111,17 @@ let clear ?(registry = default) () =
       Hashtbl.reset registry.docs;
       registry.generation <- registry.generation + 1)
 
+let generations ?(registry = default) () =
+  with_lock registry (fun () ->
+      Hashtbl.fold (fun uri g acc -> (uri, g) :: acc) registry.gens []
+      |> List.sort compare)
+
+let restore ?(registry = default) ~gens ~generation () =
+  with_lock registry (fun () ->
+      List.iter (fun (uri, g) -> Hashtbl.replace registry.gens uri g) gens;
+      if generation > registry.generation then
+        registry.generation <- generation)
+
 let track ?(registry = default) f =
   let seen : (string, unit) Hashtbl.t = Hashtbl.create 8 in
   let seen_lock = Mutex.create () in

@@ -55,4 +55,18 @@ val track : ?registry:t -> (unit -> 'a) -> 'a * (string * int) list
 (** Registered URIs, sorted. *)
 val uris : ?registry:t -> unit -> string list
 
+(** Every per-URI generation stamp, sorted — including stamps of
+    currently {e unloaded} URIs, which must survive a persistence
+    round-trip so a re-registered URI still never repeats one. *)
+val generations : ?registry:t -> unit -> (string * int) list
+
+(** [restore ~gens ~generation ()] reinstates persisted generation
+    stamps after a recovery reload: per-URI stamps are overwritten with
+    the recorded values and the global counter is raised to at least
+    [generation] (never lowered — the reload itself already bumped it).
+    Restoring stamps lets result-cache footprints recorded before a
+    crash validate against the rebuilt registry. *)
+val restore :
+  ?registry:t -> gens:(string * int) list -> generation:int -> unit -> unit
+
 val clear : ?registry:t -> unit -> unit

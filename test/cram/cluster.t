@@ -98,6 +98,79 @@ per-worker samples relabeled by worker:
   {"ok":true,"shutdown":true}
   $ wait
 
+Part 3 — online rebalancing under chaos. Start two workers
+(replication 1 so every document has exactly one holder), load a
+handful of documents, then roll the topology — add a worker, drain
+one, retire it — with a seeded SIGKILL landing on the first key move
+(coordinator.rebalance=kill). Queries answer byte-identically before
+and after the roll.
+
+  $ fixq cluster --socket $D/c3.sock --workers 2 --replication 1 \
+  >   --worker-dir $D/w3 --health-interval-ms 200 \
+  >   --chaos 'seed=7,coordinator.rebalance=kill@1' --chaos-log $D/chaos3.log 2>/dev/null &
+  $ for i in $(seq 150); do [ -S $D/c3.sock ] && break; sleep 0.1; done
+  $ for i in 0 1 2 3 4 5; do
+  >   echo '{"op":"load-doc","uri":"d'$i'.xml","path":"tree.xml"}' \
+  >     | fixq client -s $D/c3.sock | grep -o '"ok":true'
+  > done
+  "ok":true
+  "ok":true
+  "ok":true
+  "ok":true
+  "ok":true
+  "ok":true
+  $ closure() { echo '{"op":"run","query":"with $x seeded by doc(\"d'$1'.xml\")/r/* recurse $x/*","cache":false}' \
+  >   | fixq client -s $D/c3.sock | sed -n 's/.*"result":"\([^"]*\)".*/\1/p'; }
+  $ for i in 0 1 2 3 4 5; do closure $i; done > roll-before.txt
+
+add-worker brings w2 into the ring and ships exactly the keys whose
+rendezvous placement changed; the injected SIGKILL on the first move
+is absorbed (the supervisor respawns the worker, the mover retries)
+and no key is left pending:
+
+  $ ADD=$(echo '{"op":"add-worker"}' | fixq client -s $D/c3.sock)
+  $ echo "$ADD" | grep -o '"worker":"w2"'
+  "worker":"w2"
+  $ echo "$ADD" | grep -o '"pending":\[\]'
+  "pending":[]
+  $ echo "$ADD" | grep -o '"workers":\["w0","w1","w2"\]'
+  "workers":["w0","w1","w2"]
+  $ grep -c 'coordinator.rebalance kill' $D/chaos3.log
+  1
+
+Drain w0: its keys move to the survivors while the process keeps
+serving until the move completes.
+
+  $ DRAIN=$(echo '{"op":"drain","worker":"w0"}' | fixq client -s $D/c3.sock)
+  $ echo "$DRAIN" | grep -o '"pending":\[\]'
+  "pending":[]
+  $ echo "$DRAIN" | grep -o '"workers":\["w1","w2"\]'
+  "workers":["w1","w2"]
+  $ echo '{"op":"stats"}' | fixq client -s $D/c3.sock | grep -o '"name":"w0","alive":true' | wc -l | tr -d ' '
+  1
+
+Every document still answers byte-identically after the roll:
+
+  $ for i in 0 1 2 3 4 5; do closure $i; done > roll-after.txt
+  $ cmp roll-before.txt roll-after.txt && echo identical
+  identical
+
+remove-worker retires the drained process for good, and the movement
+counters surface in stats:
+
+  $ echo '{"op":"remove-worker","worker":"w0"}' | fixq client -s $D/c3.sock | grep -o '"ok":true'
+  "ok":true
+  $ echo '{"op":"stats"}' | fixq client -s $D/c3.sock | grep -o '"name":"w0"' | wc -l | tr -d ' '
+  0
+  $ echo '{"op":"stats"}' | fixq client -s $D/c3.sock | grep -oE '"rebalances":[0-9]+'
+  "rebalances":2
+  $ for i in 0 1 2 3 4 5; do closure $i; done > roll-final.txt
+  $ cmp roll-before.txt roll-final.txt && echo identical
+  identical
+  $ echo '{"op":"shutdown"}' | fixq client -s $D/c3.sock
+  {"ok":true,"shutdown":true}
+  $ wait
+
 A second server refuses to steal a live coordinator or server socket:
 
   $ fixq serve --socket $D/s.sock 2>/dev/null &

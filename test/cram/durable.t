@@ -1,0 +1,145 @@
+Durability: the snapshot + WAL pair behind fixq serve --state-dir. A
+SIGKILLed server comes back from its state directory with
+byte-identical results (cold start = snapshot + WAL tail, never a full
+re-load from clients); a clean shutdown flushes a final snapshot so
+the restart replays nothing; injected crashes mid-WAL-append and
+mid-snapshot land on the torn-tail recovery paths.
+
+  $ cat > tree.xml <<'XML'
+  > <r><a><b/><b/></a><a><b/></a></r>
+  > XML
+  $ Q='{"op":"run","query":"with $x seeded by doc(\"t.xml\")/r/* recurse $x/*","cache":false}'
+  $ P='{"op":"patch-doc","uri":"t.xml","action":"insert","path":"/r","xml":"<a><b/></a>"}'
+  $ D=$(mktemp -d /tmp/fixq-dur-XXXXXX)
+
+Part 1 - kill -9, restart, byte parity. The op-count snapshot trigger
+is disabled (threshold 0), so this cold start replays the full WAL:
+one load-doc plus three accepted patches.
+
+  $ fixq serve --socket $D/s.sock --state-dir $D/state --snapshot-threshold 0 2>/dev/null &
+  $ SRV=$!
+  $ for i in $(seq 150); do [ -S $D/s.sock ] && break; sleep 0.1; done
+  $ echo '{"op":"load-doc","id":1,"uri":"t.xml","path":"tree.xml"}' | fixq client -s $D/s.sock
+  {"ok":true,"id":1,"uri":"t.xml","generation":1}
+  $ for i in 1 2 3; do echo "$P" | fixq client -s $D/s.sock > /dev/null; done
+  $ echo "$Q" | fixq client -s $D/s.sock | sed -n 's/.*"result":"\([^"]*\)".*/\1/p' > before.txt
+  $ kill -9 $SRV
+  $ wait $SRV 2>/dev/null || true
+  $ rm -f $D/s.sock
+
+The state directory now holds a WAL but no snapshot:
+
+  $ [ -f $D/state/wal ] && echo wal-exists
+  wal-exists
+  $ [ -f $D/state/snapshot ] || echo no-snapshot
+  no-snapshot
+
+A new server over the same directory replays the four ops and answers
+byte-identically:
+
+  $ fixq serve --socket $D/s.sock --state-dir $D/state --snapshot-threshold 0 2>/dev/null &
+  $ SRV=$!
+  $ for i in $(seq 150); do [ -S $D/s.sock ] && break; sleep 0.1; done
+  $ echo '{"op":"stats"}' | fixq client -s $D/s.sock | grep -o '"recovered":{"docs":0,"tail_ops":4,[^}]*}'
+  "recovered":{"docs":0,"tail_ops":4,"cache_entries":0,"ivm_entries":0,"truncated_bytes":0,"diagnostic":null}
+  $ echo "$Q" | fixq client -s $D/s.sock | sed -n 's/.*"result":"\([^"]*\)".*/\1/p' > after.txt
+  $ cmp before.txt after.txt && echo identical
+  identical
+
+Part 2 - snapshot + tail. An explicit snapshot op materializes the
+registry and truncates the WAL; only ops accepted after it replay.
+
+  $ echo '{"op":"snapshot"}' | fixq client -s $D/s.sock | sed -E 's/,"wal_bytes":[0-9]+//'
+  {"ok":true,"snapshot":true,"last_seq":4}
+  $ echo "$P" | fixq client -s $D/s.sock > /dev/null
+  $ echo "$Q" | fixq client -s $D/s.sock | sed -n 's/.*"result":"\([^"]*\)".*/\1/p' > before.txt
+  $ kill -9 $SRV
+  $ wait $SRV 2>/dev/null || true
+  $ rm -f $D/s.sock
+  $ fixq serve --socket $D/s.sock --state-dir $D/state --snapshot-threshold 0 2>/dev/null &
+  $ SRV=$!
+  $ for i in $(seq 150); do [ -S $D/s.sock ] && break; sleep 0.1; done
+  $ echo '{"op":"stats"}' | fixq client -s $D/s.sock | grep -o '"docs":1,"tail_ops":1'
+  "docs":1,"tail_ops":1
+  $ echo "$Q" | fixq client -s $D/s.sock | sed -n 's/.*"result":"\([^"]*\)".*/\1/p' > after.txt
+  $ cmp before.txt after.txt && echo identical
+  identical
+
+Part 3 - graceful shutdown flushes the WAL and takes a final
+snapshot, so a clean restart replays nothing:
+
+  $ echo '{"op":"shutdown"}' | fixq client -s $D/s.sock
+  {"ok":true,"shutdown":true}
+  $ wait $SRV 2>/dev/null || true
+  $ rm -f $D/s.sock
+  $ fixq serve --socket $D/s.sock --state-dir $D/state --snapshot-threshold 0 2>/dev/null &
+  $ SRV=$!
+  $ for i in $(seq 150); do [ -S $D/s.sock ] && break; sleep 0.1; done
+  $ echo '{"op":"stats"}' | fixq client -s $D/s.sock | grep -o '"docs":1,"tail_ops":0'
+  "docs":1,"tail_ops":0
+  $ echo "$Q" | fixq client -s $D/s.sock | sed -n 's/.*"result":"\([^"]*\)".*/\1/p' > after.txt
+  $ cmp before.txt after.txt && echo identical
+  identical
+  $ echo '{"op":"shutdown"}' | fixq client -s $D/s.sock
+  {"ok":true,"shutdown":true}
+  $ wait
+
+Part 4 - crash mid-WAL-append (store.wal=kill). The second append is
+torn in half by SIGKILL; recovery truncates to the last complete
+record with a diagnostic instead of crashing or silently losing the
+prefix.
+
+  $ E=$(mktemp -d /tmp/fixq-dur-XXXXXX)
+  $ fixq serve --socket $E/s.sock --state-dir $E/state --snapshot-threshold 0 \
+  >   --chaos 'seed=11,store.wal=kill@2' --chaos-log $E/chaos.log 2>/dev/null &
+  $ SRV=$!
+  $ for i in $(seq 150); do [ -S $E/s.sock ] && break; sleep 0.1; done
+  $ echo '{"op":"load-doc","id":1,"uri":"t.xml","path":"tree.xml"}' | fixq client -s $E/s.sock
+  {"ok":true,"id":1,"uri":"t.xml","generation":1}
+  $ echo "$P" | fixq client -s $E/s.sock 2>/dev/null || true
+  $ wait $SRV 2>/dev/null || true
+  $ grep -c 'store.wal kill' $E/chaos.log
+  1
+  $ rm -f $E/s.sock
+  $ fixq serve --socket $E/s.sock --state-dir $E/state 2>/dev/null &
+  $ SRV=$!
+  $ for i in $(seq 150); do [ -S $E/s.sock ] && break; sleep 0.1; done
+  $ echo '{"op":"stats"}' | fixq client -s $E/s.sock | grep -o '"tail_ops":1'
+  "tail_ops":1
+  $ echo '{"op":"stats"}' | fixq client -s $E/s.sock | grep -o '"diagnostic":"[^"]*"' | grep -c 'at byte'
+  1
+  $ echo "$Q" | fixq client -s $E/s.sock | grep -o '"result":"[^"]*"'
+  "result":"<b/> <b/> <b/>"
+
+Part 5 - crash mid-snapshot (store.snapshot=kill). The torn
+snapshot.tmp is ignored on recovery and the WAL (only truncated after
+a snapshot commits) still carries everything:
+
+  $ echo '{"op":"shutdown"}' | fixq client -s $E/s.sock > /dev/null
+  $ wait $SRV 2>/dev/null || true
+  $ F=$(mktemp -d /tmp/fixq-dur-XXXXXX)
+  $ fixq serve --socket $F/s.sock --state-dir $F/state --snapshot-threshold 0 \
+  >   --chaos 'seed=11,store.snapshot=kill@1' --chaos-log $F/chaos.log 2>/dev/null &
+  $ SRV=$!
+  $ for i in $(seq 150); do [ -S $F/s.sock ] && break; sleep 0.1; done
+  $ echo '{"op":"load-doc","id":1,"uri":"t.xml","path":"tree.xml"}' | fixq client -s $F/s.sock
+  {"ok":true,"id":1,"uri":"t.xml","generation":1}
+  $ echo "$P" | fixq client -s $F/s.sock > /dev/null
+  $ echo '{"op":"snapshot"}' | fixq client -s $F/s.sock 2>/dev/null || true
+  $ wait $SRV 2>/dev/null || true
+  $ grep -c 'store.snapshot kill' $F/chaos.log
+  1
+  $ [ -f $F/state/snapshot ] || echo no-committed-snapshot
+  no-committed-snapshot
+  $ rm -f $F/s.sock
+  $ fixq serve --socket $F/s.sock --state-dir $F/state 2>/dev/null &
+  $ SRV=$!
+  $ for i in $(seq 150); do [ -S $F/s.sock ] && break; sleep 0.1; done
+  $ echo '{"op":"stats"}' | fixq client -s $F/s.sock | grep -o '"docs":0,"tail_ops":2'
+  "docs":0,"tail_ops":2
+  $ echo "$Q" | fixq client -s $F/s.sock | grep -o '"result":"[^"]*"'
+  "result":"<b/> <b/> <b/> <b/>"
+  $ echo '{"op":"shutdown"}' | fixq client -s $F/s.sock
+  {"ok":true,"shutdown":true}
+  $ wait
+  $ rm -rf $D $E $F

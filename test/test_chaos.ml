@@ -325,7 +325,9 @@ let test_fuzz_coordinator () =
   in
   let backend =
     { Coordinator.workers = List.map fst servers; send;
-      info = (fun _ -> []); restarts = (fun () -> 0); stop = ignore }
+      info = (fun _ -> []); restarts = (fun () -> 0); stop = ignore;
+      add_worker = (fun () -> Error "fuzz harness: fixed fleet");
+      retire_worker = ignore; kill_worker = ignore }
   in
   let c =
     Coordinator.create

@@ -133,12 +133,18 @@ let test_partition_validation () =
 (* Coordinator over in-process workers                                 *)
 (* ------------------------------------------------------------------ *)
 
-(* Real servers, injectable transport: [kill name] makes every send to
-   [name] fail like a torn connection; [revive name] heals it. *)
+(* Real servers, injectable transport: [failing name] makes every send
+   to [name] fail like a torn connection; removing it heals the link.
+   [add_worker]/[retire_worker] grow and shrink the in-process fleet;
+   [kill_worker] models SIGKILL + supervisor respawn: the state is
+   lost, a fresh empty server takes the name, and [on_worker_respawn]
+   fires from a background thread (queueing on the coordinator's
+   document lock exactly like the real health thread would). *)
 type harness = {
-  servers : (string * Server.t) list;
+  mutable servers : (string * Server.t) list;
   failing : (string, unit) Hashtbl.t;
   mutable sends : (string * string) list;  (** (worker, line), newest first *)
+  mutable respawns : Thread.t list;
   coordinator : Coordinator.t;
 }
 
@@ -148,17 +154,50 @@ let make_harness ?config ~workers () =
   in
   let failing = Hashtbl.create 4 in
   let h = ref None in
+  let next = ref workers in
   let send name ~timeout_ms:_ line =
     let harness = Option.get !h in
     harness.sends <- (name, line) :: harness.sends;
     if Hashtbl.mem failing name then Error "injected failure"
     else
-      let (resp, _) = Server.handle_line (List.assoc name servers) line in
-      Ok resp
+      match List.assoc_opt name harness.servers with
+      | None -> Error ("unknown worker " ^ name)
+      | Some s ->
+        let (resp, _) = Server.handle_line s line in
+        Ok resp
+  in
+  let add_worker () =
+    let harness = Option.get !h in
+    let name = Printf.sprintf "w%d" !next in
+    incr next;
+    harness.servers <- harness.servers @ [ (name, Server.create ()) ];
+    Ok name
+  in
+  let retire_worker name =
+    let harness = Option.get !h in
+    harness.servers <- List.filter (fun (n, _) -> n <> name) harness.servers
+  in
+  let kill_worker name =
+    let harness = Option.get !h in
+    Hashtbl.replace failing name ();
+    let th =
+      Thread.create
+        (fun () ->
+          Thread.delay 0.05;
+          harness.servers <-
+            List.map
+              (fun (n, s) -> if n = name then (n, Server.create ()) else (n, s))
+              harness.servers;
+          Hashtbl.remove failing name;
+          Coordinator.on_worker_respawn harness.coordinator name)
+        ()
+    in
+    harness.respawns <- th :: harness.respawns
   in
   let backend =
     { Coordinator.workers = List.map fst servers; send;
-      info = (fun _ -> []); restarts = (fun () -> 0); stop = ignore }
+      info = (fun _ -> []); restarts = (fun () -> 0); stop = ignore;
+      add_worker; retire_worker; kill_worker }
   in
   let config =
     Option.value
@@ -166,11 +205,16 @@ let make_harness ?config ~workers () =
       config
   in
   let harness =
-    { servers; failing; sends = [];
+    { servers; failing; sends = []; respawns = [];
       coordinator = Coordinator.create ~config backend }
   in
   h := Some harness;
   harness
+
+(* wait for in-flight kill/respawn threads *)
+let settle h =
+  List.iter Thread.join h.respawns;
+  h.respawns <- []
 
 let request h line =
   let (resp, _) = Coordinator.handle_line h.coordinator line in
@@ -476,6 +520,204 @@ let test_chaos_kill_mid_scatter () =
            (Json.int_opt (Json.member "failovers" stats))
         >= 1))
 
+(* ------------------------------------------------------------------ *)
+(* Online rebalancing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rebalance_uris = List.init 12 (Printf.sprintf "d%d.xml")
+
+let load_fleet h =
+  List.iter
+    (fun u ->
+      checkb ("load " ^ u) true (ok (request h (load_uri_line u a_xml))))
+    rebalance_uris
+
+let moved_of j =
+  match Json.member "moved" j with
+  | Json.List l -> List.filter_map Json.str_opt l |> List.sort compare
+  | _ -> []
+
+let doc_query uri =
+  Printf.sprintf {|with $x seeded by doc(%s)/r/* recurse $x/*|}
+    (Json.to_string (Json.Str uri))
+
+(* parity of one moved document's query against a single process *)
+let check_moved_doc_parity h uri =
+  let j = request h (run_line ~extra:{|,"cache":false|} (doc_query uri)) in
+  checkb ("post-rebalance run ok for " ^ uri) true (ok j);
+  checks ("post-rebalance parity for " ^ uri)
+    (single_process_after [ load_uri_line uri a_xml ] (doc_query uri))
+    (str "result" j)
+
+(* add-worker: the HRW property — the keys that move are exactly the
+   keys whose replica set now includes the new worker *)
+let test_add_worker_moves_exactly () =
+  let h = make_harness ~workers:3 () in
+  load_fleet h;
+  let before = Coordinator.router h.coordinator in
+  let j = request h {|{"op":"add-worker"}|} in
+  checkb "add-worker ok" true (ok j);
+  let name = str "worker" j in
+  checks "supervisor names it w3" "w3" name;
+  let after = Coordinator.router h.coordinator in
+  checkb "routing includes the new worker" true
+    (List.mem name (Router.workers after));
+  let expected =
+    List.filter
+      (fun u -> Router.replicas before ~key:u <> Router.replicas after ~key:u)
+      rebalance_uris
+    |> List.sort compare
+  in
+  List.iter
+    (fun u ->
+      checkb ("every moved key gained " ^ name ^ ": " ^ u) true
+        (List.mem name (Router.replicas after ~key:u)))
+    expected;
+  checkb "the new worker took some keys" true (expected <> []);
+  checks "moved = exactly the keys whose replica set changed"
+    (String.concat "," expected)
+    (String.concat "," (moved_of j));
+  checki "nothing left pending" 0
+    (match Json.member "pending" j with
+    | Json.List l -> List.length l
+    | _ -> 0);
+  check_moved_doc_parity h (List.hd expected)
+
+(* drain: the keys that move are exactly the drained worker's keys;
+   the worker leaves the routing table but stays a member *)
+let test_drain_moves_its_keys () =
+  let h = make_harness ~workers:3 () in
+  load_fleet h;
+  let before = Coordinator.router h.coordinator in
+  let victim = "w1" in
+  let expected =
+    List.filter
+      (fun u -> List.mem victim (Router.replicas before ~key:u))
+      rebalance_uris
+    |> List.sort compare
+  in
+  let j = request h {|{"op":"drain","worker":"w1"}|} in
+  checkb "drain ok" true (ok j);
+  checks "moved = exactly the drained worker's keys"
+    (String.concat "," expected)
+    (String.concat "," (moved_of j));
+  let after = Coordinator.router h.coordinator in
+  checkb "victim out of the routing table" true
+    (not (List.mem victim (Router.workers after)));
+  checkb "victim still a member (running, unrouted)" true
+    (List.mem victim (Coordinator.current_workers h.coordinator));
+  (* every survivor key kept its exact replica set: the HRW property *)
+  List.iter
+    (fun u ->
+      if not (List.mem u expected) then
+        checks ("stable " ^ u)
+          (String.concat "," (Router.replicas before ~key:u))
+          (String.concat "," (Router.replicas after ~key:u)))
+    rebalance_uris;
+  check_moved_doc_parity h (List.hd expected);
+  let stats = Json.member "stats" (request h {|{"op":"stats"}|}) in
+  let drained_flags =
+    match Json.member "workers" stats with
+    | Json.List rows ->
+      List.filter_map
+        (fun r ->
+          if Json.str_opt (Json.member "name" r) = Some victim then
+            Json.bool_opt (Json.member "drained" r)
+          else None)
+        rows
+    | _ -> []
+  in
+  checkb "stats marks the worker drained" true (drained_flags = [ true ])
+
+let test_remove_worker_retires () =
+  let h = make_harness ~workers:3 () in
+  load_fleet h;
+  let j = request h {|{"op":"remove-worker","worker":"w2"}|} in
+  checkb "remove ok" true (ok j);
+  checkb "membership shrank" true
+    (not (List.mem "w2" (Coordinator.current_workers h.coordinator)));
+  checkb "backend retired the server" true
+    (not (List.mem_assoc "w2" h.servers));
+  check_moved_doc_parity h (List.hd (moved_of j));
+  (* the last worker cannot be drained away *)
+  ignore (request h {|{"op":"remove-worker","worker":"w1"}|});
+  let j = request h {|{"op":"remove-worker","worker":"w0"}|} in
+  checkb "last worker refuses" true (not (ok j))
+
+(* patch past the threshold: the history folds into one materialized
+   load line, so a respawn replays 1 line instead of load + patches —
+   and the replayed document still answers byte-identically *)
+let test_compaction_after_patches () =
+  let h =
+    make_harness
+      ~config:
+        { Coordinator.default_config with backoff_ms = 1.; compact_patches = 3 }
+      ~workers:2 ()
+  in
+  checkb "load" true (ok (request h (load_uri_line "t.xml" tree_xml)));
+  let patch =
+    {|{"op":"patch-doc","uri":"t.xml","action":"insert","path":"/r","xml":"<z/>"}|}
+  in
+  for i = 1 to 5 do
+    checkb (Printf.sprintf "patch %d" i) true (ok (request h patch))
+  done;
+  let stats = Json.member "stats" (request h {|{"op":"stats"}|}) in
+  checkb "compaction counted" true
+    (Option.value ~default:0 (Json.int_opt (Json.member "compactions" stats))
+     >= 1);
+  (* respawn: the replay must be ONE load-doc line, no patch lines *)
+  h.sends <- [];
+  Coordinator.on_worker_respawn h.coordinator "w0";
+  let (loads, patches) =
+    List.fold_left
+      (fun (l, p) (name, line) ->
+        if name <> "w0" then (l, p)
+        else
+          match Json.parse line with
+          | j when Json.str_opt (Json.member "op" j) = Some "load-doc" ->
+            (l + 1, p)
+          | j when Json.str_opt (Json.member "op" j) = Some "patch-doc" ->
+            (l, p + 1)
+          | _ -> (l, p)
+          | exception Json.Parse_error _ -> (l, p))
+      (0, 0) h.sends
+  in
+  checki "one materialized load replayed" 1 loads;
+  checki "no patch lines replayed" 0 patches;
+  let j = request h (run_line ~extra:{|,"cache":false|} closure_query) in
+  checkb "run ok after respawn from compacted history" true (ok j);
+  checks "parity with a single process that loaded and patched"
+    (single_process_after
+       [ load_uri_line "t.xml" tree_xml; patch; patch; patch; patch; patch ]
+       closure_query)
+    (str "result" j)
+
+(* chaos kill of a move's destination: the rebalance retries after the
+   "supervisor" respawns the worker, finishes, and answers match *)
+let test_chaos_rebalance_kill_recovers () =
+  let h = make_harness ~workers:2 () in
+  load_fleet h;
+  (match Fixq_chaos.configure "seed=7,coordinator.rebalance=kill@1" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Fun.protect ~finally:Fixq_chaos.reset (fun () ->
+      let j = request h {|{"op":"add-worker"}|} in
+      checkb "add-worker ok despite mid-move kill" true (ok j);
+      checki "exactly one fault injected" 1 (Fixq_chaos.fired ());
+      (match Fixq_chaos.events () with
+      | [ e ] ->
+        checks "fault at the rebalance point" "coordinator.rebalance"
+          e.Fixq_chaos.point
+      | _ -> Alcotest.fail "expected exactly one chaos event");
+      let moved = moved_of j in
+      checkb "keys still moved" true (moved <> []);
+      checki "no move abandoned" 0
+        (match Json.member "pending" j with
+        | Json.List l -> List.length l
+        | _ -> 0);
+      settle h;
+      List.iter (check_moved_doc_parity h) moved)
+
 let () =
   Alcotest.run "cluster"
     [ ("router",
@@ -511,4 +753,15 @@ let () =
          Alcotest.test_case "local parse errors" `Quick
            test_coordinator_parse_error_local;
          Alcotest.test_case "chaos kill mid-scatter fails over" `Quick
-           test_chaos_kill_mid_scatter ]) ]
+           test_chaos_kill_mid_scatter ]);
+      ("rebalance",
+       [ Alcotest.test_case "add-worker moves exactly the gained keys"
+           `Quick test_add_worker_moves_exactly;
+         Alcotest.test_case "drain moves exactly the drained keys" `Quick
+           test_drain_moves_its_keys;
+         Alcotest.test_case "remove-worker retires" `Quick
+           test_remove_worker_retires;
+         Alcotest.test_case "patch history compacts" `Quick
+           test_compaction_after_patches;
+         Alcotest.test_case "chaos kill mid-move recovers" `Quick
+           test_chaos_rebalance_kill_recovers ]) ]
