@@ -961,6 +961,152 @@ let columnar_bench () =
   printf "\n"
 
 (* ------------------------------------------------------------------ *)
+(* Static cost analyzer: calibration and --engine auto                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Per workload family: the analyzer's per-engine estimates next to
+   measured wall-clock on every engine, the certified round bound next
+   to the actual recursion depth (it must never be exceeded), and the
+   auto pick next to the worst fixed engine (it must never be slower,
+   modulo measurement noise). *)
+let cost_bench () =
+  printf "== Static cost analyzer: estimates vs measurements ==\n\n";
+  let module E = Fixq_cost.Estimate in
+  let families =
+    [ ("curriculum-q1", W.Queries.q1,
+       fun registry ->
+         ignore
+           (W.Curriculum.load ~registry
+              { W.Curriculum.default with W.Curriculum.courses = 400 }));
+      ("curriculum-check", W.Queries.curriculum_check,
+       fun registry ->
+         ignore
+           (W.Curriculum.load ~registry
+              { W.Curriculum.default with W.Curriculum.courses = 400 }));
+      ("bidder", W.Queries.bidder_network,
+       fun registry ->
+         ignore
+           (W.Xmark.load ~registry
+              { W.Xmark.default with W.Xmark.scale = 0.004 }));
+      ("dialogs", W.Queries.dialogs,
+       fun registry ->
+         ignore (W.Shakespeare.load ~registry W.Shakespeare.default));
+      ("hospital", W.Queries.hospital,
+       fun registry ->
+         ignore
+           (W.Hospital.load ~registry
+              { W.Hospital.default with W.Hospital.total = 20_000 })) ]
+  in
+  let analyze registry query =
+    let p = Parser.parse_program query in
+    let no_ifp = Fixq.count_ifps p = 0 in
+    let compiled =
+      if no_ifp then None
+      else
+        Some
+          (match Fixq.plan_of_first_ifp ~registry p with
+          | Some _ -> true
+          | None -> false
+          | exception _ -> false)
+    in
+    let sql =
+      if no_ifp then None
+      else try Fixq.sql_of_first_ifp ~registry p with _ -> None
+    in
+    let (syntactic, algebraic) =
+      match try Fixq.distributivity_verdicts ~registry p with _ -> None with
+      | Some v -> v
+      | None -> (false, None)
+    in
+    E.analyze ~registry ~compiled
+      ~sql_renderable:(Option.map Result.is_ok sql)
+      ~algebra_delta:(algebraic = Some true) ~interp_delta:syntactic p
+  in
+  printf "%-18s | %-7s | %9s | %9s | %9s | %7s | %6s | %5s\n" "Family"
+    "chosen" "interp ms" "algeb. ms" "sql ms" "auto ms" "rounds" "bound";
+  printf "%s\n" (String.make 88 '-');
+  List.iter
+    (fun (name, query, setup) ->
+      let registry = Doc_registry.create () in
+      setup registry;
+      let est = analyze registry query in
+      let run engine = Fixq.run ~registry ~engine query in
+      let interp = run (Fixq.Interpreter Fixq.Auto) in
+      let alg = run (Fixq.Algebra Fixq.Auto) in
+      let sql = run (Fixq.Sql Fixq.Auto) in
+      let fixed =
+        [ ("interp", interp); ("algebra", alg); ("sql", sql) ]
+      in
+      let chosen_engine =
+        match est.E.chosen with
+        | "algebra" -> Fixq.Algebra Fixq.Auto
+        | "sql" -> Fixq.Sql Fixq.Auto
+        | _ -> Fixq.Interpreter Fixq.Auto
+      in
+      let auto = run chosen_engine in
+      let worst_ms =
+        List.fold_left
+          (fun acc (_, r) -> Float.max acc r.Fixq.wall_ms)
+          0. fixed
+      in
+      (* auto re-runs its pick, so compare with noise headroom *)
+      let never_slower =
+        auto.Fixq.wall_ms <= (worst_ms *. 1.10) +. 2.0
+      in
+      let actual_rounds =
+        List.fold_left
+          (fun acc (_, r) -> max acc r.Fixq.depth)
+          auto.Fixq.depth fixed
+      in
+      let bound_ok =
+        match est.E.rounds_bound with
+        | Some b -> actual_rounds <= b
+        | None -> true
+      in
+      let agree =
+        let same a b =
+          Item.set_equal a.Fixq.result b.Fixq.result
+          || Item.deep_equal a.Fixq.result b.Fixq.result
+        in
+        same interp alg && same interp sql && same interp auto
+      in
+      printf "%-18s | %-7s | %9.1f | %9.1f | %9.1f | %7.1f | %6d | %5s\n%!"
+        name est.E.chosen interp.Fixq.wall_ms alg.Fixq.wall_ms
+        sql.Fixq.wall_ms auto.Fixq.wall_ms actual_rounds
+        (match est.E.rounds_bound with
+        | Some b -> string_of_int b
+        | None -> "—");
+      let est_cost eng =
+        match
+          List.find_opt (fun e -> e.E.eng_name = eng) est.E.engines
+        with
+        | Some e -> Json.Num (Float.round e.E.eng_cost)
+        | None -> Json.Null
+      in
+      record_json
+        [ ("section", Json.Str "cost"); ("family", Json.Str name);
+          ("work", Json.Num (Float.round est.E.work));
+          ("chosen", Json.Str est.E.chosen);
+          ("est_interp", est_cost "interp");
+          ("est_algebra", est_cost "algebra");
+          ("est_sql", est_cost "sql");
+          ("interp_ms", Json.Num interp.Fixq.wall_ms);
+          ("algebra_ms", Json.Num alg.Fixq.wall_ms);
+          ("sql_ms", Json.Num sql.Fixq.wall_ms);
+          ("auto_ms", Json.Num auto.Fixq.wall_ms);
+          ("worst_ms", Json.Num worst_ms);
+          ("never_slower", Json.Bool never_slower);
+          ("rounds_bound",
+           (match est.E.rounds_bound with
+           | Some b -> Json.of_int b
+           | None -> Json.Null));
+          ("actual_rounds", Json.of_int actual_rounds);
+          ("bound_ok", Json.Bool bound_ok);
+          ("agree", Json.Bool agree) ])
+    families;
+  printf "\n"
+
+(* ------------------------------------------------------------------ *)
 (* Semiring-annotated fixpoints: recursive aggregates per kind         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1311,7 +1457,7 @@ let () =
         List.mem a
           [ "table1"; "table2"; "figure9"; "example24"; "section41";
             "section6"; "section7"; "accum"; "micro"; "cluster"; "ivm";
-            "semiring"; "columnar"; "recovery" ])
+            "semiring"; "columnar"; "cost"; "recovery" ])
       args
   in
   let when_ opt f = if (not explicit) || has opt then f () in
@@ -1326,6 +1472,7 @@ let () =
   when_ "section7" section7;
   when_ "accum" accum;
   when_ "columnar" columnar_bench;
+  when_ "cost" cost_bench;
   when_ "semiring" semiring_bench;
   when_ "ivm" ivm_bench;
   (* opt-in like micro: stateful temp dirs + a long patch history *)

@@ -132,13 +132,16 @@ let expr_arg =
 
 let engine_arg =
   let doc =
-    "Engine: 'interp' (tree-walking), 'algebra' (relational), or 'sql' \
+    "Engine: 'interp' (tree-walking), 'algebra' (relational), 'sql' \
      (WITH RECURSIVE over materialized document relations; \
-     non-renderable IFP sites fall back to the interpreter)."
+     non-renderable IFP sites fall back to the interpreter), or 'auto' \
+     (the cost analyzer picks the cheapest estimate)."
   in
   Arg.(value
        & opt
-           (enum [ ("interp", `Interp); ("algebra", `Algebra); ("sql", `Sql) ])
+           (enum
+              [ ("interp", `Interp); ("algebra", `Algebra); ("sql", `Sql);
+                ("auto", `Auto) ])
            `Interp
        & info [ "engine" ] ~docv:"ENGINE" ~doc)
 
@@ -180,6 +183,53 @@ let to_engine engine mode =
   | `Algebra -> Fixq.Algebra mode
   | `Sql -> Fixq.Sql mode
 
+(* The full static cost report for an already-parsed program: both
+   distributivity verdicts plus the compiled/renderable probes shape
+   the per-engine estimates exactly as [Prepared.prepare] does. *)
+let cost_report ?spans registry p =
+  let module E = Fixq_cost.Estimate in
+  let no_ifp = Fixq.count_ifps p = 0 in
+  let compiled =
+    if no_ifp then None
+    else
+      Some
+        (match Fixq.plan_of_first_ifp ~registry p with
+        | Some _ -> true
+        | None -> false
+        | exception _ -> false)
+  in
+  let sql =
+    if no_ifp then None
+    else try Fixq.sql_of_first_ifp ~registry p with _ -> None
+  in
+  let (syntactic, algebraic) =
+    match try Fixq.distributivity_verdicts ~registry p with _ -> None with
+    | Some v -> v
+    | None -> (false, None)
+  in
+  E.analyze ~registry ?spans ~compiled
+    ~sql_renderable:(Option.map Result.is_ok sql)
+    ~algebra_delta:(algebraic = Some true) ~interp_delta:syntactic p
+
+(* [--engine auto]: resolve to a fixed engine before execution, so an
+   auto run is byte-identical to the chosen engine spelled out. *)
+let resolve_engine registry src engine =
+  match engine with
+  | (`Interp | `Algebra | `Sql) as e -> e
+  | `Auto -> (
+    match Lang.Parser.parse_program src with
+    | exception _ -> `Interp (* let the evaluator report the error *)
+    | p -> (
+      match (cost_report registry p).Fixq_cost.Estimate.chosen with
+      | "algebra" -> `Algebra
+      | "sql" -> `Sql
+      | _ -> `Interp))
+
+let engine_name = function
+  | `Interp -> "interp"
+  | `Algebra -> "algebra"
+  | `Sql -> "sql"
+
 (* ------------------------------------------------------------------ *)
 
 let run_cmd =
@@ -189,6 +239,10 @@ let run_cmd =
     load_docs registry docs;
     apply_patches registry patches;
     let src = query_source file expr in
+    let auto = engine = `Auto in
+    let engine = resolve_engine registry src engine in
+    if auto && stats then
+      Printf.eprintf "engine chosen: %s\n" (engine_name engine);
     match
       Fixq.run ~registry ~stratified ?domains ~chunk_threshold
         ~engine:(to_engine engine mode) src
@@ -236,7 +290,8 @@ let repl_cmd =
       | "" | exception End_of_file -> 0
       | line -> (
         (match
-           Fixq.run ~registry ~stratified ~engine:(to_engine engine mode)
+           Fixq.run ~registry ~stratified
+             ~engine:(to_engine (resolve_engine registry line engine) mode)
              line
          with
         | report ->
@@ -302,9 +357,13 @@ let lint_cmd =
   let module Diag = Fixq_analysis.Diag in
   let format_arg =
     Arg.(value
-         & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+         & opt
+             (enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ])
+             `Text
          & info [ "format" ] ~docv:"FORMAT"
-             ~doc:"Output format: 'text' (one line per finding) or 'json'.")
+             ~doc:
+               "Output format: 'text' (one line per finding), 'json', or \
+                'sarif' (SARIF 2.1.0, for code-scanning upload).")
   in
   let fix_hints_arg =
     Arg.(value & flag
@@ -323,6 +382,59 @@ let lint_cmd =
         ("col", Json.of_int col);
         ("context", Json.Str d.Diag.context);
         ("message", Json.Str d.Diag.message) ]
+  in
+  let sarif_string ~artifact diagnostics =
+    let level (d : Diag.t) =
+      match Diag.severity_string d.Diag.severity with
+      | "error" -> "error"
+      | "warning" -> "warning"
+      | _ -> "note"
+    in
+    let rules =
+      List.sort_uniq compare
+        (List.map (fun (d : Diag.t) -> d.Diag.code) diagnostics)
+    in
+    let result (d : Diag.t) =
+      let (line, col) =
+        match d.Diag.loc with Some lc -> lc | None -> (1, 1)
+      in
+      Json.Obj
+        [ ("ruleId", Json.Str d.Diag.code);
+          ("level", Json.Str (level d));
+          ("message", Json.Obj [ ("text", Json.Str d.Diag.message) ]);
+          ("locations",
+           Json.List
+             [ Json.Obj
+                 [ ("physicalLocation",
+                    Json.Obj
+                      [ ("artifactLocation",
+                         Json.Obj [ ("uri", Json.Str artifact) ]);
+                        ("region",
+                         Json.Obj
+                           [ ("startLine", Json.of_int (max 1 line));
+                             ("startColumn", Json.of_int (max 1 col)) ]) ])
+                 ] ]) ]
+    in
+    Json.to_string
+      (Json.Obj
+         [ ("version", Json.Str "2.1.0");
+           ("$schema",
+            Json.Str "https://json.schemastore.org/sarif-2.1.0.json");
+           ("runs",
+            Json.List
+              [ Json.Obj
+                  [ ("tool",
+                     Json.Obj
+                       [ ("driver",
+                          Json.Obj
+                            [ ("name", Json.Str "fixq");
+                              ("rules",
+                               Json.List
+                                 (List.map
+                                    (fun c -> Json.Obj [ ("id", Json.Str c) ])
+                                    rules)) ]) ]);
+                    ("results", Json.List (List.map result diagnostics)) ]
+              ]) ])
   in
   let push_of registry p =
     (* Compiling the first IFP body may evaluate the program up to that
@@ -352,6 +464,12 @@ let lint_cmd =
     let registry = Xdm.Doc_registry.create () in
     load_docs registry docs;
     let src = query_source file expr in
+    let artifact =
+      match (file, expr) with
+      | (_, Some _) -> "<expr>"
+      | (Some f, None) -> f
+      | (None, None) -> "<stdin>"
+    in
     let fail_parse ~line ~col msg =
       let d = Analyze.parse_error_diag ~line ~col msg in
       (match format with
@@ -359,7 +477,8 @@ let lint_cmd =
       | `Json ->
         print_endline
           (Json.to_string
-             (Json.Obj [ ("diagnostics", Json.List [ diag_json d ]) ])));
+             (Json.Obj [ ("diagnostics", Json.List [ diag_json d ]) ]))
+      | `Sarif -> print_endline (sarif_string ~artifact [ d ]));
       1
     in
     match Lang.Parser.parse_program_spans src with
@@ -380,8 +499,13 @@ let lint_cmd =
             | None -> [])
           | _ -> []
         in
+        (* the cost analyzer's FQ050–FQ054 findings lint alongside the
+           structural ones *)
+        let cost =
+          (cost_report ~spans registry p).Fixq_cost.Estimate.diagnostics
+        in
         List.stable_sort Diag.compare
-          (analysis.Analyze.diagnostics @ push_block)
+          (analysis.Analyze.diagnostics @ push_block @ cost)
       in
       let errors =
         List.length (List.filter Diag.is_error diagnostics)
@@ -479,7 +603,8 @@ let lint_cmd =
                    ("ifps",
                     Json.List (List.map ifp_json analysis.Analyze.ifps));
                    ("errors", Json.of_int errors) ]
-                @ fixed_json))));
+                @ fixed_json)))
+      | `Sarif -> print_endline (sarif_string ~artifact diagnostics));
       if errors > 0 then 1 else 0
   in
   let term =
@@ -532,7 +657,12 @@ let plan_cmd =
       | Some (fix_id, plan) ->
         if dot then print_string (Fixq_algebra.Render.to_dot plan)
         else begin
-          print_string (Fixq_algebra.Render.to_ascii plan);
+          let cards = Fixq_cost.Estimate.plan_cards ~registry plan in
+          let annot p =
+            Some ("card " ^ Fixq_cost.Estimate.interval_string (cards p))
+          in
+          print_string
+            (Fixq_algebra.Render.to_ascii_annotated ~annot plan);
           let o = Fixq_algebra.Push.check ~fix_id plan in
           Format.printf "%a@." Fixq_algebra.Push.pp_outcome o
         end;
@@ -548,37 +678,55 @@ let plan_cmd =
 let explain_cmd =
   let template_arg =
     Arg.(value
-         & opt (enum [ ("naive", `Tnaive); ("delta", `Tdelta); ("hint", `Thint) ])
-             `Tnaive
+         & opt
+             (some
+                (enum
+                   [ ("naive", `Tnaive); ("delta", `Tdelta);
+                     ("hint", `Thint) ]))
+             None
          & info [ "template" ] ~docv:"KIND"
              ~doc:
-               "Rewrite to apply: 'naive' (the Figure 2 fix/rec \
-                templates), 'delta' (Figure 4), or 'hint' (the Section \
-                3.2 distributivity hint).")
+               "Instead of the cost report, print the query after a \
+                rewrite: 'naive' (the Figure 2 fix/rec templates), \
+                'delta' (Figure 4), or 'hint' (the Section 3.2 \
+                distributivity hint).")
   in
-  let action file expr template =
+  let action file expr docs template =
     let src = query_source file expr in
-    match Lang.Parser.parse_program src with
+    match Lang.Parser.parse_program_spans src with
     | exception Lang.Parser.Error { line; col; msg } ->
       Printf.eprintf "parse error at %d:%d: %s\n" line col msg;
       1
-    | p ->
-      let rewritten =
-        match template with
-        | `Tnaive -> Lang.Rewrite.desugar_naive p
-        | `Tdelta -> Lang.Rewrite.desugar_delta p
-        | `Thint -> Lang.Rewrite.hint_program p
-      in
-      print_endline (Lang.Pretty.program_to_string rewritten);
-      0
+    | (p, spans) -> (
+      match template with
+      | Some template ->
+        let rewritten =
+          match template with
+          | `Tnaive -> Lang.Rewrite.desugar_naive p
+          | `Tdelta -> Lang.Rewrite.desugar_delta p
+          | `Thint -> Lang.Rewrite.hint_program p
+        in
+        print_endline (Lang.Pretty.program_to_string rewritten);
+        0
+      | None ->
+        let registry = Xdm.Doc_registry.create () in
+        load_docs registry docs;
+        let report = cost_report ~spans registry p in
+        print_string (Fixq_cost.Estimate.to_text report);
+        0)
   in
-  let term = Term.(const action $ file_arg $ expr_arg $ template_arg) in
+  let term =
+    Term.(const action $ file_arg $ expr_arg $ docs_arg $ template_arg)
+  in
   Cmd.v
     (Cmd.info "explain"
        ~doc:
-         "Print the query after rewriting its IFPs into the paper's \
-          recursive-function templates (Figures 2/4) or the \
-          distributivity hint.")
+         "Print the static cost report — per-operator cardinality \
+          intervals from the document synopses, the certified fixpoint \
+          round bound when one is derivable, and the per-engine cost \
+          estimates behind --engine auto. With --template, instead \
+          print the query rewritten into the paper's recursive-function \
+          templates (Figures 2/4) or the distributivity hint.")
     term
 
 (* Shared by serve and cluster: activate a fault-injection schedule
@@ -657,10 +805,19 @@ let retry_after_arg =
        & info [ "retry-after-ms" ] ~docv:"MS"
            ~doc:"retry_after_ms hint attached to shed responses.")
 
+let max_cost_arg =
+  Arg.(value & opt (some float) None
+       & info [ "max-cost" ] ~docv:"UNITS"
+           ~doc:
+             "Admission envelope in estimated work units: an unbudgeted \
+              query whose predicted cost exceeds this is refused with a \
+              structured FQ055 error; a budgeted one runs with its \
+              iteration cap clamped to the certified round bound.")
+
 let governor_config ~max_heap_mb ~shed_heap_mb ~max_pending ~max_call_depth
-    ~retry_after_ms =
+    ~max_cost ~retry_after_ms =
   { Fixq_service.Governor.max_heap_mb; shed_heap_mb; max_pending;
-    max_call_depth; retry_after_ms }
+    max_call_depth; max_cost; retry_after_ms }
 
 let serve_cmd =
   let module Service = Fixq_service in
@@ -720,7 +877,8 @@ let serve_cmd =
   in
   let action docs pipe socket workers prepared_cap result_cap max_iterations
       timeout_ms stratified chaos chaos_log max_heap_mb shed_heap_mb
-      max_pending max_call_depth retry_after_ms state_dir snapshot_threshold =
+      max_pending max_call_depth max_cost retry_after_ms state_dir
+      snapshot_threshold =
     match setup_chaos ~chaos ~chaos_log with
     | Error msg ->
       Printf.eprintf "fixq serve: %s\n" msg;
@@ -733,7 +891,7 @@ let serve_cmd =
         result_capacity = result_cap; max_iterations; timeout_ms; stratified;
         governor =
           governor_config ~max_heap_mb ~shed_heap_mb ~max_pending
-            ~max_call_depth ~retry_after_ms;
+            ~max_call_depth ~max_cost ~retry_after_ms;
         state_dir; snapshot_threshold }
     in
     let store = Service.Store.create ~registry () in
@@ -761,8 +919,8 @@ let serve_cmd =
           $ prepared_cache_arg $ result_cache_arg $ max_iterations_arg
           $ timeout_arg $ stratified_arg $ chaos_arg $ chaos_log_arg
           $ max_heap_arg $ shed_heap_arg $ max_pending_arg
-          $ max_call_depth_arg $ retry_after_arg $ state_dir_arg
-          $ snapshot_threshold_arg)
+          $ max_call_depth_arg $ max_cost_arg $ retry_after_arg
+          $ state_dir_arg $ snapshot_threshold_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -848,11 +1006,19 @@ let cluster_cmd =
     let doc = "Default per-request wall-clock budget in milliseconds." in
     Arg.(value & opt (some float) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
   in
+  let min_slice_cost_arg =
+    let doc =
+      "Cost-sized scatter: cap the scatter fan-out so each leg carries \
+       at least this much estimated work (0 disables — every eligible \
+       replica gets a leg, the legacy sizing)."
+    in
+    Arg.(value & opt float 0. & info [ "min-slice-cost" ] ~docv:"UNITS" ~doc)
+  in
   let action docs pipe socket workers replication worker_dir no_scatter
       retries backoff_ms jitter compact_patches state_dir health_ms
-      max_iterations timeout_ms stratified chaos
+      max_iterations timeout_ms min_slice_cost stratified chaos
       chaos_log max_heap_mb shed_heap_mb max_pending max_call_depth
-      retry_after_ms =
+      max_cost retry_after_ms =
     (* the coordinator process hosts the transport/scatter/ping points;
        the same schedule is forwarded to every worker (below), where the
        server.handle/fixpoint.round/store.read points live *)
@@ -890,11 +1056,14 @@ let cluster_cmd =
         @ opt_int "--shed-heap-mb" shed_heap_mb
         @ opt_int "--max-pending" max_pending
         @ opt_int "--max-call-depth" max_call_depth
+        @ (match max_cost with
+          | Some c -> [ "--max-cost"; string_of_float c ]
+          | None -> [])
         @ [ "--retry-after-ms"; string_of_int retry_after_ms ])
     in
     let config =
       { C.Coordinator.replication; scatter = not no_scatter; retries;
-        backoff_ms; jitter; compact_patches;
+        backoff_ms; jitter; compact_patches; min_slice_cost;
         (* transport read budget: the workers' own budget plus slack,
            unbounded when the workers are unbudgeted *)
         timeout_ms = Option.map (fun t -> (t *. 2.) +. 5000.) timeout_ms }
@@ -978,9 +1147,9 @@ let cluster_cmd =
           $ replication_arg $ worker_dir_arg $ no_scatter_arg $ retries_arg
           $ backoff_arg $ jitter_arg $ compact_arg $ cluster_state_dir_arg
           $ health_arg $ max_iterations_arg $ timeout_arg
-          $ stratified_arg $ chaos_arg $ chaos_log_arg $ max_heap_arg
-          $ shed_heap_arg $ max_pending_arg $ max_call_depth_arg
-          $ retry_after_arg)
+          $ min_slice_cost_arg $ stratified_arg $ chaos_arg $ chaos_log_arg
+          $ max_heap_arg $ shed_heap_arg $ max_pending_arg
+          $ max_call_depth_arg $ max_cost_arg $ retry_after_arg)
   in
   Cmd.v
     (Cmd.info "cluster"

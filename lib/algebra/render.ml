@@ -1,8 +1,14 @@
-let to_ascii plan =
+let to_ascii_annotated ~annot plan =
   let buf = Buffer.create 256 in
   let rec go prefix child_prefix p =
     Buffer.add_string buf prefix;
     Buffer.add_string buf (Plan.op_symbol p);
+    (match annot p with
+    | Some a ->
+      Buffer.add_string buf "  {";
+      Buffer.add_string buf a;
+      Buffer.add_char buf '}'
+    | None -> ());
     Buffer.add_char buf '\n';
     let kids = Plan.children p in
     let n = List.length kids in
@@ -15,6 +21,8 @@ let to_ascii plan =
   in
   go "" "" plan;
   Buffer.contents buf
+
+let to_ascii plan = to_ascii_annotated ~annot:(fun _ -> None) plan
 
 let to_dot plan =
   let buf = Buffer.create 256 in

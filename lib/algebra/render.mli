@@ -4,6 +4,10 @@
 (** ASCII tree, root at top. *)
 val to_ascii : Plan.t -> string
 
+(** ASCII tree with a per-operator annotation appended as [ {…}] when
+    [annot] returns one — the cardinality-annotated [fixq plan] view. *)
+val to_ascii_annotated : annot:(Plan.t -> string option) -> Plan.t -> string
+
 (** Graphviz [digraph]. *)
 val to_dot : Plan.t -> string
 

@@ -26,12 +26,13 @@ type config = {
   shed_heap_mb : int option;
   max_pending : int option;
   max_call_depth : int option;
+  max_cost : float option;
   retry_after_ms : int;
 }
 
 let default_config =
   { max_heap_mb = None; shed_heap_mb = None; max_pending = None;
-    max_call_depth = None; retry_after_ms = 200 }
+    max_call_depth = None; max_cost = None; retry_after_ms = 200 }
 
 type t = {
   config : config;

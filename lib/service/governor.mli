@@ -14,6 +14,11 @@ type config = {
       (** shed new query work while this many requests are in flight *)
   max_call_depth : int option;
       (** user-function recursion bound forwarded to the evaluator *)
+  max_cost : float option;
+      (** admission envelope over the static cost estimate
+          ({!Fixq_cost.Estimate}): an unbudgeted query whose predicted
+          cost on its engine exceeds this is refused with FQ055; a
+          budgeted one is down-budgeted to its certified round bound *)
   retry_after_ms : int;  (** hint attached to shed responses (200) *)
 }
 

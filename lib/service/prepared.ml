@@ -2,6 +2,7 @@ module Lang = Fixq_lang
 module Push = Fixq_algebra.Push
 module Analyze = Fixq_analysis.Analyze
 module Diag = Fixq_analysis.Diag
+module Estimate = Fixq_cost.Estimate
 
 type t = {
   source : string;
@@ -15,6 +16,8 @@ type t = {
   syntactic : bool;
   algebraic : bool option;
   plan : (int * Fixq_algebra.Plan.t) option;
+  sql : (Fixq_algebra.Render_sql.rendered, string) result option;
+  cost : Estimate.t;
   interp_mode : Fixq.mode;
   algebra_mode : Fixq.mode;
   stratified : bool;
@@ -70,6 +73,17 @@ let prepare ~store ~stratified ~max_iterations source =
       plan
   in
   let algebraic = Option.map (fun o -> o.Push.distributive) push in
+  let sql =
+    if ifp_count = 0 then None
+    else Fixq.sql_of_first_ifp ~registry ~max_iterations program
+  in
+  let cost =
+    Estimate.analyze ~registry ~spans
+      ~compiled:(if ifp_count = 0 then None else Some (plan <> None))
+      ~sql_renderable:(Option.map Result.is_ok sql)
+      ~algebra_delta:(algebraic = Some true)
+      ~interp_delta:syntactic program
+  in
   let interp_mode =
     if ifp_count = 0 then Fixq.Naive
     else if ifp_count > 1 then Fixq.Auto
@@ -89,11 +103,31 @@ let prepare ~store ~stratified ~max_iterations source =
         Fixq.Auto
   in
   { source; hash = hash_source source; program; spans; warnings; analysis;
-    push; ifp_count; syntactic; algebraic; plan; interp_mode; algebra_mode;
-    stratified; generation; prepare_ms = (Unix.gettimeofday () -. t0) *. 1000.0 }
+    push; ifp_count; syntactic; algebraic; plan; sql; cost; interp_mode;
+    algebra_mode; stratified; generation;
+    prepare_ms = (Unix.gettimeofday () -. t0) *. 1000.0 }
+
+(* The parse, the static check and the distributivity verdicts depend
+   only on the query text, but the cost estimate reads the document
+   synopses — so a cached entry served after a load-doc/patch-doc must
+   re-run just the abstract interpreter, or admission and engine
+   choice would act on the document as it was at prepare time. *)
+let refresh ~store t =
+  let generation = Store.generation store in
+  if t.generation = generation then t
+  else
+    let cost =
+      Estimate.analyze ~registry:(Store.registry store) ~spans:t.spans
+        ~compiled:(if t.ifp_count = 0 then None else Some (t.plan <> None))
+        ~sql_renderable:(Option.map Result.is_ok t.sql)
+        ~algebra_delta:(t.algebraic = Some true)
+        ~interp_delta:t.syntactic t.program
+    in
+    { t with cost; generation }
 
 (* Diagnostics including the FQ031 push-block mapping, which needs the
-   plan verdict and so cannot be part of [Analyze.analyze]. *)
+   plan verdict and so cannot be part of [Analyze.analyze], plus the
+   cost analyzer's FQ050–FQ054 findings. *)
 let diagnostics t =
   let push_blocks =
     match (t.push, t.analysis.Analyze.ifps) with
@@ -103,7 +137,9 @@ let diagnostics t =
       | None -> [])
     | _ -> []
   in
-  List.stable_sort Diag.compare (t.analysis.Analyze.diagnostics @ push_blocks)
+  List.stable_sort Diag.compare
+    (t.analysis.Analyze.diagnostics @ push_blocks
+    @ t.cost.Estimate.diagnostics)
 
 let divergence t =
   match t.analysis.Analyze.ifps with
@@ -115,6 +151,16 @@ let semiring t =
   | [] -> None
   | r :: _ -> r.Analyze.semiring
 
-let mode_for t = function
+let chosen_engine t =
+  match t.cost.Estimate.chosen with
+  | "algebra" -> `Algebra
+  | "sql" -> `Sql
+  | _ -> `Interp
+
+(* The Sql engine compiles the same Table-1 plan as the algebra engine
+   before rendering, so it inherits the algebraic mode pin. *)
+let rec mode_for t = function
   | `Interp -> t.interp_mode
   | `Algebra -> t.algebra_mode
+  | `Sql -> t.algebra_mode
+  | `Auto -> mode_for t (chosen_engine t)

@@ -34,6 +34,13 @@ type t = {
           compilable subset or there is no IFP *)
   plan : (int * Fixq.Algebra_ir.Plan.t) option;
       (** fix-ref id and compiled plan of the first IFP body *)
+  sql : (Fixq_algebra.Render_sql.rendered, string) result option;
+      (** SQL:1999 rendering of the first IFP body ([None] when there is
+          no IFP or no compilable plan) *)
+  cost : Fixq_cost.Estimate.t;
+      (** synopsis-driven cost & cardinality estimate: per-operator
+          cardinalities, certified round bound, per-engine costs and the
+          cheapest-engine verdict ([--engine auto]) *)
   interp_mode : Fixq.mode;  (** pinned algorithm for the interpreter *)
   algebra_mode : Fixq.mode;  (** pinned algorithm for the algebra engine *)
   stratified : bool;  (** checks ran with the Section-6 refinement *)
@@ -60,6 +67,15 @@ exception
 val prepare :
   store:Store.t -> stratified:bool -> max_iterations:int -> string -> t
 
+(** [refresh ~store t] — [t] unchanged when the store generation still
+    matches [t]'s; otherwise a copy with only the cost estimate re-run
+    against the current synopses. The text-derived parts (parse,
+    static check, verdicts, plan) are generation-independent and keep
+    their amortization; the cost estimate is not, and admission or
+    engine choice acting on a pre-[patch-doc] estimate would mis-gate
+    grown documents. *)
+val refresh : store:Store.t -> t -> t
+
 (** All located diagnostics for the query, sorted by position: the
     analyzer's, plus the FQ031 push-block mapping (which needs the
     compiled plan's verdict and so is assembled here). *)
@@ -73,8 +89,14 @@ val divergence : t -> Fixq_analysis.Analyze.divergence option
     fixpoint or a query without one). *)
 val semiring : t -> Fixq_semiring.Semiring.kind option
 
+(** The engine the cost model picked as cheapest — what [--engine auto]
+    resolves to. *)
+val chosen_engine : t -> [ `Interp | `Algebra | `Sql ]
+
 (** The mode a request for the given engine kind should run with:
-    [`Interp] → [interp_mode], [`Algebra] → [algebra_mode]. *)
-val mode_for : t -> [ `Interp | `Algebra ] -> Fixq.mode
+    [`Interp] → [interp_mode], [`Algebra]/[`Sql] → [algebra_mode] (the
+    Sql engine runs the same compiled plan), [`Auto] → the mode of
+    {!chosen_engine}. *)
+val mode_for : t -> [ `Interp | `Algebra | `Sql | `Auto ] -> Fixq.mode
 
 val hash_source : string -> string

@@ -7,7 +7,7 @@ type doc_source =
 
 type run_params = {
   query : string;
-  engine : [ `Interp | `Algebra ];
+  engine : [ `Interp | `Algebra | `Sql | `Auto ];
   mode : [ `Pinned | `Naive | `Delta ];
   stratified : bool option;
   max_iterations : int option;
@@ -23,6 +23,7 @@ type request =
   | Prepare of { query : string; stratified : bool option }
   | Check of { query : string; stratified : bool option }
   | Plan of { query : string; stratified : bool option }
+  | Explain of { query : string; stratified : bool option }
   | Load_doc of { uri : string; source : doc_source }
   | Unload_doc of { uri : string }
   | Patch_doc of { uri : string; op : Patch.op }
@@ -56,8 +57,12 @@ let parse_request j =
         match Json.str_opt (Json.member "engine" j) with
         | None | Some "interp" -> Ok `Interp
         | Some "algebra" -> Ok `Algebra
+        | Some "sql" -> Ok `Sql
+        | Some "auto" -> Ok `Auto
         | Some other ->
-          Error (Printf.sprintf "unknown engine %S (interp|algebra)" other)
+          Error
+            (Printf.sprintf "unknown engine %S (interp|algebra|sql|auto)"
+               other)
       in
       let* mode =
         match Json.str_opt (Json.member "mode" j) with
@@ -102,6 +107,9 @@ let parse_request j =
     | "plan" ->
       let* query = query_of j in
       Ok (Plan { query; stratified })
+    | "explain" ->
+      let* query = query_of j in
+      Ok (Explain { query; stratified })
     | "load-doc" -> (
       match Json.str_opt (Json.member "uri" j) with
       | None -> Error "missing string member \"uri\""

@@ -9,7 +9,9 @@
 
     Ops:
     - [{"op":"run","query":Q}] — evaluate. Optional: ["engine"]
-      ("interp"|"algebra"), ["mode"] ("auto"|"naive"|"delta"; "auto"
+      ("interp"|"algebra"|"sql"|"auto"; "auto" resolves to the engine
+      the cost model predicts cheapest — the response reports the
+      resolution), ["mode"] ("auto"|"naive"|"delta"; "auto"
       uses the mode pinned at preparation), ["stratified"] (bool),
       ["max_iterations"] (int), ["timeout_ms"] (number), ["cache"]
       (bool, default true — set false to bypass the result cache),
@@ -23,7 +25,13 @@
       warming for coordinators and deploy scripts.
     - [{"op":"check","query":Q}] — distributivity verdicts and pinned
       modes, without running.
-    - [{"op":"plan","query":Q}] — ASCII algebra plan of the first IFP.
+    - [{"op":"plan","query":Q}] — ASCII algebra plan of the first IFP,
+      annotated with per-operator cardinality intervals from the loaded
+      documents' synopses.
+    - [{"op":"explain","query":Q}] — the static cost report: per-operator
+      cardinality estimates, the certified fixpoint round bound (when
+      derivable), per-engine cost estimates and the chosen engine with
+      its reasoning.
     - [{"op":"load-doc","uri":U, ...}] — register a document; the
       source is one of ["xml"] (inline), ["path"] (file), or
       ["generate"] ("xmark"|"curriculum"|"play"|"hospital", with
@@ -64,7 +72,9 @@ type doc_source =
 
 type run_params = {
   query : string;
-  engine : [ `Interp | `Algebra ];
+  engine : [ `Interp | `Algebra | `Sql | `Auto ];
+      (** [`Auto] resolves to the cost model's cheapest engine at
+          request time *)
   mode : [ `Pinned | `Naive | `Delta ];
       (** [`Pinned] = the preparation-time decision *)
   stratified : bool option;  (** [None] = server default *)
@@ -84,6 +94,8 @@ type request =
   | Prepare of { query : string; stratified : bool option }
   | Check of { query : string; stratified : bool option }
   | Plan of { query : string; stratified : bool option }
+  | Explain of { query : string; stratified : bool option }
+      (** Static cost & cardinality report ({!Fixq_cost.Estimate}). *)
   | Load_doc of { uri : string; source : doc_source }
   | Unload_doc of { uri : string }
   | Patch_doc of { uri : string; op : Fixq_xdm.Patch.op }

@@ -115,7 +115,12 @@ let preview query =
 let get_prepared t ~stratified ~max_iterations query =
   let key = (if stratified then "s|" else "p|") ^ query in
   match Lru.find t.prepared key with
-  | Some p -> (p, "hit")
+  | Some p ->
+    (* still a hit — only the synopsis-dependent cost estimate is
+       recomputed when documents changed since prepare time *)
+    let p' = Prepared.refresh ~store:t.store p in
+    if p' != p then Lru.put t.prepared key p';
+    (p', "hit")
   | None ->
     let p = Prepared.prepare ~store:t.store ~stratified ~max_iterations query in
     (match Prepared.divergence p with
@@ -277,13 +282,74 @@ let handle_run t ~id
           max_iterations or timeout_ms"
          reason)
   | _ ->
+  (* [engine:"auto"]: resolve to the cost model's cheapest engine before
+     anything downstream — cache keys, pinned modes and execution all see
+     a plain fixed engine, so an auto run is byte-identical to the same
+     request with the chosen engine spelled out. *)
+  let auto = engine = `Auto in
+  let engine =
+    match engine with
+    | `Auto -> Prepared.chosen_engine prepared
+    | (`Interp | `Algebra | `Sql) as e -> e
+  in
+  let engine_str =
+    match engine with
+    | `Interp -> "interp"
+    | `Algebra -> "algebra"
+    | `Sql -> "sql"
+  in
+  let cost = prepared.Prepared.cost in
+  let predicted_cost =
+    match
+      List.find_opt
+        (fun e -> e.Fixq_cost.Estimate.eng_name = engine_str)
+        cost.Fixq_cost.Estimate.engines
+    with
+    | Some e -> e.Fixq_cost.Estimate.eng_cost
+    | None -> cost.Fixq_cost.Estimate.work
+  in
+  let over_envelope =
+    match (Governor.config t.governor).Governor.max_cost with
+    | Some envelope when predicted_cost > envelope -> Some envelope
+    | _ -> None
+  in
+  match over_envelope with
+  | Some envelope when unbudgeted ->
+    (* Admission control: predicted cost exceeds the governor envelope
+       and the caller brought no budget of their own. *)
+    bump_analysis t "refused-cost";
+    Protocol.error_response ~id
+      ~extra:
+        [ ("code", Json.Str "FQ055");
+          ("engine", Json.Str engine_str);
+          ("estimated_cost", Json.Num (Float.round predicted_cost));
+          ("max_cost", Json.Num envelope);
+          ("rounds_bound",
+           (match cost.Fixq_cost.Estimate.rounds_bound with
+           | Some b -> Json.of_int b
+           | None -> Json.Null)) ]
+      (Printf.sprintf
+         "predicted cost %.0f exceeds the admission envelope %.0f and the \
+          request carries no budget: set max_iterations or timeout_ms"
+         predicted_cost envelope)
+  | _ ->
+  (* Budgeted but over the envelope: down-budget the iteration cap to
+     the certified round bound — the run cannot legitimately need more
+     rounds, so this only cuts runaway headroom. *)
+  let down_budgeted =
+    match (over_envelope, cost.Fixq_cost.Estimate.rounds_bound) with
+    | Some _, Some bound when bound < max_iterations -> Some bound
+    | _ -> None
+  in
+  let max_iterations = Option.value ~default:max_iterations down_budgeted in
   let run_mode =
     match mode with
-    | `Pinned -> Prepared.mode_for prepared engine
+    | `Pinned ->
+      Prepared.mode_for prepared
+        (engine :> [ `Interp | `Algebra | `Sql | `Auto ])
     | `Naive -> Fixq.Naive
     | `Delta -> Fixq.Delta
   in
-  let engine_str = match engine with `Interp -> "interp" | `Algebra -> "algebra" in
   let rkey =
     { Result_cache.hash = prepared.Prepared.hash;
       config =
@@ -302,6 +368,15 @@ let handle_run t ~id
                   Json.Obj [ ("x", Json.Str x); ("a", Json.Str a) ])
                 entry.Result_cache.annotations)) ]
     in
+    let cost_extra =
+      (if auto then [ ("chosen_by", Json.Str "cost") ] else [])
+      @
+      match down_budgeted with
+      | Some bound ->
+        [ ("down_budgeted", Json.of_int bound);
+          ("estimated_cost", Json.Num (Float.round predicted_cost)) ]
+      | None -> []
+    in
     Protocol.ok_response ~id
       ([ ("engine", Json.Str engine_str);
          ("mode", Json.Str (mode_string run_mode));
@@ -312,7 +387,7 @@ let handle_run t ~id
          ("nodes_fed", Json.of_int entry.Result_cache.nodes_fed);
          ("depth", Json.of_int entry.Result_cache.depth);
          ("result", Json.Str entry.Result_cache.serialized) ]
-      @ annotated @ extra
+      @ cost_extra @ annotated @ extra
       @ [ ("wall_ms", Json.Num entry.Result_cache.wall_ms) ])
   in
   (* Partitioned runs (the cluster's scatter legs) always execute: the
@@ -330,6 +405,7 @@ let handle_run t ~id
       match engine with
       | `Interp -> Fixq.Interpreter run_mode
       | `Algebra -> Fixq.Algebra run_mode
+      | `Sql -> Fixq.Sql run_mode
     in
     let program =
       match partition with
@@ -450,6 +526,20 @@ let handle_check t ~id query stratified =
        (match sql with
        | Some (Error reason) -> Json.Str reason
        | Some (Ok _) | None -> Json.Null));
+      ("rounds_bound",
+       (match p.Prepared.cost.Fixq_cost.Estimate.rounds_bound with
+       | Some b -> Json.of_int b
+       | None -> Json.Null));
+      ("bound_reason",
+       Json.Str p.Prepared.cost.Fixq_cost.Estimate.bound_reason);
+      ("estimated_cost",
+       Json.Obj
+         (List.map
+            (fun e ->
+              ( e.Fixq_cost.Estimate.eng_name,
+                Json.Num (Float.round e.Fixq_cost.Estimate.eng_cost) ))
+            p.Prepared.cost.Fixq_cost.Estimate.engines));
+      ("chosen_engine", Json.Str p.Prepared.cost.Fixq_cost.Estimate.chosen);
       ("prepared_cache", Json.Str prepared_status) ]
 
 let handle_plan t ~id query stratified =
@@ -462,10 +552,66 @@ let handle_plan t ~id query stratified =
     Protocol.error_response ~id
       "no compilable IFP body found (interpreter-only query)"
   | Some (_, plan) ->
+    let cards =
+      Fixq_cost.Estimate.plan_cards ~registry:(Store.registry t.store) plan
+    in
+    let annot p =
+      Some ("card " ^ Fixq_cost.Estimate.interval_string (cards p))
+    in
     Protocol.ok_response ~id
       [ ("distributive", Json.of_bool_opt p.Prepared.algebraic);
         ("prepared_cache", Json.Str prepared_status);
-        ("plan", Json.Str (Fixq_algebra.Render.to_ascii plan)) ]
+        ("plan", Json.Str (Fixq_algebra.Render.to_ascii_annotated ~annot plan)) ]
+
+(* explain: the full cost report — per-engine estimates, certified round
+   bound, per-operator cardinality table — without executing anything. *)
+let handle_explain t ~id query stratified =
+  let stratified = Option.value ~default:t.config.stratified stratified in
+  let (p, prepared_status) =
+    get_prepared t ~stratified ~max_iterations:t.config.max_iterations query
+  in
+  let module E = Fixq_cost.Estimate in
+  let c = p.Prepared.cost in
+  Protocol.ok_response ~id
+    [ ("prepared_cache", Json.Str prepared_status);
+      ("work", Json.Num (Float.round c.E.work));
+      ("result_card", Json.Str (E.interval_string c.E.result_card));
+      ("rounds_bound",
+       (match c.E.rounds_bound with
+       | Some b -> Json.of_int b
+       | None -> Json.Null));
+      ("bound_reason", Json.Str c.E.bound_reason);
+      ("engines",
+       Json.List
+         (List.map
+            (fun e ->
+              Json.Obj
+                [ ("name", Json.Str e.E.eng_name);
+                  ("cost", Json.Num (Float.round e.E.eng_cost));
+                  ("native", Json.Bool e.E.eng_native);
+                  ("note", Json.Str e.E.eng_note) ])
+            c.E.engines));
+      ("chosen", Json.Str c.E.chosen);
+      ("choice_reason", Json.Str c.E.choice_reason);
+      ("operators",
+       Json.List
+         (List.map
+            (fun r ->
+              Json.Obj
+                ([ ("desc", Json.Str r.E.op_desc);
+                   ("depth", Json.of_int r.E.op_depth);
+                   ("card", Json.Str (E.interval_string r.E.op_card)) ]
+                @ (match r.E.op_loc with
+                  | Some (l, col) ->
+                    [ ("line", Json.of_int l); ("col", Json.of_int col) ]
+                  | None -> [])
+                @
+                match r.E.op_note with
+                | Some n -> [ ("note", Json.Str n) ]
+                | None -> []))
+            c.E.rows));
+      ("diagnostics", Json.List (List.map diag_json c.E.diagnostics));
+      ("text", Json.Str (E.to_text c)) ]
 
 let handle_load_doc t ~id uri (source : Protocol.doc_source) =
   (match source with
@@ -1009,7 +1155,7 @@ let prometheus_stats t =
     counter_family "fixq_prepared_divergence_total"
       (List.filter_map
          (fun (k, v) ->
-           if k = "refused" || is_semiring k then None
+           if k = "refused" || k = "refused-cost" || is_semiring k then None
            else Some (Printf.sprintf "class=%S" k, v))
          rows);
     (match List.filter (fun (k, _) -> is_semiring k) rows with
@@ -1022,11 +1168,19 @@ let prometheus_stats t =
                  (String.sub k 9 (String.length k - 9)),
                v ))
            semi));
-    (match List.assoc_opt "refused" rows with
-    | Some n ->
+    (match
+       (List.assoc_opt "refused" rows, List.assoc_opt "refused-cost" rows)
+     with
+    | (None, None) -> ()
+    | (diverge, cost) ->
       counter_family "fixq_refused_queries_total"
-        [ ("reason=\"may-diverge\"", n) ]
-    | None -> ()));
+        ((match diverge with
+         | Some n -> [ ("reason=\"may-diverge\"", n) ]
+         | None -> [])
+        @
+        match cost with
+        | Some n -> [ ("reason=\"cost\"", n) ]
+        | None -> [])));
   gauge "fixq_ivm_entries" (string_of_int (Ivm.size t.ivm));
   (match Ivm.counters t.ivm with
   | [] -> ()
@@ -1132,7 +1286,7 @@ let handle t request =
     let admitted =
       match req with
       | Protocol.Run _ | Protocol.Prepare _ | Protocol.Check _
-      | Protocol.Plan _ ->
+      | Protocol.Plan _ | Protocol.Explain _ ->
         true
       | _ -> false
     in
@@ -1150,6 +1304,8 @@ let handle t request =
             (handle_check t ~id query stratified, false)
           | Protocol.Plan { query; stratified } ->
             (handle_plan t ~id query stratified, false)
+          | Protocol.Explain { query; stratified } ->
+            (handle_explain t ~id query stratified, false)
           | Protocol.Load_doc { uri; source } ->
             (* materialize file sources before logging, so the WAL
                replays without the file *)

@@ -69,6 +69,7 @@ let unload t uri = Xdm.Doc_registry.unregister ~registry:t.reg uri
 let uris t = Xdm.Doc_registry.uris ~registry:t.reg ()
 
 let doc_generation t uri = Xdm.Doc_registry.doc_generation ~registry:t.reg uri
+let synopsis t uri = Xdm.Doc_registry.synopsis ~registry:t.reg uri
 let track t f = Xdm.Doc_registry.track ~registry:t.reg f
 
 let chaos_patch_point uri =
@@ -90,7 +91,16 @@ let patch t ~uri op =
   | Some root -> (
     match Xdm.Patch.apply root op with
     | delta ->
+      (* Maintain an already-built synopsis incrementally (cost of the
+         edited subtrees); an unbuilt one stays lazy. *)
+      let syn = Xdm.Doc_registry.cached_synopsis ~registry:t.reg uri in
       Xdm.Doc_registry.register ~registry:t.reg uri delta.Xdm.Patch.new_root;
+      (match syn with
+      | None -> ()
+      | Some syn ->
+        (match Xdm.Synopsis.patched syn ~old_root:root ~op ~delta with
+        | syn -> Xdm.Doc_registry.set_synopsis ~registry:t.reg uri syn
+        | exception _ -> ()));
       delta
     | exception Xdm.Patch.Patch_error msg ->
       raise (Error (Printf.sprintf "cannot patch %S: %s" uri msg)))

@@ -46,6 +46,10 @@ val uris : t -> string list
     ({!Fixq_xdm.Doc_registry.doc_generation}). *)
 val doc_generation : t -> string -> int
 
+(** Lazily built, patch-maintained structural synopsis of a loaded
+    document ({!Fixq_xdm.Doc_registry.synopsis}). *)
+val synopsis : t -> string -> Fixq_xdm.Synopsis.t option
+
 (** Footprint-recording wrapper ({!Fixq_xdm.Doc_registry.track}): run
     [f] and report which documents it read, at which generations. *)
 val track : t -> (unit -> 'a) -> 'a * (string * int) list

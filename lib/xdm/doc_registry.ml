@@ -3,6 +3,9 @@ type t = {
   gens : (string, int) Hashtbl.t;
       (* per-URI generation stamps; persist across unregister so a
          re-registered URI never reuses an old stamp *)
+  syns : (string, int * Synopsis.t) Hashtbl.t;
+      (* lazily built structural synopses, keyed by the doc generation
+         they describe — a stale stamp is an automatic invalidation *)
   lock : Mutex.t;
   mutable generation : int;
   mutable trackers : (string -> unit) list;
@@ -11,6 +14,7 @@ type t = {
 
 let create () : t =
   { docs = Hashtbl.create 8; gens = Hashtbl.create 8;
+    syns = Hashtbl.create 8;
     lock = Mutex.create (); generation = 0; trackers = [] }
 
 let default : t = create ()
@@ -35,6 +39,7 @@ let unregister ?(registry = default) uri =
   with_lock registry (fun () ->
       if Hashtbl.mem registry.docs uri then begin
         Hashtbl.remove registry.docs uri;
+        Hashtbl.remove registry.syns uri;
         bump_doc registry uri;
         registry.generation <- registry.generation + 1
       end)
@@ -109,6 +114,7 @@ let clear ?(registry = default) () =
   with_lock registry (fun () ->
       Hashtbl.iter (fun uri _ -> bump_doc registry uri) registry.docs;
       Hashtbl.reset registry.docs;
+      Hashtbl.reset registry.syns;
       registry.generation <- registry.generation + 1)
 
 let generations ?(registry = default) () =
@@ -121,6 +127,29 @@ let restore ?(registry = default) ~gens ~generation () =
       List.iter (fun (uri, g) -> Hashtbl.replace registry.gens uri g) gens;
       if generation > registry.generation then
         registry.generation <- generation)
+
+let synopsis ?(registry = default) uri =
+  match find ~registry uri with
+  | None -> None
+  | Some root -> (
+    let gen = doc_generation ~registry uri in
+    match with_lock registry (fun () -> Hashtbl.find_opt registry.syns uri) with
+    | Some (g, syn) when g = gen -> Some syn
+    | _ ->
+      let syn = Synopsis.build root in
+      with_lock registry (fun () ->
+          Hashtbl.replace registry.syns uri (gen, syn));
+      Some syn)
+
+let set_synopsis ?(registry = default) uri syn =
+  let gen = doc_generation ~registry uri in
+  with_lock registry (fun () -> Hashtbl.replace registry.syns uri (gen, syn))
+
+let cached_synopsis ?(registry = default) uri =
+  let gen = doc_generation ~registry uri in
+  match with_lock registry (fun () -> Hashtbl.find_opt registry.syns uri) with
+  | Some (g, syn) when g = gen -> Some syn
+  | _ -> None
 
 let track ?(registry = default) f =
   let seen : (string, unit) Hashtbl.t = Hashtbl.create 8 in

@@ -52,6 +52,24 @@ val doc_generation : ?registry:t -> string -> int
     [(uri, doc_generation uri)] footprint observed at completion. *)
 val track : ?registry:t -> (unit -> 'a) -> 'a * (string * int) list
 
+(** [synopsis uri] — the structural synopsis of the registered
+    document ({!Synopsis}), built lazily on first use and cached
+    against the URI's {!doc_generation}: any re-registration (swap,
+    patch, reload) invalidates it automatically. [None] when the URI
+    resolves to nothing. *)
+val synopsis : ?registry:t -> string -> Synopsis.t option
+
+(** Install an incrementally maintained synopsis for the URI's {e
+    current} generation — the [patch-doc] path calls this with
+    {!Synopsis.patched} output right after registering the patched
+    tree, so the next {!synopsis} is a cache hit instead of an
+    [O(|doc|)] rebuild. *)
+val set_synopsis : ?registry:t -> string -> Synopsis.t -> unit
+
+(** The cached synopsis for the URI's current generation, without
+    building one. *)
+val cached_synopsis : ?registry:t -> string -> Synopsis.t option
+
 (** Registered URIs, sorted. *)
 val uris : ?registry:t -> unit -> string list
 

@@ -46,6 +46,27 @@ for f in "${examples[@]}"; do
            | "  \(.line):\(.col) \(.code) \(.message)"' <<<"$out" >&2
     exit 1
   fi
+
+  # the SARIF view carries the same findings in the 2.1.0 shape:
+  # versioned log, one fixq driver run, every result a located FQ0xx
+  sarif=$($FIXQ lint --format sarif "$f")
+  jq -e '.version == "2.1.0" and (.runs | length == 1)
+         and .runs[0].tool.driver.name == "fixq"' <<<"$sarif" >/dev/null
+  jq -e '
+    .runs[0].results | all(
+      (.ruleId | test("^FQ[0-9]{3}$")) and
+      (.level | IN("error", "warning", "note")) and
+      (.message.text | type == "string") and
+      (.locations[0].physicalLocation.artifactLocation.uri
+         | type == "string") and
+      (.locations[0].physicalLocation.region.startLine
+         | type == "number"))' <<<"$sarif" >/dev/null
+  # every reported ruleId is declared in the driver's rule table
+  jq -e '(.runs[0].tool.driver.rules | map(.id)) as $ids
+         | .runs[0].results | all(.ruleId | IN($ids[]))' <<<"$sarif" >/dev/null
+  # JSON and SARIF agree on the number of findings
+  jq -e --argjson n "$(jq '.diagnostics | length' <<<"$out")" \
+    '.runs[0].results | length == $n' <<<"$sarif" >/dev/null
 done
 
 echo "all ${#examples[@]} example queries lint clean"

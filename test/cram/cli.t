@@ -147,9 +147,10 @@ Static errors are caught before evaluation:
   error (main): undefined variable $nope
   [1]
 
-The explain subcommand instantiates the paper's Figure 2/4 templates:
+With --template, the explain subcommand instantiates the paper's
+Figure 2/4 templates:
 
-  $ fixq explain -e 'with $x seeded by . recurse $x/a' | head -2
+  $ fixq explain --template naive -e 'with $x seeded by . recurse $x/a' | head -2
   declare function fix_1($x as node()*) as node()* { (let $res_1 := rec_1($x) return (if (empty(($res_1 except $x))) then $x else fix_1(($res_1 union $x)))) };
   declare function rec_1($x as node()*) as node()* { $x/child::a };
   $ fixq explain --template hint -e 'with $x seeded by . recurse count($x)' 
@@ -163,6 +164,7 @@ applies the Section-3.2 rewrite and re-runs both checkers:
   $ printf '<r><a/><b/></r>' > t.xml
   $ fixq lint --doc t=t.xml -e 'with $x seeded by doc("t")/r recurse ($x/a except $x/b)'
   1:1: info FQ032 (main): the distributivity hint can repair this recursion body (fixq lint --fix-hints)
+  1:1: info FQ053 (main): certified fixpoint round bound: <= 3 (node-only IFP: at most 2 reachable nodes over the synopsis, so at most 3 rounds)
   1:39: warning FQ030 (main): not distributive for $x: 'except'/'intersect' with $x free must see both sides (rule EXCEPT/INTERSECT)
   1:39: info FQ031 (main): the algebraic ∪-push is blocked at plan operator '\ (∪ arrives on both inputs)' — introduced by this construct
   ifp $x (main) at 1:1: divergence=terminates syntactic=blamed algebraic=blocked
@@ -180,3 +182,53 @@ Error-severity findings drive the exit status; warnings alone do not:
   [1]
   $ fixq lint -e 'for $i in (1, 2) return 3'
   1:5: warning FQ021 (main): the for binding $i is never used
+
+The cost analyzer: explain prints the synopsis-driven report (work,
+cardinalities, the certified round bound, per-engine costs with the
+chosen engine starred), plan annotates each operator with its
+cardinality interval, and --engine auto logs its pick under --stats:
+
+  $ fixq explain --doc curriculum.xml=curriculum.xml q1.xq
+  cost estimate
+    work: 106 units
+    result cardinality: 0..4
+    rounds bound: <= 5 (certified)
+    doc curriculum.xml: synopsis available
+  engines
+  * interp         74  native   Delta (Figure 5) halves refeeding
+    algebra       144  native   Table-1 plan, mu-delta (push-up holds)
+    sql           252  native   WITH RECURSIVE over materialized document relations
+    chosen: interp 74, algebra 144, sql 252 (cheapest: interp)
+  operators
+    1:1   0..4  ifp $x  [rounds <= 5 (certified)]
+    1:19  1       doc("curriculum.xml")  [25 nodes]
+    1:41  1         step child::curriculum  [curriculum]
+    1:52  4         step child::course  [curriculum/course]
+    1:52  0..4      filter
+    1:59  4           step attribute::code
+    2:17  0..1        step child::prerequisites  [curriculum/course/prerequisites]
+    2:31  0..2        step child::pre_code  [curriculum/course/prerequisites/pre_code]
+    2:12  0..4      id(...)
+  $ fixq plan --doc curriculum.xml=curriculum.xml q1.xq | head -3
+  «loop»  {card 0..144}
+  └─ δ  {card 0..144}
+     └─ πiter:iter',item  {card 0..144}
+  $ fixq run --doc curriculum.xml=curriculum.xml --engine auto q1.xq --stats 2>stats.txt >auto.out
+  $ grep "engine chosen" stats.txt
+  engine chosen: interp
+  $ cmp auto.out int.out
+
+The lint subcommand speaks SARIF 2.1.0 for code-scanning upload:
+
+  $ fixq lint --format sarif -e 'let $u := 1 return 2' | jq '{version, tool: .runs[0].tool.driver.name, results: [.runs[0].results[] | {ruleId, level, line: .locations[0].physicalLocation.region.startLine}]}'
+  {
+    "version": "2.1.0",
+    "tool": "fixq",
+    "results": [
+      {
+        "ruleId": "FQ020",
+        "level": "warning",
+        "line": 1
+      }
+    ]
+  }

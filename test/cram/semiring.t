@@ -59,9 +59,11 @@ rounds), count is unstable (FQ043):
 
   $ fixq lint --doc curriculum.xml=curriculum.xml cheapest.xq
   1:1: info FQ044 (main): accumulate by min over $x is p-stable: the node set converges but annotations improve for up to |nodes| extra rounds
+  1:1: info FQ054 (main): fixpoint round bound not certifiable: accumulate by: semiring iteration is not bounded by node counts
   ifp $x (main) at 1:1: divergence=bounded syntactic=distributive algebraic=distributive
   $ fixq lint --doc curriculum.xml=curriculum.xml -e 'with $x seeded by doc("curriculum.xml")/curriculum/course[@code="c1"] recurse $x/id(./prerequisites/pre_code) accumulate by count'
   1:1: warning FQ043 (main): unstable semiring: accumulate by count over $x may diverge: the count semiring is not stable: annotations on a cycle through $x can grow on every round
+  1:1: info FQ054 (main): fixpoint round bound not certifiable: accumulate by: semiring iteration is not bounded by node counts
   ifp $x (main) at 1:1: divergence=may-diverge syntactic=distributive algebraic=distributive
 
 The serve front end refuses the unstable counting semiring without an

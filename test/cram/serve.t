@@ -46,7 +46,7 @@ stripped:
   {"ok":true,"id":4,"engine":"interp","mode":"delta","used_delta":true,"prepared_cache":"hit","result_cache":"hit","generation":1,"nodes_fed":4,"depth":3,"result":"3"}
   {"ok":true,"id":5,"uri":"curriculum.xml","generation":2}
   {"ok":true,"id":6,"engine":"interp","mode":"delta","used_delta":true,"prepared_cache":"hit","result_cache":"miss","generation":2,"nodes_fed":4,"depth":3,"result":"3"}
-  {"ok":true,"id":7,"ifp_count":1,"syntactic":true,"algebraic":true,"interp_mode":"delta","algebra_mode":"delta","stratified":false,"warnings":[],"diagnostics":[],"divergence":"terminates","semiring":null,"convergence":null,"node_only":true,"ivm":"ineligible","blocking":null,"sql_renderable":true,"sql_reason":null,"prepared_cache":"miss"}
+  {"ok":true,"id":7,"ifp_count":1,"syntactic":true,"algebraic":true,"interp_mode":"delta","algebra_mode":"delta","stratified":false,"warnings":[],"diagnostics":[{"severity":"info","code":"FQ053","line":1,"col":1,"context":"main","message":"certified fixpoint round bound: <= 5 (node-only IFP: at most 4 reachable nodes over the synopsis, so at most 5 rounds)"}],"divergence":"terminates","semiring":null,"convergence":null,"node_only":true,"ivm":"ineligible","blocking":null,"sql_renderable":true,"sql_reason":null,"rounds_bound":5,"bound_reason":"node-only IFP: at most 4 reachable nodes over the synopsis, so at most 5 rounds","estimated_cost":{"interp":74,"algebra":144,"sql":252},"chosen_engine":"interp","prepared_cache":"miss"}
   {"ok":false,"id":8,"error":"parse error at 1:4: expected an expression, found end of input","diagnostics":[{"severity":"error","code":"FQ001","line":1,"col":4,"context":"parse","message":"expected an expression, found end of input"}]}
   {"ok":false,"id":9,"error":"IFP diverged after 11 iterations"}
   $ sed -n '11p' out.jsonl
@@ -87,3 +87,31 @@ Documents can be preloaded from the command line:
   >   | fixq serve --pipe --doc curriculum.xml=curriculum.xml \
   >   | sed -E 's/,"wall_ms":[0-9.e+-]+//' | head -1
   {"ok":true,"engine":"interp","mode":"naive","used_delta":null,"prepared_cache":"miss","result_cache":"miss","generation":1,"nodes_fed":0,"depth":0,"result":"4"}
+
+The cost analyzer gates admission. Under a tight --max-cost envelope an
+un-budgeted run is refused with a structured FQ055 error; an iteration
+budget converts refusal into down-budgeting (max_iterations clamped to
+the certified round bound); --engine auto records its choice; and the
+explain op returns the full cost report:
+
+  $ cat > cost.jsonl <<'EOF2'
+  > {"op":"load-doc","id":1,"uri":"curriculum.xml","path":"curriculum.xml"}
+  > {"op":"run","id":2,"query":"count(with $x seeded by doc(\"curriculum.xml\")/curriculum/course[@code=\"c1\"] recurse $x/id(./prerequisites/pre_code))","engine":"auto"}
+  > {"op":"run","id":3,"query":"count(with $x seeded by doc(\"curriculum.xml\")/curriculum/course[@code=\"c1\"] recurse $x/id(./prerequisites/pre_code))","engine":"auto","max_iterations":50}
+  > {"op":"explain","id":4,"query":"with $x seeded by doc(\"curriculum.xml\")/curriculum/course[@code=\"c1\"] recurse $x/id(./prerequisites/pre_code)"}
+  > {"op":"shutdown","id":5}
+  > EOF2
+
+  $ fixq serve --pipe --max-cost 50 < cost.jsonl > cost_out.jsonl
+  $ sed -n '2p' cost_out.jsonl | grep -o '"code":"FQ055"\|"max_cost":[0-9]*\|"rounds_bound":[0-9]*'
+  "code":"FQ055"
+  "max_cost":50
+  "rounds_bound":5
+  $ sed -n '3p' cost_out.jsonl | grep -o '"chosen_by":"cost"\|"down_budgeted":[0-9]*\|"result":"[0-9]*"'
+  "result":"3"
+  "chosen_by":"cost"
+  "down_budgeted":5
+  $ sed -n '4p' cost_out.jsonl | grep -o '"chosen":"[a-z]*"\|"rounds_bound":[0-9]*\|"work":[0-9]*'
+  "work":106
+  "rounds_bound":5
+  "chosen":"interp"

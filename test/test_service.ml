@@ -425,8 +425,14 @@ let test_server_check_diagnostics () =
   checks "divergence surfaced" "terminates" (sfield "divergence" r);
   checkb "node_only surfaced" true
     (Json.bool_opt (field "node_only" r) = Some true);
-  checkb "no diagnostics on clean query" true
-    (field "diagnostics" r = Json.List []);
+  (* a clean query still gets the cost analyzer's certified round
+     bound as an info diagnostic — and nothing else *)
+  checkb "only the certified-bound info on clean query" true
+    (match field "diagnostics" r with
+    | Json.List [ d ] ->
+      Json.str_opt (Json.member "code" d) = Some "FQ053"
+      && Json.str_opt (Json.member "severity" d) = Some "info"
+    | _ -> false);
   (* a blamed query: FQ030 located, blocking operator surfaced *)
   let r =
     check_op
@@ -468,6 +474,35 @@ let test_server_check_diagnostics () =
       (Option.get (Json.str_opt (Json.member "code" d)))
   | _ -> Alcotest.fail "expected exactly one parse diagnostic")
 
+(* A cached prepared entry must not serve a stale cost estimate: after
+   patch-doc grows the document, the same check (a prepared hit) has
+   to report the re-analyzed round bound and costs. *)
+let test_server_cost_refresh () =
+  let server = mk_server () in
+  ignore (send server load_doc_line);
+  let check_q () =
+    send server
+      (Json.to_string
+         (Json.Obj [ ("op", Json.Str "check"); ("query", Json.Str q1) ]))
+  in
+  let before = check_q () in
+  let bound r = Option.get (Json.int_opt (field "rounds_bound" r)) in
+  let patch =
+    Json.to_string
+      (Json.Obj
+         [ ("op", Json.Str "patch-doc");
+           ("uri", Json.Str "curriculum.xml");
+           ("action", Json.Str "insert");
+           ("path", Json.Str "/curriculum");
+           ("position", Json.Str "into-last");
+           ("xml",
+            Json.Str "<course code=\"c9\"><prerequisites/></course>") ])
+  in
+  checkb "patch ok" true (ok (send server patch));
+  let after = check_q () in
+  checks "still a prepared hit" "hit" (sfield "prepared_cache" after);
+  checki "bound tracks the grown document" (bound before + 1) (bound after)
+
 let () =
   Alcotest.run "service"
     [ ("json",
@@ -502,4 +537,6 @@ let () =
          Alcotest.test_case "divergence refusal" `Quick
            test_server_divergence_refusal;
          Alcotest.test_case "check diagnostics" `Quick
-           test_server_check_diagnostics ]) ]
+           test_server_check_diagnostics;
+         Alcotest.test_case "cost refresh after patch" `Quick
+           test_server_cost_refresh ]) ]
