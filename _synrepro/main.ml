@@ -1,0 +1,16 @@
+module X = Fixq_xdm
+let () =
+  let doc = X.Xml_parser.parse_string ~uri:"d" "<root><a/><a/></root>" in
+  let syn = X.Synopsis.build doc in
+  let op = X.Patch.Insert { path = "/root"; position = X.Patch.Last; xml = "<b><c/></b>" } in
+  let delta = X.Patch.apply doc op in
+  let syn' = X.Synopsis.patched syn ~old_root:doc ~op ~delta in
+  let fresh = X.Synopsis.build delta.X.Patch.new_root in
+  Printf.printf "maintained child_names(root) = [%s]\n"
+    (String.concat ";" (X.Synopsis.child_names syn' "root"));
+  Printf.printf "fresh      child_names(root) = [%s]\n"
+    (String.concat ";" (X.Synopsis.child_names fresh "root"));
+  Printf.printf "maintained path_count(root/b) = %d, fresh = %d\n"
+    (X.Synopsis.path_count syn' "root/b") (X.Synopsis.path_count fresh "root/b");
+  Printf.printf "equal_counts maintained/fresh = %b\n"
+    (X.Synopsis.equal_counts syn' fresh)
